@@ -1,0 +1,157 @@
+// Ablations for the design choices DESIGN.md calls out beyond the paper's
+// own figures:
+//   A. internal vs external subtree-sort crossover (memory sweep at fixed
+//      subtree geometry);
+//   B. compaction value on verbose documents (long tag/attribute names);
+//   C. access-pattern quality: fraction of sequential block I/Os, which the
+//      disk model rewards — NEXSORT's run-at-a-time discipline vs merge
+//      sort's wide fan-in;
+//   D. graceful-degeneration fragment geometry: fragments and pre-merge
+//      passes as memory shrinks on a flat document.
+#include "bench/bench_common.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "xml/writer.h"
+
+using namespace nexsort;
+using namespace nexsort::bench;
+
+namespace {
+
+// A document with deliberately verbose names, for the compaction ablation.
+std::string MakeVerboseDoc(int per_level, int height, uint64_t seed) {
+  std::string out;
+  StringByteSink sink(&out);
+  XmlWriter writer(&sink);
+  Random rng(seed);
+  std::vector<std::string> tags = {
+      "inventoryReconciliationRecord", "warehouseAllocationEntry",
+      "supplierContractLineItem", "quarterlyForecastAdjustment"};
+  struct Frame { int remaining; };
+  std::string key_attr = "transactionIdentifier";
+  std::vector<Frame> stack;
+  (void)writer.StartElement("enterpriseResourcePlanningExport",
+                            {XmlAttribute{key_attr, "0"}});
+  stack.push_back({per_level});
+  while (!stack.empty()) {
+    if (stack.back().remaining == 0) {
+      (void)writer.EndElement();
+      stack.pop_back();
+      continue;
+    }
+    --stack.back().remaining;
+    const std::string& tag = tags[rng.Uniform(tags.size())];
+    (void)writer.StartElement(
+        tag,
+        {XmlAttribute{key_attr, std::to_string(rng.Uniform(1000000))}});
+    if (static_cast<int>(stack.size()) < height) {
+      stack.push_back({per_level});
+    } else {
+      (void)writer.EndElement();
+    }
+  }
+  (void)writer.Finish();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Design-choice ablations (DESIGN.md section 6)\n");
+
+  // --- A: internal/external subtree sort crossover.
+  {
+    GeneratorStats doc_stats;
+    // Fixed geometry: ~2400-element (340 KiB) level-2 subtrees.
+    std::string xml = MakeShapedDoc({20, 85, 28}, 3, &doc_stats);
+    PrintHeader("A. internal vs external subtree sorts (fixed document, "
+                "memory sweep)",
+                "    M | nexsort I/O  model(s) | internal  external  largest "
+                "subtree");
+    for (uint64_t memory_blocks : {160, 120, 96, 64, 32, 16, 10}) {
+      RunResult run = RunNexSort(xml, memory_blocks, DefaultNexOptions());
+      CheckOk(run, "nexsort");
+      std::printf("  %3llu | %11llu  %8.2f | %8llu  %8llu  %15s\n",
+                  static_cast<unsigned long long>(memory_blocks),
+                  static_cast<unsigned long long>(run.io_total),
+                  run.modeled_seconds,
+                  static_cast<unsigned long long>(
+                      run.nexsort_stats.sorts.internal_sorts),
+                  static_cast<unsigned long long>(
+                      run.nexsort_stats.sorts.external_sorts),
+                  HumanBytes(run.nexsort_stats.sorts.largest_subtree_bytes)
+                      .c_str());
+    }
+  }
+
+  // --- B: compaction on a verbose document.
+  {
+    std::string xml = MakeVerboseDoc(12, 4, 9);
+    PrintHeader("B. name-dictionary compaction on verbose tag names",
+                "   config             | nexsort I/O  model(s) | data-stack "
+                "peak");
+    for (bool use_dictionary : {true, false}) {
+      NexSortOptions options = DefaultNexOptions();
+      OrderRule rule;
+      rule.element = "*";
+      rule.source = KeySource::kAttribute;
+      rule.argument = "transactionIdentifier";
+      rule.numeric = true;
+      options.order = OrderSpec().AddRule(rule);
+      options.use_dictionary = use_dictionary;
+      RunResult run = RunNexSort(xml, 16, options);
+      CheckOk(run, "nexsort");
+      std::printf("   %-18s | %11llu  %8.2f | %s\n",
+                  use_dictionary ? "dictionary" : "verbatim names",
+                  static_cast<unsigned long long>(run.io_total),
+                  run.modeled_seconds,
+                  HumanBytes(run.nexsort_stats.data_stack_peak).c_str());
+    }
+  }
+
+  // --- C: sequential-access fraction.
+  {
+    GeneratorStats doc_stats;
+    std::string xml = MakeShapedDoc({40, 85, 60}, 11, &doc_stats);
+    PrintHeader("C. access-pattern quality (sequential fraction of all "
+                "block I/Os)",
+                "   algorithm  |   total I/O  sequential  fraction  model(s)");
+    RunResult nex = RunNexSort(xml, 16, DefaultNexOptions());
+    CheckOk(nex, "nexsort");
+    RunResult kp = RunKeyPathSort(xml, 16, DefaultKeyPathOptions());
+    CheckOk(kp, "merge sort");
+    for (const auto& [name, run] :
+         {std::pair<const char*, const RunResult&>{"nexsort", nex},
+          {"merge sort", kp}}) {
+      uint64_t sequential =
+          run.io.sequential_reads + run.io.sequential_writes;
+      std::printf("   %-10s | %11llu  %10llu  %7.1f%%  %8.2f\n", name,
+                  static_cast<unsigned long long>(run.io_total),
+                  static_cast<unsigned long long>(sequential),
+                  100.0 * sequential / run.io_total, run.modeled_seconds);
+    }
+  }
+
+  // --- D: fragment geometry under graceful degeneration.
+  {
+    GeneratorStats doc_stats;
+    std::string xml = MakeShapedDoc({6000}, 13, &doc_stats);
+    PrintHeader("D. graceful degeneration on a flat 6000-element document",
+                "    M | nexsort I/O  model(s) | fragments  premerge passes");
+    for (uint64_t memory_blocks : {64, 32, 16, 10, 8}) {
+      NexSortOptions options = DefaultNexOptions();
+      options.graceful_degeneration = true;
+      RunResult run = RunNexSort(xml, memory_blocks, options);
+      CheckOk(run, "nexsort");
+      std::printf("  %3llu | %11llu  %8.2f | %9llu  %15llu\n",
+                  static_cast<unsigned long long>(memory_blocks),
+                  static_cast<unsigned long long>(run.io_total),
+                  run.modeled_seconds,
+                  static_cast<unsigned long long>(
+                      run.nexsort_stats.fragment_runs),
+                  static_cast<unsigned long long>(
+                      run.nexsort_stats.sorts.fragment_premerge_passes));
+    }
+  }
+  return 0;
+}

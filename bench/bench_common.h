@@ -1,0 +1,153 @@
+// Shared harness for the paper-reproduction benchmarks: workload builders,
+// algorithm runners over counted block devices, and table printers. Each
+// bench binary regenerates one table/figure of the paper (see DESIGN.md's
+// experiment index); the primary metric is counted block I/Os, with the
+// DiskModel supplying a seconds-shaped series comparable to the paper's
+// sort-time plots, plus real wall-clock for reference.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/keypath_xml_sort.h"
+#include "core/nexsort.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace bench {
+
+/// The paper's experiments used 64 KB blocks on a 1 GB machine; we shrink
+/// both so the same N/B and M/B ratios (and therefore the same pass
+/// structure) appear at laptop-benchmark sizes.
+inline constexpr size_t kBlockSize = 4096;
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  uint64_t io_total = 0;
+  uint64_t io_reads = 0;
+  uint64_t io_writes = 0;
+  double modeled_seconds = 0;
+  double wall_seconds = 0;
+  uint64_t output_bytes = 0;
+  NexSortStats nexsort_stats;      // NEXSORT runs only
+  KeyPathSortStats keypath_stats;  // baseline runs only
+  IoStats io;
+};
+
+/// Sort `xml` with NEXSORT under `memory_blocks` of budget.
+inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
+                            NexSortOptions options,
+                            size_t block_size = kBlockSize) {
+  RunResult result;
+  auto device = NewMemoryBlockDevice(block_size);
+  MemoryBudget budget(memory_blocks);
+  NexSorter sorter(device.get(), &budget, std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  auto start = std::chrono::steady_clock::now();
+  Status st = sorter.Sort(&source, &sink);
+  auto stop = std::chrono::steady_clock::now();
+  result.ok = st.ok();
+  result.error = st.ToString();
+  result.io = device->stats();
+  result.io_total = device->stats().total();
+  result.io_reads = device->stats().reads;
+  result.io_writes = device->stats().writes;
+  result.modeled_seconds = device->stats().modeled_seconds;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.output_bytes = out.size();
+  result.nexsort_stats = sorter.stats();
+  return result;
+}
+
+/// Sort `xml` with the key-path external merge sort baseline.
+inline RunResult RunKeyPathSort(const std::string& xml,
+                                uint64_t memory_blocks,
+                                KeyPathSortOptions options,
+                                size_t block_size = kBlockSize) {
+  RunResult result;
+  auto device = NewMemoryBlockDevice(block_size);
+  MemoryBudget budget(memory_blocks);
+  KeyPathXmlSorter sorter(device.get(), &budget, std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  auto start = std::chrono::steady_clock::now();
+  Status st = sorter.Sort(&source, &sink);
+  auto stop = std::chrono::steady_clock::now();
+  result.ok = st.ok();
+  result.error = st.ToString();
+  result.io = device->stats();
+  result.io_total = device->stats().total();
+  result.io_reads = device->stats().reads;
+  result.io_writes = device->stats().writes;
+  result.modeled_seconds = device->stats().modeled_seconds;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.output_bytes = out.size();
+  result.keypath_stats = sorter.stats();
+  return result;
+}
+
+inline NexSortOptions DefaultNexOptions() {
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  return options;
+}
+
+inline KeyPathSortOptions DefaultKeyPathOptions() {
+  KeyPathSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  return options;
+}
+
+/// Generate a paper-style document with the IBM-style generator.
+inline std::string MakeRandomDoc(int height, uint64_t max_fanout,
+                                 uint64_t seed, GeneratorStats* stats) {
+  RandomTreeGenerator generator(
+      height, max_fanout, {.seed = seed, .element_bytes = 150});
+  auto xml = generator.GenerateString();
+  if (!xml.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 xml.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (stats != nullptr) *stats = generator.stats();
+  return std::move(xml).value();
+}
+
+/// Generate a Table-2-style document with exact fan-outs per level.
+inline std::string MakeShapedDoc(const std::vector<uint64_t>& fanouts,
+                                 uint64_t seed, GeneratorStats* stats) {
+  ShapeGenerator generator(fanouts,
+                           {.seed = seed, .element_bytes = 150,
+                            .leaf_text = false});
+  auto xml = generator.GenerateString();
+  if (!xml.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 xml.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (stats != nullptr) *stats = generator.stats();
+  return std::move(xml).value();
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n== %s ==\n%s\n", title, columns);
+}
+
+inline void CheckOk(const RunResult& result, const char* label) {
+  if (!result.ok) {
+    std::fprintf(stderr, "%s failed: %s\n", label, result.error.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace nexsort

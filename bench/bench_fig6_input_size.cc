@@ -1,0 +1,65 @@
+// Figure 6 of the paper: effect of input size with constant maximum
+// fan-out.
+//
+// Paper setup: the authors' custom generator builds documents of growing
+// size with fan-out capped at 85 "to ensure that the input exhibits enough
+// hierarchicalness", both algorithms run with a small fixed memory.
+// Expected shape: NEXSORT grows linearly in input size — its logarithmic
+// factor log_{M/B}(kt/B) does not depend on N — while external merge sort
+// grows superlinearly, with visible jumps where the sort gains a pass
+// (2->3 and 3->4 passes in the paper).
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+using namespace nexsort;
+using namespace nexsort::bench;
+
+int main() {
+  std::printf("Figure 6: effect of input size, max fan-out capped at 85\n");
+  std::printf("block size %zu, memory 16 blocks (deliberately small, like "
+              "the paper's 3 MB)\n", kBlockSize);
+  const uint64_t kMemoryBlocks = 16;
+
+  // Growing documents with per-level fan-out <= 85, mirroring the paper's
+  // series. Geometry is scaled like the paper's: with ~28 elements per
+  // block and t = 2 blocks, a bottom-level fan-out of 60-85 puts the
+  // workhorse subtree sorts between t and internal memory, exactly where
+  // the paper's 85x85-element (~1 MB) subtrees sat inside its 3 MB.
+  struct Point {
+    std::vector<uint64_t> fanouts;
+  };
+  std::vector<Point> points = {
+      {{60}},              // 61 elements
+      {{60, 60}},          // ~3.7k
+      {{85, 60}},          // ~5.2k
+      {{10, 85, 60}},      // ~51k
+      {{20, 85, 60}},      // ~102k
+      {{40, 85, 60}},      // ~204k
+      {{85, 85, 60}},      // ~441k
+      {{85, 85, 85}},      // ~620k
+  };
+
+  PrintHeader("Figure 6",
+              "   elements      bytes | nexsort I/O  model(s) | mrgsort I/O"
+              "  model(s) | ms passes | ratio");
+  for (const Point& point : points) {
+    GeneratorStats doc_stats;
+    std::string xml = MakeShapedDoc(point.fanouts, 7, &doc_stats);
+    RunResult nex = RunNexSort(xml, kMemoryBlocks, DefaultNexOptions());
+    CheckOk(nex, "nexsort");
+    RunResult kp = RunKeyPathSort(xml, kMemoryBlocks, DefaultKeyPathOptions());
+    CheckOk(kp, "merge sort");
+    std::printf(
+        " %10s %10s | %11llu  %8.2f | %11llu  %8.2f | %9llu | %5.2fx\n",
+        WithCommas(doc_stats.elements).c_str(),
+        HumanBytes(doc_stats.bytes).c_str(),
+        static_cast<unsigned long long>(nex.io_total), nex.modeled_seconds,
+        static_cast<unsigned long long>(kp.io_total), kp.modeled_seconds,
+        static_cast<unsigned long long>(kp.keypath_stats.sort.merge_passes),
+        static_cast<double>(kp.io_total) / nex.io_total);
+  }
+  std::printf(
+      "\nexpected shape (paper): NEXSORT I/O grows ~linearly with N; merge\n"
+      "sort grows superlinearly, jumping where its pass count increases.\n");
+  return 0;
+}

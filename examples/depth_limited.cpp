@@ -1,0 +1,68 @@
+// Depth-limited sorting (paper Section 3.2): "useful under conditions
+// where sorting XML from head to toe would be overkill... a user may know
+// a depth below which no overlap of information is possible."
+//
+//   build/examples/depth_limited
+//
+// Sorts a feed of articles by date at levels 1-2 while leaving each
+// article's internal structure (paragraph order!) untouched.
+#include <cstdio>
+
+#include "core/nexsort.h"
+#include "extmem/block_device.h"
+
+using namespace nexsort;
+
+namespace {
+
+std::string SortWithDepthLimit(const std::string& xml, int depth_limit) {
+  auto device = NewMemoryBlockDevice(4096);
+  MemoryBudget budget(32);
+  NexSortOptions options;
+  OrderRule rule;
+  rule.element = "*";
+  rule.source = KeySource::kAttribute;
+  rule.argument = "date";
+  options.order.AddRule(rule);
+  options.depth_limit = depth_limit;
+  NexSorter sorter(device.get(), &budget, options);
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  Status status = sorter.Sort(&source, &sink);
+  if (!status.ok()) {
+    std::fprintf(stderr, "sort failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Paragraph order inside an article is meaningful and must survive; the
+  // paragraphs deliberately carry date attributes that would reorder them
+  // under a head-to-toe sort.
+  const std::string feed =
+      "<feed>"
+      "<article date=\"2004-03-02\">"
+      "<p date=\"zz\">It was a dark and stormy night.</p>"
+      "<p date=\"aa\">Suddenly, a shot rang out.</p>"
+      "</article>"
+      "<article date=\"2004-01-15\">"
+      "<p date=\"9\">Second paragraph written first.</p>"
+      "<p date=\"1\">First paragraph written second.</p>"
+      "</article>"
+      "</feed>";
+
+  std::string depth_limited = SortWithDepthLimit(feed, /*depth_limit=*/1);
+  std::string head_to_toe = SortWithDepthLimit(feed, /*depth_limit=*/0);
+
+  std::printf("input:\n%s\n\n", feed.c_str());
+  std::printf("depth limit 1 (articles ordered, paragraphs preserved):\n%s\n\n",
+              depth_limited.c_str());
+  std::printf("head to toe (paragraphs reordered too — not what an author "
+              "wants):\n%s\n",
+              head_to_toe.c_str());
+  return 0;
+}

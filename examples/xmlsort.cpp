@@ -1,0 +1,343 @@
+// xmlsort: command-line external-memory XML sorter.
+//
+//   xmlsort [options] <input.xml> <output.xml>
+//
+//   --order SPEC          full ordering spec, e.g.
+//                         "employee:attr(dept),attr(ID)n;*:attr(name)"
+//                         (see core/order_spec_parse.h for the grammar)
+//   --by-attr NAME        sort every element by attribute NAME (default: id)
+//   --by-tag              sort every element by its tag name
+//   --by-child-text PATH  sort by the text of the descendant at PATH
+//                         (e.g. personalInfo/name/lastName)
+//   --numeric             compare keys numerically
+//   --descending          reverse the order
+//   --depth-limit D       sort levels 1..D only (0 = head to toe)
+//   --memory-mb M         internal memory budget in MiB (default 64)
+//   --block-kb B          block size in KiB (default 64, like the paper)
+//   --threshold-blocks T  sort threshold t in blocks (default 2)
+//   --graceful            enable graceful degeneration into merge sort
+//   --scope TAG           XSort mode: only sort children of TAG elements
+//                         (repeatable)
+//   --record-order ATTR   stamp each element with its original position
+//   --strip-attr ATTR     drop ATTR from output elements
+//   --check               verify the output is fully sorted afterwards
+//   --check-only          just verify the input; no sorting, no output file
+//   --pretty              indent the output document
+//   --dtd FILE            parse FILE as a DTD: validate the input against
+//                         it before sorting and pre-seed the compaction
+//                         dictionary with its vocabulary
+//   --stats               print the I/O breakdown afterwards
+//
+// Working storage (stacks + sorted runs) lives in <output.xml>.work, which
+// is removed on success.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/nexsort.h"
+#include "core/order_spec_parse.h"
+#include "core/sorted_check.h"
+#include "xml/dtd.h"
+#include "extmem/block_device.h"
+#include "extmem/stream.h"
+#include "util/string_util.h"
+
+using namespace nexsort;
+
+namespace {
+
+// Streams stdin-independent file I/O through stdio; input/output documents
+// are ordinary files, while the working device is block-addressed.
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(FILE* file) : file_(file) {}
+  Status Read(char* buf, size_t n, size_t* out) override {
+    *out = std::fread(buf, 1, n, file_);
+    if (*out < n && std::ferror(file_)) {
+      return Status::IOError("read error on input file");
+    }
+    return Status::OK();
+  }
+
+ private:
+  FILE* file_;
+};
+
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(FILE* file) : file_(file) {}
+  Status Append(std::string_view data) override {
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IOError("write error on output file");
+    }
+    return Status::OK();
+  }
+
+ private:
+  FILE* file_;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: xmlsort [--by-attr NAME | --by-tag | --by-child-text "
+               "PATH]\n               [--numeric] [--descending] "
+               "[--depth-limit D] [--memory-mb M]\n               "
+               "[--block-kb B] [--threshold-blocks T] [--graceful] "
+               "[--stats]\n               <input.xml> <output.xml>\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OrderRule rule;
+  rule.element = "*";
+  rule.source = KeySource::kAttribute;
+  rule.argument = "id";
+  int depth_limit = 0;
+  uint64_t memory_mb = 64;
+  uint64_t block_kb = 64;
+  uint64_t threshold_blocks = 2;
+  bool graceful = false;
+  bool show_stats = false;
+  bool check_output = false;
+  bool check_only = false;
+  bool pretty = false;
+  std::string order_spec_text;
+  std::string dtd_path;
+  std::vector<std::string> scope_tags;
+  std::string record_order;
+  std::string strip_attr;
+  std::string input_path;
+  std::string output_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--order") {
+      order_spec_text = next();
+    } else if (arg == "--by-attr") {
+      rule.source = KeySource::kAttribute;
+      rule.argument = next();
+    } else if (arg == "--by-tag") {
+      rule.source = KeySource::kTagName;
+      rule.argument.clear();
+    } else if (arg == "--by-child-text") {
+      rule.source = KeySource::kChildText;
+      rule.argument = next();
+    } else if (arg == "--numeric") {
+      rule.numeric = true;
+    } else if (arg == "--descending") {
+      rule.descending = true;
+    } else if (arg == "--depth-limit") {
+      depth_limit = std::atoi(next());
+    } else if (arg == "--memory-mb") {
+      memory_mb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--block-kb") {
+      block_kb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threshold-blocks") {
+      threshold_blocks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--graceful") {
+      graceful = true;
+    } else if (arg == "--scope") {
+      scope_tags.emplace_back(next());
+    } else if (arg == "--record-order") {
+      record_order = next();
+    } else if (arg == "--strip-attr") {
+      strip_attr = next();
+    } else if (arg == "--dtd") {
+      dtd_path = next();
+    } else if (arg == "--pretty") {
+      pretty = true;
+    } else if (arg == "--check") {
+      check_output = true;
+    } else if (arg == "--check-only") {
+      check_only = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      Usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      Usage();
+    }
+  }
+  if (input_path.empty() || (output_path.empty() && !check_only)) Usage();
+
+  OrderSpec spec;
+  if (!order_spec_text.empty()) {
+    auto parsed = ParseOrderSpec(order_spec_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    spec = *parsed;
+  } else {
+    spec.AddRule(rule);
+  }
+
+  if (check_only) {
+    FILE* input = std::fopen(input_path.c_str(), "rb");
+    if (input == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    FileSource source(input);
+    auto report = CheckSorted(&source, spec, depth_limit);
+    std::fclose(input);
+    if (!report.ok()) {
+      std::fprintf(stderr, "check failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (report->sorted) {
+      std::printf("sorted (%s elements)\n",
+                  WithCommas(report->elements).c_str());
+      return 0;
+    }
+    std::printf("NOT sorted: %s\n", report->violation.c_str());
+    return 3;
+  }
+
+  size_t block_size = static_cast<size_t>(block_kb) * 1024;
+  uint64_t memory_blocks = memory_mb * 1024 * 1024 / block_size;
+  if (memory_blocks < 8) {
+    std::fprintf(stderr, "memory budget too small: need >= 8 blocks\n");
+    return 2;
+  }
+
+  Dtd dtd;
+  bool have_dtd = false;
+  if (!dtd_path.empty()) {
+    FILE* dtd_file = std::fopen(dtd_path.c_str(), "rb");
+    if (dtd_file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", dtd_path.c_str());
+      return 1;
+    }
+    std::string dtd_text;
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), dtd_file)) > 0) {
+      dtd_text.append(chunk, got);
+    }
+    std::fclose(dtd_file);
+    auto parsed_dtd = Dtd::Parse(dtd_text);
+    if (!parsed_dtd.ok()) {
+      std::fprintf(stderr, "%s\n", parsed_dtd.status().ToString().c_str());
+      return 2;
+    }
+    dtd = std::move(*parsed_dtd);
+    have_dtd = true;
+    // Validate the input before doing any sorting work.
+    FILE* check = std::fopen(input_path.c_str(), "rb");
+    if (check == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    FileSource check_source(check);
+    auto report = dtd.Validate(&check_source);
+    std::fclose(check);
+    if (!report.ok()) {
+      std::fprintf(stderr, "DTD validation failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (!report->valid) {
+      std::fprintf(stderr, "input violates the DTD: %s\n",
+                   report->violation.c_str());
+      return 3;
+    }
+  }
+
+  FILE* input = std::fopen(input_path.c_str(), "rb");
+  if (input == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+    return 1;
+  }
+  FILE* output = std::fopen(output_path.c_str(), "wb");
+  if (output == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", output_path.c_str());
+    std::fclose(input);
+    return 1;
+  }
+
+  std::string work_path = output_path + ".work";
+  auto device_or = NewFileBlockDevice(work_path, block_size);
+  if (!device_or.ok()) {
+    std::fprintf(stderr, "cannot open working storage: %s\n",
+                 device_or.status().ToString().c_str());
+    return 1;
+  }
+  MemoryBudget budget(memory_blocks);
+
+  NexSortOptions options;
+  options.order = spec;
+  options.pretty_output = pretty;
+  if (have_dtd) options.dtd = &dtd;
+  options.depth_limit = depth_limit;
+  options.sort_threshold = threshold_blocks * block_size;
+  options.graceful_degeneration = graceful;
+  options.sort_scope_tags = scope_tags;
+  options.record_order_attribute = record_order;
+  options.strip_attribute = strip_attr;
+  NexSorter sorter(device_or->get(), &budget, options);
+
+  FileSource source(input);
+  FileSink sink(output);
+  Status status = sorter.Sort(&source, &sink);
+  std::fclose(input);
+  std::fclose(output);
+  if (!status.ok()) {
+    std::fprintf(stderr, "sort failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::remove(work_path.c_str());
+
+  if (check_output && !scope_tags.empty()) {
+    std::fprintf(stderr,
+                 "--check skipped: scoped output is not fully sorted\n");
+    check_output = false;
+  }
+  if (check_output) {
+    FILE* verify = std::fopen(output_path.c_str(), "rb");
+    if (verify == nullptr) {
+      std::fprintf(stderr, "cannot reopen %s\n", output_path.c_str());
+      return 1;
+    }
+    FileSource source(verify);
+    auto report = CheckSorted(&source, spec, depth_limit);
+    std::fclose(verify);
+    if (!report.ok() || !report->sorted) {
+      std::fprintf(stderr, "output verification FAILED: %s\n",
+                   report.ok() ? report->violation.c_str()
+                               : report.status().ToString().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "output verified sorted\n");
+  }
+
+  if (show_stats) {
+    const NexSortStats& stats = sorter.stats();
+    std::fprintf(stderr,
+                 "elements %s, text nodes %s, k=%llu, height %llu\n"
+                 "subtree sorts %llu (internal %llu, external %llu), "
+                 "fragments %llu\n%s",
+                 WithCommas(stats.scan.elements).c_str(),
+                 WithCommas(stats.scan.text_nodes).c_str(),
+                 static_cast<unsigned long long>(stats.scan.max_fanout),
+                 static_cast<unsigned long long>(stats.scan.max_depth),
+                 static_cast<unsigned long long>(stats.subtree_sorts),
+                 static_cast<unsigned long long>(stats.sorts.internal_sorts),
+                 static_cast<unsigned long long>(stats.sorts.external_sorts),
+                 static_cast<unsigned long long>(stats.fragment_runs),
+                 (*device_or)->stats().ToString(block_size).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper reproduction (see
+# EXPERIMENTS.md). Builds if needed, runs the full test suite, then every
+# benchmark binary. Outputs land in bench_results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p bench_results
+for bench in build/bench/bench_*; do
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" | tee "bench_results/$name.txt"
+done
+echo "done; outputs in bench_results/"

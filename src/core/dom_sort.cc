@@ -1,0 +1,54 @@
+#include "core/dom_sort.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace nexsort {
+
+void SortDomRecursive(XmlNode* root, const OrderSpec& spec, int depth_limit,
+                      int root_level,
+                      const std::vector<std::string>* scope_tags) {
+  for (auto& child : root->children) {
+    if (!child->is_text) {
+      SortDomRecursive(child.get(), spec, depth_limit, root_level + 1,
+                       scope_tags);
+    }
+  }
+  if (depth_limit != 0 && root_level > depth_limit) return;
+  if (scope_tags != nullptr && !scope_tags->empty()) {
+    bool in_scope = false;
+    for (const std::string& tag : *scope_tags) {
+      if (tag == root->name) {
+        in_scope = true;
+        break;
+      }
+    }
+    if (!in_scope) return;
+  }
+  // Decorate with keys once, then stable-sort to keep document order on
+  // ties — the same (key, sequence) comparison the external algorithms use.
+  std::vector<std::pair<std::string, std::unique_ptr<XmlNode>>> decorated;
+  decorated.reserve(root->children.size());
+  for (auto& child : root->children) {
+    decorated.emplace_back(spec.KeyForNode(*child), std::move(child));
+  }
+  std::stable_sort(decorated.begin(), decorated.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  root->children.clear();
+  for (auto& entry : decorated) {
+    root->children.push_back(std::move(entry.second));
+  }
+}
+
+StatusOr<std::string> SortXmlStringInMemory(
+    std::string_view xml, const OrderSpec& spec, int depth_limit,
+    const std::vector<std::string>* scope_tags) {
+  ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseDom(xml));
+  SortDomRecursive(root.get(), spec, depth_limit, 1, scope_tags);
+  return SerializeDom(*root);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,33 @@
+// The paper's other baseline (Section 1): internal-memory recursive sort.
+// "To sort a subtree rooted at an element, we first recursively sort the
+// subtree rooted at every child element. Then, we sort the list of
+// children, which simply involves reordering the pointers to them." Only
+// viable when the whole document fits in memory; the library uses it as the
+// correctness oracle for property tests and as NEXSORT's conceptual model
+// for in-memory subtree sorts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/order_spec.h"
+#include "util/status.h"
+#include "xml/dom.h"
+
+namespace nexsort {
+
+/// Recursively sort every sibling list of `root` in place by `spec`
+/// (stable: equal keys keep document order). With depth_limit > 0, only
+/// children of elements at levels [1, depth_limit] are reordered; `root` is
+/// at level `root_level`. With a non-empty `scope_tags`, only children of
+/// elements with those tags are reordered (XSort-style scoped sorting).
+void SortDomRecursive(XmlNode* root, const OrderSpec& spec,
+                      int depth_limit = 0, int root_level = 1,
+                      const std::vector<std::string>* scope_tags = nullptr);
+
+/// Convenience oracle: parse, sort, reserialize (compact form).
+StatusOr<std::string> SortXmlStringInMemory(
+    std::string_view xml, const OrderSpec& spec, int depth_limit = 0,
+    const std::vector<std::string>* scope_tags = nullptr);
+
+}  // namespace nexsort

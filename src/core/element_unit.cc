@@ -1,0 +1,202 @@
+#include "core/element_unit.h"
+
+#include "util/varint.h"
+
+namespace nexsort {
+
+size_t ElementUnit::EncodedSize(const UnitFormat& format) const {
+  // Exact computation is not needed — threshold comparisons tolerate a few
+  // bytes of slack — but this stays within one varint of exact.
+  size_t size = 1 + VarintLength(level) + VarintLength(seq);
+  switch (type) {
+    case UnitType::kStart:
+      size += format.use_dictionary ? 2 : VarintLength(name.size()) + name.size();
+      size += VarintLength(attributes.size());
+      for (const XmlAttribute& attr : attributes) {
+        size += format.use_dictionary
+                    ? 2
+                    : VarintLength(attr.name.size()) + attr.name.size();
+        size += VarintLength(attr.value.size()) + attr.value.size();
+      }
+      size += VarintLength(key.size()) + key.size();
+      break;
+    case UnitType::kText:
+      size += VarintLength(text.size()) + text.size();
+      break;
+    case UnitType::kEnd:
+      size += VarintLength(key.size()) + key.size();
+      break;
+    case UnitType::kPointer:
+      size += VarintLength(key.size()) + key.size();
+      size += VarintLength(run.id) + VarintLength(run.byte_size);
+      break;
+    case UnitType::kFragment:
+      size += VarintLength(run.id) + VarintLength(run.byte_size);
+      break;
+  }
+  return size;
+}
+
+void AppendUnit(std::string* dst, const ElementUnit& unit,
+                const UnitFormat& format, NameDictionary* dictionary) {
+  dst->push_back(static_cast<char>(unit.type));
+  PutVarint32(dst, unit.level);
+  PutVarint64(dst, unit.seq);
+  switch (unit.type) {
+    case UnitType::kStart:
+      if (format.use_dictionary) {
+        PutVarint32(dst, dictionary->Intern(unit.name));
+      } else {
+        PutLengthPrefixed(dst, unit.name);
+      }
+      PutVarint64(dst, unit.attributes.size());
+      for (const XmlAttribute& attr : unit.attributes) {
+        if (format.use_dictionary) {
+          PutVarint32(dst, dictionary->Intern(attr.name));
+        } else {
+          PutLengthPrefixed(dst, attr.name);
+        }
+        PutLengthPrefixed(dst, attr.value);
+      }
+      PutLengthPrefixed(dst, unit.key);
+      break;
+    case UnitType::kText:
+      PutLengthPrefixed(dst, unit.text);
+      break;
+    case UnitType::kEnd:
+      PutLengthPrefixed(dst, unit.key);
+      break;
+    case UnitType::kPointer:
+      PutLengthPrefixed(dst, unit.key);
+      PutVarint32(dst, unit.run.id);
+      PutVarint64(dst, unit.run.byte_size);
+      break;
+    case UnitType::kFragment:
+      PutVarint32(dst, unit.run.id);
+      PutVarint64(dst, unit.run.byte_size);
+      break;
+  }
+}
+
+namespace {
+
+Status ParseName(std::string_view* input, const UnitFormat& format,
+                 const NameDictionary* dictionary, std::string* name) {
+  if (format.use_dictionary) {
+    uint32_t id = 0;
+    RETURN_IF_ERROR(GetVarint32(input, &id));
+    ASSIGN_OR_RETURN(std::string_view resolved, dictionary->Lookup(id));
+    name->assign(resolved);
+  } else {
+    std::string_view raw;
+    RETURN_IF_ERROR(GetLengthPrefixed(input, &raw));
+    name->assign(raw);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseUnit(std::string_view* input, ElementUnit* unit,
+                 const UnitFormat& format, const NameDictionary* dictionary) {
+  if (input->empty()) return Status::Corruption("empty unit");
+  uint8_t type_byte = static_cast<uint8_t>(input->front());
+  input->remove_prefix(1);
+  if (type_byte < 1 || type_byte > 5) {
+    return Status::Corruption("bad unit type " + std::to_string(type_byte));
+  }
+  unit->type = static_cast<UnitType>(type_byte);
+  unit->key.clear();
+  unit->name.clear();
+  unit->attributes.clear();
+  unit->text.clear();
+  unit->run = RunHandle();
+  RETURN_IF_ERROR(GetVarint32(input, &unit->level));
+  RETURN_IF_ERROR(GetVarint64(input, &unit->seq));
+  std::string_view view;
+  switch (unit->type) {
+    case UnitType::kStart: {
+      RETURN_IF_ERROR(ParseName(input, format, dictionary, &unit->name));
+      uint64_t attr_count = 0;
+      RETURN_IF_ERROR(GetVarint64(input, &attr_count));
+      if (attr_count > input->size()) {
+        return Status::Corruption("implausible attribute count");
+      }
+      unit->attributes.resize(attr_count);
+      for (XmlAttribute& attr : unit->attributes) {
+        RETURN_IF_ERROR(ParseName(input, format, dictionary, &attr.name));
+        RETURN_IF_ERROR(GetLengthPrefixed(input, &view));
+        attr.value.assign(view);
+      }
+      RETURN_IF_ERROR(GetLengthPrefixed(input, &view));
+      unit->key.assign(view);
+      break;
+    }
+    case UnitType::kText:
+      RETURN_IF_ERROR(GetLengthPrefixed(input, &view));
+      unit->text.assign(view);
+      break;
+    case UnitType::kEnd:
+      RETURN_IF_ERROR(GetLengthPrefixed(input, &view));
+      unit->key.assign(view);
+      break;
+    case UnitType::kPointer:
+      RETURN_IF_ERROR(GetLengthPrefixed(input, &view));
+      unit->key.assign(view);
+      RETURN_IF_ERROR(GetVarint32(input, &unit->run.id));
+      RETURN_IF_ERROR(GetVarint64(input, &unit->run.byte_size));
+      break;
+    case UnitType::kFragment:
+      RETURN_IF_ERROR(GetVarint32(input, &unit->run.id));
+      RETURN_IF_ERROR(GetVarint64(input, &unit->run.byte_size));
+      break;
+  }
+  return Status::OK();
+}
+
+RunUnitReader::RunUnitReader(RunStore* store, RunHandle handle,
+                             uint64_t offset, const UnitFormat& format,
+                             const NameDictionary* dictionary,
+                             IoCategory category)
+    : reader_(store->OpenRun(handle, offset, category)),
+      handle_(handle),
+      format_(format),
+      dictionary_(dictionary),
+      logical_offset_(offset) {
+  init_status_ = reader_.init_status();
+}
+
+StatusOr<bool> RunUnitReader::Next(ElementUnit* unit) {
+  // Refill so that either a whole unit is buffered or the run is drained.
+  // Units written by this library are far smaller than one refill chunk, so
+  // a parse failure with bytes still available means "need more", and a
+  // failure at true end of run means corruption.
+  constexpr size_t kRefill = 4096;
+  while (true) {
+    std::string_view view(buffer_.data() + buffer_pos_,
+                          buffer_.size() - buffer_pos_);
+    if (!view.empty()) {
+      std::string_view cursor = view;
+      Status st = ParseUnit(&cursor, unit, format_, dictionary_);
+      if (st.ok()) {
+        size_t consumed = view.size() - cursor.size();
+        buffer_pos_ += consumed;
+        logical_offset_ += consumed;
+        return true;
+      }
+      if (reader_.bytes_remaining() == 0) return st;
+    } else if (reader_.bytes_remaining() == 0) {
+      return false;
+    }
+    // Compact and refill.
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+    size_t old_size = buffer_.size();
+    buffer_.resize(old_size + kRefill);
+    size_t got = 0;
+    RETURN_IF_ERROR(reader_.Read(buffer_.data() + old_size, kRefill, &got));
+    buffer_.resize(old_size + got);
+  }
+}
+
+}  // namespace nexsort

@@ -1,0 +1,105 @@
+// ElementUnit: the unit of XML data NEXSORT pushes onto the data stack and
+// stores in sorted runs. The serialized form natively implements the
+// paper's compaction techniques (Section 3.2):
+//   * end tags are eliminated — start units carry level numbers, and end
+//     tags are reconstructed from level transitions during output;
+//   * tag and attribute names are interned in a NameDictionary and stored
+//     as small integers (toggle via UnitFormat for the ablation).
+//
+// Unit kinds:
+//   kStart    — an element start tag: level, sequence number, name,
+//               attributes, normalized sort key.
+//   kText     — a text node (level = parent level + 1).
+//   kEnd      — an element end; only materialized when the ordering uses
+//               complex criteria (the resolved key rides on the end, as in
+//               Section 3.2) or when the compaction ablation keeps ends.
+//   kPointer  — a collapsed subtree: the root element was sorted into a run
+//               and replaced by this unit carrying its key and the run
+//               pointer (paper Figure 2).
+//   kFragment — an incomplete sorted run for the graceful-degeneration
+//               optimization: a sorted forest of children of the innermost
+//               open element, to be merged at that element's sort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extmem/run_store.h"
+#include "util/status.h"
+#include "xml/dictionary.h"
+#include "xml/token.h"
+
+namespace nexsort {
+
+enum class UnitType : uint8_t {
+  kStart = 1,
+  kText = 2,
+  kEnd = 3,
+  kPointer = 4,
+  kFragment = 5,
+};
+
+/// Serialization knobs shared by writers and readers of one sort.
+struct UnitFormat {
+  /// Store names as dictionary ids (compaction on) or inline strings.
+  bool use_dictionary = true;
+};
+
+struct ElementUnit {
+  UnitType type = UnitType::kStart;
+  uint32_t level = 0;  // root element = 1; text nodes = parent + 1
+  uint64_t seq = 0;    // document-order sequence (uniqueness + stability)
+
+  std::string key;   // normalized sort key (kStart, kEnd, kPointer)
+  std::string name;  // tag name (kStart; resolved through the dictionary)
+  std::vector<XmlAttribute> attributes;  // kStart
+  std::string text;                      // kText
+  RunHandle run;                         // kPointer, kFragment
+
+  /// Serialized size of this unit under `format` (for threshold math).
+  size_t EncodedSize(const UnitFormat& format) const;
+};
+
+/// Append the serialized unit to *dst, interning names into *dictionary
+/// when format.use_dictionary.
+void AppendUnit(std::string* dst, const ElementUnit& unit,
+                const UnitFormat& format, NameDictionary* dictionary);
+
+/// Parse one unit from the front of *input, advancing past it. Names are
+/// resolved through `dictionary` when format.use_dictionary.
+Status ParseUnit(std::string_view* input, ElementUnit* unit,
+                 const UnitFormat& format, const NameDictionary* dictionary);
+
+/// Streaming unit reader over a sorted run. Tracks the logical byte offset
+/// so the output phase can record resume points on the output location
+/// stack when it follows a run pointer (paper Figure 4, lines 18-20).
+class RunUnitReader {
+ public:
+  RunUnitReader(RunStore* store, RunHandle handle, uint64_t offset,
+                const UnitFormat& format, const NameDictionary* dictionary,
+                IoCategory category = IoCategory::kRunRead);
+
+  const Status& init_status() const { return init_status_; }
+
+  /// Read the next unit; returns false at end of run.
+  StatusOr<bool> Next(ElementUnit* unit);
+
+  RunHandle handle() const { return handle_; }
+
+  /// Offset of the first un-consumed unit.
+  uint64_t offset() const { return logical_offset_; }
+
+ private:
+  RunReader reader_;
+  RunHandle handle_;
+  const UnitFormat format_;
+  const NameDictionary* dictionary_;
+  Status init_status_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  uint64_t logical_offset_ = 0;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,61 @@
+// The paper's external-merge-sort baseline (Section 1): convert the
+// document to its key-path representation (Table 1) and sort it with the
+// well-known external merge-sort algorithm. Structure-oblivious, so its
+// pass count carries the flat-file log_{M/B}(N/B) factor that NEXSORT's
+// log_{M/B}(min{kt,N}/B) beats whenever the document is not nearly flat.
+#pragma once
+
+#include "core/element_unit.h"
+#include "core/order_spec.h"
+#include "core/unit_scanner.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "sort/external_merge_sort.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct KeyPathSortOptions {
+  OrderSpec order;
+
+  /// Same depth-limit semantics as NexSortOptions (levels beyond the limit
+  /// keep document order).
+  int depth_limit = 0;
+
+  /// Compaction parity with NEXSORT (name dictionary in the record format),
+  /// so the comparison is apples-to-apples.
+  bool use_dictionary = true;
+};
+
+struct KeyPathSortStats {
+  ScanStats scan;
+  ExtSortStats sort;        // initial runs + merge passes
+  uint64_t key_path_bytes = 0;  // total encoded key-path bytes (the paper's
+                                // "may consume many times more space" cost)
+  uint64_t output_bytes = 0;
+};
+
+/// One-document sorter over a device + budget, like NexSorter. Complex
+/// ordering criteria are not supported: the streaming key-path conversion
+/// requires every ancestor's key to be known at its start tag.
+class KeyPathXmlSorter {
+ public:
+  KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
+                   KeyPathSortOptions options);
+
+  Status Sort(ByteSource* input, ByteSink* output);
+
+  const KeyPathSortStats& stats() const { return stats_; }
+
+ private:
+  BlockDevice* device_;
+  MemoryBudget* budget_;
+  KeyPathSortOptions options_;
+  RunStore store_;
+  NameDictionary dictionary_;
+  UnitFormat format_;
+  bool used_ = false;
+  KeyPathSortStats stats_;
+};
+
+}  // namespace nexsort

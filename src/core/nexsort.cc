@@ -1,0 +1,289 @@
+#include "core/nexsort.h"
+
+#include <algorithm>
+
+#include "core/unit_emitter.h"
+
+namespace nexsort {
+
+NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
+                     NexSortOptions options)
+    : device_(device),
+      budget_(budget),
+      options_(std::move(options)),
+      store_(device, budget) {
+  format_.use_dictionary = options_.use_dictionary;
+  threshold_ = options_.sort_threshold != 0 ? options_.sort_threshold
+                                            : 2 * device->block_size();
+  push_end_units_ = options_.keep_end_units || options_.order.HasComplexRules();
+  if (options_.dtd != nullptr) options_.dtd->SeedDictionary(&dictionary_);
+  // Complex criteria deliver keys on end units, which the streaming
+  // key-path (external) subtree sort cannot use. Graceful degeneration
+  // keeps every region within the internal sort capacity, so with it on the
+  // external path is never taken and resolved keys are always honoured.
+  if (options_.order.HasComplexRules()) options_.graceful_degeneration = true;
+
+  sort_context_.store = &store_;
+  sort_context_.dictionary = &dictionary_;
+  sort_context_.format = format_;
+  sort_context_.depth_limit = options_.depth_limit;
+  sort_context_.scope_tags =
+      options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
+}
+
+Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
+  if (used_) return Status::InvalidArgument("NexSorter is single-use");
+  used_ = true;
+  // Size the memory ledger from what the budget actually has left (the
+  // caller may hold input/output stream buffers): data stack 1 block, path
+  // stack 2 blocks; the rest goes to subtree sorts (one block of which is
+  // the run writer on the internal path).
+  uint64_t blocks = budget_->available_blocks();
+  if (blocks < 8) {
+    return Status::InvalidArgument(
+        "NEXSORT needs >= 8 available blocks of memory budget");
+  }
+  uint64_t sort_blocks = blocks - 3;
+  sort_capacity_ = (sort_blocks - 1) * device_->block_size();
+  // Fragmentation must leave the end-tag region inside the internal sort
+  // capacity, so trigger comfortably below it.
+  frag_threshold_ = std::max(threshold_, sort_capacity_ / 2);
+  sort_context_.memory_blocks = sort_blocks;
+  if (!options_.sort_scope_tags.empty() &&
+      (options_.graceful_degeneration || options_.order.HasComplexRules())) {
+    return Status::NotSupported(
+        "scoped sorting cannot combine with graceful degeneration or "
+        "complex ordering criteria");
+  }
+  RunHandle root_run;
+  RETURN_IF_ERROR(SortingPhase(input, &root_run));
+  return OutputPhase(root_run, output);
+}
+
+Status NexSorter::SortRegion(ExtByteStack* data, const PathEntry& entry,
+                             std::string_view resolved_key, uint32_t level,
+                             uint64_t seq, RunHandle* run,
+                             ElementUnit* pointer) {
+  ++stats_.subtree_sorts;
+  uint64_t region_size = data->size() - entry.start_offset;
+  ElementUnit root_unit;
+  // Regions holding fragment pointers must sort in memory (fragments merge
+  // against the in-memory forest); fragmentation has already capped their
+  // size near the capacity.
+  bool force_internal = (entry.flags & kHasFragments) != 0;
+  if (region_size <= sort_capacity_ || force_internal) {
+    std::string region;
+    RETURN_IF_ERROR(data->PopRegion(entry.start_offset, &region));
+    ASSIGN_OR_RETURN(*run, SortSubtreeInMemory(sort_context_, region,
+                                               &root_unit, &stats_.sorts));
+  } else {
+    // Stream the oversized region straight off the data stack into the
+    // key-path external merge sort: no extra temp-run round trip.
+    ExternalSubtreeSorter external(sort_context_, &stats_.sorts);
+    RETURN_IF_ERROR(external.init_status());
+    RETURN_IF_ERROR(data->PopRegionTo(entry.start_offset, external.sink()));
+    ASSIGN_OR_RETURN(*run, external.Finish(&root_unit));
+  }
+  pointer->type = UnitType::kPointer;
+  pointer->level = level;
+  pointer->seq = seq;
+  pointer->key = resolved_key.empty() ? root_unit.key
+                                      : std::string(resolved_key);
+  pointer->name.clear();
+  pointer->attributes.clear();
+  pointer->text.clear();
+  pointer->run = *run;
+  return Status::OK();
+}
+
+Status NexSorter::MaybeFragment(ExtByteStack* data,
+                                ExtStack<PathEntry>* path) {
+  if (!options_.graceful_degeneration || path->empty()) return Status::OK();
+  PathEntry top;
+  RETURN_IF_ERROR(path->Top(&top));
+  if (data->size() - top.content_offset < frag_threshold_) return Status::OK();
+
+  // The innermost open element has no open descendants, so everything
+  // after its start unit is a forest of complete child subtrees: sort it
+  // into an incomplete run now (Section 3.2, graceful degeneration). The
+  // fragment-pointer units left behind are ~10 bytes each — O(N/t) run
+  // metadata, like the run index itself — and the element's eventual sort
+  // merges the runs they point to with proper multi-pass fan-in, exactly
+  // external merge sort's structure.
+  uint64_t from = top.content_offset;
+  std::string forest;
+  RETURN_IF_ERROR(data->PopRegion(from, &forest));
+  RunHandle fragment;
+  ASSIGN_OR_RETURN(fragment,
+                   SortForestInMemory(sort_context_, forest, &stats_.sorts));
+  ++stats_.fragment_runs;
+
+  ElementUnit unit;
+  unit.type = UnitType::kFragment;
+  unit.level = static_cast<uint32_t>(path->size()) + 1;  // child level
+  unit.seq = 0;
+  unit.run = fragment;
+  std::string serialized;
+  AppendUnit(&serialized, unit, format_, &dictionary_);
+  RETURN_IF_ERROR(data->Append(serialized));
+
+  top.content_offset = data->size();
+  top.flags |= kHasFragments;
+  return path->ReplaceTop(top);
+}
+
+Status NexSorter::SortingPhase(ByteSource* input, RunHandle* root_run) {
+  UnitScanner scanner(input, &options_.order);
+  ExtByteStack data(device_, budget_, 1, IoCategory::kDataStack);
+  RETURN_IF_ERROR(data.init_status());
+  ExtStack<PathEntry> path(device_, budget_, 2, IoCategory::kPathStack);
+  RETURN_IF_ERROR(path.init_status());
+
+  bool have_root_run = false;
+  std::string serialized;
+  ScanEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, scanner.Next(&event));
+    if (!more) break;
+    switch (event.kind) {
+      case ScanEvent::Kind::kStart: {
+        if (!options_.strip_attribute.empty()) {
+          auto& attrs = event.unit.attributes;
+          for (size_t i = 0; i < attrs.size(); ++i) {
+            if (attrs[i].name == options_.strip_attribute) {
+              attrs.erase(attrs.begin() + i);
+              break;
+            }
+          }
+        }
+        if (!options_.record_order_attribute.empty()) {
+          event.unit.attributes.push_back(
+              {options_.record_order_attribute,
+               std::to_string(event.unit.seq)});
+        }
+        PathEntry entry;
+        entry.start_offset = data.size();
+        serialized.clear();
+        AppendUnit(&serialized, event.unit, format_, &dictionary_);
+        RETURN_IF_ERROR(data.Append(serialized));
+        entry.content_offset = data.size();
+        RETURN_IF_ERROR(path.Push(entry));
+        stats_.path_stack_peak =
+            std::max<uint64_t>(stats_.path_stack_peak, path.size());
+        break;
+      }
+      case ScanEvent::Kind::kText: {
+        serialized.clear();
+        AppendUnit(&serialized, event.unit, format_, &dictionary_);
+        RETURN_IF_ERROR(data.Append(serialized));
+        break;
+      }
+      case ScanEvent::Kind::kEnd: {
+        if (push_end_units_) {
+          serialized.clear();
+          AppendUnit(&serialized, event.unit, format_, &dictionary_);
+          RETURN_IF_ERROR(data.Append(serialized));
+        }
+        PathEntry entry;
+        RETURN_IF_ERROR(path.Pop(&entry));
+        bool is_root = path.empty();
+        uint64_t region_size = data.size() - entry.start_offset;
+        if (region_size > threshold_ || is_root ||
+            (entry.flags & kHasFragments) != 0) {
+          RunHandle run;
+          ElementUnit pointer;
+          RETURN_IF_ERROR(SortRegion(&data, entry, event.unit.key,
+                                     event.unit.level, event.unit.seq, &run,
+                                     &pointer));
+          if (is_root) {
+            *root_run = run;
+            have_root_run = true;
+          } else {
+            ++stats_.pointer_units;
+            serialized.clear();
+            AppendUnit(&serialized, pointer, format_, &dictionary_);
+            RETURN_IF_ERROR(data.Append(serialized));
+          }
+        }
+        break;
+      }
+    }
+    stats_.data_stack_peak =
+        std::max<uint64_t>(stats_.data_stack_peak, data.size());
+    RETURN_IF_ERROR(MaybeFragment(&data, &path));
+  }
+
+  stats_.scan = scanner.stats();
+  stats_.input_bytes = scanner.bytes_consumed();
+  if (!have_root_run) return Status::ParseError("input has no root element");
+  if (data.size() != 0) {
+    return Status::Corruption("data stack not empty after sorting phase");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct OutputLoc {
+  uint32_t run_id = 0;
+  uint64_t run_bytes = 0;
+  uint64_t offset = 0;
+};
+
+}  // namespace
+
+Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
+  UnitEmitterOptions emitter_options;
+  emitter_options.pretty = options_.pretty_output;
+  UnitXmlEmitter emitter(device_, budget_, &dictionary_, output,
+                         emitter_options);
+  RETURN_IF_ERROR(emitter.init_status());
+  ExtStack<OutputLoc> locations(device_, budget_, 1,
+                                IoCategory::kOutputStack);
+  RETURN_IF_ERROR(locations.init_status());
+
+  auto reader = std::make_unique<RunUnitReader>(&store_, root_run, 0, format_,
+                                                &dictionary_);
+  RETURN_IF_ERROR(reader->init_status());
+  ElementUnit unit;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, reader->Next(&unit));
+    if (!more) {
+      if (locations.empty()) break;
+      // Finished a child run: resume its parent where we left off
+      // (Figure 4 lines 14-15).
+      OutputLoc loc;
+      RETURN_IF_ERROR(locations.Pop(&loc));
+      RunHandle handle;
+      handle.id = loc.run_id;
+      handle.byte_size = loc.run_bytes;
+      reader.reset();  // release the block buffer before opening the next
+      reader = std::make_unique<RunUnitReader>(&store_, handle, loc.offset,
+                                               format_, &dictionary_);
+      RETURN_IF_ERROR(reader->init_status());
+      continue;
+    }
+    if (unit.type == UnitType::kPointer) {
+      // Descend into the pointed-to run (Figure 4 lines 18-20).
+      OutputLoc loc;
+      loc.run_id = reader->handle().id;
+      loc.run_bytes = reader->handle().byte_size;
+      loc.offset = reader->offset();
+      RETURN_IF_ERROR(locations.Push(loc));
+      reader.reset();
+      reader = std::make_unique<RunUnitReader>(&store_, unit.run, 0, format_,
+                                               &dictionary_);
+      RETURN_IF_ERROR(reader->init_status());
+      continue;
+    }
+    if (unit.type == UnitType::kFragment) {
+      return Status::Corruption("fragment unit in a complete sorted run");
+    }
+    RETURN_IF_ERROR(emitter.Emit(unit));
+  }
+  RETURN_IF_ERROR(emitter.Finish());
+  stats_.output_bytes = emitter.output_bytes();
+  return Status::OK();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,226 @@
+#include "core/order_spec.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "util/string_util.h"
+#include "xml/dom.h"
+
+namespace nexsort {
+
+OrderSpec OrderSpec::ByAttribute(std::string_view name, bool numeric) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "*";
+  rule.source = KeySource::kAttribute;
+  rule.argument = name;
+  rule.numeric = numeric;
+  spec.AddRule(std::move(rule));
+  return spec;
+}
+
+OrderSpec OrderSpec::ByTagName() {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "*";
+  rule.source = KeySource::kTagName;
+  spec.AddRule(std::move(rule));
+  return spec;
+}
+
+OrderSpec& OrderSpec::AddRule(OrderRule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+const OrderRule* OrderSpec::RuleFor(std::string_view tag) const {
+  for (const OrderRule& rule : rules_) {
+    if (rule.element == tag || rule.element == "*") return &rule;
+  }
+  return nullptr;
+}
+
+bool OrderSpec::HasComplexRules() const {
+  for (const OrderRule& rule : rules_) {
+    if (rule.source == KeySource::kTextContent ||
+        rule.source == KeySource::kChildText) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Monotone 9-byte encoding of a double: tag byte 'N' (so numeric keys are
+// distinguishable in debug dumps) followed by the sign-folded bit pattern,
+// big-endian. Total order matches numeric order for all finite values.
+void AppendOrderedDouble(std::string* out, double value) {
+  uint64_t bits = std::bit_cast<uint64_t>(value);
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;  // negative: reverse order
+  } else {
+    bits |= (1ULL << 63);  // positive: above all negatives
+  }
+  out->push_back('N');
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+// Escape-and-complement transform for descending order. See DESIGN.md:
+//   desc(key) = ~(escape00(key) + 0x00 0x01), bytewise complement,
+// which reverses lexicographic order even across prefixes.
+std::string DescendingTransform(std::string_view key) {
+  std::string out;
+  out.reserve(key.size() + 2);
+  for (char c : key) {
+    if (c == '\0') {
+      out.push_back('\xFF');         // ~0x00
+      out.push_back('\x00');         // ~0xFF
+    } else {
+      out.push_back(static_cast<char>(~c));
+    }
+  }
+  out.push_back('\xFF');             // ~0x00
+  out.push_back('\xFE');             // ~0x01
+  return out;
+}
+
+}  // namespace
+
+std::string OrderSpec::NormalizeKey(const OrderRule& rule,
+                                    std::string_view raw) {
+  std::string key;
+  if (rule.numeric) {
+    double value = 0;
+    if (ParseNumber(raw, &value)) {
+      AppendOrderedDouble(&key, value);
+    }
+    // Unparseable numeric keys stay empty and sort first.
+  } else {
+    key.assign(raw);
+  }
+  if (rule.descending) key = DescendingTransform(key);
+  return key;
+}
+
+namespace {
+
+// Extract one simple (start-tag-resolvable) key part.
+std::string SimplePartKey(const OrderRule& part, std::string_view tag,
+                          const std::vector<XmlAttribute>& attributes) {
+  switch (part.source) {
+    case KeySource::kTagName:
+      return OrderSpec::NormalizeKey(part, tag);
+    case KeySource::kAttribute:
+      for (const XmlAttribute& attr : attributes) {
+        if (attr.name == part.argument) {
+          return OrderSpec::NormalizeKey(part, attr.value);
+        }
+      }
+      return {};
+    case KeySource::kTextContent:
+    case KeySource::kChildText:
+      return {};  // not composable on start tags
+  }
+  return {};
+}
+
+// Frame a component so concatenated composites compare bytewise in
+// component-tuple order (same escape/terminator scheme as key paths).
+void AppendCompositeComponent(std::string* out, std::string_view key) {
+  for (char c : key) {
+    if (c == '\0') {
+      out->push_back('\0');
+      out->push_back('\xFF');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\x01');
+}
+
+}  // namespace
+
+std::string OrderSpec::KeyForStartTag(
+    std::string_view tag, const std::vector<XmlAttribute>& attributes) const {
+  const OrderRule* rule = RuleFor(tag);
+  if (rule == nullptr) return {};
+  if (rule->source == KeySource::kTextContent ||
+      rule->source == KeySource::kChildText) {
+    return {};  // resolved when the subtree has been scanned
+  }
+  std::string primary = SimplePartKey(*rule, tag, attributes);
+  if (rule->then_by.empty()) return primary;
+  std::string composite;
+  AppendCompositeComponent(&composite, primary);
+  for (const OrderRule& part : rule->then_by) {
+    AppendCompositeComponent(&composite,
+                              SimplePartKey(part, tag, attributes));
+  }
+  return composite;
+}
+
+std::string OrderSpec::KeyForText(std::string_view text) const {
+  const OrderRule* rule = nullptr;
+  for (const OrderRule& r : rules_) {
+    if (r.element == "#text") {
+      rule = &r;
+      break;
+    }
+  }
+  if (rule == nullptr) return {};
+  return NormalizeKey(*rule, text);
+}
+
+namespace {
+
+// First text found at `path` (possibly empty = the node itself) below node.
+const std::string* FindPathText(const XmlNode& node,
+                                const std::vector<std::string_view>& path,
+                                size_t index) {
+  if (index == path.size()) {
+    for (const auto& child : node.children) {
+      if (child->is_text) return &child->text;
+    }
+    return nullptr;
+  }
+  for (const auto& child : node.children) {
+    if (!child->is_text && child->name == path[index]) {
+      const std::string* found = FindPathText(*child, path, index + 1);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string OrderSpec::KeyForNode(const XmlNode& node) const {
+  if (node.is_text) return KeyForText(node.text);
+  const OrderRule* rule = RuleFor(node.name);
+  if (rule == nullptr) return {};
+  switch (rule->source) {
+    case KeySource::kTagName:
+    case KeySource::kAttribute:
+      // Must mirror KeyForStartTag exactly, including composite framing.
+      return KeyForStartTag(node.name, node.attributes);
+    case KeySource::kTextContent: {
+      const std::string* text = FindPathText(node, {}, 0);
+      return text != nullptr ? NormalizeKey(*rule, *text) : std::string();
+    }
+    case KeySource::kChildText: {
+      std::vector<std::string_view> path;
+      for (std::string_view part : Split(rule->argument, '/')) {
+        if (!part.empty()) path.push_back(part);
+      }
+      const std::string* text = FindPathText(node, path, 0);
+      return text != nullptr ? NormalizeKey(*rule, *text) : std::string();
+    }
+  }
+  return {};
+}
+
+}  // namespace nexsort

@@ -1,0 +1,107 @@
+// Ordering criteria for XML sorting. A fully sorted document orders every
+// element's children by a user-supplied criterion (paper Section 1); an
+// OrderSpec is a list of per-tag rules saying where each element's sort key
+// comes from — its tag name, an attribute ("order employee by ID"), its own
+// text content, or the text of a descendant reached by a path ("order
+// employee elements by personalInfo/name/lastName", the paper's complex
+// ordering criteria of Section 3.2).
+//
+// Keys are *normalized* at extraction into an order-preserving byte string,
+// so every comparison downstream — sibling sorts, key-path merge sort,
+// structural merge — is a plain bytewise comparison:
+//   * string ascending: the raw bytes;
+//   * numeric: 9-byte monotone encoding of the double value;
+//   * descending: escape-and-complement transform of the above.
+// Elements with no applicable rule or a missing key get the empty key, which
+// sorts first; ties are always broken by document order (sequence number),
+// making every sort stable, and unique as the paper requires ("we can make
+// it unique by appending the element's location in the input").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/token.h"
+
+namespace nexsort {
+
+struct XmlNode;
+
+enum class KeySource {
+  kTagName,      // the element's tag name
+  kAttribute,    // value of attribute `argument`
+  kTextContent,  // the element's first direct text child
+  kChildText,    // first text of the descendant at path `argument`
+};
+
+/// One ordering rule; applies to elements whose tag equals `element`
+/// ("*" matches any tag). Rule "#text" applies to text nodes.
+///
+/// `then_by` appends secondary sort keys ("order employee by dept, then by
+/// ID"): each entry contributes another normalized component, joined with
+/// the same order-preserving framing the key-path encoding uses, so the
+/// composite still compares bytewise. Secondary parts must use simple
+/// sources (kTagName/kAttribute); their `element` field is ignored.
+struct OrderRule {
+  std::string element = "*";
+  KeySource source = KeySource::kAttribute;
+  std::string argument;  // attribute name, or '/'-separated descendant path
+  bool numeric = false;
+  bool descending = false;
+  std::vector<OrderRule> then_by;
+};
+
+/// An ordered list of rules; the first matching rule wins.
+class OrderSpec {
+ public:
+  OrderSpec() = default;
+
+  /// Everything ordered by attribute `name` (the common case; e.g. the
+  /// paper's Figure 1 orders region and branch by name, employee by ID).
+  static OrderSpec ByAttribute(std::string_view name, bool numeric = false);
+
+  /// Everything ordered by tag name.
+  static OrderSpec ByTagName();
+
+  OrderSpec& AddRule(OrderRule rule);
+
+  const std::vector<OrderRule>& rules() const { return rules_; }
+
+  /// First rule matching `tag`, or nullptr (document order).
+  const OrderRule* RuleFor(std::string_view tag) const;
+
+  /// True if any rule needs subtree context (kTextContent/kChildText), in
+  /// which case keys resolve at end tags (paper Section 3.2).
+  bool HasComplexRules() const;
+
+  /// Normalized key for a start tag. Empty if no rule applies, the key is
+  /// missing, or the rule is complex (resolved later by the scanner).
+  std::string KeyForStartTag(std::string_view tag,
+                             const std::vector<XmlAttribute>& attributes) const;
+
+  /// Normalized key for a text node.
+  std::string KeyForText(std::string_view text) const;
+
+  /// Normalized key for a DOM node, resolving complex rules directly
+  /// against the subtree (reference implementations).
+  std::string KeyForNode(const XmlNode& node) const;
+
+  /// Apply a rule's normalization (numeric/descending transforms) to a raw
+  /// key value.
+  static std::string NormalizeKey(const OrderRule& rule, std::string_view raw);
+
+ private:
+  std::vector<OrderRule> rules_;
+};
+
+/// Normalized-key + document-order comparison used by every sibling sort:
+/// bytewise on keys, sequence number as the tiebreak.
+inline bool KeySeqLess(std::string_view key_a, uint64_t seq_a,
+                       std::string_view key_b, uint64_t seq_b) {
+  if (key_a != key_b) return key_a < key_b;
+  return seq_a < seq_b;
+}
+
+}  // namespace nexsort

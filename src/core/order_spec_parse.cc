@@ -1,0 +1,128 @@
+#include "core/order_spec_parse.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace nexsort {
+
+namespace {
+
+Status MakeError(std::string_view what, std::string_view at) {
+  return Status::InvalidArgument("order spec: " + std::string(what) +
+                                 " near '" + std::string(at) + "'");
+}
+
+// part := source ['(' argument ')'] flag*
+Status ParsePart(std::string_view text, OrderRule* part) {
+  size_t paren = text.find('(');
+  std::string_view source = text.substr(0, paren);
+  std::string_view rest;
+  if (paren != std::string_view::npos) {
+    size_t close = text.find(')', paren);
+    if (close == std::string_view::npos) {
+      return MakeError("missing ')'", text);
+    }
+    part->argument = std::string(text.substr(paren + 1, close - paren - 1));
+    rest = text.substr(close + 1);
+  } else {
+    // No argument: flags may trail the bare source word.
+    size_t word_end = 0;
+    while (word_end < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[word_end]))) {
+      ++word_end;
+    }
+    // Split the trailing single-letter flags off the source word.
+    std::string_view word = text.substr(0, word_end);
+    for (std::string_view candidate : {"attr", "tag", "text", "child"}) {
+      if (word.substr(0, candidate.size()) == candidate) {
+        source = candidate;
+        rest = text.substr(candidate.size());
+        break;
+      }
+    }
+    if (source.empty() || (source != "attr" && source != "tag" &&
+                           source != "text" && source != "child")) {
+      source = word;
+      rest = text.substr(word_end);
+    }
+  }
+
+  if (source == "attr") {
+    part->source = KeySource::kAttribute;
+    if (part->argument.empty()) {
+      return MakeError("attr needs an attribute name", text);
+    }
+  } else if (source == "tag") {
+    part->source = KeySource::kTagName;
+  } else if (source == "text") {
+    part->source = KeySource::kTextContent;
+  } else if (source == "child") {
+    part->source = KeySource::kChildText;
+    if (part->argument.empty()) {
+      return MakeError("child needs a path", text);
+    }
+  } else {
+    return MakeError("unknown key source", text);
+  }
+
+  for (char flag : rest) {
+    switch (flag) {
+      case 'n': part->numeric = true; break;
+      case 'd': part->descending = true; break;
+      default:
+        return MakeError("unknown flag", text);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<OrderSpec> ParseOrderSpec(std::string_view text) {
+  OrderSpec spec;
+  if (text.empty()) return MakeError("empty spec", text);
+  for (std::string_view rule_text : Split(text, ';')) {
+    if (rule_text.empty()) continue;
+    size_t colon = rule_text.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return MakeError("expected 'element:part'", rule_text);
+    }
+    OrderRule rule;
+    rule.element = std::string(rule_text.substr(0, colon));
+    std::string_view parts_text = rule_text.substr(colon + 1);
+
+    bool first = true;
+    for (std::string_view part_text : Split(parts_text, ',')) {
+      if (part_text.empty()) {
+        return MakeError("empty key part", rule_text);
+      }
+      OrderRule part;
+      RETURN_IF_ERROR(ParsePart(part_text, &part));
+      bool complex_part = part.source == KeySource::kTextContent ||
+                          part.source == KeySource::kChildText;
+      if (first) {
+        part.element = rule.element;
+        rule = std::move(part);
+        first = false;
+      } else {
+        if (complex_part) {
+          return MakeError("subtree sources cannot be secondary keys",
+                           part_text);
+        }
+        rule.then_by.push_back(std::move(part));
+      }
+    }
+    if (first) return MakeError("rule has no key parts", rule_text);
+    if (!rule.then_by.empty() &&
+        (rule.source == KeySource::kTextContent ||
+         rule.source == KeySource::kChildText)) {
+      return MakeError("subtree sources cannot be composite", rule_text);
+    }
+    spec.AddRule(std::move(rule));
+  }
+  if (spec.rules().empty()) return MakeError("no rules", text);
+  return spec;
+}
+
+}  // namespace nexsort

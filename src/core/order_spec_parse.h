@@ -1,0 +1,31 @@
+// Textual OrderSpec syntax, for command-line tools and config files:
+//
+//   spec   := rule (';' rule)*
+//   rule   := element ':' part (',' part)*      -- later parts = then-by
+//   part   := source ['(' argument ')'] flag*
+//   source := 'attr' | 'tag' | 'text' | 'child'
+//   flag   := 'n' (numeric) | 'd' (descending)
+//
+// Examples:
+//   "*:attr(id)n"                         everything by numeric id
+//   "employee:attr(dept),attr(ID)n;*:attr(name)"
+//                                         employees by dept then numeric ID,
+//                                         everything else by name
+//   "person:child(info/name)"             complex: descendant text
+//   "#text:text"                          order text nodes by content
+//
+// Subtree sources (text/child) are only valid as a rule's single part.
+#pragma once
+
+#include <string_view>
+
+#include "core/order_spec.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Parse `text` into an OrderSpec; InvalidArgument with a precise message
+/// on malformed input.
+StatusOr<OrderSpec> ParseOrderSpec(std::string_view text);
+
+}  // namespace nexsort

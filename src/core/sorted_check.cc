@@ -1,0 +1,98 @@
+#include "core/sorted_check.h"
+
+#include <vector>
+
+#include "core/unit_scanner.h"
+
+namespace nexsort {
+
+namespace {
+
+struct LevelState {
+  bool has_prev = false;
+  std::string prev_key;
+  uint64_t prev_seq = 0;
+};
+
+std::string Describe(uint32_t level, uint64_t seq) {
+  return "sibling out of order at level " + std::to_string(level) +
+         ", document position " + std::to_string(seq);
+}
+
+}  // namespace
+
+StatusOr<SortednessReport> CheckSorted(ByteSource* input,
+                                       const OrderSpec& spec,
+                                       int depth_limit) {
+  UnitScanner scanner(input, &spec);
+  SortednessReport report;
+
+  // levels[l] tracks the last finalized child key of the currently open
+  // element at level l (children live at level l+1 but are compared within
+  // their parent's list, indexed here by the child level).
+  std::vector<LevelState> levels;
+  std::vector<std::string> start_keys;  // per open element
+
+  auto finalize = [&](uint32_t level, const std::string& key, uint64_t seq)
+      -> bool {
+    // Children of elements beyond the depth limit are exempt.
+    if (depth_limit != 0 &&
+        level > static_cast<uint32_t>(depth_limit) + 1) {
+      return true;
+    }
+    if (levels.size() < level + 1) levels.resize(level + 1);
+    LevelState& state = levels[level];
+    if (state.has_prev &&
+        KeySeqLess(key, seq, state.prev_key, state.prev_seq)) {
+      if (report.sorted) {
+        report.sorted = false;
+        report.violation = Describe(level, seq);
+      }
+      return false;
+    }
+    state.has_prev = true;
+    state.prev_key = key;
+    state.prev_seq = seq;
+    report.depth_checked =
+        std::max(report.depth_checked, static_cast<int>(level));
+    return true;
+  };
+
+  ScanEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, scanner.Next(&event));
+    if (!more) break;
+    const ElementUnit& unit = event.unit;
+    switch (event.kind) {
+      case ScanEvent::Kind::kStart:
+        ++report.elements;
+        start_keys.push_back(unit.key);
+        // A new open element resets its children's list state.
+        if (levels.size() < unit.level + 2) levels.resize(unit.level + 2);
+        levels[unit.level + 1] = LevelState();
+        break;
+      case ScanEvent::Kind::kText:
+        finalize(unit.level, unit.key, unit.seq);
+        break;
+      case ScanEvent::Kind::kEnd: {
+        // The element's final key: complex rules resolve on the end event,
+        // simple rules were known at the start tag.
+        std::string key =
+            !unit.key.empty() ? unit.key : std::move(start_keys.back());
+        start_keys.pop_back();
+        finalize(unit.level, key, unit.seq);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+StatusOr<SortednessReport> CheckSorted(std::string_view xml,
+                                       const OrderSpec& spec,
+                                       int depth_limit) {
+  StringByteSource source(xml);
+  return CheckSorted(&source, spec, depth_limit);
+}
+
+}  // namespace nexsort

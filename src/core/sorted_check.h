@@ -1,0 +1,36 @@
+// Streaming verification that a document is fully sorted under an
+// OrderSpec: every sibling list must be ordered by (normalized key,
+// document order). Used by tests as an independent oracle, and by the
+// xmlsort CLI's --check flag. Constant memory per document level.
+#pragma once
+
+#include <string>
+
+#include "core/order_spec.h"
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct SortednessReport {
+  bool sorted = true;
+  /// Human-readable description of the first violation (empty if sorted).
+  std::string violation;
+  uint64_t elements = 0;
+  int depth_checked = 0;  // deepest level with a multi-child list
+};
+
+/// Scan `input` and verify every sibling list is ordered under `spec`.
+/// With depth_limit > 0, lists below the limit are exempt (the
+/// depth-limited sorting contract). Complex rules are supported: keys are
+/// resolved exactly as the sorter resolves them.
+StatusOr<SortednessReport> CheckSorted(ByteSource* input,
+                                       const OrderSpec& spec,
+                                       int depth_limit = 0);
+
+/// Convenience overload for in-memory text.
+StatusOr<SortednessReport> CheckSorted(std::string_view xml,
+                                       const OrderSpec& spec,
+                                       int depth_limit = 0);
+
+}  // namespace nexsort

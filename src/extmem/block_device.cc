@@ -1,0 +1,116 @@
+#include "extmem/block_device.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace nexsort {
+
+const char* IoCategoryName(IoCategory category) {
+  switch (category) {
+    case IoCategory::kInput: return "input";
+    case IoCategory::kOutput: return "output";
+    case IoCategory::kDataStack: return "data-stack";
+    case IoCategory::kPathStack: return "path-stack";
+    case IoCategory::kOutputStack: return "output-stack";
+    case IoCategory::kRunWrite: return "run-write";
+    case IoCategory::kRunRead: return "run-read";
+    case IoCategory::kSortTemp: return "sort-temp";
+    case IoCategory::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::string IoStats::ToString(size_t block_size) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "total I/Os: %llu (reads %llu, writes %llu), "
+                "sequential %llu, data %s, modeled %.3f s\n",
+                static_cast<unsigned long long>(total()),
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(sequential_reads +
+                                                sequential_writes),
+                HumanBytes(total() * block_size).c_str(), modeled_seconds);
+  out += line;
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    if (category_reads[i] == 0 && category_writes[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-12s reads %-10llu writes %llu\n",
+                  IoCategoryName(static_cast<IoCategory>(i)),
+                  static_cast<unsigned long long>(category_reads[i]),
+                  static_cast<unsigned long long>(category_writes[i]));
+    out += line;
+  }
+  return out;
+}
+
+BlockDevice::BlockDevice(size_t block_size, DiskModel model)
+    : block_size_(block_size), model_(model) {}
+
+BlockDevice::~BlockDevice() = default;
+
+Status BlockDevice::Allocate(uint64_t count, uint64_t* first_id) {
+  RETURN_IF_ERROR(DoAllocate(count));
+  *first_id = num_blocks_;
+  num_blocks_ += count;
+  return Status::OK();
+}
+
+IoCategory BlockDevice::SetCategory(IoCategory category) {
+  IoCategory previous = category_;
+  category_ = category;
+  return previous;
+}
+
+void BlockDevice::Account(uint64_t block_id, bool is_write) {
+  bool sequential = block_id == last_accessed_ + 1;
+  last_accessed_ = block_id;
+  int cat = static_cast<int>(category_);
+  if (is_write) {
+    ++stats_.writes;
+    ++stats_.category_writes[cat];
+    if (sequential) ++stats_.sequential_writes;
+  } else {
+    ++stats_.reads;
+    ++stats_.category_reads[cat];
+    if (sequential) ++stats_.sequential_reads;
+  }
+  stats_.modeled_seconds += model_.AccessSeconds(block_size_, sequential);
+}
+
+Status BlockDevice::Read(uint64_t block_id, char* buf) {
+  if (block_id >= num_blocks_) {
+    return Status::InvalidArgument("read past end of device");
+  }
+  if (fail_ops_ > 0) {
+    if (fail_skip_ > 0) {
+      --fail_skip_;
+    } else {
+      --fail_ops_;
+      return Status::IOError("injected read failure");
+    }
+  }
+  RETURN_IF_ERROR(DoRead(block_id, buf));
+  Account(block_id, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status BlockDevice::Write(uint64_t block_id, const char* buf) {
+  if (block_id >= num_blocks_) {
+    return Status::InvalidArgument("write past end of device");
+  }
+  if (fail_ops_ > 0) {
+    if (fail_skip_ > 0) {
+      --fail_skip_;
+    } else {
+      --fail_ops_;
+      return Status::IOError("injected write failure");
+    }
+  }
+  RETURN_IF_ERROR(DoWrite(block_id, buf));
+  Account(block_id, /*is_write=*/true);
+  return Status::OK();
+}
+
+}  // namespace nexsort

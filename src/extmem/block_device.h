@@ -1,0 +1,158 @@
+// Block-device abstraction: the substrate standing in for TPIE (Arge et al.)
+// from the paper's evaluation. All external-memory I/O in the library goes
+// through a BlockDevice, which counts every block transfer (the paper's
+// primary metric), attributes it to a category matching the I/O breakdown in
+// Section 4.2 of the paper, and models elapsed disk time so benchmarks can
+// report a seconds-shaped series alongside raw I/O counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Purpose tags for I/O accounting, mirroring the cost breakdown the paper
+/// analyzes in Section 4.2 (input scan, subtree sorts, stack paging, run
+/// reads, output writing).
+enum class IoCategory {
+  kInput = 0,     // reading the source document
+  kOutput,        // writing the final sorted document
+  kDataStack,     // paging the data stack
+  kPathStack,     // paging the path stack
+  kOutputStack,   // paging the output location stack
+  kRunWrite,      // writing sorted runs
+  kRunRead,       // reading sorted runs back (output phase / merges)
+  kSortTemp,      // external merge sort scratch (run formation + merge)
+  kOther,
+};
+inline constexpr int kNumIoCategories = 9;
+
+/// Simple rotating-disk cost model: a random access pays a seek, a strictly
+/// sequential access (block id == previous id + 1 on the same device) pays
+/// transfer time only. Defaults approximate the paper's 2003-era IDE disk.
+struct DiskModel {
+  double seek_ms = 8.0;
+  double transfer_mb_per_s = 40.0;
+
+  /// Cost in seconds of one block access.
+  double AccessSeconds(size_t block_size, bool sequential) const {
+    double transfer =
+        static_cast<double>(block_size) / (transfer_mb_per_s * 1e6);
+    return sequential ? transfer : transfer + seek_ms / 1e3;
+  }
+};
+
+/// Counters maintained by every BlockDevice.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sequential_reads = 0;   // subset of `reads`
+  uint64_t sequential_writes = 0;  // subset of `writes`
+  uint64_t category_reads[kNumIoCategories] = {};
+  uint64_t category_writes[kNumIoCategories] = {};
+  double modeled_seconds = 0.0;
+
+  uint64_t total() const { return reads + writes; }
+  void Clear() { *this = IoStats(); }
+
+  /// Multi-line human-readable report of all counters.
+  std::string ToString(size_t block_size) const;
+};
+
+/// Name of an IoCategory for reports.
+const char* IoCategoryName(IoCategory category);
+
+/// Abstract array of fixed-size blocks with allocation, accounting, and a
+/// disk-time model. Subclasses provide the storage (RAM or a real file).
+///
+/// Thread-compatible, not thread-safe: the paper's algorithms are
+/// single-threaded and so is this library's I/O layer.
+class BlockDevice {
+ public:
+  BlockDevice(size_t block_size, DiskModel model);
+  virtual ~BlockDevice();
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  size_t block_size() const { return block_size_; }
+
+  /// Number of blocks allocated so far.
+  uint64_t num_blocks() const { return num_blocks_; }
+
+  /// Extend the device by `count` blocks; *first_id receives the id of the
+  /// first new block. Ids are dense and increasing.
+  Status Allocate(uint64_t count, uint64_t* first_id);
+
+  /// Read block `block_id` into `buf` (block_size bytes), with accounting.
+  Status Read(uint64_t block_id, char* buf);
+
+  /// Write block `block_id` from `buf` (block_size bytes), with accounting.
+  Status Write(uint64_t block_id, const char* buf);
+
+  /// Set the category future I/Os are attributed to; returns the previous
+  /// category so callers can restore it (see IoCategoryScope).
+  IoCategory SetCategory(IoCategory category);
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  /// Inject a failure: the next `count` I/O operations return IOError.
+  /// Used by failure-injection tests.
+  void FailNextOps(int count) {
+    fail_skip_ = 0;
+    fail_ops_ = count;
+  }
+
+  /// Let `skip` more operations succeed, then fail `count` of them.
+  void FailAfterOps(uint64_t skip, int count) {
+    fail_skip_ = skip;
+    fail_ops_ = count;
+  }
+
+ protected:
+  virtual Status DoRead(uint64_t block_id, char* buf) = 0;
+  virtual Status DoWrite(uint64_t block_id, const char* buf) = 0;
+  virtual Status DoAllocate(uint64_t count) = 0;
+
+ private:
+  void Account(uint64_t block_id, bool is_write);
+
+  const size_t block_size_;
+  const DiskModel model_;
+  uint64_t num_blocks_ = 0;
+  IoStats stats_;
+  IoCategory category_ = IoCategory::kOther;
+  uint64_t last_accessed_ = UINT64_MAX - 1;  // for sequentiality detection
+  uint64_t fail_skip_ = 0;
+  int fail_ops_ = 0;
+};
+
+/// RAII guard that attributes all I/O on `device` to `category` while alive.
+class IoCategoryScope {
+ public:
+  IoCategoryScope(BlockDevice* device, IoCategory category)
+      : device_(device), previous_(device->SetCategory(category)) {}
+  ~IoCategoryScope() { device_->SetCategory(previous_); }
+
+  IoCategoryScope(const IoCategoryScope&) = delete;
+  IoCategoryScope& operator=(const IoCategoryScope&) = delete;
+
+ private:
+  BlockDevice* device_;
+  IoCategory previous_;
+};
+
+/// In-RAM block device for tests and benchmarks (I/O counts are identical to
+/// a real disk's; only wall-clock differs, which the DiskModel supplies).
+std::unique_ptr<BlockDevice> NewMemoryBlockDevice(size_t block_size,
+                                                  DiskModel model = {});
+
+/// File-backed block device using a single backing file.
+StatusOr<std::unique_ptr<BlockDevice>> NewFileBlockDevice(
+    const std::string& path, size_t block_size, DiskModel model = {});
+
+}  // namespace nexsort

@@ -1,0 +1,113 @@
+#include "extmem/ext_stack.h"
+
+namespace nexsort {
+
+ExtByteStack::ExtByteStack(BlockDevice* device, MemoryBudget* budget,
+                           int resident_blocks, IoCategory category)
+    : device_(device),
+      category_(category),
+      block_size_(device->block_size()),
+      resident_capacity_(static_cast<uint64_t>(resident_blocks) *
+                         device->block_size()) {
+  init_status_ = reservation_.Acquire(budget, resident_blocks);
+}
+
+Status ExtByteStack::EvictOldest() {
+  IoCategoryScope scope(device_, category_);
+  uint64_t block_index = resident_start_ / block_size_;
+  while (block_index >= spine_.size()) {
+    if (!free_blocks_.empty()) {
+      spine_.push_back(free_blocks_.back());
+      free_blocks_.pop_back();
+    } else {
+      uint64_t id = 0;
+      RETURN_IF_ERROR(device_->Allocate(1, &id));
+      spine_.push_back(id);
+    }
+  }
+  RETURN_IF_ERROR(device_->Write(spine_[block_index], resident_.data()));
+  resident_.erase(0, block_size_);
+  resident_start_ += block_size_;
+  return Status::OK();
+}
+
+Status ExtByteStack::Append(std::string_view data) {
+  size_t pos = 0;
+  while (pos < data.size()) {
+    uint64_t resident_bytes = size_ - resident_start_;
+    if (resident_bytes == resident_capacity_) {
+      RETURN_IF_ERROR(EvictOldest());
+      resident_bytes -= block_size_;
+    }
+    size_t room = static_cast<size_t>(resident_capacity_ - resident_bytes);
+    size_t take = std::min(room, data.size() - pos);
+    resident_.append(data.data() + pos, take);
+    pos += take;
+    size_ += take;
+  }
+  return Status::OK();
+}
+
+Status ExtByteStack::PopRegion(uint64_t from, std::string* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(size_ > from ? size_ - from : 0));
+  StringByteSink sink(out);
+  return PopRegionTo(from, &sink);
+}
+
+Status ExtByteStack::PopRegionTo(uint64_t from, ByteSink* out) {
+  if (from > size_) {
+    return Status::InvalidArgument("PopRegion past top of stack");
+  }
+  // Bytes below the resident window live in full blocks on the device. The
+  // first block read is the boundary block containing `from`; its prefix
+  // [block start, from) becomes the new resident tail after truncation, so
+  // keep it rather than re-reading.
+  uint64_t cursor = from;
+  std::string buf(block_size_, '\0');
+  std::string boundary_prefix;
+  {
+    IoCategoryScope scope(device_, category_);
+    while (cursor < resident_start_) {
+      uint64_t block_index = cursor / block_size_;
+      RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data()));
+      uint64_t block_start = block_index * block_size_;
+      uint64_t offset = cursor - block_start;
+      if (cursor == from && offset > 0) {
+        boundary_prefix.assign(buf.data(), static_cast<size_t>(offset));
+      }
+      uint64_t take = std::min(block_size_ - offset, resident_start_ - cursor);
+      RETURN_IF_ERROR(out->Append(
+          std::string_view(buf.data() + offset, static_cast<size_t>(take))));
+      cursor += take;
+    }
+  }
+  if (cursor < size_) {
+    RETURN_IF_ERROR(out->Append(
+        std::string_view(resident_.data() + (cursor - resident_start_),
+                         static_cast<size_t>(size_ - cursor))));
+  }
+
+  // Truncate to `from`. The block containing `from` becomes the (partial)
+  // resident tail.
+  uint64_t new_resident_start = from / block_size_ * block_size_;
+  if (new_resident_start < resident_start_) {
+    resident_ = std::move(boundary_prefix);
+  } else {
+    resident_.resize(static_cast<size_t>(from - resident_start_));
+    new_resident_start = resident_start_;
+  }
+  resident_start_ = new_resident_start;
+  size_ = from;
+
+  // Recycle device blocks wholly above the new top.
+  uint64_t keep_blocks = (from + block_size_ - 1) / block_size_;
+  // Only blocks that were actually evicted are on the spine.
+  while (spine_.size() > keep_blocks) {
+    free_blocks_.push_back(spine_.back());
+    spine_.pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace nexsort

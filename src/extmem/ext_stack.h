@@ -1,0 +1,183 @@
+// External-memory stacks, the bookkeeping structures of Figure 4 in the
+// paper. Both follow the paper's paging rules (Section 3.1): they are backed
+// by a BlockDevice, keep only a fixed number of tail blocks resident in
+// internal memory, and use a *no-prefetch* policy — a block is paged in only
+// when a pop needs it. The worst-case paging analysis of Lemmas 4.10 and
+// 4.11 assumes 1 resident block for the data and output-location stacks and
+// 2 for the path stack; callers pass those counts.
+//
+// ExtStack<T>   — LIFO stack of fixed-size trivially-copyable records
+//                 (path stack, output location stack).
+// ExtByteStack  — byte stack supporting region pops (the data stack: NEXSORT
+//                 never pops single units from it, it pops whole subtrees as
+//                 a contiguous byte region and truncates).
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+/// External stack of fixed-size records.
+template <typename T>
+class ExtStack {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ExtStack records are raw-copied to disk blocks");
+
+ public:
+  /// The stack keeps at most `resident_blocks` tail blocks in memory,
+  /// reserved from `budget` for the stack's lifetime.
+  ExtStack(BlockDevice* device, MemoryBudget* budget, int resident_blocks,
+           IoCategory category)
+      : device_(device),
+        category_(category),
+        records_per_block_(device->block_size() / sizeof(T)),
+        resident_blocks_(resident_blocks) {
+    assert(records_per_block_ > 0);
+    init_status_ = reservation_.Acquire(budget, resident_blocks);
+  }
+
+  /// Status of the construction-time budget reservation; check before use.
+  const Status& init_status() const { return init_status_; }
+
+  bool empty() const { return size_ == 0; }
+  uint64_t size() const { return size_; }
+
+  Status Push(const T& record) {
+    uint64_t resident_count = size_ - resident_start_;
+    if (resident_count ==
+        static_cast<uint64_t>(resident_blocks_) * records_per_block_) {
+      RETURN_IF_ERROR(EvictOldest());
+    }
+    resident_.push_back(record);
+    ++size_;
+    return Status::OK();
+  }
+
+  Status Pop(T* record) {
+    if (size_ == 0) return Status::InvalidArgument("pop from empty stack");
+    if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
+    *record = resident_.back();
+    resident_.pop_back();
+    --size_;
+    return Status::OK();
+  }
+
+  Status Top(T* record) {
+    if (size_ == 0) return Status::InvalidArgument("top of empty stack");
+    if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
+    *record = resident_.back();
+    return Status::OK();
+  }
+
+  /// Overwrite the top record in place (used to update the bookkeeping of
+  /// the innermost open element after a fragmentation step).
+  Status ReplaceTop(const T& record) {
+    if (size_ == 0) return Status::InvalidArgument("replace on empty stack");
+    if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
+    resident_.back() = record;
+    return Status::OK();
+  }
+
+ private:
+  // Write the oldest resident block out and drop it from memory.
+  Status EvictOldest() {
+    IoCategoryScope scope(device_, category_);
+    uint64_t block_index = resident_start_ / records_per_block_;
+    if (block_index >= spine_.size()) {
+      assert(block_index == spine_.size());
+      uint64_t id = 0;
+      RETURN_IF_ERROR(device_->Allocate(1, &id));
+      spine_.push_back(id);
+    }
+    std::string buf(device_->block_size(), '\0');
+    std::memcpy(buf.data(), resident_.data(),
+                records_per_block_ * sizeof(T));
+    RETURN_IF_ERROR(device_->Write(spine_[block_index], buf.data()));
+    resident_.erase(resident_.begin(),
+                    resident_.begin() + records_per_block_);
+    resident_start_ += records_per_block_;
+    return Status::OK();
+  }
+
+  // Page the block just below the resident window back in (no-prefetch:
+  // called only when a pop/top needs it).
+  Status PageInTail() {
+    assert(resident_start_ > 0 && resident_start_ % records_per_block_ == 0);
+    IoCategoryScope scope(device_, category_);
+    uint64_t block_index = resident_start_ / records_per_block_ - 1;
+    std::string buf(device_->block_size(), '\0');
+    RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data()));
+    resident_.resize(records_per_block_);
+    std::memcpy(resident_.data(), buf.data(),
+                records_per_block_ * sizeof(T));
+    resident_start_ -= records_per_block_;
+    return Status::OK();
+  }
+
+  BlockDevice* device_;
+  const IoCategory category_;
+  const uint64_t records_per_block_;
+  const int resident_blocks_;
+  BudgetReservation reservation_;
+  Status init_status_;
+
+  uint64_t size_ = 0;            // total records on the stack
+  uint64_t resident_start_ = 0;  // index of first resident record
+  std::vector<T> resident_;      // records [resident_start_, size_)
+  std::vector<uint64_t> spine_;  // device block of each full stack block
+};
+
+/// Byte stack with region pops: the data stack of Figure 4.
+class ExtByteStack {
+ public:
+  ExtByteStack(BlockDevice* device, MemoryBudget* budget, int resident_blocks,
+               IoCategory category);
+
+  const Status& init_status() const { return init_status_; }
+
+  /// Current top-of-stack byte offset; used as the element "location"
+  /// recorded on the path stack.
+  uint64_t size() const { return size_; }
+
+  /// Append bytes at the top of the stack.
+  Status Append(std::string_view data);
+
+  /// Read bytes [from, size()) into *out and truncate the stack to `from`.
+  /// This is the "pop the subtree starting from location l" step (Figure 4
+  /// line 10); I/Os incurred reading non-resident blocks are the data-stack
+  /// paging cost analyzed in Lemma 4.10.
+  Status PopRegion(uint64_t from, std::string* out);
+
+  /// Streaming variant for regions larger than internal memory: the bytes
+  /// go to `sink` (typically a temp-run writer) block by block instead of
+  /// into a string.
+  Status PopRegionTo(uint64_t from, ByteSink* sink);
+
+ private:
+  Status EvictOldest();
+
+  BlockDevice* device_;
+  const IoCategory category_;
+  const size_t block_size_;
+  const uint64_t resident_capacity_;  // bytes
+  BudgetReservation reservation_;
+  Status init_status_;
+
+  uint64_t size_ = 0;            // total bytes
+  uint64_t resident_start_ = 0;  // first resident byte (block aligned)
+  std::string resident_;         // bytes [resident_start_, size_)
+  std::vector<uint64_t> spine_;  // device block of each full stack block
+  std::vector<uint64_t> free_blocks_;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,28 @@
+#include "extmem/memory_budget.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nexsort {
+
+MemoryBudget::MemoryBudget(uint64_t total_blocks)
+    : total_blocks_(total_blocks) {}
+
+Status MemoryBudget::Acquire(uint64_t count) {
+  if (used_blocks_ + count > total_blocks_) {
+    return Status::OutOfMemory(
+        "memory budget exhausted: want " + std::to_string(count) +
+        " blocks, " + std::to_string(available_blocks()) + " of " +
+        std::to_string(total_blocks_) + " available");
+  }
+  used_blocks_ += count;
+  peak_blocks_ = std::max(peak_blocks_, used_blocks_);
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t count) {
+  assert(count <= used_blocks_);
+  used_blocks_ -= count;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,82 @@
+// MemoryBudget caps the internal memory available to an algorithm at M
+// blocks, reproducing TPIE's adjustable application-memory limit that the
+// paper's experiments rely on ("We use TPIE to set the application memory to
+// be smaller than this amount in all experiments"). Every component that
+// holds block-sized buffers resident (stacks, sort buffers, merge inputs)
+// acquires them from the budget and releases them when done.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Tracks block-granular memory use against a hard cap of M blocks.
+class MemoryBudget {
+ public:
+  /// `total_blocks` is M in the paper's notation.
+  explicit MemoryBudget(uint64_t total_blocks);
+
+  /// Reserve `count` blocks; OutOfMemory if that would exceed the cap.
+  Status Acquire(uint64_t count);
+
+  /// Return `count` previously acquired blocks.
+  void Release(uint64_t count);
+
+  uint64_t total_blocks() const { return total_blocks_; }
+  uint64_t used_blocks() const { return used_blocks_; }
+  uint64_t available_blocks() const { return total_blocks_ - used_blocks_; }
+
+  /// High-water mark of blocks in use, for tests asserting an algorithm
+  /// stayed inside its budget.
+  uint64_t peak_blocks() const { return peak_blocks_; }
+
+ private:
+  const uint64_t total_blocks_;
+  uint64_t used_blocks_ = 0;
+  uint64_t peak_blocks_ = 0;
+};
+
+/// RAII reservation of budget blocks.
+class BudgetReservation {
+ public:
+  BudgetReservation() = default;
+  ~BudgetReservation() { Reset(); }
+
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+  BudgetReservation(BudgetReservation&& other) noexcept { *this = std::move(other); }
+  BudgetReservation& operator=(BudgetReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      count_ = other.count_;
+      other.budget_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  Status Acquire(MemoryBudget* budget, uint64_t count) {
+    Reset();
+    RETURN_IF_ERROR(budget->Acquire(count));
+    budget_ = budget;
+    count_ = count;
+    return Status::OK();
+  }
+
+  void Reset() {
+    if (budget_ != nullptr) budget_->Release(count_);
+    budget_ = nullptr;
+    count_ = 0;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t count_ = 0;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,49 @@
+#include <cstring>
+#include <vector>
+
+#include "extmem/block_device.h"
+
+namespace nexsort {
+
+namespace {
+
+/// Block device backed by heap memory. Blocks are allocated lazily so large
+/// sparse devices are cheap in tests.
+class MemoryBlockDevice final : public BlockDevice {
+ public:
+  MemoryBlockDevice(size_t block_size, DiskModel model)
+      : BlockDevice(block_size, model) {}
+
+ protected:
+  Status DoRead(uint64_t block_id, char* buf) override {
+    const std::string& block = blocks_[block_id];
+    if (block.empty()) {
+      std::memset(buf, 0, block_size());
+    } else {
+      std::memcpy(buf, block.data(), block_size());
+    }
+    return Status::OK();
+  }
+
+  Status DoWrite(uint64_t block_id, const char* buf) override {
+    blocks_[block_id].assign(buf, block_size());
+    return Status::OK();
+  }
+
+  Status DoAllocate(uint64_t count) override {
+    blocks_.resize(blocks_.size() + count);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> blocks_;
+};
+
+}  // namespace
+
+std::unique_ptr<BlockDevice> NewMemoryBlockDevice(size_t block_size,
+                                                  DiskModel model) {
+  return std::make_unique<MemoryBlockDevice>(block_size, model);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,139 @@
+#include "extmem/run_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nexsort {
+
+RunStore::RunStore(BlockDevice* device, MemoryBudget* budget)
+    : device_(device), budget_(budget) {}
+
+Status RunStore::AllocateBlock(uint64_t* id) {
+  if (!free_blocks_.empty()) {
+    *id = free_blocks_.back();
+    free_blocks_.pop_back();
+    return Status::OK();
+  }
+  return device_->Allocate(1, id);
+}
+
+const std::vector<uint64_t>* RunStore::BlocksOf(RunHandle handle) const {
+  if (!handle.valid() || handle.id >= run_blocks_.size()) return nullptr;
+  return &run_blocks_[handle.id];
+}
+
+RunWriter RunStore::NewRun(IoCategory category) {
+  return RunWriter(this, category);
+}
+
+RunReader RunStore::OpenRun(RunHandle handle, uint64_t offset,
+                            IoCategory category) {
+  return RunReader(this, handle, offset, category);
+}
+
+Status RunStore::FreeRun(RunHandle handle) {
+  if (!handle.valid() || handle.id >= run_blocks_.size()) {
+    return Status::InvalidArgument("invalid run handle");
+  }
+  std::vector<uint64_t>& blocks = run_blocks_[handle.id];
+  live_blocks_ -= blocks.size();
+  free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
+  blocks.clear();
+  run_bytes_[handle.id] = 0;
+  return Status::OK();
+}
+
+RunWriter::RunWriter(RunStore* store, IoCategory category)
+    : store_(store), category_(category) {
+  init_status_ = reservation_.Acquire(store->budget_, 1);
+  buffer_.reserve(store->device_->block_size());
+}
+
+Status RunWriter::Append(std::string_view data) {
+  if (finished_) return Status::InvalidArgument("run writer finished");
+  const size_t block_size = store_->device_->block_size();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t take = std::min(block_size - buffer_.size(), data.size() - pos);
+    buffer_.append(data.data() + pos, take);
+    pos += take;
+    byte_size_ += take;
+    if (buffer_.size() == block_size) {
+      IoCategoryScope scope(store_->device_, category_);
+      uint64_t id = 0;
+      RETURN_IF_ERROR(store_->AllocateBlock(&id));
+      RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data()));
+      blocks_.push_back(id);
+      buffer_.clear();
+    }
+  }
+  return Status::OK();
+}
+
+Status RunWriter::Finish(RunHandle* handle) {
+  if (finished_) return Status::InvalidArgument("run writer finished");
+  finished_ = true;
+  if (!buffer_.empty()) {
+    IoCategoryScope scope(store_->device_, category_);
+    buffer_.resize(store_->device_->block_size(), '\0');
+    uint64_t id = 0;
+    RETURN_IF_ERROR(store_->AllocateBlock(&id));
+    RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data()));
+    blocks_.push_back(id);
+    buffer_.clear();
+  }
+  handle->id = static_cast<uint32_t>(store_->run_blocks_.size());
+  handle->byte_size = byte_size_;
+  store_->live_blocks_ += blocks_.size();
+  store_->run_blocks_.push_back(std::move(blocks_));
+  store_->run_bytes_.push_back(byte_size_);
+  reservation_.Reset();
+  return Status::OK();
+}
+
+RunReader::RunReader(RunStore* store, RunHandle handle, uint64_t offset,
+                     IoCategory category)
+    : store_(store), handle_(handle), category_(category), position_(offset) {
+  init_status_ = reservation_.Acquire(store->budget_, 1);
+  if (init_status_.ok()) {
+    if (store_->BlocksOf(handle) == nullptr) {
+      init_status_ = Status::InvalidArgument("invalid run handle");
+    } else if (offset > handle.byte_size) {
+      init_status_ = Status::InvalidArgument("run offset past end");
+    }
+  }
+}
+
+Status RunReader::Read(char* buf, size_t n, size_t* out) {
+  const size_t block_size = store_->device_->block_size();
+  const std::vector<uint64_t>& blocks = *store_->BlocksOf(handle_);
+  size_t done = 0;
+  while (done < n && position_ < handle_.byte_size) {
+    uint64_t block_index = position_ / block_size;
+    if (block_index != buffer_index_) {
+      IoCategoryScope scope(store_->device_, category_);
+      buffer_.resize(block_size);
+      RETURN_IF_ERROR(
+          store_->device_->Read(blocks[block_index], buffer_.data()));
+      buffer_index_ = block_index;
+    }
+    uint64_t in_block = position_ - block_index * block_size;
+    uint64_t take = std::min<uint64_t>(
+        {n - done, block_size - in_block, handle_.byte_size - position_});
+    std::memcpy(buf + done, buffer_.data() + in_block,
+                static_cast<size_t>(take));
+    done += static_cast<size_t>(take);
+    position_ += take;
+  }
+  *out = done;
+  return Status::OK();
+}
+
+Status RunReader::ReadExact(char* buf, size_t n) {
+  size_t got = 0;
+  RETURN_IF_ERROR(Read(buf, n, &got));
+  if (got != n) return Status::Corruption("short run read");
+  return Status::OK();
+}
+
+}  // namespace nexsort

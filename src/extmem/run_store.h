@@ -1,0 +1,128 @@
+// RunStore manages sorted runs: variable-length byte sequences on a
+// BlockDevice, each identified by a small RunHandle that NEXSORT embeds in
+// collapsed elements (Figure 2/3 of the paper: a sorted subtree is replaced
+// by its root plus "a pointer to the disk location of the sorted run").
+//
+// Each run's block index is kept as in-memory substrate metadata — the
+// analogue of the file-system block mapping TPIE streams got from the OS for
+// free. Block payloads themselves always live on the device, and every
+// access is counted. Freed runs return their blocks to a free list so
+// multi-pass external sorts have bounded device footprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
+
+namespace nexsort {
+
+/// Identifier of a run within its RunStore. Trivially copyable so it can be
+/// serialized into element units on the data stack.
+struct RunHandle {
+  uint32_t id = UINT32_MAX;
+  uint64_t byte_size = 0;
+
+  bool valid() const { return id != UINT32_MAX; }
+};
+
+class RunWriter;
+class RunReader;
+
+/// Owner of all runs on one device.
+class RunStore {
+ public:
+  RunStore(BlockDevice* device, MemoryBudget* budget);
+
+  /// Begin a new run. Only the returned writer may add blocks to it.
+  RunWriter NewRun(IoCategory category = IoCategory::kRunWrite);
+
+  /// Open `handle` for sequential reading starting at byte `offset`.
+  RunReader OpenRun(RunHandle handle, uint64_t offset = 0,
+                    IoCategory category = IoCategory::kRunRead);
+
+  /// Recycle a finished run's blocks.
+  Status FreeRun(RunHandle handle);
+
+  /// Total blocks currently owned by live runs.
+  uint64_t live_blocks() const { return live_blocks_; }
+
+  BlockDevice* device() const { return device_; }
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  friend class RunWriter;
+  friend class RunReader;
+
+  Status AllocateBlock(uint64_t* id);
+  const std::vector<uint64_t>* BlocksOf(RunHandle handle) const;
+
+  BlockDevice* device_;
+  MemoryBudget* budget_;
+  std::vector<std::vector<uint64_t>> run_blocks_;  // index per run id
+  std::vector<uint64_t> run_bytes_;
+  std::vector<uint64_t> free_blocks_;
+  uint64_t live_blocks_ = 0;
+};
+
+/// Sequential writer for one run; holds one block buffer from the budget.
+class RunWriter final : public ByteSink {
+ public:
+  const Status& init_status() const { return init_status_; }
+
+  Status Append(std::string_view data) override;
+
+  /// Flush and obtain the handle. The writer is unusable afterwards.
+  Status Finish(RunHandle* handle);
+
+  uint64_t bytes_written() const { return byte_size_; }
+
+ private:
+  friend class RunStore;
+  RunWriter(RunStore* store, IoCategory category);
+
+  RunStore* store_;
+  IoCategory category_;
+  BudgetReservation reservation_;
+  Status init_status_;
+  std::vector<uint64_t> blocks_;
+  uint64_t byte_size_ = 0;
+  std::string buffer_;
+  bool finished_ = false;
+};
+
+/// Sequential, seek-once reader over one run; holds one block buffer.
+/// Re-fetching a block after reopening at an offset is counted again,
+/// matching the 1 + p(b) access accounting of Lemma 4.12.
+class RunReader final : public ByteSource {
+ public:
+  const Status& init_status() const { return init_status_; }
+
+  Status Read(char* buf, size_t n, size_t* out) override;
+
+  /// Read exactly n bytes or fail with Corruption.
+  Status ReadExact(char* buf, size_t n);
+
+  uint64_t offset() const { return position_; }
+  uint64_t bytes_remaining() const { return handle_.byte_size - position_; }
+
+ private:
+  friend class RunStore;
+  RunReader(RunStore* store, RunHandle handle, uint64_t offset,
+            IoCategory category);
+
+  RunStore* store_;
+  RunHandle handle_;
+  IoCategory category_;
+  BudgetReservation reservation_;
+  Status init_status_;
+  uint64_t position_ = 0;
+  std::string buffer_;
+  uint64_t buffer_index_ = UINT64_MAX;  // run-block index buffered
+};
+
+}  // namespace nexsort

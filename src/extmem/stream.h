@@ -1,0 +1,130 @@
+// Buffered sequential byte streams over a BlockDevice, used to store and
+// scan XML documents in external memory. A document occupies a ByteRange
+// (a contiguous block extent); reading it through BlockStreamReader counts
+// one I/O per block, which is the paper's "reading the input" cost O(N/B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+
+namespace nexsort {
+
+/// Contiguous extent of bytes on a device, starting at a block boundary.
+struct ByteRange {
+  uint64_t first_block = 0;
+  uint64_t byte_size = 0;
+};
+
+/// Minimal pull-based byte source; implemented by stream/run readers and by
+/// in-memory strings so parsers are storage-agnostic.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Read up to `n` bytes into `buf`; *out receives the count (0 at EOF).
+  virtual Status Read(char* buf, size_t n, size_t* out) = 0;
+};
+
+/// ByteSource over an in-memory string (no I/O accounting).
+class StringByteSource final : public ByteSource {
+ public:
+  explicit StringByteSource(std::string_view data) : data_(data) {}
+
+  Status Read(char* buf, size_t n, size_t* out) override;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Minimal push-based byte sink; implemented by stream/run writers and by
+/// in-memory strings so serializers are storage-agnostic.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status Append(std::string_view data) = 0;
+};
+
+/// ByteSink appending to an in-memory string.
+class StringByteSink final : public ByteSink {
+ public:
+  explicit StringByteSink(std::string* out) : out_(out) {}
+
+  Status Append(std::string_view data) override {
+    out_->append(data);
+    return Status::OK();
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Appends bytes to a fresh extent on a device; one block buffered.
+class BlockStreamWriter final : public ByteSink {
+ public:
+  BlockStreamWriter(BlockDevice* device, MemoryBudget* budget,
+                    IoCategory category);
+
+  const Status& init_status() const { return init_status_; }
+
+  Status Append(std::string_view data) override;
+
+  /// Flush the final partial block and return the written extent.
+  Status Finish(ByteRange* range);
+
+  uint64_t bytes_written() const { return byte_size_; }
+
+ private:
+  BlockDevice* device_;
+  const IoCategory category_;
+  BudgetReservation reservation_;
+  Status init_status_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  uint64_t first_block_ = 0;
+  uint64_t next_block_ = 0;
+  uint64_t byte_size_ = 0;
+  std::string buffer_;
+};
+
+/// Reads a ByteRange sequentially; one block buffered.
+class BlockStreamReader final : public ByteSource {
+ public:
+  BlockStreamReader(BlockDevice* device, MemoryBudget* budget, ByteRange range,
+                    IoCategory category);
+
+  const Status& init_status() const { return init_status_; }
+
+  Status Read(char* buf, size_t n, size_t* out) override;
+
+  uint64_t bytes_remaining() const { return range_.byte_size - position_; }
+
+ private:
+  BlockDevice* device_;
+  const IoCategory category_;
+  const ByteRange range_;
+  BudgetReservation reservation_;
+  Status init_status_;
+
+  uint64_t position_ = 0;   // bytes consumed
+  std::string buffer_;      // current block contents
+  uint64_t buffer_start_ = UINT64_MAX;  // byte offset buffer_ begins at
+};
+
+/// Convenience: copy a whole string into a fresh extent on `device`.
+StatusOr<ByteRange> StoreBytes(BlockDevice* device, MemoryBudget* budget,
+                               std::string_view data,
+                               IoCategory category = IoCategory::kOther);
+
+/// Convenience: read a whole extent back into a string.
+StatusOr<std::string> LoadBytes(BlockDevice* device, MemoryBudget* budget,
+                                ByteRange range,
+                                IoCategory category = IoCategory::kOther);
+
+}  // namespace nexsort

@@ -1,0 +1,29 @@
+#include "merge/batch_update.h"
+
+namespace nexsort {
+
+Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
+                         BlockDevice* device, MemoryBudget* budget,
+                         ByteSink* output, const BatchUpdateOptions& options,
+                         MergeStats* stats) {
+  // Step 1: sort the update batch by the base document's criterion.
+  std::string sorted_updates;
+  {
+    NexSortOptions sort_options;
+    sort_options.order = options.order;
+    NexSorter sorter(device, budget, std::move(sort_options));
+    StringByteSource source(updates);
+    StringByteSink sink(&sorted_updates);
+    RETURN_IF_ERROR(sorter.Sort(&source, &sink));
+  }
+
+  // Step 2: one-pass merge with update semantics.
+  MergeOptions merge_options;
+  merge_options.order = options.order;
+  merge_options.apply_update_ops = true;
+  merge_options.op_attribute = options.op_attribute;
+  StringByteSource updates_source(sorted_updates);
+  return StructuralMerge(base, &updates_source, output, merge_options, stats);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,35 @@
+// Batch updates to a sorted XML document, the paper's second application of
+// sorting (Section 1): "we first sort the batch of updates according to the
+// same ordering criterion as the existing document. Then, we can process
+// the batched updates in a way similar to merging them with the existing
+// document. The result document remains sorted."
+//
+// The updates document uses the same shape as the base; each element may
+// carry op="merge" (default: union attributes, recurse), op="replace"
+// (substitute the whole subtree), or op="delete" (remove the matched
+// subtree). Unmatched update elements are inserted in sorted position.
+#pragma once
+
+#include "core/nexsort.h"
+#include "merge/structural_merge.h"
+
+namespace nexsort {
+
+struct BatchUpdateOptions {
+  /// Criterion the base document is sorted by; the updates are sorted with
+  /// it automatically before applying.
+  OrderSpec order;
+
+  /// Name of the operation attribute on update elements.
+  std::string op_attribute = "op";
+};
+
+/// Apply `updates` (unsorted XML text) to the already-sorted `base`.
+/// The updates batch is NEXSORT-sorted on `device` first (using `budget`),
+/// then merged into the base in one pass. The result stays fully sorted.
+Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
+                         BlockDevice* device, MemoryBudget* budget,
+                         ByteSink* output, const BatchUpdateOptions& options,
+                         MergeStats* stats = nullptr);
+
+}  // namespace nexsort

@@ -1,0 +1,195 @@
+#include "merge/nested_loop_merge.h"
+
+#include <string>
+#include <vector>
+
+#include "xml/sax_parser.h"
+#include "xml/writer.h"
+
+namespace nexsort {
+
+namespace {
+
+struct PathStep {
+  std::string tag;
+  std::string key;
+};
+
+// Scan the right document from the top, descending through elements whose
+// (tag, key) match `path` step by step; when the full path matches, copy
+// the matched element's attributes and children out. Elements that do not
+// match are parsed past (which is precisely the wasted I/O of the naive
+// approach). Returns true if found.
+class RightProbe {
+ public:
+  RightProbe(BlockDevice* device, MemoryBudget* budget, ByteRange range,
+             const std::vector<PathStep>& path, const OrderSpec* spec)
+      : reader_(device, budget, range, IoCategory::kInput),
+        path_(path),
+        spec_(spec) {}
+
+  const Status& init_status() const { return reader_.init_status(); }
+
+  StatusOr<bool> Find(std::vector<XmlAttribute>* attributes,
+                      std::vector<XmlEvent>* content,
+                      uint64_t* bytes_scanned) {
+    SaxParser parser(&reader_);
+    XmlEvent event;
+    size_t matched = 0;  // how many path steps the current position matches
+    int depth = 0;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+      if (!more) break;
+      switch (event.type) {
+        case XmlEventType::kStartElement: {
+          ++depth;
+          if (matched == static_cast<size_t>(depth) - 1 &&
+              matched < path_.size() && event.name == path_[matched].tag &&
+              KeyOf(event) == path_[matched].key) {
+            ++matched;
+            if (matched == path_.size()) {
+              *attributes = event.attributes;
+              RETURN_IF_ERROR(CaptureContent(&parser, content));
+              *bytes_scanned = parser.bytes_consumed();
+              return true;
+            }
+          }
+          break;
+        }
+        case XmlEventType::kEndElement:
+          if (matched == static_cast<size_t>(depth)) --matched;
+          --depth;
+          break;
+        case XmlEventType::kText:
+          break;
+      }
+    }
+    *bytes_scanned = parser.bytes_consumed();
+    return false;
+  }
+
+ private:
+  // Identity comparison uses normalized keys so numeric specs match.
+  std::string KeyOf(const XmlEvent& event) const {
+    return spec_->KeyForStartTag(event.name, event.attributes);
+  }
+
+  BlockStreamReader reader_;
+  const std::vector<PathStep>& path_;
+  const OrderSpec* spec_;
+
+  Status CaptureContent(SaxParser* parser, std::vector<XmlEvent>* content) {
+    int depth = 1;
+    XmlEvent event;
+    while (depth > 0) {
+      ASSIGN_OR_RETURN(bool more, parser->Next(&event));
+      if (!more) return Status::ParseError("truncated right document");
+      if (event.type == XmlEventType::kStartElement) ++depth;
+      if (event.type == XmlEventType::kEndElement) --depth;
+      if (depth > 0) content->push_back(event);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status NestedLoopMerge(ByteSource* left, BlockDevice* right_device,
+                       MemoryBudget* budget, ByteRange right_range,
+                       ByteSink* output,
+                       const NestedLoopMergeOptions& options,
+                       NestedLoopMergeStats* stats) {
+  NestedLoopMergeStats local;
+  if (stats == nullptr) stats = &local;
+  if (options.order.HasComplexRules()) {
+    return Status::NotSupported("nested-loop merge needs start-tag keys");
+  }
+
+  SaxParser parser(left);
+  XmlWriter writer(output);
+  std::vector<PathStep> path;
+  XmlEvent event;
+  int depth = 0;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+    if (!more) break;
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        ++depth;
+        path.push_back(
+            {event.name,
+             options.order.KeyForStartTag(event.name, event.attributes)});
+        if (depth == options.match_level) {
+          // Probe the right document for this element.
+          ++stats->probes;
+          std::vector<XmlAttribute> right_attrs;
+          std::vector<XmlEvent> right_content;
+          uint64_t scanned = 0;
+          RightProbe probe(right_device, budget, right_range, path,
+                           &options.order);
+          RETURN_IF_ERROR(probe.init_status());
+          ASSIGN_OR_RETURN(bool found,
+                           probe.Find(&right_attrs, &right_content, &scanned));
+          stats->right_bytes_scanned += scanned;
+
+          std::vector<XmlAttribute> merged = event.attributes;
+          if (found) {
+            ++stats->matches;
+            for (const XmlAttribute& attr : right_attrs) {
+              bool present = false;
+              for (const XmlAttribute& existing : merged) {
+                if (existing.name == attr.name) {
+                  present = true;
+                  break;
+                }
+              }
+              if (!present) merged.push_back(attr);
+            }
+          }
+          RETURN_IF_ERROR(writer.StartElement(event.name, merged));
+          // Copy the left element's own subtree...
+          int sub_depth = 1;
+          while (sub_depth > 0) {
+            ASSIGN_OR_RETURN(bool inner, parser.Next(&event));
+            if (!inner) return Status::ParseError("truncated left document");
+            switch (event.type) {
+              case XmlEventType::kStartElement:
+                ++sub_depth;
+                RETURN_IF_ERROR(
+                    writer.StartElement(event.name, event.attributes));
+                break;
+              case XmlEventType::kEndElement:
+                --sub_depth;
+                if (sub_depth > 0) RETURN_IF_ERROR(writer.EndElement());
+                break;
+              case XmlEventType::kText:
+                RETURN_IF_ERROR(writer.Text(event.text));
+                break;
+            }
+          }
+          // ...then the matched right content, then close.
+          for (const XmlEvent& right_event : right_content) {
+            RETURN_IF_ERROR(writer.Event(right_event));
+          }
+          RETURN_IF_ERROR(writer.EndElement());
+          path.pop_back();
+          --depth;
+          break;
+        }
+        RETURN_IF_ERROR(writer.StartElement(event.name, event.attributes));
+        break;
+      }
+      case XmlEventType::kEndElement:
+        path.pop_back();
+        --depth;
+        RETURN_IF_ERROR(writer.EndElement());
+        break;
+      case XmlEventType::kText:
+        RETURN_IF_ERROR(writer.Text(event.text));
+        break;
+    }
+  }
+  return writer.Finish();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,361 @@
+#include "merge/structural_diff.h"
+
+#include <memory>
+#include <vector>
+
+#include "merge/event_stream.h"
+#include "xml/writer.h"
+
+namespace nexsort {
+
+namespace {
+
+using merge_internal::ChildId;
+using merge_internal::EventStream;
+
+// Abstract event source so the structural path can splice a buffered
+// prefix (read while probing a subtree's size) back in front of the live
+// stream.
+class Src {
+ public:
+  virtual ~Src() = default;
+  virtual bool done() const = 0;
+  virtual const XmlEvent& current() const = 0;
+  virtual Status Advance() = 0;
+};
+
+class LiveSrc final : public Src {
+ public:
+  explicit LiveSrc(EventStream* stream) : stream_(stream) {}
+  bool done() const override { return stream_->done(); }
+  const XmlEvent& current() const override { return stream_->current(); }
+  Status Advance() override { return stream_->Advance(); }
+
+ private:
+  EventStream* stream_;
+};
+
+// Puts a buffered event prefix back in front of any source — including
+// another SpliceSrc, so nested oversized subtrees compose.
+class SpliceSrc final : public Src {
+ public:
+  SpliceSrc(std::vector<XmlEvent> prefix, Src* tail)
+      : prefix_(std::move(prefix)), tail_(tail) {}
+  bool done() const override {
+    return index_ >= prefix_.size() && tail_->done();
+  }
+  const XmlEvent& current() const override {
+    return index_ < prefix_.size() ? prefix_[index_] : tail_->current();
+  }
+  Status Advance() override {
+    if (index_ < prefix_.size()) {
+      ++index_;
+      return Status::OK();
+    }
+    return tail_->Advance();
+  }
+
+ private:
+  std::vector<XmlEvent> prefix_;
+  size_t index_ = 0;
+  Src* tail_;
+};
+
+merge_internal::ItemType Classify(const Src& src) {
+  if (src.done()) return merge_internal::ItemType::kEnd;
+  switch (src.current().type) {
+    case XmlEventType::kStartElement:
+      return merge_internal::ItemType::kElement;
+    case XmlEventType::kText:
+      return merge_internal::ItemType::kText;
+    case XmlEventType::kEndElement:
+      return merge_internal::ItemType::kEnd;
+  }
+  return merge_internal::ItemType::kEnd;
+}
+
+size_t EventBytes(const XmlEvent& event) {
+  size_t bytes = event.name.size() + event.text.size() + 4;
+  for (const XmlAttribute& attr : event.attributes) {
+    bytes += attr.name.size() + attr.value.size() + 4;
+  }
+  return bytes;
+}
+
+bool EventsEqual(const XmlEvent& a, const XmlEvent& b) {
+  return a.type == b.type && a.name == b.name && a.text == b.text &&
+         a.attributes == b.attributes;
+}
+
+class Differ {
+ public:
+  Differ(EventStream* base, EventStream* target, ByteSink* output,
+         const DiffOptions& options, DiffStats* stats)
+      : base_(base),
+        target_(target),
+        writer_(output),
+        options_(options),
+        stats_(stats) {}
+
+  Status Run() {
+    RETURN_IF_ERROR(base_->Advance());
+    RETURN_IF_ERROR(target_->Advance());
+    if (base_->done() || target_->done() ||
+        base_->current().type != XmlEventType::kStartElement ||
+        target_->current().type != XmlEventType::kStartElement ||
+        base_->current().name != target_->current().name) {
+      return Status::InvalidArgument("diff inputs must share a root tag");
+    }
+    if (base_->current().attributes != target_->current().attributes) {
+      return Status::NotSupported(
+          "root attribute changes cannot be expressed as a batch");
+    }
+    // The batch root is always present (an empty batch is a valid no-op).
+    RETURN_IF_ERROR(writer_.StartElement(target_->current().name,
+                                         target_->current().attributes));
+    RETURN_IF_ERROR(base_->Advance());
+    RETURN_IF_ERROR(target_->Advance());
+    LiveSrc base_src(base_);
+    LiveSrc target_src(target_);
+    RETURN_IF_ERROR(DiffChildren(&base_src, &target_src));
+    RETURN_IF_ERROR(writer_.EndElement());
+    return writer_.Finish();
+  }
+
+ private:
+  ChildId IdOf(const XmlEvent& event) const {
+    return merge_internal::IdOf(options_.order, event);
+  }
+
+  // Copy the current element's subtree from `src` to the writer; with
+  // `op` non-empty the root start tag gains op="<op>". With emit=false the
+  // subtree is skipped instead.
+  Status CopySubtree(Src* src, bool emit, std::string_view op = {}) {
+    int depth = 0;
+    bool first = true;
+    do {
+      const XmlEvent& event = src->current();
+      switch (event.type) {
+        case XmlEventType::kStartElement:
+          if (emit) {
+            if (first && !op.empty()) {
+              std::vector<XmlAttribute> attrs = event.attributes;
+              attrs.push_back(
+                  {options_.op_attribute, std::string(op)});
+              RETURN_IF_ERROR(writer_.StartElement(event.name, attrs));
+            } else {
+              RETURN_IF_ERROR(
+                  writer_.StartElement(event.name, event.attributes));
+            }
+          }
+          ++depth;
+          break;
+        case XmlEventType::kEndElement:
+          if (emit) RETURN_IF_ERROR(writer_.EndElement());
+          --depth;
+          break;
+        case XmlEventType::kText:
+          if (emit) RETURN_IF_ERROR(writer_.Text(event.text));
+          break;
+      }
+      first = false;
+      RETURN_IF_ERROR(src->Advance());
+    } while (depth > 0);
+    return Status::OK();
+  }
+
+  // Read the current element's subtree into *events; stops early (leaving
+  // the stream mid-subtree) once `limit` bytes are buffered. *complete
+  // says whether the whole subtree was consumed.
+  Status ProbeSubtree(Src* src, std::vector<XmlEvent>* events,
+                      size_t limit, bool* complete) {
+    int depth = 0;
+    size_t bytes = 0;
+    do {
+      const XmlEvent& event = src->current();
+      if (event.type == XmlEventType::kStartElement) ++depth;
+      if (event.type == XmlEventType::kEndElement) --depth;
+      bytes += EventBytes(event);
+      events->push_back(event);
+      RETURN_IF_ERROR(src->Advance());
+      if (bytes > limit && depth > 0) {
+        *complete = false;
+        return Status::OK();
+      }
+    } while (depth > 0);
+    *complete = true;
+    return Status::OK();
+  }
+
+  Status ReplayEvents(const std::vector<XmlEvent>& events,
+                      std::string_view op) {
+    bool first = true;
+    for (const XmlEvent& event : events) {
+      if (first && !op.empty()) {
+        std::vector<XmlAttribute> attrs = event.attributes;
+        attrs.push_back({options_.op_attribute, std::string(op)});
+        RETURN_IF_ERROR(writer_.StartElement(event.name, attrs));
+        first = false;
+        continue;
+      }
+      RETURN_IF_ERROR(writer_.Event(event));
+      first = false;
+    }
+    return Status::OK();
+  }
+
+  // Lazily-opened wrapper bookkeeping: wrappers for matched ancestors are
+  // emitted only once a real op needs them.
+  struct PendingWrapper {
+    std::string name;
+    std::vector<XmlAttribute> attributes;
+    bool opened = false;
+  };
+
+  Status EnsureOpened() {
+    for (PendingWrapper& wrapper : pending_) {
+      if (wrapper.opened) continue;
+      RETURN_IF_ERROR(writer_.StartElement(wrapper.name, wrapper.attributes));
+      wrapper.opened = true;
+    }
+    return Status::OK();
+  }
+
+  Status DiffMatched(Src* base, Src* target) {
+    std::vector<XmlEvent> base_events;
+    std::vector<XmlEvent> target_events;
+    bool base_complete = false;
+    bool target_complete = false;
+    RETURN_IF_ERROR(ProbeSubtree(base, &base_events, options_.buffer_limit,
+                                 &base_complete));
+    RETURN_IF_ERROR(ProbeSubtree(target, &target_events,
+                                 options_.buffer_limit, &target_complete));
+    if (base_complete && target_complete) {
+      bool equal = base_events.size() == target_events.size();
+      for (size_t i = 0; equal && i < base_events.size(); ++i) {
+        equal = EventsEqual(base_events[i], target_events[i]);
+      }
+      if (equal) {
+        ++stats_->unchanged;
+        return Status::OK();
+      }
+      ++stats_->replaced;
+      RETURN_IF_ERROR(EnsureOpened());
+      return ReplayEvents(target_events, "replace");
+    }
+
+    // Oversized: splice the probed prefixes back and recurse structurally.
+    SpliceSrc base_spliced(std::move(base_events), base);
+    SpliceSrc target_spliced(std::move(target_events), target);
+    const XmlEvent& base_start = base_spliced.current();
+    const XmlEvent& target_start = target_spliced.current();
+    if (base_start.attributes != target_start.attributes) {
+      ++stats_->replaced;
+      RETURN_IF_ERROR(EnsureOpened());
+      return  // copy target, skip base
+          CopyBoth(&base_spliced, &target_spliced);
+    }
+    ++stats_->descended;
+    pending_.push_back({target_start.name, target_start.attributes, false});
+    RETURN_IF_ERROR(base_spliced.Advance());
+    RETURN_IF_ERROR(target_spliced.Advance());
+    Status st = DiffChildren(&base_spliced, &target_spliced);
+    if (st.ok() && pending_.back().opened) {
+      st = writer_.EndElement();
+    }
+    pending_.pop_back();
+    return st;
+  }
+
+  Status CopyBoth(Src* base, Src* target) {
+    RETURN_IF_ERROR(CopySubtree(base, /*emit=*/false));
+    return CopySubtree(target, /*emit=*/true, "replace");
+  }
+
+  Status DiffChildren(Src* base, Src* target) {
+    while (true) {
+      auto tb = Classify(*base);
+      auto tt = Classify(*target);
+
+      if (tb == merge_internal::ItemType::kText ||
+          tt == merge_internal::ItemType::kText) {
+        // Direct text under an unbuffered subtree: only identical text in
+        // identical positions is expressible.
+        if (tb != tt || base->current().text != target->current().text) {
+          return Status::NotSupported(
+              "text change inside a subtree larger than the diff buffer");
+        }
+        RETURN_IF_ERROR(base->Advance());
+        RETURN_IF_ERROR(target->Advance());
+        continue;
+      }
+      if (tb == merge_internal::ItemType::kEnd &&
+          tt == merge_internal::ItemType::kEnd) {
+        if (!base->done()) RETURN_IF_ERROR(base->Advance());
+        if (!target->done()) RETURN_IF_ERROR(target->Advance());
+        return Status::OK();
+      }
+
+      bool take_base;
+      bool match = false;
+      if (tb == merge_internal::ItemType::kEnd) {
+        take_base = false;
+      } else if (tt == merge_internal::ItemType::kEnd) {
+        take_base = true;
+      } else {
+        ChildId idb = IdOf(base->current());
+        ChildId idt = IdOf(target->current());
+        if (idb == idt) {
+          match = true;
+          take_base = true;
+        } else {
+          take_base = idb < idt;
+        }
+      }
+
+      if (match) {
+        RETURN_IF_ERROR(DiffMatched(base, target));
+        continue;
+      }
+      if (take_base) {
+        // Base-only: emit a deletion stub carrying the identity attributes.
+        ++stats_->deleted;
+        RETURN_IF_ERROR(EnsureOpened());
+        std::vector<XmlAttribute> attrs = base->current().attributes;
+        attrs.push_back({options_.op_attribute, "delete"});
+        RETURN_IF_ERROR(writer_.StartElement(base->current().name, attrs));
+        RETURN_IF_ERROR(writer_.EndElement());
+        RETURN_IF_ERROR(CopySubtree(base, /*emit=*/false));
+      } else {
+        // Target-only: insert the subtree verbatim.
+        ++stats_->inserted;
+        RETURN_IF_ERROR(EnsureOpened());
+        RETURN_IF_ERROR(CopySubtree(target, /*emit=*/true));
+      }
+    }
+  }
+
+  EventStream* base_;
+  EventStream* target_;
+  XmlWriter writer_;
+  const DiffOptions& options_;
+  DiffStats* stats_;
+  std::vector<PendingWrapper> pending_;
+};
+
+}  // namespace
+
+Status StructuralDiff(ByteSource* base, ByteSource* target, ByteSink* output,
+                      const DiffOptions& options, DiffStats* stats) {
+  if (options.order.HasComplexRules()) {
+    return Status::NotSupported("diff needs keys available at start tags");
+  }
+  DiffStats local;
+  EventStream base_stream(base);
+  EventStream target_stream(target);
+  Differ differ(&base_stream, &target_stream, output, options,
+                stats != nullptr ? stats : &local);
+  return differ.Run();
+}
+
+}  // namespace nexsort

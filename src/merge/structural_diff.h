@@ -1,0 +1,48 @@
+// Structural diff: the inverse of batch updates. Given two documents fully
+// sorted under the same OrderSpec, emits an *update batch* document — the
+// format ApplyBatchUpdates consumes — such that applying the diff to the
+// base reproduces the target:
+//
+//     ApplyBatchUpdates(base, StructuralDiff(base, target)) == target
+//
+// One simultaneous pass over both inputs, exactly like structural merge.
+// This closes the paper's batch-update loop: sort once, then both compute
+// and apply change sets with single passes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/order_spec.h"
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct DiffOptions {
+  /// The spec both inputs are sorted under (simple rules only).
+  OrderSpec order;
+
+  /// Operation attribute emitted on update elements.
+  std::string op_attribute = "op";
+
+  /// Matched subtrees up to this size are buffered and compared bytewise
+  /// (equal => omitted from the diff entirely; different => one compact
+  /// op="replace"). Larger subtrees are recursed structurally.
+  size_t buffer_limit = 64 * 1024;
+};
+
+struct DiffStats {
+  uint64_t inserted = 0;
+  uint64_t deleted = 0;
+  uint64_t replaced = 0;
+  uint64_t unchanged = 0;   // matched subtrees proven identical
+  uint64_t descended = 0;   // matched subtrees recursed into
+};
+
+/// Diff sorted `base` against sorted `target` into an update batch on
+/// `output`. The batch is itself sorted under the same spec (ready for a
+/// one-pass ApplyBatchUpdates without re-sorting).
+Status StructuralDiff(ByteSource* base, ByteSource* target, ByteSink* output,
+                      const DiffOptions& options, DiffStats* stats = nullptr);
+
+}  // namespace nexsort

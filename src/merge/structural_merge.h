@@ -1,0 +1,71 @@
+// Structural merge: the XML analogue of sort-merge join and the paper's
+// motivating application (Example 1.1). Given two documents *fully sorted
+// under the same OrderSpec*, merges them in a single pass over both:
+// matching elements (same parent chain, same tag, same sort key) are
+// unified — attributes unioned, children merged recursively — and
+// non-matching elements are interleaved in key order (an outer join).
+// Sorting first is what makes the single pass possible; NEXSORT provides
+// the sort.
+//
+// The same engine applies sorted batch updates (the paper's second
+// application): an updates document whose elements may carry an operation
+// attribute (op="merge" | "replace" | "delete") is merged into the base
+// document, deleting or replacing matched subtrees.
+#pragma once
+
+#include <cstdint>
+
+#include "core/order_spec.h"
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct MergeOptions {
+  /// Must be the spec both inputs were sorted with; only simple rules
+  /// (keys available on start tags) are supported.
+  OrderSpec order;
+
+  /// What to do with text children of *matched* elements.
+  enum class TextPolicy {
+    kPreferLeft,  // keep the left document's text; right text only if the
+                  // left element had none (Figure 1: <name>Smith</name>
+                  // appears once in the merged employee)
+    kConcat,      // keep both, left first
+  };
+  TextPolicy text_policy = TextPolicy::kPreferLeft;
+
+  /// Interpret the right document as a batch of updates: elements carrying
+  /// op_attribute control the merge (see above). The op attribute is
+  /// stripped from the output.
+  bool apply_update_ops = false;
+  std::string op_attribute = "op";
+};
+
+struct MergeStats {
+  uint64_t matched_elements = 0;
+  uint64_t left_only = 0;
+  uint64_t right_only = 0;
+  uint64_t deleted = 0;   // update mode
+  uint64_t replaced = 0;  // update mode
+};
+
+/// Merge sorted `left` and sorted `right` into `output` in one pass.
+/// The two roots must have the same tag name.
+Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
+                       const MergeOptions& options,
+                       MergeStats* stats = nullptr);
+
+/// N-way structural merge: combine any number of documents, all fully
+/// sorted under options.order, in a single simultaneous pass — the shape
+/// of the Nested Merge that Buneman et al.'s XML archiving builds on (see
+/// the paper's related work): merging many versions of a document into one
+/// archive costs one pass once everything is sorted. Matching elements
+/// (same ancestors, tag, and key) are unified with attributes unioned
+/// leftmost-wins; earlier inputs win text under kPreferLeft. Update
+/// operations are a two-input concept and are rejected here.
+Status StructuralMergeMany(const std::vector<ByteSource*>& inputs,
+                           ByteSink* output, const MergeOptions& options,
+                           MergeStats* stats = nullptr);
+
+}  // namespace nexsort

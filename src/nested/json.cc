@@ -1,0 +1,676 @@
+#include "nested/json.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+#include "xml/sax_parser.h"
+#include "xml/writer.h"
+
+namespace nexsort {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// JSON tokenizer
+// ---------------------------------------------------------------------
+
+struct Token {
+  enum class Type {
+    kLBrace, kRBrace, kLBracket, kRBracket, kComma, kColon,
+    kString,   // text = decoded value
+    kNumber,   // text = raw lexeme
+    kTrue, kFalse, kNull,
+    kEnd,
+  };
+  Type type = Type::kEnd;
+  std::string text;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(ByteSource* source) : source_(source) {}
+
+  Status Next(Token* token) {
+    RETURN_IF_ERROR(SkipWhitespace());
+    if (AtEof()) {
+      token->type = Token::Type::kEnd;
+      token->text.clear();
+      return Status::OK();
+    }
+    char c = PeekChar();
+    switch (c) {
+      case '{': Advance(1); token->type = Token::Type::kLBrace; return Status::OK();
+      case '}': Advance(1); token->type = Token::Type::kRBrace; return Status::OK();
+      case '[': Advance(1); token->type = Token::Type::kLBracket; return Status::OK();
+      case ']': Advance(1); token->type = Token::Type::kRBracket; return Status::OK();
+      case ',': Advance(1); token->type = Token::Type::kComma; return Status::OK();
+      case ':': Advance(1); token->type = Token::Type::kColon; return Status::OK();
+      case '"': return ParseString(token);
+      case 't': return ParseKeyword("true", Token::Type::kTrue, token);
+      case 'f': return ParseKeyword("false", Token::Type::kFalse, token);
+      case 'n': return ParseKeyword("null", Token::Type::kNull, token);
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumberToken(token);
+        }
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in JSON");
+    }
+  }
+
+ private:
+  Status Fill() {
+    if (eof_) return Status::OK();
+    if (pos_ > 8192) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    size_t old_size = buffer_.size();
+    buffer_.resize(old_size + 8192);
+    size_t got = 0;
+    Status st = source_->Read(buffer_.data() + old_size, 8192, &got);
+    buffer_.resize(old_size + got);
+    if (!st.ok()) return st;
+    if (got == 0) eof_ = true;
+    return Status::OK();
+  }
+  Status Ensure(size_t n) {
+    while (buffer_.size() - pos_ < n && !eof_) RETURN_IF_ERROR(Fill());
+    return Status::OK();
+  }
+  bool AtEof() { return pos_ >= buffer_.size() && eof_; }
+  char PeekChar() const { return buffer_[pos_]; }
+  void Advance(size_t n) { pos_ += n; }
+
+  Status SkipWhitespace() {
+    while (true) {
+      RETURN_IF_ERROR(Ensure(1));
+      if (AtEof()) return Status::OK();
+      char c = PeekChar();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return Status::OK();
+      Advance(1);
+    }
+  }
+
+  Status ParseKeyword(std::string_view word, Token::Type type, Token* token) {
+    RETURN_IF_ERROR(Ensure(word.size()));
+    if (buffer_.size() - pos_ < word.size() ||
+        std::string_view(buffer_.data() + pos_, word.size()) != word) {
+      return Status::ParseError("malformed JSON keyword");
+    }
+    Advance(word.size());
+    token->type = type;
+    token->text.clear();
+    return Status::OK();
+  }
+
+  Status ParseNumberToken(Token* token) {
+    token->type = Token::Type::kNumber;
+    token->text.clear();
+    while (true) {
+      RETURN_IF_ERROR(Ensure(1));
+      if (AtEof()) break;
+      char c = PeekChar();
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        token->text.push_back(c);
+        Advance(1);
+      } else {
+        break;
+      }
+    }
+    double value = 0;
+    if (!ParseNumber(token->text, &value)) {
+      return Status::ParseError("malformed JSON number: " + token->text);
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(Token* token) {
+    Advance(1);  // opening quote
+    token->type = Token::Type::kString;
+    token->text.clear();
+    while (true) {
+      RETURN_IF_ERROR(Ensure(1));
+      if (AtEof()) return Status::ParseError("unterminated JSON string");
+      char c = PeekChar();
+      Advance(1);
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        token->text.push_back(c);
+        continue;
+      }
+      RETURN_IF_ERROR(Ensure(1));
+      if (AtEof()) return Status::ParseError("truncated escape");
+      char esc = PeekChar();
+      Advance(1);
+      switch (esc) {
+        case '"': token->text.push_back('"'); break;
+        case '\\': token->text.push_back('\\'); break;
+        case '/': token->text.push_back('/'); break;
+        case 'b': token->text.push_back('\b'); break;
+        case 'f': token->text.push_back('\f'); break;
+        case 'n': token->text.push_back('\n'); break;
+        case 'r': token->text.push_back('\r'); break;
+        case 't': token->text.push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          RETURN_IF_ERROR(ReadHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair.
+            RETURN_IF_ERROR(Ensure(2));
+            if (buffer_.size() - pos_ < 2 || buffer_[pos_] != '\\' ||
+                buffer_[pos_ + 1] != 'u') {
+              return Status::ParseError("unpaired surrogate");
+            }
+            Advance(2);
+            uint32_t low = 0;
+            RETURN_IF_ERROR(ReadHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Status::ParseError("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(&token->text, cp);
+          break;
+        }
+        default:
+          return Status::ParseError("unknown JSON escape");
+      }
+    }
+  }
+
+  Status ReadHex4(uint32_t* out) {
+    RETURN_IF_ERROR(Ensure(4));
+    if (buffer_.size() - pos_ < 4) {
+      return Status::ParseError("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = buffer_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= c - '0';
+      else if (c >= 'a' && c <= 'f') value |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') value |= c - 'A' + 10;
+      else return Status::ParseError("bad hex digit in \\u escape");
+    }
+    Advance(4);
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  ByteSource* source_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+// One-token-lookahead cursor over either the live tokenizer or a buffered
+// token vector (used to replay array items after key extraction).
+class TokenCursor {
+ public:
+  virtual ~TokenCursor() = default;
+  virtual Status Next(Token* token) = 0;
+
+  Status Peek(Token* token) {
+    if (!has_pending_) {
+      RETURN_IF_ERROR(Next(&pending_));
+      has_pending_ = true;
+    }
+    *token = pending_;
+    return Status::OK();
+  }
+  Status Take(Token* token) {
+    if (has_pending_) {
+      *token = std::move(pending_);
+      has_pending_ = false;
+      return Status::OK();
+    }
+    return Next(token);
+  }
+
+ private:
+  Token pending_;
+  bool has_pending_ = false;
+};
+
+class LiveCursor final : public TokenCursor {
+ public:
+  explicit LiveCursor(Tokenizer* tokenizer) : tokenizer_(tokenizer) {}
+  Status Next(Token* token) override { return tokenizer_->Next(token); }
+
+ private:
+  Tokenizer* tokenizer_;
+};
+
+class ReplayCursor final : public TokenCursor {
+ public:
+  explicit ReplayCursor(const std::vector<Token>* tokens)
+      : tokens_(tokens) {}
+  Status Next(Token* token) override {
+    if (index_ >= tokens_->size()) {
+      token->type = Token::Type::kEnd;
+      return Status::OK();
+    }
+    *token = (*tokens_)[index_++];
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<Token>* tokens_;
+  size_t index_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// JSON -> element tree
+// ---------------------------------------------------------------------
+
+class JsonToXmlTranslator {
+ public:
+  JsonToXmlTranslator(const JsonSortOptions& options, XmlWriter* writer,
+                      JsonSortStats* stats)
+      : options_(options), writer_(writer), stats_(stats) {
+    for (std::string_view part : Split(options.sort_arrays_by, '/')) {
+      if (!part.empty()) key_path_.emplace_back(part);
+    }
+  }
+
+  Status TranslateDocument(TokenCursor* cursor) {
+    RETURN_IF_ERROR(EmitValue(cursor, /*nxk=*/nullptr));
+    Token token;
+    RETURN_IF_ERROR(cursor->Take(&token));
+    if (token.type != Token::Type::kEnd) {
+      return Status::ParseError("trailing data after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool ArrayKeyingEnabled() const {
+    return !key_path_.empty() || options_.sort_arrays_by_value;
+  }
+
+  Status EmitValue(TokenCursor* cursor, const std::string* nxk) {
+    Token token;
+    RETURN_IF_ERROR(cursor->Take(&token));
+    ++stats_->values;
+    std::vector<XmlAttribute> attrs;
+    if (nxk != nullptr) attrs.push_back({"nxk", *nxk});
+    switch (token.type) {
+      case Token::Type::kLBrace: {
+        ++stats_->objects;
+        RETURN_IF_ERROR(writer_->StartElement("o", attrs));
+        RETURN_IF_ERROR(EmitMembers(cursor));
+        return writer_->EndElement();
+      }
+      case Token::Type::kLBracket: {
+        ++stats_->arrays;
+        RETURN_IF_ERROR(writer_->StartElement("a", attrs));
+        RETURN_IF_ERROR(EmitItems(cursor));
+        return writer_->EndElement();
+      }
+      case Token::Type::kString:
+        attrs.push_back({"v", std::move(token.text)});
+        RETURN_IF_ERROR(writer_->StartElement("s", attrs));
+        return writer_->EndElement();
+      case Token::Type::kNumber:
+        attrs.push_back({"v", std::move(token.text)});
+        RETURN_IF_ERROR(writer_->StartElement("n", attrs));
+        return writer_->EndElement();
+      case Token::Type::kTrue:
+      case Token::Type::kFalse:
+        attrs.push_back(
+            {"v", token.type == Token::Type::kTrue ? "true" : "false"});
+        RETURN_IF_ERROR(writer_->StartElement("b", attrs));
+        return writer_->EndElement();
+      case Token::Type::kNull:
+        RETURN_IF_ERROR(writer_->StartElement("z", attrs));
+        return writer_->EndElement();
+      default:
+        return Status::ParseError("unexpected token in JSON value");
+    }
+  }
+
+  Status EmitMembers(TokenCursor* cursor) {
+    Token token;
+    RETURN_IF_ERROR(cursor->Peek(&token));
+    if (token.type == Token::Type::kRBrace) return cursor->Take(&token);
+    while (true) {
+      RETURN_IF_ERROR(cursor->Take(&token));
+      if (token.type != Token::Type::kString) {
+        return Status::ParseError("expected member name");
+      }
+      std::string name = std::move(token.text);
+      RETURN_IF_ERROR(cursor->Take(&token));
+      if (token.type != Token::Type::kColon) {
+        return Status::ParseError("expected ':' after member name");
+      }
+      RETURN_IF_ERROR(writer_->StartElement("m", {{"k", name}}));
+      RETURN_IF_ERROR(EmitValue(cursor, nullptr));
+      RETURN_IF_ERROR(writer_->EndElement());
+      RETURN_IF_ERROR(cursor->Take(&token));
+      if (token.type == Token::Type::kRBrace) return Status::OK();
+      if (token.type != Token::Type::kComma) {
+        return Status::ParseError("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Status EmitItems(TokenCursor* cursor) {
+    Token token;
+    RETURN_IF_ERROR(cursor->Peek(&token));
+    if (token.type == Token::Type::kRBracket) return cursor->Take(&token);
+    while (true) {
+      if (ArrayKeyingEnabled()) {
+        // Buffer the item's tokens to extract its sort key; the value
+        // element's start tag must already carry it. Items therefore need
+        // to fit in translation memory (documents do not).
+        std::vector<Token> item;
+        RETURN_IF_ERROR(BufferValue(cursor, &item));
+        std::string key;
+        bool has_key = ExtractKey(item, &key);
+        ReplayCursor replay(&item);
+        RETURN_IF_ERROR(EmitValue(&replay, has_key ? &key : nullptr));
+      } else {
+        RETURN_IF_ERROR(EmitValue(cursor, nullptr));
+      }
+      RETURN_IF_ERROR(cursor->Take(&token));
+      if (token.type == Token::Type::kRBracket) return Status::OK();
+      if (token.type != Token::Type::kComma) {
+        return Status::ParseError("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  // Copy one complete value's tokens from the cursor.
+  Status BufferValue(TokenCursor* cursor, std::vector<Token>* out) {
+    int depth = 0;
+    do {
+      Token token;
+      RETURN_IF_ERROR(cursor->Take(&token));
+      switch (token.type) {
+        case Token::Type::kLBrace:
+        case Token::Type::kLBracket:
+          ++depth;
+          break;
+        case Token::Type::kRBrace:
+        case Token::Type::kRBracket:
+          --depth;
+          break;
+        case Token::Type::kEnd:
+          return Status::ParseError("truncated JSON value");
+        default:
+          break;
+      }
+      out->push_back(std::move(token));
+    } while (depth > 0);
+    return Status::OK();
+  }
+
+  // Scalar value at key_path_ inside a buffered item (or the item itself
+  // for scalar arrays). Returns false when absent.
+  bool ExtractKey(const std::vector<Token>& item, std::string* key) const {
+    size_t pos = 0;
+    for (const std::string& component : key_path_) {
+      if (pos >= item.size() || item[pos].type != Token::Type::kLBrace) {
+        return false;
+      }
+      ++pos;  // into the object
+      bool found = false;
+      while (pos < item.size()) {
+        if (item[pos].type == Token::Type::kRBrace) break;
+        if (item[pos].type == Token::Type::kComma) {
+          ++pos;
+          continue;
+        }
+        // member: String Colon value
+        if (item[pos].type != Token::Type::kString) return false;
+        bool match = item[pos].text == component;
+        pos += 2;  // skip name + colon
+        if (match) {
+          found = true;
+          break;
+        }
+        pos = SkipValue(item, pos);
+      }
+      if (!found) return false;
+    }
+    if (key_path_.empty() && !options_.sort_arrays_by_value) return false;
+    if (pos >= item.size()) return false;
+    const Token& token = item[pos];
+    switch (token.type) {
+      case Token::Type::kString:
+      case Token::Type::kNumber:
+        *key = token.text;
+        return true;
+      case Token::Type::kTrue: *key = "true"; return true;
+      case Token::Type::kFalse: *key = "false"; return true;
+      default:
+        return false;  // containers and null do not key
+    }
+  }
+
+  static size_t SkipValue(const std::vector<Token>& tokens, size_t pos) {
+    int depth = 0;
+    do {
+      if (pos >= tokens.size()) return pos;
+      switch (tokens[pos].type) {
+        case Token::Type::kLBrace:
+        case Token::Type::kLBracket: ++depth; break;
+        case Token::Type::kRBrace:
+        case Token::Type::kRBracket: --depth; break;
+        default: break;
+      }
+      ++pos;
+    } while (depth > 0);
+    return pos;
+  }
+
+  const JsonSortOptions& options_;
+  XmlWriter* writer_;
+  JsonSortStats* stats_;
+  std::vector<std::string> key_path_;
+};
+
+// ---------------------------------------------------------------------
+// element tree -> JSON
+// ---------------------------------------------------------------------
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+OrderSpec JsonOrderSpec(const JsonSortOptions& options) {
+  OrderSpec spec;
+  if (options.sort_object_members) {
+    OrderRule member;
+    member.element = "m";
+    member.source = KeySource::kAttribute;
+    member.argument = "k";
+    spec.AddRule(member);
+  }
+  if (!options.sort_arrays_by.empty() || options.sort_arrays_by_value) {
+    for (const char* tag : {"o", "a", "s", "n", "b", "z"}) {
+      OrderRule item;
+      item.element = tag;
+      item.source = KeySource::kAttribute;
+      item.argument = "nxk";
+      item.numeric = options.numeric_array_keys;
+      spec.AddRule(item);
+    }
+  }
+  return spec;
+}
+
+Status JsonToXml(ByteSource* input, ByteSink* output,
+                 const JsonSortOptions& options, JsonSortStats* stats) {
+  JsonSortStats local;
+  if (stats == nullptr) stats = &local;
+  Tokenizer tokenizer(input);
+  LiveCursor cursor(&tokenizer);
+  XmlWriter writer(output);
+  JsonToXmlTranslator translator(options, &writer, stats);
+  RETURN_IF_ERROR(translator.TranslateDocument(&cursor));
+  return writer.Finish();
+}
+
+Status XmlToJson(ByteSource* input, ByteSink* output) {
+  SaxParser parser(input);
+  std::string buffer;
+  // Per open container: does the next child need a comma?
+  struct Frame {
+    char kind;  // 'o', 'a', or 'm'
+    bool has_child = false;
+  };
+  std::vector<Frame> frames;
+
+  auto before_child = [&]() {
+    if (frames.empty()) return;
+    Frame& top = frames.back();
+    if (top.kind != 'm' && top.has_child) buffer.push_back(',');
+    top.has_child = true;
+  };
+  auto flush_if_large = [&]() -> Status {
+    if (buffer.size() >= 64 * 1024) {
+      RETURN_IF_ERROR(output->Append(buffer));
+      buffer.clear();
+    }
+    return Status::OK();
+  };
+
+  XmlEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+    if (!more) break;
+    if (event.type == XmlEventType::kText) {
+      return Status::Corruption("unexpected text in JSON encoding");
+    }
+    if (event.type == XmlEventType::kEndElement) {
+      if (event.name == "o") {
+        buffer.push_back('}');
+        frames.pop_back();
+      } else if (event.name == "a") {
+        buffer.push_back(']');
+        frames.pop_back();
+      } else if (event.name == "m") {
+        frames.pop_back();
+      }
+      RETURN_IF_ERROR(flush_if_large());
+      continue;
+    }
+    const std::string* v = event.FindAttribute("v");
+    if (event.name == "o") {
+      before_child();
+      buffer.push_back('{');
+      frames.push_back({'o'});
+    } else if (event.name == "a") {
+      before_child();
+      buffer.push_back('[');
+      frames.push_back({'a'});
+    } else if (event.name == "m") {
+      const std::string* k = event.FindAttribute("k");
+      if (k == nullptr) return Status::Corruption("member without a name");
+      before_child();
+      AppendJsonString(&buffer, *k);
+      buffer.push_back(':');
+      frames.push_back({'m'});
+    } else if (event.name == "s") {
+      before_child();
+      AppendJsonString(&buffer, v != nullptr ? *v : "");
+    } else if (event.name == "n" || event.name == "b") {
+      if (v == nullptr) return Status::Corruption("value element without v");
+      before_child();
+      buffer.append(*v);
+    } else if (event.name == "z") {
+      before_child();
+      buffer.append("null");
+    } else {
+      return Status::Corruption("unknown tag in JSON encoding: " +
+                                event.name);
+    }
+    RETURN_IF_ERROR(flush_if_large());
+  }
+  if (!buffer.empty()) RETURN_IF_ERROR(output->Append(buffer));
+  return Status::OK();
+}
+
+JsonSorter::JsonSorter(BlockDevice* device, MemoryBudget* budget,
+                       JsonSortOptions options)
+    : device_(device), budget_(budget), options_(std::move(options)) {}
+
+Status JsonSorter::Sort(ByteSource* input, ByteSink* output) {
+  if (used_) return Status::InvalidArgument("JsonSorter is single-use");
+  used_ = true;
+
+  // Stage 1: translate JSON into the element encoding, device-resident.
+  ByteRange encoded;
+  {
+    BlockStreamWriter writer(device_, budget_, IoCategory::kOther);
+    RETURN_IF_ERROR(writer.init_status());
+    RETURN_IF_ERROR(JsonToXml(input, &writer, options_, &stats_));
+    RETURN_IF_ERROR(writer.Finish(&encoded));
+  }
+
+  // Stage 2: NEXSORT the encoded document.
+  ByteRange sorted;
+  {
+    NexSortOptions sort_options;
+    sort_options.order = JsonOrderSpec(options_);
+    NexSorter sorter(device_, budget_, std::move(sort_options));
+    BlockStreamReader reader(device_, budget_, encoded, IoCategory::kInput);
+    RETURN_IF_ERROR(reader.init_status());
+    BlockStreamWriter writer(device_, budget_, IoCategory::kOutput);
+    RETURN_IF_ERROR(writer.init_status());
+    RETURN_IF_ERROR(sorter.Sort(&reader, &writer));
+    RETURN_IF_ERROR(writer.Finish(&sorted));
+    stats_.sort = sorter.stats();
+  }
+
+  // Stage 3: translate back to JSON text.
+  BlockStreamReader reader(device_, budget_, sorted, IoCategory::kInput);
+  RETURN_IF_ERROR(reader.init_status());
+  return XmlToJson(&reader, output);
+}
+
+}  // namespace nexsort

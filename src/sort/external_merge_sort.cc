@@ -1,0 +1,214 @@
+#include "sort/external_merge_sort.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace nexsort {
+
+Status ReadVarintFromRun(RunReader* reader, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    char byte = 0;
+    RETURN_IF_ERROR(reader->ReadExact(&byte, 1));
+    unsigned char b = static_cast<unsigned char>(byte);
+    result |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long in run");
+}
+
+Status AppendRecord(ByteSink* sink, std::string_view key,
+                    std::string_view value) {
+  std::string header;
+  PutVarint64(&header, key.size());
+  RETURN_IF_ERROR(sink->Append(header));
+  RETURN_IF_ERROR(sink->Append(key));
+  header.clear();
+  PutVarint64(&header, value.size());
+  RETURN_IF_ERROR(sink->Append(header));
+  return sink->Append(value);
+}
+
+RecordRunSource::RecordRunSource(RunStore* store, RunHandle handle,
+                                 IoCategory category)
+    : reader_(store->OpenRun(handle, 0, category)) {}
+
+Status RecordRunSource::Open() {
+  RETURN_IF_ERROR(reader_.init_status());
+  return Advance();
+}
+
+Status RecordRunSource::Advance() {
+  if (reader_.bytes_remaining() == 0) {
+    exhausted_ = true;
+    return Status::OK();
+  }
+  uint64_t key_len = 0;
+  RETURN_IF_ERROR(ReadVarintFromRun(&reader_, &key_len));
+  key_.resize(key_len);
+  RETURN_IF_ERROR(reader_.ReadExact(key_.data(), key_len));
+  uint64_t value_len = 0;
+  RETURN_IF_ERROR(ReadVarintFromRun(&reader_, &value_len));
+  value_.resize(value_len);
+  RETURN_IF_ERROR(reader_.ReadExact(value_.data(), value_len));
+  return Status::OK();
+}
+
+ExternalMergeSorter::ExternalMergeSorter(RunStore* store,
+                                         ExtSortOptions options)
+    : store_(store), options_(options) {
+  if (options_.memory_blocks < 3) {
+    init_status_ =
+        Status::InvalidArgument("external sort needs at least 3 blocks");
+    return;
+  }
+  // One block stays free for the spill/merge writer; the rest buffer input.
+  init_status_ =
+      buffer_reservation_.Acquire(store->budget(), options_.memory_blocks - 1);
+  if (init_status_.ok()) {
+    buffer_capacity_ =
+        (options_.memory_blocks - 1) * store->device()->block_size();
+  }
+}
+
+ExternalMergeSorter::~ExternalMergeSorter() {
+  for (RunHandle run : runs_) {
+    (void)store_->FreeRun(run);
+  }
+}
+
+Status ExternalMergeSorter::Add(std::string_view key, std::string_view value) {
+  if (finished_) return Status::InvalidArgument("sorter already finished");
+  uint64_t record_bytes = key.size() + value.size() + sizeof(RecordRef);
+  if (!records_.empty() &&
+      arena_.size() + records_.size() * sizeof(RecordRef) + record_bytes >
+          buffer_capacity_) {
+    RETURN_IF_ERROR(SpillRun());
+  }
+  RecordRef ref;
+  ref.offset = arena_.size();
+  ref.key_len = static_cast<uint32_t>(key.size());
+  ref.value_len = static_cast<uint32_t>(value.size());
+  arena_.append(key);
+  arena_.append(value);
+  records_.push_back(ref);
+  ++stats_.records;
+  stats_.bytes += key.size() + value.size();
+  return Status::OK();
+}
+
+Status ExternalMergeSorter::SpillRun() {
+  std::sort(records_.begin(), records_.end(),
+            [this](const RecordRef& a, const RecordRef& b) {
+              std::string_view ka(arena_.data() + a.offset, a.key_len);
+              std::string_view kb(arena_.data() + b.offset, b.key_len);
+              if (ka != kb) return ka < kb;
+              return a.offset < b.offset;  // stability
+            });
+  RunWriter writer = store_->NewRun(options_.temp_category);
+  RETURN_IF_ERROR(writer.init_status());
+  for (const RecordRef& ref : records_) {
+    std::string_view key(arena_.data() + ref.offset, ref.key_len);
+    std::string_view value(arena_.data() + ref.offset + ref.key_len,
+                           ref.value_len);
+    RETURN_IF_ERROR(AppendRecord(&writer, key, value));
+  }
+  RunHandle handle;
+  RETURN_IF_ERROR(writer.Finish(&handle));
+  runs_.push_back(handle);
+  ++stats_.initial_runs;
+  arena_.clear();
+  records_.clear();
+  return Status::OK();
+}
+
+Status ExternalMergeSorter::MergeAll() {
+  const uint64_t fan_in = options_.memory_blocks - 1;
+  while (runs_.size() > 1) {
+    ++stats_.merge_passes;
+    std::vector<RunHandle> next_level;
+    for (size_t group = 0; group < runs_.size(); group += fan_in) {
+      size_t end = std::min(runs_.size(), group + fan_in);
+      std::vector<std::unique_ptr<RecordRunSource>> sources;
+      std::vector<MergeSource*> raw;
+      for (size_t i = group; i < end; ++i) {
+        sources.push_back(std::make_unique<RecordRunSource>(
+            store_, runs_[i], options_.temp_category));
+        RETURN_IF_ERROR(sources.back()->Open());
+        raw.push_back(sources.back().get());
+      }
+      LoserTree tree(std::move(raw));
+      RETURN_IF_ERROR(tree.Init());
+      RunWriter writer = store_->NewRun(options_.temp_category);
+      RETURN_IF_ERROR(writer.init_status());
+      while (MergeSource* min = tree.Min()) {
+        auto* source = static_cast<RecordRunSource*>(min);
+        RETURN_IF_ERROR(AppendRecord(&writer, source->key(), source->value()));
+        RETURN_IF_ERROR(tree.AdvanceMin());
+      }
+      RunHandle merged;
+      RETURN_IF_ERROR(writer.Finish(&merged));
+      sources.clear();  // release reader buffers before freeing inputs
+      for (size_t i = group; i < end; ++i) {
+        RETURN_IF_ERROR(store_->FreeRun(runs_[i]));
+      }
+      next_level.push_back(merged);
+    }
+    runs_ = std::move(next_level);
+  }
+  return Status::OK();
+}
+
+Status ExternalMergeSorter::Finish() {
+  if (finished_) return Status::InvalidArgument("sorter already finished");
+  finished_ = true;
+  if (runs_.empty()) {
+    // Everything fit in the buffer: sort in place and drain from memory.
+    stats_.in_memory = true;
+    std::sort(records_.begin(), records_.end(),
+              [this](const RecordRef& a, const RecordRef& b) {
+                std::string_view ka(arena_.data() + a.offset, a.key_len);
+                std::string_view kb(arena_.data() + b.offset, b.key_len);
+                if (ka != kb) return ka < kb;
+                return a.offset < b.offset;
+              });
+    return Status::OK();
+  }
+  if (!records_.empty()) RETURN_IF_ERROR(SpillRun());
+  // Release the (M-1)-block input buffer before merging: merge fan-in
+  // readers (M-1 blocks) plus the output writer (1 block) then use exactly
+  // M blocks, the sort's whole allowance.
+  arena_.clear();
+  arena_.shrink_to_fit();
+  records_.clear();
+  records_.shrink_to_fit();
+  buffer_reservation_.Reset();
+  RETURN_IF_ERROR(MergeAll());
+  result_source_ = std::make_unique<RecordRunSource>(
+      store_, runs_.front(), options_.temp_category);
+  RETURN_IF_ERROR(result_source_->Open());
+  result_primed_ = true;
+  return Status::OK();
+}
+
+StatusOr<bool> ExternalMergeSorter::Next(std::string* key, std::string* value) {
+  if (!finished_) return Status::InvalidArgument("Finish() not called");
+  if (stats_.in_memory) {
+    if (mem_cursor_ >= records_.size()) return false;
+    const RecordRef& ref = records_[mem_cursor_++];
+    key->assign(arena_.data() + ref.offset, ref.key_len);
+    value->assign(arena_.data() + ref.offset + ref.key_len, ref.value_len);
+    return true;
+  }
+  if (!result_primed_ || result_source_->exhausted()) return false;
+  key->assign(result_source_->key());
+  value->assign(result_source_->value());
+  RETURN_IF_ERROR(result_source_->Advance());
+  return true;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,114 @@
+// Generic external merge sort of (key, value) records under a strict memory
+// budget: the classic algorithm the paper compares against (and the one
+// NEXSORT falls back to for subtrees larger than internal memory). Run
+// formation fills (M-1) blocks of buffer, sorts, and spills; merging uses a
+// loser tree with fan-in M-1, so the pass count is ceil(log_{M-1}(runs)) —
+// the log_{M/B}(N/B) factor of the flat-file bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extmem/run_store.h"
+#include "sort/loser_tree.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct ExtSortOptions {
+  /// Blocks of internal memory this sort may use (the paper's M for the
+  /// baseline; NEXSORT grants its subtree sorts what remains after stack
+  /// reservations). Must be >= 3: one output block plus a >=2-way merge.
+  uint64_t memory_blocks = 8;
+
+  /// Accounting category for temporary runs.
+  IoCategory temp_category = IoCategory::kSortTemp;
+};
+
+struct ExtSortStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t initial_runs = 0;
+  uint64_t merge_passes = 0;
+  bool in_memory = false;  // everything fit; no run was spilled
+};
+
+/// MergeSource decoding length-prefixed (key, value) records from a run.
+class RecordRunSource final : public MergeSource {
+ public:
+  RecordRunSource(RunStore* store, RunHandle handle, IoCategory category);
+
+  /// Prime the first record.
+  Status Open();
+
+  bool exhausted() const override { return exhausted_; }
+  std::string_view key() const override { return key_; }
+  Status Advance() override;
+
+  std::string_view value() const { return value_; }
+
+ private:
+  RunReader reader_;
+  bool exhausted_ = false;
+  std::string key_;
+  std::string value_;
+};
+
+/// One-shot sorter: Add all records, Finish, then drain with Next.
+class ExternalMergeSorter {
+ public:
+  ExternalMergeSorter(RunStore* store, ExtSortOptions options);
+  ~ExternalMergeSorter();
+
+  const Status& init_status() const { return init_status_; }
+
+  /// Buffer one record, spilling a sorted run if the buffer is full.
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Sort everything added. After this only Next may be called.
+  Status Finish();
+
+  /// Produce records in key order. Returns false when drained.
+  StatusOr<bool> Next(std::string* key, std::string* value);
+
+  const ExtSortStats& stats() const { return stats_; }
+
+ private:
+  struct RecordRef {
+    uint64_t offset;  // into arena_
+    uint32_t key_len;
+    uint32_t value_len;
+  };
+
+  Status SpillRun();
+  Status MergeAll();
+
+  RunStore* store_;
+  const ExtSortOptions options_;
+  BudgetReservation buffer_reservation_;
+  Status init_status_;
+
+  uint64_t buffer_capacity_ = 0;  // bytes
+  std::string arena_;
+  std::vector<RecordRef> records_;
+  std::vector<RunHandle> runs_;
+  ExtSortStats stats_;
+
+  bool finished_ = false;
+  // Drain state: either an in-memory cursor or a reader on the final run.
+  size_t mem_cursor_ = 0;
+  std::unique_ptr<RecordRunSource> result_source_;
+  bool result_primed_ = false;
+};
+
+/// Decode helper shared by run-record readers.
+Status ReadVarintFromRun(RunReader* reader, uint64_t* value);
+
+/// Append one length-prefixed record to `sink`.
+Status AppendRecord(ByteSink* sink, std::string_view key,
+                    std::string_view value);
+
+}  // namespace nexsort

@@ -1,0 +1,70 @@
+#include "sort/key_path.h"
+
+namespace nexsort {
+
+namespace {
+void AppendSeqBe64(std::string* dst, uint64_t seq) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((seq >> shift) & 0xFF));
+  }
+}
+}  // namespace
+
+void AppendKeyPathComponent(std::string* dst, std::string_view key,
+                            uint64_t seq) {
+  for (char c : key) {
+    if (c == '\0') {
+      dst->push_back('\0');
+      dst->push_back('\xFF');
+    } else {
+      dst->push_back(c);
+    }
+  }
+  dst->push_back('\0');
+  dst->push_back('\x01');
+  AppendSeqBe64(dst, seq);
+}
+
+Status DecodeKeyPathComponent(std::string_view* input, std::string* key,
+                              uint64_t* seq) {
+  key->clear();
+  while (true) {
+    if (input->empty()) return Status::Corruption("truncated key path");
+    char c = input->front();
+    input->remove_prefix(1);
+    if (c != '\0') {
+      key->push_back(c);
+      continue;
+    }
+    if (input->empty()) return Status::Corruption("truncated key escape");
+    char next = input->front();
+    input->remove_prefix(1);
+    if (next == '\xFF') {
+      key->push_back('\0');
+      continue;
+    }
+    if (next != '\x01') return Status::Corruption("bad key escape byte");
+    break;  // terminator
+  }
+  if (input->size() < 8) return Status::Corruption("truncated sequence");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | static_cast<unsigned char>((*input)[i]);
+  }
+  input->remove_prefix(8);
+  *seq = value;
+  return Status::OK();
+}
+
+StatusOr<int> KeyPathDepth(std::string_view path) {
+  int depth = 0;
+  std::string key;
+  uint64_t seq = 0;
+  while (!path.empty()) {
+    RETURN_IF_ERROR(DecodeKeyPathComponent(&path, &key, &seq));
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace nexsort

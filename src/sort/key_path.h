@@ -1,0 +1,38 @@
+// Order-preserving key-path encoding: the flat representation of Table 1 in
+// the paper ("the key path of an element is the concatenation of the sort
+// key values of all elements along the path from the root"). Encoded paths
+// compare correctly with plain bytewise comparison:
+//
+//   component := escape(key) 0x00 0x01 seq_be64
+//   path      := component*          (one component per ancestor, root first)
+//
+// escape maps 0x00 -> 0x00 0xFF so the 0x00 0x01 terminator sorts before
+// any continuation of a longer key, and a parent's path is a strict byte
+// prefix of its children's paths, so parents always sort first. The
+// fixed-width big-endian sequence number makes every path unique (the
+// paper: "we can make it unique by appending the element's location in the
+// input") and keeps equal-key siblings in document order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Append one path component for an element with normalized sort key `key`
+/// and document-order sequence number `seq`.
+void AppendKeyPathComponent(std::string* dst, std::string_view key,
+                            uint64_t seq);
+
+/// Decode the component starting at the front of *input (for debugging and
+/// tests); advances past it.
+Status DecodeKeyPathComponent(std::string_view* input, std::string* key,
+                              uint64_t* seq);
+
+/// Number of components in an encoded path; Corruption if malformed.
+StatusOr<int> KeyPathDepth(std::string_view path);
+
+}  // namespace nexsort

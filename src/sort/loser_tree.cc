@@ -1,0 +1,72 @@
+#include "sort/loser_tree.h"
+
+#include <cassert>
+
+namespace nexsort {
+
+LoserTree::LoserTree(std::vector<MergeSource*> sources)
+    : sources_(std::move(sources)), k_(static_cast<int>(sources_.size())) {}
+
+int LoserTree::Compare(int a, int b) const {
+  // Exhausted sources lose to everything; ties go to the lower index.
+  if (a < 0 || static_cast<size_t>(a) >= sources_.size()) return b;
+  if (b < 0 || static_cast<size_t>(b) >= sources_.size()) return a;
+  bool a_done = sources_[a]->exhausted();
+  bool b_done = sources_[b]->exhausted();
+  if (a_done) return b;
+  if (b_done) return a;
+  std::string_view ka = sources_[a]->key();
+  std::string_view kb = sources_[b]->key();
+  if (ka < kb) return a;
+  if (kb < ka) return b;
+  return a < b ? a : b;
+}
+
+Status LoserTree::Init() {
+  assert(k_ > 0);
+  tree_.assign(2 * k_, -1);
+  // Leaves occupy [k_, 2k); run one full bottom-up tournament.
+  std::vector<int> winner(2 * k_, -1);
+  for (int i = 0; i < k_; ++i) winner[k_ + i] = i;
+  for (int node = k_ - 1; node >= 1; --node) {
+    int left = winner[2 * node];
+    int right = winner[2 * node + 1];
+    int win = Compare(left, right);
+    winner[node] = win;
+    tree_[node] = (win == left) ? right : left;
+  }
+  tree_[0] = winner.size() > 1 ? winner[1] : -1;
+  initialized_ = true;
+  return Status::OK();
+}
+
+MergeSource* LoserTree::Min() const {
+  assert(initialized_);
+  int w = tree_[0];
+  if (w < 0 || sources_[w]->exhausted()) return nullptr;
+  return sources_[w];
+}
+
+void LoserTree::Replay(int leaf) {
+  int winner = leaf;
+  for (int node = (k_ + leaf) / 2; node >= 1; node /= 2) {
+    int challenger = tree_[node];
+    int win = Compare(winner, challenger);
+    if (win != winner) {
+      tree_[node] = winner;
+      winner = win;
+    }
+  }
+  tree_[0] = winner;
+}
+
+Status LoserTree::AdvanceMin() {
+  assert(initialized_);
+  int w = tree_[0];
+  if (w < 0) return Status::InvalidArgument("merge already exhausted");
+  RETURN_IF_ERROR(sources_[w]->Advance());
+  Replay(w);
+  return Status::OK();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,54 @@
+// Tournament (loser) tree for k-way merging: the merge engine behind
+// external merge sort and NEXSORT's incomplete-run merging. O(log k)
+// comparisons per record, independent of which source wins.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// A stream of key-ordered records feeding a merge.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+
+  /// True when the stream has no current record.
+  virtual bool exhausted() const = 0;
+
+  /// Key of the current record. Valid only if !exhausted().
+  virtual std::string_view key() const = 0;
+
+  /// Move to the next record (possibly exhausting the stream).
+  virtual Status Advance() = 0;
+};
+
+/// Classic loser tree over `sources`. Ties are broken by source index, so a
+/// merge of runs created in input order is stable.
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<MergeSource*> sources);
+
+  /// Build the initial tournament. Must be called once before Min().
+  Status Init();
+
+  /// Source holding the globally smallest current key, or nullptr when all
+  /// sources are exhausted.
+  MergeSource* Min() const;
+
+  /// Advance the winning source and replay its path in the tournament.
+  Status AdvanceMin();
+
+ private:
+  int Compare(int a, int b) const;  // winner of the pair (index)
+  void Replay(int leaf);
+
+  std::vector<MergeSource*> sources_;
+  std::vector<int> tree_;  // internal nodes hold losers; tree_[0] = winner
+  int k_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,51 @@
+#include "util/random.h"
+
+namespace nexsort {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 expansion of the seed into the xorshift state; guarantees a
+  // non-zero state for any seed including 0.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 2; ++i) {
+    z += 0x9E3779B97F4A7C15ULL;
+    uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    s_[i] = x ^ (x >> 31);
+  }
+  if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s_[0];
+  const uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  return n == 0 ? 0 : Next() % n;
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::OneIn(uint64_t den) { return Uniform(den) == 0; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Random::Identifier(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return out;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random generator (xorshift128+). Used by the XML
+// generators and property tests so that every workload is reproducible from
+// a seed, independent of the platform's std::mt19937 stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nexsort {
+
+/// Seeded, deterministic RNG with convenience samplers.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Random lowercase ASCII identifier of the given length.
+  std::string Identifier(size_t length);
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace nexsort

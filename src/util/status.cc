@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace nexsort {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kIOError: return "IOError";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kOutOfMemory: return "OutOfMemory";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kParseError: return "ParseError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,128 @@
+// Status / StatusOr: lightweight error propagation without exceptions,
+// following the RocksDB / Arrow idiom for database-engine code. Every
+// fallible operation in the library returns a Status (or StatusOr<T>);
+// callers either handle the error or propagate it with RETURN_IF_ERROR.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nexsort {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kOutOfMemory,   // memory budget exhausted
+    kNotFound,
+    kParseError,    // malformed XML input
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status OutOfMemory(std::string_view msg) {
+    return Status(Code::kOutOfMemory, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status ParseError(std::string_view msg) {
+    return Status(Code::kParseError, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsParseError() const { return code_ == Code::kParseError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing the value of an error
+/// result is a programming bug and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagate a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)             \
+  do {                                    \
+    ::nexsort::Status _st = (expr);       \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+// Evaluate a StatusOr expression; bind the value or propagate the error.
+#define ASSIGN_OR_RETURN(lhs, expr)       \
+  auto NEXSORT_CONCAT_(_sor_, __LINE__) = (expr);               \
+  if (!NEXSORT_CONCAT_(_sor_, __LINE__).ok())                   \
+    return NEXSORT_CONCAT_(_sor_, __LINE__).status();           \
+  lhs = std::move(NEXSORT_CONCAT_(_sor_, __LINE__)).value()
+
+#define NEXSORT_CONCAT_INNER_(a, b) a##b
+#define NEXSORT_CONCAT_(a, b) NEXSORT_CONCAT_INNER_(a, b)
+
+}  // namespace nexsort

@@ -1,0 +1,31 @@
+// LEB128-style variable-length integer coding, used throughout the sorted-run
+// and stack record formats to keep on-disk representations compact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Append a varint-encoded value to *dst.
+void PutVarint64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Append a length-prefixed string to *dst.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Decode a varint from the front of *input, advancing it past the encoding.
+/// Returns Corruption if the input is truncated or overlong.
+Status GetVarint64(std::string_view* input, uint64_t* value);
+Status GetVarint32(std::string_view* input, uint32_t* value);
+
+/// Decode a length-prefixed string from the front of *input.
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would append for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace nexsort

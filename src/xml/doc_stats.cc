@@ -1,0 +1,138 @@
+#include "xml/doc_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "xml/sax_parser.h"
+
+namespace nexsort {
+
+double DocStats::AverageFanout() const {
+  uint64_t parents = 0;
+  uint64_t children = 0;
+  for (const LevelStats& level : levels) {
+    parents += level.elements;
+    children += level.total_children;
+  }
+  // Only elements with children count as parents in the paper's sense of
+  // shaping subtree sorts; keep it simple: children per element.
+  return parents == 0 ? 0.0
+                      : static_cast<double>(children) /
+                            static_cast<double>(parents);
+}
+
+std::string DocStats::ToString(size_t block_size) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "elements (N): %s, text nodes: %s, attributes: %s\n",
+                WithCommas(elements).c_str(), WithCommas(text_nodes).c_str(),
+                WithCommas(attributes).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "max fan-out (k): %s, height: %d, names: %s\n",
+                WithCommas(max_fanout).c_str(), height,
+                WithCommas(distinct_names).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "size: %s (avg element %.1f bytes, text %s)\n",
+                HumanBytes(bytes).c_str(), AverageElementBytes(),
+                HumanBytes(text_bytes).c_str());
+  out += line;
+  out += "per level: level | elements | text | max fan-out | avg fan-out\n";
+  for (size_t l = 1; l < levels.size(); ++l) {
+    const LevelStats& level = levels[l];
+    double avg = level.elements == 0
+                     ? 0.0
+                     : static_cast<double>(level.total_children) /
+                           static_cast<double>(level.elements);
+    std::snprintf(line, sizeof(line), "  %5zu | %8s | %4s | %11s | %11.1f\n",
+                  l, WithCommas(level.elements).c_str(),
+                  WithCommas(level.text_nodes).c_str(),
+                  WithCommas(level.max_fanout).c_str(), avg);
+    out += line;
+  }
+  // The paper's parameter guidance.
+  uint64_t threshold = 2 * block_size;
+  std::snprintf(line, sizeof(line),
+                "suggested sort threshold t = %s (2 blocks of %s); worst "
+                "subtree sort ~ k*t = %s\n",
+                HumanBytes(threshold).c_str(), HumanBytes(block_size).c_str(),
+                HumanBytes(max_fanout * threshold).c_str());
+  out += line;
+  return out;
+}
+
+StatusOr<DocStats> ProfileDocument(ByteSource* input) {
+  SaxParser parser(input);
+  DocStats stats;
+  std::unordered_set<std::string> names;
+  std::vector<uint64_t> open_children;  // per open element
+
+  XmlEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+    if (!more) break;
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        int level = parser.depth();
+        if (stats.levels.size() <= static_cast<size_t>(level)) {
+          stats.levels.resize(level + 1);
+        }
+        ++stats.elements;
+        ++stats.levels[level].elements;
+        stats.height = std::max(stats.height, level);
+        names.insert(event.name);
+        stats.attributes += event.attributes.size();
+        for (const XmlAttribute& attr : event.attributes) {
+          names.insert(attr.name);
+        }
+        if (!open_children.empty()) {
+          ++open_children.back();
+          uint64_t fanout = open_children.back();
+          stats.max_fanout = std::max(stats.max_fanout, fanout);
+          size_t parent_level = open_children.size();
+          stats.levels[parent_level].max_fanout =
+              std::max(stats.levels[parent_level].max_fanout, fanout);
+          ++stats.levels[parent_level].total_children;
+        }
+        open_children.push_back(0);
+        break;
+      }
+      case XmlEventType::kEndElement:
+        open_children.pop_back();
+        break;
+      case XmlEventType::kText: {
+        int level = parser.depth() + 1;
+        if (stats.levels.size() <= static_cast<size_t>(level)) {
+          stats.levels.resize(level + 1);
+        }
+        ++stats.text_nodes;
+        ++stats.levels[level].text_nodes;
+        stats.text_bytes += event.text.size();
+        if (!open_children.empty()) {
+          ++open_children.back();
+          uint64_t fanout = open_children.back();
+          stats.max_fanout = std::max(stats.max_fanout, fanout);
+          size_t parent_level = open_children.size();
+          stats.levels[parent_level].max_fanout =
+              std::max(stats.levels[parent_level].max_fanout, fanout);
+          ++stats.levels[parent_level].total_children;
+        }
+        break;
+      }
+    }
+  }
+  stats.bytes = parser.bytes_consumed();
+  stats.distinct_names = names.size();
+  return stats;
+}
+
+StatusOr<DocStats> ProfileDocument(std::string_view xml) {
+  StringByteSource source(xml);
+  return ProfileDocument(&source);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,54 @@
+// Streaming document profiler: one pass over an XML document collects the
+// quantities the paper's analysis is parameterized by — N (elements), k
+// (maximum fan-out), height, element-size distribution — plus per-level
+// breakdowns. Used to choose NEXSORT parameters (B, M, t) for a workload
+// and by the xmlstat tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+struct LevelStats {
+  uint64_t elements = 0;
+  uint64_t text_nodes = 0;
+  uint64_t max_fanout = 0;   // among elements at this level
+  uint64_t total_children = 0;
+};
+
+struct DocStats {
+  uint64_t elements = 0;      // the paper's N
+  uint64_t text_nodes = 0;
+  uint64_t attributes = 0;
+  uint64_t max_fanout = 0;    // the paper's k
+  int height = 0;
+  uint64_t bytes = 0;         // serialized input size
+  uint64_t text_bytes = 0;
+  uint64_t distinct_names = 0;  // tag + attribute vocabulary
+  std::vector<LevelStats> levels;  // index 0 unused; root at 1
+
+  double AverageElementBytes() const {
+    return elements == 0 ? 0.0
+                         : static_cast<double>(bytes) /
+                               static_cast<double>(elements);
+  }
+  double AverageFanout() const;
+
+  /// Multi-line report, including a suggested sort threshold for a given
+  /// block size per the paper's guidance (t ~ 2 blocks, and subtree sizes
+  /// worth inspecting per level).
+  std::string ToString(size_t block_size) const;
+};
+
+/// Profile the document streamed from `input`.
+StatusOr<DocStats> ProfileDocument(ByteSource* input);
+
+/// Convenience overload for in-memory text.
+StatusOr<DocStats> ProfileDocument(std::string_view xml);
+
+}  // namespace nexsort

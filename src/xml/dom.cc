@@ -1,0 +1,119 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+
+#include "xml/sax_parser.h"
+#include "xml/writer.h"
+
+namespace nexsort {
+
+uint64_t XmlNode::SubtreeSize() const {
+  uint64_t total = 1;
+  for (const auto& child : children) total += child->SubtreeSize();
+  return total;
+}
+
+uint64_t XmlNode::MaxFanout() const {
+  uint64_t best = children.size();
+  for (const auto& child : children) {
+    best = std::max(best, child->MaxFanout());
+  }
+  return best;
+}
+
+int XmlNode::Height() const {
+  int best = 0;
+  for (const auto& child : children) {
+    if (!child->is_text) best = std::max(best, child->Height());
+  }
+  return best + 1;
+}
+
+bool XmlNode::Equals(const XmlNode& other) const {
+  if (is_text != other.is_text || name != other.name || text != other.text ||
+      attributes != other.attributes ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->Equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  auto copy = std::make_unique<XmlNode>();
+  copy->is_text = is_text;
+  copy->name = name;
+  copy->attributes = attributes;
+  copy->text = text;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> ParseDom(ByteSource* source) {
+  SaxParser parser(source);
+  std::unique_ptr<XmlNode> root;
+  std::vector<XmlNode*> stack;
+  XmlEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+    if (!more) break;
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        auto node = XmlNode::Element(event.name);
+        node->attributes = std::move(event.attributes);
+        XmlNode* raw = node.get();
+        if (stack.empty()) {
+          root = std::move(node);
+        } else {
+          stack.back()->AddChild(std::move(node));
+        }
+        stack.push_back(raw);
+        break;
+      }
+      case XmlEventType::kEndElement:
+        stack.pop_back();
+        break;
+      case XmlEventType::kText:
+        if (stack.empty()) return Status::ParseError("text outside root");
+        stack.back()->AddText(event.text);
+        break;
+    }
+  }
+  if (root == nullptr) return Status::ParseError("no root element");
+  return root;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> ParseDom(std::string_view text) {
+  StringByteSource source(text);
+  return ParseDom(&source);
+}
+
+namespace {
+
+Status SerializeNode(const XmlNode& node, XmlWriter* writer) {
+  if (node.is_text) return writer->Text(node.text);
+  RETURN_IF_ERROR(writer->StartElement(node.name, node.attributes));
+  for (const auto& child : node.children) {
+    RETURN_IF_ERROR(SerializeNode(*child, writer));
+  }
+  return writer->EndElement();
+}
+
+}  // namespace
+
+std::string SerializeDom(const XmlNode& root, bool pretty) {
+  std::string out;
+  StringByteSink sink(&out);
+  XmlWriterOptions options;
+  options.pretty = pretty;
+  XmlWriter writer(&sink, options);
+  Status st = SerializeNode(root, &writer);
+  if (st.ok()) st = writer.Finish();
+  (void)st;  // serialization of a well-formed tree cannot fail
+  return out;
+}
+
+}  // namespace nexsort

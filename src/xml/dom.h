@@ -1,0 +1,89 @@
+// Minimal in-memory document tree. The library's external algorithms never
+// require a DOM; it exists for (a) the paper's "internal-memory recursive
+// sort" baseline, (b) reference implementations that property tests compare
+// against, and (c) convenient construction of small documents in examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extmem/stream.h"
+#include "util/status.h"
+#include "xml/token.h"
+
+namespace nexsort {
+
+/// One node: an element (with name/attributes/children) or a text leaf.
+struct XmlNode {
+  bool is_text = false;
+  std::string name;                      // elements
+  std::vector<XmlAttribute> attributes;  // elements
+  std::string text;                      // text leaves
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  static std::unique_ptr<XmlNode> Element(std::string_view name) {
+    auto node = std::make_unique<XmlNode>();
+    node->name = name;
+    return node;
+  }
+  static std::unique_ptr<XmlNode> TextNode(std::string_view text) {
+    auto node = std::make_unique<XmlNode>();
+    node->is_text = true;
+    node->text = text;
+    return node;
+  }
+
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+  XmlNode* AddElement(std::string_view child_name) {
+    return AddChild(Element(child_name));
+  }
+  XmlNode* AddText(std::string_view value) {
+    return AddChild(TextNode(value));
+  }
+  void SetAttribute(std::string_view attr_name, std::string_view value) {
+    for (XmlAttribute& attr : attributes) {
+      if (attr.name == attr_name) {
+        attr.value = value;
+        return;
+      }
+    }
+    attributes.push_back({std::string(attr_name), std::string(value)});
+  }
+  const std::string* FindAttribute(std::string_view attr_name) const {
+    for (const XmlAttribute& attr : attributes) {
+      if (attr.name == attr_name) return &attr.value;
+    }
+    return nullptr;
+  }
+
+  /// Total node count of this subtree (elements + text leaves).
+  uint64_t SubtreeSize() const;
+
+  /// Maximum fan-out (the paper's k) over this subtree.
+  uint64_t MaxFanout() const;
+
+  /// Height of this subtree (a leaf has height 1).
+  int Height() const;
+
+  /// Deep structural equality.
+  bool Equals(const XmlNode& other) const;
+
+  /// Deep copy.
+  std::unique_ptr<XmlNode> Clone() const;
+};
+
+/// Parse a whole document from `source` into a tree; the document must have
+/// a single root element.
+StatusOr<std::unique_ptr<XmlNode>> ParseDom(ByteSource* source);
+
+/// Convenience overload for in-memory text.
+StatusOr<std::unique_ptr<XmlNode>> ParseDom(std::string_view text);
+
+/// Serialize `root` (compact, no added whitespace).
+std::string SerializeDom(const XmlNode& root, bool pretty = false);
+
+}  // namespace nexsort

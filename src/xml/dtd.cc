@@ -1,0 +1,304 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+#include "xml/sax_parser.h"
+
+namespace nexsort {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+// Minimal token walker over DTD text.
+class DtdScanner {
+ public:
+  explicit DtdScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> Name() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError("DTD: expected a name at offset " +
+                                std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Everything up to the closing '>', honouring quotes.
+  StatusOr<std::string_view> UntilDeclEnd() {
+    size_t start = pos_;
+    char quote = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (quote != 0) {
+        if (c == quote) quote = 0;
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        std::string_view body = text_.substr(start, pos_ - start);
+        ++pos_;
+        return body;
+      }
+      ++pos_;
+    }
+    return Status::ParseError("DTD: unterminated declaration");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Parse a content model body: EMPTY | ANY | (...) with names extracted.
+Status ParseContentModel(std::string_view body, DtdElementDecl* decl) {
+  // Trim.
+  while (!body.empty() &&
+         std::isspace(static_cast<unsigned char>(body.front()))) {
+    body.remove_prefix(1);
+  }
+  while (!body.empty() &&
+         std::isspace(static_cast<unsigned char>(body.back()))) {
+    body.remove_suffix(1);
+  }
+  if (body == "EMPTY") {
+    decl->content = DtdElementDecl::Content::kEmpty;
+    return Status::OK();
+  }
+  if (body == "ANY") {
+    decl->content = DtdElementDecl::Content::kAny;
+    return Status::OK();
+  }
+  if (body.empty() || body.front() != '(') {
+    return Status::ParseError("DTD: bad content model for " + decl->name);
+  }
+  bool mixed = body.find("#PCDATA") != std::string_view::npos;
+  decl->content = mixed ? DtdElementDecl::Content::kMixed
+                        : DtdElementDecl::Content::kChildren;
+  // Harvest child names (ordering/cardinality accepted but not enforced).
+  size_t i = 0;
+  while (i < body.size()) {
+    char c = body[i];
+    if (IsNameChar(c) && c != '#') {
+      size_t start = i;
+      while (i < body.size() && IsNameChar(body[i])) ++i;
+      std::string name(body.substr(start, i - start));
+      bool seen = false;
+      for (const std::string& existing : decl->allowed_children) {
+        if (existing == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) decl->allowed_children.push_back(std::move(name));
+    } else {
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  DtdScanner scanner(text);
+  while (!scanner.AtEnd()) {
+    if (scanner.Consume("<!ELEMENT")) {
+      DtdElementDecl decl;
+      ASSIGN_OR_RETURN(decl.name, scanner.Name());
+      ASSIGN_OR_RETURN(std::string_view body, scanner.UntilDeclEnd());
+      RETURN_IF_ERROR(ParseContentModel(body, &decl));
+      if (dtd.element_index_.count(decl.name) != 0) {
+        return Status::ParseError("DTD: duplicate element declaration " +
+                                  decl.name);
+      }
+      dtd.element_index_[decl.name] = dtd.elements_.size();
+      dtd.elements_.push_back(std::move(decl));
+    } else if (scanner.Consume("<!ATTLIST")) {
+      std::string element;
+      ASSIGN_OR_RETURN(element, scanner.Name());
+      ASSIGN_OR_RETURN(std::string_view body, scanner.UntilDeclEnd());
+      // body := (attr type default)* — parse greedily.
+      DtdScanner attrs(body);
+      while (!attrs.AtEnd()) {
+        DtdAttributeDecl decl;
+        decl.element = element;
+        ASSIGN_OR_RETURN(decl.name, attrs.Name());
+        // Type: a name or an enumeration "(a|b|c)".
+        attrs.SkipSpace();
+        if (attrs.Consume("(")) {
+          decl.type = "(";
+          while (true) {
+            auto value = attrs.Name();
+            if (value.ok()) decl.type += *value;
+            if (attrs.Consume(")")) {
+              decl.type += ")";
+              break;
+            }
+            if (attrs.Consume("|")) {
+              decl.type += "|";
+              continue;
+            }
+            return Status::ParseError("DTD: bad enumeration for @" +
+                                      decl.name);
+          }
+        } else {
+          ASSIGN_OR_RETURN(decl.type, attrs.Name());
+        }
+        if (attrs.Consume("#REQUIRED")) {
+          decl.required = true;
+        } else if (attrs.Consume("#IMPLIED")) {
+          // optional, no default
+        } else {
+          attrs.Consume("#FIXED");
+          attrs.SkipSpace();
+          if (attrs.Consume("\"")) {
+            // Read to the closing quote.
+            std::string value;
+            // DtdScanner has no raw-char API; re-implement inline.
+            // (Defaults are informational only.)
+            // Consume name-ish and punctuation until '"'.
+            while (!attrs.Consume("\"")) {
+              auto piece = attrs.Name();
+              if (!piece.ok()) {
+                return Status::ParseError("DTD: unterminated default value");
+              }
+              if (!value.empty()) value += " ";
+              value += *piece;
+            }
+            decl.default_value = value;
+          }
+        }
+        dtd.attributes_.push_back(std::move(decl));
+      }
+    } else {
+      return Status::ParseError("DTD: expected <!ELEMENT or <!ATTLIST");
+    }
+  }
+  return dtd;
+}
+
+const DtdElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = element_index_.find(std::string(name));
+  if (it == element_index_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+void Dtd::SeedDictionary(NameDictionary* dictionary) const {
+  for (const DtdElementDecl& decl : elements_) {
+    dictionary->Intern(decl.name);
+  }
+  for (const DtdAttributeDecl& decl : attributes_) {
+    dictionary->Intern(decl.name);
+  }
+}
+
+StatusOr<DtdValidationReport> Dtd::Validate(ByteSource* document) const {
+  SaxParser parser(document);
+  DtdValidationReport report;
+  std::vector<const DtdElementDecl*> open;
+
+  auto fail = [&](std::string message) {
+    if (report.valid) {
+      report.valid = false;
+      report.violation = std::move(message);
+    }
+  };
+
+  XmlEvent event;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, parser.Next(&event));
+    if (!more) break;
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        ++report.elements_checked;
+        const DtdElementDecl* decl = FindElement(event.name);
+        if (decl == nullptr) {
+          fail("undeclared element <" + event.name + ">");
+        }
+        if (!open.empty() && open.back() != nullptr) {
+          const DtdElementDecl* parent = open.back();
+          switch (parent->content) {
+            case DtdElementDecl::Content::kEmpty:
+              fail("element <" + event.name + "> inside EMPTY <" +
+                   parent->name + ">");
+              break;
+            case DtdElementDecl::Content::kAny:
+              break;
+            case DtdElementDecl::Content::kMixed:
+            case DtdElementDecl::Content::kChildren: {
+              bool allowed = false;
+              for (const std::string& child : parent->allowed_children) {
+                if (child == event.name) {
+                  allowed = true;
+                  break;
+                }
+              }
+              if (!allowed) {
+                fail("<" + event.name + "> not allowed inside <" +
+                     parent->name + ">");
+              }
+              break;
+            }
+          }
+        }
+        // Required attributes.
+        for (const DtdAttributeDecl& attr : attributes_) {
+          if (!attr.required || attr.element != event.name) continue;
+          if (event.FindAttribute(attr.name) == nullptr) {
+            fail("<" + event.name + "> missing required attribute " +
+                 attr.name);
+          }
+        }
+        open.push_back(decl);
+        break;
+      }
+      case XmlEventType::kEndElement:
+        open.pop_back();
+        break;
+      case XmlEventType::kText:
+        if (!open.empty() && open.back() != nullptr) {
+          const DtdElementDecl* parent = open.back();
+          if (parent->content == DtdElementDecl::Content::kEmpty ||
+              parent->content == DtdElementDecl::Content::kChildren) {
+            fail("text not allowed inside <" + parent->name + ">");
+          }
+        }
+        break;
+    }
+  }
+  return report;
+}
+
+StatusOr<DtdValidationReport> Dtd::Validate(std::string_view xml) const {
+  StringByteSource source(xml);
+  return Validate(&source);
+}
+
+}  // namespace nexsort

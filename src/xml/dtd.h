@@ -1,0 +1,79 @@
+// DTD support (paper Section 3.2: "the availability of a DTD can greatly
+// simplify this conversion" — the tag/attribute vocabulary is known up
+// front). This module parses a practical DTD subset, pre-seeds the
+// compaction dictionary from the declared vocabulary so every name gets a
+// stable small id before scanning begins, and validates documents
+// structurally against the declarations.
+//
+// Supported declarations:
+//   <!ELEMENT name EMPTY | ANY | (#PCDATA|a|b)* | (a, b?, c*) ...>
+//     Content models are interpreted as a *child-name set* plus a
+//     text-allowed flag; ordering and cardinality operators are accepted
+//     syntactically but not enforced (documented subset).
+//   <!ATTLIST element attr TYPE #REQUIRED|#IMPLIED|#FIXED "v"|"default">
+//     Types are accepted verbatim; #REQUIRED is enforced by validation.
+// Comments and parameter entities are not supported.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "extmem/stream.h"
+#include "util/status.h"
+#include "xml/dictionary.h"
+
+namespace nexsort {
+
+struct DtdElementDecl {
+  enum class Content { kEmpty, kAny, kMixed, kChildren };
+  std::string name;
+  Content content = Content::kAny;
+  std::vector<std::string> allowed_children;  // kMixed/kChildren
+};
+
+struct DtdAttributeDecl {
+  std::string element;
+  std::string name;
+  std::string type;           // CDATA, ID, IDREF, NMTOKEN, enumerations...
+  bool required = false;      // #REQUIRED
+  std::string default_value;  // for defaults / #FIXED
+};
+
+struct DtdValidationReport {
+  bool valid = true;
+  std::string violation;  // first problem found
+  uint64_t elements_checked = 0;
+};
+
+/// A parsed DTD.
+class Dtd {
+ public:
+  /// Parse DTD text (the content of a .dtd file, or an internal subset
+  /// without the surrounding <!DOCTYPE ... [ ]>).
+  static StatusOr<Dtd> Parse(std::string_view text);
+
+  const DtdElementDecl* FindElement(std::string_view name) const;
+  const std::vector<DtdAttributeDecl>& attributes() const {
+    return attributes_;
+  }
+  size_t element_count() const { return elements_.size(); }
+
+  /// Intern every declared tag and attribute name (paper Section 3.2: the
+  /// DTD makes the string -> integer conversion trivial and stable).
+  void SeedDictionary(NameDictionary* dictionary) const;
+
+  /// Streaming structural validation: every element declared, children
+  /// allowed by the parent's content model, text only under mixed/ANY
+  /// content, required attributes present.
+  StatusOr<DtdValidationReport> Validate(ByteSource* document) const;
+  StatusOr<DtdValidationReport> Validate(std::string_view xml) const;
+
+ private:
+  std::vector<DtdElementDecl> elements_;
+  std::unordered_map<std::string, size_t> element_index_;
+  std::vector<DtdAttributeDecl> attributes_;
+};
+
+}  // namespace nexsort

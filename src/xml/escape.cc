@@ -1,0 +1,110 @@
+#include "xml/escape.h"
+
+#include <cstdlib>
+
+namespace nexsort {
+
+void AppendEscapedText(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '&': out->append("&amp;"); break;
+      case '<': out->append("&lt;"); break;
+      case '>': out->append("&gt;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void AppendEscapedAttribute(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '&': out->append("&amp;"); break;
+      case '<': out->append("&lt;"); break;
+      case '>': out->append("&gt;"); break;
+      case '"': out->append("&quot;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+namespace {
+
+// Append the UTF-8 encoding of `cp` to *out.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+Status AppendUnescaped(
+    std::string* out, std::string_view input,
+    const std::unordered_map<std::string, std::string>* custom) {
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t end = input.find(';', i + 1);
+    if (end == std::string_view::npos || end == i + 1) {
+      return Status::ParseError("malformed entity reference");
+    }
+    std::string_view entity = input.substr(i + 1, end - i - 1);
+    if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (entity.size() > 1 && entity[0] == '#') {
+      std::string digits(entity.substr(1));
+      char* endp = nullptr;
+      long cp;
+      if (digits[0] == 'x' || digits[0] == 'X') {
+        cp = std::strtol(digits.c_str() + 1, &endp, 16);
+      } else {
+        cp = std::strtol(digits.c_str(), &endp, 10);
+      }
+      if (endp == nullptr || *endp != '\0' || cp <= 0 || cp > 0x10FFFF) {
+        return Status::ParseError("malformed character reference: &" +
+                                  std::string(entity) + ";");
+      }
+      AppendUtf8(out, static_cast<uint32_t>(cp));
+    } else {
+      if (custom != nullptr) {
+        auto it = custom->find(std::string(entity));
+        if (it != custom->end()) {
+          out->append(it->second);
+          i = end + 1;
+          continue;
+        }
+      }
+      return Status::ParseError("unknown entity: &" + std::string(entity) +
+                                ";");
+    }
+    i = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace nexsort

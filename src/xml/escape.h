@@ -1,0 +1,27 @@
+// XML text/attribute escaping and entity decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Append `text` to *out with &, <, > escaped (element content).
+void AppendEscapedText(std::string* out, std::string_view text);
+
+/// Append `value` to *out with &, <, >, " escaped (attribute values, which
+/// the writer always double-quotes).
+void AppendEscapedAttribute(std::string* out, std::string_view value);
+
+/// Decode the five predefined entities and decimal/hex character references
+/// in `input`, appending to *out. ParseError on an unknown or malformed
+/// entity. `custom` optionally supplies user-defined entities (from a
+/// DOCTYPE internal subset); values are substituted verbatim.
+Status AppendUnescaped(
+    std::string* out, std::string_view input,
+    const std::unordered_map<std::string, std::string>* custom = nullptr);
+
+}  // namespace nexsort

@@ -1,0 +1,140 @@
+#include "xml/generator.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "xml/writer.h"
+
+namespace nexsort {
+
+namespace {
+
+// Emits one element's start tag with a random sort key and size padding,
+// recursing to `fanout(level)` children until `height` is reached.
+class TreeEmitter {
+ public:
+  TreeEmitter(XmlWriter* writer, Random* rng, const GeneratorOptions& options,
+              GeneratorStats* stats)
+      : writer_(writer), rng_(rng), options_(options), stats_(stats) {}
+
+  // fanout_fn(level) -> number of children for an element at `level`
+  // (root is level 1); 0 means leaf.
+  template <typename FanoutFn>
+  Status Emit(int level, const FanoutFn& fanout_fn) {
+    uint64_t fanout = fanout_fn(level);
+    RETURN_IF_ERROR(StartElement(level, fanout == 0));
+    stats_->max_fanout = std::max(stats_->max_fanout, fanout);
+    stats_->height = std::max(stats_->height, level);
+    for (uint64_t i = 0; i < fanout; ++i) {
+      RETURN_IF_ERROR(Emit(level + 1, fanout_fn));
+    }
+    return writer_->EndElement();
+  }
+
+ private:
+  Status StartElement(int level, bool leaf) {
+    ++stats_->elements;
+    std::string tag = "n" + std::to_string(level);
+    std::vector<XmlAttribute> attributes;
+    attributes.push_back(
+        {"id", std::to_string(rng_->Uniform(options_.key_space))});
+    // Pad the element's serialized footprint (start + end tag) up to
+    // element_bytes, approximating the paper's ~150-byte elements.
+    size_t base = 2 * tag.size() + 5 /* <></> */ + 4 + attributes[0].value.size()
+                  + 7 /* id="" + space + pad=" " */;
+    if (options_.element_bytes > base + 8) {
+      attributes.push_back(
+          {"pad", std::string(options_.element_bytes - base - 8, 'x')});
+    }
+    RETURN_IF_ERROR(writer_->StartElement(tag, attributes));
+    if (leaf && options_.leaf_text) {
+      ++stats_->text_nodes;
+      RETURN_IF_ERROR(writer_->Text("v" + rng_->Identifier(6)));
+    }
+    return Status::OK();
+  }
+
+  XmlWriter* writer_;
+  Random* rng_;
+  const GeneratorOptions& options_;
+  GeneratorStats* stats_;
+};
+
+// ByteSink wrapper that counts bytes on the way through.
+class CountingSink final : public ByteSink {
+ public:
+  CountingSink(ByteSink* inner, uint64_t* counter)
+      : inner_(inner), counter_(counter) {}
+  Status Append(std::string_view data) override {
+    *counter_ += data.size();
+    return inner_->Append(data);
+  }
+
+ private:
+  ByteSink* inner_;
+  uint64_t* counter_;
+};
+
+}  // namespace
+
+RandomTreeGenerator::RandomTreeGenerator(int height, uint64_t max_fanout,
+                                         GeneratorOptions options)
+    : height_(height), max_fanout_(max_fanout), options_(options) {}
+
+Status RandomTreeGenerator::Generate(ByteSink* sink) {
+  stats_ = GeneratorStats();
+  CountingSink counting(sink, &stats_.bytes);
+  XmlWriter writer(&counting);
+  Random rng(options_.seed);
+  TreeEmitter emitter(&writer, &rng, options_, &stats_);
+  auto fanout_fn = [&](int level) -> uint64_t {
+    if (level >= height_) return 0;
+    return rng.UniformRange(1, max_fanout_);
+  };
+  RETURN_IF_ERROR(emitter.Emit(1, fanout_fn));
+  return writer.Finish();
+}
+
+StatusOr<std::string> RandomTreeGenerator::GenerateString() {
+  std::string out;
+  StringByteSink sink(&out);
+  RETURN_IF_ERROR(Generate(&sink));
+  return out;
+}
+
+ShapeGenerator::ShapeGenerator(std::vector<uint64_t> fanouts,
+                               GeneratorOptions options)
+    : fanouts_(std::move(fanouts)), options_(options) {}
+
+uint64_t ShapeGenerator::ExpectedElements() const {
+  uint64_t total = 1;
+  uint64_t level_width = 1;
+  for (uint64_t fanout : fanouts_) {
+    level_width *= fanout;
+    total += level_width;
+  }
+  return total;
+}
+
+Status ShapeGenerator::Generate(ByteSink* sink) {
+  stats_ = GeneratorStats();
+  CountingSink counting(sink, &stats_.bytes);
+  XmlWriter writer(&counting);
+  Random rng(options_.seed);
+  TreeEmitter emitter(&writer, &rng, options_, &stats_);
+  auto fanout_fn = [&](int level) -> uint64_t {
+    size_t index = static_cast<size_t>(level) - 1;
+    return index < fanouts_.size() ? fanouts_[index] : 0;
+  };
+  RETURN_IF_ERROR(emitter.Emit(1, fanout_fn));
+  return writer.Finish();
+}
+
+StatusOr<std::string> ShapeGenerator::GenerateString() {
+  std::string out;
+  StringByteSink sink(&out);
+  RETURN_IF_ERROR(Generate(&sink));
+  return out;
+}
+
+}  // namespace nexsort

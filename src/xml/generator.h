@@ -1,0 +1,85 @@
+// Workload generators reproducing the paper's two test-data sources
+// (Section 5): the IBM alphaWorks XML Generator ("allows us to specify
+// height and maximum fan-out... the fan-out of each element is a random
+// number between 1 and the specified maximum") and the authors' custom
+// generator ("allows us to specify the exact fan-out for each level").
+// Both emit elements averaging ~150 bytes, matching the paper's data, and
+// stream their output so arbitrarily large documents never need RAM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extmem/stream.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Shared knobs for both generators.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+
+  /// Approximate serialized size of one element (start tag + end tag),
+  /// reached by padding an attribute. The paper's data averages ~150 bytes.
+  size_t element_bytes = 150;
+
+  /// Upper bound for random integer sort keys (attribute "id").
+  uint64_t key_space = 1000000000;
+
+  /// Give leaf elements a short text payload.
+  bool leaf_text = true;
+};
+
+/// Totals observed while generating, for workload reports.
+struct GeneratorStats {
+  uint64_t elements = 0;       // element count (excluding text nodes)
+  uint64_t text_nodes = 0;
+  uint64_t max_fanout = 0;     // the paper's k
+  uint64_t bytes = 0;
+  int height = 0;
+};
+
+/// IBM-alphaWorks-style generator: depth `height`, per-element fan-out
+/// uniform in [1, max_fanout] (leaves at the bottom level).
+class RandomTreeGenerator {
+ public:
+  RandomTreeGenerator(int height, uint64_t max_fanout,
+                      GeneratorOptions options = {});
+
+  Status Generate(ByteSink* sink);
+
+  /// Convenience: generate into a string.
+  StatusOr<std::string> GenerateString();
+
+  const GeneratorStats& stats() const { return stats_; }
+
+ private:
+  const int height_;
+  const uint64_t max_fanout_;
+  const GeneratorOptions options_;
+  GeneratorStats stats_;
+};
+
+/// The authors' custom generator: exact fan-out per level. fanouts[i] is
+/// the fan-out of every element at level i+1 (the root is level 1), so the
+/// document has fanouts.size()+1 levels, matching Table 2 of the paper.
+class ShapeGenerator {
+ public:
+  ShapeGenerator(std::vector<uint64_t> fanouts, GeneratorOptions options = {});
+
+  Status Generate(ByteSink* sink);
+  StatusOr<std::string> GenerateString();
+
+  /// Element count the shape will produce: 1 + f1 + f1*f2 + ...
+  uint64_t ExpectedElements() const;
+
+  const GeneratorStats& stats() const { return stats_; }
+
+ private:
+  const std::vector<uint64_t> fanouts_;
+  const GeneratorOptions options_;
+  GeneratorStats stats_;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,40 @@
+// Event model for XML scanning: the "unit of XML data (a start tag, an end
+// tag, or a piece of text)" read on line 3 of the paper's Figure 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nexsort {
+
+/// One attribute of a start tag.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const XmlAttribute&) const = default;
+};
+
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,
+};
+
+/// One parse event.
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kText;
+  std::string name;                      // start/end tag name
+  std::vector<XmlAttribute> attributes;  // start tags only
+  std::string text;                      // kText only
+
+  /// Value of attribute `attr_name`, or nullptr if absent.
+  const std::string* FindAttribute(std::string_view attr_name) const {
+    for (const XmlAttribute& attr : attributes) {
+      if (attr.name == attr_name) return &attr.value;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace nexsort

@@ -1,0 +1,126 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace nexsort {
+
+namespace {
+constexpr size_t kFlushThreshold = 64 * 1024;
+}
+
+XmlWriter::XmlWriter(ByteSink* sink, XmlWriterOptions options)
+    : sink_(sink), options_(options) {}
+
+Status XmlWriter::FlushIfLarge() {
+  if (buffer_.size() >= kFlushThreshold) {
+    RETURN_IF_ERROR(sink_->Append(buffer_));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+void XmlWriter::Indent() {
+  if (!options_.pretty) return;
+  if (!buffer_.empty() || wrote_declaration_) buffer_.push_back('\n');
+  buffer_.append(open_.size() * 2, ' ');
+}
+
+Status XmlWriter::StartElement(std::string_view name,
+                               const std::vector<XmlAttribute>& attributes) {
+  if (options_.declaration && !wrote_declaration_ && open_.empty()) {
+    buffer_.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    wrote_declaration_ = true;
+  }
+  Indent();
+  buffer_.push_back('<');
+  buffer_.append(name);
+  for (const XmlAttribute& attr : attributes) {
+    buffer_.push_back(' ');
+    buffer_.append(attr.name);
+    buffer_.append("=\"");
+    AppendEscapedAttribute(&buffer_, attr.value);
+    buffer_.push_back('"');
+  }
+  buffer_.push_back('>');
+  open_.emplace_back(name);
+  just_opened_ = true;
+  has_text_ = false;
+  return FlushIfLarge();
+}
+
+Status XmlWriter::EndElement() {
+  if (open_.empty()) {
+    return Status::InvalidArgument("EndElement with no open element");
+  }
+  std::string name = std::move(open_.back());
+  open_.pop_back();
+  if (options_.pretty && !just_opened_ && !has_text_) {
+    buffer_.push_back('\n');
+    buffer_.append(open_.size() * 2, ' ');
+  }
+  buffer_.append("</");
+  buffer_.append(name);
+  buffer_.push_back('>');
+  just_opened_ = false;
+  has_text_ = false;
+  return FlushIfLarge();
+}
+
+Status XmlWriter::Text(std::string_view text) {
+  if (open_.empty()) {
+    return Status::InvalidArgument("text outside the root element");
+  }
+  AppendEscapedText(&buffer_, text);
+  has_text_ = true;
+  return FlushIfLarge();
+}
+
+Status XmlWriter::Event(const XmlEvent& event) {
+  switch (event.type) {
+    case XmlEventType::kStartElement:
+      return StartElement(event.name, event.attributes);
+    case XmlEventType::kEndElement:
+      return EndElement();
+    case XmlEventType::kText:
+      return Text(event.text);
+  }
+  return Status::InvalidArgument("unknown event type");
+}
+
+Status XmlWriter::Finish() {
+  while (!open_.empty()) RETURN_IF_ERROR(EndElement());
+  if (!buffer_.empty()) {
+    RETURN_IF_ERROR(sink_->Append(buffer_));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+std::string EventToString(const XmlEvent& event) {
+  std::string out;
+  switch (event.type) {
+    case XmlEventType::kStartElement:
+      out.push_back('<');
+      out.append(event.name);
+      for (const XmlAttribute& attr : event.attributes) {
+        out.push_back(' ');
+        out.append(attr.name);
+        out.append("=\"");
+        AppendEscapedAttribute(&out, attr.value);
+        out.push_back('"');
+      }
+      out.push_back('>');
+      break;
+    case XmlEventType::kEndElement:
+      out.append("</");
+      out.append(event.name);
+      out.push_back('>');
+      break;
+    case XmlEventType::kText:
+      AppendEscapedText(&out, event.text);
+      break;
+  }
+  return out;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,57 @@
+// Streaming XML serializer: the inverse of SaxParser. NEXSORT's output
+// phase drives one of these against a block stream, so writing the final
+// sorted document costs exactly the O(N/B) "writing the output" I/Os.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "extmem/stream.h"
+#include "util/status.h"
+#include "xml/token.h"
+
+namespace nexsort {
+
+struct XmlWriterOptions {
+  /// Indent with two spaces per level and newlines between elements.
+  bool pretty = false;
+
+  /// Emit an <?xml version="1.0"?> declaration before the root.
+  bool declaration = false;
+};
+
+/// Push-based writer with automatic escaping and end-tag bookkeeping.
+class XmlWriter {
+ public:
+  XmlWriter(ByteSink* sink, XmlWriterOptions options = {});
+
+  Status StartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes = {});
+  Status EndElement();
+  Status Text(std::string_view text);
+
+  /// Replay a parse event (convenience for copy-through pipelines).
+  Status Event(const XmlEvent& event);
+
+  /// Close any elements still open and flush buffered bytes to the sink.
+  Status Finish();
+
+  int depth() const { return static_cast<int>(open_.size()); }
+
+ private:
+  Status FlushIfLarge();
+  void Indent();
+
+  ByteSink* sink_;
+  XmlWriterOptions options_;
+  std::string buffer_;
+  std::vector<std::string> open_;
+  bool wrote_declaration_ = false;
+  bool just_opened_ = false;  // suppress newline for <a>text</a> shapes
+  bool has_text_ = false;
+};
+
+/// Serialize a single event stream element-by-element into a string.
+std::string EventToString(const XmlEvent& event);
+
+}  // namespace nexsort

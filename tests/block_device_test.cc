@@ -1,0 +1,189 @@
+// Unit tests for the block-device substrate: allocation, read/write, I/O
+// accounting (counts, sequentiality, categories, disk-time model), failure
+// injection, and the file-backed implementation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "extmem/block_device.h"
+#include "tests/test_util.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+std::string Block(size_t block_size, char fill) {
+  return std::string(block_size, fill);
+}
+
+TEST(BlockDevice, AllocateAssignsDenseIds) {
+  auto device = NewMemoryBlockDevice(256);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(3, &first));
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(device->num_blocks(), 3u);
+  NEX_ASSERT_OK(device->Allocate(2, &first));
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(device->num_blocks(), 5u);
+}
+
+TEST(BlockDevice, WriteReadRoundTrip) {
+  auto device = NewMemoryBlockDevice(128);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(2, &id));
+  std::string data = Block(128, 'x');
+  NEX_ASSERT_OK(device->Write(0, data.data()));
+  std::string back(128, '\0');
+  NEX_ASSERT_OK(device->Read(0, back.data()));
+  EXPECT_EQ(back, data);
+}
+
+TEST(BlockDevice, UnwrittenBlocksReadAsZeros) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(1, &id));
+  std::string back(64, 'q');
+  NEX_ASSERT_OK(device->Read(0, back.data()));
+  EXPECT_EQ(back, std::string(64, '\0'));
+}
+
+TEST(BlockDevice, OutOfRangeAccessRejected) {
+  auto device = NewMemoryBlockDevice(64);
+  std::string buf(64, '\0');
+  EXPECT_TRUE(device->Read(0, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(device->Write(5, buf.data()).IsInvalidArgument());
+}
+
+TEST(BlockDevice, CountsReadsAndWrites) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &id));
+  std::string buf = Block(64, 'a');
+  for (int i = 0; i < 4; ++i) NEX_ASSERT_OK(device->Write(i, buf.data()));
+  for (int i = 0; i < 3; ++i) NEX_ASSERT_OK(device->Read(i, buf.data()));
+  EXPECT_EQ(device->stats().writes, 4u);
+  EXPECT_EQ(device->stats().reads, 3u);
+  EXPECT_EQ(device->stats().total(), 7u);
+}
+
+TEST(BlockDevice, DetectsSequentialAccess) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(10, &id));
+  std::string buf = Block(64, 'a');
+  // 0,1,2,3 written in order: 1,2,3 are sequential successors.
+  for (int i = 0; i < 4; ++i) NEX_ASSERT_OK(device->Write(i, buf.data()));
+  EXPECT_EQ(device->stats().sequential_writes, 3u);
+  // A jump to 9 is random; 9 -> 0 is random too.
+  NEX_ASSERT_OK(device->Read(9, buf.data()));
+  NEX_ASSERT_OK(device->Read(0, buf.data()));
+  EXPECT_EQ(device->stats().sequential_reads, 0u);
+}
+
+TEST(BlockDevice, DiskModelChargesSeeksForRandomAccess) {
+  DiskModel model;
+  model.seek_ms = 10.0;
+  model.transfer_mb_per_s = 100.0;
+  auto device = NewMemoryBlockDevice(1 << 20, model);  // 1 MiB blocks
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(3, &id));
+  std::string buf = Block(1 << 20, 'a');
+  NEX_ASSERT_OK(device->Write(0, buf.data()));  // random: seek + transfer
+  NEX_ASSERT_OK(device->Write(1, buf.data()));  // sequential: transfer only
+  // transfer = 1MiB / 100MB/s ~ 0.0105 s; seek = 0.010 s.
+  double modeled = device->stats().modeled_seconds;
+  EXPECT_NEAR(modeled, 0.010 + 2 * (1048576.0 / 100e6), 1e-4);
+}
+
+TEST(BlockDevice, AttributesIoToCategories) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(2, &id));
+  std::string buf = Block(64, 'a');
+  {
+    IoCategoryScope scope(device.get(), IoCategory::kPathStack);
+    NEX_ASSERT_OK(device->Write(0, buf.data()));
+  }
+  NEX_ASSERT_OK(device->Write(1, buf.data()));  // back to kOther
+  const IoStats& stats = device->stats();
+  EXPECT_EQ(stats.category_writes[static_cast<int>(IoCategory::kPathStack)],
+            1u);
+  EXPECT_EQ(stats.category_writes[static_cast<int>(IoCategory::kOther)], 1u);
+}
+
+TEST(BlockDevice, CategoryScopesNest) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(3, &id));
+  std::string buf = Block(64, 'a');
+  {
+    IoCategoryScope outer(device.get(), IoCategory::kInput);
+    {
+      IoCategoryScope inner(device.get(), IoCategory::kRunWrite);
+      NEX_ASSERT_OK(device->Write(0, buf.data()));
+    }
+    NEX_ASSERT_OK(device->Write(1, buf.data()));
+  }
+  const IoStats& stats = device->stats();
+  EXPECT_EQ(stats.category_writes[static_cast<int>(IoCategory::kRunWrite)],
+            1u);
+  EXPECT_EQ(stats.category_writes[static_cast<int>(IoCategory::kInput)], 1u);
+}
+
+TEST(BlockDevice, FailureInjection) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(1, &id));
+  std::string buf = Block(64, 'a');
+  device->FailNextOps(2);
+  EXPECT_TRUE(device->Write(0, buf.data()).IsIOError());
+  EXPECT_TRUE(device->Read(0, buf.data()).IsIOError());
+  NEX_EXPECT_OK(device->Write(0, buf.data()));
+}
+
+TEST(BlockDevice, StatsReportMentionsCategories) {
+  auto device = NewMemoryBlockDevice(64);
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(1, &id));
+  std::string buf = Block(64, 'a');
+  {
+    IoCategoryScope scope(device.get(), IoCategory::kDataStack);
+    NEX_ASSERT_OK(device->Write(0, buf.data()));
+  }
+  std::string report = device->stats().ToString(64);
+  EXPECT_NE(report.find("data-stack"), std::string::npos);
+  EXPECT_NE(report.find("total I/Os: 1"), std::string::npos);
+}
+
+TEST(FileBlockDevice, RoundTripsThroughRealFile) {
+  std::string path = ::testing::TempDir() + "/nexsort_device_test.bin";
+  auto device_or = NewFileBlockDevice(path, 256);
+  ASSERT_TRUE(device_or.ok()) << device_or.status().ToString();
+  auto& device = *device_or;
+  uint64_t id = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &id));
+  std::string a = Block(256, 'a');
+  std::string b = Block(256, 'b');
+  NEX_ASSERT_OK(device->Write(0, a.data()));
+  NEX_ASSERT_OK(device->Write(3, b.data()));
+  std::string back(256, '\0');
+  NEX_ASSERT_OK(device->Read(3, back.data()));
+  EXPECT_EQ(back, b);
+  NEX_ASSERT_OK(device->Read(0, back.data()));
+  EXPECT_EQ(back, a);
+  // Allocated but never written: zeros.
+  NEX_ASSERT_OK(device->Read(2, back.data()));
+  EXPECT_EQ(back, std::string(256, '\0'));
+  std::remove(path.c_str());
+}
+
+TEST(FileBlockDevice, OpenFailsForBadPath) {
+  auto device_or = NewFileBlockDevice("/nonexistent-dir/x/y.bin", 256);
+  EXPECT_FALSE(device_or.ok());
+  EXPECT_TRUE(device_or.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

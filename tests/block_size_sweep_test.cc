@@ -1,0 +1,60 @@
+// Block-size parameterized sweep: the whole pipeline must be correct at
+// any block granularity, from pathological 64-byte blocks up.
+#include <gtest/gtest.h>
+
+#include "core/sorted_check.h"
+#include "tests/test_util.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+class BlockSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BlockSizeSweep, NexSortMatchesOracle) {
+  size_t block_size = GetParam();
+  RandomTreeGenerator generator(4, 6, {.seed = 1234, .element_bytes = 70});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string sorted =
+      NexSortString(*xml, options, block_size, /*memory_blocks=*/16);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+TEST_P(BlockSizeSweep, KeyPathBaselineMatchesOracle) {
+  size_t block_size = GetParam();
+  RandomTreeGenerator generator(4, 6, {.seed = 1235, .element_bytes = 70});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  KeyPathSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string sorted =
+      KeyPathSortString(*xml, options, block_size, /*memory_blocks=*/8);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+TEST_P(BlockSizeSweep, GracefulDegenerationMatchesOracle) {
+  size_t block_size = GetParam();
+  ShapeGenerator generator({400}, {.seed = 1236, .element_bytes = 70});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.graceful_degeneration = true;
+  std::string sorted =
+      NexSortString(*xml, options, block_size, /*memory_blocks=*/12);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384),
+                         [](const auto& info) {
+                           return "B" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,70 @@
+// Document profiler tests.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/doc_stats.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(DocStats, CountsBasics) {
+  auto stats = ProfileDocument(
+      "<a x=\"1\" y=\"2\"><b><c/><c/><c/></b><b>text</b></a>");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->elements, 6u);
+  EXPECT_EQ(stats->text_nodes, 1u);
+  EXPECT_EQ(stats->attributes, 2u);
+  EXPECT_EQ(stats->max_fanout, 3u);
+  EXPECT_EQ(stats->height, 3);
+  EXPECT_EQ(stats->distinct_names, 5u);  // a b c x y
+  EXPECT_EQ(stats->text_bytes, 4u);
+}
+
+TEST(DocStats, PerLevelBreakdown) {
+  auto stats = ProfileDocument("<a><b><c/><c/></b><b/></a>");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GE(stats->levels.size(), 4u);
+  EXPECT_EQ(stats->levels[1].elements, 1u);  // a
+  EXPECT_EQ(stats->levels[2].elements, 2u);  // b, b
+  EXPECT_EQ(stats->levels[3].elements, 2u);  // c, c
+  EXPECT_EQ(stats->levels[1].max_fanout, 2u);   // a's children
+  EXPECT_EQ(stats->levels[2].max_fanout, 2u);   // first b's children
+  EXPECT_EQ(stats->levels[1].total_children, 2u);
+  EXPECT_EQ(stats->levels[2].total_children, 2u);
+}
+
+TEST(DocStats, AgreesWithGeneratorStats) {
+  RandomTreeGenerator generator(5, 7, {.seed = 42, .element_bytes = 90});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  auto stats = ProfileDocument(*xml);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->elements, generator.stats().elements);
+  EXPECT_EQ(stats->text_nodes, generator.stats().text_nodes);
+  EXPECT_EQ(stats->height, generator.stats().height);
+  // Generator max_fanout counts element children only; the profiler also
+  // counts text children, so it can only be >=.
+  EXPECT_GE(stats->max_fanout, generator.stats().max_fanout);
+  EXPECT_EQ(stats->bytes, xml->size());
+}
+
+TEST(DocStats, ReportMentionsTheHeadlineNumbers) {
+  auto stats = ProfileDocument("<a><b/><b/></a>");
+  ASSERT_TRUE(stats.ok());
+  std::string report = stats->ToString(4096);
+  EXPECT_NE(report.find("elements (N): 3"), std::string::npos);
+  EXPECT_NE(report.find("max fan-out (k): 2"), std::string::npos);
+  EXPECT_NE(report.find("suggested sort threshold t = 8.0 KiB"),
+            std::string::npos);
+}
+
+TEST(DocStats, PropagatesParseErrors) {
+  auto stats = ProfileDocument("<a><oops></a>");
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,153 @@
+// DTD parsing, dictionary seeding, and structural validation.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/dtd.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+const char kCompanyDtd[] = R"(
+  <!ELEMENT company (region*)>
+  <!ELEMENT region (branch*)>
+  <!ELEMENT branch (employee*)>
+  <!ELEMENT employee (name?, phone?)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT phone (#PCDATA)>
+  <!ATTLIST region name CDATA #REQUIRED>
+  <!ATTLIST branch name CDATA #REQUIRED>
+  <!ATTLIST employee ID CDATA #REQUIRED
+                     status (active|retired) #IMPLIED>
+)";
+
+TEST(Dtd, ParsesDeclarations) {
+  auto dtd = Dtd::Parse(kCompanyDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->element_count(), 6u);
+
+  const DtdElementDecl* employee = dtd->FindElement("employee");
+  ASSERT_NE(employee, nullptr);
+  EXPECT_EQ(employee->content, DtdElementDecl::Content::kChildren);
+  EXPECT_EQ(employee->allowed_children,
+            (std::vector<std::string>{"name", "phone"}));
+
+  const DtdElementDecl* name = dtd->FindElement("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->content, DtdElementDecl::Content::kMixed);
+
+  ASSERT_EQ(dtd->attributes().size(), 4u);
+  EXPECT_TRUE(dtd->attributes()[0].required);
+  EXPECT_EQ(dtd->attributes()[3].type, "(active|retired)");
+  EXPECT_FALSE(dtd->attributes()[3].required);
+}
+
+TEST(Dtd, ParsesEmptyAndAny) {
+  auto dtd = Dtd::Parse("<!ELEMENT br EMPTY><!ELEMENT blob ANY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->FindElement("br")->content, DtdElementDecl::Content::kEmpty);
+  EXPECT_EQ(dtd->FindElement("blob")->content, DtdElementDecl::Content::kAny);
+}
+
+TEST(Dtd, RejectsMalformed) {
+  for (const char* bad :
+       {"<!ELEMENT >", "<!ELEMENT a", "<!BOGUS a EMPTY>",
+        "<!ELEMENT a EMPTY><!ELEMENT a EMPTY>", "<!ELEMENT a foo>"}) {
+    auto dtd = Dtd::Parse(bad);
+    EXPECT_FALSE(dtd.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Dtd, SeedsDictionaryWithDeclaredVocabulary) {
+  auto dtd = Dtd::Parse(kCompanyDtd);
+  ASSERT_TRUE(dtd.ok());
+  NameDictionary dictionary;
+  dtd->SeedDictionary(&dictionary);
+  // 6 element names + attribute names (name, ID, status; "name" collides
+  // with the element name) = 6 + 2.
+  EXPECT_EQ(dictionary.size(), 8u);
+  // Stable small ids in declaration order.
+  auto first = dictionary.Lookup(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "company");
+}
+
+TEST(Dtd, ValidatesConformingDocument) {
+  auto dtd = Dtd::Parse(kCompanyDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto report = dtd->Validate(
+      "<company><region name=\"AC\"><branch name=\"Durham\">"
+      "<employee ID=\"323\"><name>Smith</name><phone>5552345</phone>"
+      "</employee></branch></region></company>");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->valid) << report->violation;
+  EXPECT_EQ(report->elements_checked, 6u);
+}
+
+TEST(Dtd, FlagsViolations) {
+  auto dtd = Dtd::Parse(kCompanyDtd);
+  ASSERT_TRUE(dtd.ok());
+
+  struct Case {
+    const char* xml;
+    const char* expect;
+  };
+  for (const Case& c : {
+           Case{"<company><intruder/></company>", "undeclared"},
+           Case{"<company><branch name=\"x\"></branch></company>",
+                "not allowed inside"},
+           Case{"<company><region></region></company>",
+                "missing required attribute"},
+           Case{"<company>loose text</company>", "text not allowed"},
+       }) {
+    auto report = dtd->Validate(c.xml);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->valid) << c.xml;
+    EXPECT_NE(report->violation.find(c.expect), std::string::npos)
+        << "got: " << report->violation;
+  }
+}
+
+TEST(Dtd, EmptyContentRejectsChildren) {
+  auto dtd = Dtd::Parse("<!ELEMENT a (b*)><!ELEMENT b EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  auto bad = dtd->Validate("<a><b><b/></b></a>");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->valid);
+  EXPECT_NE(bad->violation.find("EMPTY"), std::string::npos);
+  auto good = dtd->Validate("<a><b/><b/></a>");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->valid);
+}
+
+TEST(Dtd, MixedContentAllowsTextAndListedChildren) {
+  auto dtd = Dtd::Parse("<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto report = dtd->Validate("<p>hello <em>world</em> again</p>");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid) << report->violation;
+}
+
+TEST(Dtd, SortingPreservesValidity) {
+  // Sort a conforming document; the result must still conform (NEXSORT
+  // permutes sibling lists, which content-model *sets* are closed under).
+  auto dtd = Dtd::Parse(kCompanyDtd);
+  ASSERT_TRUE(dtd.ok());
+  const std::string xml =
+      "<company>"
+      "<region name=\"NW\"><branch name=\"b2\"></branch>"
+      "<branch name=\"b1\"></branch></region>"
+      "<region name=\"AC\"></region>"
+      "</company>";
+  ASSERT_TRUE((*dtd->Validate(xml)).valid);
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("name");
+  std::string sorted = NexSortString(xml, options);
+  auto report = dtd->Validate(sorted);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid) << report->violation;
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,250 @@
+// ElementUnit serialization: round trips in both formats, size accounting,
+// corruption detection, and the streaming run reader with resume offsets.
+#include <gtest/gtest.h>
+
+#include "core/element_unit.h"
+#include "tests/test_util.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+ElementUnit MakeStart(uint32_t level, uint64_t seq) {
+  ElementUnit unit;
+  unit.type = UnitType::kStart;
+  unit.level = level;
+  unit.seq = seq;
+  unit.name = "branch";
+  unit.attributes = {{"name", "Durham"}, {"open", "1994"}};
+  unit.key = "Durham";
+  return unit;
+}
+
+void ExpectUnitsEqual(const ElementUnit& a, const ElementUnit& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.attributes, b.attributes);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.run.id, b.run.id);
+  EXPECT_EQ(a.run.byte_size, b.run.byte_size);
+}
+
+class ElementUnitFormatTest : public ::testing::TestWithParam<bool> {
+ protected:
+  UnitFormat Format() const { return {.use_dictionary = GetParam()}; }
+};
+
+TEST_P(ElementUnitFormatTest, StartUnitRoundTrip) {
+  NameDictionary dictionary;
+  ElementUnit unit = MakeStart(3, 77);
+  std::string buf;
+  AppendUnit(&buf, unit, Format(), &dictionary);
+  // EncodedSize is an estimate for threshold math: within a few bytes
+  // (dictionary ids are guessed at 2 bytes each), never below the truth
+  // by more than that slack.
+  size_t estimate = unit.EncodedSize(Format());
+  EXPECT_LE(buf.size(), estimate + 4);
+  EXPECT_GE(buf.size() + 8, estimate);
+
+  std::string_view view = buf;
+  ElementUnit back;
+  NEX_ASSERT_OK(ParseUnit(&view, &back, Format(), &dictionary));
+  EXPECT_TRUE(view.empty());
+  ExpectUnitsEqual(unit, back);
+}
+
+TEST_P(ElementUnitFormatTest, AllUnitTypesRoundTrip) {
+  NameDictionary dictionary;
+  std::vector<ElementUnit> units;
+  units.push_back(MakeStart(1, 0));
+
+  ElementUnit text;
+  text.type = UnitType::kText;
+  text.level = 2;
+  text.seq = 1;
+  text.text = "payload with <chars> & \0 bytes";
+  units.push_back(text);
+
+  ElementUnit end;
+  end.type = UnitType::kEnd;
+  end.level = 1;
+  end.seq = 0;
+  end.key = "resolved-key";
+  units.push_back(end);
+
+  ElementUnit pointer;
+  pointer.type = UnitType::kPointer;
+  pointer.level = 2;
+  pointer.seq = 5;
+  pointer.key = "ptr-key";
+  pointer.run.id = 9;
+  pointer.run.byte_size = 12345;
+  units.push_back(pointer);
+
+  ElementUnit fragment;
+  fragment.type = UnitType::kFragment;
+  fragment.level = 2;
+  fragment.seq = 0;
+  fragment.run.id = 4;
+  fragment.run.byte_size = 512;
+  units.push_back(fragment);
+
+  std::string buf;
+  for (const ElementUnit& unit : units) {
+    AppendUnit(&buf, unit, Format(), &dictionary);
+  }
+  std::string_view view = buf;
+  for (const ElementUnit& unit : units) {
+    ElementUnit back;
+    NEX_ASSERT_OK(ParseUnit(&view, &back, Format(), &dictionary));
+    ExpectUnitsEqual(unit, back);
+  }
+  EXPECT_TRUE(view.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, ElementUnitFormatTest,
+                         ::testing::Values(true, false),
+                         [](const auto& info) {
+                           return info.param ? "Dictionary" : "Verbatim";
+                         });
+
+TEST(ElementUnit, DictionaryShrinksRepeatedNames) {
+  NameDictionary dictionary;
+  ElementUnit unit = MakeStart(2, 1);
+  unit.name = "averyveryverylongelementname";
+  UnitFormat with{.use_dictionary = true};
+  UnitFormat without{.use_dictionary = false};
+  std::string compact, verbose;
+  AppendUnit(&compact, unit, with, &dictionary);
+  AppendUnit(&verbose, unit, without, &dictionary);
+  EXPECT_LT(compact.size(), verbose.size());
+}
+
+TEST(ElementUnit, ParseRejectsBadType) {
+  NameDictionary dictionary;
+  std::string buf = "\x09garbage";
+  std::string_view view = buf;
+  ElementUnit unit;
+  EXPECT_TRUE(
+      ParseUnit(&view, &unit, {.use_dictionary = true}, &dictionary)
+          .IsCorruption());
+}
+
+TEST(ElementUnit, ParseRejectsUnknownDictionaryId) {
+  NameDictionary dictionary;
+  ElementUnit unit = MakeStart(1, 0);
+  std::string buf;
+  AppendUnit(&buf, unit, {.use_dictionary = true}, &dictionary);
+  NameDictionary fresh;  // lacks the interned names
+  std::string_view view = buf;
+  ElementUnit back;
+  EXPECT_TRUE(ParseUnit(&view, &back, {.use_dictionary = true}, &fresh)
+                  .IsCorruption());
+}
+
+TEST(ElementUnit, ParseRejectsTruncation) {
+  NameDictionary dictionary;
+  ElementUnit unit = MakeStart(1, 0);
+  std::string buf;
+  AppendUnit(&buf, unit, {.use_dictionary = true}, &dictionary);
+  for (size_t cut = 1; cut < buf.size(); cut += 3) {
+    std::string truncated = buf.substr(0, cut);
+    std::string_view view = truncated;
+    ElementUnit back;
+    EXPECT_FALSE(
+        ParseUnit(&view, &back, {.use_dictionary = true}, &dictionary).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(NameDictionary, InternIsIdempotent) {
+  NameDictionary dictionary;
+  uint32_t a = dictionary.Intern("region");
+  uint32_t b = dictionary.Intern("branch");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dictionary.Intern("region"), a);
+  EXPECT_EQ(dictionary.size(), 2u);
+  auto name = dictionary.Lookup(a);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "region");
+  EXPECT_TRUE(dictionary.Lookup(99).status().IsCorruption());
+}
+
+TEST(RunUnitReader, StreamsUnitsAndTracksOffsets) {
+  Env env(128, 8);
+  RunStore store(env.device.get(), &env.budget);
+  NameDictionary dictionary;
+  UnitFormat format;
+
+  std::string buf;
+  std::vector<uint64_t> offsets;  // offset after each unit
+  for (int i = 0; i < 100; ++i) {
+    ElementUnit unit = MakeStart(1 + i % 5, i);
+    unit.attributes[0].value = "val" + std::to_string(i);
+    AppendUnit(&buf, unit, format, &dictionary);
+    offsets.push_back(buf.size());
+  }
+  RunWriter writer = store.NewRun();
+  NEX_ASSERT_OK(writer.init_status());
+  NEX_ASSERT_OK(writer.Append(buf));
+  RunHandle handle;
+  NEX_ASSERT_OK(writer.Finish(&handle));
+
+  RunUnitReader reader(&store, handle, 0, format, &dictionary);
+  NEX_ASSERT_OK(reader.init_status());
+  ElementUnit unit;
+  for (int i = 0; i < 100; ++i) {
+    auto more = reader.Next(&unit);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(unit.seq, static_cast<uint64_t>(i));
+    EXPECT_EQ(reader.offset(), offsets[i]);
+  }
+  auto more = reader.Next(&unit);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(RunUnitReader, ResumesAtSavedOffset) {
+  Env env(64, 8);
+  RunStore store(env.device.get(), &env.budget);
+  NameDictionary dictionary;
+  UnitFormat format;
+
+  std::string buf;
+  for (int i = 0; i < 20; ++i) {
+    ElementUnit unit = MakeStart(1, i);
+    AppendUnit(&buf, unit, format, &dictionary);
+  }
+  RunWriter writer = store.NewRun();
+  NEX_ASSERT_OK(writer.init_status());
+  NEX_ASSERT_OK(writer.Append(buf));
+  RunHandle handle;
+  NEX_ASSERT_OK(writer.Finish(&handle));
+
+  // Read 7 units, remember the offset, reopen there.
+  uint64_t resume = 0;
+  {
+    RunUnitReader reader(&store, handle, 0, format, &dictionary);
+    NEX_ASSERT_OK(reader.init_status());
+    ElementUnit unit;
+    for (int i = 0; i < 7; ++i) {
+      auto more = reader.Next(&unit);
+      ASSERT_TRUE(more.ok() && *more);
+    }
+    resume = reader.offset();
+  }
+  RunUnitReader reader(&store, handle, resume, format, &dictionary);
+  NEX_ASSERT_OK(reader.init_status());
+  ElementUnit unit;
+  auto more = reader.Next(&unit);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(unit.seq, 7u);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,227 @@
+// Tests for the external stacks: LIFO correctness across paging, the
+// no-prefetch policy, budget enforcement, region pops, and the O(N/B)
+// paging-cost bounds of Lemmas 4.10 and 4.11.
+#include <gtest/gtest.h>
+
+#include "extmem/ext_stack.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(ExtStack, PushPopLifo) {
+  Env env(256, 8);
+  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+                           IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  for (uint64_t i = 0; i < 10; ++i) NEX_ASSERT_OK(stack.Push(i));
+  EXPECT_EQ(stack.size(), 10u);
+  for (uint64_t i = 10; i-- > 0;) {
+    uint64_t value = 0;
+    NEX_ASSERT_OK(stack.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(ExtStack, PopEmptyFails) {
+  Env env;
+  ExtStack<int> stack(env.device.get(), &env.budget, 1,
+                      IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  int value = 0;
+  EXPECT_TRUE(stack.Pop(&value).IsInvalidArgument());
+  EXPECT_TRUE(stack.Top(&value).IsInvalidArgument());
+}
+
+TEST(ExtStack, SurvivesPagingAcrossManyBlocks) {
+  // 256-byte blocks hold 32 uint64_t records; push 1000 records so the
+  // stack spans ~31 blocks with only one resident.
+  Env env(256, 8);
+  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+                           IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  for (uint64_t i = 0; i < 1000; ++i) NEX_ASSERT_OK(stack.Push(i * 7));
+  for (uint64_t i = 1000; i-- > 0;) {
+    uint64_t value = 0;
+    NEX_ASSERT_OK(stack.Pop(&value));
+    ASSERT_EQ(value, i * 7);
+  }
+}
+
+TEST(ExtStack, MixedPushPopWorkload) {
+  Env env(128, 8);
+  ExtStack<uint32_t> stack(env.device.get(), &env.budget, 2,
+                           IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  std::vector<uint32_t> reference;
+  Random rng(42);
+  for (int step = 0; step < 5000; ++step) {
+    if (reference.empty() || rng.Uniform(3) != 0) {
+      uint32_t value = static_cast<uint32_t>(rng.Next());
+      NEX_ASSERT_OK(stack.Push(value));
+      reference.push_back(value);
+    } else {
+      uint32_t value = 0;
+      NEX_ASSERT_OK(stack.Pop(&value));
+      ASSERT_EQ(value, reference.back());
+      reference.pop_back();
+    }
+  }
+  EXPECT_EQ(stack.size(), reference.size());
+}
+
+TEST(ExtStack, ReplaceTopUpdatesInPlace) {
+  Env env;
+  ExtStack<int> stack(env.device.get(), &env.budget, 1,
+                      IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  NEX_ASSERT_OK(stack.Push(1));
+  NEX_ASSERT_OK(stack.Push(2));
+  NEX_ASSERT_OK(stack.ReplaceTop(99));
+  int value = 0;
+  NEX_ASSERT_OK(stack.Pop(&value));
+  EXPECT_EQ(value, 99);
+  NEX_ASSERT_OK(stack.Pop(&value));
+  EXPECT_EQ(value, 1);
+}
+
+TEST(ExtStack, NoPrefetchPagingCostIsLinear) {
+  // Push R records then pop them all: every full block is written at most
+  // once and read at most once => I/Os <= 2 * ceil(R / per_block).
+  const size_t block_size = 256;
+  const uint64_t per_block = block_size / sizeof(uint64_t);
+  Env env(block_size, 8);
+  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+                           IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  const uint64_t n = 10000;
+  for (uint64_t i = 0; i < n; ++i) NEX_ASSERT_OK(stack.Push(i));
+  uint64_t value = 0;
+  for (uint64_t i = 0; i < n; ++i) NEX_ASSERT_OK(stack.Pop(&value));
+  uint64_t blocks = (n + per_block - 1) / per_block;
+  EXPECT_LE(env.device->stats().total(), 2 * blocks);
+}
+
+TEST(ExtStack, OscillationAtBlockBoundaryStaysBounded) {
+  // Repeated push/pop around one block boundary with 2 resident blocks
+  // must not thrash: the paper's path stack gets 2 blocks precisely so a
+  // boundary-straddling workload pages O(1) per B operations.
+  const size_t block_size = 128;
+  Env env(block_size, 8);
+  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 2,
+                           IoCategory::kPathStack);
+  NEX_ASSERT_OK(stack.init_status());
+  const uint64_t per_block = block_size / sizeof(uint64_t);
+  for (uint64_t i = 0; i < per_block; ++i) NEX_ASSERT_OK(stack.Push(i));
+  uint64_t before = env.device->stats().total();
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    NEX_ASSERT_OK(stack.Push(1));
+    uint64_t value = 0;
+    NEX_ASSERT_OK(stack.Pop(&value));
+  }
+  // With 2 resident blocks the boundary oscillation costs no I/O at all.
+  EXPECT_EQ(env.device->stats().total(), before);
+}
+
+TEST(ExtStack, BudgetExhaustionSurfacesAtInit) {
+  Env env(256, 1);
+  ExtStack<int> stack(env.device.get(), &env.budget, 2,
+                      IoCategory::kPathStack);
+  EXPECT_TRUE(stack.init_status().IsOutOfMemory());
+}
+
+TEST(ExtByteStack, AppendAndPopRegion) {
+  Env env(64, 8);
+  ExtByteStack stack(env.device.get(), &env.budget, 1,
+                     IoCategory::kDataStack);
+  NEX_ASSERT_OK(stack.init_status());
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    payload += "chunk" + std::to_string(i) + ";";
+  }
+  NEX_ASSERT_OK(stack.Append(payload));
+  EXPECT_EQ(stack.size(), payload.size());
+
+  std::string tail;
+  NEX_ASSERT_OK(stack.PopRegion(payload.size() / 2, &tail));
+  EXPECT_EQ(tail, payload.substr(payload.size() / 2));
+  EXPECT_EQ(stack.size(), payload.size() / 2);
+
+  // The stack keeps working after a truncation.
+  NEX_ASSERT_OK(stack.Append("XYZ"));
+  std::string rest;
+  NEX_ASSERT_OK(stack.PopRegion(0, &rest));
+  EXPECT_EQ(rest, payload.substr(0, payload.size() / 2) + "XYZ");
+  EXPECT_EQ(stack.size(), 0u);
+}
+
+TEST(ExtByteStack, PopRegionAtExactBlockBoundary) {
+  Env env(64, 8);
+  ExtByteStack stack(env.device.get(), &env.budget, 1,
+                     IoCategory::kDataStack);
+  NEX_ASSERT_OK(stack.init_status());
+  std::string data(256, 'a');  // exactly 4 blocks
+  NEX_ASSERT_OK(stack.Append(data));
+  std::string out;
+  NEX_ASSERT_OK(stack.PopRegion(128, &out));  // boundary-aligned
+  EXPECT_EQ(out, std::string(128, 'a'));
+  EXPECT_EQ(stack.size(), 128u);
+  NEX_ASSERT_OK(stack.PopRegion(0, &out));
+  EXPECT_EQ(out, std::string(128, 'a'));
+}
+
+TEST(ExtByteStack, PopRegionPastTopRejected) {
+  Env env;
+  ExtByteStack stack(env.device.get(), &env.budget, 1,
+                     IoCategory::kDataStack);
+  NEX_ASSERT_OK(stack.init_status());
+  NEX_ASSERT_OK(stack.Append("abc"));
+  std::string out;
+  EXPECT_TRUE(stack.PopRegion(10, &out).IsInvalidArgument());
+}
+
+TEST(ExtByteStack, RecyclesBlocksAfterPop) {
+  // Repeated grow/shrink cycles must not grow the device unboundedly:
+  // truncated blocks return to a free list.
+  Env env(64, 8);
+  ExtByteStack stack(env.device.get(), &env.budget, 1,
+                     IoCategory::kDataStack);
+  NEX_ASSERT_OK(stack.init_status());
+  std::string out;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    NEX_ASSERT_OK(stack.Append(std::string(1000, 'x')));
+    NEX_ASSERT_OK(stack.PopRegion(0, &out));
+  }
+  // One cycle uses ceil(1000/64) = 16 blocks; reuse keeps the device there.
+  EXPECT_LE(env.device->num_blocks(), 16u);
+}
+
+TEST(ExtByteStack, RandomizedRegionPopsMatchReference) {
+  Env env(128, 8);
+  ExtByteStack stack(env.device.get(), &env.budget, 1,
+                     IoCategory::kDataStack);
+  NEX_ASSERT_OK(stack.init_status());
+  std::string reference;
+  Random rng(77);
+  for (int step = 0; step < 300; ++step) {
+    if (reference.empty() || rng.Uniform(4) != 0) {
+      std::string chunk = rng.Identifier(1 + rng.Uniform(200));
+      NEX_ASSERT_OK(stack.Append(chunk));
+      reference += chunk;
+    } else {
+      uint64_t from = rng.Uniform(reference.size() + 1);
+      std::string out;
+      NEX_ASSERT_OK(stack.PopRegion(from, &out));
+      ASSERT_EQ(out, reference.substr(from));
+      reference.resize(from);
+    }
+    ASSERT_EQ(stack.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,189 @@
+// Tests for the library's extensions beyond Figure 4: the sortedness
+// checker, document-order preservation via sequence attributes (paper
+// Section 1), and XSort-style scoped sorting (related work, Section 2).
+#include <gtest/gtest.h>
+
+#include "core/sorted_check.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(SortedCheck, AcceptsSortedRejectsUnsorted) {
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  auto sorted = CheckSorted("<r><a id=\"1\"/><a id=\"2\"/><a id=\"2\"/></r>",
+                            spec);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted->sorted);
+  EXPECT_EQ(sorted->elements, 4u);
+
+  auto unsorted = CheckSorted("<r><a id=\"2\"/><a id=\"1\"/></r>", spec);
+  ASSERT_TRUE(unsorted.ok());
+  EXPECT_FALSE(unsorted->sorted);
+  EXPECT_FALSE(unsorted->violation.empty());
+}
+
+TEST(SortedCheck, ChecksEveryLevel) {
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  // Top level sorted, second level not.
+  auto report = CheckSorted(
+      "<r><a id=\"1\"><b id=\"9\"/><b id=\"3\"/></a><a id=\"2\"/></r>", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->sorted);
+}
+
+TEST(SortedCheck, DepthLimitExemptsDeepLists) {
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  const std::string xml =
+      "<r><a id=\"1\"><b id=\"9\"/><b id=\"3\"/></a><a id=\"2\"/></r>";
+  auto strict = CheckSorted(xml, spec, /*depth_limit=*/0);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->sorted);
+  auto limited = CheckSorted(xml, spec, /*depth_limit=*/1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_TRUE(limited->sorted);
+}
+
+TEST(SortedCheck, ComplexKeysResolvedLikeTheSorter) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "p";
+  rule.source = KeySource::kChildText;
+  rule.argument = "k";
+  spec.AddRule(rule);
+  auto good = CheckSorted(
+      "<r><p><k>alpha</k></p><p><k>beta</k></p></r>", spec);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->sorted);
+  auto bad = CheckSorted(
+      "<r><p><k>beta</k></p><p><k>alpha</k></p></r>", spec);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->sorted);
+}
+
+TEST(SortedCheck, NexSortOutputAlwaysPasses) {
+  for (uint64_t seed : {400u, 401u, 402u}) {
+    RandomTreeGenerator generator(5, 6, {.seed = seed, .element_bytes = 60});
+    auto xml = generator.GenerateString();
+    ASSERT_TRUE(xml.ok());
+    NexSortOptions options;
+    options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+    std::string sorted = NexSortString(*xml, options, 512, 10);
+    auto report = CheckSorted(sorted, options.order);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->sorted) << report->violation << " seed " << seed;
+    // And the raw input (vanishingly unlikely to be sorted) fails.
+    auto input_report = CheckSorted(*xml, options.order);
+    ASSERT_TRUE(input_report.ok());
+    EXPECT_FALSE(input_report->sorted);
+  }
+}
+
+TEST(OrderPreservation, RoundTripRestoresElementOrder) {
+  // Paper Section 1: record a sequence attribute while sorting, then a
+  // final sort by that attribute restores the original ordering.
+  RandomTreeGenerator generator(4, 6,
+                                {.seed = 77, .element_bytes = 60,
+                                 .leaf_text = false});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+
+  NexSortOptions sort_options;
+  sort_options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  sort_options.record_order_attribute = "nx_seq";
+  std::string sorted = NexSortString(*xml, sort_options);
+  // The sorted document carries the bookkeeping attribute.
+  EXPECT_NE(sorted.find("nx_seq=\""), std::string::npos);
+
+  NexSortOptions restore_options;
+  restore_options.order = OrderSpec::ByAttribute("nx_seq", /*numeric=*/true);
+  restore_options.strip_attribute = "nx_seq";
+  std::string restored = NexSortString(sorted, restore_options);
+  EXPECT_EQ(restored, *xml);
+}
+
+TEST(OrderPreservation, RecordedDocumentIsStillSorted) {
+  RandomTreeGenerator generator(4, 5, {.seed = 78, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.record_order_attribute = "nx_seq";
+  std::string sorted = NexSortString(*xml, options);
+  auto report = CheckSorted(sorted, options.order);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->sorted) << report->violation;
+}
+
+TEST(ScopedSort, SortsOnlyScopedLists) {
+  const std::string xml =
+      "<db>"
+      "<table name=\"zeta\">"
+      "<row id=\"9\"/><row id=\"2\"/>"
+      "</table>"
+      "<group name=\"alpha\">"
+      "<row id=\"7\"/><row id=\"3\"/>"
+      "</group>"
+      "</db>";
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.sort_scope_tags = {"table"};
+  std::string sorted = NexSortString(xml, options);
+  // table's rows reorder; db's children and group's rows keep order.
+  EXPECT_EQ(sorted,
+            "<db>"
+            "<table name=\"zeta\">"
+            "<row id=\"2\"></row><row id=\"9\"></row>"
+            "</table>"
+            "<group name=\"alpha\">"
+            "<row id=\"7\"></row><row id=\"3\"></row>"
+            "</group>"
+            "</db>");
+}
+
+TEST(ScopedSort, MatchesDomReferenceAcrossMemorySizes) {
+  RandomTreeGenerator generator(5, 6, {.seed = 80, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  std::vector<std::string> scope = {"n2", "n4"};
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  auto reference = SortXmlStringInMemory(*xml, spec, 0, &scope);
+  ASSERT_TRUE(reference.ok());
+
+  for (uint64_t memory_blocks : {32u, 8u}) {  // internal and external paths
+    NexSortOptions options;
+    options.order = spec;
+    options.sort_scope_tags = scope;
+    EXPECT_EQ(NexSortString(*xml, options, 512, memory_blocks), *reference)
+        << "memory " << memory_blocks;
+  }
+}
+
+TEST(ScopedSort, RejectsUnsupportedCombinations) {
+  Env env;
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", true);
+  options.sort_scope_tags = {"a"};
+  options.graceful_degeneration = true;
+  NexSorter sorter(env.device.get(), &env.budget, options);
+  StringByteSource source("<a/>");
+  std::string out;
+  StringByteSink sink(&out);
+  EXPECT_TRUE(sorter.Sort(&source, &sink).IsNotSupported());
+}
+
+TEST(ScopedSort, EmptyScopeMeansHeadToToe) {
+  RandomTreeGenerator generator(4, 5, {.seed = 81, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  EXPECT_EQ(NexSortString(*xml, options), OracleSort(*xml, options.order));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,163 @@
+// Feature-path tests: the Section 3.2 extensions (graceful degeneration,
+// depth-limited sorting, complex ordering criteria, compaction toggles).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(NexSortFeatures, GracefulDegenerationOnFlatDocument) {
+  // A flat document (root + many children): without graceful degeneration
+  // NEXSORT pushes everything onto the data stack before the single final
+  // sort; with it, incomplete runs form as memory fills and are merged.
+  ShapeGenerator generator({200}, {.seed = 5, .element_bytes = 80});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.graceful_degeneration = true;
+  NexSortStats stats;
+  std::string sorted = NexSortString(*xml, options, /*block_size=*/512,
+                                     /*memory_blocks=*/8, &stats);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+  EXPECT_GT(stats.fragment_runs, 0u) << "expected incomplete sorted runs";
+}
+
+TEST(NexSortFeatures, GracefulDegenerationNestedMatchesOracle) {
+  RandomTreeGenerator generator(5, 7, {.seed = 21, .element_bytes = 70});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.graceful_degeneration = true;
+  std::string sorted = NexSortString(*xml, options, /*block_size=*/512,
+                                     /*memory_blocks=*/8);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+TEST(NexSortFeatures, DepthLimitedSorting) {
+  RandomTreeGenerator generator(5, 5, {.seed = 13, .element_bytes = 50});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  for (int depth_limit : {1, 2, 3}) {
+    NexSortOptions options;
+    options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+    options.depth_limit = depth_limit;
+    std::string sorted = NexSortString(*xml, options);
+    EXPECT_EQ(sorted, OracleSort(*xml, options.order, depth_limit))
+        << "depth limit " << depth_limit;
+  }
+}
+
+TEST(NexSortFeatures, ComplexOrderingByChildText) {
+  const std::string xml =
+      "<people>"
+      "<person><info><name>Walker</name></info></person>"
+      "<person><info><name>Adams</name></info></person>"
+      "<person><info><name>Mills</name></info></person>"
+      "</people>";
+  NexSortOptions options;
+  OrderRule rule;
+  rule.element = "person";
+  rule.source = KeySource::kChildText;
+  rule.argument = "info/name";
+  options.order.AddRule(rule);
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted, OracleSort(xml, options.order));
+  EXPECT_LT(sorted.find("Adams"), sorted.find("Mills"));
+  EXPECT_LT(sorted.find("Mills"), sorted.find("Walker"));
+}
+
+TEST(NexSortFeatures, ComplexOrderingByOwnText) {
+  const std::string xml =
+      "<list><w>pear</w><w>apple</w><w>fig</w></list>";
+  NexSortOptions options;
+  OrderRule rule;
+  rule.element = "w";
+  rule.source = KeySource::kTextContent;
+  options.order.AddRule(rule);
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted, "<list><w>apple</w><w>fig</w><w>pear</w></list>");
+}
+
+TEST(NexSortFeatures, ComplexOrderingLargeMatchesOracle) {
+  // Build a document whose elements are keyed by a grandchild's text.
+  std::string xml = "<all>";
+  nexsort::Random rng(99);
+  for (int i = 0; i < 120; ++i) {
+    xml += "<rec><meta><k>" + rng.Identifier(8) + "</k></meta><v>" +
+           rng.Identifier(12) + "</v></rec>";
+  }
+  xml += "</all>";
+
+  NexSortOptions options;
+  OrderRule rule;
+  rule.element = "rec";
+  rule.source = KeySource::kChildText;
+  rule.argument = "meta/k";
+  options.order.AddRule(rule);
+  std::string sorted = NexSortString(xml, options, /*block_size=*/256,
+                                     /*memory_blocks=*/32);
+  EXPECT_EQ(sorted, OracleSort(xml, options.order));
+}
+
+TEST(NexSortFeatures, CompactionTogglesPreserveOutput) {
+  RandomTreeGenerator generator(4, 5, {.seed = 31, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  std::string oracle =
+      OracleSort(*xml, OrderSpec::ByAttribute("id", /*numeric=*/true));
+
+  for (bool use_dictionary : {true, false}) {
+    for (bool keep_end_units : {false, true}) {
+      NexSortOptions options;
+      options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+      options.use_dictionary = use_dictionary;
+      options.keep_end_units = keep_end_units;
+      EXPECT_EQ(NexSortString(*xml, options), oracle)
+          << "dictionary=" << use_dictionary
+          << " end_units=" << keep_end_units;
+    }
+  }
+}
+
+TEST(NexSortFeatures, DescendingOrder) {
+  const std::string xml =
+      "<r><x id=\"b\"/><x id=\"abc\"/><x id=\"a\"/><x id=\"ab\"/></r>";
+  NexSortOptions options;
+  OrderRule rule;
+  rule.element = "*";
+  rule.source = KeySource::kAttribute;
+  rule.argument = "id";
+  rule.descending = true;
+  options.order.AddRule(rule);
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted,
+            "<r><x id=\"b\"></x><x id=\"abc\"></x><x id=\"ab\"></x>"
+            "<x id=\"a\"></x></r>");
+}
+
+TEST(NexSortFeatures, SortIsIdempotent) {
+  RandomTreeGenerator generator(4, 6, {.seed = 17, .element_bytes = 50});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string once = NexSortString(*xml, options);
+  NexSortOptions options2;
+  options2.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string twice = NexSortString(once, options2);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,60 @@
+// End-to-end smoke tests: NEXSORT output must equal the in-memory recursive
+// sort oracle byte for byte on canonical serializations.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(NexSortSmoke, TinyDocument) {
+  const std::string xml =
+      "<r><b id=\"2\"/><a id=\"9\"/><a id=\"1\"/></r>";
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted,
+            "<r><a id=\"1\"></a><b id=\"2\"></b><a id=\"9\"></a></r>");
+}
+
+TEST(NexSortSmoke, MatchesOracleOnRandomTree) {
+  RandomTreeGenerator generator(4, 6, {.seed = 7, .element_bytes = 40});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string sorted = NexSortString(*xml, options);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+TEST(NexSortSmoke, MatchesOracleWithTinyMemory) {
+  RandomTreeGenerator generator(5, 5, {.seed = 3, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  // 8 blocks of 512 bytes: subtree sorts must go external.
+  std::string sorted = NexSortString(*xml, options, /*block_size=*/512,
+                                     /*memory_blocks=*/8);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+TEST(NexSortSmoke, KeyPathBaselineMatchesOracle) {
+  RandomTreeGenerator generator(4, 6, {.seed = 11, .element_bytes = 40});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  KeyPathSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  std::string sorted = KeyPathSortString(*xml, options, /*block_size=*/512,
+                                         /*memory_blocks=*/8);
+  EXPECT_EQ(sorted, OracleSort(*xml, options.order));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

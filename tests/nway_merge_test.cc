@@ -1,0 +1,177 @@
+// N-way structural merge: the archiving use case (merge many sorted
+// versions in one simultaneous pass).
+#include <gtest/gtest.h>
+
+#include "core/sorted_check.h"
+#include "merge/structural_merge.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+std::string Sort(std::string_view xml, const OrderSpec& spec) {
+  NexSortOptions options;
+  options.order = spec;
+  return NexSortString(xml, options);
+}
+
+Status MergeMany(const std::vector<std::string>& docs, const OrderSpec& spec,
+                 std::string* out, MergeStats* stats = nullptr) {
+  std::vector<std::unique_ptr<StringByteSource>> owned;
+  std::vector<ByteSource*> sources;
+  for (const std::string& doc : docs) {
+    owned.push_back(std::make_unique<StringByteSource>(doc));
+    sources.push_back(owned.back().get());
+  }
+  MergeOptions options;
+  options.order = spec;
+  StringByteSink sink(out);
+  return StructuralMergeMany(sources, &sink, options, stats);
+}
+
+TEST(NWayMerge, ThreeWayBasic) {
+  OrderSpec spec = OrderSpec::ByAttribute("k");
+  std::vector<std::string> docs = {
+      Sort("<r><x k=\"b\" from=\"1\"/></r>", spec),
+      Sort("<r><x k=\"a\" from=\"2\"/></r>", spec),
+      Sort("<r><x k=\"c\" from=\"3\"/><x k=\"a\" extra=\"e\"/></r>", spec),
+  };
+  std::string merged;
+  MergeStats stats;
+  NEX_ASSERT_OK(MergeMany(docs, spec, &merged, &stats));
+  EXPECT_EQ(merged,
+            "<r><x k=\"a\" from=\"2\" extra=\"e\"></x>"
+            "<x k=\"b\" from=\"1\"></x>"
+            "<x k=\"c\" from=\"3\"></x></r>");
+  EXPECT_EQ(stats.matched_elements, 1u);  // the k="a" pair
+  EXPECT_EQ(stats.left_only, 2u);         // b and c
+}
+
+TEST(NWayMerge, SingleInputIsIdentity) {
+  OrderSpec spec = OrderSpec::ByAttribute("k");
+  std::string doc = Sort("<r><x k=\"1\">text</x><x k=\"2\"/></r>", spec);
+  std::string merged;
+  NEX_ASSERT_OK(MergeMany({doc}, spec, &merged));
+  EXPECT_EQ(merged, doc);
+}
+
+TEST(NWayMerge, TwoWayAgreesWithPairwiseMerger) {
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  nexsort::Random rng(42);
+  std::string a = "<r>";
+  std::string b = "<r>";
+  for (int i = 0; i < 40; ++i) {
+    std::string element = "<item id=\"" + std::to_string(rng.Uniform(60)) +
+                          "\" src=\"" + (i % 2 ? "a" : "b") + "\"></item>";
+    (rng.OneIn(2) ? a : b) += element;
+  }
+  a += "</r>";
+  b += "</r>";
+  std::string a_sorted = Sort(a, spec);
+  std::string b_sorted = Sort(b, spec);
+
+  std::string pairwise;
+  {
+    MergeOptions options;
+    options.order = spec;
+    StringByteSource left(a_sorted);
+    StringByteSource right(b_sorted);
+    StringByteSink sink(&pairwise);
+    NEX_ASSERT_OK(StructuralMerge(&left, &right, &sink, options));
+  }
+  std::string nway;
+  NEX_ASSERT_OK(MergeMany({a_sorted, b_sorted}, spec, &nway));
+  EXPECT_EQ(nway, pairwise);
+}
+
+TEST(NWayMerge, ManyWayEqualsIteratedTwoWay) {
+  // Merging 5 documents at once == folding them pairwise (for unique keys
+  // and kPreferLeft text, both equal the sorted union).
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  nexsort::Random rng(77);
+  std::vector<std::string> docs;
+  std::string union_xml = "<r>";
+  for (int d = 0; d < 5; ++d) {
+    std::string doc = "<r>";
+    for (int i = 0; i < 12; ++i) {
+      int id = d * 100 + i;
+      std::string element = "<item id=\"" + std::to_string(id) + "\"><v>" +
+                            rng.Identifier(6) + "</v></item>";
+      doc += element;
+      union_xml += element;
+    }
+    doc += "</r>";
+    docs.push_back(Sort(doc, spec));
+  }
+  union_xml += "</r>";
+
+  std::string nway;
+  NEX_ASSERT_OK(MergeMany(docs, spec, &nway));
+  EXPECT_EQ(nway, OracleSort(union_xml, spec));
+
+  auto report = CheckSorted(nway, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->sorted);
+}
+
+TEST(NWayMerge, DeepVersionedArchive) {
+  // Three "versions" of a nested document; later versions add elements and
+  // attributes. The archive carries the union, leftmost (oldest input
+  // listed first) attribute values winning.
+  OrderSpec spec = OrderSpec::ByAttribute("name");
+  std::vector<std::string> versions = {
+      Sort("<cfg><svc name=\"db\"><opt name=\"port\" v=\"5432\"/></svc>"
+           "</cfg>",
+           spec),
+      Sort("<cfg><svc name=\"db\"><opt name=\"port\" v=\"9999\"/>"
+           "<opt name=\"tls\" v=\"on\"/></svc></cfg>",
+           spec),
+      Sort("<cfg><svc name=\"cache\"><opt name=\"size\" v=\"1G\"/></svc>"
+           "</cfg>",
+           spec),
+  };
+  std::string merged;
+  NEX_ASSERT_OK(MergeMany(versions, spec, &merged));
+  EXPECT_EQ(merged,
+            "<cfg>"
+            "<svc name=\"cache\"><opt name=\"size\" v=\"1G\"></opt></svc>"
+            "<svc name=\"db\">"
+            "<opt name=\"port\" v=\"5432\"></opt>"
+            "<opt name=\"tls\" v=\"on\"></opt>"
+            "</svc>"
+            "</cfg>");
+}
+
+TEST(NWayMerge, RejectsUpdateOpsAndEmptyInput) {
+  MergeOptions options;
+  options.order = OrderSpec::ByAttribute("k");
+  options.apply_update_ops = true;
+  StringByteSource a("<r/>");
+  std::vector<ByteSource*> one = {&a};
+  std::string out;
+  StringByteSink sink(&out);
+  EXPECT_TRUE(StructuralMergeMany(one, &sink, options).IsNotSupported());
+
+  MergeOptions plain;
+  plain.order = OrderSpec::ByAttribute("k");
+  EXPECT_TRUE(
+      StructuralMergeMany({}, &sink, plain).IsInvalidArgument());
+}
+
+TEST(NWayMerge, MismatchedRootsRejected) {
+  MergeOptions options;
+  options.order = OrderSpec::ByAttribute("k");
+  StringByteSource a("<r/>");
+  StringByteSource b("<other/>");
+  std::vector<ByteSource*> inputs = {&a, &b};
+  std::string out;
+  StringByteSink sink(&out);
+  EXPECT_TRUE(
+      StructuralMergeMany(inputs, &sink, options).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,128 @@
+// Tests for the textual OrderSpec syntax and composite (then-by) keys.
+#include <gtest/gtest.h>
+
+#include "core/order_spec_parse.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(OrderSpecParse, SingleAttributeRule) {
+  auto spec = ParseOrderSpec("*:attr(id)n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->rules().size(), 1u);
+  const OrderRule& rule = spec->rules()[0];
+  EXPECT_EQ(rule.element, "*");
+  EXPECT_EQ(rule.source, KeySource::kAttribute);
+  EXPECT_EQ(rule.argument, "id");
+  EXPECT_TRUE(rule.numeric);
+  EXPECT_FALSE(rule.descending);
+}
+
+TEST(OrderSpecParse, MultipleRulesAndFlags) {
+  auto spec = ParseOrderSpec("employee:attr(ID)nd;*:attr(name);w:tag");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->rules().size(), 3u);
+  EXPECT_TRUE(spec->rules()[0].numeric);
+  EXPECT_TRUE(spec->rules()[0].descending);
+  EXPECT_EQ(spec->rules()[1].element, "*");
+  EXPECT_EQ(spec->rules()[2].source, KeySource::kTagName);
+}
+
+TEST(OrderSpecParse, ComplexSources) {
+  auto spec = ParseOrderSpec("person:child(info/name);#text:text");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->rules()[0].source, KeySource::kChildText);
+  EXPECT_EQ(spec->rules()[0].argument, "info/name");
+  EXPECT_EQ(spec->rules()[1].element, "#text");
+  EXPECT_EQ(spec->rules()[1].source, KeySource::kTextContent);
+  EXPECT_TRUE(spec->HasComplexRules());
+}
+
+TEST(OrderSpecParse, CompositeKeys) {
+  auto spec = ParseOrderSpec("employee:attr(dept),attr(ID)n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const OrderRule& rule = spec->rules()[0];
+  EXPECT_EQ(rule.argument, "dept");
+  ASSERT_EQ(rule.then_by.size(), 1u);
+  EXPECT_EQ(rule.then_by[0].argument, "ID");
+  EXPECT_TRUE(rule.then_by[0].numeric);
+}
+
+TEST(OrderSpecParse, Rejections) {
+  for (const char* bad :
+       {"", "noparts", ":attr(x)", "a:attr", "a:child", "a:attr(x", "a:bogus(y)",
+        "a:attr(x)q", "a:child(p),attr(x)", "a:attr(x),child(p)", "a:"}) {
+    auto spec = ParseOrderSpec(bad);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(CompositeKeys, OrderByPrimaryThenSecondary) {
+  const std::string xml =
+      "<staff>"
+      "<e dept=\"ops\" ID=\"30\"/>"
+      "<e dept=\"dev\" ID=\"20\"/>"
+      "<e dept=\"ops\" ID=\"4\"/>"
+      "<e dept=\"dev\" ID=\"100\"/>"
+      "</staff>";
+  auto spec = ParseOrderSpec("e:attr(dept),attr(ID)n");
+  ASSERT_TRUE(spec.ok());
+  NexSortOptions options;
+  options.order = *spec;
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted,
+            "<staff>"
+            "<e dept=\"dev\" ID=\"20\"></e>"
+            "<e dept=\"dev\" ID=\"100\"></e>"
+            "<e dept=\"ops\" ID=\"4\"></e>"
+            "<e dept=\"ops\" ID=\"30\"></e>"
+            "</staff>");
+}
+
+TEST(CompositeKeys, PrefixComponentsOrderCorrectly) {
+  // Composite framing: ("a", "z") must sort before ("ab", "a") because the
+  // first component decides — even though "ab" > "a" as a raw prefix blob.
+  const std::string xml =
+      "<r><x p=\"ab\" s=\"a\"/><x p=\"a\" s=\"z\"/></r>";
+  auto spec = ParseOrderSpec("x:attr(p),attr(s)");
+  ASSERT_TRUE(spec.ok());
+  NexSortOptions options;
+  options.order = *spec;
+  std::string sorted = NexSortString(xml, options);
+  EXPECT_EQ(sorted, "<r><x p=\"a\" s=\"z\"></x><x p=\"ab\" s=\"a\"></x></r>");
+}
+
+TEST(CompositeKeys, MatchesOracleOnRandomDocument) {
+  nexsort::Random rng(321);
+  std::string xml = "<r>";
+  for (int i = 0; i < 200; ++i) {
+    xml += "<x a=\"" + rng.Identifier(2) + "\" b=\"" +
+           std::to_string(rng.Uniform(50)) + "\"/>";
+  }
+  xml += "</r>";
+  auto spec = ParseOrderSpec("x:attr(a),attr(b)n");
+  ASSERT_TRUE(spec.ok());
+  NexSortOptions options;
+  options.order = *spec;
+  // Oracle equivalence holds because KeyForNode mirrors KeyForStartTag.
+  EXPECT_EQ(NexSortString(xml, options, 512, 8), OracleSort(xml, *spec));
+}
+
+TEST(CompositeKeys, DescendingSecondary) {
+  const std::string xml =
+      "<r><x a=\"g\" b=\"1\"/><x a=\"g\" b=\"3\"/><x a=\"g\" b=\"2\"/></r>";
+  auto spec = ParseOrderSpec("x:attr(a),attr(b)nd");
+  ASSERT_TRUE(spec.ok());
+  NexSortOptions options;
+  options.order = *spec;
+  EXPECT_EQ(NexSortString(xml, options),
+            "<r><x a=\"g\" b=\"3\"></x><x a=\"g\" b=\"2\"></x>"
+            "<x a=\"g\" b=\"1\"></x></r>");
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,197 @@
+// OrderSpec: rule matching, key extraction, and the order-preserving
+// normalized key encodings (numeric, descending).
+#include <gtest/gtest.h>
+
+#include "core/order_spec.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/dom.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+TEST(OrderSpec, FirstMatchingRuleWins) {
+  OrderSpec spec;
+  OrderRule specific;
+  specific.element = "employee";
+  specific.source = KeySource::kAttribute;
+  specific.argument = "ID";
+  spec.AddRule(specific);
+  OrderRule fallback;
+  fallback.element = "*";
+  fallback.source = KeySource::kAttribute;
+  fallback.argument = "name";
+  spec.AddRule(fallback);
+
+  EXPECT_EQ(spec.RuleFor("employee")->argument, "ID");
+  EXPECT_EQ(spec.RuleFor("region")->argument, "name");
+}
+
+TEST(OrderSpec, NoRuleMeansDocumentOrder) {
+  OrderSpec spec;
+  EXPECT_EQ(spec.RuleFor("anything"), nullptr);
+  EXPECT_EQ(spec.KeyForStartTag("x", {{"id", "5"}}), "");
+}
+
+TEST(OrderSpec, AttributeKeyExtraction) {
+  OrderSpec spec = OrderSpec::ByAttribute("id");
+  EXPECT_EQ(spec.KeyForStartTag("x", {{"id", "zebra"}}), "zebra");
+  EXPECT_EQ(spec.KeyForStartTag("x", {{"other", "v"}}), "");
+}
+
+TEST(OrderSpec, TagNameKey) {
+  OrderSpec spec = OrderSpec::ByTagName();
+  EXPECT_EQ(spec.KeyForStartTag("branch", {}), "branch");
+}
+
+TEST(OrderSpec, ComplexRulesDetected) {
+  OrderSpec simple = OrderSpec::ByAttribute("id");
+  EXPECT_FALSE(simple.HasComplexRules());
+  OrderSpec complex;
+  OrderRule rule;
+  rule.source = KeySource::kChildText;
+  rule.argument = "name/last";
+  complex.AddRule(rule);
+  EXPECT_TRUE(complex.HasComplexRules());
+}
+
+TEST(OrderSpec, NumericEncodingOrdersLikeDoubles) {
+  OrderRule rule;
+  rule.numeric = true;
+  Random rng(17);
+  std::vector<double> values{0,    -0.0, 1,     -1,    0.5,  -0.5,
+                             1e10, -1e10, 1e-10, 99999, -42.5};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back((rng.NextDouble() - 0.5) * 1e6);
+  }
+  for (double a : values) {
+    for (double b : values) {
+      std::string ka = OrderSpec::NormalizeKey(rule, std::to_string(a));
+      std::string kb = OrderSpec::NormalizeKey(rule, std::to_string(b));
+      double da = std::stod(std::to_string(a));
+      double db = std::stod(std::to_string(b));
+      if (da < db) {
+        EXPECT_LT(ka, kb) << a << " vs " << b;
+      } else if (db < da) {
+        EXPECT_LT(kb, ka) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(OrderSpec, NumericUnparseableSortsFirst) {
+  OrderRule rule;
+  rule.numeric = true;
+  EXPECT_EQ(OrderSpec::NormalizeKey(rule, "not a number"), "");
+  EXPECT_LT(OrderSpec::NormalizeKey(rule, "garbage"),
+            OrderSpec::NormalizeKey(rule, "-1e30"));
+}
+
+TEST(OrderSpec, DescendingReversesOrderIncludingPrefixes) {
+  OrderRule rule;
+  rule.descending = true;
+  auto enc = [&](std::string_view raw) {
+    return OrderSpec::NormalizeKey(rule, raw);
+  };
+  EXPECT_LT(enc("b"), enc("a"));
+  EXPECT_LT(enc("ab"), enc("a"));       // longer first under descending
+  EXPECT_LT(enc("abc"), enc("ab"));
+  EXPECT_EQ(enc("same"), enc("same"));
+  std::string with_zero("a\0", 2);
+  EXPECT_LT(enc(with_zero), enc("a"));  // "a\0" > "a" ascending
+  std::string two_zeros("a\0\0", 3);
+  EXPECT_LT(enc(two_zeros), enc(with_zero));
+}
+
+TEST(OrderSpec, DescendingNumericComposes) {
+  OrderRule rule;
+  rule.numeric = true;
+  rule.descending = true;
+  auto enc = [&](std::string_view raw) {
+    return OrderSpec::NormalizeKey(rule, raw);
+  };
+  EXPECT_LT(enc("10"), enc("2"));
+  EXPECT_LT(enc("2"), enc("-5"));
+}
+
+TEST(OrderSpec, RandomizedDescendingIsExactReverse) {
+  OrderRule asc;
+  OrderRule desc;
+  desc.descending = true;
+  Random rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a = rng.Identifier(rng.Uniform(6));
+    std::string b = rng.Identifier(rng.Uniform(6));
+    if (rng.OneIn(4)) a.push_back('\0');
+    if (rng.OneIn(4)) b.push_back('\0');
+    std::string asc_a = OrderSpec::NormalizeKey(asc, a);
+    std::string asc_b = OrderSpec::NormalizeKey(asc, b);
+    std::string desc_a = OrderSpec::NormalizeKey(desc, a);
+    std::string desc_b = OrderSpec::NormalizeKey(desc, b);
+    if (asc_a < asc_b) {
+      EXPECT_GT(desc_a, desc_b);
+    } else if (asc_b < asc_a) {
+      EXPECT_GT(desc_b, desc_a);
+    } else {
+      EXPECT_EQ(desc_a, desc_b);
+    }
+  }
+}
+
+TEST(OrderSpec, KeyForNodeResolvesChildPath) {
+  auto root = ParseDom(
+      "<employee ID=\"3\"><personalInfo><name><lastName>Ng</lastName>"
+      "</name></personalInfo></employee>");
+  ASSERT_TRUE(root.ok());
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "employee";
+  rule.source = KeySource::kChildText;
+  rule.argument = "personalInfo/name/lastName";
+  spec.AddRule(rule);
+  EXPECT_EQ(spec.KeyForNode(**root), "Ng");
+}
+
+TEST(OrderSpec, KeyForNodeOwnText) {
+  auto root = ParseDom("<w>apple</w>");
+  ASSERT_TRUE(root.ok());
+  OrderSpec spec;
+  OrderRule rule;
+  rule.source = KeySource::kTextContent;
+  spec.AddRule(rule);
+  EXPECT_EQ(spec.KeyForNode(**root), "apple");
+}
+
+TEST(OrderSpec, KeyForNodeMissingPathIsEmpty) {
+  auto root = ParseDom("<employee><other/></employee>");
+  ASSERT_TRUE(root.ok());
+  OrderSpec spec;
+  OrderRule rule;
+  rule.source = KeySource::kChildText;
+  rule.argument = "name/last";
+  spec.AddRule(rule);
+  EXPECT_EQ(spec.KeyForNode(**root), "");
+}
+
+TEST(OrderSpec, TextNodeRule) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "#text";
+  rule.source = KeySource::kTextContent;
+  spec.AddRule(rule);
+  EXPECT_EQ(spec.KeyForText("some text"), "some text");
+  OrderSpec no_rule;
+  EXPECT_EQ(no_rule.KeyForText("some text"), "");
+}
+
+TEST(OrderSpec, KeySeqLessSemantics) {
+  EXPECT_TRUE(KeySeqLess("a", 9, "b", 1));
+  EXPECT_TRUE(KeySeqLess("a", 1, "a", 2));
+  EXPECT_FALSE(KeySeqLess("a", 2, "a", 1));
+  EXPECT_FALSE(KeySeqLess("b", 1, "a", 9));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,53 @@
+// Pretty-printed output: indentation, inline text, and parse-equivalence
+// with the compact form.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/dom.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+std::string PrettySort(std::string_view xml) {
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.pretty_output = true;
+  return NexSortString(xml, options);
+}
+
+TEST(PrettyOutput, IndentsByLevelAndKeepsTextInline) {
+  EXPECT_EQ(PrettySort("<a id=\"1\"><b id=\"2\">hi</b><b id=\"1\"/></a>"),
+            "<a id=\"1\">\n"
+            "  <b id=\"1\"></b>\n"
+            "  <b id=\"2\">hi</b>\n"
+            "</a>");
+}
+
+TEST(PrettyOutput, LeafElementsCloseInline) {
+  std::string out = PrettySort("<a><b><c/></b></a>");
+  EXPECT_EQ(out, "<a>\n  <b>\n    <c></c>\n  </b>\n</a>");
+}
+
+TEST(PrettyOutput, ParsesBackToTheSameDocument) {
+  RandomTreeGenerator generator(4, 6, {.seed = 55, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+
+  NexSortOptions compact_options;
+  compact_options.order = OrderSpec::ByAttribute("id", true);
+  std::string compact = NexSortString(*xml, compact_options);
+  std::string pretty = PrettySort(*xml);
+  EXPECT_NE(compact, pretty);
+
+  // Same logical document: whitespace-only text is formatting.
+  auto compact_dom = ParseDom(compact);
+  auto pretty_dom = ParseDom(pretty);
+  ASSERT_TRUE(compact_dom.ok() && pretty_dom.ok());
+  EXPECT_TRUE((*compact_dom)->Equals(**pretty_dom));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

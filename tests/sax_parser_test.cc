@@ -1,0 +1,215 @@
+// SAX parser conformance: the supported XML subset, escaping, error cases,
+// and streaming across block boundaries.
+#include <gtest/gtest.h>
+
+#include "extmem/stream.h"
+#include "tests/test_util.h"
+#include "xml/sax_parser.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+// Drain a document into a flat event trace like "S:a A:id=1 T:hi E:a".
+std::string Trace(std::string_view xml, SaxOptions options = {}) {
+  StringByteSource source(xml);
+  SaxParser parser(&source, options);
+  std::string out;
+  XmlEvent event;
+  while (true) {
+    auto more = parser.Next(&event);
+    if (!more.ok()) return "ERROR:" + more.status().ToString();
+    if (!*more) break;
+    switch (event.type) {
+      case XmlEventType::kStartElement:
+        out += "S:" + event.name;
+        for (const auto& attr : event.attributes) {
+          out += " A:" + attr.name + "=" + attr.value;
+        }
+        break;
+      case XmlEventType::kEndElement:
+        out += "E:" + event.name;
+        break;
+      case XmlEventType::kText:
+        out += "T:" + event.text;
+        break;
+    }
+    out += "|";
+  }
+  return out;
+}
+
+TEST(SaxParser, SimpleDocument) {
+  EXPECT_EQ(Trace("<a><b>hi</b></a>"), "S:a|S:b|T:hi|E:b|E:a|");
+}
+
+TEST(SaxParser, Attributes) {
+  EXPECT_EQ(Trace("<a x=\"1\" y='two'/>"), "S:a A:x=1 A:y=two|E:a|");
+}
+
+TEST(SaxParser, AttributeWhitespaceAroundEquals) {
+  EXPECT_EQ(Trace("<a x = \"1\"></a>"), "S:a A:x=1|E:a|");
+}
+
+TEST(SaxParser, SelfClosingTag) {
+  EXPECT_EQ(Trace("<a><b/><c/></a>"), "S:a|S:b|E:b|S:c|E:c|E:a|");
+}
+
+TEST(SaxParser, EntityDecoding) {
+  EXPECT_EQ(Trace("<a>x &lt;&gt;&amp;&quot;&apos; y</a>"),
+            "S:a|T:x <>&\"' y|E:a|");
+}
+
+TEST(SaxParser, NumericCharacterReferences) {
+  EXPECT_EQ(Trace("<a>&#65;&#x42;</a>"), "S:a|T:AB|E:a|");
+}
+
+TEST(SaxParser, EntityInAttributeValue) {
+  EXPECT_EQ(Trace("<a k=\"&lt;&amp;&gt;\"/>"), "S:a A:k=<&>|E:a|");
+}
+
+TEST(SaxParser, CommentsSkipped) {
+  EXPECT_EQ(Trace("<a><!-- no -->x<!-- - -- -->y</a>"), "S:a|T:x|T:y|E:a|");
+}
+
+TEST(SaxParser, ProcessingInstructionAndDeclarationSkipped) {
+  EXPECT_EQ(Trace("<?xml version=\"1.0\"?><a><?php echo ?>t</a>"),
+            "S:a|T:t|E:a|");
+}
+
+TEST(SaxParser, DoctypeSkipped) {
+  EXPECT_EQ(Trace("<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>x</a>"),
+            "S:a|T:x|E:a|");
+}
+
+TEST(SaxParser, CdataIsText) {
+  EXPECT_EQ(Trace("<a><![CDATA[<raw> & stuff]]></a>"),
+            "S:a|T:<raw> & stuff|E:a|");
+}
+
+TEST(SaxParser, WhitespaceTextSkippedByDefault) {
+  EXPECT_EQ(Trace("<a>\n  <b/>\n</a>"), "S:a|S:b|E:b|E:a|");
+}
+
+TEST(SaxParser, WhitespaceTextKeptWhenRequested) {
+  SaxOptions options;
+  options.skip_whitespace_text = false;
+  EXPECT_EQ(Trace("<a> <b/></a>", options), "S:a|T: |S:b|E:b|E:a|");
+}
+
+TEST(SaxParser, MismatchedEndTagRejected) {
+  EXPECT_NE(Trace("<a><b></a></b>").find("ERROR:ParseError"),
+            std::string::npos);
+}
+
+TEST(SaxParser, MismatchAllowedInDepthOnlyMode) {
+  SaxOptions options;
+  options.check_tag_names = false;
+  EXPECT_EQ(Trace("<a><b></wrong></a>", options), "S:a|S:b|E:wrong|E:a|");
+}
+
+TEST(SaxParser, TruncatedDocumentRejected) {
+  EXPECT_NE(Trace("<a><b>").find("ERROR:ParseError"), std::string::npos);
+}
+
+TEST(SaxParser, MultipleRootsRejected) {
+  EXPECT_NE(Trace("<a/><b/>").find("ERROR:ParseError"), std::string::npos);
+}
+
+TEST(SaxParser, TextOutsideRootRejected) {
+  EXPECT_NE(Trace("hello<a/>").find("ERROR:ParseError"), std::string::npos);
+}
+
+TEST(SaxParser, EmptyInputRejected) {
+  EXPECT_NE(Trace("").find("ERROR:ParseError"), std::string::npos);
+}
+
+TEST(SaxParser, UnknownEntityRejected) {
+  EXPECT_NE(Trace("<a>&bogus;</a>").find("ERROR:ParseError"),
+            std::string::npos);
+}
+
+TEST(SaxParser, UnterminatedCommentRejected) {
+  EXPECT_NE(Trace("<a><!-- open</a>").find("ERROR:ParseError"),
+            std::string::npos);
+}
+
+TEST(SaxParser, CustomEntitiesFromInternalSubset) {
+  EXPECT_EQ(Trace("<!DOCTYPE a [ <!ENTITY co \"ACME &amp; Sons\"> ]>"
+                  "<a t=\"&co;\">&co;</a>"),
+            "S:a A:t=ACME & Sons|T:ACME & Sons|E:a|");
+}
+
+TEST(SaxParser, EntityDefinedViaCharacterReference) {
+  EXPECT_EQ(Trace("<!DOCTYPE a [ <!ENTITY e \"&#65;\"> ]><a>&e;</a>"),
+            "S:a|T:A|E:a|");
+}
+
+TEST(SaxParser, UndefinedCustomEntityStillRejected) {
+  EXPECT_NE(Trace("<!DOCTYPE a [ <!ENTITY x \"v\"> ]><a>&y;</a>")
+                .find("ERROR:ParseError"),
+            std::string::npos);
+}
+
+TEST(SaxParser, ParameterEntitiesSkippedGracefully) {
+  // %param; declarations and external entities are skipped, not fatal.
+  EXPECT_EQ(Trace("<!DOCTYPE a [ <!ENTITY % p SYSTEM \"x.dtd\"> "
+                  "<!ENTITY ok \"fine\"> ]><a>&ok;</a>"),
+            "S:a|T:fine|E:a|");
+}
+
+TEST(SaxParser, DeepNesting) {
+  std::string xml;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  StringByteSource source(xml);
+  SaxParser parser(&source);
+  XmlEvent event;
+  int max_depth = 0;
+  int events = 0;
+  while (true) {
+    auto more = parser.Next(&event);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++events;
+    max_depth = std::max(max_depth, parser.depth());
+  }
+  EXPECT_EQ(max_depth, depth);
+  EXPECT_EQ(events, 2 * depth + 1);
+}
+
+TEST(SaxParser, StreamsAcrossBlockBoundaries) {
+  // Parse from a device-backed stream whose blocks are far smaller than
+  // tags, so every production crosses buffer refills.
+  Env env(32, 8);
+  std::string xml = "<root>";
+  for (int i = 0; i < 50; ++i) {
+    xml += "<item key=\"" + std::string(40, 'k') + std::to_string(i) +
+           "\">value text " + std::to_string(i) + "</item>";
+  }
+  xml += "</root>";
+  auto range = StoreBytes(env.device.get(), &env.budget, xml);
+  ASSERT_TRUE(range.ok());
+  BlockStreamReader reader(env.device.get(), &env.budget, *range,
+                           IoCategory::kInput);
+  NEX_ASSERT_OK(reader.init_status());
+  SaxParser parser(&reader);
+  XmlEvent event;
+  int items = 0;
+  while (true) {
+    auto more = parser.Next(&event);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    if (event.type == XmlEventType::kStartElement && event.name == "item") {
+      ++items;
+    }
+  }
+  EXPECT_EQ(items, 50);
+  EXPECT_EQ(parser.bytes_consumed(), xml.size());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

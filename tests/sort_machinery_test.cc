@@ -1,0 +1,311 @@
+// Tests for the generic sorting machinery: key-path encoding order
+// properties, the loser tree, and external merge sort under tight budgets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/external_merge_sort.h"
+#include "sort/key_path.h"
+#include "sort/loser_tree.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+std::string Component(std::string_view key, uint64_t seq) {
+  std::string out;
+  AppendKeyPathComponent(&out, key, seq);
+  return out;
+}
+
+TEST(KeyPath, ComponentOrderMatchesKeyOrder) {
+  EXPECT_LT(Component("a", 5), Component("b", 1));
+  EXPECT_LT(Component("a", 1), Component("a", 2));       // seq tiebreak
+  EXPECT_LT(Component("a", 9), Component("ab", 0));      // prefix first
+  EXPECT_LT(Component("", 0), Component("a", 0));        // empty key first
+}
+
+TEST(KeyPath, EmbeddedZeroBytesOrderCorrectly) {
+  std::string k1("a\0b", 3);
+  std::string k2("a\0c", 3);
+  std::string k3("a", 1);
+  EXPECT_LT(Component(k1, 0), Component(k2, 0));
+  EXPECT_LT(Component(k3, 0), Component(k1, 0));  // "a" < "a\0b"
+}
+
+TEST(KeyPath, ParentSortsBeforeDescendants) {
+  std::string parent = Component("r", 0);
+  std::string child = parent + Component("x", 1);
+  std::string grandchild = child + Component("y", 2);
+  EXPECT_LT(parent, child);
+  EXPECT_LT(child, grandchild);
+  // A sibling with a larger key sorts after the whole first subtree.
+  std::string sibling = parent + Component("z", 3);
+  EXPECT_LT(grandchild, sibling);
+}
+
+TEST(KeyPath, DecodeRoundTrip) {
+  std::string path;
+  AppendKeyPathComponent(&path, "hello", 42);
+  AppendKeyPathComponent(&path, std::string("z\0ro", 4), 7);
+  std::string_view view = path;
+  std::string key;
+  uint64_t seq = 0;
+  NEX_ASSERT_OK(DecodeKeyPathComponent(&view, &key, &seq));
+  EXPECT_EQ(key, "hello");
+  EXPECT_EQ(seq, 42u);
+  NEX_ASSERT_OK(DecodeKeyPathComponent(&view, &key, &seq));
+  EXPECT_EQ(key, std::string("z\0ro", 4));
+  EXPECT_EQ(seq, 7u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(KeyPath, DepthCounting) {
+  std::string path;
+  AppendKeyPathComponent(&path, "a", 1);
+  AppendKeyPathComponent(&path, "b", 2);
+  AppendKeyPathComponent(&path, "c", 3);
+  auto depth = KeyPathDepth(path);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ(*depth, 3);
+  EXPECT_TRUE(KeyPathDepth("garbage").status().IsCorruption() ||
+              !KeyPathDepth("garbage").ok());
+}
+
+TEST(KeyPath, SortedPathsEqualSortedTuples) {
+  // Property: bytewise order of encoded paths == lexicographic order of
+  // (key, seq) component tuples.
+  Random rng(13);
+  struct Item {
+    std::vector<std::pair<std::string, uint64_t>> tuple;
+    std::string encoded;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 300; ++i) {
+    Item item;
+    int depth = 1 + rng.Uniform(4);
+    for (int d = 0; d < depth; ++d) {
+      std::string key = rng.Identifier(rng.Uniform(4));
+      if (rng.OneIn(5)) key.push_back('\0');
+      uint64_t seq = rng.Uniform(5);
+      item.tuple.emplace_back(key, seq);
+      AppendKeyPathComponent(&item.encoded, key, seq);
+    }
+    items.push_back(std::move(item));
+  }
+  auto by_encoded = items;
+  std::sort(by_encoded.begin(), by_encoded.end(),
+            [](const Item& a, const Item& b) { return a.encoded < b.encoded; });
+  auto by_tuple = items;
+  std::sort(by_tuple.begin(), by_tuple.end(),
+            [](const Item& a, const Item& b) { return a.tuple < b.tuple; });
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(by_encoded[i].tuple, by_tuple[i].tuple) << "at index " << i;
+  }
+}
+
+// Simple in-memory MergeSource for loser-tree tests.
+class VectorSource final : public MergeSource {
+ public:
+  explicit VectorSource(std::vector<std::string> keys)
+      : keys_(std::move(keys)) {}
+  bool exhausted() const override { return index_ >= keys_.size(); }
+  std::string_view key() const override { return keys_[index_]; }
+  Status Advance() override {
+    ++index_;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  size_t index_ = 0;
+};
+
+std::vector<std::string> DrainTree(std::vector<std::vector<std::string>> runs) {
+  std::vector<std::unique_ptr<VectorSource>> sources;
+  std::vector<MergeSource*> raw;
+  for (auto& run : runs) {
+    sources.push_back(std::make_unique<VectorSource>(std::move(run)));
+    raw.push_back(sources.back().get());
+  }
+  LoserTree tree(std::move(raw));
+  EXPECT_TRUE(tree.Init().ok());
+  std::vector<std::string> out;
+  while (MergeSource* min = tree.Min()) {
+    out.emplace_back(min->key());
+    EXPECT_TRUE(tree.AdvanceMin().ok());
+  }
+  return out;
+}
+
+TEST(LoserTree, MergesSortedRuns) {
+  auto out = DrainTree({{"a", "d", "g"}, {"b", "e"}, {"c", "f", "h", "i"}});
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g",
+                                           "h", "i"}));
+}
+
+TEST(LoserTree, SingleSource) {
+  auto out = DrainTree({{"x", "y"}});
+  EXPECT_EQ(out, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(LoserTree, EmptySourcesHandled) {
+  auto out = DrainTree({{}, {"m"}, {}});
+  EXPECT_EQ(out, (std::vector<std::string>{"m"}));
+}
+
+TEST(LoserTree, TiesGoToLowerSourceIndex) {
+  std::vector<std::unique_ptr<VectorSource>> sources;
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<std::string>{"k"}));
+  sources.push_back(std::make_unique<VectorSource>(
+      std::vector<std::string>{"k"}));
+  std::vector<MergeSource*> raw{sources[0].get(), sources[1].get()};
+  LoserTree tree(raw);
+  NEX_ASSERT_OK(tree.Init());
+  EXPECT_EQ(tree.Min(), sources[0].get());
+  NEX_ASSERT_OK(tree.AdvanceMin());
+  EXPECT_EQ(tree.Min(), sources[1].get());
+}
+
+TEST(LoserTree, RandomizedAgainstStdSort) {
+  Random rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    int k = 1 + rng.Uniform(12);
+    std::vector<std::vector<std::string>> runs(k);
+    std::vector<std::string> all;
+    for (auto& run : runs) {
+      int n = rng.Uniform(30);
+      for (int i = 0; i < n; ++i) run.push_back(rng.Identifier(3));
+      std::sort(run.begin(), run.end());
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(DrainTree(runs), all) << "trial " << trial;
+  }
+}
+
+TEST(ExternalMergeSort, InMemoryPathWhenEverythingFits) {
+  Env env(1024, 16);
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 8});
+  NEX_ASSERT_OK(sorter.init_status());
+  NEX_ASSERT_OK(sorter.Add("b", "2"));
+  NEX_ASSERT_OK(sorter.Add("a", "1"));
+  NEX_ASSERT_OK(sorter.Add("c", "3"));
+  NEX_ASSERT_OK(sorter.Finish());
+  EXPECT_TRUE(sorter.stats().in_memory);
+  EXPECT_EQ(env.device->stats().total(), 0u);
+
+  std::string key, value;
+  std::vector<std::string> keys;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    keys.push_back(key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExternalMergeSort, SpillsAndMergesUnderTightBudget) {
+  Env env(256, 8);
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 4});
+  NEX_ASSERT_OK(sorter.init_status());
+  Random rng(3);
+  std::vector<std::pair<std::string, std::string>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = rng.Identifier(6) + std::to_string(i);
+    std::string value = rng.Identifier(10);
+    reference.emplace_back(key, value);
+    NEX_ASSERT_OK(sorter.Add(key, value));
+  }
+  NEX_ASSERT_OK(sorter.Finish());
+  EXPECT_FALSE(sorter.stats().in_memory);
+  EXPECT_GT(sorter.stats().initial_runs, 1u);
+  EXPECT_GE(sorter.stats().merge_passes, 1u);
+
+  std::sort(reference.begin(), reference.end());
+  std::string key, value;
+  size_t index = 0;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ASSERT_LT(index, reference.size());
+    ASSERT_EQ(key, reference[index].first);
+    ASSERT_EQ(value, reference[index].second);
+    ++index;
+  }
+  EXPECT_EQ(index, reference.size());
+  // Memory budget respected throughout.
+  EXPECT_LE(env.budget.peak_blocks(), env.budget.total_blocks());
+}
+
+TEST(ExternalMergeSort, MultiPassWhenFanInIsTiny) {
+  Env env(128, 8);
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 3});  // fan-in 2
+  NEX_ASSERT_OK(sorter.init_status());
+  Random rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    NEX_ASSERT_OK(sorter.Add(rng.Identifier(8), "v"));
+  }
+  NEX_ASSERT_OK(sorter.Finish());
+  // With fan-in 2 and many initial runs, several passes are needed.
+  EXPECT_GE(sorter.stats().merge_passes, 3u);
+  std::string key, value, previous;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_GE(key, previous);
+    previous = key;
+  }
+}
+
+TEST(ExternalMergeSort, StableForEqualKeys) {
+  Env env(128, 8);
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 3});
+  NEX_ASSERT_OK(sorter.init_status());
+  for (int i = 0; i < 500; ++i) {
+    NEX_ASSERT_OK(sorter.Add("same", std::to_string(i)));
+  }
+  NEX_ASSERT_OK(sorter.Finish());
+  std::string key, value;
+  int expected = 0;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_EQ(value, std::to_string(expected++));
+  }
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(ExternalMergeSort, EmptyInput) {
+  Env env;
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 4});
+  NEX_ASSERT_OK(sorter.init_status());
+  NEX_ASSERT_OK(sorter.Finish());
+  std::string key, value;
+  auto more = sorter.Next(&key, &value);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(ExternalMergeSort, RejectsTinyBudget) {
+  Env env;
+  RunStore store(env.device.get(), &env.budget);
+  ExternalMergeSorter sorter(&store, {.memory_blocks = 2});
+  EXPECT_TRUE(sorter.init_status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort

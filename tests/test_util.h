@@ -1,0 +1,79 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/dom_sort.h"
+#include "core/keypath_xml_sort.h"
+#include "core/nexsort.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+
+namespace nexsort {
+namespace testing {
+
+#define NEX_ASSERT_OK(expr)                                     \
+  do {                                                          \
+    ::nexsort::Status _st = (expr);                             \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#define NEX_EXPECT_OK(expr)                                     \
+  do {                                                          \
+    ::nexsort::Status _st = (expr);                             \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+/// A device + budget pair with small blocks, the standard fixture.
+struct Env {
+  std::unique_ptr<BlockDevice> device;
+  MemoryBudget budget;
+
+  explicit Env(size_t block_size = 1024, uint64_t memory_blocks = 32)
+      : device(NewMemoryBlockDevice(block_size)), budget(memory_blocks) {}
+};
+
+/// NEXSORT an XML string end to end; fails the test on error.
+inline std::string NexSortString(std::string_view xml, NexSortOptions options,
+                                 size_t block_size = 1024,
+                                 uint64_t memory_blocks = 32,
+                                 NexSortStats* stats = nullptr) {
+  Env env(block_size, memory_blocks);
+  NexSorter sorter(env.device.get(), &env.budget, std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  Status st = sorter.Sort(&source, &sink);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (stats != nullptr) *stats = sorter.stats();
+  return out;
+}
+
+/// Key-path merge sort an XML string end to end.
+inline std::string KeyPathSortString(std::string_view xml,
+                                     KeyPathSortOptions options,
+                                     size_t block_size = 1024,
+                                     uint64_t memory_blocks = 32) {
+  Env env(block_size, memory_blocks);
+  KeyPathXmlSorter sorter(env.device.get(), &env.budget, std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  Status st = sorter.Sort(&source, &sink);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+/// The in-memory recursive sort oracle.
+inline std::string OracleSort(std::string_view xml, const OrderSpec& spec,
+                              int depth_limit = 0) {
+  auto result = SortXmlStringInMemory(xml, spec, depth_limit);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::string();
+}
+
+}  // namespace testing
+}  // namespace nexsort

@@ -1,0 +1,198 @@
+// UnitScanner: levels, sequence numbers, fan-out stats, simple keys on
+// start units, and complex-key resolution on end units.
+#include <gtest/gtest.h>
+
+#include "core/unit_scanner.h"
+#include "tests/test_util.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+struct TraceEntry {
+  ScanEvent::Kind kind;
+  uint32_t level;
+  std::string key;
+  std::string name;
+};
+
+std::vector<TraceEntry> Scan(std::string_view xml, const OrderSpec& spec) {
+  StringByteSource source(xml);
+  UnitScanner scanner(&source, &spec);
+  std::vector<TraceEntry> trace;
+  ScanEvent event;
+  while (true) {
+    auto more = scanner.Next(&event);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    trace.push_back({event.kind, event.unit.level, event.unit.key,
+                     event.unit.name});
+  }
+  return trace;
+}
+
+TEST(UnitScanner, LevelsAndKinds) {
+  OrderSpec spec;
+  auto trace = Scan("<a><b>t</b><c/></a>", spec);
+  ASSERT_EQ(trace.size(), 7u);  // S:a S:b T E:b S:c E:c E:a
+  EXPECT_EQ(trace[0].kind, ScanEvent::Kind::kStart);
+  EXPECT_EQ(trace[0].level, 1u);
+  EXPECT_EQ(trace[1].kind, ScanEvent::Kind::kStart);  // b
+  EXPECT_EQ(trace[1].level, 2u);
+  EXPECT_EQ(trace[2].kind, ScanEvent::Kind::kText);
+  EXPECT_EQ(trace[2].level, 3u);  // text is a child of b
+  EXPECT_EQ(trace[3].kind, ScanEvent::Kind::kEnd);  // /b
+  EXPECT_EQ(trace[3].level, 2u);
+  EXPECT_EQ(trace[4].kind, ScanEvent::Kind::kStart);  // c
+  EXPECT_EQ(trace[4].level, 2u);
+  EXPECT_EQ(trace[5].kind, ScanEvent::Kind::kEnd);  // /c
+  EXPECT_EQ(trace[5].level, 2u);
+  EXPECT_EQ(trace[6].kind, ScanEvent::Kind::kEnd);  // /a
+  EXPECT_EQ(trace[6].level, 1u);
+}
+
+TEST(UnitScanner, SequenceNumbersIncreaseInDocumentOrder) {
+  OrderSpec spec;
+  StringByteSource source("<a><b/><c/><d><e/></d></a>");
+  UnitScanner scanner(&source, &spec);
+  ScanEvent event;
+  uint64_t last_seq = 0;
+  bool first = true;
+  while (true) {
+    auto more = scanner.Next(&event);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    if (event.kind == ScanEvent::Kind::kEnd) continue;
+    if (!first) EXPECT_GT(event.unit.seq, last_seq);
+    last_seq = event.unit.seq;
+    first = false;
+  }
+}
+
+TEST(UnitScanner, SimpleKeysOnStartUnits) {
+  OrderSpec spec = OrderSpec::ByAttribute("id");
+  auto trace = Scan("<r id=\"root\"><x id=\"k1\"/></r>", spec);
+  EXPECT_EQ(trace[0].key, "root");
+  EXPECT_EQ(trace[1].key, "k1");
+}
+
+TEST(UnitScanner, StatsCaptureShape) {
+  OrderSpec spec;
+  StringByteSource source(
+      "<a><b><x/><x/><x/><x/></b><b><x/></b><b/>text-at-root</a>");
+  UnitScanner scanner(&source, &spec);
+  ScanEvent event;
+  while (true) {
+    auto more = scanner.Next(&event);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+  }
+  EXPECT_EQ(scanner.stats().elements, 9u);
+  EXPECT_EQ(scanner.stats().text_nodes, 1u);
+  EXPECT_EQ(scanner.stats().max_depth, 3u);
+  // Root has 3 element children + 1 text = 4; first b has 4 children.
+  EXPECT_EQ(scanner.stats().max_fanout, 4u);
+}
+
+TEST(UnitScanner, ComplexKeyResolvedOnEnd) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "person";
+  rule.source = KeySource::kChildText;
+  rule.argument = "name/last";
+  spec.AddRule(rule);
+
+  auto trace = Scan(
+      "<all><person><name><first>Ada</first><last>Byron</last></name>"
+      "</person></all>",
+      spec);
+  // person start has no key; its end carries the resolved key.
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace[1].name, "person");
+  EXPECT_EQ(trace[1].key, "");
+  bool found_end_key = false;
+  for (const auto& entry : trace) {
+    if (entry.kind == ScanEvent::Kind::kEnd && entry.level == 2 &&
+        entry.key == "Byron") {
+      found_end_key = true;
+    }
+  }
+  EXPECT_TRUE(found_end_key);
+}
+
+TEST(UnitScanner, ComplexKeyFirstMatchWins) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "p";
+  rule.source = KeySource::kChildText;
+  rule.argument = "k";
+  spec.AddRule(rule);
+  auto trace = Scan("<all><p><k>first</k><k>second</k></p></all>", spec);
+  bool saw = false;
+  for (const auto& entry : trace) {
+    if (entry.kind == ScanEvent::Kind::kEnd && entry.level == 2) {
+      EXPECT_EQ(entry.key, "first");
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(UnitScanner, ComplexKeyPathMustMatchExactDepth) {
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "p";
+  rule.source = KeySource::kChildText;
+  rule.argument = "a/b";
+  spec.AddRule(rule);
+  // The b here is NOT under a direct a-child, so no key resolves.
+  auto trace = Scan("<all><p><x><a><b>deep</b></a></x></p></all>", spec);
+  for (const auto& entry : trace) {
+    if (entry.kind == ScanEvent::Kind::kEnd && entry.level == 2) {
+      EXPECT_EQ(entry.key, "");
+    }
+  }
+}
+
+TEST(UnitScanner, NestedComplexElementsResolveIndependently) {
+  // person elements nested inside person elements: each must capture its
+  // own name, not an ancestor's or descendant's.
+  OrderSpec spec;
+  OrderRule rule;
+  rule.element = "p";
+  rule.source = KeySource::kChildText;
+  rule.argument = "n";
+  spec.AddRule(rule);
+  auto trace = Scan(
+      "<all><p><n>outer</n><p><n>inner</n></p></p></all>", spec);
+  std::vector<std::string> end_keys;
+  for (const auto& entry : trace) {
+    if (entry.kind == ScanEvent::Kind::kEnd && entry.key.size() > 0) {
+      end_keys.push_back(entry.key);
+    }
+  }
+  ASSERT_EQ(end_keys.size(), 2u);
+  EXPECT_EQ(end_keys[0], "inner");   // inner closes first
+  EXPECT_EQ(end_keys[1], "outer");
+}
+
+TEST(UnitScanner, PropagatesParseErrors) {
+  OrderSpec spec;
+  StringByteSource source("<a><b></a>");
+  UnitScanner scanner(&source, &spec);
+  ScanEvent event;
+  Status error;
+  while (true) {
+    auto more = scanner.Next(&event);
+    if (!more.ok()) {
+      error = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_TRUE(error.IsParseError());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort
