@@ -8,14 +8,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/keypath_xml_sort.h"
 #include "core/nexsort.h"
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
+#include "obs/json_writer.h"
+#include "obs/tracer.h"
 #include "xml/generator.h"
 
 namespace nexsort {
@@ -38,15 +42,22 @@ struct RunResult {
   NexSortStats nexsort_stats;      // NEXSORT runs only
   KeyPathSortStats keypath_stats;  // baseline runs only
   IoStats io;
+  /// Rendered "nexsort-telemetry-v1" object (per-phase spans, run events,
+  /// metrics) — same schema as xmlsort --stats-json's "telemetry" key.
+  /// Empty unless the run captured telemetry.
+  std::string telemetry_json;
 };
 
 /// Sort `xml` with NEXSORT under `memory_blocks` of budget.
 inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
                             NexSortOptions options,
-                            size_t block_size = kBlockSize) {
+                            size_t block_size = kBlockSize,
+                            bool capture_telemetry = false) {
   RunResult result;
   auto device = NewMemoryBlockDevice(block_size);
   MemoryBudget budget(memory_blocks);
+  Tracer tracer;
+  if (capture_telemetry) options.tracer = &tracer;
   NexSorter sorter(device.get(), &budget, std::move(options));
   StringByteSource source(xml);
   std::string out;
@@ -64,6 +75,7 @@ inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.output_bytes = out.size();
   result.nexsort_stats = sorter.stats();
+  if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
   return result;
 }
 
@@ -71,10 +83,13 @@ inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
 inline RunResult RunKeyPathSort(const std::string& xml,
                                 uint64_t memory_blocks,
                                 KeyPathSortOptions options,
-                                size_t block_size = kBlockSize) {
+                                size_t block_size = kBlockSize,
+                                bool capture_telemetry = false) {
   RunResult result;
   auto device = NewMemoryBlockDevice(block_size);
   MemoryBudget budget(memory_blocks);
+  Tracer tracer;
+  if (capture_telemetry) options.tracer = &tracer;
   KeyPathXmlSorter sorter(device.get(), &budget, std::move(options));
   StringByteSource source(xml);
   std::string out;
@@ -92,8 +107,105 @@ inline RunResult RunKeyPathSort(const std::string& xml,
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.output_bytes = out.size();
   result.keypath_stats = sorter.stats();
+  if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
   return result;
 }
+
+/// Machine-readable companion to the printed tables: pass `--json FILE`
+/// (or `--json=FILE`) to a bench binary and every measured point is also
+/// appended here, then written as one "nexsort-bench-v1" document:
+///
+///   {"schema":"nexsort-bench-v1","bench":...,"block_size":...,
+///    "rows":[{"algorithm":...,"params":{...},"ok":...,"io":{...},
+///             "modeled_seconds":...,"wall_seconds":...,
+///             "output_bytes":...,"telemetry":{...}}, ...]}
+///
+/// "io" matches IoStats::ToJson and "telemetry" (present when the run
+/// captured it) matches the tracer's nexsort-telemetry-v1 — the same
+/// objects xmlsort --stats-json emits, so one consumer reads both.
+class BenchJsonLog {
+ public:
+  BenchJsonLog(int argc, char** argv, const char* bench_name)
+      : bench_name_(bench_name) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(std::string("--json=").size());
+      }
+    }
+  }
+
+  /// True when --json was given; use it to decide capture_telemetry.
+  bool enabled() const { return !path_.empty(); }
+
+  void AddRow(const char* algorithm,
+              std::initializer_list<std::pair<const char*, uint64_t>> params,
+              const RunResult& result) {
+    if (!enabled()) return;
+    JsonWriter row;
+    row.BeginObject();
+    row.Key("algorithm");
+    row.String(algorithm);
+    row.Key("params");
+    row.BeginObject();
+    for (const auto& [name, value] : params) {
+      row.Key(name);
+      row.Uint(value);
+    }
+    row.EndObject();
+    row.Key("ok");
+    row.Bool(result.ok);
+    row.Key("io");
+    result.io.ToJson(&row);
+    row.Key("modeled_seconds");
+    row.Double(result.modeled_seconds);
+    row.Key("wall_seconds");
+    row.Double(result.wall_seconds);
+    row.Key("output_bytes");
+    row.Uint(result.output_bytes);
+    if (!result.telemetry_json.empty()) {
+      row.Key("telemetry");
+      row.Raw(result.telemetry_json);
+    }
+    row.EndObject();
+    rows_.push_back(std::move(row).Take());
+  }
+
+  /// Write the accumulated series; call once after the sweep.
+  void Write(size_t block_size = kBlockSize) {
+    if (!enabled()) return;
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("schema");
+    json.String("nexsort-bench-v1");
+    json.Key("bench");
+    json.String(bench_name_);
+    json.Key("block_size");
+    json.Uint(block_size);
+    json.Key("rows");
+    json.BeginArray();
+    for (const std::string& row : rows_) json.Raw(row);
+    json.EndArray();
+    json.EndObject();
+    FILE* out = std::fopen(path_.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::string text = std::move(json).Take();
+    text.push_back('\n');
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 inline NexSortOptions DefaultNexOptions() {
   NexSortOptions options;

@@ -12,7 +12,8 @@
 using namespace nexsort;
 using namespace nexsort::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonLog json_log(argc, argv, "fig5_memory");
   GeneratorStats doc_stats;
   std::string xml = MakeRandomDoc(/*height=*/7, /*max_fanout=*/10,
                                   /*seed=*/42, &doc_stats);
@@ -27,10 +28,15 @@ int main() {
               "  mem(KiB)    M | nexsort I/O  model(s) |  mrgsort I/O  "
               "model(s) | ms passes | slowdown");
   for (uint64_t memory_blocks : {256, 192, 128, 96, 64, 48, 32, 24, 16, 12}) {
-    RunResult nex = RunNexSort(xml, memory_blocks, DefaultNexOptions());
+    RunResult nex = RunNexSort(xml, memory_blocks, DefaultNexOptions(),
+                               kBlockSize, json_log.enabled());
     CheckOk(nex, "nexsort");
-    RunResult kp = RunKeyPathSort(xml, memory_blocks, DefaultKeyPathOptions());
+    RunResult kp = RunKeyPathSort(xml, memory_blocks, DefaultKeyPathOptions(),
+                                  kBlockSize, json_log.enabled());
     CheckOk(kp, "merge sort");
+    json_log.AddRow("nexsort", {{"memory_blocks", memory_blocks}}, nex);
+    json_log.AddRow("keypath_merge_sort", {{"memory_blocks", memory_blocks}},
+                    kp);
     std::printf(
         "  %8llu %4llu | %11llu  %8.2f | %12llu  %8.2f | %9llu | %7.2fx\n",
         static_cast<unsigned long long>(memory_blocks * kBlockSize / 1024),
@@ -43,5 +49,6 @@ int main() {
   std::printf(
       "\nexpected shape (paper): merge sort slower throughout, and its time\n"
       "climbs steeply at pass boundaries while NEXSORT stays nearly flat.\n");
+  json_log.Write();
   return 0;
 }

@@ -14,7 +14,8 @@
 using namespace nexsort;
 using namespace nexsort::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonLog json_log(argc, argv, "fig6_input_size");
   std::printf("Figure 6: effect of input size, max fan-out capped at 85\n");
   std::printf("block size %zu, memory 16 blocks (deliberately small, like "
               "the paper's 3 MB)\n", kBlockSize);
@@ -45,10 +46,16 @@ int main() {
   for (const Point& point : points) {
     GeneratorStats doc_stats;
     std::string xml = MakeShapedDoc(point.fanouts, 7, &doc_stats);
-    RunResult nex = RunNexSort(xml, kMemoryBlocks, DefaultNexOptions());
+    RunResult nex = RunNexSort(xml, kMemoryBlocks, DefaultNexOptions(),
+                               kBlockSize, json_log.enabled());
     CheckOk(nex, "nexsort");
-    RunResult kp = RunKeyPathSort(xml, kMemoryBlocks, DefaultKeyPathOptions());
+    RunResult kp = RunKeyPathSort(xml, kMemoryBlocks, DefaultKeyPathOptions(),
+                                  kBlockSize, json_log.enabled());
     CheckOk(kp, "merge sort");
+    json_log.AddRow("nexsort", {{"elements", doc_stats.elements},
+                                {"bytes", doc_stats.bytes}}, nex);
+    json_log.AddRow("keypath_merge_sort", {{"elements", doc_stats.elements},
+                                           {"bytes", doc_stats.bytes}}, kp);
     std::printf(
         " %10s %10s | %11llu  %8.2f | %11llu  %8.2f | %9llu | %5.2fx\n",
         WithCommas(doc_stats.elements).c_str(),
@@ -61,5 +68,6 @@ int main() {
   std::printf(
       "\nexpected shape (paper): NEXSORT I/O grows ~linearly with N; merge\n"
       "sort grows superlinearly, jumping where its pass count increases.\n");
+  json_log.Write();
   return 0;
 }

@@ -27,6 +27,12 @@
 //                         it before sorting and pre-seed the compaction
 //                         dictionary with its vocabulary
 //   --stats               print the I/O breakdown afterwards
+//   --stats-json FILE     write machine-readable telemetry (per-phase wall
+//                         time + I/O, per-category counts, memory peak,
+//                         run count, run-size histogram) as JSON; see
+//                         docs/OBSERVABILITY.md for the schema
+//   --trace-out FILE      write the JSONL trace stream (one span or
+//                         run-lifecycle event per line)
 //
 // Working storage (stacks + sorted runs) lives in <output.xml>.work, which
 // is removed on success.
@@ -41,6 +47,8 @@
 #include "xml/dtd.h"
 #include "extmem/block_device.h"
 #include "extmem/stream.h"
+#include "obs/json_writer.h"
+#include "obs/tracer.h"
 #include "util/string_util.h"
 
 using namespace nexsort;
@@ -101,6 +109,8 @@ int main(int argc, char** argv) {
   uint64_t threshold_blocks = 2;
   bool graceful = false;
   bool show_stats = false;
+  std::string stats_json_path;
+  std::string trace_out_path;
   bool check_output = false;
   bool check_only = false;
   bool pretty = false;
@@ -159,6 +169,14 @@ int main(int argc, char** argv) {
       check_only = true;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg == "--stats-json") {
+      stats_json_path = next();
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path = arg.substr(std::strlen("--stats-json="));
+    } else if (arg == "--trace-out") {
+      trace_out_path = next();
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_path = arg.substr(std::strlen("--trace-out="));
     } else if (arg.rfind("--", 0) == 0) {
       Usage();
     } else if (input_path.empty()) {
@@ -277,6 +295,10 @@ int main(int argc, char** argv) {
   }
   MemoryBudget budget(memory_blocks);
 
+  bool want_telemetry =
+      show_stats || !stats_json_path.empty() || !trace_out_path.empty();
+  Tracer tracer;
+
   NexSortOptions options;
   options.order = spec;
   options.pretty_output = pretty;
@@ -287,6 +309,7 @@ int main(int argc, char** argv) {
   options.sort_scope_tags = scope_tags;
   options.record_order_attribute = record_order;
   options.strip_attribute = strip_attr;
+  if (want_telemetry) options.tracer = &tracer;
   NexSorter sorter(device_or->get(), &budget, options);
 
   FileSource source(input);
@@ -328,7 +351,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "elements %s, text nodes %s, k=%llu, height %llu\n"
                  "subtree sorts %llu (internal %llu, external %llu), "
-                 "fragments %llu\n%s",
+                 "fragments %llu\n%s%s",
                  WithCommas(stats.scan.elements).c_str(),
                  WithCommas(stats.scan.text_nodes).c_str(),
                  static_cast<unsigned long long>(stats.scan.max_fanout),
@@ -337,7 +360,55 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.sorts.internal_sorts),
                  static_cast<unsigned long long>(stats.sorts.external_sorts),
                  static_cast<unsigned long long>(stats.fragment_runs),
-                 (*device_or)->stats().ToString(block_size).c_str());
+                 (*device_or)->stats().ToString(block_size).c_str(),
+                 tracer.ReportString().c_str());
+  }
+
+  if (!stats_json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("schema");
+    json.String("nexsort-stats-v1");
+    json.Key("tool");
+    json.String("xmlsort");
+    json.Key("input");
+    json.String(input_path);
+    json.Key("block_size");
+    json.Uint(block_size);
+    json.Key("memory_blocks");
+    json.Uint(memory_blocks);
+    json.Key("memory_peak_blocks");
+    json.Uint(budget.peak_blocks());
+    json.Key("run_count");
+    json.Uint(tracer.run_event_counts()[static_cast<int>(
+        RunEventKind::kCreated)]);
+    json.Key("io");
+    (*device_or)->stats().ToJson(&json);
+    json.Key("nexsort");
+    sorter.stats().ToJson(&json);
+    json.Key("telemetry");
+    tracer.ToJson(&json);
+    json.EndObject();
+    FILE* out = std::fopen(stats_json_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", stats_json_path.c_str());
+      return 1;
+    }
+    std::string text = std::move(json).Take();
+    text.push_back('\n');
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  }
+
+  if (!trace_out_path.empty()) {
+    FILE* out = std::fopen(trace_out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out_path.c_str());
+      return 1;
+    }
+    std::string text = tracer.ToJsonl();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
   }
   return 0;
 }

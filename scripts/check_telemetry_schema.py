@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate xmlsort's telemetry export against the documented schema.
+
+Runs `xmlsort --stats-json --trace-out` on a small fixture and checks that
+the emitted JSON carries everything docs/OBSERVABILITY.md promises to
+consumers: per-phase wall time and per-category I/O counts on every span,
+the memory peak, the run count, and the run-size histogram. Wired into
+ctest as `telemetry_schema_check` so a schema regression fails the suite.
+
+Usage:
+  check_telemetry_schema.py --xmlsort BIN --fixture FILE [--keep DIR]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+IO_CATEGORIES = [
+    "input", "output", "data-stack", "path-stack", "output-stack",
+    "run-write", "run-read", "sort-temp", "other",
+]
+
+FAILURES = []
+
+
+def check(condition, message):
+    if not condition:
+        FAILURES.append(message)
+
+
+def check_io_object(io, where, sparse_categories=False):
+    """Validate one io object. `stats.io` carries all nine categories with
+    zeros included; span io objects are sparse (only non-zero deltas)."""
+    for key in ("reads", "writes", "total", "modeled_seconds", "categories"):
+        check(key in io, f"{where}: missing io key '{key}'")
+    categories = io.get("categories", {})
+    if not sparse_categories:
+        for name in IO_CATEGORIES:
+            check(name in categories,
+                  f"{where}: missing io category '{name}'")
+    for name, entry in categories.items():
+        check(name in IO_CATEGORIES,
+              f"{where}: unknown io category '{name}'")
+        check("reads" in entry and "writes" in entry,
+              f"{where}: category '{name}' missing reads/writes")
+
+
+def check_telemetry(telemetry):
+    check(telemetry.get("schema") == "nexsort-telemetry-v1",
+          f"telemetry schema is {telemetry.get('schema')!r}, "
+          "expected 'nexsort-telemetry-v1'")
+    check(isinstance(telemetry.get("elapsed_seconds"), (int, float)),
+          "telemetry: missing elapsed_seconds")
+
+    spans = telemetry.get("spans", [])
+    check(len(spans) > 0, "telemetry: no spans recorded")
+    names = [s.get("name") for s in spans]
+    for expected in ("nexsort", "sorting_phase", "output_phase"):
+        check(expected in names, f"telemetry: missing span '{expected}'")
+    for span in spans:
+        where = f"span '{span.get('name')}'"
+        check(isinstance(span.get("wall_seconds"), (int, float)),
+              f"{where}: missing wall_seconds")
+        check(span.get("closed") is True, f"{where}: not closed")
+        check("io" in span, f"{where}: missing io")
+        if "io" in span:
+            check_io_object(span["io"], where, sparse_categories=True)
+        check("memory" in span, f"{where}: missing memory")
+        for key in ("budget_used_open", "budget_used_close", "budget_peak"):
+            check(key in span.get("memory", {}), f"{where}: missing {key}")
+
+    run_events = telemetry.get("run_events", {})
+    check("count" in run_events, "telemetry: run_events missing count")
+    by_kind = run_events.get("by_kind", {})
+    for kind in ("created", "fragment", "read-back", "merged", "freed"):
+        check(kind in by_kind, f"telemetry: run_events missing kind '{kind}'")
+
+    metrics = telemetry.get("metrics", {})
+    histograms = metrics.get("histograms", {})
+    check("run_size_bytes" in histograms,
+          "telemetry: missing run_size_bytes histogram")
+    for name, hist in histograms.items():
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p90",
+                    "p99", "buckets"):
+            check(key in hist, f"histogram '{name}': missing '{key}'")
+        for bucket in hist.get("buckets", []):
+            check(isinstance(bucket, list) and len(bucket) == 2,
+                  f"histogram '{name}': bucket is not [upper_bound, count]")
+
+
+def check_stats(stats):
+    check(stats.get("schema") == "nexsort-stats-v1",
+          f"stats schema is {stats.get('schema')!r}, "
+          "expected 'nexsort-stats-v1'")
+    for key in ("tool", "input", "block_size", "memory_blocks",
+                "memory_peak_blocks", "run_count", "io", "nexsort",
+                "telemetry"):
+        check(key in stats, f"stats: missing top-level key '{key}'")
+    check(isinstance(stats.get("memory_peak_blocks"), int),
+          "stats: memory_peak_blocks is not an integer")
+    check(isinstance(stats.get("run_count"), int),
+          "stats: run_count is not an integer")
+    if "io" in stats:
+        check_io_object(stats["io"], "stats.io")
+    if "telemetry" in stats:
+        check_telemetry(stats["telemetry"])
+
+
+def check_trace(path):
+    lines = path.read_text().splitlines()
+    check(len(lines) > 0, "trace: empty JSONL stream")
+    for i, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            check(False, f"trace line {i}: invalid JSON ({err})")
+            continue
+        check(record.get("type") in ("span", "run_event"),
+              f"trace line {i}: unknown type {record.get('type')!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--xmlsort", required=True,
+                        help="path to the xmlsort binary")
+    parser.add_argument("--fixture", required=True,
+                        help="small XML document to sort")
+    parser.add_argument("--keep", default=None,
+                        help="write artifacts into this directory and keep "
+                             "them (default: a temp dir)")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(args.keep) if args.keep else Path(tmp)
+        workdir.mkdir(parents=True, exist_ok=True)
+        stats_path = workdir / "stats.json"
+        trace_path = workdir / "trace.jsonl"
+        output_path = workdir / "sorted.xml"
+
+        command = [
+            args.xmlsort, "--numeric",
+            "--stats-json", str(stats_path),
+            "--trace-out", str(trace_path),
+            args.fixture, str(output_path),
+        ]
+        result = subprocess.run(command, capture_output=True, text=True)
+        if result.returncode != 0:
+            print(f"FAIL: xmlsort exited {result.returncode}", file=sys.stderr)
+            sys.stderr.write(result.stderr)
+            return 1
+
+        try:
+            stats = json.loads(stats_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL: cannot parse {stats_path}: {err}", file=sys.stderr)
+            return 1
+        check_stats(stats)
+        check(output_path.exists() and output_path.stat().st_size > 0,
+              "xmlsort produced no output document")
+        check_trace(trace_path)
+
+    if FAILURES:
+        for failure in FAILURES:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("telemetry schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "core/keypath_xml_sort.h"
 
 #include "core/unit_emitter.h"
+#include "obs/tracer.h"
 #include "sort/key_path.h"
 
 namespace nexsort {
@@ -25,9 +26,17 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
     return Status::InvalidArgument("key-path sort needs >= 4 blocks");
   }
 
+  if (options_.tracer != nullptr) {
+    options_.tracer->AttachDevice(device_);
+    options_.tracer->AttachBudget(budget_);
+    store_.set_tracer(options_.tracer);
+  }
+  ScopedSpan sort_span(options_.tracer, "keypath_sort");
+
   UnitScanner scanner(input, &options_.order);
   ExtSortOptions sort_options;
   sort_options.memory_blocks = budget_->total_blocks();
+  sort_options.tracer = options_.tracer;
   ExternalMergeSorter sorter(&store_, sort_options);
   RETURN_IF_ERROR(sorter.init_status());
 
@@ -36,6 +45,7 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   // plus its own — explicitly materialized per record, which is exactly the
   // space overhead the paper attributes to this baseline.
   {
+    ScopedSpan span(options_.tracer, "keypath_convert");
     std::vector<size_t> path_ends;
     std::string path;
     std::string serialized;
@@ -67,10 +77,14 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
     }
   }
   stats_.scan = scanner.stats();
-  RETURN_IF_ERROR(sorter.Finish());
+  {
+    ScopedSpan span(options_.tracer, "keypath_merge");
+    RETURN_IF_ERROR(sorter.Finish());
+  }
 
   // Pass 2: key-path order is depth-first document order of the sorted
   // tree; emit it as XML directly.
+  ScopedSpan output_span(options_.tracer, "keypath_output");
   UnitXmlEmitter emitter(device_, budget_, &dictionary_, output);
   RETURN_IF_ERROR(emitter.init_status());
   std::string key;

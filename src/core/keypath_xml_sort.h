@@ -25,6 +25,10 @@ struct KeyPathSortOptions {
   /// Compaction parity with NEXSORT (name dictionary in the record format),
   /// so the comparison is apples-to-apples.
   bool use_dictionary = true;
+
+  /// Optional telemetry sink (not owned; may be null): spans for the
+  /// key-path conversion, the merge sort, and the output pass.
+  Tracer* tracer = nullptr;
 };
 
 struct KeyPathSortStats {

@@ -3,8 +3,61 @@
 #include <algorithm>
 
 #include "core/unit_emitter.h"
+#include "obs/json_writer.h"
+#include "obs/tracer.h"
 
 namespace nexsort {
+
+void NexSortStats::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("scan");
+  writer->BeginObject();
+  writer->Key("elements");
+  writer->Uint(scan.elements);
+  writer->Key("text_nodes");
+  writer->Uint(scan.text_nodes);
+  writer->Key("units");
+  writer->Uint(scan.units);
+  writer->Key("max_fanout");
+  writer->Uint(scan.max_fanout);
+  writer->Key("max_depth");
+  writer->Uint(scan.max_depth);
+  writer->EndObject();
+  writer->Key("sorts");
+  writer->BeginObject();
+  writer->Key("internal");
+  writer->Uint(sorts.internal_sorts);
+  writer->Key("external");
+  writer->Uint(sorts.external_sorts);
+  writer->Key("fragment_merges");
+  writer->Uint(sorts.fragment_merges);
+  writer->Key("fragment_premerge_passes");
+  writer->Uint(sorts.fragment_premerge_passes);
+  writer->Key("largest_subtree_bytes");
+  writer->Uint(sorts.largest_subtree_bytes);
+  writer->EndObject();
+  writer->Key("subtree_sorts");
+  writer->Uint(subtree_sorts);
+  writer->Key("fragment_runs");
+  writer->Uint(fragment_runs);
+  writer->Key("pointer_units");
+  writer->Uint(pointer_units);
+  writer->Key("input_bytes");
+  writer->Uint(input_bytes);
+  writer->Key("output_bytes");
+  writer->Uint(output_bytes);
+  writer->Key("data_stack_peak_bytes");
+  writer->Uint(data_stack_peak);
+  writer->Key("path_stack_peak_entries");
+  writer->Uint(path_stack_peak);
+  writer->EndObject();
+}
+
+std::string NexSortStats::ToJsonString() const {
+  JsonWriter writer;
+  ToJson(&writer);
+  return std::move(writer).Take();
+}
 
 NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
                      NexSortOptions options)
@@ -29,6 +82,12 @@ NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
   sort_context_.depth_limit = options_.depth_limit;
   sort_context_.scope_tags =
       options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
+  if (options_.tracer != nullptr) {
+    options_.tracer->AttachDevice(device_);
+    options_.tracer->AttachBudget(budget_);
+    store_.set_tracer(options_.tracer);
+    sort_context_.tracer = options_.tracer;
+  }
 }
 
 Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
@@ -55,9 +114,22 @@ Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
         "scoped sorting cannot combine with graceful degeneration or "
         "complex ordering criteria");
   }
+  ScopedSpan sort_span(options_.tracer, "nexsort");
   RunHandle root_run;
   RETURN_IF_ERROR(SortingPhase(input, &root_run));
-  return OutputPhase(root_run, output);
+  RETURN_IF_ERROR(OutputPhase(root_run, output));
+  sort_span.End();
+  if (options_.tracer != nullptr) {
+    MetricsRegistry* metrics = options_.tracer->metrics();
+    metrics->GetGauge("data_stack_bytes")->Set(stats_.data_stack_peak);
+    metrics->GetGauge("path_stack_entries")->Set(stats_.path_stack_peak);
+    metrics->GetCounter("subtree_sorts")->Add(stats_.subtree_sorts);
+    metrics->GetCounter("fragment_runs")->Add(stats_.fragment_runs);
+    metrics->GetCounter("pointer_units")->Add(stats_.pointer_units);
+    metrics->GetCounter("input_bytes")->Add(stats_.input_bytes);
+    metrics->GetCounter("output_bytes")->Add(stats_.output_bytes);
+  }
+  return Status::OK();
 }
 
 Status NexSorter::SortRegion(ExtByteStack* data, const PathEntry& entry,
@@ -66,6 +138,11 @@ Status NexSorter::SortRegion(ExtByteStack* data, const PathEntry& entry,
                              ElementUnit* pointer) {
   ++stats_.subtree_sorts;
   uint64_t region_size = data->size() - entry.start_offset;
+  ScopedSpan span(options_.tracer, "sort_region");
+  if (options_.tracer != nullptr) {
+    options_.tracer->metrics()->GetHistogram("subtree_region_bytes")
+        ->Record(region_size);
+  }
   ElementUnit root_unit;
   // Regions holding fragment pointers must sort in memory (fragments merge
   // against the in-memory forest); fragmentation has already capped their
@@ -117,6 +194,8 @@ Status NexSorter::MaybeFragment(ExtByteStack* data,
   ASSIGN_OR_RETURN(fragment,
                    SortForestInMemory(sort_context_, forest, &stats_.sorts));
   ++stats_.fragment_runs;
+  TraceRunEvent(options_.tracer, RunEventKind::kFragment,
+                IoCategory::kRunWrite, fragment.byte_size, fragment.id);
 
   ElementUnit unit;
   unit.type = UnitType::kFragment;
@@ -133,6 +212,11 @@ Status NexSorter::MaybeFragment(ExtByteStack* data,
 }
 
 Status NexSorter::SortingPhase(ByteSource* input, RunHandle* root_run) {
+  ScopedSpan span(options_.tracer, "sorting_phase");
+  Histogram* fanout_histogram =
+      options_.tracer != nullptr
+          ? options_.tracer->metrics()->GetHistogram("subtree_fanout")
+          : nullptr;
   UnitScanner scanner(input, &options_.order);
   ExtByteStack data(device_, budget_, 1, IoCategory::kDataStack);
   RETURN_IF_ERROR(data.init_status());
@@ -179,6 +263,9 @@ Status NexSorter::SortingPhase(ByteSource* input, RunHandle* root_run) {
         break;
       }
       case ScanEvent::Kind::kEnd: {
+        if (fanout_histogram != nullptr) {
+          fanout_histogram->Record(event.children);
+        }
         if (push_end_units_) {
           serialized.clear();
           AppendUnit(&serialized, event.unit, format_, &dictionary_);
@@ -233,6 +320,7 @@ struct OutputLoc {
 }  // namespace
 
 Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
+  ScopedSpan span(options_.tracer, "output_phase");
   UnitEmitterOptions emitter_options;
   emitter_options.pretty = options_.pretty_output;
   UnitXmlEmitter emitter(device_, budget_, &dictionary_, output,

@@ -35,9 +35,19 @@
 
 namespace nexsort {
 
+class Tracer;
+
 struct NexSortOptions {
   /// Ordering criterion for every sibling list.
   OrderSpec order;
+
+  /// Optional telemetry sink (not owned; may be null, the default — the
+  /// hot path then pays only inlined null checks). When set, the sorter
+  /// attaches the tracer to its device and budget, opens spans for the
+  /// sorting phase / per-subtree sorts / output phase, emits run-lifecycle
+  /// events, and records run-size, subtree-size, and fan-out histograms
+  /// plus stack high-water gauges. See docs/OBSERVABILITY.md.
+  Tracer* tracer = nullptr;
 
   /// The sort threshold t, in bytes: a complete subtree is sorted into a
   /// run once it reaches this size. 0 picks the paper's recommended value
@@ -105,6 +115,11 @@ struct NexSortStats {
   uint64_t output_bytes = 0;
   uint64_t data_stack_peak = 0;  // bytes
   uint64_t path_stack_peak = 0;  // entries
+
+  /// Serialize every counter (including the nested scan and subtree-sort
+  /// stats) as one JSON object in the telemetry schema.
+  void ToJson(class JsonWriter* writer) const;
+  std::string ToJsonString() const;
 };
 
 /// One-document sorter. The device supplies working storage (stacks +

@@ -425,6 +425,7 @@ ExternalSubtreeSorter::ExternalSubtreeSorter(const SubtreeSortContext& ctx,
   }
   ExtSortOptions sort_options;
   sort_options.memory_blocks = ctx.memory_blocks;
+  sort_options.tracer = ctx.tracer;
   sorter_ = std::make_unique<ExternalMergeSorter>(ctx.store, sort_options);
   status_ = sorter_->init_status();
 }

@@ -34,6 +34,10 @@ struct SubtreeSortContext {
 
   /// Blocks of internal memory one subtree sort may use.
   uint64_t memory_blocks = 8;
+
+  /// Optional telemetry sink (not owned; may be null), forwarded to the
+  /// external merge sorts run for oversized subtrees.
+  class Tracer* tracer = nullptr;
 };
 
 /// Statistics accumulated across the subtree sorts of one NEXSORT run.

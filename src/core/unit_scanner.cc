@@ -86,6 +86,7 @@ StatusOr<bool> UnitScanner::Next(ScanEvent* event) {
   unit.attributes.clear();
   unit.text.clear();
   unit.run = RunHandle();
+  event->children = 0;
   ++stats_.units;
 
   switch (xml.type) {
@@ -142,6 +143,7 @@ StatusOr<bool> UnitScanner::Next(ScanEvent* event) {
       unit.type = UnitType::kEnd;
       unit.level = depth;
       unit.seq = open_.back().seq;
+      event->children = open_.back().children;
       if (!evaluators_.empty() &&
           evaluators_.back().element_depth == depth) {
         Evaluator& ev = evaluators_.back();

@@ -33,6 +33,10 @@ struct ScanEvent {
   /// key may be empty when a complex rule resolves later). For kEnd: type
   /// kEnd with level, seq of the element's start, and the resolved key.
   ElementUnit unit;
+
+  /// For kEnd: the closed element's child count (elements + text nodes) —
+  /// the per-element fan-out feeding telemetry's fan-out histogram.
+  uint64_t children = 0;
 };
 
 /// Totals observed during one scan (the workload's N, k, height).

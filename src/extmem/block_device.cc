@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/json_writer.h"
 #include "util/string_util.h"
 
 namespace nexsort {
@@ -43,6 +44,41 @@ std::string IoStats::ToString(size_t block_size) const {
     out += line;
   }
   return out;
+}
+
+void IoStats::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("reads");
+  writer->Uint(reads);
+  writer->Key("writes");
+  writer->Uint(writes);
+  writer->Key("total");
+  writer->Uint(total());
+  writer->Key("sequential_reads");
+  writer->Uint(sequential_reads);
+  writer->Key("sequential_writes");
+  writer->Uint(sequential_writes);
+  writer->Key("modeled_seconds");
+  writer->Double(modeled_seconds);
+  writer->Key("categories");
+  writer->BeginObject();
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    writer->Key(IoCategoryName(static_cast<IoCategory>(i)));
+    writer->BeginObject();
+    writer->Key("reads");
+    writer->Uint(category_reads[i]);
+    writer->Key("writes");
+    writer->Uint(category_writes[i]);
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string IoStats::ToJsonString() const {
+  JsonWriter writer;
+  ToJson(&writer);
+  return std::move(writer).Take();
 }
 
 BlockDevice::BlockDevice(size_t block_size, DiskModel model)

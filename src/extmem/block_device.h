@@ -26,9 +26,12 @@ enum class IoCategory {
   kRunWrite,      // writing sorted runs
   kRunRead,       // reading sorted runs back (output phase / merges)
   kSortTemp,      // external merge sort scratch (run formation + merge)
-  kOther,
+  kOther,         // keep last: kNumIoCategories is derived from it
 };
-inline constexpr int kNumIoCategories = 9;
+inline constexpr int kNumIoCategories = static_cast<int>(IoCategory::kOther) + 1;
+static_assert(kNumIoCategories == 9,
+              "IoCategory changed: update IoCategoryName and every "
+              "category-indexed table before adjusting this count");
 
 /// Simple rotating-disk cost model: a random access pays a seek, a strictly
 /// sequential access (block id == previous id + 1 on the same device) pays
@@ -60,6 +63,12 @@ struct IoStats {
 
   /// Multi-line human-readable report of all counters.
   std::string ToString(size_t block_size) const;
+
+  /// Serialize all counters as one JSON object (telemetry schema: totals,
+  /// sequential subsets, modeled seconds, and a "categories" object keyed
+  /// by IoCategoryName with per-category reads/writes).
+  void ToJson(class JsonWriter* writer) const;
+  std::string ToJsonString() const;
 };
 
 /// Name of an IoCategory for reports.

@@ -1,7 +1,7 @@
 #include "extmem/memory_budget.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
 
 namespace nexsort {
 
@@ -21,7 +21,21 @@ Status MemoryBudget::Acquire(uint64_t count) {
 }
 
 void MemoryBudget::Release(uint64_t count) {
-  assert(count <= used_blocks_);
+  if (count > used_blocks_) {
+    // Caller bug (double release or mismatched count). Clamp rather than
+    // wrap: a wrapped used_blocks_ would make every later Acquire fail —
+    // or worse, succeed past the cap.
+    if (release_underflows_ == 0) {
+      std::fprintf(stderr,
+                   "MemoryBudget::Release underflow: releasing %llu blocks "
+                   "with only %llu in use (clamped)\n",
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(used_blocks_));
+    }
+    ++release_underflows_;
+    used_blocks_ = 0;
+    return;
+  }
   used_blocks_ -= count;
 }
 

@@ -21,8 +21,15 @@ class MemoryBudget {
   /// Reserve `count` blocks; OutOfMemory if that would exceed the cap.
   Status Acquire(uint64_t count);
 
-  /// Return `count` previously acquired blocks.
+  /// Return `count` previously acquired blocks. Releasing more than is in
+  /// use is a caller bug: instead of wrapping `used_blocks_` (which would
+  /// silently disable the cap), the release is clamped to what is in use,
+  /// the incident is logged once, and release_underflows() records it.
   void Release(uint64_t count);
+
+  /// Number of Release() calls that tried to return more blocks than were
+  /// in use (0 in a correct program; asserted on by tests).
+  uint64_t release_underflows() const { return release_underflows_; }
 
   uint64_t total_blocks() const { return total_blocks_; }
   uint64_t used_blocks() const { return used_blocks_; }
@@ -36,6 +43,7 @@ class MemoryBudget {
   const uint64_t total_blocks_;
   uint64_t used_blocks_ = 0;
   uint64_t peak_blocks_ = 0;
+  uint64_t release_underflows_ = 0;
 };
 
 /// RAII reservation of budget blocks.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/tracer.h"
+
 namespace nexsort {
 
 RunStore::RunStore(BlockDevice* device, MemoryBudget* budget)
@@ -28,6 +30,8 @@ RunWriter RunStore::NewRun(IoCategory category) {
 
 RunReader RunStore::OpenRun(RunHandle handle, uint64_t offset,
                             IoCategory category) {
+  TraceRunEvent(tracer_, RunEventKind::kReadBack, category, handle.byte_size,
+                handle.id);
   return RunReader(this, handle, offset, category);
 }
 
@@ -35,6 +39,8 @@ Status RunStore::FreeRun(RunHandle handle) {
   if (!handle.valid() || handle.id >= run_blocks_.size()) {
     return Status::InvalidArgument("invalid run handle");
   }
+  TraceRunEvent(tracer_, RunEventKind::kFreed, IoCategory::kOther,
+                handle.byte_size, handle.id);
   std::vector<uint64_t>& blocks = run_blocks_[handle.id];
   live_blocks_ -= blocks.size();
   free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
@@ -88,6 +94,8 @@ Status RunWriter::Finish(RunHandle* handle) {
   store_->run_blocks_.push_back(std::move(blocks_));
   store_->run_bytes_.push_back(byte_size_);
   reservation_.Reset();
+  TraceRunEvent(store_->tracer_, RunEventKind::kCreated, category_,
+                byte_size_, handle->id);
   return Status::OK();
 }
 

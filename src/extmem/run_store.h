@@ -32,11 +32,17 @@ struct RunHandle {
 
 class RunWriter;
 class RunReader;
+class Tracer;
 
 /// Owner of all runs on one device.
 class RunStore {
  public:
   RunStore(BlockDevice* device, MemoryBudget* budget);
+
+  /// Attach a tracer (may be null; not owned): the store then records a
+  /// run-lifecycle event for every run finished, opened, and freed.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   /// Begin a new run. Only the returned writer may add blocks to it.
   RunWriter NewRun(IoCategory category = IoCategory::kRunWrite);
@@ -63,6 +69,7 @@ class RunStore {
 
   BlockDevice* device_;
   MemoryBudget* budget_;
+  Tracer* tracer_ = nullptr;
   std::vector<std::vector<uint64_t>> run_blocks_;  // index per run id
   std::vector<uint64_t> run_bytes_;
   std::vector<uint64_t> free_blocks_;

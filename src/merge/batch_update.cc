@@ -1,5 +1,7 @@
 #include "merge/batch_update.h"
 
+#include "obs/tracer.h"
+
 namespace nexsort {
 
 Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
@@ -9,8 +11,10 @@ Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
   // Step 1: sort the update batch by the base document's criterion.
   std::string sorted_updates;
   {
+    ScopedSpan span(options.tracer, "sort_updates");
     NexSortOptions sort_options;
     sort_options.order = options.order;
+    sort_options.tracer = options.tracer;
     NexSorter sorter(device, budget, std::move(sort_options));
     StringByteSource source(updates);
     StringByteSink sink(&sorted_updates);
@@ -22,6 +26,7 @@ Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
   merge_options.order = options.order;
   merge_options.apply_update_ops = true;
   merge_options.op_attribute = options.op_attribute;
+  merge_options.tracer = options.tracer;
   StringByteSource updates_source(sorted_updates);
   return StructuralMerge(base, &updates_source, output, merge_options, stats);
 }

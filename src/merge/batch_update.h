@@ -22,6 +22,10 @@ struct BatchUpdateOptions {
 
   /// Name of the operation attribute on update elements.
   std::string op_attribute = "op";
+
+  /// Optional telemetry sink (not owned; may be null): spans for the
+  /// update-batch sort and the merge pass, forwarded to both stages.
+  Tracer* tracer = nullptr;
 };
 
 /// Apply `updates` (unsorted XML text) to the already-sorted `base`.

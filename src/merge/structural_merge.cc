@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "merge/event_stream.h"
+#include "obs/tracer.h"
 #include "xml/writer.h"
 
 namespace nexsort {
@@ -392,7 +393,17 @@ Status StructuralMergeMany(const std::vector<ByteSource*>& inputs,
   }
   NWayMerger merger(std::move(streams), output, options,
                     stats != nullptr ? stats : &local);
-  return merger.Run();
+  ScopedSpan span(options.tracer, "structural_merge_many");
+  Status status = merger.Run();
+  span.End();
+  if (options.tracer != nullptr) {
+    MergeStats& used = stats != nullptr ? *stats : local;
+    MetricsRegistry* metrics = options.tracer->metrics();
+    metrics->GetCounter("merge_matched_elements")->Add(used.matched_elements);
+    metrics->GetCounter("merge_left_only")->Add(used.left_only);
+    metrics->GetCounter("merge_right_only")->Add(used.right_only);
+  }
+  return status;
 }
 
 Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
@@ -406,7 +417,19 @@ Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
   EventStream right_stream(right);
   Merger merger(&left_stream, &right_stream, output, options,
                 stats != nullptr ? stats : &local);
-  return merger.Run();
+  ScopedSpan span(options.tracer, "structural_merge");
+  Status status = merger.Run();
+  span.End();
+  if (options.tracer != nullptr) {
+    MergeStats& used = stats != nullptr ? *stats : local;
+    MetricsRegistry* metrics = options.tracer->metrics();
+    metrics->GetCounter("merge_matched_elements")->Add(used.matched_elements);
+    metrics->GetCounter("merge_left_only")->Add(used.left_only);
+    metrics->GetCounter("merge_right_only")->Add(used.right_only);
+    metrics->GetCounter("merge_deleted")->Add(used.deleted);
+    metrics->GetCounter("merge_replaced")->Add(used.replaced);
+  }
+  return status;
 }
 
 }  // namespace nexsort

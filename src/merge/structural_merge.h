@@ -21,10 +21,16 @@
 
 namespace nexsort {
 
+class Tracer;
+
 struct MergeOptions {
   /// Must be the spec both inputs were sorted with; only simple rules
   /// (keys available on start tags) are supported.
   OrderSpec order;
+
+  /// Optional telemetry sink (not owned; may be null): a span around the
+  /// merge pass plus matched/emitted counters.
+  Tracer* tracer = nullptr;
 
   /// What to do with text children of *matched* elements.
   enum class TextPolicy {

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace nexsort {
+
+int Histogram::BucketIndex(uint64_t value) {
+  // 0 -> bucket 0; otherwise bucket = bit width, so bucket i (i >= 1)
+  // covers [2^(i-1), 2^i - 1].
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max_);
+  double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1)) + 1.0;
+      double upper = static_cast<double>(BucketUpperBound(i));
+      // The observed extremes tighten the bucket bounds: with few samples
+      // a whole power-of-two bucket is a very loose interval.
+      lower = std::max(lower, static_cast<double>(min()));
+      upper = std::min(upper, static_cast<double>(max_));
+      if (upper < lower) upper = lower;
+      double fraction = (target - before) / static_cast<double>(buckets_[i]);
+      return lower + (upper - lower) * fraction;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return &it->second;
+}
+
+void MetricsRegistry::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer->Key(name);
+    writer->Uint(counter.value());
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer->Key(name);
+    writer->BeginObject();
+    writer->Key("value");
+    writer->Uint(gauge.value());
+    writer->Key("max");
+    writer->Uint(gauge.max());
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer->Key(name);
+    writer->BeginObject();
+    writer->Key("count");
+    writer->Uint(histogram.count());
+    writer->Key("sum");
+    writer->Uint(histogram.sum());
+    writer->Key("min");
+    writer->Uint(histogram.min());
+    writer->Key("max");
+    writer->Uint(histogram.max());
+    writer->Key("mean");
+    writer->Double(histogram.mean());
+    writer->Key("p50");
+    writer->Double(histogram.Percentile(0.50));
+    writer->Key("p90");
+    writer->Double(histogram.Percentile(0.90));
+    writer->Key("p99");
+    writer->Double(histogram.Percentile(0.99));
+    writer->Key("buckets");
+    writer->BeginArray();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (histogram.buckets()[i] == 0) continue;
+      writer->BeginArray();
+      writer->Uint(Histogram::BucketUpperBound(i));
+      writer->Uint(histogram.buckets()[i]);
+      writer->EndArray();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  char line[192];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "  counter %-28s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "  gauge   %-28s %llu (max %llu)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(gauge.value()),
+                  static_cast<unsigned long long>(gauge.max()));
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "  hist    %-28s n=%llu min=%llu p50=%.0f p90=%.0f "
+                  "max=%llu mean=%.1f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<unsigned long long>(histogram.min()),
+                  histogram.Percentile(0.50), histogram.Percentile(0.90),
+                  static_cast<unsigned long long>(histogram.max()),
+                  histogram.mean());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,121 @@
+// MetricsRegistry: named counters, gauges, and histograms backing the
+// telemetry layer. The paper's evaluation is built on exactly these shapes
+// of data — monotonically increasing I/O counts, high-water marks (stack
+// depth, memory budget), and distributions (run sizes, subtree fan-outs) —
+// so the registry gives every pipeline component a uniform place to record
+// them and one exporter to serialize them.
+//
+// All instruments are plain single-threaded objects (the library's I/O
+// layer is single-threaded by design; see block_device.h) handed out as
+// stable pointers: a component looks its instrument up once and then
+// records through the pointer with no map lookups on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nexsort {
+
+class JsonWriter;
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-written value plus its high-water mark (e.g. stack depth: `value`
+/// is the depth now, `max` the peak the run ever reached).
+class Gauge {
+ public:
+  void Set(uint64_t value) {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  uint64_t value() const { return value_; }
+  uint64_t max() const { return max_; }
+
+ private:
+  uint64_t value_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Power-of-two-bucketed histogram of uint64 samples: bucket 0 holds the
+/// value 0, bucket i >= 1 holds [2^(i-1), 2^i - 1]. Percentiles
+/// interpolate linearly inside a bucket (clamped to the observed min/max),
+/// which is accurate to well under a bucket width — plenty for run-size
+/// and fan-out distributions whose interesting structure is orders of
+/// magnitude.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  /// Index of the bucket `value` lands in.
+  static int BucketIndex(uint64_t value);
+
+  /// Inclusive upper bound of bucket `index`.
+  static uint64_t BucketUpperBound(int index);
+
+  const uint64_t* buckets() const { return buckets_; }
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// Owner of all named instruments for one run. Lookup creates on first
+/// use; names are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Serialize every instrument as one JSON object:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// Histograms export count/sum/min/max/mean/p50/p90/p99 plus the
+  /// non-empty buckets as [upper_bound, count] pairs.
+  void ToJson(JsonWriter* writer) const;
+
+  /// Human-readable multi-line report (empty string when nothing was
+  /// recorded).
+  std::string ToString() const;
+
+ private:
+  // std::map keeps export order deterministic (sorted by name) and hands
+  // out stable element addresses.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,287 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+#include "util/string_util.h"
+
+namespace nexsort {
+
+const char* RunEventKindName(RunEventKind kind) {
+  switch (kind) {
+    case RunEventKind::kCreated: return "created";
+    case RunEventKind::kFragment: return "fragment";
+    case RunEventKind::kReadBack: return "read-back";
+    case RunEventKind::kMerged: return "merged";
+    case RunEventKind::kFreed: return "freed";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(const BlockDevice* device, const MemoryBudget* budget)
+    : device_(device),
+      budget_(budget),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+double Tracer::ElapsedSeconds() const { return Now(); }
+
+int64_t Tracer::BeginSpan(std::string_view name) {
+  SpanRecord span;
+  span.name = std::string(name);
+  span.id = static_cast<int64_t>(spans_.size());
+  span.parent_id = open_.empty() ? -1 : spans_[open_.back().index].id;
+  span.depth = static_cast<int>(open_.size());
+  span.start_seconds = Now();
+  if (budget_ != nullptr) span.budget_used_open = budget_->used_blocks();
+
+  OpenSpan open;
+  open.index = spans_.size();
+  if (device_ != nullptr) open.io_at_open = device_->stats();
+  spans_.push_back(std::move(span));
+  open_.push_back(std::move(open));
+  return spans_.back().id;
+}
+
+void Tracer::CloseTop() {
+  const OpenSpan& top = open_.back();
+  SpanRecord& span = spans_[top.index];
+  span.closed = true;
+  span.duration_seconds = Now() - span.start_seconds;
+  if (device_ != nullptr) {
+    const IoStats& now = device_->stats();
+    const IoStats& then = top.io_at_open;
+    span.reads = now.reads - then.reads;
+    span.writes = now.writes - then.writes;
+    for (int i = 0; i < kNumIoCategories; ++i) {
+      span.category_reads[i] = now.category_reads[i] - then.category_reads[i];
+      span.category_writes[i] =
+          now.category_writes[i] - then.category_writes[i];
+    }
+    span.modeled_seconds = now.modeled_seconds - then.modeled_seconds;
+  }
+  if (budget_ != nullptr) {
+    span.budget_used_close = budget_->used_blocks();
+    span.budget_peak = budget_->peak_blocks();
+  }
+  open_.pop_back();
+}
+
+void Tracer::EndSpan(int64_t id) {
+  // Close any dangling children first, then the span itself. An id that is
+  // no longer open (already closed via a parent) is a no-op.
+  while (!open_.empty()) {
+    bool is_target = spans_[open_.back().index].id == id;
+    bool contains = false;
+    for (const OpenSpan& open : open_) {
+      if (spans_[open.index].id == id) {
+        contains = true;
+        break;
+      }
+    }
+    if (!contains) return;
+    CloseTop();
+    if (is_target) return;
+  }
+}
+
+void Tracer::RecordRunEvent(RunEventKind kind, IoCategory category,
+                            uint64_t bytes, uint32_t run_id) {
+  RunEvent event;
+  event.kind = kind;
+  event.run_id = run_id;
+  event.category = category;
+  event.bytes = bytes;
+  event.at_seconds = Now();
+  run_events_.push_back(event);
+  ++run_event_counts_[static_cast<int>(kind)];
+  switch (kind) {
+    case RunEventKind::kCreated:
+      metrics_.GetHistogram("run_size_bytes")->Record(bytes);
+      break;
+    case RunEventKind::kFragment:
+      metrics_.GetHistogram("fragment_run_bytes")->Record(bytes);
+      break;
+    default:
+      break;
+  }
+}
+
+std::string Tracer::ReportString() const {
+  std::string out;
+  char line[256];
+  out += "spans (wall s, I/Os r+w, modeled s, budget peak):\n";
+  for (const SpanRecord& span : spans_) {
+    std::snprintf(line, sizeof(line),
+                  "  %*s%-24s %8.4fs  io %llu+%llu  model %.3fs  peak %llu%s\n",
+                  span.depth * 2, "", span.name.c_str(),
+                  span.duration_seconds,
+                  static_cast<unsigned long long>(span.reads),
+                  static_cast<unsigned long long>(span.writes),
+                  span.modeled_seconds,
+                  static_cast<unsigned long long>(span.budget_peak),
+                  span.closed ? "" : "  (open)");
+    out += line;
+  }
+  std::string metrics_text = metrics_.ToString();
+  if (!metrics_text.empty()) {
+    out += "metrics:\n";
+    out += metrics_text;
+  }
+  if (!run_events_.empty()) {
+    out += "run events:";
+    for (int i = 0; i < kNumRunEventKinds; ++i) {
+      if (run_event_counts_[i] == 0) continue;
+      std::snprintf(line, sizeof(line), " %s=%llu",
+                    RunEventKindName(static_cast<RunEventKind>(i)),
+                    static_cast<unsigned long long>(run_event_counts_[i]));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void SpanIoToJson(JsonWriter* writer, const SpanRecord& span) {
+  writer->Key("io");
+  writer->BeginObject();
+  writer->Key("reads");
+  writer->Uint(span.reads);
+  writer->Key("writes");
+  writer->Uint(span.writes);
+  writer->Key("total");
+  writer->Uint(span.reads + span.writes);
+  writer->Key("modeled_seconds");
+  writer->Double(span.modeled_seconds);
+  writer->Key("categories");
+  writer->BeginObject();
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    if (span.category_reads[i] == 0 && span.category_writes[i] == 0) continue;
+    writer->Key(IoCategoryName(static_cast<IoCategory>(i)));
+    writer->BeginObject();
+    writer->Key("reads");
+    writer->Uint(span.category_reads[i]);
+    writer->Key("writes");
+    writer->Uint(span.category_writes[i]);
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+void SpanToJson(JsonWriter* writer, const SpanRecord& span) {
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String(span.name);
+  writer->Key("id");
+  writer->Int(span.id);
+  writer->Key("parent");
+  writer->Int(span.parent_id);
+  writer->Key("depth");
+  writer->Int(span.depth);
+  writer->Key("start_seconds");
+  writer->Double(span.start_seconds);
+  writer->Key("wall_seconds");
+  writer->Double(span.duration_seconds);
+  writer->Key("closed");
+  writer->Bool(span.closed);
+  SpanIoToJson(writer, span);
+  writer->Key("memory");
+  writer->BeginObject();
+  writer->Key("budget_used_open");
+  writer->Uint(span.budget_used_open);
+  writer->Key("budget_used_close");
+  writer->Uint(span.budget_used_close);
+  writer->Key("budget_peak");
+  writer->Uint(span.budget_peak);
+  writer->EndObject();
+  writer->EndObject();
+}
+
+}  // namespace
+
+void Tracer::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("schema");
+  writer->String("nexsort-telemetry-v1");
+  writer->Key("elapsed_seconds");
+  writer->Double(ElapsedSeconds());
+  writer->Key("spans");
+  writer->BeginArray();
+  for (const SpanRecord& span : spans_) SpanToJson(writer, span);
+  writer->EndArray();
+  writer->Key("run_events");
+  writer->BeginObject();
+  writer->Key("count");
+  writer->Uint(run_events_.size());
+  writer->Key("by_kind");
+  writer->BeginObject();
+  for (int i = 0; i < kNumRunEventKinds; ++i) {
+    writer->Key(RunEventKindName(static_cast<RunEventKind>(i)));
+    writer->Uint(run_event_counts_[i]);
+  }
+  writer->EndObject();
+  writer->EndObject();
+  writer->Key("metrics");
+  metrics_.ToJson(writer);
+  writer->EndObject();
+}
+
+std::string Tracer::ToJsonString() const {
+  JsonWriter writer;
+  ToJson(&writer);
+  return std::move(writer).Take();
+}
+
+std::string Tracer::ToJsonl() const {
+  // Span lines are stamped at their start, event lines at their moment;
+  // merge the two streams by timestamp.
+  std::vector<std::pair<double, std::string>> lines;
+  lines.reserve(spans_.size() + run_events_.size());
+  for (const SpanRecord& span : spans_) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("type");
+    writer.String("span");
+    writer.Key("span");
+    SpanToJson(&writer, span);
+    writer.EndObject();
+    lines.emplace_back(span.start_seconds, std::move(writer).Take());
+  }
+  for (const RunEvent& event : run_events_) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("type");
+    writer.String("run_event");
+    writer.Key("kind");
+    writer.String(RunEventKindName(event.kind));
+    writer.Key("run_id");
+    writer.Uint(event.run_id);
+    writer.Key("category");
+    writer.String(IoCategoryName(event.category));
+    writer.Key("bytes");
+    writer.Uint(event.bytes);
+    writer.Key("at_seconds");
+    writer.Double(event.at_seconds);
+    writer.EndObject();
+    lines.emplace_back(event.at_seconds, std::move(writer).Take());
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (auto& [at, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nexsort

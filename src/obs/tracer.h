@@ -1,0 +1,184 @@
+// Tracer: unified tracing + metrics for the sort/merge pipeline — the
+// machinery behind the paper's whole evaluation (Section 5 counts block
+// I/Os per phase and attributes them to the cost components of
+// Theorem 4.5). A Tracer owns
+//
+//  * a tree of *spans* (RAII via ScopedSpan): named, nested phases or
+//    operations carrying steady-clock wall time plus the I/O and
+//    memory-budget deltas observed while the span was open (captured by
+//    snapshotting the attached BlockDevice / MemoryBudget at open and
+//    close — deltas are *inclusive* of child spans, like the paper's
+//    phase totals);
+//  * a MetricsRegistry of named counters / gauges / histograms (run-size
+//    and subtree-fan-out distributions, stack high-water marks);
+//  * a run-lifecycle event trail (created / fragmented / read back /
+//    merged / freed, each with I/O category and byte size) — the data
+//    behind run-size distributions and Lemma 4.12's 1 + p(b) accounting;
+//  * exporters: human-readable report, a single JSON object (the
+//    `nexsort-telemetry-v1` schema shared by `xmlsort --stats-json` and
+//    the benches), and a JSONL trace stream of spans + events.
+//
+// Instrumentation is nullable by design: every instrumented component
+// takes a `Tracer*` defaulting to nullptr, and the inline ScopedSpan /
+// TraceRunEvent helpers reduce to a single predictable branch when it is
+// null, keeping the zero-instrumentation hot path free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "obs/metrics.h"
+
+namespace nexsort {
+
+class JsonWriter;
+
+/// Lifecycle moments of a sorted run.
+enum class RunEventKind {
+  kCreated = 0,   // a complete sorted run was written
+  kFragment,      // an incomplete run (graceful degeneration)
+  kReadBack,      // a run opened for reading
+  kMerged,        // a run consumed by a merge step
+  kFreed,         // a run's blocks returned to the store
+};
+inline constexpr int kNumRunEventKinds = 5;
+
+const char* RunEventKindName(RunEventKind kind);
+
+struct RunEvent {
+  RunEventKind kind = RunEventKind::kCreated;
+  uint32_t run_id = 0;
+  IoCategory category = IoCategory::kOther;
+  uint64_t bytes = 0;
+  double at_seconds = 0.0;  // since tracer construction
+};
+
+/// One completed (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  int64_t id = -1;
+  int64_t parent_id = -1;  // -1 = root
+  int depth = 0;
+  double start_seconds = 0.0;     // since tracer construction
+  double duration_seconds = 0.0;  // 0 while still open
+  bool closed = false;
+
+  // I/O observed while open (inclusive of children); zeros when no device
+  // is attached.
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t category_reads[kNumIoCategories] = {};
+  uint64_t category_writes[kNumIoCategories] = {};
+  double modeled_seconds = 0.0;
+
+  // Memory-budget view; zeros when no budget is attached.
+  uint64_t budget_used_open = 0;
+  uint64_t budget_used_close = 0;
+  uint64_t budget_peak = 0;  // budget high-water at close
+};
+
+/// Collects spans, metrics, and run events for one pipeline execution.
+/// Single-threaded, like the library's I/O layer.
+class Tracer {
+ public:
+  /// `device` / `budget` (either may be null, not owned, must outlive the
+  /// tracer) are snapshotted at span boundaries for per-span deltas.
+  explicit Tracer(const BlockDevice* device = nullptr,
+                  const MemoryBudget* budget = nullptr);
+
+  void AttachDevice(const BlockDevice* device) { device_ = device; }
+  void AttachBudget(const MemoryBudget* budget) { budget_ = budget; }
+
+  /// Open a span nested under the innermost open span. Returns its id.
+  /// Prefer ScopedSpan over calling this directly.
+  int64_t BeginSpan(std::string_view name);
+
+  /// Close span `id`, finalizing its deltas. Any deeper spans still open
+  /// are closed first (defensive: RAII makes this the exception).
+  void EndSpan(int64_t id);
+
+  void RecordRunEvent(RunEventKind kind, IoCategory category, uint64_t bytes,
+                      uint32_t run_id);
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<RunEvent>& run_events() const { return run_events_; }
+  const uint64_t* run_event_counts() const { return run_event_counts_; }
+
+  /// Seconds since construction (steady clock).
+  double ElapsedSeconds() const;
+
+  /// Multi-line human-readable report: span tree with wall time and I/O,
+  /// then metrics, then the run-event summary.
+  std::string ReportString() const;
+
+  /// The `nexsort-telemetry-v1` JSON object: elapsed time, span list
+  /// (with per-category I/O deltas and budget marks), run-event summary,
+  /// and all metrics. The full event trail is JSONL-only.
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+
+  /// JSONL trace stream: one {"type":"span"|"run_event",...} object per
+  /// line, ordered by timestamp.
+  std::string ToJsonl() const;
+
+ private:
+  struct OpenSpan {
+    size_t index;        // into spans_
+    IoStats io_at_open;  // device snapshot
+  };
+
+  double Now() const;
+  void CloseTop();
+
+  const BlockDevice* device_;
+  const MemoryBudget* budget_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<SpanRecord> spans_;
+  std::vector<OpenSpan> open_;
+  std::vector<RunEvent> run_events_;
+  uint64_t run_event_counts_[kNumRunEventKinds] = {};
+  MetricsRegistry metrics_;
+};
+
+/// RAII span handle, safe on a null tracer: instrumented code pays one
+/// branch when tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  /// Close early (before scope exit); idempotent.
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(id_);
+      tracer_ = nullptr;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int64_t id_ = -1;
+};
+
+/// Null-safe run-event helper for instrumented call sites.
+inline void TraceRunEvent(Tracer* tracer, RunEventKind kind,
+                          IoCategory category, uint64_t bytes,
+                          uint32_t run_id = 0) {
+  if (tracer != nullptr) tracer->RecordRunEvent(kind, category, bytes, run_id);
+}
+
+}  // namespace nexsort

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "util/varint.h"
 
 namespace nexsort {
@@ -102,6 +103,7 @@ Status ExternalMergeSorter::Add(std::string_view key, std::string_view value) {
 }
 
 Status ExternalMergeSorter::SpillRun() {
+  ScopedSpan span(options_.tracer, "run_formation");
   std::sort(records_.begin(), records_.end(),
             [this](const RecordRef& a, const RecordRef& b) {
               std::string_view ka(arena_.data() + a.offset, a.key_len);
@@ -130,6 +132,11 @@ Status ExternalMergeSorter::MergeAll() {
   const uint64_t fan_in = options_.memory_blocks - 1;
   while (runs_.size() > 1) {
     ++stats_.merge_passes;
+    ScopedSpan pass_span(options_.tracer, "merge_pass");
+    if (options_.tracer != nullptr) {
+      options_.tracer->metrics()->GetHistogram("merge_fan_in")
+          ->Record(std::min<uint64_t>(fan_in, runs_.size()));
+    }
     std::vector<RunHandle> next_level;
     for (size_t group = 0; group < runs_.size(); group += fan_in) {
       size_t end = std::min(runs_.size(), group + fan_in);
@@ -154,6 +161,9 @@ Status ExternalMergeSorter::MergeAll() {
       RETURN_IF_ERROR(writer.Finish(&merged));
       sources.clear();  // release reader buffers before freeing inputs
       for (size_t i = group; i < end; ++i) {
+        TraceRunEvent(options_.tracer, RunEventKind::kMerged,
+                      options_.temp_category, runs_[i].byte_size,
+                      runs_[i].id);
         RETURN_IF_ERROR(store_->FreeRun(runs_[i]));
       }
       next_level.push_back(merged);

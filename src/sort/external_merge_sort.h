@@ -18,6 +18,8 @@
 
 namespace nexsort {
 
+class Tracer;
+
 struct ExtSortOptions {
   /// Blocks of internal memory this sort may use (the paper's M for the
   /// baseline; NEXSORT grants its subtree sorts what remains after stack
@@ -26,6 +28,10 @@ struct ExtSortOptions {
 
   /// Accounting category for temporary runs.
   IoCategory temp_category = IoCategory::kSortTemp;
+
+  /// Optional telemetry sink (not owned; may be null): spans for run
+  /// formation and each merge pass, plus merged-run lifecycle events.
+  Tracer* tracer = nullptr;
 };
 
 struct ExtSortStats {

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "obs/tracer.h"
 #include "tests/test_util.h"
 #include "xml/generator.h"
 
@@ -189,6 +190,66 @@ TEST(IoAccounting, GracefulDegenerationCutsFlatDocumentIo) {
   EXPECT_LT(with.io.total() * 3, without.io.total() * 2)
       << "graceful " << with.io.total() << " vs plain "
       << without.io.total();
+}
+
+TEST(IoAccounting, TracerPhaseDeltasMatchDeviceCounters) {
+  // The tracer's per-span I/O deltas come from snapshotting the device at
+  // span boundaries, so the root span of a full sort must see exactly what
+  // the device counted, per category, and the two phases must partition it.
+  RandomTreeGenerator generator(5, 5, {.seed = 58, .element_bytes = 100});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok());
+
+  Env env(512, 12);
+  Tracer tracer;
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", true);
+  options.tracer = &tracer;
+  NexSorter sorter(env.device.get(), &env.budget, options);
+  StringByteSource source(*xml);
+  std::string out;
+  StringByteSink sink(&out);
+  NEX_ASSERT_OK(sorter.Sort(&source, &sink));
+
+  const IoStats& io = env.device->stats();
+  const SpanRecord* root = nullptr;
+  const SpanRecord* sorting = nullptr;
+  const SpanRecord* output = nullptr;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (span.name == "nexsort") root = &span;
+    if (span.name == "sorting_phase") sorting = &span;
+    if (span.name == "output_phase") output = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(sorting, nullptr);
+  ASSERT_NE(output, nullptr);
+
+  EXPECT_EQ(root->reads, io.reads);
+  EXPECT_EQ(root->writes, io.writes);
+  for (int c = 0; c < kNumIoCategories; ++c) {
+    EXPECT_EQ(root->category_reads[c], io.category_reads[c])
+        << "reads of " << IoCategoryName(static_cast<IoCategory>(c));
+    EXPECT_EQ(root->category_writes[c], io.category_writes[c])
+        << "writes of " << IoCategoryName(static_cast<IoCategory>(c));
+    // The sort is exactly two top phases, so their deltas partition the
+    // root's (spans are inclusive; sorting_phase contains the subtree
+    // sorts, output_phase the run read-back).
+    EXPECT_EQ(sorting->category_reads[c] + output->category_reads[c],
+              root->category_reads[c])
+        << IoCategoryName(static_cast<IoCategory>(c));
+    EXPECT_EQ(sorting->category_writes[c] + output->category_writes[c],
+              root->category_writes[c])
+        << IoCategoryName(static_cast<IoCategory>(c));
+  }
+
+  // Run accounting flows into run events: every byte written as a run is
+  // announced as created, and the output phase reads runs back.
+  const uint64_t* events = tracer.run_event_counts();
+  EXPECT_GT(events[static_cast<int>(RunEventKind::kCreated)], 0u);
+  EXPECT_GT(events[static_cast<int>(RunEventKind::kReadBack)], 0u);
+  // Every created run was recorded in the run-size histogram.
+  EXPECT_EQ(tracer.metrics()->GetHistogram("run_size_bytes")->count(),
+            events[static_cast<int>(RunEventKind::kCreated)]);
 }
 
 TEST(IoAccounting, ModeledSecondsMonotonicInIo) {

@@ -1,0 +1,457 @@
+// Tests for the observability layer (src/obs/): JSON writer correctness,
+// histogram bucketing and percentiles, tracer span nesting with I/O and
+// memory-budget delta attribution, run-lifecycle events, the telemetry
+// JSON schema, plus the satellite guarantees (IoCategoryName round-trip,
+// MemoryBudget release-underflow clamping).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "tests/test_util.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+// ---------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, ScalarsAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(-3);
+  w.Key("b");
+  w.Uint(7);
+  w.Key("c");
+  w.String("x");
+  w.Key("d");
+  w.Bool(true);
+  w.Key("e");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"a\":-3,\"b\":7,\"c\":\"x\",\"d\":true,\"e\":null}");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list");
+  w.BeginArray();
+  w.Uint(1);
+  w.Uint(2);
+  w.BeginObject();
+  w.Key("k");
+  w.String("v");
+  w.EndObject();
+  w.EndArray();
+  w.Key("empty");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("tail");
+  w.Uint(9);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"list\":[1,2,{\"k\":\"v\"}],\"empty\":{},\"tail\":9}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("quote\" slash\\ tab\t newline\n bell\x07");
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(),
+            "[\"quote\\\" slash\\\\ tab\\t newline\\n bell\\u0007\"]");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFinite) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(0.25);
+  w.Double(1.0 / 3.0);
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  std::string text = std::move(w).Take();
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_NE(text.find("null"), std::string::npos);
+  double parsed = 0.0;
+  sscanf(text.c_str(), "[%*[^,],%lf", &parsed);
+  EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  JsonWriter inner;
+  inner.BeginObject();
+  inner.Key("n");
+  inner.Uint(1);
+  inner.EndObject();
+  std::string inner_text = std::move(inner).Take();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("first");
+  w.Raw(inner_text);
+  w.Key("second");
+  w.Raw(inner_text);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), "{\"first\":{\"n\":1},\"second\":{\"n\":1}}");
+}
+
+// ----------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Every value lands in the bucket whose bounds contain it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 5ull, 1023ull, 1024ull, 1ull << 20}) {
+    int i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i));
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1));
+    }
+  }
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndClamped) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  double p50 = h.Percentile(0.50);
+  double p90 = h.Percentile(0.90);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Clamped to the observed range, never beyond.
+  EXPECT_GE(h.Percentile(0.0), 1.0);
+  EXPECT_LE(h.Percentile(1.0), 1000.0);
+  // Power-of-two buckets: accurate to within a bucket width.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1023.0);
+}
+
+TEST(Histogram, SingleValueCollapses) {
+  Histogram h;
+  h.Record(42);
+  h.Record(42);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 42.0);
+}
+
+// ----------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, StablePointersAndDeterministicExport) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  Counter* c = registry.GetCounter("zulu");
+  Gauge* g = registry.GetGauge("alpha");
+  registry.GetCounter("alpha")->Add(2);
+  c->Add(5);
+  g->Set(3);
+  g->Set(1);
+  EXPECT_EQ(registry.GetCounter("zulu"), c);  // same instrument on re-lookup
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(g->value(), 1u);
+  EXPECT_EQ(g->max(), 3u);
+
+  JsonWriter w;
+  registry.ToJson(&w);
+  std::string json = std::move(w).Take();
+  // std::map ordering: "alpha" before "zulu".
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zulu\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------- Spans
+
+TEST(Tracer, SpanNestingAndTiming) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+    }
+    ScopedSpan sibling(&tracer, "sibling");
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent_id, spans[0].id);
+  for (const SpanRecord& span : spans) {
+    EXPECT_TRUE(span.closed) << span.name;
+    EXPECT_GE(span.duration_seconds, 0.0);
+    EXPECT_GE(span.start_seconds, 0.0);
+  }
+  // Children are contained in the parent's interval.
+  EXPECT_LE(spans[0].start_seconds, spans[1].start_seconds);
+  EXPECT_LE(spans[1].start_seconds + spans[1].duration_seconds,
+            spans[0].start_seconds + spans[0].duration_seconds + 1e-9);
+}
+
+TEST(Tracer, EndSpanClosesDanglingChildren) {
+  Tracer tracer;
+  int64_t outer = tracer.BeginSpan("outer");
+  tracer.BeginSpan("leaked");
+  tracer.EndSpan(outer);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_TRUE(tracer.spans()[0].closed);
+  EXPECT_TRUE(tracer.spans()[1].closed);
+  tracer.EndSpan(outer);  // double close: no-op
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(Tracer, NullTracerHelpersAreNoOps) {
+  ScopedSpan span(nullptr, "nothing");
+  span.End();
+  TraceRunEvent(nullptr, RunEventKind::kCreated, IoCategory::kRunWrite, 100);
+  // Nothing to assert beyond "does not crash".
+}
+
+TEST(Tracer, SpanIoDeltasMatchDeviceCounters) {
+  auto device = NewMemoryBlockDevice(512);
+  Tracer tracer(device.get());
+
+  std::string block(512, 'x');
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &first));
+
+  int64_t outer = tracer.BeginSpan("outer");
+  {
+    IoCategoryScope scope(device.get(), IoCategory::kRunWrite);
+    NEX_ASSERT_OK(device->Write(first, block.data()));
+    NEX_ASSERT_OK(device->Write(first + 1, block.data()));
+  }
+  int64_t inner = tracer.BeginSpan("inner");
+  {
+    IoCategoryScope scope(device.get(), IoCategory::kRunRead);
+    NEX_ASSERT_OK(device->Read(first, block.data()));
+  }
+  tracer.EndSpan(inner);
+  tracer.EndSpan(outer);
+
+  const SpanRecord& outer_span = tracer.spans()[0];
+  const SpanRecord& inner_span = tracer.spans()[1];
+  int run_write = static_cast<int>(IoCategory::kRunWrite);
+  int run_read = static_cast<int>(IoCategory::kRunRead);
+
+  // Inner saw only its own read.
+  EXPECT_EQ(inner_span.reads, 1u);
+  EXPECT_EQ(inner_span.writes, 0u);
+  EXPECT_EQ(inner_span.category_reads[run_read], 1u);
+
+  // Outer is inclusive of the child.
+  EXPECT_EQ(outer_span.writes, 2u);
+  EXPECT_EQ(outer_span.reads, 1u);
+  EXPECT_EQ(outer_span.category_writes[run_write], 2u);
+  EXPECT_EQ(outer_span.category_reads[run_read], 1u);
+  EXPECT_GT(outer_span.modeled_seconds, 0.0);
+
+  // And the span deltas sum to the device's own counters.
+  EXPECT_EQ(outer_span.reads + outer_span.writes, device->stats().total());
+}
+
+TEST(Tracer, SpanBudgetMarks) {
+  MemoryBudget budget(16);
+  Tracer tracer(nullptr, &budget);
+  NEX_ASSERT_OK(budget.Acquire(2));
+  int64_t id = tracer.BeginSpan("phase");
+  NEX_ASSERT_OK(budget.Acquire(6));
+  budget.Release(4);
+  tracer.EndSpan(id);
+  const SpanRecord& span = tracer.spans()[0];
+  EXPECT_EQ(span.budget_used_open, 2u);
+  EXPECT_EQ(span.budget_used_close, 4u);
+  EXPECT_EQ(span.budget_peak, 8u);
+}
+
+// --------------------------------------------------------------- Run events
+
+TEST(Tracer, RunEventsFeedCountsAndHistogram) {
+  Tracer tracer;
+  TraceRunEvent(&tracer, RunEventKind::kCreated, IoCategory::kRunWrite, 4096,
+                1);
+  TraceRunEvent(&tracer, RunEventKind::kCreated, IoCategory::kRunWrite, 8192,
+                2);
+  TraceRunEvent(&tracer, RunEventKind::kReadBack, IoCategory::kRunRead, 4096,
+                1);
+  TraceRunEvent(&tracer, RunEventKind::kFragment, IoCategory::kRunWrite, 100,
+                3);
+
+  ASSERT_EQ(tracer.run_events().size(), 4u);
+  const uint64_t* counts = tracer.run_event_counts();
+  EXPECT_EQ(counts[static_cast<int>(RunEventKind::kCreated)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(RunEventKind::kReadBack)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(RunEventKind::kFragment)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(RunEventKind::kMerged)], 0u);
+
+  Histogram* sizes = tracer.metrics()->GetHistogram("run_size_bytes");
+  EXPECT_EQ(sizes->count(), 2u);
+  EXPECT_EQ(sizes->sum(), 4096u + 8192u);
+  Histogram* fragments = tracer.metrics()->GetHistogram("fragment_run_bytes");
+  EXPECT_EQ(fragments->count(), 1u);
+
+  const RunEvent& first = tracer.run_events()[0];
+  EXPECT_EQ(first.run_id, 1u);
+  EXPECT_EQ(first.bytes, 4096u);
+  EXPECT_GE(first.at_seconds, 0.0);
+}
+
+TEST(Tracer, RunEventKindNamesAreDistinct) {
+  for (int i = 0; i < kNumRunEventKinds; ++i) {
+    const char* name = RunEventKindName(static_cast<RunEventKind>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_STRNE(name, RunEventKindName(static_cast<RunEventKind>(j)));
+    }
+  }
+}
+
+// -------------------------------------------------------------- JSON schema
+
+TEST(Tracer, TelemetryJsonSchema) {
+  auto device = NewMemoryBlockDevice(512);
+  MemoryBudget budget(8);
+  Tracer tracer(device.get(), &budget);
+  {
+    ScopedSpan span(&tracer, "phase_one");
+    tracer.metrics()->GetCounter("widgets")->Add(3);
+    tracer.metrics()->GetHistogram("sizes")->Record(10);
+    TraceRunEvent(&tracer, RunEventKind::kCreated, IoCategory::kRunWrite, 64,
+                  1);
+  }
+  std::string json = tracer.ToJsonString();
+
+  // Golden structure: the keys every consumer of nexsort-telemetry-v1
+  // (scripts/check_telemetry_schema.py, the bench readers) relies on.
+  for (const char* key :
+       {"\"schema\":\"nexsort-telemetry-v1\"", "\"elapsed_seconds\":",
+        "\"spans\":[", "\"name\":\"phase_one\"", "\"wall_seconds\":",
+        "\"io\":", "\"categories\":", "\"memory\":", "\"budget_peak\":",
+        "\"run_events\":", "\"by_kind\":", "\"created\":1", "\"metrics\":",
+        "\"counters\":", "\"widgets\":3", "\"histograms\":", "\"p50\":",
+        "\"buckets\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(Tracer, JsonlOneObjectPerLine) {
+  Tracer tracer;
+  {
+    ScopedSpan a(&tracer, "a");
+    TraceRunEvent(&tracer, RunEventKind::kCreated, IoCategory::kRunWrite, 64,
+                  1);
+  }
+  std::string jsonl = tracer.ToJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  size_t lines = 0;
+  size_t pos = 0;
+  while (pos < jsonl.size()) {
+    size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = jsonl.substr(pos, eol - pos);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, 2u);  // one span + one run event
+}
+
+TEST(IoStats, ToJsonCoversEveryCategory) {
+  auto device = NewMemoryBlockDevice(512);
+  std::string json = device->stats().ToJsonString();
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    std::string key =
+        "\"" + std::string(IoCategoryName(static_cast<IoCategory>(i))) + "\"";
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// ------------------------------------------------- Satellite: category names
+
+TEST(IoCategory, NameRoundTripCoversEveryCategory) {
+  // kNumIoCategories is derived from the enum via static_assert in the
+  // header; here we pin that every enumerator has a distinct non-empty
+  // human name, so a new category cannot silently alias "other".
+  const char* other_name = IoCategoryName(IoCategory::kOther);
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    IoCategory category = static_cast<IoCategory>(i);
+    const char* name = IoCategoryName(category);
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+    if (category != IoCategory::kOther) {
+      EXPECT_STRNE(name, other_name) << "category " << i;
+    }
+    for (int j = 0; j < i; ++j) {
+      EXPECT_STRNE(name, IoCategoryName(static_cast<IoCategory>(j)))
+          << "categories " << j << " and " << i << " share a name";
+    }
+  }
+}
+
+// --------------------------------------------- Satellite: release underflow
+
+TEST(MemoryBudget, ReleaseUnderflowClampsInsteadOfWrapping) {
+  MemoryBudget budget(8);
+  NEX_ASSERT_OK(budget.Acquire(3));
+  budget.Release(5);  // caller bug: returns more than in use
+  EXPECT_EQ(budget.used_blocks(), 0u);
+  EXPECT_EQ(budget.release_underflows(), 1u);
+  // The cap still works afterwards: no silent wrap to a huge used count,
+  // and no silently unlimited budget either.
+  EXPECT_EQ(budget.available_blocks(), 8u);
+  NEX_ASSERT_OK(budget.Acquire(8));
+  EXPECT_FALSE(budget.Acquire(1).ok());
+  budget.Release(8);
+  EXPECT_EQ(budget.release_underflows(), 1u);
+}
+
+TEST(MemoryBudget, NormalReleaseDoesNotCountAsUnderflow) {
+  MemoryBudget budget(4);
+  NEX_ASSERT_OK(budget.Acquire(4));
+  budget.Release(2);
+  budget.Release(2);
+  EXPECT_EQ(budget.release_underflows(), 0u);
+  EXPECT_EQ(budget.used_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort
