@@ -41,7 +41,8 @@ struct RunResult {
   uint64_t output_bytes = 0;
   NexSortStats nexsort_stats;      // NEXSORT runs only
   KeyPathSortStats keypath_stats;  // baseline runs only
-  IoStats io;
+  IoStats io;  // *physical* transfers: the backing device's counters
+  CacheStats cache;  // all zeros unless options.cache.frames > 0
   /// Rendered "nexsort-telemetry-v1" object (per-phase spans, run events,
   /// metrics) — same schema as xmlsort --stats-json's "telemetry" key.
   /// Empty unless the run captured telemetry.
@@ -52,7 +53,8 @@ struct RunResult {
 inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
                             NexSortOptions options,
                             size_t block_size = kBlockSize,
-                            bool capture_telemetry = false) {
+                            bool capture_telemetry = false,
+                            std::string* output = nullptr) {
   RunResult result;
   auto device = NewMemoryBlockDevice(block_size);
   MemoryBudget budget(memory_blocks);
@@ -75,7 +77,9 @@ inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.output_bytes = out.size();
   result.nexsort_stats = sorter.stats();
+  result.cache = sorter.cache_stats();
   if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
+  if (output != nullptr) *output = std::move(out);
   return result;
 }
 
@@ -107,6 +111,7 @@ inline RunResult RunKeyPathSort(const std::string& xml,
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.output_bytes = out.size();
   result.keypath_stats = sorter.stats();
+  result.cache = sorter.cache_stats();
   if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
   return result;
 }
@@ -165,6 +170,10 @@ class BenchJsonLog {
     row.Double(result.wall_seconds);
     row.Key("output_bytes");
     row.Uint(result.output_bytes);
+    if (result.cache.hits + result.cache.misses > 0) {
+      row.Key("cache");
+      result.cache.ToJson(&row);
+    }
     if (!result.telemetry_json.empty()) {
       row.Key("telemetry");
       row.Raw(result.telemetry_json);

@@ -15,6 +15,14 @@
 //   --memory-mb M         internal memory budget in MiB (default 64)
 //   --block-kb B          block size in KiB (default 64, like the paper)
 //   --threshold-blocks T  sort threshold t in blocks (default 2)
+//   --cache-blocks N      buffer-pool cache of N block frames over the
+//                         working device (0 = off, the default); frames
+//                         come out of the --memory-mb budget, so M must
+//                         cover N + the 8 blocks the sort needs. See
+//                         docs/CACHING.md
+//   --readahead N         prefetch up to N blocks ahead on sequential
+//                         scans (needs --cache-blocks; capped at half
+//                         the pool)
 //   --graceful            enable graceful degeneration into merge sort
 //   --scope TAG           XSort mode: only sort children of TAG elements
 //                         (repeatable)
@@ -91,8 +99,9 @@ void Usage() {
                "usage: xmlsort [--by-attr NAME | --by-tag | --by-child-text "
                "PATH]\n               [--numeric] [--descending] "
                "[--depth-limit D] [--memory-mb M]\n               "
-               "[--block-kb B] [--threshold-blocks T] [--graceful] "
-               "[--stats]\n               <input.xml> <output.xml>\n");
+               "[--block-kb B] [--threshold-blocks T] [--cache-blocks N] "
+               "[--readahead N]\n               [--graceful] [--stats] "
+               "<input.xml> <output.xml>\n");
   std::exit(2);
 }
 
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
   uint64_t memory_mb = 64;
   uint64_t block_kb = 64;
   uint64_t threshold_blocks = 2;
+  uint64_t cache_blocks = 0;
+  uint64_t cache_readahead = 0;
   bool graceful = false;
   bool show_stats = false;
   std::string stats_json_path;
@@ -151,6 +162,10 @@ int main(int argc, char** argv) {
       block_kb = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threshold-blocks") {
       threshold_blocks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cache-blocks") {
+      cache_blocks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--readahead") {
+      cache_readahead = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--graceful") {
       graceful = true;
     } else if (arg == "--scope") {
@@ -226,8 +241,15 @@ int main(int argc, char** argv) {
 
   size_t block_size = static_cast<size_t>(block_kb) * 1024;
   uint64_t memory_blocks = memory_mb * 1024 * 1024 / block_size;
-  if (memory_blocks < 8) {
-    std::fprintf(stderr, "memory budget too small: need >= 8 blocks\n");
+  if (memory_blocks < 8 + cache_blocks) {
+    std::fprintf(stderr,
+                 "memory budget too small: need >= 8 blocks plus the "
+                 "%llu cache frames\n",
+                 static_cast<unsigned long long>(cache_blocks));
+    return 2;
+  }
+  if (cache_readahead > 0 && cache_blocks == 0) {
+    std::fprintf(stderr, "--readahead needs --cache-blocks\n");
     return 2;
   }
 
@@ -309,6 +331,7 @@ int main(int argc, char** argv) {
   options.sort_scope_tags = scope_tags;
   options.record_order_attribute = record_order;
   options.strip_attribute = strip_attr;
+  options.cache = {.frames = cache_blocks, .readahead = cache_readahead};
   if (want_telemetry) options.tracer = &tracer;
   NexSorter sorter(device_or->get(), &budget, options);
 
@@ -362,6 +385,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.fragment_runs),
                  (*device_or)->stats().ToString(block_size).c_str(),
                  tracer.ReportString().c_str());
+    if (cache_blocks > 0) {
+      CacheStats cache = sorter.cache_stats();
+      std::fprintf(stderr,
+                   "cache: %llu frames, %llu hits / %llu misses "
+                   "(%.1f%% hit rate), %llu evictions, %llu writebacks, "
+                   "%llu prefetches\n",
+                   static_cast<unsigned long long>(cache_blocks),
+                   static_cast<unsigned long long>(cache.hits),
+                   static_cast<unsigned long long>(cache.misses),
+                   cache.hit_rate() * 100.0,
+                   static_cast<unsigned long long>(cache.evictions),
+                   static_cast<unsigned long long>(cache.writebacks),
+                   static_cast<unsigned long long>(cache.prefetches));
+    }
   }
 
   if (!stats_json_path.empty()) {
@@ -384,6 +421,20 @@ int main(int argc, char** argv) {
         RunEventKind::kCreated)]);
     json.Key("io");
     (*device_or)->stats().ToJson(&json);
+    // The io block above is *physical* transfers on the working device;
+    // with caching on, the counters here say how many logical accesses
+    // the pool absorbed.
+    json.Key("cache");
+    json.BeginObject();
+    json.Key("enabled");
+    json.Bool(cache_blocks > 0);
+    json.Key("frames");
+    json.Uint(cache_blocks);
+    json.Key("readahead");
+    json.Uint(cache_readahead);
+    json.Key("counters");
+    sorter.cache_stats().ToJson(&json);
+    json.EndObject();
     json.Key("nexsort");
     sorter.stats().ToJson(&json);
     json.Key("telemetry");

@@ -91,12 +91,49 @@ def check_telemetry(telemetry):
                   f"histogram '{name}': bucket is not [upper_bound, count]")
 
 
-def check_stats(stats):
+CACHE_COUNTER_KEYS = ("hits", "misses", "hit_rate", "evictions",
+                      "writebacks", "writeback_failures", "prefetches")
+
+
+def check_cache(cache, cache_enabled):
+    """Validate the stats.cache block for a run with caching on or off."""
+    for key in ("enabled", "frames", "readahead", "counters"):
+        check(key in cache, f"stats.cache: missing key '{key}'")
+    check(cache.get("enabled") is cache_enabled,
+          f"stats.cache: enabled is {cache.get('enabled')!r}, "
+          f"expected {cache_enabled}")
+    counters = cache.get("counters", {})
+    for key in CACHE_COUNTER_KEYS:
+        check(key in counters, f"stats.cache.counters: missing '{key}'")
+    if cache_enabled:
+        check(cache.get("frames", 0) > 0,
+              "stats.cache: enabled but frames == 0")
+        accesses = counters.get("hits", 0) + counters.get("misses", 0)
+        check(accesses > 0,
+              "stats.cache: enabled but the pool saw no accesses")
+    else:
+        for key in ("hits", "misses", "evictions", "prefetches"):
+            check(counters.get(key) == 0,
+                  f"stats.cache.counters: '{key}' non-zero with cache off")
+
+
+def check_cache_metrics(telemetry):
+    """With caching on, the pool's counters must reach the metrics export."""
+    metrics = telemetry.get("metrics", {})
+    counters = metrics.get("counters", {})
+    for name in ("cache_hits", "cache_misses"):
+        check(name in counters, f"telemetry: missing counter '{name}'")
+    gauges = metrics.get("gauges", {})
+    check("cache_hit_rate_pct" in gauges,
+          "telemetry: missing gauge 'cache_hit_rate_pct'")
+
+
+def check_stats(stats, cache_enabled=False):
     check(stats.get("schema") == "nexsort-stats-v1",
           f"stats schema is {stats.get('schema')!r}, "
           "expected 'nexsort-stats-v1'")
     for key in ("tool", "input", "block_size", "memory_blocks",
-                "memory_peak_blocks", "run_count", "io", "nexsort",
+                "memory_peak_blocks", "run_count", "io", "cache", "nexsort",
                 "telemetry"):
         check(key in stats, f"stats: missing top-level key '{key}'")
     check(isinstance(stats.get("memory_peak_blocks"), int),
@@ -105,8 +142,12 @@ def check_stats(stats):
           "stats: run_count is not an integer")
     if "io" in stats:
         check_io_object(stats["io"], "stats.io")
+    if "cache" in stats:
+        check_cache(stats["cache"], cache_enabled)
     if "telemetry" in stats:
         check_telemetry(stats["telemetry"])
+        if cache_enabled:
+            check_cache_metrics(stats["telemetry"])
 
 
 def check_trace(path):
@@ -136,31 +177,40 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         workdir = Path(args.keep) if args.keep else Path(tmp)
         workdir.mkdir(parents=True, exist_ok=True)
-        stats_path = workdir / "stats.json"
-        trace_path = workdir / "trace.jsonl"
-        output_path = workdir / "sorted.xml"
 
-        command = [
-            args.xmlsort, "--numeric",
-            "--stats-json", str(stats_path),
-            "--trace-out", str(trace_path),
-            args.fixture, str(output_path),
-        ]
-        result = subprocess.run(command, capture_output=True, text=True)
-        if result.returncode != 0:
-            print(f"FAIL: xmlsort exited {result.returncode}", file=sys.stderr)
-            sys.stderr.write(result.stderr)
-            return 1
+        # Two runs: the default (cache off, stats.cache must say so) and a
+        # cached run (counters populated, cache metrics in the telemetry).
+        for label, extra, cache_enabled in (
+            ("default", [], False),
+            ("cached", ["--cache-blocks", "32", "--readahead", "4"], True),
+        ):
+            stats_path = workdir / f"stats-{label}.json"
+            trace_path = workdir / f"trace-{label}.jsonl"
+            output_path = workdir / f"sorted-{label}.xml"
 
-        try:
-            stats = json.loads(stats_path.read_text())
-        except (OSError, json.JSONDecodeError) as err:
-            print(f"FAIL: cannot parse {stats_path}: {err}", file=sys.stderr)
-            return 1
-        check_stats(stats)
-        check(output_path.exists() and output_path.stat().st_size > 0,
-              "xmlsort produced no output document")
-        check_trace(trace_path)
+            command = [
+                args.xmlsort, "--numeric", *extra,
+                "--stats-json", str(stats_path),
+                "--trace-out", str(trace_path),
+                args.fixture, str(output_path),
+            ]
+            result = subprocess.run(command, capture_output=True, text=True)
+            if result.returncode != 0:
+                print(f"FAIL: xmlsort ({label}) exited {result.returncode}",
+                      file=sys.stderr)
+                sys.stderr.write(result.stderr)
+                return 1
+
+            try:
+                stats = json.loads(stats_path.read_text())
+            except (OSError, json.JSONDecodeError) as err:
+                print(f"FAIL: cannot parse {stats_path}: {err}",
+                      file=sys.stderr)
+                return 1
+            check_stats(stats, cache_enabled=cache_enabled)
+            check(output_path.exists() and output_path.stat().st_size > 0,
+                  f"xmlsort ({label}) produced no output document")
+            check_trace(trace_path)
 
     if FAILURES:
         for failure in FAILURES:

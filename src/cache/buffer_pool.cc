@@ -1,0 +1,269 @@
+#include "cache/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace nexsort {
+
+void CacheStats::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("hits");
+  writer->Uint(hits);
+  writer->Key("misses");
+  writer->Uint(misses);
+  writer->Key("hit_rate");
+  writer->Double(hit_rate());
+  writer->Key("evictions");
+  writer->Uint(evictions);
+  writer->Key("writebacks");
+  writer->Uint(writebacks);
+  writer->Key("writeback_failures");
+  writer->Uint(writeback_failures);
+  writer->Key("prefetches");
+  writer->Uint(prefetches);
+  writer->EndObject();
+}
+
+BufferPool::BufferPool(BlockDevice* base, MemoryBudget* budget,
+                       CacheOptions options)
+    : base_(base), options_(options) {
+  if (options_.frames == 0) {
+    init_status_ = Status::InvalidArgument("BufferPool needs >= 1 frame");
+    return;
+  }
+  init_status_ = reservation_.Acquire(budget, options_.frames);
+  if (!init_status_.ok()) return;
+  frames_.resize(options_.frames);
+  data_.resize(options_.frames * base_->block_size());
+  resident_.reserve(options_.frames * 2);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort: errors here are unreportable; callers that care flush
+  // explicitly first (the sorters do).
+  Flush().ok();
+}
+
+void BufferPool::set_tracer(Tracer* tracer) {
+  if (tracer == nullptr) {
+    hits_counter_ = misses_counter_ = evictions_counter_ = nullptr;
+    writebacks_counter_ = prefetches_counter_ = nullptr;
+    hit_rate_gauge_ = nullptr;
+    return;
+  }
+  MetricsRegistry* metrics = tracer->metrics();
+  hits_counter_ = metrics->GetCounter("cache_hits");
+  misses_counter_ = metrics->GetCounter("cache_misses");
+  evictions_counter_ = metrics->GetCounter("cache_evictions");
+  writebacks_counter_ = metrics->GetCounter("cache_writebacks");
+  prefetches_counter_ = metrics->GetCounter("cache_prefetches");
+  hit_rate_gauge_ = metrics->GetGauge("cache_hit_rate_pct");
+}
+
+void BufferPool::CountHit() {
+  ++stats_.hits;
+  if (hits_counter_ != nullptr) hits_counter_->Add();
+  UpdateHitRateGauge();
+}
+
+void BufferPool::CountMiss() {
+  ++stats_.misses;
+  if (misses_counter_ != nullptr) misses_counter_->Add();
+  UpdateHitRateGauge();
+}
+
+void BufferPool::UpdateHitRateGauge() {
+  if (hit_rate_gauge_ == nullptr) return;
+  uint64_t accesses = stats_.hits + stats_.misses;
+  hit_rate_gauge_->Set(accesses == 0 ? 0 : stats_.hits * 100 / accesses);
+}
+
+Status BufferPool::WriteBack(Frame* frame, size_t index) {
+  IoCategoryScope scope(base_, frame->category);
+  Status st = base_->Write(frame->block_id, DataOf(index));
+  if (!st.ok()) {
+    ++stats_.writeback_failures;
+    return st;
+  }
+  frame->dirty = false;
+  ++stats_.writebacks;
+  if (writebacks_counter_ != nullptr) writebacks_counter_->Add();
+  return Status::OK();
+}
+
+StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id) {
+  // CLOCK sweep. Free frames have no second chance to burn, so they fall
+  // out of the first rotation; a full rotation clears every referenced
+  // bit, so two rotations suffice when any frame is evictable. Dirty
+  // victims whose write-back fails stay dirty and are skipped (the
+  // failure is deferred to Flush()), so allow a third rotation before
+  // giving up.
+  size_t sweeps = frames_.size() * 3;
+  for (size_t step = 0; step < sweeps; ++step) {
+    Frame& frame = frames_[clock_hand_];
+    size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;  // second chance
+      continue;
+    }
+    if (frame.dirty) {
+      Status st = WriteBack(&frame, index);
+      if (!st.ok()) {
+        // Defer: keep the data, pick another victim. Flush() surfaces it.
+        if (deferred_writeback_.ok()) deferred_writeback_ = st;
+        continue;
+      }
+    }
+    if (frame.block_id != kNoBlock) {
+      resident_.erase(frame.block_id);
+      ++stats_.evictions;
+      if (evictions_counter_ != nullptr) evictions_counter_->Add();
+    }
+    frame.block_id = block_id;
+    frame.dirty = false;
+    frame.referenced = false;
+    frame.category = IoCategory::kOther;
+    resident_.emplace(block_id, index);
+    return index;
+  }
+  if (!deferred_writeback_.ok()) return deferred_writeback_;
+  return Status::OutOfMemory("buffer pool: all frames pinned, cannot evict");
+}
+
+StatusOr<size_t> BufferPool::Pin(uint64_t block_id, IoCategory category,
+                                 bool load) {
+  auto it = resident_.find(block_id);
+  size_t index;
+  if (it != resident_.end()) {
+    index = it->second;
+    CountHit();
+  } else {
+    ASSIGN_OR_RETURN(index, AcquireFrame(block_id));
+    if (load) {
+      IoCategoryScope scope(base_, category);
+      Status st = base_->Read(block_id, DataOf(index));
+      if (!st.ok()) {
+        // The frame holds no valid data; return it to the free state.
+        resident_.erase(block_id);
+        frames_[index].block_id = kNoBlock;
+        return st;
+      }
+    }
+    CountMiss();
+  }
+  Frame& frame = frames_[index];
+  if (frame.pins == 0) ++pinned_frames_;
+  ++frame.pins;
+  frame.referenced = true;
+  return index;
+}
+
+void BufferPool::Unpin(size_t frame, bool mark_dirty, IoCategory category) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  if (mark_dirty) {
+    f.dirty = true;
+    f.category = category;
+  }
+  --f.pins;
+  if (f.pins == 0) --pinned_frames_;
+}
+
+char* BufferPool::FrameData(size_t frame) { return DataOf(frame); }
+
+void BufferPool::ReadAhead(uint64_t block_id, IoCategory category) {
+  // Cap the window at half the pool: a prefetch burst must not flush the
+  // working set (and needs at least one frame left for the caller).
+  uint64_t window = std::min(options_.readahead,
+                             std::max<uint64_t>(frames_.size() / 2, 1));
+  uint64_t limit = base_->num_blocks();
+  for (uint64_t ahead = 1; ahead <= window; ++ahead) {
+    uint64_t next = block_id + ahead;
+    if (next >= limit) return;
+    if (resident_.find(next) != resident_.end()) continue;
+    auto acquired = AcquireFrame(next);
+    if (!acquired.ok()) return;  // pool too pinned/dirty; abandon quietly
+    size_t index = acquired.value();
+    IoCategoryScope scope(base_, category);
+    Status st = base_->Read(next, DataOf(index));
+    if (!st.ok()) {
+      resident_.erase(next);
+      frames_[index].block_id = kNoBlock;
+      return;
+    }
+    // Prefetched frames get a normal reference bit: without it the CLOCK
+    // evicts exactly the blocks just fetched (every resident frame the
+    // scan touched is referenced, so the unreferenced newcomers lose)
+    // before the scan reaches them. If the scan never arrives they age
+    // out after one rotation like any other block.
+    frames_[index].referenced = true;
+    ++stats_.prefetches;
+    if (prefetches_counter_ != nullptr) prefetches_counter_->Add();
+  }
+}
+
+Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
+                             IoCategory category) {
+  ASSIGN_OR_RETURN(size_t index, Pin(block_id, category, /*load=*/true));
+  std::memcpy(buf, DataOf(index), base_->block_size());
+  Unpin(index, /*mark_dirty=*/false);
+
+  sequential_run_ = (last_read_block_ != kNoBlock &&
+                     block_id == last_read_block_ + 1)
+                        ? sequential_run_ + 1
+                        : 1;
+  last_read_block_ = block_id;
+  if (options_.readahead > 0 && sequential_run_ >= 2) {
+    ReadAhead(block_id, category);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::WriteBlock(uint64_t block_id, const char* buf,
+                              IoCategory category) {
+  // Whole-block overwrite: no need to load the old contents on a miss.
+  ASSIGN_OR_RETURN(size_t index, Pin(block_id, category, /*load=*/false));
+  std::memcpy(DataOf(index), buf, base_->block_size());
+  Unpin(index, /*mark_dirty=*/true, category);
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  Status result = deferred_writeback_;
+  deferred_writeback_ = Status::OK();  // surfaced exactly once
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.block_id == kNoBlock || !frame.dirty) continue;
+    Status st = WriteBack(&frame, i);
+    if (!st.ok() && result.ok()) result = st;
+  }
+  return result;
+}
+
+CachedBlockDevice::CachedBlockDevice(BlockDevice* base, MemoryBudget* budget,
+                                     CacheOptions options, DiskModel model)
+    : BlockDevice(base->block_size(), model), pool_(base, budget, options) {
+  // Adopt the wrapped device's block count so ids allocated before the
+  // wrapper existed stay addressable and future ids stay aligned.
+  SyncNumBlocks(base->num_blocks());
+}
+
+CachedBlockDevice::~CachedBlockDevice() = default;
+
+Status CachedBlockDevice::DoAllocate(uint64_t count) {
+  uint64_t first = 0;
+  RETURN_IF_ERROR(pool_.base()->Allocate(count, &first));
+  assert(first == num_blocks() &&
+         "blocks allocated on the wrapped device bypassing the wrapper");
+  (void)first;
+  return Status::OK();
+}
+
+}  // namespace nexsort

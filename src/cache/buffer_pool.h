@@ -1,0 +1,248 @@
+// Buffer-pool subsystem: a shared, budget-charged block cache under the
+// extmem layer. The paper's cost model charges one I/O per block transfer
+// against a hard M-block memory budget, but the BlockDevice callers
+// (streams, external stacks, RunStore, merge inputs) each hold private
+// single-block buffers and re-read hot blocks. A database-style buffer
+// manager closes that gap: BufferPool owns a fixed set of block-sized
+// frames acquired from the MemoryBudget, serves repeated accesses from
+// memory, defers writes until eviction, and prefetches ahead of detected
+// sequential scans.
+//
+// Two layers:
+//
+//  * BufferPool — the frame table: pin/unpin reference counting, CLOCK
+//    (second-chance) eviction of unpinned frames, dirty-frame write-back
+//    (on eviction, on Flush(), and best-effort on destruction), and
+//    sequential read-ahead.
+//  * CachedBlockDevice — a transparent BlockDevice wrapper over a pool:
+//    the same interface every extmem component already speaks, so streams,
+//    external stacks, the run store, and the external merge sort gain
+//    caching without interface churn. Its own IoStats count *logical*
+//    block accesses (what the computation asked for); the wrapped device's
+//    IoStats keep counting *physical* transfers, so `logical - physical`
+//    is exactly the I/O the cache saved.
+//
+// Accounting is category-preserving: a miss loads the block under the
+// caller's current IoCategory, and a dirty frame remembers the category of
+// its last writer so the eventual write-back is attributed to the same
+// paper cost component that produced the data.
+//
+// Write-back failures discovered while evicting on behalf of an unrelated
+// operation are *deferred*, not swallowed: the frame stays dirty, another
+// victim is chosen, and the sticky failure is surfaced by the next Flush()
+// (which also retries the write). See docs/CACHING.md.
+//
+// Single-threaded, like the rest of the I/O layer (see block_device.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+class JsonWriter;
+class Tracer;
+
+/// Caching knobs threaded through NexSortOptions / KeyPathSortOptions and
+/// the xmlsort CLI (--cache-blocks, --readahead).
+struct CacheOptions {
+  /// Frames (blocks of internal memory) the pool holds, charged against
+  /// the MemoryBudget for the pool's lifetime. 0 disables caching: the
+  /// sorters then talk to the device directly and nothing is reserved.
+  uint64_t frames = 0;
+
+  /// Blocks prefetched beyond the current one once an ascending block scan
+  /// is detected (two consecutive reads of adjacent ids). 0 disables
+  /// read-ahead. The effective window is capped at half the pool so a
+  /// prefetch burst can never flush the whole working set.
+  uint64_t readahead = 0;
+};
+
+/// Counters describing one pool's lifetime; exported into the `cache`
+/// block of nexsort-stats-v1 and mirrored as cache_* metrics in
+/// nexsort-telemetry-v1 when a tracer is attached.
+struct CacheStats {
+  uint64_t hits = 0;         // logical accesses served from a frame
+  uint64_t misses = 0;       // logical accesses that went to the device
+  uint64_t evictions = 0;    // valid frames recycled for another block
+  uint64_t writebacks = 0;   // dirty frames written to the device
+  uint64_t writeback_failures = 0;  // failed write-back attempts
+  uint64_t prefetches = 0;   // blocks loaded ahead of a sequential scan
+
+  /// Hits / (hits + misses); 0 when nothing was accessed.
+  double hit_rate() const {
+    uint64_t accesses = hits + misses;
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+
+  /// One JSON object with every counter plus the derived hit_rate.
+  void ToJson(JsonWriter* writer) const;
+};
+
+/// Fixed set of block frames over a backing device. Frames are acquired
+/// from the budget at construction (check init_status()) and released on
+/// destruction.
+class BufferPool {
+ public:
+  static constexpr uint64_t kNoBlock = UINT64_MAX;
+
+  /// `base` and `budget` are not owned and must outlive the pool.
+  /// options.frames must be >= 1.
+  BufferPool(BlockDevice* base, MemoryBudget* budget, CacheOptions options);
+
+  /// Flushes dirty frames best-effort; call Flush() first to see errors.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Status of the construction-time budget reservation.
+  const Status& init_status() const { return init_status_; }
+
+  /// Attach a tracer (may be null; not owned): the pool then mirrors its
+  /// counters into cache_* metrics and keeps a cache_hit_rate_pct gauge.
+  void set_tracer(Tracer* tracer);
+
+  /// Read `block_id` through the cache into `buf` (block_size bytes). The
+  /// physical load on a miss — and any read-ahead it triggers — is
+  /// attributed to `category`.
+  Status ReadBlock(uint64_t block_id, char* buf, IoCategory category);
+
+  /// Write `block_id` through the cache from `buf`: the frame is dirtied
+  /// and the physical write deferred until eviction or Flush(). A write
+  /// miss claims a frame without loading the old contents (whole-block
+  /// overwrite). `category` is remembered for the eventual write-back.
+  Status WriteBlock(uint64_t block_id, const char* buf, IoCategory category);
+
+  /// Pin the frame holding `block_id`, loading it from the device first
+  /// when `load` is true and the block is not resident. Pinned frames are
+  /// never evicted; every Pin must be matched by an Unpin. Returns the
+  /// frame index for Unpin/FrameData.
+  StatusOr<size_t> Pin(uint64_t block_id, IoCategory category, bool load);
+
+  /// Release one pin; `mark_dirty` records a modification (and `category`
+  /// as its write-back attribution).
+  void Unpin(size_t frame, bool mark_dirty,
+             IoCategory category = IoCategory::kOther);
+
+  /// Block-size byte window of a pinned frame.
+  char* FrameData(size_t frame);
+
+  /// Write back every dirty frame. Returns the first error — including a
+  /// sticky deferred write-back failure from an earlier eviction, which
+  /// this call surfaces (exactly once) and retries.
+  Status Flush();
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheOptions& options() const { return options_; }
+  BlockDevice* base() const { return base_; }
+
+  /// Number of currently pinned frames (tests and invariant checks).
+  uint64_t pinned_frames() const { return pinned_frames_; }
+
+ private:
+  struct Frame {
+    uint64_t block_id = kNoBlock;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;              // CLOCK second-chance bit
+    IoCategory category = IoCategory::kOther;  // last writer, for write-back
+  };
+
+  char* DataOf(size_t frame) {
+    return data_.data() + frame * base_->block_size();
+  }
+
+  /// Write frame's block to the device under its remembered category.
+  Status WriteBack(Frame* frame, size_t index);
+
+  /// Claim a frame for `block_id`: a free frame if any, else a CLOCK
+  /// victim (never pinned; dirty victims are written back first). The
+  /// returned frame is mapped to `block_id` but not loaded.
+  StatusOr<size_t> AcquireFrame(uint64_t block_id);
+
+  /// Load blocks [block_id+1, block_id+window] that are not yet resident.
+  /// Best-effort: a failed load abandons the rest of the window.
+  void ReadAhead(uint64_t block_id, IoCategory category);
+
+  void CountHit();
+  void CountMiss();
+  void UpdateHitRateGauge();
+
+  BlockDevice* base_;
+  const CacheOptions options_;
+  BudgetReservation reservation_;
+  Status init_status_;
+
+  std::vector<Frame> frames_;
+  std::string data_;  // frames * block_size bytes
+  std::unordered_map<uint64_t, size_t> resident_;  // block id -> frame
+  size_t clock_hand_ = 0;
+  uint64_t pinned_frames_ = 0;
+
+  // Sequential-scan detector for read-ahead.
+  uint64_t last_read_block_ = kNoBlock;
+  uint64_t sequential_run_ = 0;
+
+  Status deferred_writeback_;  // sticky failure surfaced by Flush()
+
+  CacheStats stats_;
+  // Tracer mirrors (null when no tracer attached).
+  class Counter* hits_counter_ = nullptr;
+  class Counter* misses_counter_ = nullptr;
+  class Counter* evictions_counter_ = nullptr;
+  class Counter* writebacks_counter_ = nullptr;
+  class Counter* prefetches_counter_ = nullptr;
+  class Gauge* hit_rate_gauge_ = nullptr;
+};
+
+/// BlockDevice facade over a BufferPool: same interface, same accounting
+/// hooks, so existing extmem components cache transparently. All block
+/// allocation must flow through the wrapper once it exists (ids are kept
+/// aligned with the wrapped device by adopting its block count at
+/// construction).
+class CachedBlockDevice final : public BlockDevice {
+ public:
+  /// `base` and `budget` are not owned and must outlive the wrapper.
+  CachedBlockDevice(BlockDevice* base, MemoryBudget* budget,
+                    CacheOptions options, DiskModel model = {});
+
+  /// Flushes best-effort; call Flush() first to observe errors.
+  ~CachedBlockDevice() override;
+
+  /// Status of the pool's construction-time budget reservation.
+  const Status& init_status() const { return pool_.init_status(); }
+
+  /// Write back all dirty frames, surfacing any deferred write-back
+  /// failure an eviction recorded earlier.
+  Status Flush() { return pool_.Flush(); }
+
+  BufferPool* pool() { return &pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+  /// The wrapped (physical) device.
+  BlockDevice* base() const { return pool_.base(); }
+
+ protected:
+  Status DoRead(uint64_t block_id, char* buf) override {
+    return pool_.ReadBlock(block_id, buf, category());
+  }
+  Status DoWrite(uint64_t block_id, const char* buf) override {
+    return pool_.WriteBlock(block_id, buf, category());
+  }
+  Status DoAllocate(uint64_t count) override;
+
+ private:
+  BufferPool pool_;
+};
+
+}  // namespace nexsort

@@ -8,10 +8,15 @@ namespace nexsort {
 
 KeyPathXmlSorter::KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
                                    KeyPathSortOptions options)
-    : device_(device),
+    : base_device_(device),
       budget_(budget),
       options_(std::move(options)),
-      store_(device, budget) {
+      cache_(options_.cache.frames > 0
+                 ? std::make_unique<CachedBlockDevice>(device, budget,
+                                                       options_.cache)
+                 : nullptr),
+      device_(cache_ != nullptr ? cache_.get() : device),
+      store_(device_, budget) {
   format_.use_dictionary = options_.use_dictionary;
 }
 
@@ -22,20 +27,30 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
     return Status::NotSupported(
         "the key-path baseline needs keys available at start tags");
   }
-  if (budget_->total_blocks() < 4) {
-    return Status::InvalidArgument("key-path sort needs >= 4 blocks");
+  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->init_status());
+  // Cache frames are already reserved, so the merge sort gets what is left.
+  if (budget_->available_blocks() < 4) {
+    std::string msg = "key-path sort needs >= 4 blocks";
+    if (cache_ != nullptr) {
+      msg += " after the " + std::to_string(options_.cache.frames) +
+             " cache frames";
+    }
+    return Status::InvalidArgument(msg);
   }
 
   if (options_.tracer != nullptr) {
-    options_.tracer->AttachDevice(device_);
+    // Spans snapshot the *physical* device: with caching on, their I/O
+    // deltas are real transfers, not logical accesses.
+    options_.tracer->AttachDevice(base_device_);
     options_.tracer->AttachBudget(budget_);
     store_.set_tracer(options_.tracer);
+    if (cache_ != nullptr) cache_->pool()->set_tracer(options_.tracer);
   }
   ScopedSpan sort_span(options_.tracer, "keypath_sort");
 
   UnitScanner scanner(input, &options_.order);
   ExtSortOptions sort_options;
-  sort_options.memory_blocks = budget_->total_blocks();
+  sort_options.memory_blocks = budget_->available_blocks();
   sort_options.tracer = options_.tracer;
   ExternalMergeSorter sorter(&store_, sort_options);
   RETURN_IF_ERROR(sorter.init_status());
@@ -100,6 +115,9 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   RETURN_IF_ERROR(emitter.Finish());
   stats_.sort = sorter.stats();
   stats_.output_bytes = emitter.output_bytes();
+  // Push deferred writes to the physical device and surface any write-back
+  // failure an eviction deferred mid-sort.
+  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());
   return Status::OK();
 }
 

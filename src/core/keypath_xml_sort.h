@@ -5,6 +5,9 @@
 // log_{M/B}(min{kt,N}/B) beats whenever the document is not nearly flat.
 #pragma once
 
+#include <memory>
+
+#include "cache/buffer_pool.h"
 #include "core/element_unit.h"
 #include "core/order_spec.h"
 #include "core/unit_scanner.h"
@@ -29,6 +32,11 @@ struct KeyPathSortOptions {
   /// Optional telemetry sink (not owned; may be null): spans for the
   /// key-path conversion, the merge sort, and the output pass.
   Tracer* tracer = nullptr;
+
+  /// Buffer-pool caching of the working device, same semantics as
+  /// NexSortOptions::cache (frames come out of the shared budget; see
+  /// docs/CACHING.md).
+  CacheOptions cache;
 };
 
 struct KeyPathSortStats {
@@ -51,10 +59,17 @@ class KeyPathXmlSorter {
 
   const KeyPathSortStats& stats() const { return stats_; }
 
+  /// Counters of the block cache; all zeros when caching is disabled.
+  CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
+  }
+
  private:
-  BlockDevice* device_;
+  BlockDevice* base_device_;  // what the caller handed us (physical I/O)
   MemoryBudget* budget_;
   KeyPathSortOptions options_;
+  std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
+  BlockDevice* device_;  // cache_ when enabled, else base_device_
   RunStore store_;
   NameDictionary dictionary_;
   UnitFormat format_;

@@ -61,10 +61,15 @@ std::string NexSortStats::ToJsonString() const {
 
 NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
                      NexSortOptions options)
-    : device_(device),
+    : base_device_(device),
       budget_(budget),
       options_(std::move(options)),
-      store_(device, budget) {
+      cache_(options_.cache.frames > 0
+                 ? std::make_unique<CachedBlockDevice>(device, budget,
+                                                       options_.cache)
+                 : nullptr),
+      device_(cache_ != nullptr ? cache_.get() : device),
+      store_(device_, budget) {
   format_.use_dictionary = options_.use_dictionary;
   threshold_ = options_.sort_threshold != 0 ? options_.sort_threshold
                                             : 2 * device->block_size();
@@ -83,24 +88,33 @@ NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
   sort_context_.scope_tags =
       options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
   if (options_.tracer != nullptr) {
-    options_.tracer->AttachDevice(device_);
+    // Spans snapshot the *physical* device: with caching on, their I/O
+    // deltas are real transfers, not logical accesses.
+    options_.tracer->AttachDevice(base_device_);
     options_.tracer->AttachBudget(budget_);
     store_.set_tracer(options_.tracer);
     sort_context_.tracer = options_.tracer;
+    if (cache_ != nullptr) cache_->pool()->set_tracer(options_.tracer);
   }
 }
 
 Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
   if (used_) return Status::InvalidArgument("NexSorter is single-use");
   used_ = true;
+  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->init_status());
   // Size the memory ledger from what the budget actually has left (the
-  // caller may hold input/output stream buffers): data stack 1 block, path
-  // stack 2 blocks; the rest goes to subtree sorts (one block of which is
-  // the run writer on the internal path).
+  // caller may hold input/output stream buffers; cache frames are already
+  // reserved): data stack 1 block, path stack 2 blocks; the rest goes to
+  // subtree sorts (one block of which is the run writer on the internal
+  // path).
   uint64_t blocks = budget_->available_blocks();
   if (blocks < 8) {
-    return Status::InvalidArgument(
-        "NEXSORT needs >= 8 available blocks of memory budget");
+    std::string msg = "NEXSORT needs >= 8 available blocks of memory budget";
+    if (cache_ != nullptr) {
+      msg += " after the " + std::to_string(options_.cache.frames) +
+             " cache frames";
+    }
+    return Status::InvalidArgument(msg);
   }
   uint64_t sort_blocks = blocks - 3;
   sort_capacity_ = (sort_blocks - 1) * device_->block_size();
@@ -118,6 +132,9 @@ Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
   RunHandle root_run;
   RETURN_IF_ERROR(SortingPhase(input, &root_run));
   RETURN_IF_ERROR(OutputPhase(root_run, output));
+  // Push deferred writes to the physical device and surface any write-back
+  // failure an eviction deferred mid-sort.
+  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());
   sort_span.End();
   if (options_.tracer != nullptr) {
     MetricsRegistry* metrics = options_.tracer->metrics();

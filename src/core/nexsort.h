@@ -22,6 +22,7 @@
 
 #include <memory>
 
+#include "cache/buffer_pool.h"
 #include "core/element_unit.h"
 #include "core/order_spec.h"
 #include "core/subtree_sorter.h"
@@ -95,6 +96,15 @@ struct NexSortOptions {
   /// this conversion"). Validation is separate; see Dtd::Validate.
   const Dtd* dtd = nullptr;
 
+  /// Buffer-pool caching of the working device (see docs/CACHING.md):
+  /// cache.frames > 0 interposes a CachedBlockDevice between the sorter
+  /// and the device, with the frames charged against the memory budget for
+  /// the sort's lifetime. The stacks, run store, and merge inputs then
+  /// share one block cache instead of re-reading hot blocks. Frames come
+  /// out of the same M, so M must cover cache.frames + the 8 blocks the
+  /// sort itself needs.
+  CacheOptions cache;
+
   /// XSort-style scoped sorting (related work, Section 2): when non-empty,
   /// only children of elements with these tags are reordered; every other
   /// sibling list keeps document order. Solves XSort's simpler problem —
@@ -134,6 +144,11 @@ class NexSorter {
 
   const NexSortStats& stats() const { return stats_; }
 
+  /// Counters of the block cache; all zeros when caching is disabled.
+  CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
+  }
+
  private:
   struct PathEntry {
     uint64_t start_offset = 0;    // data-stack location of the start unit
@@ -149,9 +164,11 @@ class NexSorter {
   Status MaybeFragment(ExtByteStack* data, ExtStack<PathEntry>* path);
   Status OutputPhase(RunHandle root_run, ByteSink* output);
 
-  BlockDevice* device_;
+  BlockDevice* base_device_;  // what the caller handed us (physical I/O)
   MemoryBudget* budget_;
   NexSortOptions options_;
+  std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
+  BlockDevice* device_;  // cache_ when enabled, else base_device_
   RunStore store_;
   NameDictionary dictionary_;
   UnitFormat format_;

@@ -115,17 +115,24 @@ void BlockDevice::Account(uint64_t block_id, bool is_write) {
   stats_.modeled_seconds += model_.AccessSeconds(block_size_, sequential);
 }
 
+bool BlockDevice::ShouldFail(bool is_write) {
+  if (fail_ops_ <= 0) return false;
+  if (fail_filter_ == FailOps::kReads && is_write) return false;
+  if (fail_filter_ == FailOps::kWrites && !is_write) return false;
+  if (fail_skip_ > 0) {
+    --fail_skip_;
+    return false;
+  }
+  --fail_ops_;
+  return true;
+}
+
 Status BlockDevice::Read(uint64_t block_id, char* buf) {
   if (block_id >= num_blocks_) {
     return Status::InvalidArgument("read past end of device");
   }
-  if (fail_ops_ > 0) {
-    if (fail_skip_ > 0) {
-      --fail_skip_;
-    } else {
-      --fail_ops_;
-      return Status::IOError("injected read failure");
-    }
+  if (ShouldFail(/*is_write=*/false)) {
+    return Status::IOError("injected read failure");
   }
   RETURN_IF_ERROR(DoRead(block_id, buf));
   Account(block_id, /*is_write=*/false);
@@ -136,13 +143,8 @@ Status BlockDevice::Write(uint64_t block_id, const char* buf) {
   if (block_id >= num_blocks_) {
     return Status::InvalidArgument("write past end of device");
   }
-  if (fail_ops_ > 0) {
-    if (fail_skip_ > 0) {
-      --fail_skip_;
-    } else {
-      --fail_ops_;
-      return Status::IOError("injected write failure");
-    }
+  if (ShouldFail(/*is_write=*/true)) {
+    return Status::IOError("injected write failure");
   }
   RETURN_IF_ERROR(DoWrite(block_id, buf));
   Account(block_id, /*is_write=*/true);

@@ -109,23 +109,44 @@ class BlockDevice {
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
-  /// Inject a failure: the next `count` I/O operations return IOError.
-  /// Used by failure-injection tests.
-  void FailNextOps(int count) {
+  /// Which operations a failure injection applies to. Operations outside
+  /// the filter succeed and do not consume the injection budget, so e.g.
+  /// kWrites makes exactly the next `count` *writes* fail no matter how
+  /// many reads interleave — the knob that makes deferred write-back
+  /// error paths (cache eviction, Flush) testable in isolation.
+  enum class FailOps {
+    kAll = 0,
+    kReads,
+    kWrites,
+  };
+
+  /// Inject a failure: the next `count` I/O operations matching `ops`
+  /// return IOError. Used by failure-injection tests.
+  void FailNextOps(int count, FailOps ops = FailOps::kAll) {
     fail_skip_ = 0;
     fail_ops_ = count;
+    fail_filter_ = ops;
   }
 
-  /// Let `skip` more operations succeed, then fail `count` of them.
-  void FailAfterOps(uint64_t skip, int count) {
+  /// Let `skip` more matching operations succeed, then fail `count`.
+  void FailAfterOps(uint64_t skip, int count, FailOps ops = FailOps::kAll) {
     fail_skip_ = skip;
     fail_ops_ = count;
+    fail_filter_ = ops;
   }
 
  protected:
   virtual Status DoRead(uint64_t block_id, char* buf) = 0;
   virtual Status DoWrite(uint64_t block_id, const char* buf) = 0;
   virtual Status DoAllocate(uint64_t count) = 0;
+
+  /// Category currently attributed to I/O (for wrapping devices that must
+  /// forward the caller's attribution, e.g. CachedBlockDevice).
+  IoCategory category() const { return category_; }
+
+  /// For wrapping devices: adopt the wrapped device's block count so block
+  /// ids stay aligned across the two layers.
+  void SyncNumBlocks(uint64_t num_blocks) { num_blocks_ = num_blocks; }
 
  private:
   void Account(uint64_t block_id, bool is_write);
@@ -138,6 +159,10 @@ class BlockDevice {
   uint64_t last_accessed_ = UINT64_MAX - 1;  // for sequentiality detection
   uint64_t fail_skip_ = 0;
   int fail_ops_ = 0;
+  FailOps fail_filter_ = FailOps::kAll;
+
+  /// True when this operation should fail now (consumes the injection).
+  bool ShouldFail(bool is_write);
 };
 
 /// RAII guard that attributes all I/O on `device` to `category` while alive.

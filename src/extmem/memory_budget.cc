@@ -11,9 +11,10 @@ MemoryBudget::MemoryBudget(uint64_t total_blocks)
 Status MemoryBudget::Acquire(uint64_t count) {
   if (used_blocks_ + count > total_blocks_) {
     return Status::OutOfMemory(
-        "memory budget exhausted: want " + std::to_string(count) +
-        " blocks, " + std::to_string(available_blocks()) + " of " +
-        std::to_string(total_blocks_) + " available");
+        "memory budget exhausted: requested " + std::to_string(count) +
+        " blocks with " + std::to_string(used_blocks_) + " of " +
+        std::to_string(total_blocks_) + " in use (" +
+        std::to_string(available_blocks()) + " available)");
   }
   used_blocks_ += count;
   peak_blocks_ = std::max(peak_blocks_, used_blocks_);

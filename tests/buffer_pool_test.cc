@@ -1,0 +1,460 @@
+// Buffer-pool subsystem tests: pin/unpin reference counting, CLOCK
+// eviction, dirty write-back (category-preserving, deferred-failure
+// surfacing), read-ahead, budget accounting, and a randomized property
+// test that a CachedBlockDevice leaves the backing device byte-identical
+// to an uncached run under interleaved readers and writers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/buffer_pool.h"
+#include "core/nexsort.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "xml/generator.h"
+
+namespace nexsort {
+namespace testing {
+namespace {
+
+constexpr size_t kBlock = 256;
+
+std::string Fill(char c) { return std::string(kBlock, c); }
+
+TEST(BufferPool, BudgetChargedForFramesAndReleased) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(16);
+  {
+    BufferPool pool(device.get(), &budget, {.frames = 6});
+    NEX_ASSERT_OK(pool.init_status());
+    EXPECT_EQ(budget.used_blocks(), 6u);
+    EXPECT_EQ(budget.peak_blocks(), 6u);
+  }
+  EXPECT_EQ(budget.used_blocks(), 0u);
+  EXPECT_EQ(budget.release_underflows(), 0u);
+}
+
+TEST(BufferPool, OutOfMemoryReportsRequestedUsedTotal) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  NEX_ASSERT_OK(budget.Acquire(3));
+  BufferPool pool(device.get(), &budget, {.frames = 7});
+  ASSERT_TRUE(pool.init_status().IsOutOfMemory());
+  const std::string& msg = pool.init_status().message();
+  EXPECT_NE(msg.find("requested 7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3 of 8 in use"), std::string::npos) << msg;
+  budget.Release(3);
+}
+
+TEST(BufferPool, ZeroFramesRejected) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  BufferPool pool(device.get(), &budget, {.frames = 0});
+  EXPECT_TRUE(pool.init_status().IsInvalidArgument());
+}
+
+TEST(BufferPool, PinnedFramesAreNeverEvicted) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &first));
+  BufferPool pool(device.get(), &budget, {.frames = 2});
+  NEX_ASSERT_OK(pool.init_status());
+
+  auto a = pool.Pin(0, IoCategory::kOther, /*load=*/true);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = pool.Pin(1, IoCategory::kOther, /*load=*/true);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(pool.pinned_frames(), 2u);
+
+  // Both frames pinned: a third block has nowhere to go.
+  auto c = pool.Pin(2, IoCategory::kOther, /*load=*/true);
+  EXPECT_TRUE(c.status().IsOutOfMemory());
+
+  // Re-pinning a resident block is fine (refcount, not a new frame).
+  auto a2 = pool.Pin(0, IoCategory::kOther, /*load=*/true);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a2, *a);
+  pool.Unpin(*a2, /*mark_dirty=*/false);
+  EXPECT_EQ(pool.pinned_frames(), 2u);  // block 0 still pinned once
+
+  pool.Unpin(*b, /*mark_dirty=*/false);
+  auto c2 = pool.Pin(2, IoCategory::kOther, /*load=*/true);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  pool.Unpin(*c2, /*mark_dirty=*/false);
+  pool.Unpin(*a, /*mark_dirty=*/false);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST(BufferPool, ClockGivesRecentlyUsedFramesASecondChance) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(6, &first));
+  BufferPool pool(device.get(), &budget, {.frames = 3});
+  NEX_ASSERT_OK(pool.init_status());
+
+  std::string buf(kBlock, '\0');
+  // Fill the pool; every frame is referenced.
+  NEX_ASSERT_OK(pool.ReadBlock(0, buf.data(), IoCategory::kOther));
+  NEX_ASSERT_OK(pool.ReadBlock(1, buf.data(), IoCategory::kOther));
+  NEX_ASSERT_OK(pool.ReadBlock(2, buf.data(), IoCategory::kOther));
+  // All referenced: the sweep clears every bit and evicts at the hand
+  // (block 0). Blocks 1 and 2 are now resident but unreferenced.
+  NEX_ASSERT_OK(pool.ReadBlock(3, buf.data(), IoCategory::kOther));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+
+  // Touch block 2: its referenced bit is its second chance.
+  NEX_ASSERT_OK(pool.ReadBlock(2, buf.data(), IoCategory::kOther));
+  EXPECT_EQ(pool.stats().hits, 1u);
+
+  // Next eviction must pick the not-recently-used block 1, sparing 2.
+  NEX_ASSERT_OK(pool.ReadBlock(4, buf.data(), IoCategory::kOther));
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  uint64_t reads_before = device->stats().reads;
+  NEX_ASSERT_OK(pool.ReadBlock(2, buf.data(), IoCategory::kOther));
+  NEX_ASSERT_OK(pool.ReadBlock(3, buf.data(), IoCategory::kOther));
+  EXPECT_EQ(device->stats().reads, reads_before);  // both still resident
+  EXPECT_EQ(pool.stats().hits, 3u);
+}
+
+TEST(BufferPool, EvictionWritesBackUnderWritersCategory) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &first));
+  BufferPool pool(device.get(), &budget, {.frames = 1});
+  NEX_ASSERT_OK(pool.init_status());
+
+  std::string data = Fill('d');
+  NEX_ASSERT_OK(pool.WriteBlock(0, data.data(), IoCategory::kDataStack));
+  EXPECT_EQ(device->stats().writes, 0u);  // deferred
+
+  // Reading block 1 evicts the dirty frame: one physical write, attributed
+  // to the data stack even though the read runs under run-read.
+  std::string buf(kBlock, '\0');
+  NEX_ASSERT_OK(pool.ReadBlock(1, buf.data(), IoCategory::kRunRead));
+  EXPECT_EQ(device->stats().writes, 1u);
+  EXPECT_EQ(
+      device->stats().category_writes[static_cast<int>(IoCategory::kDataStack)],
+      1u);
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+
+  std::string back(kBlock, '\0');
+  NEX_ASSERT_OK(device->Read(0, back.data()));
+  EXPECT_EQ(back, data);
+}
+
+TEST(BufferPool, FlushWritesAllDirtyFramesOnce) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(4, &first));
+  BufferPool pool(device.get(), &budget, {.frames = 4});
+  NEX_ASSERT_OK(pool.init_status());
+
+  for (uint64_t id = 0; id < 3; ++id) {
+    std::string data = Fill(static_cast<char>('a' + id));
+    NEX_ASSERT_OK(pool.WriteBlock(id, data.data(), IoCategory::kOther));
+  }
+  EXPECT_EQ(device->stats().writes, 0u);
+  NEX_ASSERT_OK(pool.Flush());
+  EXPECT_EQ(device->stats().writes, 3u);
+  NEX_ASSERT_OK(pool.Flush());  // everything clean: no more I/O
+  EXPECT_EQ(device->stats().writes, 3u);
+  for (uint64_t id = 0; id < 3; ++id) {
+    std::string back(kBlock, '\0');
+    NEX_ASSERT_OK(device->Read(id, back.data()));
+    EXPECT_EQ(back, Fill(static_cast<char>('a' + id)));
+  }
+}
+
+TEST(BufferPool, ReadAheadPrefetchesDetectedSequentialScan) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(16);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(32, &first));
+  for (uint64_t id = 0; id < 32; ++id) {
+    std::string data = Fill(static_cast<char>('A' + (id % 26)));
+    NEX_ASSERT_OK(device->Write(id, data.data()));
+  }
+  device->mutable_stats()->Clear();
+
+  BufferPool pool(device.get(), &budget, {.frames = 8, .readahead = 4});
+  NEX_ASSERT_OK(pool.init_status());
+  std::string buf(kBlock, '\0');
+  for (uint64_t id = 0; id < 32; ++id) {
+    NEX_ASSERT_OK(pool.ReadBlock(id, buf.data(), IoCategory::kInput));
+    EXPECT_EQ(buf, Fill(static_cast<char>('A' + (id % 26))));
+  }
+  // The scan is detected at the second read; from there prefetched blocks
+  // serve later reads as hits.
+  EXPECT_GT(pool.stats().prefetches, 0u);
+  EXPECT_GT(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 32u);
+  // Every physical read happened exactly once: 32 logical reads cost 32
+  // physical reads total (prefetch shifts them earlier, never duplicates).
+  EXPECT_EQ(device->stats().reads, 32u);
+  EXPECT_GE(device->stats().sequential_reads, 28u);
+}
+
+TEST(BufferPool, RandomAccessDoesNotPrefetch) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(16);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(16, &first));
+  BufferPool pool(device.get(), &budget, {.frames = 4, .readahead = 4});
+  NEX_ASSERT_OK(pool.init_status());
+  std::string buf(kBlock, '\0');
+  for (uint64_t id : {0, 7, 2, 11, 5, 13, 1, 9}) {
+    NEX_ASSERT_OK(pool.ReadBlock(id, buf.data(), IoCategory::kOther));
+  }
+  EXPECT_EQ(pool.stats().prefetches, 0u);
+}
+
+TEST(CachedBlockDevice, LogicalStatsOnWrapperPhysicalOnBase) {
+  auto base = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  CachedBlockDevice cached(base.get(), &budget, {.frames = 4});
+  NEX_ASSERT_OK(cached.init_status());
+
+  uint64_t first = 0;
+  NEX_ASSERT_OK(cached.Allocate(2, &first));
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(base->num_blocks(), 2u);
+
+  std::string data = Fill('x');
+  NEX_ASSERT_OK(cached.Write(0, data.data()));
+  std::string back(kBlock, '\0');
+  for (int i = 0; i < 5; ++i) {
+    NEX_ASSERT_OK(cached.Read(0, back.data()));
+    EXPECT_EQ(back, data);
+  }
+  // 1 logical write + 5 logical reads; physically nothing yet (the write
+  // is deferred and every read hit the dirty frame).
+  EXPECT_EQ(cached.stats().writes, 1u);
+  EXPECT_EQ(cached.stats().reads, 5u);
+  EXPECT_EQ(base->stats().total(), 0u);
+  EXPECT_EQ(cached.pool()->stats().hits, 5u);
+
+  NEX_ASSERT_OK(cached.Flush());
+  EXPECT_EQ(base->stats().writes, 1u);
+}
+
+TEST(CachedBlockDevice, CategoryScopesReachTheBaseDevice) {
+  auto base = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  CachedBlockDevice cached(base.get(), &budget, {.frames = 2});
+  NEX_ASSERT_OK(cached.init_status());
+  uint64_t first = 0;
+  NEX_ASSERT_OK(cached.Allocate(2, &first));
+  std::string buf(kBlock, '\0');
+  {
+    IoCategoryScope scope(&cached, IoCategory::kPathStack);
+    NEX_ASSERT_OK(cached.Read(1, buf.data()));  // miss: physical load
+  }
+  EXPECT_EQ(
+      base->stats().category_reads[static_cast<int>(IoCategory::kPathStack)],
+      1u);
+}
+
+TEST(CachedBlockDevice, AdoptsBlocksAllocatedBeforeWrapping) {
+  auto base = NewMemoryBlockDevice(kBlock);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(base->Allocate(3, &first));
+  std::string data = Fill('p');
+  NEX_ASSERT_OK(base->Write(2, data.data()));
+
+  MemoryBudget budget(8);
+  CachedBlockDevice cached(base.get(), &budget, {.frames = 2});
+  NEX_ASSERT_OK(cached.init_status());
+  EXPECT_EQ(cached.num_blocks(), 3u);
+  std::string back(kBlock, '\0');
+  NEX_ASSERT_OK(cached.Read(2, back.data()));
+  EXPECT_EQ(back, data);
+  NEX_ASSERT_OK(cached.Allocate(1, &first));
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(base->num_blocks(), 4u);
+}
+
+TEST(BlockDevice, FailureInjectionFiltersByOpType) {
+  auto device = NewMemoryBlockDevice(kBlock);
+  uint64_t first = 0;
+  NEX_ASSERT_OK(device->Allocate(1, &first));
+  std::string buf = Fill('z');
+
+  device->FailNextOps(1, BlockDevice::FailOps::kReads);
+  NEX_EXPECT_OK(device->Write(0, buf.data()));  // writes unaffected
+  EXPECT_TRUE(device->Read(0, buf.data()).IsIOError());
+  NEX_EXPECT_OK(device->Read(0, buf.data()));  // injection consumed
+
+  device->FailNextOps(1, BlockDevice::FailOps::kWrites);
+  NEX_EXPECT_OK(device->Read(0, buf.data()));  // reads unaffected
+  EXPECT_TRUE(device->Write(0, buf.data()).IsIOError());
+  NEX_EXPECT_OK(device->Write(0, buf.data()));
+
+  // FailAfterOps counts only matching operations.
+  device->FailAfterOps(1, 1, BlockDevice::FailOps::kWrites);
+  NEX_EXPECT_OK(device->Read(0, buf.data()));
+  NEX_EXPECT_OK(device->Write(0, buf.data()));  // skipped one write
+  EXPECT_TRUE(device->Write(0, buf.data()).IsIOError());
+}
+
+TEST(CachedBlockDevice, DeferredWritebackFailureSurfacesFromFlush) {
+  auto base = NewMemoryBlockDevice(kBlock);
+  MemoryBudget budget(8);
+  CachedBlockDevice cached(base.get(), &budget, {.frames = 2});
+  NEX_ASSERT_OK(cached.init_status());
+  uint64_t first = 0;
+  NEX_ASSERT_OK(cached.Allocate(4, &first));
+
+  std::string data = Fill('w');
+  NEX_ASSERT_OK(cached.Write(0, data.data()));  // dirty frame, no I/O yet
+
+  // From here every physical *write* fails; reads keep working.
+  base->FailNextOps(100, BlockDevice::FailOps::kWrites);
+
+  // These reads force evictions. The dirty frame's write-back fails, but
+  // the reads themselves succeed (a clean victim is found) — the failure
+  // is deferred, not swallowed.
+  std::string buf(kBlock, '\0');
+  NEX_ASSERT_OK(cached.Read(1, buf.data()));
+  NEX_ASSERT_OK(cached.Read(2, buf.data()));
+  NEX_ASSERT_OK(cached.Read(3, buf.data()));
+  EXPECT_GT(cached.pool()->stats().writeback_failures, 0u);
+
+  // Flush surfaces the deferred failure (and its own retry also fails).
+  EXPECT_TRUE(cached.Flush().IsIOError());
+
+  // Once writes work again, Flush lands the data: nothing was lost.
+  base->FailNextOps(0);
+  NEX_ASSERT_OK(cached.Flush());
+  std::string back(kBlock, '\0');
+  NEX_ASSERT_OK(base->Read(0, back.data()));
+  EXPECT_EQ(back, data);
+}
+
+// Randomized property test: a CachedBlockDevice under interleaved readers
+// and writers — varied frame counts, with and without read-ahead — returns
+// the same bytes as an uncached device and, after Flush, leaves the
+// backing device byte-identical.
+TEST(CachedBlockDeviceProperty, MatchesUncachedDeviceByteForByte) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Random rng(seed * 7919);
+    uint64_t frames = rng.UniformRange(1, 6);
+    uint64_t readahead = rng.OneIn(2) ? rng.UniformRange(1, 4) : 0;
+
+    auto plain = NewMemoryBlockDevice(kBlock);
+    auto backing = NewMemoryBlockDevice(kBlock);
+    MemoryBudget budget(frames + 2);
+    CachedBlockDevice cached(backing.get(), &budget,
+                             {.frames = frames, .readahead = readahead});
+    NEX_ASSERT_OK(cached.init_status());
+
+    uint64_t blocks = rng.UniformRange(8, 24);
+    uint64_t first = 0;
+    NEX_ASSERT_OK(plain->Allocate(blocks, &first));
+    NEX_ASSERT_OK(cached.Allocate(blocks, &first));
+
+    // Interleaved readers and writers: two cursors scan sequentially
+    // (exercising read-ahead) while random reads/writes interleave.
+    uint64_t scan_a = 0;
+    uint64_t scan_b = blocks / 2;
+    uint64_t ops = rng.UniformRange(100, 300);
+    for (uint64_t op = 0; op < ops; ++op) {
+      uint64_t id;
+      switch (rng.Uniform(4)) {
+        case 0:
+          id = scan_a;
+          scan_a = (scan_a + 1) % blocks;
+          break;
+        case 1:
+          id = scan_b;
+          scan_b = (scan_b + 1) % blocks;
+          break;
+        default:
+          id = rng.Uniform(blocks);
+      }
+      IoCategory category = static_cast<IoCategory>(rng.Uniform(
+          static_cast<uint64_t>(kNumIoCategories)));
+      IoCategoryScope plain_scope(plain.get(), category);
+      IoCategoryScope cached_scope(&cached, category);
+      if (rng.OneIn(3)) {
+        std::string data(kBlock, '\0');
+        for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+        NEX_ASSERT_OK(plain->Write(id, data.data()));
+        NEX_ASSERT_OK(cached.Write(id, data.data()));
+      } else {
+        std::string expected(kBlock, '\0');
+        std::string actual(kBlock, '\0');
+        NEX_ASSERT_OK(plain->Read(id, expected.data()));
+        NEX_ASSERT_OK(cached.Read(id, actual.data()));
+        ASSERT_EQ(actual, expected)
+            << "seed " << seed << " op " << op << " block " << id;
+      }
+    }
+
+    NEX_ASSERT_OK(cached.Flush());
+    // Caching must save physical I/O, never add it.
+    EXPECT_LE(backing->stats().total(), cached.stats().total() +
+                                            cached.pool()->stats().prefetches);
+    for (uint64_t id = 0; id < blocks; ++id) {
+      std::string expected(kBlock, '\0');
+      std::string actual(kBlock, '\0');
+      NEX_ASSERT_OK(plain->Read(id, expected.data()));
+      NEX_ASSERT_OK(backing->Read(id, actual.data()));
+      ASSERT_EQ(actual, expected) << "seed " << seed << " block " << id;
+    }
+    EXPECT_EQ(budget.used_blocks(), frames);
+    EXPECT_EQ(budget.release_underflows(), 0u);
+  }
+}
+
+// End-to-end: NEXSORT with a cache produces identical output, saves
+// physical I/O, and stays inside the memory budget (cache frames
+// included).
+TEST(CachedBlockDeviceProperty, NexSortWithCacheMatchesUncachedAndSavesIo) {
+  RandomTreeGenerator generator(/*height=*/5, /*max_fanout=*/6,
+                                {.seed = 11, .element_bytes = 60});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+
+  constexpr uint64_t kMemoryBlocks = 48;
+  auto run = [&](uint64_t cache_frames, uint64_t readahead, IoStats* io,
+                 uint64_t* peak) {
+    auto device = NewMemoryBlockDevice(512);
+    MemoryBudget budget(kMemoryBlocks);
+    NexSortOptions options;
+    options.order = spec;
+    options.cache = {.frames = cache_frames, .readahead = readahead};
+    NexSorter sorter(device.get(), &budget, options);
+    StringByteSource source(*xml);
+    std::string out;
+    StringByteSink sink(&out);
+    Status st = sorter.Sort(&source, &sink);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    *io = device->stats();
+    *peak = budget.peak_blocks();
+    return out;
+  };
+
+  IoStats uncached_io, cached_io;
+  uint64_t uncached_peak = 0, cached_peak = 0;
+  std::string uncached = run(0, 0, &uncached_io, &uncached_peak);
+  std::string cached = run(16, 4, &cached_io, &cached_peak);
+  EXPECT_EQ(cached, uncached);
+  EXPECT_LT(cached_io.total(), uncached_io.total());
+  EXPECT_LE(cached_peak, kMemoryBlocks);
+  EXPECT_LE(uncached_peak, kMemoryBlocks);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace nexsort
