@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
               WithCommas(io.total()).c_str(),
               static_cast<double>(io.total()) /
                   ((input_range.byte_size + kBlock - 1) / kBlock),
-              io.modeled_seconds, io.ToString(kBlock).c_str());
+              io.modeled_seconds.load(), io.ToString(kBlock).c_str());
   std::printf("memory budget: %llu blocks (%s), peak use %llu\n",
               static_cast<unsigned long long>(kMemory),
               HumanBytes(kMemory * kBlock).c_str(),

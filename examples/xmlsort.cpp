@@ -23,6 +23,14 @@
 //   --readahead N         prefetch up to N blocks ahead on sequential
 //                         scans (needs --cache-blocks; capped at half
 //                         the pool)
+//   --threads N           worker threads overlapping compute and I/O:
+//                         double-buffered run formation + partitioned
+//                         spill sorts (0 = serial, the default; output is
+//                         byte-identical either way). See
+//                         docs/PARALLELISM.md
+//   --prefetch-depth K    prefetch merge-input runs K blocks ahead per
+//                         source into the block cache (needs
+//                         --cache-blocks)
 //   --graceful            enable graceful degeneration into merge sort
 //   --scope TAG           XSort mode: only sort children of TAG elements
 //                         (repeatable)
@@ -100,7 +108,8 @@ void Usage() {
                "PATH]\n               [--numeric] [--descending] "
                "[--depth-limit D] [--memory-mb M]\n               "
                "[--block-kb B] [--threshold-blocks T] [--cache-blocks N] "
-               "[--readahead N]\n               [--graceful] [--stats] "
+               "[--readahead N]\n               [--threads N] "
+               "[--prefetch-depth K] [--graceful] [--stats] "
                "<input.xml> <output.xml>\n");
   std::exit(2);
 }
@@ -118,6 +127,8 @@ int main(int argc, char** argv) {
   uint64_t threshold_blocks = 2;
   uint64_t cache_blocks = 0;
   uint64_t cache_readahead = 0;
+  uint64_t threads = 0;
+  uint64_t prefetch_depth = 0;
   bool graceful = false;
   bool show_stats = false;
   std::string stats_json_path;
@@ -166,6 +177,10 @@ int main(int argc, char** argv) {
       cache_blocks = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--readahead") {
       cache_readahead = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--prefetch-depth") {
+      prefetch_depth = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--graceful") {
       graceful = true;
     } else if (arg == "--scope") {
@@ -252,6 +267,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--readahead needs --cache-blocks\n");
     return 2;
   }
+  if (prefetch_depth > 0 && cache_blocks == 0) {
+    std::fprintf(stderr, "--prefetch-depth needs --cache-blocks\n");
+    return 2;
+  }
+  if (threads > 64) {
+    std::fprintf(stderr, "--threads capped at 64\n");
+    return 2;
+  }
 
   Dtd dtd;
   bool have_dtd = false;
@@ -332,6 +355,8 @@ int main(int argc, char** argv) {
   options.record_order_attribute = record_order;
   options.strip_attribute = strip_attr;
   options.cache = {.frames = cache_blocks, .readahead = cache_readahead};
+  options.parallel.threads = static_cast<uint32_t>(threads);
+  options.parallel.prefetch_depth = static_cast<uint32_t>(prefetch_depth);
   if (want_telemetry) options.tracer = &tracer;
   NexSorter sorter(device_or->get(), &budget, options);
 
@@ -399,6 +424,20 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(cache.writebacks),
                    static_cast<unsigned long long>(cache.prefetches));
     }
+    if (threads > 0 || prefetch_depth > 0) {
+      ParallelStats par = sorter.parallel_stats();
+      std::fprintf(stderr,
+                   "parallel: %llu threads, %llu async / %llu sync spills "
+                   "(%llu declined), %llu partitioned sorts, "
+                   "%llu prefetched blocks, spill wait %.3f s / busy %.3f s\n",
+                   static_cast<unsigned long long>(threads),
+                   static_cast<unsigned long long>(par.async_spills),
+                   static_cast<unsigned long long>(par.sync_spills),
+                   static_cast<unsigned long long>(par.double_buffer_declined),
+                   static_cast<unsigned long long>(par.parallel_sorts),
+                   static_cast<unsigned long long>(par.prefetch_issued),
+                   par.spill_wait_seconds, par.spill_busy_seconds);
+    }
   }
 
   if (!stats_json_path.empty()) {
@@ -434,6 +473,17 @@ int main(int argc, char** argv) {
     json.Uint(cache_readahead);
     json.Key("counters");
     sorter.cache_stats().ToJson(&json);
+    json.EndObject();
+    json.Key("parallel");
+    json.BeginObject();
+    json.Key("enabled");
+    json.Bool(threads > 0 || prefetch_depth > 0);
+    json.Key("threads");
+    json.Uint(threads);
+    json.Key("prefetch_depth");
+    json.Uint(prefetch_depth);
+    json.Key("counters");
+    sorter.parallel_stats().ToJson(&json);
     json.EndObject();
     json.Key("nexsort");
     sorter.stats().ToJson(&json);

@@ -128,13 +128,48 @@ def check_cache_metrics(telemetry):
           "telemetry: missing gauge 'cache_hit_rate_pct'")
 
 
-def check_stats(stats, cache_enabled=False):
+PARALLEL_COUNTER_KEYS = ("async_spills", "sync_spills",
+                         "double_buffer_declined", "parallel_sorts",
+                         "sort_partitions", "prefetch_issued",
+                         "prefetch_declined", "spill_wait_seconds",
+                         "spill_busy_seconds")
+
+
+def check_parallel(parallel, parallel_enabled):
+    """Validate the stats.parallel block in serial and parallel runs."""
+    for key in ("enabled", "threads", "prefetch_depth", "counters"):
+        check(key in parallel, f"stats.parallel: missing key '{key}'")
+    check(parallel.get("enabled") is parallel_enabled,
+          f"stats.parallel: enabled is {parallel.get('enabled')!r}, "
+          f"expected {parallel_enabled}")
+    counters = parallel.get("counters", {})
+    for key in PARALLEL_COUNTER_KEYS:
+        check(key in counters, f"stats.parallel.counters: missing '{key}'")
+    if parallel_enabled:
+        check(parallel.get("threads", 0) > 0
+              or parallel.get("prefetch_depth", 0) > 0,
+              "stats.parallel: enabled without threads or prefetch_depth")
+    else:
+        for key in ("async_spills", "parallel_sorts", "prefetch_issued"):
+            check(counters.get(key) == 0,
+                  f"stats.parallel.counters: '{key}' non-zero while serial")
+
+
+def check_parallel_metrics(telemetry):
+    """With the pipeline on, parallel_* counters must reach the export."""
+    counters = telemetry.get("metrics", {}).get("counters", {})
+    for name in ("parallel_async_spills", "parallel_sync_spills",
+                 "parallel_prefetch_issued"):
+        check(name in counters, f"telemetry: missing counter '{name}'")
+
+
+def check_stats(stats, cache_enabled=False, parallel_enabled=False):
     check(stats.get("schema") == "nexsort-stats-v1",
           f"stats schema is {stats.get('schema')!r}, "
           "expected 'nexsort-stats-v1'")
     for key in ("tool", "input", "block_size", "memory_blocks",
-                "memory_peak_blocks", "run_count", "io", "cache", "nexsort",
-                "telemetry"):
+                "memory_peak_blocks", "run_count", "io", "cache", "parallel",
+                "nexsort", "telemetry"):
         check(key in stats, f"stats: missing top-level key '{key}'")
     check(isinstance(stats.get("memory_peak_blocks"), int),
           "stats: memory_peak_blocks is not an integer")
@@ -144,10 +179,14 @@ def check_stats(stats, cache_enabled=False):
         check_io_object(stats["io"], "stats.io")
     if "cache" in stats:
         check_cache(stats["cache"], cache_enabled)
+    if "parallel" in stats:
+        check_parallel(stats["parallel"], parallel_enabled)
     if "telemetry" in stats:
         check_telemetry(stats["telemetry"])
         if cache_enabled:
             check_cache_metrics(stats["telemetry"])
+        if parallel_enabled:
+            check_parallel_metrics(stats["telemetry"])
 
 
 def check_trace(path):
@@ -178,11 +217,18 @@ def main():
         workdir = Path(args.keep) if args.keep else Path(tmp)
         workdir.mkdir(parents=True, exist_ok=True)
 
-        # Two runs: the default (cache off, stats.cache must say so) and a
-        # cached run (counters populated, cache metrics in the telemetry).
-        for label, extra, cache_enabled in (
-            ("default", [], False),
-            ("cached", ["--cache-blocks", "32", "--readahead", "4"], True),
+        # Three runs: the default (cache and pipeline off, the stats blocks
+        # must say so), a cached run (cache counters populated and mirrored
+        # into the telemetry), and a parallel run (worker threads + merge
+        # prefetching; parallel counters populated, output byte-identical
+        # to the serial runs).
+        outputs = {}
+        for label, extra, cache_enabled, parallel_enabled in (
+            ("default", [], False, False),
+            ("cached", ["--cache-blocks", "32", "--readahead", "4"],
+             True, False),
+            ("parallel", ["--cache-blocks", "32", "--threads", "2",
+                          "--prefetch-depth", "4"], True, True),
         ):
             stats_path = workdir / f"stats-{label}.json"
             trace_path = workdir / f"trace-{label}.jsonl"
@@ -207,10 +253,16 @@ def main():
                 print(f"FAIL: cannot parse {stats_path}: {err}",
                       file=sys.stderr)
                 return 1
-            check_stats(stats, cache_enabled=cache_enabled)
+            check_stats(stats, cache_enabled=cache_enabled,
+                        parallel_enabled=parallel_enabled)
             check(output_path.exists() and output_path.stat().st_size > 0,
                   f"xmlsort ({label}) produced no output document")
             check_trace(trace_path)
+            outputs[label] = output_path.read_bytes()
+
+        for label, data in outputs.items():
+            check(data == outputs["default"],
+                  f"output of run '{label}' differs from the default run")
 
     if FAILURES:
         for failure in FAILURES:

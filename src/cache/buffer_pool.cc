@@ -10,6 +10,12 @@
 
 namespace nexsort {
 
+namespace {
+/// Sentinel from AcquireFrame: a racing thread loaded the block while the
+/// lock was dropped for a victim write-back; the caller must re-resolve.
+constexpr size_t kRetryFrame = SIZE_MAX;
+}  // namespace
+
 void CacheStats::ToJson(JsonWriter* writer) const {
   writer->BeginObject();
   writer->Key("hits");
@@ -83,9 +89,19 @@ void BufferPool::UpdateHitRateGauge() {
   hit_rate_gauge_->Set(accesses == 0 ? 0 : stats_.hits * 100 / accesses);
 }
 
-Status BufferPool::WriteBack(Frame* frame, size_t index) {
-  IoCategoryScope scope(base_, frame->category);
-  Status st = base_->Write(frame->block_id, DataOf(index));
+Status BufferPool::WriteBack(Frame* frame, size_t index,
+                             std::unique_lock<std::mutex>& lock) {
+  // Busy protects the frame for the unlocked transfer: the sweep skips it,
+  // Pin waits on it, so nobody recycles or rewrites the bytes mid-write.
+  frame->busy = true;
+  uint64_t block = frame->block_id;
+  IoCategory category = frame->category;
+  char* data = DataOf(index);
+  lock.unlock();
+  Status st = base_->Write(block, data, category);
+  lock.lock();
+  frame->busy = false;
+  busy_done_.notify_all();
   if (!st.ok()) {
     ++stats_.writeback_failures;
     return st;
@@ -96,31 +112,37 @@ Status BufferPool::WriteBack(Frame* frame, size_t index) {
   return Status::OK();
 }
 
-StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id) {
+StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id,
+                                          std::unique_lock<std::mutex>& lock) {
   // CLOCK sweep. Free frames have no second chance to burn, so they fall
   // out of the first rotation; a full rotation clears every referenced
   // bit, so two rotations suffice when any frame is evictable. Dirty
   // victims whose write-back fails stay dirty and are skipped (the
-  // failure is deferred to Flush()), so allow a third rotation before
-  // giving up.
-  size_t sweeps = frames_.size() * 3;
+  // failure is deferred to Flush()), and busy frames are skipped outright,
+  // so allow extra rotations before giving up.
+  size_t sweeps = frames_.size() * 4;
   for (size_t step = 0; step < sweeps; ++step) {
-    Frame& frame = frames_[clock_hand_];
     size_t index = clock_hand_;
+    Frame& frame = frames_[index];
     clock_hand_ = (clock_hand_ + 1) % frames_.size();
-    if (frame.pins > 0) continue;
+    if (frame.pins > 0 || frame.busy) continue;
     if (frame.referenced) {
       frame.referenced = false;  // second chance
       continue;
     }
     if (frame.dirty) {
-      Status st = WriteBack(&frame, index);
+      Status st = WriteBack(&frame, index, lock);
       if (!st.ok()) {
         // Defer: keep the data, pick another victim. Flush() surfaces it.
         if (deferred_writeback_.ok()) deferred_writeback_ = st;
         continue;
       }
+      // The lock was dropped during the write: the frame may have been
+      // pinned or re-dirtied, and the wanted block may have been loaded
+      // by a racer. Re-evaluate both before claiming.
+      if (frame.pins > 0 || frame.busy || frame.dirty) continue;
     }
+    if (resident_.find(block_id) != resident_.end()) return kRetryFrame;
     if (frame.block_id != kNoBlock) {
       resident_.erase(frame.block_id);
       ++stats_.evictions;
@@ -137,35 +159,67 @@ StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id) {
   return Status::OutOfMemory("buffer pool: all frames pinned, cannot evict");
 }
 
-StatusOr<size_t> BufferPool::Pin(uint64_t block_id, IoCategory category,
-                                 bool load) {
-  auto it = resident_.find(block_id);
-  size_t index;
-  if (it != resident_.end()) {
-    index = it->second;
-    CountHit();
-  } else {
-    ASSIGN_OR_RETURN(index, AcquireFrame(block_id));
+StatusOr<size_t> BufferPool::PinLocked(uint64_t block_id, IoCategory category,
+                                       bool load, bool as_prefetch,
+                                       std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    auto it = resident_.find(block_id);
+    if (it != resident_.end()) {
+      size_t index = it->second;
+      Frame& frame = frames_[index];
+      if (frame.busy) {
+        // A load or write-back is in flight on this frame; the data is
+        // not ours to touch until it settles.
+        busy_done_.wait(lock);
+        continue;
+      }
+      if (as_prefetch) return index;  // already resident: nothing to do
+      CountHit();
+      if (frame.pins == 0) ++pinned_frames_;
+      ++frame.pins;
+      frame.referenced = true;
+      return index;
+    }
+    size_t index;
+    ASSIGN_OR_RETURN(index, AcquireFrame(block_id, lock));
+    if (index == kRetryFrame) continue;  // racer resolved it; re-find
+    Frame& frame = frames_[index];
     if (load) {
-      IoCategoryScope scope(base_, category);
-      Status st = base_->Read(block_id, DataOf(index));
+      frame.busy = true;
+      char* data = DataOf(index);
+      lock.unlock();
+      Status st = base_->Read(block_id, data, category);
+      lock.lock();
+      frame.busy = false;
+      busy_done_.notify_all();
       if (!st.ok()) {
         // The frame holds no valid data; return it to the free state.
         resident_.erase(block_id);
-        frames_[index].block_id = kNoBlock;
+        frame.block_id = kNoBlock;
         return st;
       }
     }
+    if (as_prefetch) {
+      // Prefetched frames get a normal reference bit: without it the
+      // CLOCK evicts exactly the blocks just fetched (every resident
+      // frame the scan touched is referenced, so the unreferenced
+      // newcomers lose) before the scan reaches them. If the scan never
+      // arrives they age out after one rotation like any other block.
+      frame.referenced = true;
+      ++stats_.prefetches;
+      if (prefetches_counter_ != nullptr) prefetches_counter_->Add();
+      return index;
+    }
     CountMiss();
+    if (frame.pins == 0) ++pinned_frames_;
+    ++frame.pins;
+    frame.referenced = true;
+    return index;
   }
-  Frame& frame = frames_[index];
-  if (frame.pins == 0) ++pinned_frames_;
-  ++frame.pins;
-  frame.referenced = true;
-  return index;
 }
 
-void BufferPool::Unpin(size_t frame, bool mark_dirty, IoCategory category) {
+void BufferPool::UnpinLocked(size_t frame, bool mark_dirty,
+                             IoCategory category) {
   Frame& f = frames_[frame];
   assert(f.pins > 0);
   if (mark_dirty) {
@@ -176,9 +230,21 @@ void BufferPool::Unpin(size_t frame, bool mark_dirty, IoCategory category) {
   if (f.pins == 0) --pinned_frames_;
 }
 
+StatusOr<size_t> BufferPool::Pin(uint64_t block_id, IoCategory category,
+                                 bool load) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return PinLocked(block_id, category, load, /*as_prefetch=*/false, lock);
+}
+
+void BufferPool::Unpin(size_t frame, bool mark_dirty, IoCategory category) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  UnpinLocked(frame, mark_dirty, category);
+}
+
 char* BufferPool::FrameData(size_t frame) { return DataOf(frame); }
 
-void BufferPool::ReadAhead(uint64_t block_id, IoCategory category) {
+void BufferPool::ReadAhead(uint64_t block_id, IoCategory category,
+                           std::unique_lock<std::mutex>& lock) {
   // Cap the window at half the pool: a prefetch burst must not flush the
   // working set (and needs at least one frame left for the caller).
   uint64_t window = std::min(options_.readahead,
@@ -187,33 +253,29 @@ void BufferPool::ReadAhead(uint64_t block_id, IoCategory category) {
   for (uint64_t ahead = 1; ahead <= window; ++ahead) {
     uint64_t next = block_id + ahead;
     if (next >= limit) return;
-    if (resident_.find(next) != resident_.end()) continue;
-    auto acquired = AcquireFrame(next);
-    if (!acquired.ok()) return;  // pool too pinned/dirty; abandon quietly
-    size_t index = acquired.value();
-    IoCategoryScope scope(base_, category);
-    Status st = base_->Read(next, DataOf(index));
-    if (!st.ok()) {
-      resident_.erase(next);
-      frames_[index].block_id = kNoBlock;
-      return;
-    }
-    // Prefetched frames get a normal reference bit: without it the CLOCK
-    // evicts exactly the blocks just fetched (every resident frame the
-    // scan touched is referenced, so the unreferenced newcomers lose)
-    // before the scan reaches them. If the scan never arrives they age
-    // out after one rotation like any other block.
-    frames_[index].referenced = true;
-    ++stats_.prefetches;
-    if (prefetches_counter_ != nullptr) prefetches_counter_->Add();
+    auto loaded = PinLocked(next, category, /*load=*/true,
+                            /*as_prefetch=*/true, lock);
+    if (!loaded.ok()) return;  // pool too pinned/dirty; abandon quietly
   }
+}
+
+void BufferPool::Prefetch(uint64_t block_id, IoCategory category) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (block_id >= base_->num_blocks()) return;
+  // Best-effort: a failed claim or load is swallowed; the consuming read
+  // re-encounters the error where it can be reported.
+  (void)PinLocked(block_id, category, /*load=*/true, /*as_prefetch=*/true,
+                  lock);
 }
 
 Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
                              IoCategory category) {
-  ASSIGN_OR_RETURN(size_t index, Pin(block_id, category, /*load=*/true));
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t index;
+  ASSIGN_OR_RETURN(index, PinLocked(block_id, category, /*load=*/true,
+                                    /*as_prefetch=*/false, lock));
   std::memcpy(buf, DataOf(index), base_->block_size());
-  Unpin(index, /*mark_dirty=*/false);
+  UnpinLocked(index, /*mark_dirty=*/false, IoCategory::kOther);
 
   sequential_run_ = (last_read_block_ != kNoBlock &&
                      block_id == last_read_block_ + 1)
@@ -221,30 +283,45 @@ Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
                         : 1;
   last_read_block_ = block_id;
   if (options_.readahead > 0 && sequential_run_ >= 2) {
-    ReadAhead(block_id, category);
+    ReadAhead(block_id, category, lock);
   }
   return Status::OK();
 }
 
 Status BufferPool::WriteBlock(uint64_t block_id, const char* buf,
                               IoCategory category) {
+  std::unique_lock<std::mutex> lock(mutex_);
   // Whole-block overwrite: no need to load the old contents on a miss.
-  ASSIGN_OR_RETURN(size_t index, Pin(block_id, category, /*load=*/false));
+  size_t index;
+  ASSIGN_OR_RETURN(index, PinLocked(block_id, category, /*load=*/false,
+                                    /*as_prefetch=*/false, lock));
   std::memcpy(DataOf(index), buf, base_->block_size());
-  Unpin(index, /*mark_dirty=*/true, category);
+  UnpinLocked(index, /*mark_dirty=*/true, category);
   return Status::OK();
 }
 
 Status BufferPool::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
   Status result = deferred_writeback_;
   deferred_writeback_ = Status::OK();  // surfaced exactly once
   for (size_t i = 0; i < frames_.size(); ++i) {
+    while (frames_[i].busy) busy_done_.wait(lock);
     Frame& frame = frames_[i];
     if (frame.block_id == kNoBlock || !frame.dirty) continue;
-    Status st = WriteBack(&frame, i);
+    Status st = WriteBack(&frame, i, lock);
     if (!st.ok() && result.ok()) result = st;
   }
   return result;
+}
+
+CacheStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+uint64_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pinned_frames_;
 }
 
 CachedBlockDevice::CachedBlockDevice(BlockDevice* base, MemoryBudget* budget,

@@ -13,7 +13,8 @@
 //  * BufferPool — the frame table: pin/unpin reference counting, CLOCK
 //    (second-chance) eviction of unpinned frames, dirty-frame write-back
 //    (on eviction, on Flush(), and best-effort on destruction), and
-//    sequential read-ahead.
+//    sequential read-ahead plus an explicit Prefetch() entry point for the
+//    merge-input RunPrefetcher.
 //  * CachedBlockDevice — a transparent BlockDevice wrapper over a pool:
 //    the same interface every extmem component already speaks, so streams,
 //    external stacks, the run store, and the external merge sort gain
@@ -23,20 +24,27 @@
 //    is exactly the I/O the cache saved.
 //
 // Accounting is category-preserving: a miss loads the block under the
-// caller's current IoCategory, and a dirty frame remembers the category of
-// its last writer so the eventual write-back is attributed to the same
-// paper cost component that produced the data.
+// caller's category, and a dirty frame remembers the category of its last
+// writer so the eventual write-back is attributed to the same paper cost
+// component that produced the data.
 //
 // Write-back failures discovered while evicting on behalf of an unrelated
 // operation are *deferred*, not swallowed: the frame stays dirty, another
 // victim is chosen, and the sticky failure is surfaced by the next Flush()
 // (which also retries the write). See docs/CACHING.md.
 //
-// Single-threaded, like the rest of the I/O layer (see block_device.h).
+// Thread-safe: one pool mutex guards the frame table, but base-device
+// transfers (miss loads, write-backs, prefetch loads) happen with the
+// mutex *released* and the frame marked busy — busy frames are never
+// evicted and Pin waits for them — so a background prefetcher's reads
+// genuinely overlap foreground work. Pinned-frame invariants are
+// unchanged: a pinned or busy frame is never recycled.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -74,7 +82,7 @@ struct CacheStats {
   uint64_t evictions = 0;    // valid frames recycled for another block
   uint64_t writebacks = 0;   // dirty frames written to the device
   uint64_t writeback_failures = 0;  // failed write-back attempts
-  uint64_t prefetches = 0;   // blocks loaded ahead of a sequential scan
+  uint64_t prefetches = 0;   // blocks loaded ahead of consumption
 
   /// Hits / (hits + misses); 0 when nothing was accessed.
   double hit_rate() const {
@@ -110,6 +118,8 @@ class BufferPool {
 
   /// Attach a tracer (may be null; not owned): the pool then mirrors its
   /// counters into cache_* metrics and keeps a cache_hit_rate_pct gauge.
+  /// Foreground-thread only (instrument pointers are installed before any
+  /// background thread runs; the instruments themselves are atomic).
   void set_tracer(Tracer* tracer);
 
   /// Read `block_id` through the cache into `buf` (block_size bytes). The
@@ -122,6 +132,12 @@ class BufferPool {
   /// miss claims a frame without loading the old contents (whole-block
   /// overwrite). `category` is remembered for the eventual write-back.
   Status WriteBlock(uint64_t block_id, const char* buf, IoCategory category);
+
+  /// Load `block_id` into a frame ahead of consumption (RunPrefetcher
+  /// entry point; counted as a prefetch, not a miss). No-op when already
+  /// resident. Best-effort: errors are swallowed — the consuming read
+  /// will hit them for real.
+  void Prefetch(uint64_t block_id, IoCategory category);
 
   /// Pin the frame holding `block_id`, loading it from the device first
   /// when `load` is true and the block is not resident. Pinned frames are
@@ -142,18 +158,20 @@ class BufferPool {
   /// this call surfaces (exactly once) and retries.
   Status Flush();
 
-  const CacheStats& stats() const { return stats_; }
+  /// Snapshot of the pool counters (copied under the pool lock).
+  CacheStats stats() const;
   const CacheOptions& options() const { return options_; }
   BlockDevice* base() const { return base_; }
 
   /// Number of currently pinned frames (tests and invariant checks).
-  uint64_t pinned_frames() const { return pinned_frames_; }
+  uint64_t pinned_frames() const;
 
  private:
   struct Frame {
     uint64_t block_id = kNoBlock;
     uint32_t pins = 0;
     bool dirty = false;
+    bool busy = false;  // base-device I/O in flight; do not touch
     bool referenced = false;              // CLOCK second-chance bit
     IoCategory category = IoCategory::kOther;  // last writer, for write-back
   };
@@ -162,17 +180,34 @@ class BufferPool {
     return data_.data() + frame * base_->block_size();
   }
 
-  /// Write frame's block to the device under its remembered category.
-  Status WriteBack(Frame* frame, size_t index);
+  /// Write frame's block to the device under its remembered category,
+  /// releasing the lock (frame marked busy) around the transfer.
+  /// On return the lock is re-held.
+  Status WriteBack(Frame* frame, size_t index,
+                   std::unique_lock<std::mutex>& lock);
 
   /// Claim a frame for `block_id`: a free frame if any, else a CLOCK
-  /// victim (never pinned; dirty victims are written back first). The
-  /// returned frame is mapped to `block_id` but not loaded.
-  StatusOr<size_t> AcquireFrame(uint64_t block_id);
+  /// victim (never pinned or busy; dirty victims are written back first,
+  /// lock released around the write). The returned frame is mapped to
+  /// `block_id` but not loaded. Caller holds the lock.
+  StatusOr<size_t> AcquireFrame(uint64_t block_id,
+                                std::unique_lock<std::mutex>& lock);
+
+  /// Resolve `block_id` to a pinned frame (the common Pin/ReadBlock/
+  /// WriteBlock core): waits out busy frames, claims + optionally loads on
+  /// a miss (lock released around the load), counts hit/miss/prefetch.
+  /// Caller holds the lock.
+  StatusOr<size_t> PinLocked(uint64_t block_id, IoCategory category,
+                             bool load, bool as_prefetch,
+                             std::unique_lock<std::mutex>& lock);
+
+  void UnpinLocked(size_t frame, bool mark_dirty, IoCategory category);
 
   /// Load blocks [block_id+1, block_id+window] that are not yet resident.
-  /// Best-effort: a failed load abandons the rest of the window.
-  void ReadAhead(uint64_t block_id, IoCategory category);
+  /// Best-effort: a failed load abandons the rest of the window. Caller
+  /// holds the lock.
+  void ReadAhead(uint64_t block_id, IoCategory category,
+                 std::unique_lock<std::mutex>& lock);
 
   void CountHit();
   void CountMiss();
@@ -182,6 +217,9 @@ class BufferPool {
   const CacheOptions options_;
   BudgetReservation reservation_;
   Status init_status_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable busy_done_;  // signaled when a frame's busy clears
 
   std::vector<Frame> frames_;
   std::string data_;  // frames * block_size bytes
@@ -233,11 +271,12 @@ class CachedBlockDevice final : public BlockDevice {
   BlockDevice* base() const { return pool_.base(); }
 
  protected:
-  Status DoRead(uint64_t block_id, char* buf) override {
-    return pool_.ReadBlock(block_id, buf, category());
+  Status DoRead(uint64_t block_id, char* buf, IoCategory category) override {
+    return pool_.ReadBlock(block_id, buf, category);
   }
-  Status DoWrite(uint64_t block_id, const char* buf) override {
-    return pool_.WriteBlock(block_id, buf, category());
+  Status DoWrite(uint64_t block_id, const char* buf,
+                 IoCategory category) override {
+    return pool_.WriteBlock(block_id, buf, category);
   }
   Status DoAllocate(uint64_t count) override;
 

@@ -1,5 +1,7 @@
 #include "core/keypath_xml_sort.h"
 
+#include <algorithm>
+
 #include "core/unit_emitter.h"
 #include "obs/tracer.h"
 #include "sort/key_path.h"
@@ -16,6 +18,10 @@ KeyPathXmlSorter::KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
                                                        options_.cache)
                  : nullptr),
       device_(cache_ != nullptr ? cache_.get() : device),
+      parallel_context_(options_.parallel.enabled()
+                            ? std::make_unique<ParallelContext>(
+                                  options_.parallel)
+                            : nullptr),
       store_(device_, budget) {
   format_.use_dictionary = options_.use_dictionary;
 }
@@ -50,8 +56,24 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
 
   UnitScanner scanner(input, &options_.order);
   ExtSortOptions sort_options;
-  sort_options.memory_blocks = budget_->available_blocks();
+  uint64_t sort_blocks = budget_->available_blocks();
+  if (options_.sort_memory_blocks != 0) {
+    if (options_.sort_memory_blocks < 4 ||
+        options_.sort_memory_blocks > sort_blocks) {
+      return Status::InvalidArgument(
+          "sort_memory_blocks must be in [4, available blocks]");
+    }
+    sort_blocks = options_.sort_memory_blocks;
+  } else if (options_.parallel.threads > 0 && options_.parallel.double_buffer) {
+    // Auto mode with double buffering: grant roughly half the remaining
+    // budget so the second sort buffer (and its spill writer) actually fit
+    // and overlap engages instead of being declined.
+    sort_blocks = std::max<uint64_t>(4, (sort_blocks + 1) / 2);
+  }
+  sort_options.memory_blocks = sort_blocks;
   sort_options.tracer = options_.tracer;
+  sort_options.parallel = parallel_context_.get();
+  sort_options.buffer_pool = cache_ != nullptr ? cache_->pool() : nullptr;
   ExternalMergeSorter sorter(&store_, sort_options);
   RETURN_IF_ERROR(sorter.init_status());
 
@@ -115,6 +137,9 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   RETURN_IF_ERROR(emitter.Finish());
   stats_.sort = sorter.stats();
   stats_.output_bytes = emitter.output_bytes();
+  if (parallel_context_ != nullptr) {
+    parallel_context_->PublishMetrics(options_.tracer);
+  }
   // Push deferred writes to the physical device and surface any write-back
   // failure an eviction deferred mid-sort.
   if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());

@@ -37,6 +37,15 @@ struct KeyPathSortOptions {
   /// NexSortOptions::cache (frames come out of the shared budget; see
   /// docs/CACHING.md).
   CacheOptions cache;
+
+  /// Compute/I-O overlap, same semantics as NexSortOptions::parallel (see
+  /// docs/PARALLELISM.md). Defaults are fully serial.
+  ParallelOptions parallel;
+
+  /// Blocks of internal memory the merge sort may use; 0 (the default)
+  /// takes everything the budget has left — halved when double buffering
+  /// so the second sort buffer fits. Must be >= 4 when set.
+  uint64_t sort_memory_blocks = 0;
 };
 
 struct KeyPathSortStats {
@@ -64,12 +73,19 @@ class KeyPathXmlSorter {
     return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
   }
 
+  /// Counters of the parallel pipeline; all zeros when it is disabled.
+  ParallelStats parallel_stats() const {
+    return parallel_context_ != nullptr ? parallel_context_->stats()
+                                        : ParallelStats();
+  }
+
  private:
   BlockDevice* base_device_;  // what the caller handed us (physical I/O)
   MemoryBudget* budget_;
   KeyPathSortOptions options_;
   std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
   BlockDevice* device_;  // cache_ when enabled, else base_device_
+  std::unique_ptr<ParallelContext> parallel_context_;  // null when serial
   RunStore store_;
   NameDictionary dictionary_;
   UnitFormat format_;

@@ -81,10 +81,16 @@ NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
   // external path is never taken and resolved keys are always honoured.
   if (options_.order.HasComplexRules()) options_.graceful_degeneration = true;
 
+  if (options_.parallel.enabled()) {
+    parallel_context_ = std::make_unique<ParallelContext>(options_.parallel);
+  }
+
   sort_context_.store = &store_;
   sort_context_.dictionary = &dictionary_;
   sort_context_.format = format_;
   sort_context_.depth_limit = options_.depth_limit;
+  sort_context_.parallel = parallel_context_.get();
+  sort_context_.buffer_pool = cache_ != nullptr ? cache_->pool() : nullptr;
   sort_context_.scope_tags =
       options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
   if (options_.tracer != nullptr) {
@@ -117,6 +123,19 @@ Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
     return Status::InvalidArgument(msg);
   }
   uint64_t sort_blocks = blocks - 3;
+  if (options_.sort_memory_blocks != 0) {
+    if (options_.sort_memory_blocks < 4 ||
+        options_.sort_memory_blocks > sort_blocks) {
+      return Status::InvalidArgument(
+          "sort_memory_blocks must be in [4, available - 3 stack blocks]");
+    }
+    sort_blocks = options_.sort_memory_blocks;
+  } else if (options_.parallel.threads > 0 && options_.parallel.double_buffer) {
+    // Auto mode with double buffering: grant roughly half the remaining
+    // budget so the second sort buffer (and its spill writer) actually fit
+    // and overlap engages instead of being declined.
+    sort_blocks = std::max<uint64_t>(4, (sort_blocks + 1) / 2);
+  }
   sort_capacity_ = (sort_blocks - 1) * device_->block_size();
   // Fragmentation must leave the end-tag region inside the internal sort
   // capacity, so trigger comfortably below it.
@@ -136,6 +155,9 @@ Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
   // failure an eviction deferred mid-sort.
   if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());
   sort_span.End();
+  if (parallel_context_ != nullptr) {
+    parallel_context_->PublishMetrics(options_.tracer);
+  }
   if (options_.tracer != nullptr) {
     MetricsRegistry* metrics = options_.tracer->metrics();
     metrics->GetGauge("data_stack_bytes")->Set(stats_.data_stack_peak);

@@ -31,6 +31,7 @@
 #include "extmem/ext_stack.h"
 #include "extmem/memory_budget.h"
 #include "extmem/run_store.h"
+#include "parallel/parallel.h"
 #include "util/status.h"
 #include "xml/dtd.h"
 
@@ -105,6 +106,21 @@ struct NexSortOptions {
   /// sort itself needs.
   CacheOptions cache;
 
+  /// Compute/I-O overlap (see docs/PARALLELISM.md): threads > 0 starts a
+  /// worker pool shared by every subtree sort for double-buffered run
+  /// formation and partitioned spill sorts; prefetch_depth > 0 (requires
+  /// cache.frames > 0) prefetches merge-input runs into the block cache.
+  /// Defaults are fully serial. Output is byte-identical either way.
+  ParallelOptions parallel;
+
+  /// Blocks of internal memory each subtree sort may use; 0 (the default)
+  /// sizes automatically from what the budget has left — all of it when
+  /// serial, roughly half when double buffering so the second buffer fits.
+  /// Tests and benchmarks pin this to compare serial and parallel runs
+  /// under identical run structure. Must leave the 3 stack blocks free and
+  /// be >= 4 when set.
+  uint64_t sort_memory_blocks = 0;
+
   /// XSort-style scoped sorting (related work, Section 2): when non-empty,
   /// only children of elements with these tags are reordered; every other
   /// sibling list keeps document order. Solves XSort's simpler problem —
@@ -149,6 +165,12 @@ class NexSorter {
     return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
   }
 
+  /// Counters of the parallel pipeline; all zeros when it is disabled.
+  ParallelStats parallel_stats() const {
+    return parallel_context_ != nullptr ? parallel_context_->stats()
+                                        : ParallelStats();
+  }
+
  private:
   struct PathEntry {
     uint64_t start_offset = 0;    // data-stack location of the start unit
@@ -169,6 +191,7 @@ class NexSorter {
   NexSortOptions options_;
   std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
   BlockDevice* device_;  // cache_ when enabled, else base_device_
+  std::unique_ptr<ParallelContext> parallel_context_;  // null when serial
   RunStore store_;
   NameDictionary dictionary_;
   UnitFormat format_;

@@ -426,6 +426,8 @@ ExternalSubtreeSorter::ExternalSubtreeSorter(const SubtreeSortContext& ctx,
   ExtSortOptions sort_options;
   sort_options.memory_blocks = ctx.memory_blocks;
   sort_options.tracer = ctx.tracer;
+  sort_options.parallel = ctx.parallel;
+  sort_options.buffer_pool = ctx.buffer_pool;
   sorter_ = std::make_unique<ExternalMergeSorter>(ctx.store, sort_options);
   status_ = sorter_->init_status();
 }

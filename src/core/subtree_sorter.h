@@ -38,6 +38,15 @@ struct SubtreeSortContext {
   /// Optional telemetry sink (not owned; may be null), forwarded to the
   /// external merge sorts run for oversized subtrees.
   class Tracer* tracer = nullptr;
+
+  /// Shared parallel state (not owned; may be null = serial), forwarded to
+  /// the external merge sorts so every subtree sort shares one worker pool
+  /// and one set of parallel counters. See src/parallel/.
+  class ParallelContext* parallel = nullptr;
+
+  /// The block cache's pool (not owned; may be null), forwarded so merge
+  /// passes can prefetch their input runs.
+  class BufferPool* buffer_pool = nullptr;
 };
 
 /// Statistics accumulated across the subtree sorts of one NEXSORT run.

@@ -22,6 +22,29 @@ const char* IoCategoryName(IoCategory category) {
   return "unknown";
 }
 
+void IoStats::CopyFrom(const IoStats& other) {
+  reads.store(other.reads.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  writes.store(other.writes.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sequential_reads.store(
+      other.sequential_reads.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  sequential_writes.store(
+      other.sequential_writes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    category_reads[i].store(
+        other.category_reads[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    category_writes[i].store(
+        other.category_writes[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  modeled_seconds.store(other.modeled_seconds.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
 std::string IoStats::ToString(size_t block_size) const {
   std::string out;
   char line[160];
@@ -29,18 +52,21 @@ std::string IoStats::ToString(size_t block_size) const {
                 "total I/Os: %llu (reads %llu, writes %llu), "
                 "sequential %llu, data %s, modeled %.3f s\n",
                 static_cast<unsigned long long>(total()),
-                static_cast<unsigned long long>(reads),
-                static_cast<unsigned long long>(writes),
-                static_cast<unsigned long long>(sequential_reads +
-                                                sequential_writes),
-                HumanBytes(total() * block_size).c_str(), modeled_seconds);
+                static_cast<unsigned long long>(reads.load()),
+                static_cast<unsigned long long>(writes.load()),
+                static_cast<unsigned long long>(sequential_reads.load() +
+                                                sequential_writes.load()),
+                HumanBytes(total() * block_size).c_str(),
+                modeled_seconds.load());
   out += line;
   for (int i = 0; i < kNumIoCategories; ++i) {
-    if (category_reads[i] == 0 && category_writes[i] == 0) continue;
+    if (category_reads[i].load() == 0 && category_writes[i].load() == 0) {
+      continue;
+    }
     std::snprintf(line, sizeof(line), "  %-12s reads %-10llu writes %llu\n",
                   IoCategoryName(static_cast<IoCategory>(i)),
-                  static_cast<unsigned long long>(category_reads[i]),
-                  static_cast<unsigned long long>(category_writes[i]));
+                  static_cast<unsigned long long>(category_reads[i].load()),
+                  static_cast<unsigned long long>(category_writes[i].load()));
     out += line;
   }
   return out;
@@ -49,26 +75,26 @@ std::string IoStats::ToString(size_t block_size) const {
 void IoStats::ToJson(JsonWriter* writer) const {
   writer->BeginObject();
   writer->Key("reads");
-  writer->Uint(reads);
+  writer->Uint(reads.load());
   writer->Key("writes");
-  writer->Uint(writes);
+  writer->Uint(writes.load());
   writer->Key("total");
   writer->Uint(total());
   writer->Key("sequential_reads");
-  writer->Uint(sequential_reads);
+  writer->Uint(sequential_reads.load());
   writer->Key("sequential_writes");
-  writer->Uint(sequential_writes);
+  writer->Uint(sequential_writes.load());
   writer->Key("modeled_seconds");
-  writer->Double(modeled_seconds);
+  writer->Double(modeled_seconds.load());
   writer->Key("categories");
   writer->BeginObject();
   for (int i = 0; i < kNumIoCategories; ++i) {
     writer->Key(IoCategoryName(static_cast<IoCategory>(i)));
     writer->BeginObject();
     writer->Key("reads");
-    writer->Uint(category_reads[i]);
+    writer->Uint(category_reads[i].load());
     writer->Key("writes");
-    writer->Uint(category_writes[i]);
+    writer->Uint(category_writes[i].load());
     writer->EndObject();
   }
   writer->EndObject();
@@ -87,32 +113,42 @@ BlockDevice::BlockDevice(size_t block_size, DiskModel model)
 BlockDevice::~BlockDevice() = default;
 
 Status BlockDevice::Allocate(uint64_t count, uint64_t* first_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   RETURN_IF_ERROR(DoAllocate(count));
-  *first_id = num_blocks_;
-  num_blocks_ += count;
+  *first_id = num_blocks_.load(std::memory_order_relaxed);
+  num_blocks_.fetch_add(count, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 IoCategory BlockDevice::SetCategory(IoCategory category) {
-  IoCategory previous = category_;
-  category_ = category;
-  return previous;
+  return category_.exchange(category, std::memory_order_relaxed);
 }
 
-void BlockDevice::Account(uint64_t block_id, bool is_write) {
-  bool sequential = block_id == last_accessed_ + 1;
-  last_accessed_ = block_id;
-  int cat = static_cast<int>(category_);
-  if (is_write) {
-    ++stats_.writes;
-    ++stats_.category_writes[cat];
-    if (sequential) ++stats_.sequential_writes;
-  } else {
-    ++stats_.reads;
-    ++stats_.category_reads[cat];
-    if (sequential) ++stats_.sequential_reads;
+void BlockDevice::Account(uint64_t block_id, bool is_write,
+                          IoCategory category) {
+  bool sequential;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sequential = block_id == last_accessed_ + 1;
+    last_accessed_ = block_id;
   }
-  stats_.modeled_seconds += model_.AccessSeconds(block_size_, sequential);
+  int cat = static_cast<int>(category);
+  if (is_write) {
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    stats_.category_writes[cat].fetch_add(1, std::memory_order_relaxed);
+    if (sequential) {
+      stats_.sequential_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.category_reads[cat].fetch_add(1, std::memory_order_relaxed);
+    if (sequential) {
+      stats_.sequential_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  stats_.modeled_seconds.fetch_add(
+      model_.AccessSeconds(block_size_, sequential),
+      std::memory_order_relaxed);
 }
 
 bool BlockDevice::ShouldFail(bool is_write) {
@@ -128,26 +164,41 @@ bool BlockDevice::ShouldFail(bool is_write) {
 }
 
 Status BlockDevice::Read(uint64_t block_id, char* buf) {
-  if (block_id >= num_blocks_) {
-    return Status::InvalidArgument("read past end of device");
-  }
-  if (ShouldFail(/*is_write=*/false)) {
-    return Status::IOError("injected read failure");
-  }
-  RETURN_IF_ERROR(DoRead(block_id, buf));
-  Account(block_id, /*is_write=*/false);
-  return Status::OK();
+  return Read(block_id, buf, category());
 }
 
 Status BlockDevice::Write(uint64_t block_id, const char* buf) {
-  if (block_id >= num_blocks_) {
+  return Write(block_id, buf, category());
+}
+
+Status BlockDevice::Read(uint64_t block_id, char* buf, IoCategory category) {
+  if (block_id >= num_blocks()) {
+    return Status::InvalidArgument("read past end of device");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ShouldFail(/*is_write=*/false)) {
+      return Status::IOError("injected read failure");
+    }
+  }
+  RETURN_IF_ERROR(DoRead(block_id, buf, category));
+  Account(block_id, /*is_write=*/false, category);
+  return Status::OK();
+}
+
+Status BlockDevice::Write(uint64_t block_id, const char* buf,
+                          IoCategory category) {
+  if (block_id >= num_blocks()) {
     return Status::InvalidArgument("write past end of device");
   }
-  if (ShouldFail(/*is_write=*/true)) {
-    return Status::IOError("injected write failure");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ShouldFail(/*is_write=*/true)) {
+      return Status::IOError("injected write failure");
+    }
   }
-  RETURN_IF_ERROR(DoWrite(block_id, buf));
-  Account(block_id, /*is_write=*/true);
+  RETURN_IF_ERROR(DoWrite(block_id, buf, category));
+  Account(block_id, /*is_write=*/true, category);
   return Status::OK();
 }
 

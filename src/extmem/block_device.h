@@ -6,8 +6,10 @@
 // report a seconds-shaped series alongside raw I/O counts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -48,17 +50,31 @@ struct DiskModel {
   }
 };
 
-/// Counters maintained by every BlockDevice.
+/// Counters maintained by every BlockDevice. Fields are atomics so
+/// background spill/prefetch threads can account I/O concurrently with the
+/// foreground; copies take a relaxed per-field snapshot (fields are mutually
+/// consistent only when the device is quiescent, which is when benchmarks
+/// and stats exporters read them).
 struct IoStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t sequential_reads = 0;   // subset of `reads`
-  uint64_t sequential_writes = 0;  // subset of `writes`
-  uint64_t category_reads[kNumIoCategories] = {};
-  uint64_t category_writes[kNumIoCategories] = {};
-  double modeled_seconds = 0.0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> sequential_reads{0};   // subset of `reads`
+  std::atomic<uint64_t> sequential_writes{0};  // subset of `writes`
+  std::atomic<uint64_t> category_reads[kNumIoCategories] = {};
+  std::atomic<uint64_t> category_writes[kNumIoCategories] = {};
+  std::atomic<double> modeled_seconds{0.0};
 
-  uint64_t total() const { return reads + writes; }
+  IoStats() = default;
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  uint64_t total() const {
+    return reads.load(std::memory_order_relaxed) +
+           writes.load(std::memory_order_relaxed);
+  }
   void Clear() { *this = IoStats(); }
 
   /// Multi-line human-readable report of all counters.
@@ -69,6 +85,9 @@ struct IoStats {
   /// by IoCategoryName with per-category reads/writes).
   void ToJson(class JsonWriter* writer) const;
   std::string ToJsonString() const;
+
+ private:
+  void CopyFrom(const IoStats& other);
 };
 
 /// Name of an IoCategory for reports.
@@ -77,8 +96,12 @@ const char* IoCategoryName(IoCategory category);
 /// Abstract array of fixed-size blocks with allocation, accounting, and a
 /// disk-time model. Subclasses provide the storage (RAM or a real file).
 ///
-/// Thread-compatible, not thread-safe: the paper's algorithms are
-/// single-threaded and so is this library's I/O layer.
+/// Thread-safe: counters are atomic and the sequentiality/failure-injection
+/// state sits behind a small mutex that is never held across the actual
+/// storage transfer, so concurrent I/O from background spill and prefetch
+/// threads overlaps. The category *scope* (SetCategory/IoCategoryScope) is
+/// still a single-threaded convenience — concurrent threads must use the
+/// explicit-category Read/Write overloads so attribution cannot race.
 class BlockDevice {
  public:
   BlockDevice(size_t block_size, DiskModel model);
@@ -90,17 +113,27 @@ class BlockDevice {
   size_t block_size() const { return block_size_; }
 
   /// Number of blocks allocated so far.
-  uint64_t num_blocks() const { return num_blocks_; }
+  uint64_t num_blocks() const {
+    return num_blocks_.load(std::memory_order_acquire);
+  }
 
   /// Extend the device by `count` blocks; *first_id receives the id of the
   /// first new block. Ids are dense and increasing.
   Status Allocate(uint64_t count, uint64_t* first_id);
 
-  /// Read block `block_id` into `buf` (block_size bytes), with accounting.
+  /// Read block `block_id` into `buf` (block_size bytes), with accounting
+  /// attributed to the current scope category.
   Status Read(uint64_t block_id, char* buf);
 
-  /// Write block `block_id` from `buf` (block_size bytes), with accounting.
+  /// Write block `block_id` from `buf` (block_size bytes), with accounting
+  /// attributed to the current scope category.
   Status Write(uint64_t block_id, const char* buf);
+
+  /// Explicit-category variants: attribution travels with the call instead
+  /// of through SetCategory, so background threads account correctly no
+  /// matter what scope the foreground has installed.
+  Status Read(uint64_t block_id, char* buf, IoCategory category);
+  Status Write(uint64_t block_id, const char* buf, IoCategory category);
 
   /// Set the category future I/Os are attributed to; returns the previous
   /// category so callers can restore it (see IoCategoryScope).
@@ -123,6 +156,7 @@ class BlockDevice {
   /// Inject a failure: the next `count` I/O operations matching `ops`
   /// return IOError. Used by failure-injection tests.
   void FailNextOps(int count, FailOps ops = FailOps::kAll) {
+    std::lock_guard<std::mutex> lock(mutex_);
     fail_skip_ = 0;
     fail_ops_ = count;
     fail_filter_ = ops;
@@ -130,42 +164,58 @@ class BlockDevice {
 
   /// Let `skip` more matching operations succeed, then fail `count`.
   void FailAfterOps(uint64_t skip, int count, FailOps ops = FailOps::kAll) {
+    std::lock_guard<std::mutex> lock(mutex_);
     fail_skip_ = skip;
     fail_ops_ = count;
     fail_filter_ = ops;
   }
 
  protected:
-  virtual Status DoRead(uint64_t block_id, char* buf) = 0;
-  virtual Status DoWrite(uint64_t block_id, const char* buf) = 0;
+  /// Storage hooks. `category` is the attribution the public entry point
+  /// resolved for this access; plain storage devices ignore it, wrapping
+  /// devices (cache, throttle) forward it so attribution survives the hop.
+  virtual Status DoRead(uint64_t block_id, char* buf, IoCategory category) = 0;
+  virtual Status DoWrite(uint64_t block_id, const char* buf,
+                         IoCategory category) = 0;
   virtual Status DoAllocate(uint64_t count) = 0;
 
-  /// Category currently attributed to I/O (for wrapping devices that must
-  /// forward the caller's attribution, e.g. CachedBlockDevice).
-  IoCategory category() const { return category_; }
+  /// Category currently attributed to scope-based I/O (for wrapping devices
+  /// that must forward the caller's attribution).
+  IoCategory category() const {
+    return category_.load(std::memory_order_relaxed);
+  }
 
   /// For wrapping devices: adopt the wrapped device's block count so block
   /// ids stay aligned across the two layers.
-  void SyncNumBlocks(uint64_t num_blocks) { num_blocks_ = num_blocks; }
+  void SyncNumBlocks(uint64_t num_blocks) {
+    num_blocks_.store(num_blocks, std::memory_order_release);
+  }
 
  private:
-  void Account(uint64_t block_id, bool is_write);
+  void Account(uint64_t block_id, bool is_write, IoCategory category);
 
   const size_t block_size_;
   const DiskModel model_;
-  uint64_t num_blocks_ = 0;
+  std::atomic<uint64_t> num_blocks_{0};
   IoStats stats_;
-  IoCategory category_ = IoCategory::kOther;
+  std::atomic<IoCategory> category_{IoCategory::kOther};
+  /// Guards the cross-operation state below (sequentiality detector and
+  /// failure injection). Never held during DoRead/DoWrite, so slow storage
+  /// (file I/O, modeled throttle sleeps) does not serialize callers.
+  std::mutex mutex_;
   uint64_t last_accessed_ = UINT64_MAX - 1;  // for sequentiality detection
   uint64_t fail_skip_ = 0;
   int fail_ops_ = 0;
   FailOps fail_filter_ = FailOps::kAll;
 
   /// True when this operation should fail now (consumes the injection).
+  /// Caller holds mutex_.
   bool ShouldFail(bool is_write);
 };
 
 /// RAII guard that attributes all I/O on `device` to `category` while alive.
+/// Foreground-thread convenience only; concurrent threads pass the category
+/// explicitly to Read/Write instead.
 class IoCategoryScope {
  public:
   IoCategoryScope(BlockDevice* device, IoCategory category)
@@ -188,5 +238,28 @@ std::unique_ptr<BlockDevice> NewMemoryBlockDevice(size_t block_size,
 /// File-backed block device using a single backing file.
 StatusOr<std::unique_ptr<BlockDevice>> NewFileBlockDevice(
     const std::string& path, size_t block_size, DiskModel model = {});
+
+/// Wall-clock delay model for ThrottledBlockDevice: every access sleeps for
+/// the fixed per-operation latency plus block_size/throughput. Unlike the
+/// DiskModel (which only accumulates *modeled* seconds), these delays are
+/// real, so overlap benchmarks observe genuine I/O wait on any storage.
+struct ThrottleModel {
+  double access_latency_us = 150.0;
+  double throughput_mb_per_s = 250.0;
+
+  double AccessSeconds(size_t block_size) const {
+    return access_latency_us / 1e6 +
+           static_cast<double>(block_size) / (throughput_mb_per_s * 1e6);
+  }
+};
+
+/// Wrap `base` (not owned; must outlive the wrapper) so every read and
+/// write pays a real sleep per ThrottleModel before reaching the base
+/// device. The sleep happens outside any lock, so concurrent accesses
+/// overlap — the wrapper behaves like an SSD with queue depth, which is
+/// what makes compute/I/O overlap measurable on a single-core benchmark
+/// host. Accounting happens at both layers with identical counts.
+std::unique_ptr<BlockDevice> NewThrottledBlockDevice(BlockDevice* base,
+                                                     ThrottleModel model = {});
 
 }  // namespace nexsort

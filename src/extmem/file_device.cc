@@ -21,7 +21,7 @@ class FileBlockDevice final : public BlockDevice {
   }
 
  protected:
-  Status DoRead(uint64_t block_id, char* buf) override {
+  Status DoRead(uint64_t block_id, char* buf, IoCategory) override {
     size_t want = block_size();
     off_t offset = static_cast<off_t>(block_id * want);
     size_t done = 0;
@@ -41,7 +41,7 @@ class FileBlockDevice final : public BlockDevice {
     return Status::OK();
   }
 
-  Status DoWrite(uint64_t block_id, const char* buf) override {
+  Status DoWrite(uint64_t block_id, const char* buf, IoCategory) override {
     size_t want = block_size();
     off_t offset = static_cast<off_t>(block_id * want);
     size_t done = 0;

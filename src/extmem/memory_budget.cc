@@ -9,35 +9,42 @@ MemoryBudget::MemoryBudget(uint64_t total_blocks)
     : total_blocks_(total_blocks) {}
 
 Status MemoryBudget::Acquire(uint64_t count) {
-  if (used_blocks_ + count > total_blocks_) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t used = used_blocks_.load(std::memory_order_relaxed);
+  if (used + count > total_blocks_) {
     return Status::OutOfMemory(
         "memory budget exhausted: requested " + std::to_string(count) +
-        " blocks with " + std::to_string(used_blocks_) + " of " +
+        " blocks with " + std::to_string(used) + " of " +
         std::to_string(total_blocks_) + " in use (" +
-        std::to_string(available_blocks()) + " available)");
+        std::to_string(total_blocks_ - used) + " available)");
   }
-  used_blocks_ += count;
-  peak_blocks_ = std::max(peak_blocks_, used_blocks_);
+  used += count;
+  used_blocks_.store(used, std::memory_order_relaxed);
+  peak_blocks_.store(
+      std::max(peak_blocks_.load(std::memory_order_relaxed), used),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 
 void MemoryBudget::Release(uint64_t count) {
-  if (count > used_blocks_) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t used = used_blocks_.load(std::memory_order_relaxed);
+  if (count > used) {
     // Caller bug (double release or mismatched count). Clamp rather than
     // wrap: a wrapped used_blocks_ would make every later Acquire fail —
     // or worse, succeed past the cap.
-    if (release_underflows_ == 0) {
+    if (release_underflows_.load(std::memory_order_relaxed) == 0) {
       std::fprintf(stderr,
                    "MemoryBudget::Release underflow: releasing %llu blocks "
                    "with only %llu in use (clamped)\n",
                    static_cast<unsigned long long>(count),
-                   static_cast<unsigned long long>(used_blocks_));
+                   static_cast<unsigned long long>(used));
     }
-    ++release_underflows_;
-    used_blocks_ = 0;
+    release_underflows_.fetch_add(1, std::memory_order_relaxed);
+    used_blocks_.store(0, std::memory_order_relaxed);
     return;
   }
-  used_blocks_ -= count;
+  used_blocks_.store(used - count, std::memory_order_relaxed);
 }
 
 }  // namespace nexsort

@@ -6,13 +6,20 @@
 // acquires them from the budget and releases them when done.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "util/status.h"
 
 namespace nexsort {
 
 /// Tracks block-granular memory use against a hard cap of M blocks.
+///
+/// Thread-safe: Acquire's check-then-add is one critical section (the
+/// paper's hard cap must hold exactly even when a background spiller and
+/// the foreground reserve concurrently), while the accessors read atomic
+/// mirrors without taking the lock.
 class MemoryBudget {
  public:
   /// `total_blocks` is M in the paper's notation.
@@ -29,21 +36,28 @@ class MemoryBudget {
 
   /// Number of Release() calls that tried to return more blocks than were
   /// in use (0 in a correct program; asserted on by tests).
-  uint64_t release_underflows() const { return release_underflows_; }
+  uint64_t release_underflows() const {
+    return release_underflows_.load(std::memory_order_relaxed);
+  }
 
   uint64_t total_blocks() const { return total_blocks_; }
-  uint64_t used_blocks() const { return used_blocks_; }
-  uint64_t available_blocks() const { return total_blocks_ - used_blocks_; }
+  uint64_t used_blocks() const {
+    return used_blocks_.load(std::memory_order_relaxed);
+  }
+  uint64_t available_blocks() const { return total_blocks_ - used_blocks(); }
 
   /// High-water mark of blocks in use, for tests asserting an algorithm
   /// stayed inside its budget.
-  uint64_t peak_blocks() const { return peak_blocks_; }
+  uint64_t peak_blocks() const {
+    return peak_blocks_.load(std::memory_order_relaxed);
+  }
 
  private:
   const uint64_t total_blocks_;
-  uint64_t used_blocks_ = 0;
-  uint64_t peak_blocks_ = 0;
-  uint64_t release_underflows_ = 0;
+  std::mutex mutex_;
+  std::atomic<uint64_t> used_blocks_{0};
+  std::atomic<uint64_t> peak_blocks_{0};
+  std::atomic<uint64_t> release_underflows_{0};
 };
 
 /// RAII reservation of budget blocks.

@@ -1,4 +1,5 @@
 #include <cstring>
+#include <shared_mutex>
 #include <vector>
 
 #include "extmem/block_device.h"
@@ -8,14 +9,19 @@ namespace nexsort {
 namespace {
 
 /// Block device backed by heap memory. Blocks are allocated lazily so large
-/// sparse devices are cheap in tests.
+/// sparse devices are cheap in tests. A shared_mutex lets concurrent reads
+/// and writes to distinct, already-allocated blocks proceed in parallel
+/// while Allocate (which may reallocate the vector) is exclusive. Writers
+/// take the shared lock too: they touch only their own block's string, and
+/// the framework guarantees distinct threads never race on one block.
 class MemoryBlockDevice final : public BlockDevice {
  public:
   MemoryBlockDevice(size_t block_size, DiskModel model)
       : BlockDevice(block_size, model) {}
 
  protected:
-  Status DoRead(uint64_t block_id, char* buf) override {
+  Status DoRead(uint64_t block_id, char* buf, IoCategory) override {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     const std::string& block = blocks_[block_id];
     if (block.empty()) {
       std::memset(buf, 0, block_size());
@@ -25,17 +31,20 @@ class MemoryBlockDevice final : public BlockDevice {
     return Status::OK();
   }
 
-  Status DoWrite(uint64_t block_id, const char* buf) override {
+  Status DoWrite(uint64_t block_id, const char* buf, IoCategory) override {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     blocks_[block_id].assign(buf, block_size());
     return Status::OK();
   }
 
   Status DoAllocate(uint64_t count) override {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     blocks_.resize(blocks_.size() + count);
     return Status::OK();
   }
 
  private:
+  std::shared_mutex mutex_;
   std::vector<std::string> blocks_;
 };
 

@@ -11,17 +11,15 @@ RunStore::RunStore(BlockDevice* device, MemoryBudget* budget)
     : device_(device), budget_(budget) {}
 
 Status RunStore::AllocateBlock(uint64_t* id) {
-  if (!free_blocks_.empty()) {
-    *id = free_blocks_.back();
-    free_blocks_.pop_back();
-    return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_blocks_.empty()) {
+      *id = free_blocks_.back();
+      free_blocks_.pop_back();
+      return Status::OK();
+    }
   }
   return device_->Allocate(1, id);
-}
-
-const std::vector<uint64_t>* RunStore::BlocksOf(RunHandle handle) const {
-  if (!handle.valid() || handle.id >= run_blocks_.size()) return nullptr;
-  return &run_blocks_[handle.id];
 }
 
 RunWriter RunStore::NewRun(IoCategory category) {
@@ -35,17 +33,30 @@ RunReader RunStore::OpenRun(RunHandle handle, uint64_t offset,
   return RunReader(this, handle, offset, category);
 }
 
-Status RunStore::FreeRun(RunHandle handle) {
+Status RunStore::SnapshotBlocks(RunHandle handle,
+                                std::vector<uint64_t>* blocks) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!handle.valid() || handle.id >= run_blocks_.size()) {
     return Status::InvalidArgument("invalid run handle");
   }
+  *blocks = run_blocks_[handle.id];
+  return Status::OK();
+}
+
+Status RunStore::FreeRun(RunHandle handle) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!handle.valid() || handle.id >= run_blocks_.size()) {
+      return Status::InvalidArgument("invalid run handle");
+    }
+    std::vector<uint64_t>& blocks = run_blocks_[handle.id];
+    live_blocks_.fetch_sub(blocks.size(), std::memory_order_relaxed);
+    free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
+    blocks.clear();
+    run_bytes_[handle.id] = 0;
+  }
   TraceRunEvent(tracer_, RunEventKind::kFreed, IoCategory::kOther,
                 handle.byte_size, handle.id);
-  std::vector<uint64_t>& blocks = run_blocks_[handle.id];
-  live_blocks_ -= blocks.size();
-  free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
-  blocks.clear();
-  run_bytes_[handle.id] = 0;
   return Status::OK();
 }
 
@@ -65,10 +76,9 @@ Status RunWriter::Append(std::string_view data) {
     pos += take;
     byte_size_ += take;
     if (buffer_.size() == block_size) {
-      IoCategoryScope scope(store_->device_, category_);
       uint64_t id = 0;
       RETURN_IF_ERROR(store_->AllocateBlock(&id));
-      RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data()));
+      RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data(), category_));
       blocks_.push_back(id);
       buffer_.clear();
     }
@@ -80,22 +90,27 @@ Status RunWriter::Finish(RunHandle* handle) {
   if (finished_) return Status::InvalidArgument("run writer finished");
   finished_ = true;
   if (!buffer_.empty()) {
-    IoCategoryScope scope(store_->device_, category_);
     buffer_.resize(store_->device_->block_size(), '\0');
     uint64_t id = 0;
     RETURN_IF_ERROR(store_->AllocateBlock(&id));
-    RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data()));
+    RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data(), category_));
     blocks_.push_back(id);
     buffer_.clear();
   }
-  handle->id = static_cast<uint32_t>(store_->run_blocks_.size());
-  handle->byte_size = byte_size_;
-  store_->live_blocks_ += blocks_.size();
-  store_->run_blocks_.push_back(std::move(blocks_));
-  store_->run_bytes_.push_back(byte_size_);
+  {
+    std::lock_guard<std::mutex> lock(store_->mutex_);
+    handle->id = static_cast<uint32_t>(store_->run_blocks_.size());
+    handle->byte_size = byte_size_;
+    store_->live_blocks_.fetch_add(blocks_.size(),
+                                   std::memory_order_relaxed);
+    store_->run_blocks_.push_back(std::move(blocks_));
+    store_->run_bytes_.push_back(byte_size_);
+  }
   reservation_.Reset();
-  TraceRunEvent(store_->tracer_, RunEventKind::kCreated, category_,
-                byte_size_, handle->id);
+  if (!suppress_trace_) {
+    TraceRunEvent(store_->tracer_, RunEventKind::kCreated, category_,
+                  byte_size_, handle->id);
+  }
   return Status::OK();
 }
 
@@ -104,9 +119,8 @@ RunReader::RunReader(RunStore* store, RunHandle handle, uint64_t offset,
     : store_(store), handle_(handle), category_(category), position_(offset) {
   init_status_ = reservation_.Acquire(store->budget_, 1);
   if (init_status_.ok()) {
-    if (store_->BlocksOf(handle) == nullptr) {
-      init_status_ = Status::InvalidArgument("invalid run handle");
-    } else if (offset > handle.byte_size) {
+    init_status_ = store_->SnapshotBlocks(handle, &blocks_);
+    if (init_status_.ok() && offset > handle.byte_size) {
       init_status_ = Status::InvalidArgument("run offset past end");
     }
   }
@@ -114,15 +128,13 @@ RunReader::RunReader(RunStore* store, RunHandle handle, uint64_t offset,
 
 Status RunReader::Read(char* buf, size_t n, size_t* out) {
   const size_t block_size = store_->device_->block_size();
-  const std::vector<uint64_t>& blocks = *store_->BlocksOf(handle_);
   size_t done = 0;
   while (done < n && position_ < handle_.byte_size) {
     uint64_t block_index = position_ / block_size;
     if (block_index != buffer_index_) {
-      IoCategoryScope scope(store_->device_, category_);
       buffer_.resize(block_size);
-      RETURN_IF_ERROR(
-          store_->device_->Read(blocks[block_index], buffer_.data()));
+      RETURN_IF_ERROR(store_->device_->Read(blocks_[block_index],
+                                            buffer_.data(), category_));
       buffer_index_ = block_index;
     }
     uint64_t in_block = position_ - block_index * block_size;

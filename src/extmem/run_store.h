@@ -8,9 +8,19 @@
 // free. Block payloads themselves always live on the device, and every
 // access is counted. Freed runs return their blocks to a free list so
 // multi-pass external sorts have bounded device footprint.
+//
+// Thread-safety: the run table and free list sit behind a mutex, so a
+// background spiller can finish runs while the foreground opens or frees
+// others. A run is immutable once Finished; RunReader therefore snapshots
+// its block index at open so reads never chase the growing run table.
+// Trace events still go to the single-threaded Tracer — writers running on
+// background threads must set_suppress_trace() and let the foreground emit
+// the created-event after it observes completion.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +51,7 @@ class RunStore {
 
   /// Attach a tracer (may be null; not owned): the store then records a
   /// run-lifecycle event for every run finished, opened, and freed.
+  /// Foreground-thread only.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
@@ -54,8 +65,15 @@ class RunStore {
   /// Recycle a finished run's blocks.
   Status FreeRun(RunHandle handle);
 
+  /// Copy `handle`'s device-block index into *blocks (runs are immutable
+  /// once finished, so the copy stays valid). For merge prefetchers that
+  /// need block ids without holding a reader.
+  Status SnapshotBlocks(RunHandle handle, std::vector<uint64_t>* blocks);
+
   /// Total blocks currently owned by live runs.
-  uint64_t live_blocks() const { return live_blocks_; }
+  uint64_t live_blocks() const {
+    return live_blocks_.load(std::memory_order_relaxed);
+  }
 
   BlockDevice* device() const { return device_; }
   MemoryBudget* budget() const { return budget_; }
@@ -65,15 +83,15 @@ class RunStore {
   friend class RunReader;
 
   Status AllocateBlock(uint64_t* id);
-  const std::vector<uint64_t>* BlocksOf(RunHandle handle) const;
 
   BlockDevice* device_;
   MemoryBudget* budget_;
   Tracer* tracer_ = nullptr;
+  std::mutex mutex_;  // guards the three tables below
   std::vector<std::vector<uint64_t>> run_blocks_;  // index per run id
   std::vector<uint64_t> run_bytes_;
   std::vector<uint64_t> free_blocks_;
-  uint64_t live_blocks_ = 0;
+  std::atomic<uint64_t> live_blocks_{0};
 };
 
 /// Sequential writer for one run; holds one block buffer from the budget.
@@ -88,6 +106,11 @@ class RunWriter final : public ByteSink {
 
   uint64_t bytes_written() const { return byte_size_; }
 
+  /// Skip the kCreated trace event in Finish. Required when Finish runs on
+  /// a background thread (the Tracer is single-threaded); the owner emits
+  /// the event from the foreground once it observes the handle.
+  void set_suppress_trace(bool suppress) { suppress_trace_ = suppress; }
+
  private:
   friend class RunStore;
   RunWriter(RunStore* store, IoCategory category);
@@ -100,6 +123,7 @@ class RunWriter final : public ByteSink {
   uint64_t byte_size_ = 0;
   std::string buffer_;
   bool finished_ = false;
+  bool suppress_trace_ = false;
 };
 
 /// Sequential, seek-once reader over one run; holds one block buffer.
@@ -127,6 +151,7 @@ class RunReader final : public ByteSource {
   IoCategory category_;
   BudgetReservation reservation_;
   Status init_status_;
+  std::vector<uint64_t> blocks_;  // snapshot of the run's block index
   uint64_t position_ = 0;
   std::string buffer_;
   uint64_t buffer_index_ = UINT64_MAX;  // run-block index buffered

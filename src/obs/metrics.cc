@@ -57,7 +57,7 @@ double Histogram::Percentile(double q) const {
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter()).first;
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
@@ -65,7 +65,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge()).first;
+    it = gauges_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
@@ -73,7 +73,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram()).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }

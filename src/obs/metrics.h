@@ -5,12 +5,15 @@
 // so the registry gives every pipeline component a uniform place to record
 // them and one exporter to serialize them.
 //
-// All instruments are plain single-threaded objects (the library's I/O
-// layer is single-threaded by design; see block_device.h) handed out as
-// stable pointers: a component looks its instrument up once and then
-// records through the pointer with no map lookups on the hot path.
+// Counters and gauges are atomic so recording is safe from the background
+// spill/prefetch threads (the buffer pool mirrors its counters from
+// whichever thread triggered the access); registry *lookup* and histogram
+// recording stay foreground-only, as do all exporters. Instruments are
+// handed out as stable pointers: a component looks its instrument up once
+// and then records through the pointer with no map lookups on the hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,30 +25,38 @@ namespace nexsort {
 
 class JsonWriter;
 
-/// Monotonically increasing count.
+/// Monotonically increasing count. Add/value are thread-safe.
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-written value plus its high-water mark (e.g. stack depth: `value`
-/// is the depth now, `max` the peak the run ever reached).
+/// is the depth now, `max` the peak the run ever reached). Set/value/max
+/// are thread-safe; concurrent Sets race benignly on `value` (last writer
+/// wins) while `max` is maintained exactly.
 class Gauge {
  public:
   void Set(uint64_t value) {
-    value_ = value;
-    if (value > max_) max_ = value;
+    value_.store(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
   }
-  uint64_t value() const { return value_; }
-  uint64_t max() const { return max_; }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
-  uint64_t max_ = 0;
+  std::atomic<uint64_t> value_{0};
+  std::atomic<uint64_t> max_{0};
 };
 
 /// Power-of-two-bucketed histogram of uint64 samples: bucket 0 holds the

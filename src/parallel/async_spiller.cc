@@ -1,0 +1,74 @@
+#include "parallel/async_spiller.h"
+
+#include <chrono>
+#include <utility>
+
+#include "parallel/worker_pool.h"
+
+namespace nexsort {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+AsyncSpiller::AsyncSpiller(WorkerPool* pool) : pool_(pool) {}
+
+AsyncSpiller::~AsyncSpiller() { WaitIdle(); }
+
+Status AsyncSpiller::Submit(std::function<Status()> job) {
+  RETURN_IF_ERROR(WaitIdle());
+  if (pool_ == nullptr || pool_->size() == 0) {
+    auto start = std::chrono::steady_clock::now();
+    Status st = job();
+    std::lock_guard<std::mutex> lock(mutex_);
+    busy_seconds_ += SecondsSince(start);
+    if (status_.ok()) status_ = st;
+    return st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ = true;
+  }
+  bool submitted = pool_->Submit([this, job = std::move(job)] {
+    auto start = std::chrono::steady_clock::now();
+    Status st = job();
+    std::lock_guard<std::mutex> lock(mutex_);
+    busy_seconds_ += SecondsSince(start);
+    if (status_.ok() && !st.ok()) status_ = st;
+    in_flight_ = false;
+    idle_.notify_all();
+  });
+  if (!submitted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ = false;
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("worker pool shut down");
+    }
+    return status_;
+  }
+  return Status::OK();
+}
+
+Status AsyncSpiller::WaitIdle() {
+  auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return !in_flight_; });
+  wait_seconds_ += SecondsSince(start);
+  return status_;
+}
+
+double AsyncSpiller::wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wait_seconds_;
+}
+
+double AsyncSpiller::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_seconds_;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,61 @@
+// AsyncSpiller: ordered background execution of spill jobs with sticky
+// error propagation — the piece that turns run formation into a two-stage
+// pipeline. At most one job is in flight at a time, so runs are finished
+// in submission order (run ids and merge order stay identical to the
+// serial path); a failing job's Status is latched and returned from every
+// later Submit/Drain, so a lost write surfaces at the sorter's Finish()
+// instead of vanishing on a worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+class WorkerPool;
+
+class AsyncSpiller {
+ public:
+  /// `pool` not owned; may be null or zero-sized, in which case jobs run
+  /// inline on the submitting thread (serial semantics, same interface).
+  explicit AsyncSpiller(WorkerPool* pool);
+
+  /// Blocks until any in-flight job completes (errors are still available
+  /// from Drain afterwards).
+  ~AsyncSpiller();
+
+  AsyncSpiller(const AsyncSpiller&) = delete;
+  AsyncSpiller& operator=(const AsyncSpiller&) = delete;
+
+  /// Run `job` in the background. Blocks while a previous job is still in
+  /// flight (one-deep pipeline: the caller's next buffer fill overlaps
+  /// exactly one sort+spill). Returns the sticky error instead of
+  /// submitting if an earlier job failed.
+  Status Submit(std::function<Status()> job);
+
+  /// Wait for the in-flight job (if any); returns the sticky status.
+  Status WaitIdle();
+
+  /// WaitIdle, for the end of the pipeline.
+  Status Drain() { return WaitIdle(); }
+
+  /// Foreground seconds spent blocked waiting on background jobs (the
+  /// pipeline stall time) and background seconds spent executing them (the
+  /// overlap won against a serial schedule).
+  double wait_seconds() const;
+  double busy_seconds() const;
+
+ private:
+  WorkerPool* pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  bool in_flight_ = false;
+  Status status_;  // sticky first error
+  double wait_seconds_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,89 @@
+// Bounded blocking queue: the hand-off primitive between the foreground
+// pipeline and its background workers (spiller jobs, worker-pool tasks,
+// prefetch requests). Capacity is fixed at construction so a fast producer
+// exerts back-pressure instead of queueing unbounded work — the memory
+// discipline everywhere else in this repo (MemoryBudget) would be defeated
+// by an unbounded task list. Safe for any number of producers/consumers
+// (MPMC); the pipeline mostly uses it SPSC.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace nexsort {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room, then enqueue. Returns false (dropping the
+  /// item) if the queue was closed before space appeared.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained.
+  /// Returns false only when closed with nothing left — items enqueued
+  /// before Close() are always delivered.
+  bool Pop(T* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is immediately available.
+  bool TryPop(T* item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    *item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Reject future pushes and wake all waiters. Idempotent. Items already
+  /// queued still drain through Pop.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,72 @@
+#include "parallel/run_prefetcher.h"
+
+#include <algorithm>
+
+#include "cache/buffer_pool.h"
+
+namespace nexsort {
+
+RunPrefetcher::RunPrefetcher(BufferPool* pool, IoCategory category,
+                             uint32_t depth, std::vector<Source> sources)
+    : pool_(pool),
+      category_(category),
+      depth_(depth),
+      sources_(std::move(sources)) {
+  bool any_blocks = false;
+  for (const Source& source : sources_) {
+    if (!source.blocks.empty()) any_blocks = true;
+  }
+  if (pool_ == nullptr || depth_ == 0 || !any_blocks) return;
+  consumed_.assign(sources_.size(), 0);
+  issued_.assign(sources_.size(), 0);
+  thread_ = std::thread([this] { Main(); });
+}
+
+RunPrefetcher::~RunPrefetcher() { Stop(); }
+
+void RunPrefetcher::OnConsumed(size_t source, uint64_t block_index) {
+  if (!thread_.joinable()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (source >= consumed_.size()) return;
+  consumed_[source] = std::max(consumed_[source], block_index + 1);
+  wake_.notify_one();
+}
+
+void RunPrefetcher::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    wake_.notify_one();
+  }
+  thread_.join();
+}
+
+void RunPrefetcher::Main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    bool issued_any = false;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      // Stay at most `depth_` blocks past the consumption cursor; the
+      // first `depth_` blocks of every source are eligible immediately.
+      uint64_t limit = std::min<uint64_t>(consumed_[i] + depth_,
+                                          sources_[i].blocks.size());
+      while (issued_[i] < limit && !stop_) {
+        uint64_t block = sources_[i].blocks[issued_[i]];
+        ++issued_[i];
+        lock.unlock();
+        // Outside the lock: the pool may do a real base-device read here,
+        // and OnConsumed must never wait on it.
+        pool_->Prefetch(block, category_);
+        issued_total_.fetch_add(1, std::memory_order_relaxed);
+        lock.lock();
+        issued_any = true;
+        limit = std::min<uint64_t>(consumed_[i] + depth_,
+                                   sources_[i].blocks.size());
+      }
+    }
+    if (!issued_any && !stop_) wake_.wait(lock);
+  }
+}
+
+}  // namespace nexsort

@@ -1,0 +1,74 @@
+// RunPrefetcher: loads merge-input blocks into the BufferPool ahead of the
+// loser tree consuming them. The merge itself reads runs strictly
+// sequentially through the CachedBlockDevice, so the prefetcher only has
+// to stay `depth` blocks ahead of each source's consumption cursor for
+// every merge read to hit the pool. It runs on its own thread (created at
+// construction, joined by Stop()/destruction) so the pool's base-device
+// reads — the slow part — overlap the foreground's comparison work.
+//
+// Lifetime rule: Stop() must run before the runs being prefetched are
+// freed (a stale prefetch of a recycled block would read someone else's
+// data — harmless for correctness of the pool, but a wasted, miscounted
+// I/O). The merge loop owns the prefetcher for exactly one merge group.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "extmem/block_device.h"
+
+namespace nexsort {
+
+class BufferPool;
+
+class RunPrefetcher {
+ public:
+  struct Source {
+    std::vector<uint64_t> blocks;  // device block ids in run order
+  };
+
+  /// Starts the prefetch thread unless `pool` is null, `depth` is 0, or
+  /// there is nothing to prefetch — in those cases it is an inert no-op
+  /// and issued() stays 0.
+  RunPrefetcher(BufferPool* pool, IoCategory category, uint32_t depth,
+                std::vector<Source> sources);
+  ~RunPrefetcher();
+
+  RunPrefetcher(const RunPrefetcher&) = delete;
+  RunPrefetcher& operator=(const RunPrefetcher&) = delete;
+
+  /// Foreground: source `source` has consumed through run-block index
+  /// `block_index`; the prefetcher may now issue up to
+  /// `block_index + depth` for it.
+  void OnConsumed(size_t source, uint64_t block_index);
+
+  /// Join the prefetch thread. Idempotent.
+  void Stop();
+
+  /// Blocks handed to BufferPool::Prefetch so far.
+  uint64_t issued() const {
+    return issued_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Main();
+
+  BufferPool* pool_;
+  const IoCategory category_;
+  const uint32_t depth_;
+  std::vector<Source> sources_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<uint64_t> consumed_;  // highest consumed block index + 1
+  std::vector<uint64_t> issued_;    // blocks issued per source
+  bool stop_ = false;
+  std::atomic<uint64_t> issued_total_{0};
+  std::thread thread_;
+};
+
+}  // namespace nexsort

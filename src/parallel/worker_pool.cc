@@ -1,0 +1,36 @@
+#include "parallel/worker_pool.h"
+
+namespace nexsort {
+
+WorkerPool::WorkerPool(size_t threads, size_t queue_capacity)
+    : tasks_(queue_capacity ? queue_capacity
+                            : (threads ? 2 * threads : 1)) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  tasks_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    if (tasks_.closed()) return false;
+    task();
+    return true;
+  }
+  return tasks_.Push(std::move(task));
+}
+
+void WorkerPool::WorkerMain() {
+  std::function<void()> task;
+  while (tasks_.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before blocking on the next Pop
+  }
+}
+
+}  // namespace nexsort

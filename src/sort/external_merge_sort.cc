@@ -1,8 +1,15 @@
 #include "sort/external_merge_sort.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 
+#include "cache/buffer_pool.h"
 #include "obs/tracer.h"
+#include "parallel/async_spiller.h"
+#include "parallel/run_prefetcher.h"
+#include "parallel/worker_pool.h"
 #include "util/varint.h"
 
 namespace nexsort {
@@ -59,6 +66,8 @@ Status RecordRunSource::Advance() {
   return Status::OK();
 }
 
+uint64_t RecordRunSource::run_offset() const { return reader_.offset(); }
+
 ExternalMergeSorter::ExternalMergeSorter(RunStore* store,
                                          ExtSortOptions options)
     : store_(store), options_(options) {
@@ -77,6 +86,10 @@ ExternalMergeSorter::ExternalMergeSorter(RunStore* store,
 }
 
 ExternalMergeSorter::~ExternalMergeSorter() {
+  // An in-flight background spill references our buffers and run list;
+  // wait it out before tearing anything down.
+  if (spiller_ != nullptr) (void)spiller_->WaitIdle();
+  PublishStats();
   for (RunHandle run : runs_) {
     (void)store_->FreeRun(run);
   }
@@ -85,51 +98,176 @@ ExternalMergeSorter::~ExternalMergeSorter() {
 Status ExternalMergeSorter::Add(std::string_view key, std::string_view value) {
   if (finished_) return Status::InvalidArgument("sorter already finished");
   uint64_t record_bytes = key.size() + value.size() + sizeof(RecordRef);
-  if (!records_.empty() &&
-      arena_.size() + records_.size() * sizeof(RecordRef) + record_bytes >
-          buffer_capacity_) {
-    RETURN_IF_ERROR(SpillRun());
+  if (!current_->records.empty() &&
+      current_->bytes() + record_bytes > buffer_capacity_) {
+    RETURN_IF_ERROR(Spill());
   }
+  SpillBuffer& buffer = *current_;
   RecordRef ref;
-  ref.offset = arena_.size();
+  ref.offset = buffer.arena.size();
   ref.key_len = static_cast<uint32_t>(key.size());
   ref.value_len = static_cast<uint32_t>(value.size());
-  arena_.append(key);
-  arena_.append(value);
-  records_.push_back(ref);
+  buffer.arena.append(key);
+  buffer.arena.append(value);
+  buffer.records.push_back(ref);
   ++stats_.records;
   stats_.bytes += key.size() + value.size();
   return Status::OK();
 }
 
-Status ExternalMergeSorter::SpillRun() {
-  ScopedSpan span(options_.tracer, "run_formation");
-  std::sort(records_.begin(), records_.end(),
-            [this](const RecordRef& a, const RecordRef& b) {
-              std::string_view ka(arena_.data() + a.offset, a.key_len);
-              std::string_view kb(arena_.data() + b.offset, b.key_len);
-              if (ka != kb) return ka < kb;
-              return a.offset < b.offset;  // stability
-            });
+Status ExternalMergeSorter::Spill() {
+  ParallelContext* ctx = options_.parallel;
+  if (!double_buffer_attempted_ && ctx != nullptr && ctx->pool() != nullptr &&
+      ctx->options().double_buffer) {
+    double_buffer_attempted_ = true;
+    // Engaging costs a whole second buffer on top of the first, and the
+    // budget must still have the spill writer's block left over. When it
+    // doesn't, stay on the serial path — run boundaries are set by
+    // buffer_capacity_, which never changes, so output and logical I/O are
+    // identical either way.
+    MemoryBudget* budget = store_->budget();
+    if (spare_reservation_.Acquire(budget, options_.memory_blocks - 1).ok() &&
+        budget->available_blocks() >= 1) {
+      double_buffer_engaged_ = true;
+      spiller_ = std::make_unique<AsyncSpiller>(ctx->pool());
+    } else {
+      spare_reservation_.Reset();
+      ++pstats_.double_buffer_declined;
+    }
+  }
+  if (!double_buffer_engaged_) {
+    ++pstats_.sync_spills;
+    return SpillRun(current_, /*background=*/false);
+  }
+  // Wait for the previous spill (making the other buffer reusable), emit
+  // the trace events it deferred, then hand the full buffer off and keep
+  // accepting records into the drained one.
+  RETURN_IF_ERROR(spiller_->WaitIdle());
+  FlushDeferredTraces();
+  SpillBuffer* full = current_;
+  current_ = (current_ == &buffers_[0]) ? &buffers_[1] : &buffers_[0];
+  ++pstats_.async_spills;
+  return spiller_->Submit(
+      [this, full] { return SpillRun(full, /*background=*/true); });
+}
+
+Status ExternalMergeSorter::SpillRun(SpillBuffer* buffer, bool background) {
+  // The Tracer is single-threaded: background spills skip the span and
+  // defer their run-created event to the foreground.
+  ScopedSpan span(background ? nullptr : options_.tracer, "run_formation");
+  SortBuffer(buffer);
   RunWriter writer = store_->NewRun(options_.temp_category);
   RETURN_IF_ERROR(writer.init_status());
-  for (const RecordRef& ref : records_) {
-    std::string_view key(arena_.data() + ref.offset, ref.key_len);
-    std::string_view value(arena_.data() + ref.offset + ref.key_len,
-                           ref.value_len);
+  if (background) writer.set_suppress_trace(true);
+  const char* arena = buffer->arena.data();
+  for (const RecordRef& ref : buffer->records) {
+    std::string_view key(arena + ref.offset, ref.key_len);
+    std::string_view value(arena + ref.offset + ref.key_len, ref.value_len);
     RETURN_IF_ERROR(AppendRecord(&writer, key, value));
   }
   RunHandle handle;
   RETURN_IF_ERROR(writer.Finish(&handle));
   runs_.push_back(handle);
   ++stats_.initial_runs;
-  arena_.clear();
-  records_.clear();
+  if (background) deferred_traces_.push_back(handle);
+  buffer->Clear();
   return Status::OK();
+}
+
+void ExternalMergeSorter::SortBuffer(SpillBuffer* buffer) {
+  // (key, arena offset) is a strict total order — offsets are unique — so
+  // the sorted sequence is unique and any correct sort (serial, or
+  // partitioned + merged below) produces bit-identical output. The offset
+  // tie-break doubles as stability: arrival order equals arena order.
+  struct RecordLess {
+    const char* arena;
+    bool operator()(const RecordRef& a, const RecordRef& b) const {
+      std::string_view ka(arena + a.offset, a.key_len);
+      std::string_view kb(arena + b.offset, b.key_len);
+      if (ka != kb) return ka < kb;
+      return a.offset < b.offset;
+    }
+  };
+  RecordLess less{buffer->arena.data()};
+  WorkerPool* pool =
+      options_.parallel != nullptr ? options_.parallel->pool() : nullptr;
+  const size_t n = buffer->records.size();
+  constexpr size_t kMinParallelSortRecords = 4096;
+  if (pool == nullptr || pool->size() < 2 || n < kMinParallelSortRecords) {
+    std::sort(buffer->records.begin(), buffer->records.end(), less);
+    return;
+  }
+
+  const size_t chunks = std::min<size_t>(pool->size(), 8);
+  struct SortShared {
+    RecordRef* base = nullptr;
+    RecordLess less{nullptr};
+    std::vector<size_t> bounds;
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t done = 0;
+  };
+  auto shared = std::make_shared<SortShared>();
+  shared->base = buffer->records.data();
+  shared->less = less;
+  shared->bounds.resize(chunks + 1);
+  for (size_t i = 0; i <= chunks; ++i) shared->bounds[i] = i * n / chunks;
+  auto work = [shared, chunks] {
+    for (;;) {
+      size_t c = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      std::sort(shared->base + shared->bounds[c],
+                shared->base + shared->bounds[c + 1], shared->less);
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (++shared->done == chunks) shared->done_cv.notify_all();
+    }
+  };
+  // Helpers may never get a worker (this sort can itself be running on
+  // one): the submitting thread participates, so every chunk gets sorted
+  // regardless, and stragglers find `next` exhausted and return.
+  for (size_t i = 0; i + 1 < chunks; ++i) (void)pool->Submit(work);
+  work();
+  {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->done_cv.wait(lock, [&] { return shared->done == chunks; });
+  }
+  for (size_t width = 1; width < chunks; width *= 2) {
+    for (size_t lo = 0; lo + width < chunks; lo += 2 * width) {
+      size_t hi = std::min(chunks, lo + 2 * width);
+      std::inplace_merge(shared->base + shared->bounds[lo],
+                         shared->base + shared->bounds[lo + width],
+                         shared->base + shared->bounds[hi], less);
+    }
+  }
+  ++pstats_.parallel_sorts;
+  pstats_.sort_partitions += chunks;
+}
+
+void ExternalMergeSorter::FlushDeferredTraces() {
+  for (const RunHandle& handle : deferred_traces_) {
+    TraceRunEvent(store_->tracer(), RunEventKind::kCreated,
+                  options_.temp_category, handle.byte_size, handle.id);
+  }
+  deferred_traces_.clear();
+}
+
+void ExternalMergeSorter::PublishStats() {
+  if (stats_published_) return;
+  stats_published_ = true;
+  if (spiller_ != nullptr) {
+    pstats_.spill_wait_seconds += spiller_->wait_seconds();
+    pstats_.spill_busy_seconds += spiller_->busy_seconds();
+  }
+  if (options_.parallel != nullptr) options_.parallel->AddStats(pstats_);
 }
 
 Status ExternalMergeSorter::MergeAll() {
   const uint64_t fan_in = options_.memory_blocks - 1;
+  const uint64_t block_size = store_->device()->block_size();
+  const uint32_t depth = options_.parallel != nullptr
+                             ? options_.parallel->options().prefetch_depth
+                             : 0;
   while (runs_.size() > 1) {
     ++stats_.merge_passes;
     ScopedSpan pass_span(options_.tracer, "merge_pass");
@@ -145,20 +283,62 @@ Status ExternalMergeSorter::MergeAll() {
       for (size_t i = group; i < end; ++i) {
         sources.push_back(std::make_unique<RecordRunSource>(
             store_, runs_[i], options_.temp_category));
+        sources.back()->set_source_index(i - group);
         RETURN_IF_ERROR(sources.back()->Open());
         raw.push_back(sources.back().get());
       }
-      LoserTree tree(std::move(raw));
-      RETURN_IF_ERROR(tree.Init());
-      RunWriter writer = store_->NewRun(options_.temp_category);
-      RETURN_IF_ERROR(writer.init_status());
-      while (MergeSource* min = tree.Min()) {
-        auto* source = static_cast<RecordRunSource*>(min);
-        RETURN_IF_ERROR(AppendRecord(&writer, source->key(), source->value()));
-        RETURN_IF_ERROR(tree.AdvanceMin());
+      // Prefetch this group's input blocks into the buffer pool ahead of
+      // consumption. The merge readers go through the CachedBlockDevice
+      // over the same pool, so their logical reads are unchanged — the
+      // prefetcher only moves the physical load off the critical path.
+      std::unique_ptr<RunPrefetcher> prefetcher;
+      std::vector<uint64_t> reported;
+      if (depth > 0) {
+        if (options_.buffer_pool == nullptr) {
+          ++pstats_.prefetch_declined;
+        } else {
+          std::vector<RunPrefetcher::Source> prefetch_sources;
+          for (size_t i = group; i < end; ++i) {
+            RunPrefetcher::Source source;
+            RETURN_IF_ERROR(store_->SnapshotBlocks(runs_[i], &source.blocks));
+            prefetch_sources.push_back(std::move(source));
+          }
+          prefetcher = std::make_unique<RunPrefetcher>(
+              options_.buffer_pool, options_.temp_category, depth,
+              std::move(prefetch_sources));
+          reported.assign(end - group, 0);
+        }
       }
+      LoserTree tree(std::move(raw));
       RunHandle merged;
-      RETURN_IF_ERROR(writer.Finish(&merged));
+      Status group_status = tree.Init();
+      if (group_status.ok()) {
+        RunWriter writer = store_->NewRun(options_.temp_category);
+        group_status = writer.init_status();
+        while (group_status.ok()) {
+          MergeSource* min = tree.Min();
+          if (min == nullptr) break;
+          auto* source = static_cast<RecordRunSource*>(min);
+          group_status = AppendRecord(&writer, source->key(), source->value());
+          if (!group_status.ok()) break;
+          group_status = tree.AdvanceMin();
+          if (!group_status.ok()) break;
+          if (prefetcher != nullptr && !source->exhausted()) {
+            uint64_t block = source->run_offset() / block_size;
+            size_t index = source->source_index();
+            if (block + 1 > reported[index]) {
+              reported[index] = block + 1;
+              prefetcher->OnConsumed(index, block);
+            }
+          }
+        }
+        if (group_status.ok()) group_status = writer.Finish(&merged);
+      }
+      if (prefetcher != nullptr) {
+        prefetcher->Stop();  // before the inputs it reads are freed
+        pstats_.prefetch_issued += prefetcher->issued();
+      }
+      RETURN_IF_ERROR(group_status);
       sources.clear();  // release reader buffers before freeing inputs
       for (size_t i = group; i < end; ++i) {
         TraceRunEvent(options_.tracer, RunEventKind::kMerged,
@@ -176,28 +356,47 @@ Status ExternalMergeSorter::MergeAll() {
 Status ExternalMergeSorter::Finish() {
   if (finished_) return Status::InvalidArgument("sorter already finished");
   finished_ = true;
+  if (spiller_ != nullptr) {
+    // Surface any background spill failure — a lost run write must fail
+    // the sort, not vanish on a worker thread.
+    Status background = spiller_->Drain();
+    FlushDeferredTraces();
+    if (!background.ok()) {
+      PublishStats();
+      return background;
+    }
+  }
   if (runs_.empty()) {
     // Everything fit in the buffer: sort in place and drain from memory.
     stats_.in_memory = true;
-    std::sort(records_.begin(), records_.end(),
-              [this](const RecordRef& a, const RecordRef& b) {
-                std::string_view ka(arena_.data() + a.offset, a.key_len);
-                std::string_view kb(arena_.data() + b.offset, b.key_len);
-                if (ka != kb) return ka < kb;
-                return a.offset < b.offset;
-              });
+    SortBuffer(current_);
+    PublishStats();
     return Status::OK();
   }
-  if (!records_.empty()) RETURN_IF_ERROR(SpillRun());
-  // Release the (M-1)-block input buffer before merging: merge fan-in
-  // readers (M-1 blocks) plus the output writer (1 block) then use exactly
-  // M blocks, the sort's whole allowance.
-  arena_.clear();
-  arena_.shrink_to_fit();
-  records_.clear();
-  records_.shrink_to_fit();
+  if (!current_->records.empty()) {
+    // The final partial buffer spills inline: there is nothing left to
+    // overlap it with.
+    ++pstats_.sync_spills;
+    Status spilled = SpillRun(current_, /*background=*/false);
+    if (!spilled.ok()) {
+      PublishStats();
+      return spilled;
+    }
+  }
+  // Release the input buffers before merging: merge fan-in readers (M-1
+  // blocks) plus the output writer (1 block) then use exactly M blocks,
+  // the sort's whole allowance.
+  for (SpillBuffer& buffer : buffers_) {
+    buffer.arena.clear();
+    buffer.arena.shrink_to_fit();
+    buffer.records.clear();
+    buffer.records.shrink_to_fit();
+  }
   buffer_reservation_.Reset();
-  RETURN_IF_ERROR(MergeAll());
+  spare_reservation_.Reset();
+  Status merged = MergeAll();
+  PublishStats();
+  RETURN_IF_ERROR(merged);
   result_source_ = std::make_unique<RecordRunSource>(
       store_, runs_.front(), options_.temp_category);
   RETURN_IF_ERROR(result_source_->Open());
@@ -208,10 +407,12 @@ Status ExternalMergeSorter::Finish() {
 StatusOr<bool> ExternalMergeSorter::Next(std::string* key, std::string* value) {
   if (!finished_) return Status::InvalidArgument("Finish() not called");
   if (stats_.in_memory) {
-    if (mem_cursor_ >= records_.size()) return false;
-    const RecordRef& ref = records_[mem_cursor_++];
-    key->assign(arena_.data() + ref.offset, ref.key_len);
-    value->assign(arena_.data() + ref.offset + ref.key_len, ref.value_len);
+    const SpillBuffer& buffer = *current_;
+    if (mem_cursor_ >= buffer.records.size()) return false;
+    const RecordRef& ref = buffer.records[mem_cursor_++];
+    key->assign(buffer.arena.data() + ref.offset, ref.key_len);
+    value->assign(buffer.arena.data() + ref.offset + ref.key_len,
+                  ref.value_len);
     return true;
   }
   if (!result_primed_ || result_source_->exhausted()) return false;

@@ -4,6 +4,22 @@
 // formation fills (M-1) blocks of buffer, sorts, and spills; merging uses a
 // loser tree with fan-in M-1, so the pass count is ceil(log_{M-1}(runs)) —
 // the log_{M/B}(N/B) factor of the flat-file bound.
+//
+// With a ParallelContext attached (see src/parallel/), the same algorithm
+// overlaps compute and I/O without changing its structure:
+//
+//  * double-buffered run formation — a background worker sorts and spills
+//    one full buffer while the foreground keeps Add()-ing into a second
+//    one, charged to the same MemoryBudget (and declined, falling back to
+//    the serial path, when the budget cannot afford it);
+//  * partitioned buffer sorts — the in-memory sort of a full buffer is
+//    split across the pool and merged (the record comparator is a strict
+//    total order, so the result is bit-identical to the serial sort);
+//  * merge-input prefetching — a RunPrefetcher stays prefetch_depth blocks
+//    ahead of each merge source inside the BufferPool.
+//
+// Run boundaries, run contents, merge order, and logical I/O are identical
+// with and without a context; only the wall-clock schedule changes.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +29,15 @@
 #include <vector>
 
 #include "extmem/run_store.h"
+#include "parallel/parallel.h"
 #include "sort/loser_tree.h"
 #include "util/status.h"
 
 namespace nexsort {
 
+class BufferPool;
 class Tracer;
+class AsyncSpiller;
 
 struct ExtSortOptions {
   /// Blocks of internal memory this sort may use (the paper's M for the
@@ -32,6 +51,16 @@ struct ExtSortOptions {
   /// Optional telemetry sink (not owned; may be null): spans for run
   /// formation and each merge pass, plus merged-run lifecycle events.
   Tracer* tracer = nullptr;
+
+  /// Shared parallel state (not owned; may be null = fully serial). The
+  /// owning sorter creates one ParallelContext so nested subtree sorts
+  /// share a single worker pool.
+  ParallelContext* parallel = nullptr;
+
+  /// The block cache's pool (not owned; may be null), required for merge
+  /// prefetching: prefetched blocks live in its frames, and merge readers
+  /// must go through the corresponding CachedBlockDevice to hit them.
+  BufferPool* buffer_pool = nullptr;
 };
 
 struct ExtSortStats {
@@ -56,8 +85,18 @@ class RecordRunSource final : public MergeSource {
 
   std::string_view value() const { return value_; }
 
+  /// Byte offset of the next unread record within the run (for merge
+  /// prefetching: offset / block_size is the run-block currently in use).
+  uint64_t run_offset() const;
+
+  /// Position of this source within its merge group, so the merge loop can
+  /// report consumption to the prefetcher without a pointer lookup.
+  void set_source_index(size_t index) { source_index_ = index; }
+  size_t source_index() const { return source_index_; }
+
  private:
   RunReader reader_;
+  size_t source_index_ = 0;
   bool exhausted_ = false;
   std::string key_;
   std::string value_;
@@ -74,7 +113,9 @@ class ExternalMergeSorter {
   /// Buffer one record, spilling a sorted run if the buffer is full.
   Status Add(std::string_view key, std::string_view value);
 
-  /// Sort everything added. After this only Next may be called.
+  /// Sort everything added. After this only Next may be called. Any error
+  /// a background spill hit — including a failed run write — surfaces
+  /// here (or from the Add that first observed it).
   Status Finish();
 
   /// Produce records in key order. Returns false when drained.
@@ -82,32 +123,80 @@ class ExternalMergeSorter {
 
   const ExtSortStats& stats() const { return stats_; }
 
+  /// This sorter's parallel counters (also folded into the attached
+  /// ParallelContext at Finish).
+  const ParallelStats& parallel_stats() const { return pstats_; }
+
  private:
   struct RecordRef {
-    uint64_t offset;  // into arena_
+    uint64_t offset;  // into the buffer's arena
     uint32_t key_len;
     uint32_t value_len;
   };
 
-  Status SpillRun();
+  /// One run-formation buffer. Two exist so a background spill of one can
+  /// overlap filling the other; serial mode only ever touches the first.
+  struct SpillBuffer {
+    std::string arena;
+    std::vector<RecordRef> records;
+
+    uint64_t bytes() const {
+      return arena.size() + records.size() * sizeof(RecordRef);
+    }
+    void Clear() {
+      arena.clear();
+      records.clear();
+    }
+  };
+
+  /// Route a full buffer to the background spiller (engaging double
+  /// buffering on first use when the budget allows) or spill inline.
+  Status Spill();
+
+  /// Sort `buffer` and write it out as one run. `background` suppresses
+  /// tracing (the Tracer is single-threaded) and defers the run-created
+  /// event for the foreground to emit.
+  Status SpillRun(SpillBuffer* buffer, bool background);
+
+  /// Sort a buffer's records: std::sort, or partitioned across the worker
+  /// pool and merged when a pool is attached and the buffer is large.
+  void SortBuffer(SpillBuffer* buffer);
+
+  /// Emit run-created events recorded by completed background spills.
+  /// Callers must know the spiller is idle (after WaitIdle/Drain).
+  void FlushDeferredTraces();
+
+  /// Fold pstats_ into the attached ParallelContext, exactly once.
+  void PublishStats();
+
   Status MergeAll();
 
   RunStore* store_;
   const ExtSortOptions options_;
   BudgetReservation buffer_reservation_;
+  BudgetReservation spare_reservation_;  // second buffer when engaged
   Status init_status_;
 
   uint64_t buffer_capacity_ = 0;  // bytes
-  std::string arena_;
-  std::vector<RecordRef> records_;
+  SpillBuffer buffers_[2];
+  SpillBuffer* current_ = &buffers_[0];
   std::vector<RunHandle> runs_;
   ExtSortStats stats_;
+  ParallelStats pstats_;
+  bool double_buffer_attempted_ = false;
+  bool double_buffer_engaged_ = false;
+  bool stats_published_ = false;
+  std::vector<RunHandle> deferred_traces_;  // created by background spills
 
   bool finished_ = false;
   // Drain state: either an in-memory cursor or a reader on the final run.
   size_t mem_cursor_ = 0;
   std::unique_ptr<RecordRunSource> result_source_;
   bool result_primed_ = false;
+
+  // Declared last: destroyed first, so an in-flight background spill
+  // drains before the buffers and run list it references go away.
+  std::unique_ptr<AsyncSpiller> spiller_;
 };
 
 /// Decode helper shared by run-record readers.
