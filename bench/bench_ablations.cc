@@ -30,27 +30,29 @@ std::string MakeVerboseDoc(int per_level, int height, uint64_t seed) {
   struct Frame { int remaining; };
   std::string key_attr = "transactionIdentifier";
   std::vector<Frame> stack;
+  // In-memory sink: XmlWriter cannot fail here, discards are safe.
   (void)writer.StartElement("enterpriseResourcePlanningExport",
                             {XmlAttribute{key_attr, "0"}});
   stack.push_back({per_level});
   while (!stack.empty()) {
     if (stack.back().remaining == 0) {
-      (void)writer.EndElement();
+      (void)writer.EndElement();  // in-memory sink, cannot fail
       stack.pop_back();
       continue;
     }
     --stack.back().remaining;
     const std::string& tag = tags[rng.Uniform(tags.size())];
+    // In-memory sink, cannot fail.
     (void)writer.StartElement(
         tag,
         {XmlAttribute{key_attr, std::to_string(rng.Uniform(1000000))}});
     if (static_cast<int>(stack.size()) < height) {
       stack.push_back({per_level});
     } else {
-      (void)writer.EndElement();
+      (void)writer.EndElement();  // in-memory sink, cannot fail
     }
   }
-  (void)writer.Finish();
+  (void)writer.Finish();  // in-memory sink, cannot fail
   return out;
 }
 

@@ -125,11 +125,11 @@ void BM_LoserTreeMerge(benchmark::State& state) {
       raw.push_back(&sources.back());
     }
     LoserTree tree(std::move(raw));
-    (void)tree.Init();
+    (void)tree.Init();  // in-memory sources cannot fail
     uint64_t merged = 0;
     while (tree.Min() != nullptr) {
       ++merged;
-      (void)tree.AdvanceMin();
+      (void)tree.AdvanceMin();  // in-memory sources cannot fail
     }
     benchmark::DoNotOptimize(merged);
   }
@@ -168,6 +168,7 @@ void BM_UnitSerialize(benchmark::State& state) {
     AppendUnit(&buf, unit, format, &dictionary);
     std::string_view view = buf;
     ElementUnit back;
+    // Parsing bytes AppendUnit just produced cannot fail.
     (void)ParseUnit(&view, &back, format, &dictionary);
     benchmark::DoNotOptimize(back.seq);
   }

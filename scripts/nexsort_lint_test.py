@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fixture tests for nexsort_lint.py: every rule must fire on its bad file.
+
+Each file under tests/lint_fixtures/ is a minimal violation of exactly one
+lint rule. For each (fixture, rule) pair this driver runs the linter
+restricted to that rule — with --treat-as mapping the fixture into the
+tree the rule is scoped to — and asserts exit code 1 with the rule id in
+the output. A clean fixture must pass with *all* rules active, guarding
+against false positives. Registered in ctest as `nexsort_lint_fixtures`.
+"""
+
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "scripts", "nexsort_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
+
+# (fixture file, rule that must fire, --treat-as tree or None).
+# memory_budget.cc is deliberately named after a real src file: the
+# include-first rule only applies when the paired header exists on disk.
+CASES = [
+    ("nodiscard_status.h", "nodiscard-status", "src"),
+    ("unchecked_status.cc", "unchecked-status", "src"),
+    ("void_discard.cc", "void-discard-comment", "src"),
+    ("io_category.cc", "io-category", "src"),
+    ("no_stdio.cc", "no-stdio", "src"),
+    ("no_raw_random.cc", "no-raw-random", "src"),
+    ("memory_budget.cc", "include-first", "src/extmem"),
+    ("direct_include.cc", "direct-include", "src"),
+    ("py_hygiene_bad.py", "py-hygiene", None),
+]
+
+
+def run_lint(extra):
+    cmd = [sys.executable, LINT, "--root", ROOT] + extra
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    for fixture, rule, treat_as in CASES:
+        path = os.path.join(FIXTURES, fixture)
+        args = ["--rule", rule]
+        if treat_as:
+            args += ["--treat-as", treat_as]
+        proc = run_lint(args + [path])
+        if proc.returncode != 1:
+            failures.append(
+                f"{fixture}: rule {rule} did not fire "
+                f"(exit {proc.returncode})\n{proc.stdout}{proc.stderr}"
+            )
+        elif rule not in proc.stdout:
+            failures.append(
+                f"{fixture}: exit 1 but no {rule} finding in output:\n"
+                f"{proc.stdout}"
+            )
+        else:
+            print(f"ok: {rule} fires on {fixture}")
+
+    clean = os.path.join(FIXTURES, "clean.cc")
+    proc = run_lint(["--treat-as", "src", clean])
+    if proc.returncode != 0:
+        failures.append(
+            f"clean.cc: expected no findings, got exit {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    else:
+        print("ok: clean.cc passes every rule")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"nexsort_lint_test: {len(CASES) + 1} case(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

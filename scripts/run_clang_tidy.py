@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project and diff findings against a baseline.
+
+Reads compile_commands.json from the build directory (exported by default
+— see CMAKE_EXPORT_COMPILE_COMMANDS in the top-level CMakeLists.txt), runs
+clang-tidy on every src/ translation unit with the checked-in .clang-tidy
+configuration, and compares the normalized findings against
+scripts/clang_tidy_baseline.txt. Only *new* findings fail the run, so CI
+gates on regressions without requiring the whole backlog to be fixed at
+once; fixed findings are reported so the baseline can be shrunk.
+
+Findings are normalized to "<relpath> <check> <message>" — line numbers
+are deliberately dropped so unrelated edits do not churn the baseline.
+
+Exit codes: 0 clean, 1 new findings (or stale baseline with --strict),
+77 skipped because no clang-tidy binary or compile database was found
+(ctest maps 77 to SKIPPED via SKIP_RETURN_CODE).
+
+Usage:
+  run_clang_tidy.py [--build-dir build] [--baseline FILE]
+                    [--update-baseline] [--strict] [--jobs N] [FILES...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP_EXIT = 77
+
+CLANG_TIDY_NAMES = (
+    "clang-tidy",
+    "clang-tidy-18",
+    "clang-tidy-17",
+    "clang-tidy-16",
+    "clang-tidy-15",
+    "clang-tidy-14",
+)
+
+# "path:line:col: warning: message [check]"
+FINDING = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<kind>warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[\w.,-]+)\]$"
+)
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CLANG_TIDY_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_db(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def normalize(root, path, check, message):
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    # Collapse pointer addresses / template instantiation noise that would
+    # make messages unstable across runs.
+    message = re.sub(r"0x[0-9a-fA-F]+", "0xN", message.strip())
+    return f"{rel}\t{check}\t{message}"
+
+
+def run_one(tidy, entry, root):
+    cmd = [tidy, "-p", entry["directory"], "--quiet", entry["file"]]
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, cwd=entry["directory"]
+    )
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if not m:
+            continue
+        # Only report findings in the project tree (headers pulled in from
+        # the system stay out of the baseline).
+        abspath = os.path.abspath(
+            os.path.join(entry["directory"], m.group("path"))
+        )
+        if not abspath.startswith(root + os.sep):
+            continue
+        findings.add(
+            normalize(root, abspath, m.group("check"), m.group("message"))
+        )
+    return entry["file"], findings, proc.returncode
+
+
+def read_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(
+            "# clang-tidy baseline: existing findings run_clang_tidy.py\n"
+            "# tolerates. One normalized finding per line\n"
+            "# (<relpath>\\t<check>\\t<message>). Shrink it whenever a\n"
+            "# finding is fixed; never grow it without a review.\n"
+        )
+        for line in sorted(findings):
+            f.write(line + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root_default = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    parser.add_argument("--root", default=root_default)
+    parser.add_argument("--build-dir", default=None)
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--clang-tidy", default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when baseline entries no longer fire (stale)",
+    )
+    parser.add_argument(
+        "files", nargs="*", help="restrict to these sources (default: src/)"
+    )
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    build_dir = args.build_dir or os.path.join(root, "build")
+    baseline_path = args.baseline or os.path.join(
+        root, "scripts", "clang_tidy_baseline.txt"
+    )
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print(
+            "run_clang_tidy: no clang-tidy binary found; skipping "
+            "(install clang-tidy to enable this gate)",
+            file=sys.stderr,
+        )
+        return SKIP_EXIT
+    db = load_compile_db(build_dir)
+    if db is None:
+        print(
+            f"run_clang_tidy: no compile_commands.json in {build_dir}; "
+            "configure cmake first (exported by default)",
+            file=sys.stderr,
+        )
+        return SKIP_EXIT
+
+    wanted = [os.path.abspath(f) for f in args.files]
+    entries = []
+    for entry in db:
+        path = os.path.abspath(entry["file"])
+        if wanted:
+            if path not in wanted:
+                continue
+        elif not path.startswith(os.path.join(root, "src") + os.sep):
+            continue
+        entries.append(entry)
+    if not entries:
+        print("run_clang_tidy: no matching translation units", file=sys.stderr)
+        return SKIP_EXIT
+
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, tidy, entry, root) for entry in entries
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            _file, file_findings, _rc = future.result()
+            findings |= file_findings
+
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"run_clang_tidy: baseline updated with {len(findings)} "
+            f"finding(s) at {baseline_path}"
+        )
+        return 0
+
+    baseline = read_baseline(baseline_path)
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    for line in new:
+        path, check, message = line.split("\t", 2)
+        print(f"NEW: {path}: {message} [{check}]")
+    for line in fixed:
+        path, check, message = line.split("\t", 2)
+        print(f"fixed (remove from baseline): {path}: {message} [{check}]")
+    print(
+        f"run_clang_tidy: {len(entries)} TU(s), {len(findings)} finding(s), "
+        f"{len(new)} new, {len(fixed)} fixed-vs-baseline"
+    )
+    if new:
+        return 1
+    if fixed and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,12 @@
 #include "cache/buffer_pool.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "util/dcheck.h"
 
 namespace nexsort {
 
@@ -50,9 +50,28 @@ BufferPool::BufferPool(BlockDevice* base, MemoryBudget* budget,
 }
 
 BufferPool::~BufferPool() {
+  // A pinned frame at destruction means a Pin was never matched by an
+  // Unpin — the caller holds a pointer into data_ that is about to die.
+  NEXSORT_DCHECK_MSG(pinned_frames() == 0,
+                     "BufferPool destroyed with pinned frames "
+                     "(pin/unpin imbalance)");
   // Best-effort: errors here are unreportable; callers that care flush
   // explicitly first (the sorters do).
-  Flush().ok();
+  Status flushed = Flush();
+  // Flushed-or-empty dirty set: a successful flush may not leave any frame
+  // dirty. (A failed flush legitimately does — the write-back error keeps
+  // the frame's bytes for a retry that will never come.)
+  NEXSORT_DCHECK_MSG(!flushed.ok() || AllFramesClean(),
+                     "BufferPool flush reported success but left a frame "
+                     "dirty");
+}
+
+bool BufferPool::AllFramesClean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Frame& frame : frames_) {
+    if (frame.dirty) return false;
+  }
+  return true;
 }
 
 void BufferPool::set_tracer(Tracer* tracer) {
@@ -221,7 +240,7 @@ StatusOr<size_t> BufferPool::PinLocked(uint64_t block_id, IoCategory category,
 void BufferPool::UnpinLocked(size_t frame, bool mark_dirty,
                              IoCategory category) {
   Frame& f = frames_[frame];
-  assert(f.pins > 0);
+  NEXSORT_DCHECK_MSG(f.pins > 0, "Unpin without a matching Pin");
   if (mark_dirty) {
     f.dirty = true;
     f.category = category;
@@ -337,8 +356,9 @@ CachedBlockDevice::~CachedBlockDevice() = default;
 Status CachedBlockDevice::DoAllocate(uint64_t count) {
   uint64_t first = 0;
   RETURN_IF_ERROR(pool_.base()->Allocate(count, &first));
-  assert(first == num_blocks() &&
-         "blocks allocated on the wrapped device bypassing the wrapper");
+  NEXSORT_DCHECK_MSG(
+      first == num_blocks(),
+      "blocks allocated on the wrapped device bypassing the wrapper");
   (void)first;
   return Status::OK();
 }

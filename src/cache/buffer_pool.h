@@ -125,13 +125,13 @@ class BufferPool {
   /// Read `block_id` through the cache into `buf` (block_size bytes). The
   /// physical load on a miss — and any read-ahead it triggers — is
   /// attributed to `category`.
-  Status ReadBlock(uint64_t block_id, char* buf, IoCategory category);
+  [[nodiscard]] Status ReadBlock(uint64_t block_id, char* buf, IoCategory category);
 
   /// Write `block_id` through the cache from `buf`: the frame is dirtied
   /// and the physical write deferred until eviction or Flush(). A write
   /// miss claims a frame without loading the old contents (whole-block
   /// overwrite). `category` is remembered for the eventual write-back.
-  Status WriteBlock(uint64_t block_id, const char* buf, IoCategory category);
+  [[nodiscard]] Status WriteBlock(uint64_t block_id, const char* buf, IoCategory category);
 
   /// Load `block_id` into a frame ahead of consumption (RunPrefetcher
   /// entry point; counted as a prefetch, not a miss). No-op when already
@@ -143,7 +143,7 @@ class BufferPool {
   /// when `load` is true and the block is not resident. Pinned frames are
   /// never evicted; every Pin must be matched by an Unpin. Returns the
   /// frame index for Unpin/FrameData.
-  StatusOr<size_t> Pin(uint64_t block_id, IoCategory category, bool load);
+  [[nodiscard]] StatusOr<size_t> Pin(uint64_t block_id, IoCategory category, bool load);
 
   /// Release one pin; `mark_dirty` records a modification (and `category`
   /// as its write-back attribution).
@@ -156,7 +156,7 @@ class BufferPool {
   /// Write back every dirty frame. Returns the first error — including a
   /// sticky deferred write-back failure from an earlier eviction, which
   /// this call surfaces (exactly once) and retries.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Snapshot of the pool counters (copied under the pool lock).
   CacheStats stats() const;
@@ -183,25 +183,28 @@ class BufferPool {
   /// Write frame's block to the device under its remembered category,
   /// releasing the lock (frame marked busy) around the transfer.
   /// On return the lock is re-held.
-  Status WriteBack(Frame* frame, size_t index,
+  [[nodiscard]] Status WriteBack(Frame* frame, size_t index,
                    std::unique_lock<std::mutex>& lock);
 
   /// Claim a frame for `block_id`: a free frame if any, else a CLOCK
   /// victim (never pinned or busy; dirty victims are written back first,
   /// lock released around the write). The returned frame is mapped to
   /// `block_id` but not loaded. Caller holds the lock.
-  StatusOr<size_t> AcquireFrame(uint64_t block_id,
+  [[nodiscard]] StatusOr<size_t> AcquireFrame(uint64_t block_id,
                                 std::unique_lock<std::mutex>& lock);
 
   /// Resolve `block_id` to a pinned frame (the common Pin/ReadBlock/
   /// WriteBlock core): waits out busy frames, claims + optionally loads on
   /// a miss (lock released around the load), counts hit/miss/prefetch.
   /// Caller holds the lock.
-  StatusOr<size_t> PinLocked(uint64_t block_id, IoCategory category,
+  [[nodiscard]] StatusOr<size_t> PinLocked(uint64_t block_id, IoCategory category,
                              bool load, bool as_prefetch,
                              std::unique_lock<std::mutex>& lock);
 
   void UnpinLocked(size_t frame, bool mark_dirty, IoCategory category);
+
+  /// Destructor invariant probe: no frame left dirty (takes the lock).
+  bool AllFramesClean() const;
 
   /// Load blocks [block_id+1, block_id+window] that are not yet resident.
   /// Best-effort: a failed load abandons the rest of the window. Caller
@@ -262,7 +265,7 @@ class CachedBlockDevice final : public BlockDevice {
 
   /// Write back all dirty frames, surfacing any deferred write-back
   /// failure an eviction recorded earlier.
-  Status Flush() { return pool_.Flush(); }
+  [[nodiscard]] Status Flush() { return pool_.Flush(); }
 
   BufferPool* pool() { return &pool_; }
   const BufferPool& pool() const { return pool_; }
@@ -271,14 +274,14 @@ class CachedBlockDevice final : public BlockDevice {
   BlockDevice* base() const { return pool_.base(); }
 
  protected:
-  Status DoRead(uint64_t block_id, char* buf, IoCategory category) override {
+  [[nodiscard]] Status DoRead(uint64_t block_id, char* buf, IoCategory category) override {
     return pool_.ReadBlock(block_id, buf, category);
   }
-  Status DoWrite(uint64_t block_id, const char* buf,
+  [[nodiscard]] Status DoWrite(uint64_t block_id, const char* buf,
                  IoCategory category) override {
     return pool_.WriteBlock(block_id, buf, category);
   }
-  Status DoAllocate(uint64_t count) override;
+  [[nodiscard]] Status DoAllocate(uint64_t count) override;
 
  private:
   BufferPool pool_;

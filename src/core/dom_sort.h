@@ -26,7 +26,7 @@ void SortDomRecursive(XmlNode* root, const OrderSpec& spec,
                       const std::vector<std::string>* scope_tags = nullptr);
 
 /// Convenience oracle: parse, sort, reserialize (compact form).
-StatusOr<std::string> SortXmlStringInMemory(
+[[nodiscard]] StatusOr<std::string> SortXmlStringInMemory(
     std::string_view xml, const OrderSpec& spec, int depth_limit = 0,
     const std::vector<std::string>* scope_tags = nullptr);
 

@@ -1,5 +1,6 @@
 #include "core/element_unit.h"
 
+#include "extmem/block_device.h"
 #include "util/varint.h"
 
 namespace nexsort {

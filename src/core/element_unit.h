@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "extmem/block_device.h"
 #include "extmem/run_store.h"
 #include "util/status.h"
 #include "xml/dictionary.h"
@@ -69,7 +70,7 @@ void AppendUnit(std::string* dst, const ElementUnit& unit,
 
 /// Parse one unit from the front of *input, advancing past it. Names are
 /// resolved through `dictionary` when format.use_dictionary.
-Status ParseUnit(std::string_view* input, ElementUnit* unit,
+[[nodiscard]] Status ParseUnit(std::string_view* input, ElementUnit* unit,
                  const UnitFormat& format, const NameDictionary* dictionary);
 
 /// Streaming unit reader over a sorted run. Tracks the logical byte offset
@@ -84,7 +85,7 @@ class RunUnitReader {
   const Status& init_status() const { return init_status_; }
 
   /// Read the next unit; returns false at end of run.
-  StatusOr<bool> Next(ElementUnit* unit);
+  [[nodiscard]] StatusOr<bool> Next(ElementUnit* unit);
 
   RunHandle handle() const { return handle_; }
 

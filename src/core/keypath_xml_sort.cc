@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/unit_emitter.h"
+#include "extmem/stream.h"
 #include "obs/tracer.h"
 #include "sort/key_path.h"
 

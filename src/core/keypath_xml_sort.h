@@ -13,6 +13,9 @@
 #include "core/unit_scanner.h"
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
+#include "extmem/run_store.h"
+#include "extmem/stream.h"
+#include "obs/tracer.h"
 #include "sort/external_merge_sort.h"
 #include "util/status.h"
 
@@ -64,7 +67,7 @@ class KeyPathXmlSorter {
   KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
                    KeyPathSortOptions options);
 
-  Status Sort(ByteSource* input, ByteSink* output);
+  [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
 
   const KeyPathSortStats& stats() const { return stats_; }
 

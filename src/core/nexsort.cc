@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/unit_emitter.h"
+#include "extmem/stream.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace nexsort {

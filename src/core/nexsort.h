@@ -31,6 +31,7 @@
 #include "extmem/ext_stack.h"
 #include "extmem/memory_budget.h"
 #include "extmem/run_store.h"
+#include "extmem/stream.h"
 #include "parallel/parallel.h"
 #include "util/status.h"
 #include "xml/dtd.h"
@@ -156,7 +157,7 @@ class NexSorter {
   NexSorter(BlockDevice* device, MemoryBudget* budget, NexSortOptions options);
 
   /// Sort `input` (XML text) into `output` (XML text). Single use.
-  Status Sort(ByteSource* input, ByteSink* output);
+  [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
 
   const NexSortStats& stats() const { return stats_; }
 
@@ -179,12 +180,12 @@ class NexSorter {
   };
   static constexpr uint64_t kHasFragments = 1;
 
-  Status SortingPhase(ByteSource* input, RunHandle* root_run);
-  Status SortRegion(ExtByteStack* data, const PathEntry& entry,
+  [[nodiscard]] Status SortingPhase(ByteSource* input, RunHandle* root_run);
+  [[nodiscard]] Status SortRegion(ExtByteStack* data, const PathEntry& entry,
                     std::string_view resolved_key, uint32_t level,
                     uint64_t seq, RunHandle* run, ElementUnit* pointer);
-  Status MaybeFragment(ExtByteStack* data, ExtStack<PathEntry>* path);
-  Status OutputPhase(RunHandle root_run, ByteSink* output);
+  [[nodiscard]] Status MaybeFragment(ExtByteStack* data, ExtStack<PathEntry>* path);
+  [[nodiscard]] Status OutputPhase(RunHandle root_run, ByteSink* output);
 
   BlockDevice* base_device_;  // what the caller handed us (physical I/O)
   MemoryBudget* budget_;

@@ -26,6 +26,6 @@ namespace nexsort {
 
 /// Parse `text` into an OrderSpec; InvalidArgument with a precise message
 /// on malformed input.
-StatusOr<OrderSpec> ParseOrderSpec(std::string_view text);
+[[nodiscard]] StatusOr<OrderSpec> ParseOrderSpec(std::string_view text);
 
 }  // namespace nexsort

@@ -24,12 +24,12 @@ struct SortednessReport {
 /// With depth_limit > 0, lists below the limit are exempt (the
 /// depth-limited sorting contract). Complex rules are supported: keys are
 /// resolved exactly as the sorter resolves them.
-StatusOr<SortednessReport> CheckSorted(ByteSource* input,
+[[nodiscard]] StatusOr<SortednessReport> CheckSorted(ByteSource* input,
                                        const OrderSpec& spec,
                                        int depth_limit = 0);
 
 /// Convenience overload for in-memory text.
-StatusOr<SortednessReport> CheckSorted(std::string_view xml,
+[[nodiscard]] StatusOr<SortednessReport> CheckSorted(std::string_view xml,
                                        const OrderSpec& spec,
                                        int depth_limit = 0);
 

@@ -5,6 +5,10 @@
 #include <vector>
 
 #include "core/order_spec.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/run_store.h"
+#include "extmem/stream.h"
 #include "sort/external_merge_sort.h"
 #include "sort/key_path.h"
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/element_unit.h"
+#include "extmem/run_store.h"
+#include "extmem/stream.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -64,7 +66,7 @@ struct SubtreeSortStats {
 /// that must be direct children of the root), and kEnd units (dropped after
 /// harvesting complex-criteria keys). Writes the fully sorted subtree as a
 /// new run; *root_out receives the parsed root start unit.
-StatusOr<RunHandle> SortSubtreeInMemory(const SubtreeSortContext& ctx,
+[[nodiscard]] StatusOr<RunHandle> SortSubtreeInMemory(const SubtreeSortContext& ctx,
                                         std::string_view units,
                                         ElementUnit* root_out,
                                         SubtreeSortStats* stats);
@@ -73,7 +75,7 @@ StatusOr<RunHandle> SortSubtreeInMemory(const SubtreeSortContext& ctx,
 /// `input` (consumed and freed). Uses key-path external merge sort.
 /// Complex ordering criteria and kFragment units are not supported on this
 /// path (see DESIGN.md).
-StatusOr<RunHandle> SortSubtreeExternal(const SubtreeSortContext& ctx,
+[[nodiscard]] StatusOr<RunHandle> SortSubtreeExternal(const SubtreeSortContext& ctx,
                                         RunHandle input,
                                         ElementUnit* root_out,
                                         SubtreeSortStats* stats);
@@ -95,19 +97,19 @@ class ExternalSubtreeSorter {
 
   /// Run the merge passes and write the sorted run. *root_out receives the
   /// parsed root start unit.
-  StatusOr<RunHandle> Finish(ElementUnit* root_out);
+  [[nodiscard]] StatusOr<RunHandle> Finish(ElementUnit* root_out);
 
  private:
   class UnitSink final : public ByteSink {
    public:
     explicit UnitSink(ExternalSubtreeSorter* owner) : owner_(owner) {}
-    Status Append(std::string_view data) override;
+    [[nodiscard]] Status Append(std::string_view data) override;
 
    private:
     ExternalSubtreeSorter* owner_;
   };
 
-  Status FeedUnit(const ElementUnit& unit, std::string_view serialized);
+  [[nodiscard]] Status FeedUnit(const ElementUnit& unit, std::string_view serialized);
 
   const SubtreeSortContext& ctx_;
   SubtreeSortStats* stats_;
@@ -130,7 +132,7 @@ class ExternalSubtreeSorter {
 /// formation step of graceful degeneration. The forest must contain no
 /// kFragment units (earlier incomplete runs stay on the data stack and are
 /// merged at the element's eventual subtree sort).
-StatusOr<RunHandle> SortForestInMemory(const SubtreeSortContext& ctx,
+[[nodiscard]] StatusOr<RunHandle> SortForestInMemory(const SubtreeSortContext& ctx,
                                        std::string_view units,
                                        SubtreeSortStats* stats);
 

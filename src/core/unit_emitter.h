@@ -34,10 +34,10 @@ class UnitXmlEmitter {
 
   /// Emit one unit (kStart or kText; kEnd units are ignored since levels
   /// already carry the structure). Units must arrive in depth-first order.
-  Status Emit(const ElementUnit& unit);
+  [[nodiscard]] Status Emit(const ElementUnit& unit);
 
   /// Close all open elements and flush. Must be called exactly once.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   uint64_t output_bytes() const { return output_bytes_; }
 
@@ -50,8 +50,8 @@ class UnitXmlEmitter {
   static constexpr uint32_t kHadElementChild = 1;
   static constexpr uint32_t kHadText = 2;
 
-  Status CloseTo(uint32_t level);
-  Status FlushIfLarge();
+  [[nodiscard]] Status CloseTo(uint32_t level);
+  [[nodiscard]] Status FlushIfLarge();
   void Indent(uint32_t level);
 
   NameDictionary* dictionary_;

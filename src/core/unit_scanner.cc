@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "extmem/run_store.h"
+#include "extmem/stream.h"
 #include "util/string_util.h"
 
 namespace nexsort {

@@ -19,6 +19,7 @@
 
 #include "core/element_unit.h"
 #include "core/order_spec.h"
+#include "extmem/stream.h"
 #include "util/status.h"
 #include "xml/sax_parser.h"
 
@@ -53,7 +54,7 @@ class UnitScanner {
   UnitScanner(ByteSource* input, const OrderSpec* spec);
 
   /// Next scan event; false at clean end of document.
-  StatusOr<bool> Next(ScanEvent* event);
+  [[nodiscard]] StatusOr<bool> Next(ScanEvent* event);
 
   const ScanStats& stats() const { return stats_; }
 

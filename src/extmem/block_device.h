@@ -119,21 +119,21 @@ class BlockDevice {
 
   /// Extend the device by `count` blocks; *first_id receives the id of the
   /// first new block. Ids are dense and increasing.
-  Status Allocate(uint64_t count, uint64_t* first_id);
+  [[nodiscard]] Status Allocate(uint64_t count, uint64_t* first_id);
 
   /// Read block `block_id` into `buf` (block_size bytes), with accounting
   /// attributed to the current scope category.
-  Status Read(uint64_t block_id, char* buf);
+  [[nodiscard]] Status Read(uint64_t block_id, char* buf);
 
   /// Write block `block_id` from `buf` (block_size bytes), with accounting
   /// attributed to the current scope category.
-  Status Write(uint64_t block_id, const char* buf);
+  [[nodiscard]] Status Write(uint64_t block_id, const char* buf);
 
   /// Explicit-category variants: attribution travels with the call instead
   /// of through SetCategory, so background threads account correctly no
   /// matter what scope the foreground has installed.
-  Status Read(uint64_t block_id, char* buf, IoCategory category);
-  Status Write(uint64_t block_id, const char* buf, IoCategory category);
+  [[nodiscard]] Status Read(uint64_t block_id, char* buf, IoCategory category);
+  [[nodiscard]] Status Write(uint64_t block_id, const char* buf, IoCategory category);
 
   /// Set the category future I/Os are attributed to; returns the previous
   /// category so callers can restore it (see IoCategoryScope).
@@ -174,10 +174,10 @@ class BlockDevice {
   /// Storage hooks. `category` is the attribution the public entry point
   /// resolved for this access; plain storage devices ignore it, wrapping
   /// devices (cache, throttle) forward it so attribution survives the hop.
-  virtual Status DoRead(uint64_t block_id, char* buf, IoCategory category) = 0;
-  virtual Status DoWrite(uint64_t block_id, const char* buf,
+  [[nodiscard]] virtual Status DoRead(uint64_t block_id, char* buf, IoCategory category) = 0;
+  [[nodiscard]] virtual Status DoWrite(uint64_t block_id, const char* buf,
                          IoCategory category) = 0;
-  virtual Status DoAllocate(uint64_t count) = 0;
+  [[nodiscard]] virtual Status DoAllocate(uint64_t count) = 0;
 
   /// Category currently attributed to scope-based I/O (for wrapping devices
   /// that must forward the caller's attribution).
@@ -236,7 +236,7 @@ std::unique_ptr<BlockDevice> NewMemoryBlockDevice(size_t block_size,
                                                   DiskModel model = {});
 
 /// File-backed block device using a single backing file.
-StatusOr<std::unique_ptr<BlockDevice>> NewFileBlockDevice(
+[[nodiscard]] StatusOr<std::unique_ptr<BlockDevice>> NewFileBlockDevice(
     const std::string& path, size_t block_size, DiskModel model = {});
 
 /// Wall-clock delay model for ThrottledBlockDevice: every access sleeps for

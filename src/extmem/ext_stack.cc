@@ -1,5 +1,7 @@
 #include "extmem/ext_stack.h"
 
+#include "util/dcheck.h"
+
 namespace nexsort {
 
 ExtByteStack::ExtByteStack(BlockDevice* device, MemoryBudget* budget,
@@ -13,7 +15,6 @@ ExtByteStack::ExtByteStack(BlockDevice* device, MemoryBudget* budget,
 }
 
 Status ExtByteStack::EvictOldest() {
-  IoCategoryScope scope(device_, category_);
   uint64_t block_index = resident_start_ / block_size_;
   while (block_index >= spine_.size()) {
     if (!free_blocks_.empty()) {
@@ -25,10 +26,19 @@ Status ExtByteStack::EvictOldest() {
       spine_.push_back(id);
     }
   }
-  RETURN_IF_ERROR(device_->Write(spine_[block_index], resident_.data()));
+  RETURN_IF_ERROR(
+      device_->Write(spine_[block_index], resident_.data(), category_));
   resident_.erase(0, block_size_);
   resident_start_ += block_size_;
+  DcheckBalanced();
   return Status::OK();
+}
+
+void ExtByteStack::DcheckBalanced() const {
+  NEXSORT_DCHECK_EQ(resident_.size(), size_ - resident_start_);
+  NEXSORT_DCHECK_EQ(resident_start_ % block_size_, 0);
+  NEXSORT_DCHECK_GE(spine_.size() * block_size_, resident_start_);
+  NEXSORT_DCHECK_LE(size_ - resident_start_, resident_capacity_);
 }
 
 Status ExtByteStack::Append(std::string_view data) {
@@ -45,6 +55,7 @@ Status ExtByteStack::Append(std::string_view data) {
     pos += take;
     size_ += take;
   }
+  DcheckBalanced();
   return Status::OK();
 }
 
@@ -66,21 +77,18 @@ Status ExtByteStack::PopRegionTo(uint64_t from, ByteSink* out) {
   uint64_t cursor = from;
   std::string buf(block_size_, '\0');
   std::string boundary_prefix;
-  {
-    IoCategoryScope scope(device_, category_);
-    while (cursor < resident_start_) {
-      uint64_t block_index = cursor / block_size_;
-      RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data()));
-      uint64_t block_start = block_index * block_size_;
-      uint64_t offset = cursor - block_start;
-      if (cursor == from && offset > 0) {
-        boundary_prefix.assign(buf.data(), static_cast<size_t>(offset));
-      }
-      uint64_t take = std::min(block_size_ - offset, resident_start_ - cursor);
-      RETURN_IF_ERROR(out->Append(
-          std::string_view(buf.data() + offset, static_cast<size_t>(take))));
-      cursor += take;
+  while (cursor < resident_start_) {
+    uint64_t block_index = cursor / block_size_;
+    RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data(), category_));
+    uint64_t block_start = block_index * block_size_;
+    uint64_t offset = cursor - block_start;
+    if (cursor == from && offset > 0) {
+      boundary_prefix.assign(buf.data(), static_cast<size_t>(offset));
     }
+    uint64_t take = std::min(block_size_ - offset, resident_start_ - cursor);
+    RETURN_IF_ERROR(out->Append(
+        std::string_view(buf.data() + offset, static_cast<size_t>(take))));
+    cursor += take;
   }
   if (cursor < size_) {
     RETURN_IF_ERROR(out->Append(
@@ -107,6 +115,7 @@ Status ExtByteStack::PopRegionTo(uint64_t from, ByteSink* out) {
     free_blocks_.push_back(spine_.back());
     spine_.pop_back();
   }
+  DcheckBalanced();
   return Status::OK();
 }
 

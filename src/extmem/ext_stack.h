@@ -13,7 +13,6 @@
 //                 a contiguous byte region and truncates).
 #pragma once
 
-#include <cassert>
 #include <cstring>
 #include <deque>
 #include <string>
@@ -23,6 +22,7 @@
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "extmem/stream.h"
+#include "util/dcheck.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -42,7 +42,8 @@ class ExtStack {
         category_(category),
         records_per_block_(device->block_size() / sizeof(T)),
         resident_blocks_(resident_blocks) {
-    assert(records_per_block_ > 0);
+    NEXSORT_DCHECK_MSG(records_per_block_ > 0,
+                       "record larger than a device block");
     init_status_ = reservation_.Acquire(budget, resident_blocks);
   }
 
@@ -52,7 +53,7 @@ class ExtStack {
   bool empty() const { return size_ == 0; }
   uint64_t size() const { return size_; }
 
-  Status Push(const T& record) {
+  [[nodiscard]] Status Push(const T& record) {
     uint64_t resident_count = size_ - resident_start_;
     if (resident_count ==
         static_cast<uint64_t>(resident_blocks_) * records_per_block_) {
@@ -60,19 +61,21 @@ class ExtStack {
     }
     resident_.push_back(record);
     ++size_;
+    DcheckBalanced();
     return Status::OK();
   }
 
-  Status Pop(T* record) {
+  [[nodiscard]] Status Pop(T* record) {
     if (size_ == 0) return Status::InvalidArgument("pop from empty stack");
     if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
     *record = resident_.back();
     resident_.pop_back();
     --size_;
+    DcheckBalanced();
     return Status::OK();
   }
 
-  Status Top(T* record) {
+  [[nodiscard]] Status Top(T* record) {
     if (size_ == 0) return Status::InvalidArgument("top of empty stack");
     if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
     *record = resident_.back();
@@ -81,7 +84,7 @@ class ExtStack {
 
   /// Overwrite the top record in place (used to update the bookkeeping of
   /// the innermost open element after a fragmentation step).
-  Status ReplaceTop(const T& record) {
+  [[nodiscard]] Status ReplaceTop(const T& record) {
     if (size_ == 0) return Status::InvalidArgument("replace on empty stack");
     if (resident_.empty()) RETURN_IF_ERROR(PageInTail());
     resident_.back() = record;
@@ -90,11 +93,10 @@ class ExtStack {
 
  private:
   // Write the oldest resident block out and drop it from memory.
-  Status EvictOldest() {
-    IoCategoryScope scope(device_, category_);
+  [[nodiscard]] Status EvictOldest() {
     uint64_t block_index = resident_start_ / records_per_block_;
     if (block_index >= spine_.size()) {
-      assert(block_index == spine_.size());
+      NEXSORT_DCHECK_EQ(block_index, spine_.size());
       uint64_t id = 0;
       RETURN_IF_ERROR(device_->Allocate(1, &id));
       spine_.push_back(id);
@@ -102,26 +104,40 @@ class ExtStack {
     std::string buf(device_->block_size(), '\0');
     std::memcpy(buf.data(), resident_.data(),
                 records_per_block_ * sizeof(T));
-    RETURN_IF_ERROR(device_->Write(spine_[block_index], buf.data()));
+    RETURN_IF_ERROR(device_->Write(spine_[block_index], buf.data(), category_));
     resident_.erase(resident_.begin(),
                     resident_.begin() + records_per_block_);
     resident_start_ += records_per_block_;
+    DcheckBalanced();
     return Status::OK();
   }
 
   // Page the block just below the resident window back in (no-prefetch:
   // called only when a pop/top needs it).
-  Status PageInTail() {
-    assert(resident_start_ > 0 && resident_start_ % records_per_block_ == 0);
-    IoCategoryScope scope(device_, category_);
+  [[nodiscard]] Status PageInTail() {
+    NEXSORT_DCHECK(resident_start_ > 0);
+    NEXSORT_DCHECK_EQ(resident_start_ % records_per_block_, 0);
     uint64_t block_index = resident_start_ / records_per_block_ - 1;
     std::string buf(device_->block_size(), '\0');
-    RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data()));
+    RETURN_IF_ERROR(device_->Read(spine_[block_index], buf.data(), category_));
     resident_.resize(records_per_block_);
     std::memcpy(resident_.data(), buf.data(),
                 records_per_block_ * sizeof(T));
     resident_start_ -= records_per_block_;
+    DcheckBalanced();
     return Status::OK();
+  }
+
+  // Paging-window balance (Section 3.1): the resident vector holds exactly
+  // the records [resident_start_, size_), the window starts on a block
+  // boundary, and the spine covers every block at or below it.
+  void DcheckBalanced() const {
+    NEXSORT_DCHECK_EQ(resident_.size(), size_ - resident_start_);
+    NEXSORT_DCHECK_EQ(resident_start_ % records_per_block_, 0);
+    NEXSORT_DCHECK_GE(spine_.size() * records_per_block_, resident_start_);
+    NEXSORT_DCHECK_LE(size_ - resident_start_,
+                      static_cast<uint64_t>(resident_blocks_) *
+                          records_per_block_);
   }
 
   BlockDevice* device_;
@@ -150,21 +166,24 @@ class ExtByteStack {
   uint64_t size() const { return size_; }
 
   /// Append bytes at the top of the stack.
-  Status Append(std::string_view data);
+  [[nodiscard]] Status Append(std::string_view data);
 
   /// Read bytes [from, size()) into *out and truncate the stack to `from`.
   /// This is the "pop the subtree starting from location l" step (Figure 4
   /// line 10); I/Os incurred reading non-resident blocks are the data-stack
   /// paging cost analyzed in Lemma 4.10.
-  Status PopRegion(uint64_t from, std::string* out);
+  [[nodiscard]] Status PopRegion(uint64_t from, std::string* out);
 
   /// Streaming variant for regions larger than internal memory: the bytes
   /// go to `sink` (typically a temp-run writer) block by block instead of
   /// into a string.
-  Status PopRegionTo(uint64_t from, ByteSink* sink);
+  [[nodiscard]] Status PopRegionTo(uint64_t from, ByteSink* sink);
 
  private:
-  Status EvictOldest();
+  [[nodiscard]] Status EvictOldest();
+
+  // Byte-granular mirror of ExtStack::DcheckBalanced.
+  void DcheckBalanced() const;
 
   BlockDevice* device_;
   const IoCategory category_;

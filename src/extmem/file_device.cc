@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include "extmem/block_device.h"
+#include "util/status.h"
 
 namespace nexsort {
 

@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/dcheck.h"
+
 namespace nexsort {
 
 MemoryBudget::MemoryBudget(uint64_t total_blocks)
     : total_blocks_(total_blocks) {}
+
+MemoryBudget::~MemoryBudget() {
+  // Skip the balance check when an underflow already corrupted the
+  // accounting: that bug has its own counter (and is deliberately
+  // exercised by tests).
+  NEXSORT_DCHECK_MSG(release_underflows() != 0 || used_blocks() == 0,
+                     "MemoryBudget destroyed with blocks still reserved "
+                     "(leaked reservation)");
+}
 
 Status MemoryBudget::Acquire(uint64_t count) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -19,6 +30,7 @@ Status MemoryBudget::Acquire(uint64_t count) {
         std::to_string(total_blocks_ - used) + " available)");
   }
   used += count;
+  NEXSORT_DCHECK_LE(used, total_blocks_);
   used_blocks_.store(used, std::memory_order_relaxed);
   peak_blocks_.store(
       std::max(peak_blocks_.load(std::memory_order_relaxed), used),

@@ -25,8 +25,12 @@ class MemoryBudget {
   /// `total_blocks` is M in the paper's notation.
   explicit MemoryBudget(uint64_t total_blocks);
 
+  /// Debug builds verify every reservation was returned: blocks still in
+  /// use at destruction mean some component leaked part of the M-block cap.
+  ~MemoryBudget();
+
   /// Reserve `count` blocks; OutOfMemory if that would exceed the cap.
-  Status Acquire(uint64_t count);
+  [[nodiscard]] Status Acquire(uint64_t count);
 
   /// Return `count` previously acquired blocks. Releasing more than is in
   /// use is a caller bug: instead of wrapping `used_blocks_` (which would
@@ -80,7 +84,7 @@ class BudgetReservation {
     return *this;
   }
 
-  Status Acquire(MemoryBudget* budget, uint64_t count) {
+  [[nodiscard]] Status Acquire(MemoryBudget* budget, uint64_t count) {
     Reset();
     RETURN_IF_ERROR(budget->Acquire(count));
     budget_ = budget;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "extmem/block_device.h"
+#include "util/status.h"
 
 namespace nexsort {
 

@@ -4,11 +4,23 @@
 #include <cstring>
 
 #include "obs/tracer.h"
+#include "util/dcheck.h"
+#include "util/status.h"
 
 namespace nexsort {
 
 RunStore::RunStore(BlockDevice* device, MemoryBudget* budget)
     : device_(device), budget_(budget) {}
+
+void RunStore::DcheckBalancedLocked() const {
+#if NEXSORT_DCHECK_ENABLED
+  uint64_t total = 0;
+  for (const std::vector<uint64_t>& blocks : run_blocks_) {
+    total += blocks.size();
+  }
+  NEXSORT_DCHECK_EQ(live_blocks_.load(std::memory_order_relaxed), total);
+#endif
+}
 
 Status RunStore::AllocateBlock(uint64_t* id) {
   {
@@ -54,6 +66,7 @@ Status RunStore::FreeRun(RunHandle handle) {
     free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
     blocks.clear();
     run_bytes_[handle.id] = 0;
+    DcheckBalancedLocked();
   }
   TraceRunEvent(tracer_, RunEventKind::kFreed, IoCategory::kOther,
                 handle.byte_size, handle.id);
@@ -105,6 +118,7 @@ Status RunWriter::Finish(RunHandle* handle) {
                                    std::memory_order_relaxed);
     store_->run_blocks_.push_back(std::move(blocks_));
     store_->run_bytes_.push_back(byte_size_);
+    store_->DcheckBalancedLocked();
   }
   reservation_.Reset();
   if (!suppress_trace_) {

@@ -28,6 +28,7 @@
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "extmem/stream.h"
+#include "util/status.h"
 
 namespace nexsort {
 
@@ -63,12 +64,12 @@ class RunStore {
                     IoCategory category = IoCategory::kRunRead);
 
   /// Recycle a finished run's blocks.
-  Status FreeRun(RunHandle handle);
+  [[nodiscard]] Status FreeRun(RunHandle handle);
 
   /// Copy `handle`'s device-block index into *blocks (runs are immutable
   /// once finished, so the copy stays valid). For merge prefetchers that
   /// need block ids without holding a reader.
-  Status SnapshotBlocks(RunHandle handle, std::vector<uint64_t>* blocks);
+  [[nodiscard]] Status SnapshotBlocks(RunHandle handle, std::vector<uint64_t>* blocks);
 
   /// Total blocks currently owned by live runs.
   uint64_t live_blocks() const {
@@ -82,7 +83,11 @@ class RunStore {
   friend class RunWriter;
   friend class RunReader;
 
-  Status AllocateBlock(uint64_t* id);
+  [[nodiscard]] Status AllocateBlock(uint64_t* id);
+
+  /// Run-table balance audit: live_blocks_ must equal the sum of the block
+  /// indexes of every (non-freed) run. Caller holds mutex_.
+  void DcheckBalancedLocked() const;
 
   BlockDevice* device_;
   MemoryBudget* budget_;
@@ -99,10 +104,10 @@ class RunWriter final : public ByteSink {
  public:
   const Status& init_status() const { return init_status_; }
 
-  Status Append(std::string_view data) override;
+  [[nodiscard]] Status Append(std::string_view data) override;
 
   /// Flush and obtain the handle. The writer is unusable afterwards.
-  Status Finish(RunHandle* handle);
+  [[nodiscard]] Status Finish(RunHandle* handle);
 
   uint64_t bytes_written() const { return byte_size_; }
 
@@ -133,10 +138,10 @@ class RunReader final : public ByteSource {
  public:
   const Status& init_status() const { return init_status_; }
 
-  Status Read(char* buf, size_t n, size_t* out) override;
+  [[nodiscard]] Status Read(char* buf, size_t n, size_t* out) override;
 
   /// Read exactly n bytes or fail with Corruption.
-  Status ReadExact(char* buf, size_t n);
+  [[nodiscard]] Status ReadExact(char* buf, size_t n);
 
   uint64_t offset() const { return position_; }
   uint64_t bytes_remaining() const { return handle_.byte_size - position_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/status.h"
+
 namespace nexsort {
 
 Status StringByteSource::Read(char* buf, size_t n, size_t* out) {
@@ -30,14 +32,13 @@ Status BlockStreamWriter::Append(std::string_view data) {
     pos += take;
     byte_size_ += take;
     if (buffer_.size() == block_size) {
-      IoCategoryScope scope(device_, category_);
       uint64_t id = 0;
       RETURN_IF_ERROR(device_->Allocate(1, &id));
       if (!started_) {
         first_block_ = id;
         started_ = true;
       }
-      RETURN_IF_ERROR(device_->Write(id, buffer_.data()));
+      RETURN_IF_ERROR(device_->Write(id, buffer_.data(), category_));
       next_block_ = id + 1;
       buffer_.clear();
     }
@@ -49,7 +50,6 @@ Status BlockStreamWriter::Finish(ByteRange* range) {
   if (finished_) return Status::InvalidArgument("writer already finished");
   finished_ = true;
   if (!buffer_.empty()) {
-    IoCategoryScope scope(device_, category_);
     buffer_.resize(device_->block_size(), '\0');
     uint64_t id = 0;
     RETURN_IF_ERROR(device_->Allocate(1, &id));
@@ -57,7 +57,7 @@ Status BlockStreamWriter::Finish(ByteRange* range) {
       first_block_ = id;
       started_ = true;
     }
-    RETURN_IF_ERROR(device_->Write(id, buffer_.data()));
+    RETURN_IF_ERROR(device_->Write(id, buffer_.data(), category_));
     buffer_.clear();
   }
   range->first_block = started_ ? first_block_ : 0;
@@ -78,10 +78,9 @@ Status BlockStreamReader::Read(char* buf, size_t n, size_t* out) {
   while (done < n && position_ < range_.byte_size) {
     uint64_t block_offset = position_ / block_size * block_size;
     if (block_offset != buffer_start_) {
-      IoCategoryScope scope(device_, category_);
       buffer_.resize(block_size);
       RETURN_IF_ERROR(device_->Read(range_.first_block + position_ / block_size,
-                                    buffer_.data()));
+                                    buffer_.data(), category_));
       buffer_start_ = block_offset;
     }
     uint64_t in_block = position_ - block_offset;

@@ -11,6 +11,7 @@
 
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
+#include "util/status.h"
 
 namespace nexsort {
 
@@ -27,7 +28,7 @@ class ByteSource {
   virtual ~ByteSource() = default;
 
   /// Read up to `n` bytes into `buf`; *out receives the count (0 at EOF).
-  virtual Status Read(char* buf, size_t n, size_t* out) = 0;
+  [[nodiscard]] virtual Status Read(char* buf, size_t n, size_t* out) = 0;
 };
 
 /// ByteSource over an in-memory string (no I/O accounting).
@@ -35,7 +36,7 @@ class StringByteSource final : public ByteSource {
  public:
   explicit StringByteSource(std::string_view data) : data_(data) {}
 
-  Status Read(char* buf, size_t n, size_t* out) override;
+  [[nodiscard]] Status Read(char* buf, size_t n, size_t* out) override;
 
  private:
   std::string_view data_;
@@ -47,7 +48,7 @@ class StringByteSource final : public ByteSource {
 class ByteSink {
  public:
   virtual ~ByteSink() = default;
-  virtual Status Append(std::string_view data) = 0;
+  [[nodiscard]] virtual Status Append(std::string_view data) = 0;
 };
 
 /// ByteSink appending to an in-memory string.
@@ -55,7 +56,7 @@ class StringByteSink final : public ByteSink {
  public:
   explicit StringByteSink(std::string* out) : out_(out) {}
 
-  Status Append(std::string_view data) override {
+  [[nodiscard]] Status Append(std::string_view data) override {
     out_->append(data);
     return Status::OK();
   }
@@ -72,10 +73,10 @@ class BlockStreamWriter final : public ByteSink {
 
   const Status& init_status() const { return init_status_; }
 
-  Status Append(std::string_view data) override;
+  [[nodiscard]] Status Append(std::string_view data) override;
 
   /// Flush the final partial block and return the written extent.
-  Status Finish(ByteRange* range);
+  [[nodiscard]] Status Finish(ByteRange* range);
 
   uint64_t bytes_written() const { return byte_size_; }
 
@@ -101,7 +102,7 @@ class BlockStreamReader final : public ByteSource {
 
   const Status& init_status() const { return init_status_; }
 
-  Status Read(char* buf, size_t n, size_t* out) override;
+  [[nodiscard]] Status Read(char* buf, size_t n, size_t* out) override;
 
   uint64_t bytes_remaining() const { return range_.byte_size - position_; }
 
@@ -118,12 +119,12 @@ class BlockStreamReader final : public ByteSource {
 };
 
 /// Convenience: copy a whole string into a fresh extent on `device`.
-StatusOr<ByteRange> StoreBytes(BlockDevice* device, MemoryBudget* budget,
+[[nodiscard]] StatusOr<ByteRange> StoreBytes(BlockDevice* device, MemoryBudget* budget,
                                std::string_view data,
                                IoCategory category = IoCategory::kOther);
 
 /// Convenience: read a whole extent back into a string.
-StatusOr<std::string> LoadBytes(BlockDevice* device, MemoryBudget* budget,
+[[nodiscard]] StatusOr<std::string> LoadBytes(BlockDevice* device, MemoryBudget* budget,
                                 ByteRange range,
                                 IoCategory category = IoCategory::kOther);
 

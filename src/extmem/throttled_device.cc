@@ -1,8 +1,9 @@
-#include <cassert>
 #include <chrono>
 #include <thread>
 
 #include "extmem/block_device.h"
+#include "util/dcheck.h"
+#include "util/status.h"
 
 namespace nexsort {
 
@@ -41,7 +42,7 @@ class ThrottledBlockDevice final : public BlockDevice {
     RETURN_IF_ERROR(base_->Allocate(count, &first));
     // Wrapper and base must agree on ids; nothing else may allocate on the
     // base while it is wrapped.
-    assert(first == num_blocks());
+    NEXSORT_DCHECK_EQ(first, num_blocks());
     (void)first;
     return Status::OK();
   }

@@ -1,6 +1,10 @@
 #include "merge/batch_update.h"
 
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
 #include "obs/tracer.h"
+#include "util/status.h"
 
 namespace nexsort {
 

@@ -11,7 +11,12 @@
 #pragma once
 
 #include "core/nexsort.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
 #include "merge/structural_merge.h"
+#include "obs/tracer.h"
+#include "util/status.h"
 
 namespace nexsort {
 
@@ -31,7 +36,7 @@ struct BatchUpdateOptions {
 /// Apply `updates` (unsorted XML text) to the already-sorted `base`.
 /// The updates batch is NEXSORT-sorted on `device` first (using `budget`),
 /// then merged into the base in one pass. The result stays fully sorted.
-Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
+[[nodiscard]] Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
                          BlockDevice* device, MemoryBudget* budget,
                          ByteSink* output, const BatchUpdateOptions& options,
                          MergeStats* stats = nullptr);

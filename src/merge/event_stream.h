@@ -18,7 +18,7 @@ class EventStream {
  public:
   explicit EventStream(ByteSource* source) : parser_(source) {}
 
-  Status Advance() {
+  [[nodiscard]] Status Advance() {
     ASSIGN_OR_RETURN(bool more, parser_.Next(&event_));
     done_ = !more;
     return Status::OK();

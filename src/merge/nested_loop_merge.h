@@ -46,7 +46,7 @@ struct NestedLoopMergeStats {
 /// Merge `right_range` (on `right_device`) into the left document streamed
 /// from `left`. Each probe re-reads the right document through the counted
 /// device, so right_device->stats() records the quadratic blowup.
-Status NestedLoopMerge(ByteSource* left, BlockDevice* right_device,
+[[nodiscard]] Status NestedLoopMerge(ByteSource* left, BlockDevice* right_device,
                        MemoryBudget* budget, ByteRange right_range,
                        ByteSink* output,
                        const NestedLoopMergeOptions& options,

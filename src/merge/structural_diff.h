@@ -42,7 +42,7 @@ struct DiffStats {
 /// Diff sorted `base` against sorted `target` into an update batch on
 /// `output`. The batch is itself sorted under the same spec (ready for a
 /// one-pass ApplyBatchUpdates without re-sorting).
-Status StructuralDiff(ByteSource* base, ByteSource* target, ByteSink* output,
+[[nodiscard]] Status StructuralDiff(ByteSource* base, ByteSource* target, ByteSink* output,
                       const DiffOptions& options, DiffStats* stats = nullptr);
 
 }  // namespace nexsort

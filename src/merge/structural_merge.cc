@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "merge/event_stream.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "xml/writer.h"
 

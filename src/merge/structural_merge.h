@@ -58,7 +58,7 @@ struct MergeStats {
 
 /// Merge sorted `left` and sorted `right` into `output` in one pass.
 /// The two roots must have the same tag name.
-Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
+[[nodiscard]] Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
                        const MergeOptions& options,
                        MergeStats* stats = nullptr);
 
@@ -70,7 +70,7 @@ Status StructuralMerge(ByteSource* left, ByteSource* right, ByteSink* output,
 /// (same ancestors, tag, and key) are unified with attributes unioned
 /// leftmost-wins; earlier inputs win text under kPreferLeft. Update
 /// operations are a two-input concept and are rejected here.
-Status StructuralMergeMany(const std::vector<ByteSource*>& inputs,
+[[nodiscard]] Status StructuralMergeMany(const std::vector<ByteSource*>& inputs,
                            ByteSink* output, const MergeOptions& options,
                            MergeStats* stats = nullptr);
 

@@ -60,7 +60,7 @@ class JsonSorter {
              JsonSortOptions options);
 
   /// Sort JSON text from `input` into `output`. Single use.
-  Status Sort(ByteSource* input, ByteSink* output);
+  [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
 
   const JsonSortStats& stats() const { return stats_; }
 
@@ -74,11 +74,11 @@ class JsonSorter {
 
 /// Translate JSON text to its element-tree encoding (exposed for tests and
 /// for building custom pipelines). `options` drives nxk key extraction.
-Status JsonToXml(ByteSource* input, ByteSink* output,
+[[nodiscard]] Status JsonToXml(ByteSource* input, ByteSink* output,
                  const JsonSortOptions& options, JsonSortStats* stats);
 
 /// Translate the element-tree encoding back to compact JSON text.
-Status XmlToJson(ByteSource* input, ByteSink* output);
+[[nodiscard]] Status XmlToJson(ByteSource* input, ByteSink* output);
 
 /// The OrderSpec matching the encoding and `options`.
 OrderSpec JsonOrderSpec(const JsonSortOptions& options);

@@ -17,7 +17,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 AsyncSpiller::AsyncSpiller(WorkerPool* pool) : pool_(pool) {}
 
-AsyncSpiller::~AsyncSpiller() { WaitIdle(); }
+AsyncSpiller::~AsyncSpiller() {
+  // Best-effort drain: a failed spill was already recorded in
+  // pending_error_ and surfaced via Finish(); nothing to do with it here.
+  (void)WaitIdle();
+}
 
 Status AsyncSpiller::Submit(std::function<Status()> job) {
   RETURN_IF_ERROR(WaitIdle());

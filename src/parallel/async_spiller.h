@@ -34,13 +34,13 @@ class AsyncSpiller {
   /// flight (one-deep pipeline: the caller's next buffer fill overlaps
   /// exactly one sort+spill). Returns the sticky error instead of
   /// submitting if an earlier job failed.
-  Status Submit(std::function<Status()> job);
+  [[nodiscard]] Status Submit(std::function<Status()> job);
 
   /// Wait for the in-flight job (if any); returns the sticky status.
-  Status WaitIdle();
+  [[nodiscard]] Status WaitIdle();
 
   /// WaitIdle, for the end of the pipeline.
-  Status Drain() { return WaitIdle(); }
+  [[nodiscard]] Status Drain() { return WaitIdle(); }
 
   /// Foreground seconds spent blocked waiting on background jobs (the
   /// pipeline stall time) and background seconds spent executing them (the

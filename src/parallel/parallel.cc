@@ -1,6 +1,7 @@
 #include "parallel/parallel.h"
 
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace nexsort {

@@ -6,6 +6,9 @@
 #include <mutex>
 
 #include "cache/buffer_pool.h"
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/stream.h"
 #include "obs/tracer.h"
 #include "parallel/async_spiller.h"
 #include "parallel/run_prefetcher.h"
@@ -91,7 +94,7 @@ ExternalMergeSorter::~ExternalMergeSorter() {
   if (spiller_ != nullptr) (void)spiller_->WaitIdle();
   PublishStats();
   for (RunHandle run : runs_) {
-    (void)store_->FreeRun(run);
+    (void)store_->FreeRun(run);  // best-effort cleanup of leftover runs
   }
 }
 

@@ -28,7 +28,10 @@
 #include <string_view>
 #include <vector>
 
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
 #include "extmem/run_store.h"
+#include "extmem/stream.h"
 #include "parallel/parallel.h"
 #include "sort/loser_tree.h"
 #include "util/status.h"
@@ -77,11 +80,11 @@ class RecordRunSource final : public MergeSource {
   RecordRunSource(RunStore* store, RunHandle handle, IoCategory category);
 
   /// Prime the first record.
-  Status Open();
+  [[nodiscard]] Status Open();
 
   bool exhausted() const override { return exhausted_; }
   std::string_view key() const override { return key_; }
-  Status Advance() override;
+  [[nodiscard]] Status Advance() override;
 
   std::string_view value() const { return value_; }
 
@@ -111,15 +114,15 @@ class ExternalMergeSorter {
   const Status& init_status() const { return init_status_; }
 
   /// Buffer one record, spilling a sorted run if the buffer is full.
-  Status Add(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Add(std::string_view key, std::string_view value);
 
   /// Sort everything added. After this only Next may be called. Any error
   /// a background spill hit — including a failed run write — surfaces
   /// here (or from the Add that first observed it).
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   /// Produce records in key order. Returns false when drained.
-  StatusOr<bool> Next(std::string* key, std::string* value);
+  [[nodiscard]] StatusOr<bool> Next(std::string* key, std::string* value);
 
   const ExtSortStats& stats() const { return stats_; }
 
@@ -151,12 +154,12 @@ class ExternalMergeSorter {
 
   /// Route a full buffer to the background spiller (engaging double
   /// buffering on first use when the budget allows) or spill inline.
-  Status Spill();
+  [[nodiscard]] Status Spill();
 
   /// Sort `buffer` and write it out as one run. `background` suppresses
   /// tracing (the Tracer is single-threaded) and defers the run-created
   /// event for the foreground to emit.
-  Status SpillRun(SpillBuffer* buffer, bool background);
+  [[nodiscard]] Status SpillRun(SpillBuffer* buffer, bool background);
 
   /// Sort a buffer's records: std::sort, or partitioned across the worker
   /// pool and merged when a pool is attached and the buffer is large.
@@ -169,7 +172,7 @@ class ExternalMergeSorter {
   /// Fold pstats_ into the attached ParallelContext, exactly once.
   void PublishStats();
 
-  Status MergeAll();
+  [[nodiscard]] Status MergeAll();
 
   RunStore* store_;
   const ExtSortOptions options_;
@@ -200,10 +203,10 @@ class ExternalMergeSorter {
 };
 
 /// Decode helper shared by run-record readers.
-Status ReadVarintFromRun(RunReader* reader, uint64_t* value);
+[[nodiscard]] Status ReadVarintFromRun(RunReader* reader, uint64_t* value);
 
 /// Append one length-prefixed record to `sink`.
-Status AppendRecord(ByteSink* sink, std::string_view key,
+[[nodiscard]] Status AppendRecord(ByteSink* sink, std::string_view key,
                     std::string_view value);
 
 }  // namespace nexsort

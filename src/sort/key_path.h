@@ -29,10 +29,10 @@ void AppendKeyPathComponent(std::string* dst, std::string_view key,
 
 /// Decode the component starting at the front of *input (for debugging and
 /// tests); advances past it.
-Status DecodeKeyPathComponent(std::string_view* input, std::string* key,
+[[nodiscard]] Status DecodeKeyPathComponent(std::string_view* input, std::string* key,
                               uint64_t* seq);
 
 /// Number of components in an encoded path; Corruption if malformed.
-StatusOr<int> KeyPathDepth(std::string_view path);
+[[nodiscard]] StatusOr<int> KeyPathDepth(std::string_view path);
 
 }  // namespace nexsort

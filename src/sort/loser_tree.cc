@@ -1,6 +1,6 @@
 #include "sort/loser_tree.h"
 
-#include <cassert>
+#include "util/dcheck.h"
 
 namespace nexsort {
 
@@ -22,8 +22,28 @@ int LoserTree::Compare(int a, int b) const {
   return a < b ? a : b;
 }
 
+bool LoserTree::HeapOrderOk() const {
+  int w = tree_[0];
+  if (w < 0) return k_ == 0;
+  if (sources_[w]->exhausted()) {
+    // An exhausted winner is only legal once every source is exhausted.
+    for (const MergeSource* source : sources_) {
+      if (!source->exhausted()) return false;
+    }
+    return true;
+  }
+  std::string_view winner_key = sources_[w]->key();
+  for (int i = 0; i < k_; ++i) {
+    if (sources_[i]->exhausted()) continue;
+    std::string_view key = sources_[i]->key();
+    if (key < winner_key) return false;
+    if (key == winner_key && i < w) return false;  // stability tie-break
+  }
+  return true;
+}
+
 Status LoserTree::Init() {
-  assert(k_ > 0);
+  NEXSORT_DCHECK(k_ > 0);
   tree_.assign(2 * k_, -1);
   // Leaves occupy [k_, 2k); run one full bottom-up tournament.
   std::vector<int> winner(2 * k_, -1);
@@ -37,11 +57,12 @@ Status LoserTree::Init() {
   }
   tree_[0] = winner.size() > 1 ? winner[1] : -1;
   initialized_ = true;
+  NEXSORT_DCHECK_MSG(HeapOrderOk(), "loser tree built out of order");
   return Status::OK();
 }
 
 MergeSource* LoserTree::Min() const {
-  assert(initialized_);
+  NEXSORT_DCHECK(initialized_);
   int w = tree_[0];
   if (w < 0 || sources_[w]->exhausted()) return nullptr;
   return sources_[w];
@@ -61,11 +82,14 @@ void LoserTree::Replay(int leaf) {
 }
 
 Status LoserTree::AdvanceMin() {
-  assert(initialized_);
+  NEXSORT_DCHECK(initialized_);
   int w = tree_[0];
   if (w < 0) return Status::InvalidArgument("merge already exhausted");
   RETURN_IF_ERROR(sources_[w]->Advance());
   Replay(w);
+  NEXSORT_DCHECK_MSG(HeapOrderOk(),
+                     "loser tree heap order violated after replay "
+                     "(unsorted source run?)");
   return Status::OK();
 }
 

@@ -22,7 +22,7 @@ class MergeSource {
   virtual std::string_view key() const = 0;
 
   /// Move to the next record (possibly exhausting the stream).
-  virtual Status Advance() = 0;
+  [[nodiscard]] virtual Status Advance() = 0;
 };
 
 /// Classic loser tree over `sources`. Ties are broken by source index, so a
@@ -32,18 +32,22 @@ class LoserTree {
   explicit LoserTree(std::vector<MergeSource*> sources);
 
   /// Build the initial tournament. Must be called once before Min().
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Source holding the globally smallest current key, or nullptr when all
   /// sources are exhausted.
   MergeSource* Min() const;
 
   /// Advance the winning source and replay its path in the tournament.
-  Status AdvanceMin();
+  [[nodiscard]] Status AdvanceMin();
 
  private:
   int Compare(int a, int b) const;  // winner of the pair (index)
   void Replay(int leaf);
+
+  /// O(k) tournament audit for NEXSORT_DCHECK: the winner's key is <= the
+  /// current key of every non-exhausted source (with index tie-break).
+  bool HeapOrderOk() const;
 
   std::vector<MergeSource*> sources_;
   std::vector<int> tree_;  // internal nodes hold losers; tree_[0] = winner

@@ -1,0 +1,42 @@
+#include "util/dcheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nexsort {
+namespace internal {
+
+// The failure path is the one place in the library allowed to write to
+// stderr and abort: a failed DCHECK is a bug in nexsort itself, and dying
+// loudly at the broken invariant beats corrupting a sort quietly.
+[[noreturn]] void DcheckFail(const char* file, int line, const char* expr,
+                             const char* detail) {
+  std::fprintf(stderr, "%s:%d: NEXSORT_DCHECK failed: %s%s%s\n", file, line,
+               expr, (detail != nullptr && detail[0] != '\0') ? " — " : "",
+               detail);                              // lint-ok: no-stdio
+  std::fflush(stderr);
+  std::abort();                                      // lint-ok: no-stdio
+}
+
+[[noreturn]] void DcheckBinaryFail(const char* file, int line,
+                                   const char* expr, uint64_t lhs,
+                                   uint64_t rhs) {
+  std::fprintf(stderr,
+               "%s:%d: NEXSORT_DCHECK failed: %s (lhs=%llu rhs=%llu)\n",
+               file, line, expr,
+               static_cast<unsigned long long>(lhs),
+               static_cast<unsigned long long>(rhs));  // lint-ok: no-stdio
+  std::fflush(stderr);
+  std::abort();                                        // lint-ok: no-stdio
+}
+
+[[noreturn]] void DcheckStatusFail(const char* file, int line,
+                                   const char* expr, const Status& status) {
+  std::fprintf(stderr, "%s:%d: NEXSORT_DCHECK_OK failed: %s -> %s\n", file,
+               line, expr, status.ToString().c_str());  // lint-ok: no-stdio
+  std::fflush(stderr);
+  std::abort();                                         // lint-ok: no-stdio
+}
+
+}  // namespace internal
+}  // namespace nexsort

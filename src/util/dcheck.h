@@ -1,0 +1,122 @@
+// Debug invariant checks: NEXSORT_DCHECK and friends verify internal
+// invariants (pin/unpin balance, budget exactness, stack bookkeeping,
+// loser-tree heap order) in Debug and sanitizer builds, and compile to
+// nothing in Release builds. A failed check is a programming bug, never an
+// environmental error, so the failure path prints the condition and dies —
+// it must not be used for conditions a caller could legitimately trigger
+// (those return Status).
+//
+// Enablement: NEXSORT_DCHECK_ENABLED can be forced to 0/1 on the compile
+// command line (the NEXSORT_DCHECK CMake option does this; the asan-ubsan
+// and tsan presets force it on). When unset it follows NDEBUG, so plain
+// Debug builds check and Release/RelWithDebInfo builds do not.
+//
+// Disabled checks do not evaluate their arguments; never put required side
+// effects inside one. NEXSORT_DCHECK_OK exists so a Status-returning
+// expression can be asserted on without tripping the unchecked-Status lint.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+#if !defined(NEXSORT_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define NEXSORT_DCHECK_ENABLED 0
+#else
+#define NEXSORT_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace nexsort {
+namespace internal {
+
+/// Print "<file>:<line>: NEXSORT_DCHECK failed: <expr> <detail>" to stderr
+/// and abort. Out of line so the macro expansion stays small.
+[[noreturn]] void DcheckFail(const char* file, int line, const char* expr,
+                             const char* detail);
+
+/// DcheckFail with the two operand values of a binary comparison rendered
+/// into the message.
+[[noreturn]] void DcheckBinaryFail(const char* file, int line,
+                                   const char* expr, uint64_t lhs,
+                                   uint64_t rhs);
+
+/// DcheckFail for NEXSORT_DCHECK_OK: renders the non-OK Status.
+[[noreturn]] void DcheckStatusFail(const char* file, int line,
+                                   const char* expr, const Status& status);
+
+}  // namespace internal
+}  // namespace nexsort
+
+#if NEXSORT_DCHECK_ENABLED
+
+/// Die unless `cond` is true. Debug/sanitizer builds only.
+#define NEXSORT_DCHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::nexsort::internal::DcheckFail(__FILE__, __LINE__, #cond, "");     \
+    }                                                                     \
+  } while (0)
+
+/// NEXSORT_DCHECK with an extra string-literal detail in the message.
+#define NEXSORT_DCHECK_MSG(cond, detail)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::nexsort::internal::DcheckFail(__FILE__, __LINE__, #cond, detail); \
+    }                                                                     \
+  } while (0)
+
+#define NEXSORT_DCHECK_OP_(op, a, b)                                      \
+  do {                                                                    \
+    const uint64_t _dca = static_cast<uint64_t>(a);                       \
+    const uint64_t _dcb = static_cast<uint64_t>(b);                       \
+    if (!(_dca op _dcb)) {                                                \
+      ::nexsort::internal::DcheckBinaryFail(__FILE__, __LINE__,           \
+                                            #a " " #op " " #b, _dca,      \
+                                            _dcb);                        \
+    }                                                                     \
+  } while (0)
+
+/// Die unless the Status-valued expression is OK. Debug/sanitizer builds
+/// only: in Release the expression is NOT evaluated.
+#define NEXSORT_DCHECK_OK(expr)                                           \
+  do {                                                                    \
+    const ::nexsort::Status _dcst = (expr);                               \
+    if (!_dcst.ok()) {                                                    \
+      ::nexsort::internal::DcheckStatusFail(__FILE__, __LINE__, #expr,    \
+                                            _dcst);                       \
+    }                                                                     \
+  } while (0)
+
+#else  // !NEXSORT_DCHECK_ENABLED
+
+// Disabled: arguments are type-checked but never evaluated.
+#define NEXSORT_DCHECK(cond) \
+  do {                       \
+    (void)sizeof((cond));    \
+  } while (0)
+#define NEXSORT_DCHECK_MSG(cond, detail) \
+  do {                                   \
+    (void)sizeof((cond));                \
+    (void)sizeof(detail);                \
+  } while (0)
+#define NEXSORT_DCHECK_OP_(op, a, b) \
+  do {                               \
+    (void)sizeof((a));               \
+    (void)sizeof((b));               \
+  } while (0)
+#define NEXSORT_DCHECK_OK(expr) \
+  do {                          \
+    (void)sizeof((expr));       \
+  } while (0)
+
+#endif  // NEXSORT_DCHECK_ENABLED
+
+/// Comparison forms print both operand values on failure (operands are
+/// converted to uint64_t, which every invariant in this codebase uses).
+#define NEXSORT_DCHECK_EQ(a, b) NEXSORT_DCHECK_OP_(==, a, b)
+#define NEXSORT_DCHECK_NE(a, b) NEXSORT_DCHECK_OP_(!=, a, b)
+#define NEXSORT_DCHECK_LE(a, b) NEXSORT_DCHECK_OP_(<=, a, b)
+#define NEXSORT_DCHECK_LT(a, b) NEXSORT_DCHECK_OP_(<, a, b)
+#define NEXSORT_DCHECK_GE(a, b) NEXSORT_DCHECK_OP_(>=, a, b)

@@ -27,26 +27,26 @@ class Status {
 
   Status() : code_(Code::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string_view msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string_view msg) {
     return Status(Code::kInvalidArgument, msg);
   }
-  static Status IOError(std::string_view msg) {
+  [[nodiscard]] static Status IOError(std::string_view msg) {
     return Status(Code::kIOError, msg);
   }
-  static Status Corruption(std::string_view msg) {
+  [[nodiscard]] static Status Corruption(std::string_view msg) {
     return Status(Code::kCorruption, msg);
   }
-  static Status NotSupported(std::string_view msg) {
+  [[nodiscard]] static Status NotSupported(std::string_view msg) {
     return Status(Code::kNotSupported, msg);
   }
-  static Status OutOfMemory(std::string_view msg) {
+  [[nodiscard]] static Status OutOfMemory(std::string_view msg) {
     return Status(Code::kOutOfMemory, msg);
   }
-  static Status NotFound(std::string_view msg) {
+  [[nodiscard]] static Status NotFound(std::string_view msg) {
     return Status(Code::kNotFound, msg);
   }
-  static Status ParseError(std::string_view msg) {
+  [[nodiscard]] static Status ParseError(std::string_view msg) {
     return Status(Code::kParseError, msg);
   }
 

@@ -19,11 +19,11 @@ void PutLengthPrefixed(std::string* dst, std::string_view value);
 
 /// Decode a varint from the front of *input, advancing it past the encoding.
 /// Returns Corruption if the input is truncated or overlong.
-Status GetVarint64(std::string_view* input, uint64_t* value);
-Status GetVarint32(std::string_view* input, uint32_t* value);
+[[nodiscard]] Status GetVarint64(std::string_view* input, uint64_t* value);
+[[nodiscard]] Status GetVarint32(std::string_view* input, uint32_t* value);
 
 /// Decode a length-prefixed string from the front of *input.
-Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+[[nodiscard]] Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
 
 /// Number of bytes PutVarint64 would append for `value`.
 int VarintLength(uint64_t value);

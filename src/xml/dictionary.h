@@ -24,7 +24,7 @@ class NameDictionary {
   uint32_t Intern(std::string_view name);
 
   /// Name for `id`; Corruption if out of range.
-  StatusOr<std::string_view> Lookup(uint32_t id) const;
+  [[nodiscard]] StatusOr<std::string_view> Lookup(uint32_t id) const;
 
   size_t size() const { return names_.size(); }
 

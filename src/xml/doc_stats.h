@@ -46,9 +46,9 @@ struct DocStats {
 };
 
 /// Profile the document streamed from `input`.
-StatusOr<DocStats> ProfileDocument(ByteSource* input);
+[[nodiscard]] StatusOr<DocStats> ProfileDocument(ByteSource* input);
 
 /// Convenience overload for in-memory text.
-StatusOr<DocStats> ProfileDocument(std::string_view xml);
+[[nodiscard]] StatusOr<DocStats> ProfileDocument(std::string_view xml);
 
 }  // namespace nexsort

@@ -78,10 +78,10 @@ struct XmlNode {
 
 /// Parse a whole document from `source` into a tree; the document must have
 /// a single root element.
-StatusOr<std::unique_ptr<XmlNode>> ParseDom(ByteSource* source);
+[[nodiscard]] StatusOr<std::unique_ptr<XmlNode>> ParseDom(ByteSource* source);
 
 /// Convenience overload for in-memory text.
-StatusOr<std::unique_ptr<XmlNode>> ParseDom(std::string_view text);
+[[nodiscard]] StatusOr<std::unique_ptr<XmlNode>> ParseDom(std::string_view text);
 
 /// Serialize `root` (compact, no added whitespace).
 std::string SerializeDom(const XmlNode& root, bool pretty = false);

@@ -52,7 +52,7 @@ class Dtd {
  public:
   /// Parse DTD text (the content of a .dtd file, or an internal subset
   /// without the surrounding <!DOCTYPE ... [ ]>).
-  static StatusOr<Dtd> Parse(std::string_view text);
+  [[nodiscard]] static StatusOr<Dtd> Parse(std::string_view text);
 
   const DtdElementDecl* FindElement(std::string_view name) const;
   const std::vector<DtdAttributeDecl>& attributes() const {
@@ -67,8 +67,8 @@ class Dtd {
   /// Streaming structural validation: every element declared, children
   /// allowed by the parent's content model, text only under mixed/ANY
   /// content, required attributes present.
-  StatusOr<DtdValidationReport> Validate(ByteSource* document) const;
-  StatusOr<DtdValidationReport> Validate(std::string_view xml) const;
+  [[nodiscard]] StatusOr<DtdValidationReport> Validate(ByteSource* document) const;
+  [[nodiscard]] StatusOr<DtdValidationReport> Validate(std::string_view xml) const;
 
  private:
   std::vector<DtdElementDecl> elements_;

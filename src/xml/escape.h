@@ -20,7 +20,7 @@ void AppendEscapedAttribute(std::string* out, std::string_view value);
 /// in `input`, appending to *out. ParseError on an unknown or malformed
 /// entity. `custom` optionally supplies user-defined entities (from a
 /// DOCTYPE internal subset); values are substituted verbatim.
-Status AppendUnescaped(
+[[nodiscard]] Status AppendUnescaped(
     std::string* out, std::string_view input,
     const std::unordered_map<std::string, std::string>* custom = nullptr);
 

@@ -47,10 +47,10 @@ class RandomTreeGenerator {
   RandomTreeGenerator(int height, uint64_t max_fanout,
                       GeneratorOptions options = {});
 
-  Status Generate(ByteSink* sink);
+  [[nodiscard]] Status Generate(ByteSink* sink);
 
   /// Convenience: generate into a string.
-  StatusOr<std::string> GenerateString();
+  [[nodiscard]] StatusOr<std::string> GenerateString();
 
   const GeneratorStats& stats() const { return stats_; }
 
@@ -68,8 +68,8 @@ class ShapeGenerator {
  public:
   ShapeGenerator(std::vector<uint64_t> fanouts, GeneratorOptions options = {});
 
-  Status Generate(ByteSink* sink);
-  StatusOr<std::string> GenerateString();
+  [[nodiscard]] Status Generate(ByteSink* sink);
+  [[nodiscard]] StatusOr<std::string> GenerateString();
 
   /// Element count the shape will produce: 1 + f1 + f1*f2 + ...
   uint64_t ExpectedElements() const;

@@ -39,7 +39,7 @@ class SaxParser {
   /// Produce the next event. Returns false at clean end of input (all
   /// elements closed), true if *event was filled. ParseError on malformed
   /// input, or any Status the underlying source fails with.
-  StatusOr<bool> Next(XmlEvent* event);
+  [[nodiscard]] StatusOr<bool> Next(XmlEvent* event);
 
   /// Nesting depth after the last event (root start tag => 1).
   int depth() const { return depth_; }
@@ -49,28 +49,28 @@ class SaxParser {
 
  private:
   // Buffer management --------------------------------------------------
-  Status Fill();                  // read another chunk from the source
-  Status Ensure(size_t n);        // buffer at least n bytes or hit EOF
+  [[nodiscard]] Status Fill();                  // read another chunk from the source
+  [[nodiscard]] Status Ensure(size_t n);        // buffer at least n bytes or hit EOF
   bool AtEof();                   // no buffered bytes and source drained
   char PeekChar() const { return buffer_[pos_]; }
   size_t Available() const { return buffer_.size() - pos_; }
   void Advance(size_t n) { pos_ += n; consumed_ += n; }
   // Find `needle` in the buffered data starting at pos_, filling as needed;
   // returns its offset relative to pos_ or NotFound at EOF.
-  StatusOr<size_t> FindInBuffer(std::string_view needle);
+  [[nodiscard]] StatusOr<size_t> FindInBuffer(std::string_view needle);
 
   // Grammar productions -------------------------------------------------
-  Status SkipWhitespace();
-  Status ParseMarkup(XmlEvent* event, bool* produced);
-  Status ParseStartTag(XmlEvent* event);
-  Status ParseEndTag(XmlEvent* event);
-  Status ParseComment();
-  Status ParseProcessingInstruction();
-  Status ParseDoctype();
-  Status ParseCdata(XmlEvent* event);
-  Status ParseText(XmlEvent* event, bool* produced);
-  Status ParseName(std::string* name);
-  Status ParseAttributes(XmlEvent* event, bool* self_closing);
+  [[nodiscard]] Status SkipWhitespace();
+  [[nodiscard]] Status ParseMarkup(XmlEvent* event, bool* produced);
+  [[nodiscard]] Status ParseStartTag(XmlEvent* event);
+  [[nodiscard]] Status ParseEndTag(XmlEvent* event);
+  [[nodiscard]] Status ParseComment();
+  [[nodiscard]] Status ParseProcessingInstruction();
+  [[nodiscard]] Status ParseDoctype();
+  [[nodiscard]] Status ParseCdata(XmlEvent* event);
+  [[nodiscard]] Status ParseText(XmlEvent* event, bool* produced);
+  [[nodiscard]] Status ParseName(std::string* name);
+  [[nodiscard]] Status ParseAttributes(XmlEvent* event, bool* self_closing);
 
   ByteSource* source_;
   SaxOptions options_;

@@ -25,21 +25,21 @@ class XmlWriter {
  public:
   XmlWriter(ByteSink* sink, XmlWriterOptions options = {});
 
-  Status StartElement(std::string_view name,
+  [[nodiscard]] Status StartElement(std::string_view name,
                       const std::vector<XmlAttribute>& attributes = {});
-  Status EndElement();
-  Status Text(std::string_view text);
+  [[nodiscard]] Status EndElement();
+  [[nodiscard]] Status Text(std::string_view text);
 
   /// Replay a parse event (convenience for copy-through pipelines).
-  Status Event(const XmlEvent& event);
+  [[nodiscard]] Status Event(const XmlEvent& event);
 
   /// Close any elements still open and flush buffered bytes to the sink.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   int depth() const { return static_cast<int>(open_.size()); }
 
  private:
-  Status FlushIfLarge();
+  [[nodiscard]] Status FlushIfLarge();
   void Indent();
 
   ByteSink* sink_;

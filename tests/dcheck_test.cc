@@ -1,0 +1,60 @@
+// NEXSORT_DCHECK layer (docs/STATIC_ANALYSIS.md): passing checks are
+// silent in every build; failing checks die with a diagnostic when the
+// layer is enabled (Debug / sanitizer presets) and evaluate nothing when
+// it is disabled (Release).
+#include "util/dcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace nexsort {
+namespace {
+
+TEST(DcheckTest, PassingChecksAreSilent) {
+  NEXSORT_DCHECK(1 + 1 == 2);
+  NEXSORT_DCHECK_MSG(true, "never printed");
+  NEXSORT_DCHECK_EQ(4, 4);
+  NEXSORT_DCHECK_NE(4, 5);
+  NEXSORT_DCHECK_LE(4, 4);
+  NEXSORT_DCHECK_LT(4, 5);
+  NEXSORT_DCHECK_GE(5, 4);
+  NEXSORT_DCHECK_OK(Status::OK());
+}
+
+#if NEXSORT_DCHECK_ENABLED
+
+TEST(DcheckDeathTest, FailedCheckDiesWithExpression) {
+  EXPECT_DEATH(NEXSORT_DCHECK(2 + 2 == 5), "NEXSORT_DCHECK failed");
+  EXPECT_DEATH(NEXSORT_DCHECK_MSG(false, "the detail string"),
+               "the detail string");
+}
+
+TEST(DcheckDeathTest, BinaryFormPrintsBothOperands) {
+  const uint64_t lhs = 3;
+  const uint64_t rhs = 7;
+  EXPECT_DEATH(NEXSORT_DCHECK_EQ(lhs, rhs), "3.*7");
+}
+
+TEST(DcheckDeathTest, OkFormPrintsTheStatus) {
+  EXPECT_DEATH(NEXSORT_DCHECK_OK(Status::Corruption("bad frame")),
+               "bad frame");
+}
+
+#else  // !NEXSORT_DCHECK_ENABLED
+
+TEST(DcheckTest, DisabledChecksDoNotEvaluate) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return false;
+  };
+  NEXSORT_DCHECK(bump());
+  NEXSORT_DCHECK_MSG(bump(), "unused");
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // NEXSORT_DCHECK_ENABLED
+
+}  // namespace
+}  // namespace nexsort

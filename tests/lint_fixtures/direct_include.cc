@@ -1,0 +1,11 @@
+// Lint fixture: relies on a transitive include for a project type. Rule
+// `direct-include` must fire: BlockDevice is used but its canonical header
+// "extmem/block_device.h" is never included (util/status.h happens to
+// reach it transitively in some include orders — never rely on that).
+#include "util/status.h"
+
+namespace nexsort {
+
+uint64_t FixtureBlockCount(BlockDevice* device);
+
+}  // namespace nexsort

@@ -1,0 +1,12 @@
+// Lint fixture: a BlockDevice transfer without an explicit IoCategory.
+// Rule `io-category` must fire on the Read below.
+#include "extmem/block_device.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+[[nodiscard]] Status FixtureLoad(BlockDevice* device, char* buf) {
+  return device->Read(0, buf);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,6 @@
+// Lint fixture: a .cc whose first include is not its paired header. Rule
+// `include-first` must fire (linted as src/extmem/memory_budget.cc via
+// --treat-as, so the paired header src/extmem/memory_budget.h exists).
+#include "util/status.h"
+
+#include "extmem/memory_budget.h"

@@ -1,0 +1,12 @@
+// Lint fixture: raw randomness outside src/util/random. Rule
+// `no-raw-random` must fire on the rand() below (unseeded randomness makes
+// failures unreproducible; use the project RNG).
+#include <cstdlib>
+
+namespace nexsort {
+
+int FixtureSeed() {
+  return rand();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,11 @@
+// Lint fixture: direct stdio in library code. Rule `no-stdio` must fire
+// on the printf below (library code reports through Status / the tracer).
+#include <cstdio>
+
+namespace nexsort {
+
+void FixtureLog(int value) {
+  printf("value = %d\n", value);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,11 @@
+// Lint fixture: a Status-returning header function missing [[nodiscard]].
+// Rule `nodiscard-status` must fire on the declaration below.
+#pragma once
+
+#include "util/status.h"
+
+namespace nexsort {
+
+Status FixtureMissingNodiscard(int value);
+
+}  // namespace nexsort

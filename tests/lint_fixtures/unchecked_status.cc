@@ -1,0 +1,13 @@
+// Lint fixture: a Status-returning call whose result is silently dropped.
+// Rule `unchecked-status` must fire on the bare call below.
+#include "util/status.h"
+
+namespace nexsort {
+
+[[nodiscard]] Status FixtureStep();
+
+void FixtureDriver() {
+  FixtureStep();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,14 @@
+// Lint fixture: a (void)-discarded Status with no explanation.
+// Rule `void-discard-comment` must fire: every intentional discard needs a
+// comment on the same or preceding line saying why ignoring is safe.
+#include "util/status.h"
+
+namespace nexsort {
+
+[[nodiscard]] Status FixtureCleanup();
+
+void FixtureShutdown() {
+  (void)FixtureCleanup();
+}
+
+}  // namespace nexsort

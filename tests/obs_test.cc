@@ -296,6 +296,7 @@ TEST(Tracer, SpanBudgetMarks) {
   EXPECT_EQ(span.budget_used_open, 2u);
   EXPECT_EQ(span.budget_used_close, 4u);
   EXPECT_EQ(span.budget_peak, 8u);
+  budget.Release(4);
 }
 
 // --------------------------------------------------------------- Run events

@@ -19,12 +19,14 @@ TEST(MemoryBudget, TracksAcquireRelease) {
   budget.Release(2);
   EXPECT_EQ(budget.used_blocks(), 2u);
   EXPECT_EQ(budget.peak_blocks(), 4u);
+  budget.Release(2);
 }
 
 TEST(MemoryBudget, RejectsOverCommit) {
   MemoryBudget budget(3);
   NEX_ASSERT_OK(budget.Acquire(3));
   EXPECT_TRUE(budget.Acquire(1).IsOutOfMemory());
+  budget.Release(3);
 }
 
 TEST(MemoryBudget, ReservationReleasesOnDestruction) {

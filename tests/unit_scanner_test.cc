@@ -63,7 +63,9 @@ TEST(UnitScanner, SequenceNumbersIncreaseInDocumentOrder) {
     ASSERT_TRUE(more.ok());
     if (!*more) break;
     if (event.kind == ScanEvent::Kind::kEnd) continue;
-    if (!first) EXPECT_GT(event.unit.seq, last_seq);
+    if (!first) {
+      EXPECT_GT(event.unit.seq, last_seq);
+    }
     last_seq = event.unit.seq;
     first = false;
   }
