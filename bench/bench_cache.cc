@@ -36,11 +36,15 @@ int main(int argc, char** argv) {
               "prefetch | model(s) | output");
   for (uint64_t frames : {0, 4, 8, 16, 32, 48, 64}) {
     NexSortOptions options = DefaultNexOptions();
-    options.cache = {.frames = frames,
-                     .readahead = frames > 0 ? kReadahead : 0};
+    SortEnvOptions env_options;
+    env_options.block_size = kBlockSize;
+    env_options.memory_blocks = kMemoryBlocks;
+    env_options.cache = {.frames = frames,
+                         .readahead = frames > 0 ? kReadahead : 0};
     std::string output;
-    RunResult result = RunNexSort(xml, kMemoryBlocks, std::move(options),
-                                  kBlockSize, json_log.enabled(), &output);
+    RunResult result = RunNexSort(xml, std::move(env_options),
+                                  std::move(options), json_log.enabled(),
+                                  &output);
     CheckOk(result, "nexsort");
     json_log.AddRow("nexsort_cached",
                     {{"memory_blocks", kMemoryBlocks},

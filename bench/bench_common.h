@@ -16,8 +16,8 @@
 
 #include "core/keypath_xml_sort.h"
 #include "core/nexsort.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
-#include "extmem/memory_budget.h"
 #include "obs/json_writer.h"
 #include "obs/tracer.h"
 #include "xml/generator.h"
@@ -42,25 +42,31 @@ struct RunResult {
   NexSortStats nexsort_stats;      // NEXSORT runs only
   KeyPathSortStats keypath_stats;  // baseline runs only
   IoStats io;  // *physical* transfers: the backing device's counters
-  CacheStats cache;  // all zeros unless options.cache.frames > 0
+  CacheStats cache;  // all zeros unless env_options.cache.frames > 0
   /// Rendered "nexsort-telemetry-v1" object (per-phase spans, run events,
   /// metrics) — same schema as xmlsort --stats-json's "telemetry" key.
   /// Empty unless the run captured telemetry.
   std::string telemetry_json;
 };
 
-/// Sort `xml` with NEXSORT under `memory_blocks` of budget.
-inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
+/// Sort `xml` with NEXSORT inside an environment built from `env_options`.
+/// Benches that need a cache, worker threads, or throttle layers set the
+/// corresponding SortEnvOptions fields; everything else uses the
+/// memory-blocks convenience overload below.
+inline RunResult RunNexSort(const std::string& xml, SortEnvOptions env_options,
                             NexSortOptions options,
-                            size_t block_size = kBlockSize,
                             bool capture_telemetry = false,
                             std::string* output = nullptr) {
   RunResult result;
-  auto device = NewMemoryBlockDevice(block_size);
-  MemoryBudget budget(memory_blocks);
   Tracer tracer;
-  if (capture_telemetry) options.tracer = &tracer;
-  NexSorter sorter(device.get(), &budget, std::move(options));
+  if (capture_telemetry) env_options.tracer = &tracer;
+  auto env_or = SortEnv::Create(std::move(env_options));
+  if (!env_or.ok()) {
+    result.error = env_or.status().ToString();
+    return result;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+  NexSorter sorter(env.get(), std::move(options));
   StringByteSource source(xml);
   std::string out;
   StringByteSink sink(&out);
@@ -69,17 +75,67 @@ inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
   auto stop = std::chrono::steady_clock::now();
   result.ok = st.ok();
   result.error = st.ToString();
-  result.io = device->stats();
-  result.io_total = device->stats().total();
-  result.io_reads = device->stats().reads;
-  result.io_writes = device->stats().writes;
-  result.modeled_seconds = device->stats().modeled_seconds;
+  result.io = env->physical_device()->stats();
+  result.io_total = result.io.total();
+  result.io_reads = result.io.reads;
+  result.io_writes = result.io.writes;
+  result.modeled_seconds = result.io.modeled_seconds;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.output_bytes = out.size();
   result.nexsort_stats = sorter.stats();
-  result.cache = sorter.cache_stats();
+  result.cache = env->cache_stats();
   if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
   if (output != nullptr) *output = std::move(out);
+  return result;
+}
+
+/// Sort `xml` with NEXSORT under `memory_blocks` of budget.
+inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
+                            NexSortOptions options,
+                            size_t block_size = kBlockSize,
+                            bool capture_telemetry = false,
+                            std::string* output = nullptr) {
+  SortEnvOptions env_options;
+  env_options.block_size = block_size;
+  env_options.memory_blocks = memory_blocks;
+  return RunNexSort(xml, std::move(env_options), std::move(options),
+                    capture_telemetry, output);
+}
+
+/// Sort `xml` with the key-path external merge sort baseline inside an
+/// environment built from `env_options`.
+inline RunResult RunKeyPathSort(const std::string& xml,
+                                SortEnvOptions env_options,
+                                KeyPathSortOptions options,
+                                bool capture_telemetry = false) {
+  RunResult result;
+  Tracer tracer;
+  if (capture_telemetry) env_options.tracer = &tracer;
+  auto env_or = SortEnv::Create(std::move(env_options));
+  if (!env_or.ok()) {
+    result.error = env_or.status().ToString();
+    return result;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+  KeyPathXmlSorter sorter(env.get(), std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  StringByteSink sink(&out);
+  auto start = std::chrono::steady_clock::now();
+  Status st = sorter.Sort(&source, &sink);
+  auto stop = std::chrono::steady_clock::now();
+  result.ok = st.ok();
+  result.error = st.ToString();
+  result.io = env->physical_device()->stats();
+  result.io_total = result.io.total();
+  result.io_reads = result.io.reads;
+  result.io_writes = result.io.writes;
+  result.modeled_seconds = result.io.modeled_seconds;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.output_bytes = out.size();
+  result.keypath_stats = sorter.stats();
+  result.cache = env->cache_stats();
+  if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
   return result;
 }
 
@@ -89,31 +145,11 @@ inline RunResult RunKeyPathSort(const std::string& xml,
                                 KeyPathSortOptions options,
                                 size_t block_size = kBlockSize,
                                 bool capture_telemetry = false) {
-  RunResult result;
-  auto device = NewMemoryBlockDevice(block_size);
-  MemoryBudget budget(memory_blocks);
-  Tracer tracer;
-  if (capture_telemetry) options.tracer = &tracer;
-  KeyPathXmlSorter sorter(device.get(), &budget, std::move(options));
-  StringByteSource source(xml);
-  std::string out;
-  StringByteSink sink(&out);
-  auto start = std::chrono::steady_clock::now();
-  Status st = sorter.Sort(&source, &sink);
-  auto stop = std::chrono::steady_clock::now();
-  result.ok = st.ok();
-  result.error = st.ToString();
-  result.io = device->stats();
-  result.io_total = device->stats().total();
-  result.io_reads = device->stats().reads;
-  result.io_writes = device->stats().writes;
-  result.modeled_seconds = device->stats().modeled_seconds;
-  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
-  result.output_bytes = out.size();
-  result.keypath_stats = sorter.stats();
-  result.cache = sorter.cache_stats();
-  if (capture_telemetry) result.telemetry_json = tracer.ToJsonString();
-  return result;
+  SortEnvOptions env_options;
+  env_options.block_size = block_size;
+  env_options.memory_blocks = memory_blocks;
+  return RunKeyPathSort(xml, std::move(env_options), std::move(options),
+                        capture_telemetry);
 }
 
 /// Machine-readable companion to the printed tables: pass `--json FILE`

@@ -51,13 +51,21 @@ int main() {
     uint64_t json_io = 0;
     double json_model = 0;
     {
-      auto device = NewMemoryBlockDevice(kBlockSize);
-      MemoryBudget budget(kMemoryBlocks);
+      SortEnvOptions env_options;
+      env_options.block_size = kBlockSize;
+      env_options.memory_blocks = kMemoryBlocks;
+      auto env_or = SortEnv::Create(std::move(env_options));
+      if (!env_or.ok()) {
+        std::fprintf(stderr, "env failed: %s\n",
+                     env_or.status().ToString().c_str());
+        return 1;
+      }
+      std::unique_ptr<SortEnv> env = std::move(env_or).value();
       JsonSortOptions options;
       options.sort_object_members = false;
       options.sort_arrays_by = "id";
       options.numeric_array_keys = true;
-      JsonSorter sorter(device.get(), &budget, options);
+      JsonSorter sorter(env.get(), options);
       StringByteSource source(json);
       std::string out;
       StringByteSink sink(&out);
@@ -66,8 +74,8 @@ int main() {
         std::fprintf(stderr, "json sort failed: %s\n", st.ToString().c_str());
         return 1;
       }
-      json_io = device->stats().total();
-      json_model = device->stats().modeled_seconds;
+      json_io = env->physical_device()->stats().total();
+      json_model = env->physical_device()->stats().modeled_seconds;
     }
 
     NexSortOptions options = DefaultNexOptions();

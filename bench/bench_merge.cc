@@ -85,47 +85,36 @@ int main() {
     {
       NexSortOptions options;
       options.order = MergeSpec();
-      RunResult left = RunNexSort(d1, kMemoryBlocks, options);
+      std::string d1_sorted;
+      RunResult left = RunNexSort(d1, kMemoryBlocks, options, kBlockSize,
+                                  /*capture_telemetry=*/false, &d1_sorted);
       CheckOk(left, "sort left");
       NexSortOptions options2;
       options2.order = MergeSpec();
-      RunResult right = RunNexSort(d2, kMemoryBlocks, options2);
+      std::string d2_sorted;
+      RunResult right = RunNexSort(d2, kMemoryBlocks, options2, kBlockSize,
+                                   /*capture_telemetry=*/false, &d2_sorted);
       CheckOk(right, "sort right");
       sort_io = left.io_total + right.io_total;
 
       // Merge pass over sorted inputs stored on a counted device.
-      NexSortOptions sort_left;
-      sort_left.order = MergeSpec();
-      std::string d1_sorted, d2_sorted;
-      {
-        auto device = NewMemoryBlockDevice(kBlockSize);
-        MemoryBudget budget(kMemoryBlocks);
-        NexSorter sorter(device.get(), &budget, sort_left);
-        StringByteSource source(d1);
-        StringByteSink sink(&d1_sorted);
-        if (!sorter.Sort(&source, &sink).ok()) return 1;
-      }
-      {
-        NexSortOptions sort_right;
-        sort_right.order = MergeSpec();
-        auto device = NewMemoryBlockDevice(kBlockSize);
-        MemoryBudget budget(kMemoryBlocks);
-        NexSorter sorter(device.get(), &budget, sort_right);
-        StringByteSource source(d2);
-        StringByteSink sink(&d2_sorted);
-        if (!sorter.Sort(&source, &sink).ok()) return 1;
-      }
-      auto device = NewMemoryBlockDevice(kBlockSize);
-      MemoryBudget budget(kMemoryBlocks);
-      auto left_range = StoreBytes(device.get(), &budget, d1_sorted);
-      auto right_range = StoreBytes(device.get(), &budget, d2_sorted);
+      auto env_or = SortEnvBuilder()
+                        .BlockSize(kBlockSize)
+                        .MemoryBlocks(kMemoryBlocks)
+                        .Build();
+      if (!env_or.ok()) return 1;
+      std::unique_ptr<SortEnv> env = std::move(env_or).value();
+      BlockDevice* device = env->device();
+      MemoryBudget* budget = env->budget();
+      auto left_range = StoreBytes(device, budget, d1_sorted);
+      auto right_range = StoreBytes(device, budget, d2_sorted);
       if (!left_range.ok() || !right_range.ok()) return 1;
       device->mutable_stats()->Clear();
-      BlockStreamReader left_reader(device.get(), &budget, *left_range,
+      BlockStreamReader left_reader(device, budget, *left_range,
                                     IoCategory::kInput);
-      BlockStreamReader right_reader(device.get(), &budget, *right_range,
+      BlockStreamReader right_reader(device, budget, *right_range,
                                      IoCategory::kInput);
-      BlockStreamWriter out(device.get(), &budget, IoCategory::kOutput);
+      BlockStreamWriter out(device, budget, IoCategory::kOutput);
       MergeOptions merge_options;
       merge_options.order = MergeSpec();
       Status st = StructuralMerge(&left_reader, &right_reader, &out,
@@ -142,9 +131,15 @@ int main() {
     // --- Nested loop: left streamed, right rescanned per employee.
     uint64_t nestloop_io = 0;
     {
-      auto device = NewMemoryBlockDevice(kBlockSize);
-      MemoryBudget budget(kMemoryBlocks);
-      auto right_range = StoreBytes(device.get(), &budget, d2);
+      auto env_or = SortEnvBuilder()
+                        .BlockSize(kBlockSize)
+                        .MemoryBlocks(kMemoryBlocks)
+                        .Build();
+      if (!env_or.ok()) return 1;
+      std::unique_ptr<SortEnv> env = std::move(env_or).value();
+      BlockDevice* device = env->device();
+      MemoryBudget* budget = env->budget();
+      auto right_range = StoreBytes(device, budget, d2);
       if (!right_range.ok()) return 1;
       device->mutable_stats()->Clear();
       NestedLoopMergeOptions options;
@@ -154,7 +149,7 @@ int main() {
       StringByteSource left(d1);
       std::string merged;
       StringByteSink sink(&merged);
-      Status st = NestedLoopMerge(&left, device.get(), &budget, *right_range,
+      Status st = NestedLoopMerge(&left, device, budget, *right_range,
                                   &sink, options, &stats);
       if (!st.ok()) {
         std::fprintf(stderr, "nested loop failed: %s\n",

@@ -5,6 +5,7 @@
 
 #include "core/element_unit.h"
 #include "core/order_spec.h"
+#include "env/sort_env.h"
 #include "extmem/ext_stack.h"
 #include "sort/key_path.h"
 #include "sort/loser_tree.h"
@@ -138,10 +139,15 @@ void BM_LoserTreeMerge(benchmark::State& state) {
 BENCHMARK(BM_LoserTreeMerge)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_ExtStackPushPop(benchmark::State& state) {
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(8);
+  auto env_or =
+      SortEnvBuilder().BlockSize(4096).MemoryBlocks(8).Build();
+  if (!env_or.ok()) {
+    state.SkipWithError("SortEnv::Create failed");
+    return;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   for (auto _ : state) {
-    ExtStack<uint64_t> stack(device.get(), &budget, 1,
+    ExtStack<uint64_t> stack(env->device(), env->budget(), 1,
                              IoCategory::kPathStack);
     for (uint64_t i = 0; i < 10000; ++i) (void)stack.Push(i);
     uint64_t value = 0;

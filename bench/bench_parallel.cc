@@ -1,10 +1,10 @@
 // Compute/I-O overlap sweep on the Figure-5 workload: the same document,
 // budget, and pinned sort allowance, sorted serially and with increasing
 // worker counts (plus a merge-prefetching variant). Unlike the counted
-// benches, the interesting metric here is *wall clock*, so the device is
-// wrapped in a ThrottledBlockDevice that pays a real (slept) latency per
-// block — on a pure memory device the CPU dominates and overlap has
-// nothing to hide. Every parallel run must produce byte-identical output;
+// benches, the interesting metric here is *wall clock*, so each run's
+// SortEnv stacks a Throttle layer over the memory base that pays a real
+// (slept) latency per block — on a pure memory device the CPU dominates
+// and overlap has nothing to hide. Every parallel run must produce byte-identical output;
 // the table reports the wall-time reduction against the serial baseline
 // alongside the pipeline's own counters (async spills, foreground stall,
 // background busy time).
@@ -27,11 +27,12 @@ struct ParallelRun {
   std::string output;
 };
 
-// Stage `xml` onto `base` (unthrottled: staging is setup, not workload)
-// and return its extent. Exits on failure — this is bench scaffolding.
-ByteRange StageInput(BlockDevice* base, const std::string& xml) {
-  MemoryBudget staging(4);
-  BlockStreamWriter writer(base, &staging, IoCategory::kOther);
+// Stage `xml` onto the env's *base* device (unthrottled: staging is
+// setup, not workload) and return its extent. Exits on failure — this is
+// bench scaffolding.
+ByteRange StageInput(SortEnv* env, const std::string& xml) {
+  BlockStreamWriter writer(env->base_device(), env->budget(),
+                           IoCategory::kOther);
   ByteRange range;
   if (!writer.init_status().ok() || !writer.Append(xml).ok() ||
       !writer.Finish(&range).ok()) {
@@ -41,10 +42,10 @@ ByteRange StageInput(BlockDevice* base, const std::string& xml) {
   return range;
 }
 
-// Read an extent back into a string through `base` (unthrottled).
-std::string ReadBack(BlockDevice* base, ByteRange range) {
-  MemoryBudget staging(4);
-  BlockStreamReader reader(base, &staging, range, IoCategory::kOther);
+// Read an extent back into a string through the base device (unthrottled).
+std::string ReadBack(SortEnv* env, ByteRange range) {
+  BlockStreamReader reader(env->base_device(), env->budget(), range,
+                           IoCategory::kOther);
   std::string out;
   out.reserve(range.byte_size);
   char buf[8192];
@@ -55,21 +56,20 @@ std::string ReadBack(BlockDevice* base, ByteRange range) {
   return out;
 }
 
-// RunNexSort in bench_common.h builds its own unthrottled device and
-// sorts RAM-to-RAM, so the overlap sweep has its own runner: the document
-// is staged on a memory device and the sort runs file-to-file through a
-// ThrottledBlockDevice wrapper — input reads, working I/O, and output
-// writes all pay a real (slept) per-block latency, which is what gives
-// background spills and prefetches something to hide. Stats come from the
-// wrapper (staging and read-back bypass it).
-ParallelRun RunThrottled(BlockDevice* base, BlockDevice* device,
-                         ByteRange input_range, uint64_t memory_blocks,
+// RunNexSort in bench_common.h sorts RAM-to-RAM, so the overlap sweep
+// has its own runner: the document is staged on the env's memory base and
+// the sort runs extent-to-extent through the env's throttle layer —
+// input reads, working I/O, and output writes all pay a real (slept)
+// per-block latency, which is what gives background spills and
+// prefetches something to hide. Stats come from the throttled layer
+// (env->physical_device(); staging and read-back bypass it).
+ParallelRun RunThrottled(SortEnv* env, ByteRange input_range,
                          NexSortOptions options) {
   ParallelRun run;
-  MemoryBudget budget(memory_blocks);
-  NexSorter sorter(device, &budget, std::move(options));
-  BlockStreamReader source(device, &budget, input_range, IoCategory::kInput);
-  BlockStreamWriter sink(device, &budget, IoCategory::kOutput);
+  NexSorter sorter(env, std::move(options));
+  BlockStreamReader source(env->device(), env->budget(), input_range,
+                           IoCategory::kInput);
+  BlockStreamWriter sink(env->device(), env->budget(), IoCategory::kOutput);
   ByteRange output_range;
   auto start = std::chrono::steady_clock::now();
   Status st = sorter.Sort(&source, &sink);
@@ -77,17 +77,17 @@ ParallelRun RunThrottled(BlockDevice* base, BlockDevice* device,
   auto stop = std::chrono::steady_clock::now();
   run.result.ok = st.ok();
   run.result.error = st.ToString();
-  run.result.io = device->stats();
-  run.result.io_total = device->stats().total();
-  run.result.io_reads = device->stats().reads;
-  run.result.io_writes = device->stats().writes;
-  run.result.modeled_seconds = device->stats().modeled_seconds;
+  run.result.io = env->physical_device()->stats();
+  run.result.io_total = run.result.io.total();
+  run.result.io_reads = run.result.io.reads;
+  run.result.io_writes = run.result.io.writes;
+  run.result.modeled_seconds = run.result.io.modeled_seconds;
   run.result.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   run.result.nexsort_stats = sorter.stats();
-  run.result.cache = sorter.cache_stats();
+  run.result.cache = env->cache_stats();
   run.pstats = sorter.parallel_stats();
-  if (run.result.ok) run.output = ReadBack(base, output_range);
+  if (run.result.ok) run.output = ReadBack(env, output_range);
   run.result.output_bytes = run.output.size();
   return run;
 }
@@ -96,14 +96,13 @@ ParallelRun RunThrottled(BlockDevice* base, BlockDevice* device,
 // external-sort-heavy configuration: every document byte flows through
 // run formation and the merge, so overlapped spills and prefetched merge
 // inputs act on the bulk of the I/O instead of a slice of it.
-ParallelRun RunThrottledKeyPath(BlockDevice* base, BlockDevice* device,
-                                ByteRange input_range, uint64_t memory_blocks,
+ParallelRun RunThrottledKeyPath(SortEnv* env, ByteRange input_range,
                                 KeyPathSortOptions options) {
   ParallelRun run;
-  MemoryBudget budget(memory_blocks);
-  KeyPathXmlSorter sorter(device, &budget, std::move(options));
-  BlockStreamReader source(device, &budget, input_range, IoCategory::kInput);
-  BlockStreamWriter sink(device, &budget, IoCategory::kOutput);
+  KeyPathXmlSorter sorter(env, std::move(options));
+  BlockStreamReader source(env->device(), env->budget(), input_range,
+                           IoCategory::kInput);
+  BlockStreamWriter sink(env->device(), env->budget(), IoCategory::kOutput);
   ByteRange output_range;
   auto start = std::chrono::steady_clock::now();
   Status st = sorter.Sort(&source, &sink);
@@ -111,17 +110,17 @@ ParallelRun RunThrottledKeyPath(BlockDevice* base, BlockDevice* device,
   auto stop = std::chrono::steady_clock::now();
   run.result.ok = st.ok();
   run.result.error = st.ToString();
-  run.result.io = device->stats();
-  run.result.io_total = device->stats().total();
-  run.result.io_reads = device->stats().reads;
-  run.result.io_writes = device->stats().writes;
-  run.result.modeled_seconds = device->stats().modeled_seconds;
+  run.result.io = env->physical_device()->stats();
+  run.result.io_total = run.result.io.total();
+  run.result.io_reads = run.result.io.reads;
+  run.result.io_writes = run.result.io.writes;
+  run.result.modeled_seconds = run.result.io.modeled_seconds;
   run.result.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   run.result.keypath_stats = sorter.stats();
-  run.result.cache = sorter.cache_stats();
+  run.result.cache = env->cache_stats();
   run.pstats = sorter.parallel_stats();
-  if (run.result.ok) run.output = ReadBack(base, output_range);
+  if (run.result.ok) run.output = ReadBack(env, output_range);
   run.result.output_bytes = run.output.size();
   return run;
 }
@@ -132,6 +131,32 @@ struct Config {
   uint32_t prefetch_depth;
   uint64_t cache_frames;
 };
+
+// Build the throttled environment for one sweep configuration: memory
+// base device, a Throttle layer paying the modeled per-block latency,
+// and the config's cache/thread/prefetch settings. Exits on failure.
+std::unique_ptr<SortEnv> MakeThrottledEnv(const Config& config,
+                                          uint64_t memory_blocks,
+                                          uint64_t sort_blocks,
+                                          const ThrottleModel& model) {
+  SortEnvOptions env_options;
+  env_options.block_size = kBlockSize;
+  env_options.memory_blocks = memory_blocks;
+  env_options.sort_memory_blocks = sort_blocks;
+  env_options.layers.push_back(DeviceLayer::Throttle(model));
+  env_options.parallel.threads = config.threads;
+  env_options.parallel.prefetch_depth = config.prefetch_depth;
+  if (config.cache_frames > 0) {
+    env_options.cache = {.frames = config.cache_frames, .readahead = 0};
+  }
+  auto env = SortEnv::Create(std::move(env_options));
+  if (!env.ok()) {
+    std::fprintf(stderr, "SortEnv::Create failed: %s\n",
+                 env.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(env).value();
+}
 
 }  // namespace
 
@@ -195,17 +220,10 @@ int main(int argc, char** argv) {
   double baseline_wall = 0;
   for (const Config& config : configs) {
     NexSortOptions options = DefaultNexOptions();
-    options.sort_memory_blocks = kSortBlocks;
-    options.parallel.threads = config.threads;
-    options.parallel.prefetch_depth = config.prefetch_depth;
-    if (config.cache_frames > 0) {
-      options.cache = {.frames = config.cache_frames, .readahead = 0};
-    }
-    auto base = NewMemoryBlockDevice(kBlockSize);
-    ByteRange input_range = StageInput(base.get(), xml);
-    auto device = NewThrottledBlockDevice(base.get(), kModel);
-    ParallelRun run = RunThrottled(base.get(), device.get(), input_range,
-                                   kMemoryBlocks, std::move(options));
+    auto env = MakeThrottledEnv(config, kMemoryBlocks, kSortBlocks, kModel);
+    ByteRange input_range = StageInput(env.get(), xml);
+    ParallelRun run = RunThrottled(env.get(), input_range,
+                                   std::move(options));
     CheckOk(run.result, config.label);
     json_log.AddRow("nexsort_parallel",
                     {{"threads", config.threads},
@@ -239,17 +257,9 @@ int main(int argc, char** argv) {
   baseline_wall = 0;
   for (const Config& config : configs) {
     KeyPathSortOptions options = DefaultKeyPathOptions();
-    options.sort_memory_blocks = kSortBlocks;
-    options.parallel.threads = config.threads;
-    options.parallel.prefetch_depth = config.prefetch_depth;
-    if (config.cache_frames > 0) {
-      options.cache = {.frames = config.cache_frames, .readahead = 0};
-    }
-    auto base = NewMemoryBlockDevice(kBlockSize);
-    ByteRange input_range = StageInput(base.get(), xml);
-    auto device = NewThrottledBlockDevice(base.get(), kModel);
-    ParallelRun run = RunThrottledKeyPath(base.get(), device.get(),
-                                          input_range, kMemoryBlocks,
+    auto env = MakeThrottledEnv(config, kMemoryBlocks, kSortBlocks, kModel);
+    ByteRange input_range = StageInput(env.get(), xml);
+    ParallelRun run = RunThrottledKeyPath(env.get(), input_range,
                                           std::move(options));
     CheckOk(run.result, config.label);
     json_log.AddRow("keypath_parallel",

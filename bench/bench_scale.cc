@@ -11,6 +11,7 @@
 
 #include "core/nexsort.h"
 #include "core/sorted_check.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "util/string_util.h"
 #include "xml/generator.h"
@@ -24,13 +25,18 @@ int main(int argc, char** argv) {
 
   std::string dir = "/tmp";
   std::string work_path = dir + "/nexsort_scale.work";
-  auto device_or = NewFileBlockDevice(work_path, kBlock);
-  if (!device_or.ok()) {
-    std::fprintf(stderr, "%s\n", device_or.status().ToString().c_str());
+  auto env_or = SortEnvBuilder()
+                    .BlockSize(kBlock)
+                    .MemoryBlocks(kMemory)
+                    .File(work_path)
+                    .Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
     return 1;
   }
-  BlockDevice* device = device_or->get();
-  MemoryBudget budget(kMemory);
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+  BlockDevice* device = env->device();
+  MemoryBudget* budget = env->budget();
 
   // Pick a shape whose size lands near the target: levels of fan-out 60
   // under a top fan-out chosen from the target (about 150 bytes/element).
@@ -45,7 +51,7 @@ int main(int argc, char** argv) {
   ByteRange input_range;
   auto t0 = std::chrono::steady_clock::now();
   {
-    BlockStreamWriter writer(device, &budget, IoCategory::kOther);
+    BlockStreamWriter writer(device, budget, IoCategory::kOther);
     if (!writer.init_status().ok()) return 1;
     Status st = generator.Generate(&writer);
     if (!st.ok() || !writer.Finish(&input_range).ok()) {
@@ -62,11 +68,11 @@ int main(int argc, char** argv) {
   device->mutable_stats()->Clear();
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
-  NexSorter sorter(device, &budget, options);
+  NexSorter sorter(env.get(), options);
   ByteRange output_range;
   {
-    BlockStreamReader reader(device, &budget, input_range, IoCategory::kInput);
-    BlockStreamWriter writer(device, &budget, IoCategory::kOutput);
+    BlockStreamReader reader(device, budget, input_range, IoCategory::kInput);
+    BlockStreamWriter writer(device, budget, IoCategory::kOutput);
     if (!reader.init_status().ok() || !writer.init_status().ok()) return 1;
     Status st = sorter.Sort(&reader, &writer);
     if (!st.ok()) {
@@ -92,11 +98,11 @@ int main(int argc, char** argv) {
   std::printf("memory budget: %llu blocks (%s), peak use %llu\n",
               static_cast<unsigned long long>(kMemory),
               HumanBytes(kMemory * kBlock).c_str(),
-              static_cast<unsigned long long>(budget.peak_blocks()));
+              static_cast<unsigned long long>(budget->peak_blocks()));
 
   // Verify the output start to finish.
   {
-    BlockStreamReader reader(device, &budget, output_range,
+    BlockStreamReader reader(device, budget, output_range,
                              IoCategory::kInput);
     if (!reader.init_status().ok()) return 1;
     auto report = CheckSorted(&reader, options.order);

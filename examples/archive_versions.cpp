@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "merge/structural_merge.h"
 
 using namespace nexsort;
@@ -28,11 +28,16 @@ OrderSpec ArchiveSpec() {
 }
 
 bool Sort(const std::string& xml, std::string* out) {
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   NexSortOptions options;
   options.order = ArchiveSpec();
-  NexSorter sorter(device.get(), &budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(xml);
   StringByteSink sink(out);
   Status status = sorter.Sort(&source, &sink);

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "merge/batch_update.h"
 
 using namespace nexsort;
@@ -38,8 +38,13 @@ int main() {
       "</title><copies>2</copies></book>"
       "</library>";
 
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
 
   BatchUpdateOptions options;
   options.order = spec;
@@ -47,8 +52,8 @@ int main() {
   std::string result;
   StringByteSink sink(&result);
   MergeStats stats;
-  Status status = ApplyBatchUpdates(&base_source, updates, device.get(),
-                                    &budget, &sink, options, &stats);
+  Status status = ApplyBatchUpdates(&base_source, updates, env.get(),
+                                    &sink, options, &stats);
   if (!status.ok()) {
     std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
     return 1;

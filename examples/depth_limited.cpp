@@ -9,15 +9,20 @@
 #include <cstdio>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 
 using namespace nexsort;
 
 namespace {
 
 std::string SortWithDepthLimit(const std::string& xml, int depth_limit) {
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   NexSortOptions options;
   OrderRule rule;
   rule.element = "*";
@@ -25,7 +30,7 @@ std::string SortWithDepthLimit(const std::string& xml, int depth_limit) {
   rule.argument = "date";
   options.order.AddRule(rule);
   options.depth_limit = depth_limit;
-  NexSorter sorter(device.get(), &budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(xml);
   std::string out;
   StringByteSink sink(&out);

@@ -5,7 +5,7 @@
 //   build/examples/json_sort
 #include <cstdio>
 
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "nested/json.h"
 
 using namespace nexsort;
@@ -23,15 +23,20 @@ int main() {
     "aggregates": {"sum": 313, "max": 214, "count": 3}
   })";
 
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
 
   JsonSortOptions options;
   options.sort_object_members = true;   // canonicalize member order
   options.sort_arrays_by = "id";        // order records by their id member
   options.numeric_array_keys = true;
 
-  JsonSorter sorter(device.get(), &budget, options);
+  JsonSorter sorter(env.get(), options);
   StringByteSource input(json);
   std::string sorted;
   StringByteSink output(&sorted);

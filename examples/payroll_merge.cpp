@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "merge/structural_merge.h"
 
 using namespace nexsort;
@@ -62,11 +62,16 @@ OrderSpec MakeSpec() {
 }
 
 bool Sort(const std::string& xml, const OrderSpec& spec, std::string* out) {
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   NexSortOptions options;
   options.order = spec;
-  NexSorter sorter(device.get(), &budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(xml);
   StringByteSink sink(out);
   Status status = sorter.Sort(&source, &sink);

@@ -2,14 +2,14 @@
 //
 //   build/examples/quickstart
 //
-// Walks through the minimal public-API surface: a block device (working
-// storage), a memory budget (the paper's M), an OrderSpec (the sorting
-// criterion), and NexSorter::Sort from a byte source to a byte sink.
+// Walks through the minimal public-API surface: a SortEnv (working
+// storage plus the paper's memory budget M behind one handle), an
+// OrderSpec (the sorting criterion), and NexSorter::Sort from a byte
+// source to a byte sink.
 #include <cstdio>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
-#include "extmem/memory_budget.h"
+#include "env/sort_env.h"
 
 using namespace nexsort;
 
@@ -43,15 +43,21 @@ int main() {
   category.argument = "name";
   order.AddRule(category);
 
-  // Working storage and the memory cap (M = 32 blocks of 4 KiB). The
-  // in-memory device counts I/Os exactly like a real disk would; swap in
-  // NewFileBlockDevice(path, ...) for file-backed runs.
-  auto device = NewMemoryBlockDevice(4096);
-  MemoryBudget budget(32);
+  // The execution environment: working storage plus the memory cap
+  // (M = 32 blocks of 4 KiB) behind one handle. The default in-memory
+  // device counts I/Os exactly like a real disk would; add .File(path)
+  // for file-backed runs.
+  auto env_or = SortEnvBuilder().BlockSize(4096).MemoryBlocks(32).Build();
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "env failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
 
   NexSortOptions options;
   options.order = order;
-  NexSorter sorter(device.get(), &budget, options);
+  NexSorter sorter(env.get(), options);
 
   StringByteSource input(catalog);
   std::string sorted;
@@ -70,6 +76,7 @@ int main() {
               static_cast<unsigned long long>(stats.scan.max_fanout),
               static_cast<unsigned long long>(stats.subtree_sorts));
   std::printf("block I/Os: %llu\n",
-              static_cast<unsigned long long>(device->stats().total()));
+              static_cast<unsigned long long>(
+                  env->physical_device()->stats().total()));
   return 0;
 }

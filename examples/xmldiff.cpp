@@ -17,7 +17,7 @@
 
 #include "core/nexsort.h"
 #include "core/order_spec_parse.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "merge/structural_diff.h"
 
 using namespace nexsort;
@@ -74,12 +74,20 @@ bool SortFile(const std::string& path, const OrderSpec& spec,
     return false;
   }
   std::string work = *sorted_path + ".work";
-  auto device = NewFileBlockDevice(work, block_size);
-  if (!device.ok()) return false;
-  MemoryBudget budget(memory_blocks);
+  auto env_or = SortEnvBuilder()
+                    .BlockSize(block_size)
+                    .MemoryBlocks(memory_blocks)
+                    .File(work)
+                    .Build();
+  if (!env_or.ok()) {
+    std::fclose(input);
+    std::fclose(output);
+    return false;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   NexSortOptions options;
   options.order = spec;
-  NexSorter sorter(device->get(), &budget, options);
+  NexSorter sorter(env.get(), options);
   FileSource source(input);
   FileSink sink(output);
   Status st = sorter.Sort(&source, &sink);

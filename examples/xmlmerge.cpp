@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
+#include "env/sort_env.h"
 #include "merge/structural_merge.h"
 
 using namespace nexsort;
@@ -81,16 +81,22 @@ bool SortToTemp(const std::string& path, const OrderSpec& spec,
     return false;
   }
   std::string work_path = *temp_path + ".work";
-  auto device = NewFileBlockDevice(work_path, block_size);
-  if (!device.ok()) {
+  auto env_or = SortEnvBuilder()
+                    .BlockSize(block_size)
+                    .MemoryBlocks(memory_blocks)
+                    .File(work_path)
+                    .Build();
+  if (!env_or.ok()) {
     std::fprintf(stderr, "working storage: %s\n",
-                 device.status().ToString().c_str());
+                 env_or.status().ToString().c_str());
+    std::fclose(input);
+    std::fclose(output);
     return false;
   }
-  MemoryBudget budget(memory_blocks);
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
   NexSortOptions options;
   options.order = spec;
-  NexSorter sorter(device->get(), &budget, options);
+  NexSorter sorter(env.get(), options);
   FileSource source(input);
   FileSink sink(output);
   Status status = sorter.Sort(&source, &sink);

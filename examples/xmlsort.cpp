@@ -61,6 +61,7 @@
 #include "core/order_spec_parse.h"
 #include "core/sorted_check.h"
 #include "xml/dtd.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/stream.h"
 #include "obs/json_writer.h"
@@ -332,17 +333,26 @@ int main(int argc, char** argv) {
   }
 
   std::string work_path = output_path + ".work";
-  auto device_or = NewFileBlockDevice(work_path, block_size);
-  if (!device_or.ok()) {
-    std::fprintf(stderr, "cannot open working storage: %s\n",
-                 device_or.status().ToString().c_str());
-    return 1;
-  }
-  MemoryBudget budget(memory_blocks);
-
   bool want_telemetry =
       show_stats || !stats_json_path.empty() || !trace_out_path.empty();
   Tracer tracer;
+
+  SortEnvOptions env_options;
+  env_options.block_size = block_size;
+  env_options.memory_blocks = memory_blocks;
+  env_options.file_path = work_path;
+  env_options.cache = {.frames = cache_blocks, .readahead = cache_readahead};
+  env_options.parallel.threads = static_cast<uint32_t>(threads);
+  env_options.parallel.prefetch_depth =
+      static_cast<uint32_t>(prefetch_depth);
+  if (want_telemetry) env_options.tracer = &tracer;
+  auto env_or = SortEnv::Create(std::move(env_options));
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "cannot open working storage: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
 
   NexSortOptions options;
   options.order = spec;
@@ -354,11 +364,7 @@ int main(int argc, char** argv) {
   options.sort_scope_tags = scope_tags;
   options.record_order_attribute = record_order;
   options.strip_attribute = strip_attr;
-  options.cache = {.frames = cache_blocks, .readahead = cache_readahead};
-  options.parallel.threads = static_cast<uint32_t>(threads);
-  options.parallel.prefetch_depth = static_cast<uint32_t>(prefetch_depth);
-  if (want_telemetry) options.tracer = &tracer;
-  NexSorter sorter(device_or->get(), &budget, options);
+  NexSorter sorter(env.get(), options);
 
   FileSource source(input);
   FileSink sink(output);
@@ -408,7 +414,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.sorts.internal_sorts),
                  static_cast<unsigned long long>(stats.sorts.external_sorts),
                  static_cast<unsigned long long>(stats.fragment_runs),
-                 (*device_or)->stats().ToString(block_size).c_str(),
+                 env->physical_device()->stats().ToString(block_size).c_str(),
                  tracer.ReportString().c_str());
     if (cache_blocks > 0) {
       CacheStats cache = sorter.cache_stats();
@@ -454,12 +460,16 @@ int main(int argc, char** argv) {
     json.Key("memory_blocks");
     json.Uint(memory_blocks);
     json.Key("memory_peak_blocks");
-    json.Uint(budget.peak_blocks());
+    json.Uint(env->budget()->peak_blocks());
     json.Key("run_count");
     json.Uint(tracer.run_event_counts()[static_cast<int>(
         RunEventKind::kCreated)]);
+    // The composed execution environment (device stack, cache, workers)
+    // that produced this run, as configured — see docs/ARCHITECTURE.md.
+    json.Key("env");
+    env->DescribeJson(&json);
     json.Key("io");
-    (*device_or)->stats().ToJson(&json);
+    env->physical_device()->stats().ToJson(&json);
     // The io block above is *physical* transfers on the working device;
     // with caching on, the counters here say how many logical accesses
     // the pool absorbed.

@@ -163,14 +163,57 @@ def check_parallel_metrics(telemetry):
         check(name in counters, f"telemetry: missing counter '{name}'")
 
 
+ENV_KEYS = ("block_size", "memory_blocks", "device", "layers",
+            "cache_frames", "readahead", "threads", "prefetch_depth",
+            "sort_memory_blocks")
+
+KNOWN_LAYERS = ("throttle", "fault")
+
+
+def check_env(env, stats):
+    """Validate the stats.env block: the composed SortEnv configuration.
+
+    Must agree with the sibling top-level fields (block_size,
+    memory_blocks) and with the cache/parallel blocks derived from the
+    same SortEnvOptions.
+    """
+    for key in ENV_KEYS:
+        check(key in env, f"stats.env: missing key '{key}'")
+    check(env.get("block_size") == stats.get("block_size"),
+          "stats.env.block_size disagrees with stats.block_size")
+    check(env.get("memory_blocks") == stats.get("memory_blocks"),
+          "stats.env.memory_blocks disagrees with stats.memory_blocks")
+    check(env.get("device") in ("memory", "file"),
+          f"stats.env.device is {env.get('device')!r}, "
+          "expected 'memory' or 'file'")
+    layers = env.get("layers", None)
+    check(isinstance(layers, list), "stats.env.layers is not a list")
+    for layer in layers or []:
+        check(layer in KNOWN_LAYERS,
+              f"stats.env.layers: unknown layer {layer!r}")
+    cache = stats.get("cache", {})
+    check(env.get("cache_frames") == cache.get("frames"),
+          "stats.env.cache_frames disagrees with stats.cache.frames")
+    check(env.get("readahead") == cache.get("readahead"),
+          "stats.env.readahead disagrees with stats.cache.readahead")
+    parallel = stats.get("parallel", {})
+    check(env.get("threads") == parallel.get("threads"),
+          "stats.env.threads disagrees with stats.parallel.threads")
+    check(env.get("prefetch_depth") == parallel.get("prefetch_depth"),
+          "stats.env.prefetch_depth disagrees with "
+          "stats.parallel.prefetch_depth")
+
+
 def check_stats(stats, cache_enabled=False, parallel_enabled=False):
     check(stats.get("schema") == "nexsort-stats-v1",
           f"stats schema is {stats.get('schema')!r}, "
           "expected 'nexsort-stats-v1'")
     for key in ("tool", "input", "block_size", "memory_blocks",
-                "memory_peak_blocks", "run_count", "io", "cache", "parallel",
-                "nexsort", "telemetry"):
+                "memory_peak_blocks", "run_count", "env", "io", "cache",
+                "parallel", "nexsort", "telemetry"):
         check(key in stats, f"stats: missing top-level key '{key}'")
+    if "env" in stats:
+        check_env(stats["env"], stats)
     check(isinstance(stats.get("memory_peak_blocks"), int),
           "stats: memory_peak_blocks is not an integer")
     check(isinstance(stats.get("run_count"), int),

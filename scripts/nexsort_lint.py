@@ -23,6 +23,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                         canonical header directly (no transitive reliance);
                         forward declarations and the paired-header
                         allowance for .cc files are accepted.
+  env-construction      MemoryBudget / BufferPool / WorkerPool are
+                        constructed only inside src/env/ (and their own
+                        defining files); everything else obtains them from
+                        a SortEnv. Tests are outside the linted tree.
   py-hygiene            scripts/*.py compile, start with a python3 shebang,
                         carry a module docstring, and keep lines <= 100.
 
@@ -85,6 +89,11 @@ CANONICAL_HEADER = {
     "AsyncSpiller": "parallel/async_spiller.h",
     "BoundedQueue": "parallel/bounded_queue.h",
     "RunPrefetcher": "parallel/run_prefetcher.h",
+    "SortEnv": "env/sort_env.h",
+    "SortEnvOptions": "env/sort_env.h",
+    "SortEnvBuilder": "env/sort_env.h",
+    "DeviceLayer": "env/sort_env.h",
+    "ThrottleModel": "extmem/device_wrappers.h",
 }
 
 # Receiver identifiers that denote a BlockDevice for the io-category rule.
@@ -473,6 +482,43 @@ def rule_direct_include(relpath, raw, stripped, raw_lines, ctx):
         )
 
 
+# The three shared-resource types only SortEnv may build. Each maps to the
+# file stem whose header/impl pair is allowed to construct it (its own
+# definition); src/env/** is allowed to construct all of them.
+ENV_OWNED_TYPES = {
+    "MemoryBudget": "src/extmem/memory_budget",
+    "BufferPool": "src/cache/buffer_pool",
+    "WorkerPool": "src/parallel/worker_pool",
+}
+
+ENV_CONSTRUCTION = re.compile(
+    r"(?:\bnew\s+(MemoryBudget|BufferPool|WorkerPool)\b"
+    r"|\bmake_(?:unique|shared)<\s*(MemoryBudget|BufferPool|WorkerPool)\s*>"
+    r"|\b(MemoryBudget|BufferPool|WorkerPool)\s+[A-Za-z_]\w*\s*[({])"
+)
+
+
+def rule_env_construction(relpath, raw, stripped, raw_lines, ctx):
+    if relpath.startswith("src/env/"):
+        return
+    for m in ENV_CONSTRUCTION.finditer(stripped):
+        type_name = next(g for g in m.groups() if g)
+        owner = ENV_OWNED_TYPES[type_name]
+        if relpath in (owner + ".h", owner + ".cc"):
+            continue
+        lineno = line_of(stripped, m.start())
+        if suppressed(raw_lines, lineno, "env-construction"):
+            continue
+        yield Finding(
+            relpath,
+            lineno,
+            "env-construction",
+            f"direct construction of '{type_name}' outside src/env/; "
+            "resources are owned by the execution environment — build a "
+            "SortEnv and use its accessors (docs/ARCHITECTURE.md)",
+        )
+
+
 def check_python_file(relpath, path):
     findings = []
     try:
@@ -520,6 +566,7 @@ RULES = {
     "no-raw-random": (rule_no_raw_random, _in_src),
     "include-first": (rule_include_first, _in_src),
     "direct-include": (rule_direct_include, _in_src),
+    "env-construction": (rule_env_construction, _in_status_scope),
 }
 
 

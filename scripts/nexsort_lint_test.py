@@ -29,6 +29,7 @@ CASES = [
     ("no_raw_random.cc", "no-raw-random", "src"),
     ("memory_budget.cc", "include-first", "src/extmem"),
     ("direct_include.cc", "direct-include", "src"),
+    ("env_construction.cc", "env-construction", "src"),
     ("py_hygiene_bad.py", "py-hygiene", None),
 ]
 

@@ -9,21 +9,17 @@
 
 namespace nexsort {
 
-KeyPathXmlSorter::KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
+KeyPathXmlSorter::KeyPathXmlSorter(SortEnv* env, KeyPathSortOptions options)
+    : KeyPathXmlSorter(env->NewSession(), std::move(options)) {}
+
+KeyPathXmlSorter::KeyPathXmlSorter(SortEnv::Session session,
                                    KeyPathSortOptions options)
-    : base_device_(device),
-      budget_(budget),
+    : session_(std::move(session)),
       options_(std::move(options)),
-      cache_(options_.cache.frames > 0
-                 ? std::make_unique<CachedBlockDevice>(device, budget,
-                                                       options_.cache)
-                 : nullptr),
-      device_(cache_ != nullptr ? cache_.get() : device),
-      parallel_context_(options_.parallel.enabled()
-                            ? std::make_unique<ParallelContext>(
-                                  options_.parallel)
-                            : nullptr),
-      store_(device_, budget) {
+      tracer_(session_.tracer()),
+      device_(session_.device()),
+      budget_(session_.budget()),
+      store_(session_.run_store()) {
   format_.use_dictionary = options_.use_dictionary;
 }
 
@@ -34,48 +30,48 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
     return Status::NotSupported(
         "the key-path baseline needs keys available at start tags");
   }
-  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->init_status());
-  // Cache frames are already reserved, so the merge sort gets what is left.
+  const SortEnvOptions& env_options = session_.env()->options();
+  // The env's cache frames are already reserved, so the merge sort gets
+  // what is left.
   if (budget_->available_blocks() < 4) {
     std::string msg = "key-path sort needs >= 4 blocks";
-    if (cache_ != nullptr) {
-      msg += " after the " + std::to_string(options_.cache.frames) +
+    if (env_options.cache.frames > 0) {
+      msg += " after the " + std::to_string(env_options.cache.frames) +
              " cache frames";
     }
     return Status::InvalidArgument(msg);
   }
 
-  if (options_.tracer != nullptr) {
+  if (tracer_ != nullptr) {
     // Spans snapshot the *physical* device: with caching on, their I/O
     // deltas are real transfers, not logical accesses.
-    options_.tracer->AttachDevice(base_device_);
-    options_.tracer->AttachBudget(budget_);
-    store_.set_tracer(options_.tracer);
-    if (cache_ != nullptr) cache_->pool()->set_tracer(options_.tracer);
+    tracer_->AttachDevice(session_.physical_device());
+    tracer_->AttachBudget(budget_);
   }
-  ScopedSpan sort_span(options_.tracer, "keypath_sort");
+  ScopedSpan sort_span(tracer_, "keypath_sort");
 
   UnitScanner scanner(input, &options_.order);
   ExtSortOptions sort_options;
   uint64_t sort_blocks = budget_->available_blocks();
-  if (options_.sort_memory_blocks != 0) {
-    if (options_.sort_memory_blocks < 4 ||
-        options_.sort_memory_blocks > sort_blocks) {
+  uint64_t pinned_sort_blocks = session_.sort_memory_blocks();
+  if (pinned_sort_blocks != 0) {
+    if (pinned_sort_blocks < 4 || pinned_sort_blocks > sort_blocks) {
       return Status::InvalidArgument(
           "sort_memory_blocks must be in [4, available blocks]");
     }
-    sort_blocks = options_.sort_memory_blocks;
-  } else if (options_.parallel.threads > 0 && options_.parallel.double_buffer) {
+    sort_blocks = pinned_sort_blocks;
+  } else if (env_options.parallel.threads > 0 &&
+             env_options.parallel.double_buffer) {
     // Auto mode with double buffering: grant roughly half the remaining
     // budget so the second sort buffer (and its spill writer) actually fit
     // and overlap engages instead of being declined.
     sort_blocks = std::max<uint64_t>(4, (sort_blocks + 1) / 2);
   }
   sort_options.memory_blocks = sort_blocks;
-  sort_options.tracer = options_.tracer;
-  sort_options.parallel = parallel_context_.get();
-  sort_options.buffer_pool = cache_ != nullptr ? cache_->pool() : nullptr;
-  ExternalMergeSorter sorter(&store_, sort_options);
+  sort_options.tracer = tracer_;
+  sort_options.parallel = session_.parallel();
+  sort_options.buffer_pool = session_.buffer_pool();
+  ExternalMergeSorter sorter(store_, sort_options);
   RETURN_IF_ERROR(sorter.init_status());
 
   // Pass 1: generate the key-path representation. Each record's key is the
@@ -83,7 +79,7 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   // plus its own — explicitly materialized per record, which is exactly the
   // space overhead the paper attributes to this baseline.
   {
-    ScopedSpan span(options_.tracer, "keypath_convert");
+    ScopedSpan span(tracer_, "keypath_convert");
     std::vector<size_t> path_ends;
     std::string path;
     std::string serialized;
@@ -116,13 +112,13 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   }
   stats_.scan = scanner.stats();
   {
-    ScopedSpan span(options_.tracer, "keypath_merge");
+    ScopedSpan span(tracer_, "keypath_merge");
     RETURN_IF_ERROR(sorter.Finish());
   }
 
   // Pass 2: key-path order is depth-first document order of the sorted
   // tree; emit it as XML directly.
-  ScopedSpan output_span(options_.tracer, "keypath_output");
+  ScopedSpan output_span(tracer_, "keypath_output");
   UnitXmlEmitter emitter(device_, budget_, &dictionary_, output);
   RETURN_IF_ERROR(emitter.init_status());
   std::string key;
@@ -138,12 +134,12 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   RETURN_IF_ERROR(emitter.Finish());
   stats_.sort = sorter.stats();
   stats_.output_bytes = emitter.output_bytes();
-  if (parallel_context_ != nullptr) {
-    parallel_context_->PublishMetrics(options_.tracer);
+  if (session_.parallel() != nullptr) {
+    session_.parallel()->PublishMetrics(tracer_);
   }
   // Push deferred writes to the physical device and surface any write-back
   // failure an eviction deferred mid-sort.
-  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());
+  RETURN_IF_ERROR(session_.Flush());
   return Status::OK();
 }
 

@@ -8,9 +8,11 @@
 #include <memory>
 
 #include "cache/buffer_pool.h"
+#include "core/common_options.h"
 #include "core/element_unit.h"
 #include "core/order_spec.h"
 #include "core/unit_scanner.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "extmem/run_store.h"
@@ -21,35 +23,12 @@
 
 namespace nexsort {
 
-struct KeyPathSortOptions {
-  OrderSpec order;
-
-  /// Same depth-limit semantics as NexSortOptions (levels beyond the limit
-  /// keep document order).
-  int depth_limit = 0;
-
-  /// Compaction parity with NEXSORT (name dictionary in the record format),
-  /// so the comparison is apples-to-apples.
-  bool use_dictionary = true;
-
-  /// Optional telemetry sink (not owned; may be null): spans for the
-  /// key-path conversion, the merge sort, and the output pass.
-  Tracer* tracer = nullptr;
-
-  /// Buffer-pool caching of the working device, same semantics as
-  /// NexSortOptions::cache (frames come out of the shared budget; see
-  /// docs/CACHING.md).
-  CacheOptions cache;
-
-  /// Compute/I-O overlap, same semantics as NexSortOptions::parallel (see
-  /// docs/PARALLELISM.md). Defaults are fully serial.
-  ParallelOptions parallel;
-
-  /// Blocks of internal memory the merge sort may use; 0 (the default)
-  /// takes everything the budget has left — halved when double buffering
-  /// so the second sort buffer fits. Must be >= 4 when set.
-  uint64_t sort_memory_blocks = 0;
-};
+/// Algorithm knobs only (all inherited: `order`, `depth_limit` — levels
+/// beyond the limit keep document order — and `use_dictionary` for
+/// compaction parity with NEXSORT, so the comparison is apples-to-apples).
+/// Resource plumbing — tracer, cache, parallelism, sort memory — lives in
+/// SortEnvOptions.
+struct KeyPathSortOptions : CommonSortOptions {};
 
 struct KeyPathSortStats {
   ScanStats scan;
@@ -59,37 +38,37 @@ struct KeyPathSortStats {
   uint64_t output_bytes = 0;
 };
 
-/// One-document sorter over a device + budget, like NexSorter. Complex
+/// One-document sorter running inside a SortEnv, like NexSorter. Complex
 /// ordering criteria are not supported: the streaming key-path conversion
 /// requires every ancestor's key to be known at its start tag.
 class KeyPathXmlSorter {
  public:
-  KeyPathXmlSorter(BlockDevice* device, MemoryBudget* budget,
-                   KeyPathSortOptions options);
+  /// Run in a fresh session of `env` (not owned; must outlive the sorter).
+  KeyPathXmlSorter(SortEnv* env, KeyPathSortOptions options);
+
+  /// Run in a caller-made session (multi-job sharing of one env).
+  KeyPathXmlSorter(SortEnv::Session session, KeyPathSortOptions options);
 
   [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
 
   const KeyPathSortStats& stats() const { return stats_; }
 
-  /// Counters of the block cache; all zeros when caching is disabled.
-  CacheStats cache_stats() const {
-    return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
-  }
+  /// Counters of the env's block cache; all zeros when caching is disabled.
+  CacheStats cache_stats() const { return session_.env()->cache_stats(); }
 
-  /// Counters of the parallel pipeline; all zeros when it is disabled.
+  /// Counters of this job's parallel pipeline; all zeros when disabled.
   ParallelStats parallel_stats() const {
-    return parallel_context_ != nullptr ? parallel_context_->stats()
-                                        : ParallelStats();
+    return session_.parallel() != nullptr ? session_.parallel()->stats()
+                                          : ParallelStats();
   }
 
  private:
-  BlockDevice* base_device_;  // what the caller handed us (physical I/O)
-  MemoryBudget* budget_;
+  SortEnv::Session session_;
   KeyPathSortOptions options_;
-  std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
-  BlockDevice* device_;  // cache_ when enabled, else base_device_
-  std::unique_ptr<ParallelContext> parallel_context_;  // null when serial
-  RunStore store_;
+  Tracer* tracer_;       // session_'s sink (may be null)
+  BlockDevice* device_;  // session_'s top-of-stack device
+  MemoryBudget* budget_;
+  RunStore* store_;      // session_'s run store
   NameDictionary dictionary_;
   UnitFormat format_;
   bool used_ = false;

@@ -61,20 +61,19 @@ std::string NexSortStats::ToJsonString() const {
   return std::move(writer).Take();
 }
 
-NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
-                     NexSortOptions options)
-    : base_device_(device),
-      budget_(budget),
+NexSorter::NexSorter(SortEnv* env, NexSortOptions options)
+    : NexSorter(env->NewSession(), std::move(options)) {}
+
+NexSorter::NexSorter(SortEnv::Session session, NexSortOptions options)
+    : session_(std::move(session)),
       options_(std::move(options)),
-      cache_(options_.cache.frames > 0
-                 ? std::make_unique<CachedBlockDevice>(device, budget,
-                                                       options_.cache)
-                 : nullptr),
-      device_(cache_ != nullptr ? cache_.get() : device),
-      store_(device_, budget) {
+      tracer_(session_.tracer()),
+      device_(session_.device()),
+      budget_(session_.budget()),
+      store_(session_.run_store()) {
   format_.use_dictionary = options_.use_dictionary;
   threshold_ = options_.sort_threshold != 0 ? options_.sort_threshold
-                                            : 2 * device->block_size();
+                                            : 2 * device_->block_size();
   push_end_units_ = options_.keep_end_units || options_.order.HasComplexRules();
   if (options_.dtd != nullptr) options_.dtd->SeedDictionary(&dictionary_);
   // Complex criteria deliver keys on end units, which the streaming
@@ -83,56 +82,51 @@ NexSorter::NexSorter(BlockDevice* device, MemoryBudget* budget,
   // external path is never taken and resolved keys are always honoured.
   if (options_.order.HasComplexRules()) options_.graceful_degeneration = true;
 
-  if (options_.parallel.enabled()) {
-    parallel_context_ = std::make_unique<ParallelContext>(options_.parallel);
-  }
-
-  sort_context_.store = &store_;
+  sort_context_.store = store_;
   sort_context_.dictionary = &dictionary_;
   sort_context_.format = format_;
   sort_context_.depth_limit = options_.depth_limit;
-  sort_context_.parallel = parallel_context_.get();
-  sort_context_.buffer_pool = cache_ != nullptr ? cache_->pool() : nullptr;
+  sort_context_.parallel = session_.parallel();
+  sort_context_.buffer_pool = session_.buffer_pool();
   sort_context_.scope_tags =
       options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
-  if (options_.tracer != nullptr) {
+  if (tracer_ != nullptr) {
     // Spans snapshot the *physical* device: with caching on, their I/O
     // deltas are real transfers, not logical accesses.
-    options_.tracer->AttachDevice(base_device_);
-    options_.tracer->AttachBudget(budget_);
-    store_.set_tracer(options_.tracer);
-    sort_context_.tracer = options_.tracer;
-    if (cache_ != nullptr) cache_->pool()->set_tracer(options_.tracer);
+    tracer_->AttachDevice(session_.physical_device());
+    tracer_->AttachBudget(budget_);
+    sort_context_.tracer = tracer_;
   }
 }
 
 Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
   if (used_) return Status::InvalidArgument("NexSorter is single-use");
   used_ = true;
-  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->init_status());
+  const SortEnvOptions& env_options = session_.env()->options();
   // Size the memory ledger from what the budget actually has left (the
-  // caller may hold input/output stream buffers; cache frames are already
-  // reserved): data stack 1 block, path stack 2 blocks; the rest goes to
-  // subtree sorts (one block of which is the run writer on the internal
-  // path).
+  // caller may hold input/output stream buffers; the env's cache frames
+  // are already reserved): data stack 1 block, path stack 2 blocks; the
+  // rest goes to subtree sorts (one block of which is the run writer on
+  // the internal path).
   uint64_t blocks = budget_->available_blocks();
   if (blocks < 8) {
     std::string msg = "NEXSORT needs >= 8 available blocks of memory budget";
-    if (cache_ != nullptr) {
-      msg += " after the " + std::to_string(options_.cache.frames) +
+    if (env_options.cache.frames > 0) {
+      msg += " after the " + std::to_string(env_options.cache.frames) +
              " cache frames";
     }
     return Status::InvalidArgument(msg);
   }
   uint64_t sort_blocks = blocks - 3;
-  if (options_.sort_memory_blocks != 0) {
-    if (options_.sort_memory_blocks < 4 ||
-        options_.sort_memory_blocks > sort_blocks) {
+  uint64_t pinned_sort_blocks = session_.sort_memory_blocks();
+  if (pinned_sort_blocks != 0) {
+    if (pinned_sort_blocks < 4 || pinned_sort_blocks > sort_blocks) {
       return Status::InvalidArgument(
           "sort_memory_blocks must be in [4, available - 3 stack blocks]");
     }
-    sort_blocks = options_.sort_memory_blocks;
-  } else if (options_.parallel.threads > 0 && options_.parallel.double_buffer) {
+    sort_blocks = pinned_sort_blocks;
+  } else if (env_options.parallel.threads > 0 &&
+             env_options.parallel.double_buffer) {
     // Auto mode with double buffering: grant roughly half the remaining
     // budget so the second sort buffer (and its spill writer) actually fit
     // and overlap engages instead of being declined.
@@ -149,19 +143,19 @@ Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
         "scoped sorting cannot combine with graceful degeneration or "
         "complex ordering criteria");
   }
-  ScopedSpan sort_span(options_.tracer, "nexsort");
+  ScopedSpan sort_span(tracer_, "nexsort");
   RunHandle root_run;
   RETURN_IF_ERROR(SortingPhase(input, &root_run));
   RETURN_IF_ERROR(OutputPhase(root_run, output));
   // Push deferred writes to the physical device and surface any write-back
   // failure an eviction deferred mid-sort.
-  if (cache_ != nullptr) RETURN_IF_ERROR(cache_->Flush());
+  RETURN_IF_ERROR(session_.Flush());
   sort_span.End();
-  if (parallel_context_ != nullptr) {
-    parallel_context_->PublishMetrics(options_.tracer);
+  if (session_.parallel() != nullptr) {
+    session_.parallel()->PublishMetrics(tracer_);
   }
-  if (options_.tracer != nullptr) {
-    MetricsRegistry* metrics = options_.tracer->metrics();
+  if (tracer_ != nullptr) {
+    MetricsRegistry* metrics = tracer_->metrics();
     metrics->GetGauge("data_stack_bytes")->Set(stats_.data_stack_peak);
     metrics->GetGauge("path_stack_entries")->Set(stats_.path_stack_peak);
     metrics->GetCounter("subtree_sorts")->Add(stats_.subtree_sorts);
@@ -179,9 +173,9 @@ Status NexSorter::SortRegion(ExtByteStack* data, const PathEntry& entry,
                              ElementUnit* pointer) {
   ++stats_.subtree_sorts;
   uint64_t region_size = data->size() - entry.start_offset;
-  ScopedSpan span(options_.tracer, "sort_region");
-  if (options_.tracer != nullptr) {
-    options_.tracer->metrics()->GetHistogram("subtree_region_bytes")
+  ScopedSpan span(tracer_, "sort_region");
+  if (tracer_ != nullptr) {
+    tracer_->metrics()->GetHistogram("subtree_region_bytes")
         ->Record(region_size);
   }
   ElementUnit root_unit;
@@ -235,7 +229,7 @@ Status NexSorter::MaybeFragment(ExtByteStack* data,
   ASSIGN_OR_RETURN(fragment,
                    SortForestInMemory(sort_context_, forest, &stats_.sorts));
   ++stats_.fragment_runs;
-  TraceRunEvent(options_.tracer, RunEventKind::kFragment,
+  TraceRunEvent(tracer_, RunEventKind::kFragment,
                 IoCategory::kRunWrite, fragment.byte_size, fragment.id);
 
   ElementUnit unit;
@@ -253,10 +247,10 @@ Status NexSorter::MaybeFragment(ExtByteStack* data,
 }
 
 Status NexSorter::SortingPhase(ByteSource* input, RunHandle* root_run) {
-  ScopedSpan span(options_.tracer, "sorting_phase");
+  ScopedSpan span(tracer_, "sorting_phase");
   Histogram* fanout_histogram =
-      options_.tracer != nullptr
-          ? options_.tracer->metrics()->GetHistogram("subtree_fanout")
+      tracer_ != nullptr
+          ? tracer_->metrics()->GetHistogram("subtree_fanout")
           : nullptr;
   UnitScanner scanner(input, &options_.order);
   ExtByteStack data(device_, budget_, 1, IoCategory::kDataStack);
@@ -361,7 +355,7 @@ struct OutputLoc {
 }  // namespace
 
 Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
-  ScopedSpan span(options_.tracer, "output_phase");
+  ScopedSpan span(tracer_, "output_phase");
   UnitEmitterOptions emitter_options;
   emitter_options.pretty = options_.pretty_output;
   UnitXmlEmitter emitter(device_, budget_, &dictionary_, output,
@@ -371,7 +365,7 @@ Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
                                 IoCategory::kOutputStack);
   RETURN_IF_ERROR(locations.init_status());
 
-  auto reader = std::make_unique<RunUnitReader>(&store_, root_run, 0, format_,
+  auto reader = std::make_unique<RunUnitReader>(store_, root_run, 0, format_,
                                                 &dictionary_);
   RETURN_IF_ERROR(reader->init_status());
   ElementUnit unit;
@@ -387,7 +381,7 @@ Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
       handle.id = loc.run_id;
       handle.byte_size = loc.run_bytes;
       reader.reset();  // release the block buffer before opening the next
-      reader = std::make_unique<RunUnitReader>(&store_, handle, loc.offset,
+      reader = std::make_unique<RunUnitReader>(store_, handle, loc.offset,
                                                format_, &dictionary_);
       RETURN_IF_ERROR(reader->init_status());
       continue;
@@ -400,7 +394,7 @@ Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
       loc.offset = reader->offset();
       RETURN_IF_ERROR(locations.Push(loc));
       reader.reset();
-      reader = std::make_unique<RunUnitReader>(&store_, unit.run, 0, format_,
+      reader = std::make_unique<RunUnitReader>(store_, unit.run, 0, format_,
                                                &dictionary_);
       RETURN_IF_ERROR(reader->init_status());
       continue;

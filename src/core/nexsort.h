@@ -23,10 +23,12 @@
 #include <memory>
 
 #include "cache/buffer_pool.h"
+#include "core/common_options.h"
 #include "core/element_unit.h"
 #include "core/order_spec.h"
 #include "core/subtree_sorter.h"
 #include "core/unit_scanner.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/ext_stack.h"
 #include "extmem/memory_budget.h"
@@ -40,36 +42,22 @@ namespace nexsort {
 
 class Tracer;
 
-struct NexSortOptions {
-  /// Ordering criterion for every sibling list.
-  OrderSpec order;
-
-  /// Optional telemetry sink (not owned; may be null, the default — the
-  /// hot path then pays only inlined null checks). When set, the sorter
-  /// attaches the tracer to its device and budget, opens spans for the
-  /// sorting phase / per-subtree sorts / output phase, emits run-lifecycle
-  /// events, and records run-size, subtree-size, and fan-out histograms
-  /// plus stack high-water gauges. See docs/OBSERVABILITY.md.
-  Tracer* tracer = nullptr;
-
+/// Algorithm knobs only: `order`, `depth_limit`, and `use_dictionary` come
+/// from CommonSortOptions. Resource plumbing (tracer, cache, parallelism,
+/// sort memory) lives in SortEnvOptions — describe the environment once,
+/// run any number of jobs in it.
+struct NexSortOptions : CommonSortOptions {
   /// The sort threshold t, in bytes: a complete subtree is sorted into a
   /// run once it reaches this size. 0 picks the paper's recommended value
   /// of twice the block size ("we set the threshold to be roughly twice the
   /// block size, which works well for most inputs", Section 5).
   uint64_t sort_threshold = 0;
 
-  /// Depth-limited sorting (Section 3.2): sort children of elements at
-  /// levels [1, depth_limit] only; 0 sorts head-to-toe.
-  int depth_limit = 0;
-
   /// Graceful degeneration into external merge sort (Section 3.2): when an
   /// incomplete subtree fills internal memory, sort what is there into an
   /// incomplete run instead of letting the region spill to disk. The
   /// paper's own evaluation ran with this OFF; benchmarks show both.
   bool graceful_degeneration = false;
-
-  /// Compaction (Section 3.2): intern tag/attribute names as integers.
-  bool use_dictionary = true;
 
   /// Compaction ablation: also push end-tag units onto the data stack (the
   /// paper's non-compacted representation). Forced on internally when the
@@ -98,30 +86,6 @@ struct NexSortOptions {
   /// this conversion"). Validation is separate; see Dtd::Validate.
   const Dtd* dtd = nullptr;
 
-  /// Buffer-pool caching of the working device (see docs/CACHING.md):
-  /// cache.frames > 0 interposes a CachedBlockDevice between the sorter
-  /// and the device, with the frames charged against the memory budget for
-  /// the sort's lifetime. The stacks, run store, and merge inputs then
-  /// share one block cache instead of re-reading hot blocks. Frames come
-  /// out of the same M, so M must cover cache.frames + the 8 blocks the
-  /// sort itself needs.
-  CacheOptions cache;
-
-  /// Compute/I-O overlap (see docs/PARALLELISM.md): threads > 0 starts a
-  /// worker pool shared by every subtree sort for double-buffered run
-  /// formation and partitioned spill sorts; prefetch_depth > 0 (requires
-  /// cache.frames > 0) prefetches merge-input runs into the block cache.
-  /// Defaults are fully serial. Output is byte-identical either way.
-  ParallelOptions parallel;
-
-  /// Blocks of internal memory each subtree sort may use; 0 (the default)
-  /// sizes automatically from what the budget has left — all of it when
-  /// serial, roughly half when double buffering so the second buffer fits.
-  /// Tests and benchmarks pin this to compare serial and parallel runs
-  /// under identical run structure. Must leave the 3 stack blocks free and
-  /// be >= 4 when set.
-  uint64_t sort_memory_blocks = 0;
-
   /// XSort-style scoped sorting (related work, Section 2): when non-empty,
   /// only children of elements with these tags are reordered; every other
   /// sibling list keeps document order. Solves XSort's simpler problem —
@@ -149,27 +113,33 @@ struct NexSortStats {
   std::string ToJsonString() const;
 };
 
-/// One-document sorter. The device supplies working storage (stacks +
-/// sorted runs); the budget caps internal memory at M blocks. Requires
-/// M >= 8 blocks (3 for the stacks, the rest for subtree sorts).
+/// One-document sorter running inside a SortEnv. The env supplies working
+/// storage (stacks + sorted runs) and caps internal memory at M blocks.
+/// Requires M >= 8 available blocks (3 for the stacks, the rest for
+/// subtree sorts) on top of whatever the env's cache has reserved.
 class NexSorter {
  public:
-  NexSorter(BlockDevice* device, MemoryBudget* budget, NexSortOptions options);
+  /// Run in a fresh session of `env` (not owned; must outlive the sorter).
+  NexSorter(SortEnv* env, NexSortOptions options);
+
+  /// Run in a caller-made session — the multi-job form: create one env,
+  /// hand each concurrent sorter its own session (with a per-job tracer,
+  /// or none).
+  NexSorter(SortEnv::Session session, NexSortOptions options);
 
   /// Sort `input` (XML text) into `output` (XML text). Single use.
   [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
 
   const NexSortStats& stats() const { return stats_; }
 
-  /// Counters of the block cache; all zeros when caching is disabled.
-  CacheStats cache_stats() const {
-    return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
-  }
+  /// Counters of the env's block cache; all zeros when caching is disabled.
+  /// Shared across every job of the env.
+  CacheStats cache_stats() const { return session_.env()->cache_stats(); }
 
-  /// Counters of the parallel pipeline; all zeros when it is disabled.
+  /// Counters of this job's parallel pipeline; all zeros when disabled.
   ParallelStats parallel_stats() const {
-    return parallel_context_ != nullptr ? parallel_context_->stats()
-                                        : ParallelStats();
+    return session_.parallel() != nullptr ? session_.parallel()->stats()
+                                          : ParallelStats();
   }
 
  private:
@@ -187,13 +157,12 @@ class NexSorter {
   [[nodiscard]] Status MaybeFragment(ExtByteStack* data, ExtStack<PathEntry>* path);
   [[nodiscard]] Status OutputPhase(RunHandle root_run, ByteSink* output);
 
-  BlockDevice* base_device_;  // what the caller handed us (physical I/O)
-  MemoryBudget* budget_;
+  SortEnv::Session session_;
   NexSortOptions options_;
-  std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
-  BlockDevice* device_;  // cache_ when enabled, else base_device_
-  std::unique_ptr<ParallelContext> parallel_context_;  // null when serial
-  RunStore store_;
+  Tracer* tracer_;       // session_'s sink (may be null)
+  BlockDevice* device_;  // session_'s top-of-stack device
+  MemoryBudget* budget_;
+  RunStore* store_;      // session_'s run store
   NameDictionary dictionary_;
   UnitFormat format_;
   SubtreeSortContext sort_context_;

@@ -1,0 +1,125 @@
+#include "env/sort_env.h"
+
+#include "obs/json_writer.h"
+#include "obs/tracer.h"
+
+namespace nexsort {
+
+namespace {
+
+const char* DeviceLayerName(DeviceLayer::Kind kind) {
+  switch (kind) {
+    case DeviceLayer::Kind::kThrottle:
+      return "throttle";
+    case DeviceLayer::Kind::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+SortEnv::SortEnv(SortEnvOptions options)
+    : options_(std::move(options)), budget_(options_.memory_blocks) {}
+
+SortEnv::~SortEnv() = default;
+
+StatusOr<std::unique_ptr<SortEnv>> SortEnv::Create(SortEnvOptions options) {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("SortEnv: block_size must be > 0");
+  }
+  if (options.memory_blocks == 0) {
+    return Status::InvalidArgument("SortEnv: memory_blocks must be >= 1");
+  }
+  if (options.cache.frames == 0 && options.cache.readahead > 0) {
+    return Status::InvalidArgument(
+        "SortEnv: cache.readahead needs cache.frames > 0");
+  }
+  if (options.cache.frames > 0 && options.cache.frames >= options.memory_blocks) {
+    return Status::InvalidArgument(
+        "SortEnv: cache.frames must leave budget blocks for the sort itself");
+  }
+
+  std::unique_ptr<SortEnv> env(new SortEnv(std::move(options)));
+  const SortEnvOptions& opts = env->options_;
+
+  if (opts.file_path.empty()) {
+    env->base_ = NewMemoryBlockDevice(opts.block_size, opts.disk_model);
+  } else {
+    ASSIGN_OR_RETURN(env->base_, NewFileBlockDevice(opts.file_path,
+                                                    opts.block_size,
+                                                    opts.disk_model));
+  }
+
+  env->physical_ = env->base_.get();
+  for (const DeviceLayer& layer : opts.layers) {
+    switch (layer.kind) {
+      case DeviceLayer::Kind::kThrottle:
+        env->layers_.push_back(
+            NewThrottledBlockDevice(env->physical_, layer.throttle));
+        break;
+      case DeviceLayer::Kind::kFault:
+        env->layers_.push_back(NewFaultInjectionBlockDevice(env->physical_));
+        break;
+    }
+    env->physical_ = env->layers_.back().get();
+  }
+
+  if (opts.cache.frames > 0) {
+    env->cache_ = std::make_unique<CachedBlockDevice>(
+        env->physical_, &env->budget_, opts.cache);
+    RETURN_IF_ERROR(env->cache_->init_status());
+    if (opts.tracer != nullptr) env->cache_->pool()->set_tracer(opts.tracer);
+  }
+
+  if (opts.parallel.threads > 0) {
+    env->worker_pool_ = std::make_unique<WorkerPool>(opts.parallel.threads);
+  }
+
+  return env;
+}
+
+SortEnv::Session::Session(SortEnv* env)
+    : env_(env),
+      tracer_(env->tracer()),
+      run_store_(std::make_unique<RunStore>(env->device(), env->budget())) {
+  run_store_->set_tracer(tracer_);
+  if (env->options().parallel.enabled()) {
+    parallel_ = std::make_unique<ParallelContext>(env->options().parallel,
+                                                  env->worker_pool());
+  }
+}
+
+void SortEnv::Session::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  run_store_->set_tracer(tracer);
+}
+
+void SortEnv::DescribeJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("block_size");
+  writer->Uint(options_.block_size);
+  writer->Key("memory_blocks");
+  writer->Uint(options_.memory_blocks);
+  writer->Key("device");
+  writer->String(options_.file_path.empty() ? "memory" : "file");
+  writer->Key("layers");
+  writer->BeginArray();
+  for (const DeviceLayer& layer : options_.layers) {
+    writer->String(DeviceLayerName(layer.kind));
+  }
+  writer->EndArray();
+  writer->Key("cache_frames");
+  writer->Uint(options_.cache.frames);
+  writer->Key("readahead");
+  writer->Uint(options_.cache.readahead);
+  writer->Key("threads");
+  writer->Uint(options_.parallel.threads);
+  writer->Key("prefetch_depth");
+  writer->Uint(options_.parallel.prefetch_depth);
+  writer->Key("sort_memory_blocks");
+  writer->Uint(options_.sort_memory_blocks);
+  writer->EndObject();
+}
+
+}  // namespace nexsort

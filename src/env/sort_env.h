@@ -1,0 +1,300 @@
+// SortEnv: the execution environment every sort/merge job runs in. One
+// declarative SortEnvOptions (or the fluent SortEnvBuilder) describes the
+// whole resource stack and SortEnv owns its composition:
+//
+//   MemoryBudget (M blocks, the paper's hard cap)
+//     └─ base BlockDevice (in-RAM or file-backed working storage)
+//          └─ optional wrapper layers (throttle, fault injection — see
+//             extmem/device_wrappers.h), stacked bottom-up in declaration
+//             order
+//               └─ optional BufferPool block cache (CachedBlockDevice,
+//                  frames charged to the budget)
+//   WorkerPool (shared background threads when parallel.threads > 0)
+//   Tracer (optional, not owned) wired to every component that reports
+//
+// Entry points (NexSorter, KeyPathXmlSorter, JsonSorter, ApplyBatchUpdates)
+// consume a SortEnv instead of hand-assembled (BlockDevice*, MemoryBudget*)
+// pairs, so "N concurrent sorts against one budget" is a configuration, not
+// an accident of wiring: each job gets a cheap SortEnv::Session that owns
+// the job-local state (its temp-run store and its parallel counters over
+// the shared pool) while budget blocks, cache frames, and worker threads
+// stay shared with exact accounting. See docs/ARCHITECTURE.md.
+//
+// Construction of MemoryBudget / BufferPool / WorkerPool outside this
+// directory (and tests) is forbidden by the `env-construction` lint rule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/buffer_pool.h"
+#include "extmem/block_device.h"
+#include "extmem/device_wrappers.h"
+#include "extmem/memory_budget.h"
+#include "extmem/run_store.h"
+#include "parallel/parallel.h"
+#include "parallel/worker_pool.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+class JsonWriter;
+class Tracer;
+
+/// One wrapper layer in the device stack, applied bottom-up over the base
+/// storage device (before the cache, which always sits on top).
+struct DeviceLayer {
+  enum class Kind {
+    kThrottle,  // real wall-clock delay per access (overlap benchmarks)
+    kFault,     // failure-injection point, armed via FailNextOps et al.
+  };
+  Kind kind = Kind::kThrottle;
+
+  /// Delay model when kind == kThrottle; ignored for kFault.
+  ThrottleModel throttle;
+
+  static DeviceLayer Throttle(ThrottleModel model = {}) {
+    return DeviceLayer{Kind::kThrottle, model};
+  }
+  static DeviceLayer Fault() { return DeviceLayer{Kind::kFault, {}}; }
+};
+
+/// Declarative description of the whole resource stack. Field-for-field
+/// this replaces what every entry point used to assemble by hand; the
+/// former NexSortOptions/KeyPathSortOptions `tracer`, `cache`, `parallel`,
+/// and `sort_memory_blocks` fields live here now.
+struct SortEnvOptions {
+  /// Block size B of the working device, in bytes.
+  size_t block_size = 4096;
+
+  /// Memory budget M, in blocks — the hard cap shared by every job that
+  /// runs in this env (stacks, sort buffers, cache frames, stream buffers).
+  uint64_t memory_blocks = 32;
+
+  /// Modeled-seconds cost model of the base device.
+  DiskModel disk_model;
+
+  /// Backing storage: empty = in-RAM device (tests/benchmarks); a path =
+  /// file-backed working storage (CLI tools).
+  std::string file_path;
+
+  /// Wrapper layers stacked bottom-up over the base device, below the
+  /// cache. Order matters and any order composes.
+  std::vector<DeviceLayer> layers;
+
+  /// Block cache on top of the device stack (frames > 0 enables it; the
+  /// frames are charged against memory_blocks for the env's lifetime).
+  CacheOptions cache;
+
+  /// Compute/I-O overlap: threads > 0 starts one WorkerPool shared by
+  /// every session; prefetch_depth needs cache.frames > 0.
+  ParallelOptions parallel;
+
+  /// Blocks of internal memory each sort may use; 0 sizes automatically
+  /// from what the budget has left at sort time. Pin it to compare serial
+  /// and parallel runs under identical run structure, or to give N
+  /// concurrent jobs deterministic, identical grants.
+  uint64_t sort_memory_blocks = 0;
+
+  /// Optional telemetry sink (not owned; may be null; single-threaded —
+  /// concurrent sessions must not share one tracer, see Session::set_tracer
+  /// for per-job sinks).
+  Tracer* tracer = nullptr;
+};
+
+/// The composed, owned resource stack. Create one per working-storage
+/// domain; run any number of jobs in it, serially or concurrently.
+class SortEnv {
+ public:
+  /// Validates the options and composes the stack. Fails when the backing
+  /// file cannot be opened, the budget cannot fund the cache frames, or
+  /// the knobs are inconsistent (readahead/prefetch without cache frames).
+  [[nodiscard]] static StatusOr<std::unique_ptr<SortEnv>> Create(
+      SortEnvOptions options);
+
+  ~SortEnv();
+
+  SortEnv(const SortEnv&) = delete;
+  SortEnv& operator=(const SortEnv&) = delete;
+
+  /// Per-job handle: cheap to create, movable, one per sort/merge job.
+  /// Owns the job's temp-run lifecycle (RunStore) and its parallel
+  /// counters (ParallelContext over the env's shared WorkerPool); shares
+  /// everything else — device stack, cache frames, budget blocks — with
+  /// every other session of the env, with exact accounting.
+  class Session {
+   public:
+    Session(Session&&) noexcept = default;
+    Session& operator=(Session&&) noexcept = default;
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    SortEnv* env() const { return env_; }
+    BlockDevice* device() const { return env_->device(); }
+    BlockDevice* physical_device() const { return env_->physical_device(); }
+    MemoryBudget* budget() const { return env_->budget(); }
+    BufferPool* buffer_pool() const { return env_->buffer_pool(); }
+    uint64_t sort_memory_blocks() const {
+      return env_->options().sort_memory_blocks;
+    }
+
+    /// This job's run store (over the cached device when caching is on).
+    RunStore* run_store() const { return run_store_.get(); }
+
+    /// This job's parallel context; null when the env is fully serial.
+    ParallelContext* parallel() const { return parallel_.get(); }
+
+    /// The job's telemetry sink: the env's tracer unless overridden.
+    /// Override (or null out) per session when several jobs run
+    /// concurrently — the Tracer itself is single-threaded.
+    Tracer* tracer() const { return tracer_; }
+    void set_tracer(Tracer* tracer);
+
+    /// Write back cached dirty blocks (surfacing deferred write-back
+    /// failures); no-op without a cache.
+    [[nodiscard]] Status Flush() { return env_->Flush(); }
+
+   private:
+    friend class SortEnv;
+    explicit Session(SortEnv* env);
+
+    SortEnv* env_;
+    Tracer* tracer_;
+    std::unique_ptr<RunStore> run_store_;
+    std::unique_ptr<ParallelContext> parallel_;
+  };
+
+  Session NewSession() { return Session(this); }
+
+  // -- Shared stack accessors ------------------------------------------
+
+  size_t block_size() const { return options_.block_size; }
+  const SortEnvOptions& options() const { return options_; }
+
+  /// Top of the device stack — what jobs should do I/O through (the cache
+  /// when enabled, else the topmost wrapper layer, else the base device).
+  BlockDevice* device() {
+    return cache_ != nullptr ? static_cast<BlockDevice*>(cache_.get())
+                             : physical_;
+  }
+
+  /// Top *physical* device (just below the cache): its IoStats count real
+  /// block transfers, which is what tracer spans and benchmarks snapshot.
+  BlockDevice* physical_device() { return physical_; }
+
+  /// Bottom storage device (below every wrapper layer).
+  BlockDevice* base_device() { return base_.get(); }
+
+  /// Wrapper layer `index` (bottom-up, matching options().layers) — e.g.
+  /// to arm FailNextOps on a kFault layer. Null when out of range.
+  BlockDevice* layer_device(size_t index) {
+    return index < layers_.size() ? layers_[index].get() : nullptr;
+  }
+
+  MemoryBudget* budget() { return &budget_; }
+
+  /// The block cache's pool; null when cache.frames == 0.
+  BufferPool* buffer_pool() { return cache_ != nullptr ? cache_->pool() : nullptr; }
+
+  /// The shared worker pool; null when parallel.threads == 0.
+  WorkerPool* worker_pool() { return worker_pool_.get(); }
+
+  Tracer* tracer() const { return options_.tracer; }
+
+  /// Counters of the block cache; all zeros when caching is disabled.
+  CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
+  }
+
+  /// Write back every cached dirty block, surfacing any deferred
+  /// write-back failure; OK when caching is off.
+  [[nodiscard]] Status Flush() {
+    return cache_ != nullptr ? cache_->Flush() : Status::OK();
+  }
+
+  /// Serialize the env's composition (block size, budget, device layers,
+  /// cache/parallel knobs) as one JSON object — the `env` block of
+  /// nexsort-stats-v1.
+  void DescribeJson(JsonWriter* writer) const;
+
+ private:
+  explicit SortEnv(SortEnvOptions options);
+
+  SortEnvOptions options_;
+  MemoryBudget budget_;
+  std::unique_ptr<BlockDevice> base_;
+  std::vector<std::unique_ptr<BlockDevice>> layers_;  // bottom-up wrappers
+  BlockDevice* physical_ = nullptr;  // top of layers_, or base_
+  std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
+  std::unique_ptr<WorkerPool> worker_pool_;   // null when serial
+};
+
+/// Fluent construction for the common cases:
+///
+///   ASSIGN_OR_RETURN(auto env, SortEnvBuilder()
+///                                  .BlockSize(4096)
+///                                  .MemoryBlocks(64)
+///                                  .Cache(32, /*readahead=*/4)
+///                                  .Threads(2)
+///                                  .Build());
+class SortEnvBuilder {
+ public:
+  SortEnvBuilder& BlockSize(size_t bytes) {
+    options_.block_size = bytes;
+    return *this;
+  }
+  SortEnvBuilder& MemoryBlocks(uint64_t blocks) {
+    options_.memory_blocks = blocks;
+    return *this;
+  }
+  SortEnvBuilder& Disk(DiskModel model) {
+    options_.disk_model = model;
+    return *this;
+  }
+  SortEnvBuilder& File(std::string path) {
+    options_.file_path = std::move(path);
+    return *this;
+  }
+  SortEnvBuilder& Layer(DeviceLayer layer) {
+    options_.layers.push_back(layer);
+    return *this;
+  }
+  SortEnvBuilder& Throttle(ThrottleModel model = {}) {
+    return Layer(DeviceLayer::Throttle(model));
+  }
+  SortEnvBuilder& FaultLayer() { return Layer(DeviceLayer::Fault()); }
+  SortEnvBuilder& Cache(uint64_t frames, uint64_t readahead = 0) {
+    options_.cache = CacheOptions{frames, readahead};
+    return *this;
+  }
+  SortEnvBuilder& Threads(uint32_t threads) {
+    options_.parallel.threads = threads;
+    return *this;
+  }
+  SortEnvBuilder& PrefetchDepth(uint32_t depth) {
+    options_.parallel.prefetch_depth = depth;
+    return *this;
+  }
+  SortEnvBuilder& SortMemoryBlocks(uint64_t blocks) {
+    options_.sort_memory_blocks = blocks;
+    return *this;
+  }
+  SortEnvBuilder& Telemetry(Tracer* tracer) {
+    options_.tracer = tracer;
+    return *this;
+  }
+
+  const SortEnvOptions& options() const { return options_; }
+
+  [[nodiscard]] StatusOr<std::unique_ptr<SortEnv>> Build() {
+    return SortEnv::Create(options_);
+  }
+
+ private:
+  SortEnvOptions options_;
+};
+
+}  // namespace nexsort

@@ -239,27 +239,4 @@ std::unique_ptr<BlockDevice> NewMemoryBlockDevice(size_t block_size,
 [[nodiscard]] StatusOr<std::unique_ptr<BlockDevice>> NewFileBlockDevice(
     const std::string& path, size_t block_size, DiskModel model = {});
 
-/// Wall-clock delay model for ThrottledBlockDevice: every access sleeps for
-/// the fixed per-operation latency plus block_size/throughput. Unlike the
-/// DiskModel (which only accumulates *modeled* seconds), these delays are
-/// real, so overlap benchmarks observe genuine I/O wait on any storage.
-struct ThrottleModel {
-  double access_latency_us = 150.0;
-  double throughput_mb_per_s = 250.0;
-
-  double AccessSeconds(size_t block_size) const {
-    return access_latency_us / 1e6 +
-           static_cast<double>(block_size) / (throughput_mb_per_s * 1e6);
-  }
-};
-
-/// Wrap `base` (not owned; must outlive the wrapper) so every read and
-/// write pays a real sleep per ThrottleModel before reaching the base
-/// device. The sleep happens outside any lock, so concurrent accesses
-/// overlap — the wrapper behaves like an SSD with queue depth, which is
-/// what makes compute/I/O overlap measurable on a single-core benchmark
-/// host. Accounting happens at both layers with identical counts.
-std::unique_ptr<BlockDevice> NewThrottledBlockDevice(BlockDevice* base,
-                                                     ThrottleModel model = {});
-
 }  // namespace nexsort

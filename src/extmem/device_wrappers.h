@@ -1,0 +1,48 @@
+// Composable BlockDevice wrapper layers. Each wrapper forwards every
+// Read/Write (with the caller's IoCategory attribution) to a base device it
+// does not own, so layers stack in any order between the storage device at
+// the bottom and the BufferPool cache at the top: throttle-under-cache
+// measures physical-I/O wait, fault-under-cache exercises deferred
+// write-back error paths, and so on. SortEnvOptions::layers (src/env/)
+// registers these declaratively; benches and tests may also stack them by
+// hand.
+#pragma once
+
+#include <memory>
+
+#include "extmem/block_device.h"
+
+namespace nexsort {
+
+/// Wall-clock delay model for NewThrottledBlockDevice: every access sleeps
+/// for the fixed per-operation latency plus block_size/throughput. Unlike
+/// the DiskModel (which only accumulates *modeled* seconds), these delays
+/// are real, so overlap benchmarks observe genuine I/O wait on any storage.
+struct ThrottleModel {
+  double access_latency_us = 150.0;
+  double throughput_mb_per_s = 250.0;
+
+  double AccessSeconds(size_t block_size) const {
+    return access_latency_us / 1e6 +
+           static_cast<double>(block_size) / (throughput_mb_per_s * 1e6);
+  }
+};
+
+/// Wrap `base` (not owned; must outlive the wrapper) so every read and
+/// write pays a real sleep per ThrottleModel before reaching the base
+/// device. The sleep happens outside any lock, so concurrent accesses
+/// overlap — the wrapper behaves like an SSD with queue depth, which is
+/// what makes compute/I/O overlap measurable on a single-core benchmark
+/// host. Accounting happens at both layers with identical counts.
+std::unique_ptr<BlockDevice> NewThrottledBlockDevice(BlockDevice* base,
+                                                     ThrottleModel model = {});
+
+/// Wrap `base` (not owned; must outlive the wrapper) in a fault-injection
+/// layer: a transparent forwarder whose inherited FailNextOps/FailAfterOps
+/// knobs (including the FailOps read/write filter) arm failures at *this*
+/// layer instead of the storage device. Stacked under the cache it makes
+/// deferred write-back failures reproducible; stacked above another
+/// wrapper it fails operations before they pay that wrapper's cost.
+std::unique_ptr<BlockDevice> NewFaultInjectionBlockDevice(BlockDevice* base);
+
+}  // namespace nexsort

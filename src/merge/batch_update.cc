@@ -1,7 +1,5 @@
 #include "merge/batch_update.h"
 
-#include "extmem/block_device.h"
-#include "extmem/memory_budget.h"
 #include "extmem/stream.h"
 #include "obs/tracer.h"
 #include "util/status.h"
@@ -9,17 +7,16 @@
 namespace nexsort {
 
 Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
-                         BlockDevice* device, MemoryBudget* budget,
-                         ByteSink* output, const BatchUpdateOptions& options,
-                         MergeStats* stats) {
+                         SortEnv* env, ByteSink* output,
+                         const BatchUpdateOptions& options, MergeStats* stats) {
+  Tracer* tracer = env->tracer();
   // Step 1: sort the update batch by the base document's criterion.
   std::string sorted_updates;
   {
-    ScopedSpan span(options.tracer, "sort_updates");
+    ScopedSpan span(tracer, "sort_updates");
     NexSortOptions sort_options;
     sort_options.order = options.order;
-    sort_options.tracer = options.tracer;
-    NexSorter sorter(device, budget, std::move(sort_options));
+    NexSorter sorter(env, std::move(sort_options));
     StringByteSource source(updates);
     StringByteSink sink(&sorted_updates);
     RETURN_IF_ERROR(sorter.Sort(&source, &sink));
@@ -30,7 +27,7 @@ Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
   merge_options.order = options.order;
   merge_options.apply_update_ops = true;
   merge_options.op_attribute = options.op_attribute;
-  merge_options.tracer = options.tracer;
+  merge_options.tracer = tracer;
   StringByteSource updates_source(sorted_updates);
   return StructuralMerge(base, &updates_source, output, merge_options, stats);
 }

@@ -11,11 +11,9 @@
 #pragma once
 
 #include "core/nexsort.h"
-#include "extmem/block_device.h"
-#include "extmem/memory_budget.h"
+#include "env/sort_env.h"
 #include "extmem/stream.h"
 #include "merge/structural_merge.h"
-#include "obs/tracer.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -27,18 +25,15 @@ struct BatchUpdateOptions {
 
   /// Name of the operation attribute on update elements.
   std::string op_attribute = "op";
-
-  /// Optional telemetry sink (not owned; may be null): spans for the
-  /// update-batch sort and the merge pass, forwarded to both stages.
-  Tracer* tracer = nullptr;
 };
 
 /// Apply `updates` (unsorted XML text) to the already-sorted `base`.
-/// The updates batch is NEXSORT-sorted on `device` first (using `budget`),
-/// then merged into the base in one pass. The result stays fully sorted.
+/// The updates batch is NEXSORT-sorted in a session of `env` first, then
+/// merged into the base in one pass (telemetry flows from the env's
+/// tracer). The result stays fully sorted.
 [[nodiscard]] Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
-                         BlockDevice* device, MemoryBudget* budget,
-                         ByteSink* output, const BatchUpdateOptions& options,
+                         SortEnv* env, ByteSink* output,
+                         const BatchUpdateOptions& options,
                          MergeStats* stats = nullptr);
 
 }  // namespace nexsort

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <vector>
 
+#include "extmem/block_device.h"
+
 #include "util/string_util.h"
 #include "xml/sax_parser.h"
 #include "xml/writer.h"
@@ -635,9 +637,11 @@ Status XmlToJson(ByteSource* input, ByteSink* output) {
   return Status::OK();
 }
 
-JsonSorter::JsonSorter(BlockDevice* device, MemoryBudget* budget,
-                       JsonSortOptions options)
-    : device_(device), budget_(budget), options_(std::move(options)) {}
+JsonSorter::JsonSorter(SortEnv* env, JsonSortOptions options)
+    : env_(env),
+      device_(env->device()),
+      budget_(env->budget()),
+      options_(std::move(options)) {}
 
 Status JsonSorter::Sort(ByteSource* input, ByteSink* output) {
   if (used_) return Status::InvalidArgument("JsonSorter is single-use");
@@ -657,7 +661,7 @@ Status JsonSorter::Sort(ByteSource* input, ByteSink* output) {
   {
     NexSortOptions sort_options;
     sort_options.order = JsonOrderSpec(options_);
-    NexSorter sorter(device_, budget_, std::move(sort_options));
+    NexSorter sorter(env_, std::move(sort_options));
     BlockStreamReader reader(device_, budget_, encoded, IoCategory::kInput);
     RETURN_IF_ERROR(reader.init_status());
     BlockStreamWriter writer(device_, budget_, IoCategory::kOutput);

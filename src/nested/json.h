@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/nexsort.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "extmem/stream.h"
@@ -52,12 +53,12 @@ struct JsonSortStats {
 };
 
 /// External-memory JSON sorter: translate, NEXSORT, translate back. The
-/// translated document lives on `device` (counted like everything else);
-/// the budget is shared with the sort.
+/// translated document lives on the env's device (counted like everything
+/// else); the budget is shared with the sort.
 class JsonSorter {
  public:
-  JsonSorter(BlockDevice* device, MemoryBudget* budget,
-             JsonSortOptions options);
+  /// `env` is not owned and must outlive the sorter.
+  JsonSorter(SortEnv* env, JsonSortOptions options);
 
   /// Sort JSON text from `input` into `output`. Single use.
   [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
@@ -65,6 +66,7 @@ class JsonSorter {
   const JsonSortStats& stats() const { return stats_; }
 
  private:
+  SortEnv* env_;
   BlockDevice* device_;
   MemoryBudget* budget_;
   JsonSortOptions options_;

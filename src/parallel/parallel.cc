@@ -41,12 +41,8 @@ void ParallelStats::ToJson(JsonWriter* writer) const {
   writer->EndObject();
 }
 
-ParallelContext::ParallelContext(ParallelOptions options)
-    : options_(options) {
-  if (options_.threads > 0) {
-    pool_ = std::make_unique<WorkerPool>(options_.threads);
-  }
-}
+ParallelContext::ParallelContext(ParallelOptions options, WorkerPool* pool)
+    : options_(options), pool_(options.threads > 0 ? pool : nullptr) {}
 
 void ParallelContext::AddStats(const ParallelStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);

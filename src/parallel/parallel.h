@@ -59,19 +59,23 @@ struct ParallelStats {
   void ToJson(JsonWriter* writer) const;
 };
 
-/// Shared state for one sorter's parallel execution: the worker pool (when
-/// threads > 0) plus thread-safe stats aggregation. Owned by the top-level
-/// sorter (NexSorter / KeyPathXmlSorter) and lent to every
-/// ExternalMergeSorter via ExtSortOptions, so nested subtree sorts share
-/// one pool instead of spawning threads per sort.
+/// Shared state for one job's parallel execution: a borrowed worker pool
+/// plus thread-safe stats aggregation. The SortEnv (src/env/) owns the
+/// WorkerPool and hands each job's session its own context over it, so
+/// concurrent jobs share one set of threads while keeping per-job
+/// counters; the context is then lent to every ExternalMergeSorter via
+/// ExtSortOptions, so nested subtree sorts share the pool too.
 class ParallelContext {
  public:
-  explicit ParallelContext(ParallelOptions options);
+  /// `pool` is not owned (may be null = no background workers; the
+  /// prefetcher still works, it runs its own thread) and must outlive the
+  /// context. Pool construction itself lives in SortEnv.
+  ParallelContext(ParallelOptions options, WorkerPool* pool);
 
   const ParallelOptions& options() const { return options_; }
 
-  /// Null when threads == 0.
-  WorkerPool* pool() { return pool_.get(); }
+  /// Null when the context was built without workers (threads == 0).
+  WorkerPool* pool() { return pool_; }
 
   /// Fold a sorter's local counters into the aggregate. Thread-safe.
   void AddStats(const ParallelStats& stats);
@@ -86,7 +90,7 @@ class ParallelContext {
 
  private:
   const ParallelOptions options_;
-  std::unique_ptr<WorkerPool> pool_;
+  WorkerPool* pool_;  // not owned; null = serial
   mutable std::mutex mutex_;
   ParallelStats stats_;
 };

@@ -429,19 +429,21 @@ TEST(CachedBlockDeviceProperty, NexSortWithCacheMatchesUncachedAndSavesIo) {
   constexpr uint64_t kMemoryBlocks = 48;
   auto run = [&](uint64_t cache_frames, uint64_t readahead, IoStats* io,
                  uint64_t* peak) {
-    auto device = NewMemoryBlockDevice(512);
-    MemoryBudget budget(kMemoryBlocks);
+    SortEnvOptions env_options;
+    env_options.block_size = 512;
+    env_options.memory_blocks = kMemoryBlocks;
+    env_options.cache = {.frames = cache_frames, .readahead = readahead};
+    Env env(std::move(env_options));
     NexSortOptions options;
     options.order = spec;
-    options.cache = {.frames = cache_frames, .readahead = readahead};
-    NexSorter sorter(device.get(), &budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(*xml);
     std::string out;
     StringByteSink sink(&out);
     Status st = sorter.Sort(&source, &sink);
     EXPECT_TRUE(st.ok()) << st.ToString();
-    *io = device->stats();
-    *peak = budget.peak_blocks();
+    *io = env.env->physical_device()->stats();
+    *peak = env.budget()->peak_blocks();
     return out;
   };
 

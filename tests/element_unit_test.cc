@@ -175,7 +175,7 @@ TEST(NameDictionary, InternIsIdempotent) {
 
 TEST(RunUnitReader, StreamsUnitsAndTracksOffsets) {
   Env env(128, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   NameDictionary dictionary;
   UnitFormat format;
 
@@ -210,7 +210,7 @@ TEST(RunUnitReader, StreamsUnitsAndTracksOffsets) {
 
 TEST(RunUnitReader, ResumesAtSavedOffset) {
   Env env(64, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   NameDictionary dictionary;
   UnitFormat format;
 

@@ -13,7 +13,7 @@ namespace {
 
 TEST(ExtStack, PushPopLifo) {
   Env env(256, 8);
-  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+  ExtStack<uint64_t> stack(env.device(), env.budget(), 1,
                            IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   for (uint64_t i = 0; i < 10; ++i) NEX_ASSERT_OK(stack.Push(i));
@@ -28,7 +28,7 @@ TEST(ExtStack, PushPopLifo) {
 
 TEST(ExtStack, PopEmptyFails) {
   Env env;
-  ExtStack<int> stack(env.device.get(), &env.budget, 1,
+  ExtStack<int> stack(env.device(), env.budget(), 1,
                       IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   int value = 0;
@@ -40,7 +40,7 @@ TEST(ExtStack, SurvivesPagingAcrossManyBlocks) {
   // 256-byte blocks hold 32 uint64_t records; push 1000 records so the
   // stack spans ~31 blocks with only one resident.
   Env env(256, 8);
-  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+  ExtStack<uint64_t> stack(env.device(), env.budget(), 1,
                            IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   for (uint64_t i = 0; i < 1000; ++i) NEX_ASSERT_OK(stack.Push(i * 7));
@@ -53,7 +53,7 @@ TEST(ExtStack, SurvivesPagingAcrossManyBlocks) {
 
 TEST(ExtStack, MixedPushPopWorkload) {
   Env env(128, 8);
-  ExtStack<uint32_t> stack(env.device.get(), &env.budget, 2,
+  ExtStack<uint32_t> stack(env.device(), env.budget(), 2,
                            IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   std::vector<uint32_t> reference;
@@ -75,7 +75,7 @@ TEST(ExtStack, MixedPushPopWorkload) {
 
 TEST(ExtStack, ReplaceTopUpdatesInPlace) {
   Env env;
-  ExtStack<int> stack(env.device.get(), &env.budget, 1,
+  ExtStack<int> stack(env.device(), env.budget(), 1,
                       IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   NEX_ASSERT_OK(stack.Push(1));
@@ -94,7 +94,7 @@ TEST(ExtStack, NoPrefetchPagingCostIsLinear) {
   const size_t block_size = 256;
   const uint64_t per_block = block_size / sizeof(uint64_t);
   Env env(block_size, 8);
-  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 1,
+  ExtStack<uint64_t> stack(env.device(), env.budget(), 1,
                            IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   const uint64_t n = 10000;
@@ -102,7 +102,7 @@ TEST(ExtStack, NoPrefetchPagingCostIsLinear) {
   uint64_t value = 0;
   for (uint64_t i = 0; i < n; ++i) NEX_ASSERT_OK(stack.Pop(&value));
   uint64_t blocks = (n + per_block - 1) / per_block;
-  EXPECT_LE(env.device->stats().total(), 2 * blocks);
+  EXPECT_LE(env.device()->stats().total(), 2 * blocks);
 }
 
 TEST(ExtStack, OscillationAtBlockBoundaryStaysBounded) {
@@ -111,31 +111,31 @@ TEST(ExtStack, OscillationAtBlockBoundaryStaysBounded) {
   // boundary-straddling workload pages O(1) per B operations.
   const size_t block_size = 128;
   Env env(block_size, 8);
-  ExtStack<uint64_t> stack(env.device.get(), &env.budget, 2,
+  ExtStack<uint64_t> stack(env.device(), env.budget(), 2,
                            IoCategory::kPathStack);
   NEX_ASSERT_OK(stack.init_status());
   const uint64_t per_block = block_size / sizeof(uint64_t);
   for (uint64_t i = 0; i < per_block; ++i) NEX_ASSERT_OK(stack.Push(i));
-  uint64_t before = env.device->stats().total();
+  uint64_t before = env.device()->stats().total();
   for (int cycle = 0; cycle < 1000; ++cycle) {
     NEX_ASSERT_OK(stack.Push(1));
     uint64_t value = 0;
     NEX_ASSERT_OK(stack.Pop(&value));
   }
   // With 2 resident blocks the boundary oscillation costs no I/O at all.
-  EXPECT_EQ(env.device->stats().total(), before);
+  EXPECT_EQ(env.device()->stats().total(), before);
 }
 
 TEST(ExtStack, BudgetExhaustionSurfacesAtInit) {
   Env env(256, 1);
-  ExtStack<int> stack(env.device.get(), &env.budget, 2,
+  ExtStack<int> stack(env.device(), env.budget(), 2,
                       IoCategory::kPathStack);
   EXPECT_TRUE(stack.init_status().IsOutOfMemory());
 }
 
 TEST(ExtByteStack, AppendAndPopRegion) {
   Env env(64, 8);
-  ExtByteStack stack(env.device.get(), &env.budget, 1,
+  ExtByteStack stack(env.device(), env.budget(), 1,
                      IoCategory::kDataStack);
   NEX_ASSERT_OK(stack.init_status());
   std::string payload;
@@ -160,7 +160,7 @@ TEST(ExtByteStack, AppendAndPopRegion) {
 
 TEST(ExtByteStack, PopRegionAtExactBlockBoundary) {
   Env env(64, 8);
-  ExtByteStack stack(env.device.get(), &env.budget, 1,
+  ExtByteStack stack(env.device(), env.budget(), 1,
                      IoCategory::kDataStack);
   NEX_ASSERT_OK(stack.init_status());
   std::string data(256, 'a');  // exactly 4 blocks
@@ -175,7 +175,7 @@ TEST(ExtByteStack, PopRegionAtExactBlockBoundary) {
 
 TEST(ExtByteStack, PopRegionPastTopRejected) {
   Env env;
-  ExtByteStack stack(env.device.get(), &env.budget, 1,
+  ExtByteStack stack(env.device(), env.budget(), 1,
                      IoCategory::kDataStack);
   NEX_ASSERT_OK(stack.init_status());
   NEX_ASSERT_OK(stack.Append("abc"));
@@ -187,7 +187,7 @@ TEST(ExtByteStack, RecyclesBlocksAfterPop) {
   // Repeated grow/shrink cycles must not grow the device unboundedly:
   // truncated blocks return to a free list.
   Env env(64, 8);
-  ExtByteStack stack(env.device.get(), &env.budget, 1,
+  ExtByteStack stack(env.device(), env.budget(), 1,
                      IoCategory::kDataStack);
   NEX_ASSERT_OK(stack.init_status());
   std::string out;
@@ -196,12 +196,12 @@ TEST(ExtByteStack, RecyclesBlocksAfterPop) {
     NEX_ASSERT_OK(stack.PopRegion(0, &out));
   }
   // One cycle uses ceil(1000/64) = 16 blocks; reuse keeps the device there.
-  EXPECT_LE(env.device->num_blocks(), 16u);
+  EXPECT_LE(env.device()->num_blocks(), 16u);
 }
 
 TEST(ExtByteStack, RandomizedRegionPopsMatchReference) {
   Env env(128, 8);
-  ExtByteStack stack(env.device.get(), &env.budget, 1,
+  ExtByteStack stack(env.device(), env.budget(), 1,
                      IoCategory::kDataStack);
   NEX_ASSERT_OK(stack.init_status());
   std::string reference;

@@ -168,7 +168,7 @@ TEST(ScopedSort, RejectsUnsupportedCombinations) {
   options.order = OrderSpec::ByAttribute("id", true);
   options.sort_scope_tags = {"a"};
   options.graceful_degeneration = true;
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source("<a/>");
   std::string out;
   StringByteSink sink(&out);

@@ -29,12 +29,12 @@ TEST(Failure, DeviceErrorAtEveryStagePropagates) {
     Env env(512, 8);
     NexSortOptions options;
     options.order = OrderSpec::ByAttribute("id", true);
-    NexSorter sorter(env.device.get(), &env.budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(xml);
     std::string out;
     StringByteSink sink(&out);
     NEX_ASSERT_OK(sorter.Sort(&source, &sink));
-    total_ops = env.device->stats().total();
+    total_ops = env.device()->stats().total();
   }
   ASSERT_GT(total_ops, 8u);
 
@@ -44,8 +44,8 @@ TEST(Failure, DeviceErrorAtEveryStagePropagates) {
     Env env(512, 8);
     NexSortOptions options;
     options.order = OrderSpec::ByAttribute("id", true);
-    NexSorter sorter(env.device.get(), &env.budget, options);
-    env.device->FailAfterOps(point, 1);
+    NexSorter sorter(env.get(), options);
+    env.device()->FailAfterOps(point, 1);
     StringByteSource source(xml);
     std::string out;
     StringByteSink sink(&out);
@@ -62,7 +62,7 @@ TEST(Failure, MalformedXmlRejectedCleanly) {
     Env env;
     NexSortOptions options;
     options.order = OrderSpec::ByAttribute("id", true);
-    NexSorter sorter(env.device.get(), &env.budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(bad);
     std::string out;
     StringByteSink sink(&out);
@@ -76,7 +76,7 @@ TEST(Failure, TinyBudgetRejected) {
   Env env(512, 4);
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", true);
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source("<a/>");
   std::string out;
   StringByteSink sink(&out);
@@ -87,7 +87,7 @@ TEST(Failure, SorterIsSingleUse) {
   Env env;
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", true);
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source("<a><b id=\"1\"/></a>");
   std::string out;
   StringByteSink sink(&out);
@@ -103,7 +103,7 @@ TEST(Failure, KeyPathBaselineRejectsComplexRules) {
   rule.source = KeySource::kChildText;
   rule.argument = "a/b";
   options.order.AddRule(rule);
-  KeyPathXmlSorter sorter(env.device.get(), &env.budget, options);
+  KeyPathXmlSorter sorter(env.get(), options);
   StringByteSource source("<a/>");
   std::string out;
   StringByteSink sink(&out);

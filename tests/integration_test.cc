@@ -16,17 +16,20 @@ namespace {
 
 TEST(Integration, FileBackedSortEndToEnd) {
   std::string path = ::testing::TempDir() + "/nexsort_integration.work";
-  auto device_or = NewFileBlockDevice(path, 4096);
-  ASSERT_TRUE(device_or.ok()) << device_or.status().ToString();
-  BlockDevice* device = device_or->get();
-  MemoryBudget budget(16);
+  SortEnvOptions env_options;
+  env_options.block_size = 4096;
+  env_options.memory_blocks = 16;
+  env_options.file_path = path;
+  Env env(std::move(env_options));
+  BlockDevice* device = env.device();
+  MemoryBudget* budget = env.budget();
 
   // Generate straight onto the device, then sort from and to the device —
   // no in-memory copies of the document anywhere.
   RandomTreeGenerator generator(5, 7, {.seed = 500, .element_bytes = 120});
   ByteRange input_range;
   {
-    BlockStreamWriter writer(device, &budget, IoCategory::kOther);
+    BlockStreamWriter writer(device, budget, IoCategory::kOther);
     NEX_ASSERT_OK(writer.init_status());
     NEX_ASSERT_OK(generator.Generate(&writer));
     NEX_ASSERT_OK(writer.Finish(&input_range));
@@ -34,12 +37,12 @@ TEST(Integration, FileBackedSortEndToEnd) {
 
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
-  NexSorter sorter(device, &budget, options);
+  NexSorter sorter(env.get(), options);
   ByteRange output_range;
   {
-    BlockStreamReader reader(device, &budget, input_range, IoCategory::kInput);
+    BlockStreamReader reader(device, budget, input_range, IoCategory::kInput);
     NEX_ASSERT_OK(reader.init_status());
-    BlockStreamWriter writer(device, &budget, IoCategory::kOutput);
+    BlockStreamWriter writer(device, budget, IoCategory::kOutput);
     NEX_ASSERT_OK(writer.init_status());
     NEX_ASSERT_OK(sorter.Sort(&reader, &writer));
     NEX_ASSERT_OK(writer.Finish(&output_range));
@@ -48,15 +51,15 @@ TEST(Integration, FileBackedSortEndToEnd) {
 
   // Verify sortedness streaming from the file, and against the oracle.
   {
-    BlockStreamReader reader(device, &budget, output_range,
+    BlockStreamReader reader(device, budget, output_range,
                              IoCategory::kInput);
     NEX_ASSERT_OK(reader.init_status());
     auto report = CheckSorted(&reader, options.order);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->sorted) << report->violation;
   }
-  auto input_text = LoadBytes(device, &budget, input_range);
-  auto output_text = LoadBytes(device, &budget, output_range);
+  auto input_text = LoadBytes(device, budget, input_range);
+  auto output_text = LoadBytes(device, budget, output_range);
   ASSERT_TRUE(input_text.ok() && output_text.ok());
   EXPECT_EQ(*output_text, OracleSort(*input_text, options.order));
   std::remove(path.c_str());
@@ -134,12 +137,12 @@ TEST(Integration, RepeatedSortsOnOneDeviceReuseSpace) {
     ASSERT_TRUE(xml.ok());
     NexSortOptions options;
     options.order = OrderSpec::ByAttribute("id", true);
-    NexSorter sorter(env.device.get(), &env.budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(*xml);
     std::string out;
     StringByteSink sink(&out);
     NEX_ASSERT_OK(sorter.Sort(&source, &sink));
-    EXPECT_EQ(env.budget.used_blocks(), 0u) << "round " << round;
+    EXPECT_EQ(env.budget()->used_blocks(), 0u) << "round " << round;
   }
 }
 

@@ -23,14 +23,20 @@ struct RunResult {
 RunResult RunNexSort(const std::string& xml, size_t block_size,
                      uint64_t memory_blocks, NexSortOptions options) {
   Env env(block_size, memory_blocks);
-  NexSorter sorter(env.device.get(), &env.budget, std::move(options));
+  NexSorter sorter(env.get(), std::move(options));
   StringByteSource source(xml);
   std::string out;
   StringByteSink sink(&out);
   Status st = sorter.Sort(&source, &sink);
   EXPECT_TRUE(st.ok()) << st.ToString();
-  return {sorter.stats(), env.device->stats(),
+  return {sorter.stats(), env.device()->stats(),
           (xml.size() + block_size - 1) / block_size};
+}
+
+NexSortOptions ByIdOptions() {
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  return options;
 }
 
 TEST(IoAccounting, StackPagingIsLinearInInput) {
@@ -39,8 +45,7 @@ TEST(IoAccounting, StackPagingIsLinearInInput) {
   RandomTreeGenerator generator(7, 3, {.seed = 40, .element_bytes = 120});
   auto xml = generator.GenerateString();
   ASSERT_TRUE(xml.ok());
-  auto result = RunNexSort(*xml, 512, 8, {
-      .order = OrderSpec::ByAttribute("id", true)});
+  auto result = RunNexSort(*xml, 512, 8, ByIdOptions());
 
   auto category_total = [&](IoCategory category) {
     int c = static_cast<int>(category);
@@ -62,7 +67,7 @@ TEST(IoAccounting, TotalIoWithinTheoremBound) {
     const size_t B = 512;
     const uint64_t M = 12;
     auto result = RunNexSort(*xml, B, M,
-                             {.order = OrderSpec::ByAttribute("id", true)});
+                             ByIdOptions());
     double n = static_cast<double>(result.input_blocks);
     double k = static_cast<double>(result.stats.scan.max_fanout);
     double t = 2.0 * B;
@@ -84,21 +89,21 @@ TEST(IoAccounting, InputReadExactlyOnce) {
 
   // Store the input on the device so the scan itself is counted.
   Env env(512, 16);
-  auto range = StoreBytes(env.device.get(), &env.budget, *xml,
+  auto range = StoreBytes(env.device(), env.budget(), *xml,
                           IoCategory::kOther);
   ASSERT_TRUE(range.ok());
   uint64_t input_blocks = (xml->size() + 511) / 512;
 
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", true);
-  NexSorter sorter(env.device.get(), &env.budget, options);
-  BlockStreamReader reader(env.device.get(), &env.budget, *range,
+  NexSorter sorter(env.get(), options);
+  BlockStreamReader reader(env.device(), env.budget(), *range,
                            IoCategory::kInput);
   NEX_ASSERT_OK(reader.init_status());
   std::string out;
   StringByteSink sink(&out);
   NEX_ASSERT_OK(sorter.Sort(&reader, &sink));
-  EXPECT_EQ(env.device->stats()
+  EXPECT_EQ(env.device()->stats()
                 .category_reads[static_cast<int>(IoCategory::kInput)],
             input_blocks);
 }
@@ -111,16 +116,16 @@ TEST(IoAccounting, OutputWrittenOnce) {
   Env env(512, 16);
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", true);
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(*xml);
-  BlockStreamWriter writer(env.device.get(), &env.budget,
+  BlockStreamWriter writer(env.device(), env.budget(),
                            IoCategory::kOutput);
   NEX_ASSERT_OK(writer.init_status());
   NEX_ASSERT_OK(sorter.Sort(&source, &writer));
   ByteRange range;
   NEX_ASSERT_OK(writer.Finish(&range));
   uint64_t output_blocks = (range.byte_size + 511) / 512;
-  EXPECT_EQ(env.device->stats()
+  EXPECT_EQ(env.device()->stats()
                 .category_writes[static_cast<int>(IoCategory::kOutput)],
             output_blocks);
 }
@@ -132,7 +137,7 @@ TEST(IoAccounting, RunBlocksReadOncePlusPointerCount) {
   auto xml = generator.GenerateString();
   ASSERT_TRUE(xml.ok());
   auto result = RunNexSort(*xml, 512, 16,
-                           {.order = OrderSpec::ByAttribute("id", true)});
+                           ByIdOptions());
   uint64_t run_writes =
       result.io.category_writes[static_cast<int>(IoCategory::kRunWrite)];
   uint64_t run_reads =
@@ -149,20 +154,20 @@ TEST(IoAccounting, NexSortBeatsKeyPathOnNestedInput) {
   ASSERT_TRUE(xml.ok());
 
   auto nex = RunNexSort(*xml, 512, 8,
-                        {.order = OrderSpec::ByAttribute("id", true)});
+                        ByIdOptions());
 
   Env env(512, 8);
   KeyPathSortOptions kp_options;
   kp_options.order = OrderSpec::ByAttribute("id", true);
-  KeyPathXmlSorter baseline(env.device.get(), &env.budget, kp_options);
+  KeyPathXmlSorter baseline(env.get(), kp_options);
   StringByteSource source(*xml);
   std::string out;
   StringByteSink sink(&out);
   NEX_ASSERT_OK(baseline.Sort(&source, &sink));
 
-  EXPECT_LT(nex.io.total(), env.device->stats().total())
+  EXPECT_LT(nex.io.total(), env.device()->stats().total())
       << "NEXSORT " << nex.io.total() << " vs merge sort "
-      << env.device->stats().total();
+      << env.device()->stats().total();
 }
 
 TEST(IoAccounting, GracefulDegenerationCutsFlatDocumentIo) {
@@ -200,18 +205,21 @@ TEST(IoAccounting, TracerPhaseDeltasMatchDeviceCounters) {
   auto xml = generator.GenerateString();
   ASSERT_TRUE(xml.ok());
 
-  Env env(512, 12);
   Tracer tracer;
+  SortEnvOptions env_options;
+  env_options.block_size = 512;
+  env_options.memory_blocks = 12;
+  env_options.tracer = &tracer;
+  Env env(std::move(env_options));
   NexSortOptions options;
   options.order = OrderSpec::ByAttribute("id", true);
-  options.tracer = &tracer;
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(*xml);
   std::string out;
   StringByteSink sink(&out);
   NEX_ASSERT_OK(sorter.Sort(&source, &sink));
 
-  const IoStats& io = env.device->stats();
+  const IoStats& io = env.device()->stats();
   const SpanRecord* root = nullptr;
   const SpanRecord* sorting = nullptr;
   const SpanRecord* output = nullptr;
@@ -257,9 +265,9 @@ TEST(IoAccounting, ModeledSecondsMonotonicInIo) {
   auto xml = generator.GenerateString();
   ASSERT_TRUE(xml.ok());
   auto small_memory = RunNexSort(*xml, 512, 8,
-                                 {.order = OrderSpec::ByAttribute("id", true)});
+                                 ByIdOptions());
   auto large_memory = RunNexSort(*xml, 512, 64,
-                                 {.order = OrderSpec::ByAttribute("id", true)});
+                                 ByIdOptions());
   EXPECT_GE(small_memory.io.total(), large_memory.io.total());
   EXPECT_GT(small_memory.io.modeled_seconds, 0.0);
 }

@@ -146,7 +146,7 @@ TEST_P(JsonSweep, SortMatchesDomReference) {
   }
 
   Env env(512, 12);
-  JsonSorter sorter(env.device.get(), &env.budget, options);
+  JsonSorter sorter(env.get(), options);
   StringByteSource source(json);
   std::string sorted;
   StringByteSink sink(&sorted);

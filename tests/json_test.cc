@@ -14,7 +14,7 @@ std::string SortJson(std::string_view json, JsonSortOptions options,
                      size_t block_size = 1024, uint64_t memory_blocks = 32,
                      Status* status_out = nullptr) {
   Env env(block_size, memory_blocks);
-  JsonSorter sorter(env.device.get(), &env.budget, std::move(options));
+  JsonSorter sorter(env.get(), std::move(options));
   StringByteSource source(json);
   std::string out;
   StringByteSink sink(&out);
@@ -179,7 +179,7 @@ TEST(Json, TrailingGarbageRejected) {
 
 TEST(Json, StatsReported) {
   Env env;
-  JsonSorter sorter(env.device.get(), &env.budget, {});
+  JsonSorter sorter(env.get(), {});
   StringByteSource source("{\"a\":[1,2],\"b\":{}}");
   std::string out;
   StringByteSink sink(&out);

@@ -1,0 +1,24 @@
+// Bad: constructs env-owned resource types directly instead of obtaining
+// them from a SortEnv. Each of the three types, each construction form.
+#include <memory>
+
+#include "cache/buffer_pool.h"
+#include "extmem/memory_budget.h"
+#include "parallel/worker_pool.h"
+
+namespace nexsort {
+
+void StackConstruction() {
+  MemoryBudget budget(32);
+  WorkerPool pool{2};
+  (void)budget;
+  (void)pool;
+}
+
+void HeapConstruction() {
+  auto budget = std::make_unique<MemoryBudget>(32);
+  BufferPool* pool = new BufferPool(nullptr, budget.get(), {});
+  delete pool;
+}
+
+}  // namespace nexsort

@@ -227,8 +227,7 @@ TEST(BatchUpdate, InsertReplaceDelete) {
   std::string result;
   StringByteSink sink(&result);
   MergeStats stats;
-  NEX_ASSERT_OK(ApplyBatchUpdates(&base_source, updates, env.device.get(),
-                                  &env.budget, &sink, options, &stats));
+  NEX_ASSERT_OK(ApplyBatchUpdates(&base_source, updates, env.get(), &sink, options, &stats));
   EXPECT_EQ(result,
             "<db>"
             "<rec id=\"1\"><v>one</v></rec>"
@@ -253,7 +252,7 @@ TEST(BatchUpdate, DeleteOfMissingElementIsSilent) {
   StringByteSink sink(&result);
   NEX_ASSERT_OK(ApplyBatchUpdates(
       &base_source, "<db><rec id=\"9\" op=\"delete\"></rec></db>",
-      env.device.get(), &env.budget, &sink, options));
+      env.get(), &sink, options));
   EXPECT_EQ(result, "<db><rec id=\"1\"></rec></db>");
 }
 
@@ -269,7 +268,7 @@ TEST(NestedLoopMerge, EnrichesMatchesAndCountsRescans) {
       "</branch>"
       "</region>"
       "</company>";
-  auto range = StoreBytes(env.device.get(), &env.budget, right_xml);
+  auto range = StoreBytes(env.device(), env.budget(), right_xml);
   ASSERT_TRUE(range.ok());
 
   NestedLoopMergeOptions options;
@@ -279,7 +278,7 @@ TEST(NestedLoopMerge, EnrichesMatchesAndCountsRescans) {
   StringByteSource left(kPersonnelD1);
   std::string merged;
   StringByteSink sink(&merged);
-  NEX_ASSERT_OK(NestedLoopMerge(&left, env.device.get(), &env.budget, *range,
+  NEX_ASSERT_OK(NestedLoopMerge(&left, env.device(), env.budget(), *range,
                                 &sink, options, &stats));
   EXPECT_EQ(stats.probes, 2u);   // two employees in D1
   EXPECT_EQ(stats.matches, 1u);  // only 323 exists in the right doc
@@ -305,7 +304,7 @@ TEST(NestedLoopMerge, RescanIoGrowsWithProbes) {
   }
   left_xml += "</r>";
   right_xml += "</r>";
-  auto range = StoreBytes(env.device.get(), &env.budget, right_xml);
+  auto range = StoreBytes(env.device(), env.budget(), right_xml);
   ASSERT_TRUE(range.ok());
   uint64_t single_pass_blocks =
       (range->byte_size + 127) / 128;
@@ -314,13 +313,13 @@ TEST(NestedLoopMerge, RescanIoGrowsWithProbes) {
   options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
   options.match_level = 2;
   NestedLoopMergeStats stats;
-  uint64_t reads_before = env.device->stats().reads;
+  uint64_t reads_before = env.device()->stats().reads;
   StringByteSource left(left_xml);
   std::string merged;
   StringByteSink sink(&merged);
-  NEX_ASSERT_OK(NestedLoopMerge(&left, env.device.get(), &env.budget, *range,
+  NEX_ASSERT_OK(NestedLoopMerge(&left, env.device(), env.budget(), *range,
                                 &sink, options, &stats));
-  uint64_t reads = env.device->stats().reads - reads_before;
+  uint64_t reads = env.device()->stats().reads - reads_before;
   EXPECT_EQ(stats.probes, 20u);
   EXPECT_EQ(stats.matches, 20u);
   EXPECT_GT(reads, 3 * single_pass_blocks);

@@ -64,7 +64,7 @@ TEST_P(NexSortSweep, MatchesOracleAndPreservesStructure) {
   options.graceful_degeneration = p.graceful;
 
   Env env(p.block_size, p.memory_blocks);
-  NexSorter sorter(env.device.get(), &env.budget, options);
+  NexSorter sorter(env.get(), options);
   StringByteSource source(*xml);
   std::string sorted;
   StringByteSink sink(&sorted);
@@ -83,7 +83,7 @@ TEST_P(NexSortSweep, MatchesOracleAndPreservesStructure) {
   EXPECT_EQ(input_sigs, output_sigs);
 
   // (c) Budget respected.
-  EXPECT_LE(env.budget.peak_blocks(), env.budget.total_blocks());
+  EXPECT_LE(env.budget()->peak_blocks(), env.budget()->total_blocks());
 
   // Sanity on the stats the benchmarks rely on.
   const NexSortStats& stats = sorter.stats();
@@ -159,13 +159,13 @@ TEST_P(KeyPathSweep, MatchesOracle) {
   KeyPathSortOptions options;
   options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
   Env env(p.block_size, p.memory_blocks);
-  KeyPathXmlSorter sorter(env.device.get(), &env.budget, options);
+  KeyPathXmlSorter sorter(env.get(), options);
   StringByteSource source(*xml);
   std::string sorted;
   StringByteSink sink(&sorted);
   NEX_ASSERT_OK(sorter.Sort(&source, &sink));
   EXPECT_EQ(sorted, OracleSort(*xml, options.order));
-  EXPECT_LE(env.budget.peak_blocks(), env.budget.total_blocks());
+  EXPECT_LE(env.budget()->peak_blocks(), env.budget()->total_blocks());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -263,7 +263,8 @@ SortRun RunExtSort(uint32_t threads, size_t record_count) {
   MemoryBudget budget(100);
   RunStore store(device.get(), &budget);
 
-  ParallelContext context(ParallelOptions{.threads = threads});
+  WorkerPool pool(threads);
+  ParallelContext context(ParallelOptions{.threads = threads}, &pool);
   ExtSortOptions options;
   options.memory_blocks = 32;
   if (threads > 0) options.parallel = &context;
@@ -326,7 +327,8 @@ TEST(ParallelExtSort, TinyBudgetDeclinesDoubleBufferingAndStaysSerial) {
   // nothing for a second buffer, so engagement must be declined.
   MemoryBudget budget(8);
   RunStore store(device.get(), &budget);
-  ParallelContext context(ParallelOptions{.threads = 2});
+  WorkerPool pool(2);
+  ParallelContext context(ParallelOptions{.threads = 2}, &pool);
   ExtSortOptions options;
   options.memory_blocks = 8;
   options.parallel = &context;
@@ -362,7 +364,8 @@ TEST(ParallelExtSort, FailingBackgroundSpillWriteSurfacesFromFinish) {
   auto device = NewMemoryBlockDevice(512);
   MemoryBudget budget(32);
   RunStore store(device.get(), &budget);
-  ParallelContext context(ParallelOptions{.threads = 2});
+  WorkerPool pool(2);
+  ParallelContext context(ParallelOptions{.threads = 2}, &pool);
   ExtSortOptions options;
   options.memory_blocks = 4;  // 3-block buffer: spills early and often
   options.parallel = &context;
@@ -396,31 +399,34 @@ std::string RunNexSort(const std::string& xml, const OrderSpec& spec,
                        uint32_t threads, uint32_t prefetch_depth,
                        uint64_t cache_frames, IoStats* io,
                        ParallelStats* pstats) {
-  auto device = NewMemoryBlockDevice(512);
-  MemoryBudget budget(64);
-  NexSortOptions options;
-  options.order = spec;
+  SortEnvOptions env_options;
+  env_options.block_size = 512;
+  env_options.memory_blocks = 64;
   // Pin a small sort allowance so (a) serial and parallel runs share the
   // same run structure (the auto mode would halve it for the second
   // buffer) and (b) large subtrees really go external and spill runs.
-  options.sort_memory_blocks = 4;
-  options.parallel.threads = threads;
-  options.parallel.prefetch_depth = prefetch_depth;
-  if (cache_frames > 0) options.cache = {.frames = cache_frames,
-                                         .readahead = 0};
+  env_options.sort_memory_blocks = 4;
+  env_options.parallel.threads = threads;
+  env_options.parallel.prefetch_depth = prefetch_depth;
+  if (cache_frames > 0) env_options.cache = {.frames = cache_frames,
+                                             .readahead = 0};
+  Env env(env_options);
+  NexSortOptions options;
+  options.order = spec;
   std::string out;
   {
-    NexSorter sorter(device.get(), &budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(xml);
     StringByteSink sink(&out);
     Status st = sorter.Sort(&source, &sink);
     EXPECT_TRUE(st.ok()) << st.ToString();
-    if (io != nullptr) *io = device->stats();
+    if (io != nullptr) *io = env.env->physical_device()->stats();
     if (pstats != nullptr) *pstats = sorter.parallel_stats();
   }
-  // The sorter released everything, cache frames included.
-  EXPECT_EQ(budget.used_blocks(), 0u);
-  EXPECT_EQ(budget.release_underflows(), 0u);
+  // The sorter released everything it acquired; the env-owned cache keeps
+  // its frames resident until the env itself is destroyed.
+  EXPECT_EQ(env.budget()->used_blocks(), cache_frames);
+  EXPECT_EQ(env.budget()->release_underflows(), 0u);
   return out;
 }
 
@@ -493,19 +499,21 @@ TEST(ParallelDeterminism, KeyPathSortThreadsMatchSerialOutputAndLogicalIo) {
   ASSERT_TRUE(xml.ok()) << xml.status().ToString();
 
   auto run = [&](uint32_t threads, IoStats* io) {
-    auto device = NewMemoryBlockDevice(512);
-    MemoryBudget budget(64);
+    SortEnvOptions env_options;
+    env_options.block_size = 512;
+    env_options.memory_blocks = 64;
+    env_options.sort_memory_blocks = 8;
+    env_options.parallel.threads = threads;
+    Env env(env_options);
     KeyPathSortOptions options;
     options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
-    options.sort_memory_blocks = 8;
-    options.parallel.threads = threads;
-    KeyPathXmlSorter sorter(device.get(), &budget, options);
+    KeyPathXmlSorter sorter(env.get(), options);
     StringByteSource source(*xml);
     std::string out;
     StringByteSink sink(&out);
     Status st = sorter.Sort(&source, &sink);
     EXPECT_TRUE(st.ok()) << st.ToString();
-    if (io != nullptr) *io = device->stats();
+    if (io != nullptr) *io = env.device()->stats();
     return out;
   };
 

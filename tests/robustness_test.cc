@@ -37,7 +37,7 @@ TEST(Robustness, MutatedXmlNeverCrashesTheSorter) {
     Env env(512, 10);
     NexSortOptions options;
     options.order = OrderSpec::ByAttribute("id", true);
-    NexSorter sorter(env.device.get(), &env.budget, options);
+    NexSorter sorter(env.get(), options);
     StringByteSource source(xml);
     std::string out;
     StringByteSink sink(&out);
@@ -54,7 +54,7 @@ TEST(Robustness, MutatedXmlNeverCrashesTheSorter) {
           << "trial " << trial << ": " << st.ToString();
     }
     // Budget hygiene regardless of outcome.
-    EXPECT_EQ(env.budget.used_blocks(), 0u);
+    EXPECT_EQ(env.budget()->used_blocks(), 0u);
   }
   // Sanity: the sweep exercised both paths.
   EXPECT_GT(failures, 10);
@@ -79,13 +79,13 @@ TEST(Robustness, MutatedJsonNeverCrashesTheSorter) {
     JsonSortOptions options;
     options.sort_arrays_by = "id";
     options.numeric_array_keys = true;
-    JsonSorter sorter(env.device.get(), &env.budget, options);
+    JsonSorter sorter(env.get(), options);
     StringByteSource source(json);
     std::string out;
     StringByteSink sink(&out);
     Status st = sorter.Sort(&source, &sink);
     if (!st.ok()) ++failures;
-    EXPECT_EQ(env.budget.used_blocks(), 0u);
+    EXPECT_EQ(env.budget()->used_blocks(), 0u);
   }
   EXPECT_GT(failures, 20);
 }

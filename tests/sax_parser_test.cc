@@ -190,9 +190,9 @@ TEST(SaxParser, StreamsAcrossBlockBoundaries) {
            "\">value text " + std::to_string(i) + "</item>";
   }
   xml += "</root>";
-  auto range = StoreBytes(env.device.get(), &env.budget, xml);
+  auto range = StoreBytes(env.device(), env.budget(), xml);
   ASSERT_TRUE(range.ok());
-  BlockStreamReader reader(env.device.get(), &env.budget, *range,
+  BlockStreamReader reader(env.device(), env.budget(), *range,
                            IoCategory::kInput);
   NEX_ASSERT_OK(reader.init_status());
   SaxParser parser(&reader);

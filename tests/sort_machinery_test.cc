@@ -189,7 +189,7 @@ TEST(LoserTree, RandomizedAgainstStdSort) {
 
 TEST(ExternalMergeSort, InMemoryPathWhenEverythingFits) {
   Env env(1024, 16);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 8});
   NEX_ASSERT_OK(sorter.init_status());
   NEX_ASSERT_OK(sorter.Add("b", "2"));
@@ -197,7 +197,7 @@ TEST(ExternalMergeSort, InMemoryPathWhenEverythingFits) {
   NEX_ASSERT_OK(sorter.Add("c", "3"));
   NEX_ASSERT_OK(sorter.Finish());
   EXPECT_TRUE(sorter.stats().in_memory);
-  EXPECT_EQ(env.device->stats().total(), 0u);
+  EXPECT_EQ(env.device()->stats().total(), 0u);
 
   std::string key, value;
   std::vector<std::string> keys;
@@ -212,7 +212,7 @@ TEST(ExternalMergeSort, InMemoryPathWhenEverythingFits) {
 
 TEST(ExternalMergeSort, SpillsAndMergesUnderTightBudget) {
   Env env(256, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 4});
   NEX_ASSERT_OK(sorter.init_status());
   Random rng(3);
@@ -242,12 +242,12 @@ TEST(ExternalMergeSort, SpillsAndMergesUnderTightBudget) {
   }
   EXPECT_EQ(index, reference.size());
   // Memory budget respected throughout.
-  EXPECT_LE(env.budget.peak_blocks(), env.budget.total_blocks());
+  EXPECT_LE(env.budget()->peak_blocks(), env.budget()->total_blocks());
 }
 
 TEST(ExternalMergeSort, MultiPassWhenFanInIsTiny) {
   Env env(128, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 3});  // fan-in 2
   NEX_ASSERT_OK(sorter.init_status());
   Random rng(4);
@@ -269,7 +269,7 @@ TEST(ExternalMergeSort, MultiPassWhenFanInIsTiny) {
 
 TEST(ExternalMergeSort, StableForEqualKeys) {
   Env env(128, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 3});
   NEX_ASSERT_OK(sorter.init_status());
   for (int i = 0; i < 500; ++i) {
@@ -289,7 +289,7 @@ TEST(ExternalMergeSort, StableForEqualKeys) {
 
 TEST(ExternalMergeSort, EmptyInput) {
   Env env;
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 4});
   NEX_ASSERT_OK(sorter.init_status());
   NEX_ASSERT_OK(sorter.Finish());
@@ -301,7 +301,7 @@ TEST(ExternalMergeSort, EmptyInput) {
 
 TEST(ExternalMergeSort, RejectsTinyBudget) {
   Env env;
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   ExternalMergeSorter sorter(&store, {.memory_blocks = 2});
   EXPECT_TRUE(sorter.init_status().IsInvalidArgument());
 }

@@ -55,21 +55,21 @@ TEST(BlockStream, RoundTripsArbitraryBytes) {
   Random rng(5);
   for (int i = 0; i < 100; ++i) payload += rng.Identifier(37);
 
-  auto range = StoreBytes(env.device.get(), &env.budget, payload);
+  auto range = StoreBytes(env.device(), env.budget(), payload);
   ASSERT_TRUE(range.ok()) << range.status().ToString();
   EXPECT_EQ(range->byte_size, payload.size());
 
-  auto back = LoadBytes(env.device.get(), &env.budget, *range);
+  auto back = LoadBytes(env.device(), env.budget(), *range);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(*back, payload);
 }
 
 TEST(BlockStream, EmptyExtent) {
   Env env;
-  auto range = StoreBytes(env.device.get(), &env.budget, "");
+  auto range = StoreBytes(env.device(), env.budget(), "");
   ASSERT_TRUE(range.ok());
   EXPECT_EQ(range->byte_size, 0u);
-  auto back = LoadBytes(env.device.get(), &env.budget, *range);
+  auto back = LoadBytes(env.device(), env.budget(), *range);
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->empty());
 }
@@ -77,9 +77,9 @@ TEST(BlockStream, EmptyExtent) {
 TEST(BlockStream, ReaderDeliversInChunks) {
   Env env(64, 8);
   std::string payload(500, 'p');
-  auto range = StoreBytes(env.device.get(), &env.budget, payload);
+  auto range = StoreBytes(env.device(), env.budget(), payload);
   ASSERT_TRUE(range.ok());
-  BlockStreamReader reader(env.device.get(), &env.budget, *range,
+  BlockStreamReader reader(env.device(), env.budget(), *range,
                            IoCategory::kInput);
   NEX_ASSERT_OK(reader.init_status());
   std::string got;
@@ -96,17 +96,17 @@ TEST(BlockStream, ReaderDeliversInChunks) {
 TEST(BlockStream, SequentialScanCostsOneIoPerBlock) {
   Env env(64, 8);
   std::string payload(640, 'q');  // exactly 10 blocks
-  auto range = StoreBytes(env.device.get(), &env.budget, payload);
+  auto range = StoreBytes(env.device(), env.budget(), payload);
   ASSERT_TRUE(range.ok());
-  uint64_t before = env.device->stats().reads;
-  auto back = LoadBytes(env.device.get(), &env.budget, *range);
+  uint64_t before = env.device()->stats().reads;
+  auto back = LoadBytes(env.device(), env.budget(), *range);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(env.device->stats().reads - before, 10u);
+  EXPECT_EQ(env.device()->stats().reads - before, 10u);
 }
 
 TEST(RunStore, WriteReadRoundTrip) {
   Env env(128, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   RunWriter writer = store.NewRun();
   NEX_ASSERT_OK(writer.init_status());
   std::string payload;
@@ -127,7 +127,7 @@ TEST(RunStore, WriteReadRoundTrip) {
 
 TEST(RunStore, SeeksToOffset) {
   Env env(64, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   RunWriter writer = store.NewRun();
   NEX_ASSERT_OK(writer.init_status());
   std::string payload;
@@ -146,7 +146,7 @@ TEST(RunStore, SeeksToOffset) {
 
 TEST(RunStore, InvalidHandleRejected) {
   Env env;
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   RunHandle bogus;
   bogus.id = 7;
   RunReader reader = store.OpenRun(bogus);
@@ -155,7 +155,7 @@ TEST(RunStore, InvalidHandleRejected) {
 
 TEST(RunStore, OffsetPastEndRejected) {
   Env env;
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   RunWriter writer = store.NewRun();
   NEX_ASSERT_OK(writer.init_status());
   NEX_ASSERT_OK(writer.Append("abc"));
@@ -167,7 +167,7 @@ TEST(RunStore, OffsetPastEndRejected) {
 
 TEST(RunStore, FreeRunRecyclesBlocks) {
   Env env(64, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   for (int cycle = 0; cycle < 20; ++cycle) {
     RunWriter writer = store.NewRun();
     NEX_ASSERT_OK(writer.init_status());
@@ -177,14 +177,14 @@ TEST(RunStore, FreeRunRecyclesBlocks) {
     NEX_ASSERT_OK(store.FreeRun(handle));
   }
   EXPECT_EQ(store.live_blocks(), 0u);
-  EXPECT_LE(env.device->num_blocks(), 10u);
+  EXPECT_LE(env.device()->num_blocks(), 10u);
 }
 
 TEST(RunStore, MultipleInterleavedRuns) {
   // NEXSORT writes a run while stacks also allocate blocks; runs must stay
   // correct even when their blocks are not contiguous on the device.
   Env env(64, 16);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   std::vector<RunHandle> handles;
   std::vector<std::string> payloads;
   for (int r = 0; r < 5; ++r) {
@@ -198,7 +198,7 @@ TEST(RunStore, MultipleInterleavedRuns) {
     payloads.push_back(payload);
     // Interleave an unrelated allocation to fragment the device layout.
     uint64_t id = 0;
-    NEX_ASSERT_OK(env.device->Allocate(1, &id));
+    NEX_ASSERT_OK(env.device()->Allocate(1, &id));
   }
   for (int r = 0; r < 5; ++r) {
     RunReader reader = store.OpenRun(handles[r]);
@@ -212,21 +212,21 @@ TEST(RunStore, MultipleInterleavedRuns) {
 TEST(RunStore, ReopeningCountsBlockAgain) {
   // Lemma 4.12 accounting: a block re-fetched after a seek is a new I/O.
   Env env(64, 8);
-  RunStore store(env.device.get(), &env.budget);
+  RunStore store(env.device(), env.budget());
   RunWriter writer = store.NewRun();
   NEX_ASSERT_OK(writer.init_status());
   NEX_ASSERT_OK(writer.Append(std::string(64, 'z')));
   RunHandle handle;
   NEX_ASSERT_OK(writer.Finish(&handle));
 
-  uint64_t before = env.device->stats().reads;
+  uint64_t before = env.device()->stats().reads;
   for (int i = 0; i < 3; ++i) {
     RunReader reader = store.OpenRun(handle);
     NEX_ASSERT_OK(reader.init_status());
     char byte = 0;
     NEX_ASSERT_OK(reader.ReadExact(&byte, 1));
   }
-  EXPECT_EQ(env.device->stats().reads - before, 3u);
+  EXPECT_EQ(env.device()->stats().reads - before, 3u);
 }
 
 }  // namespace

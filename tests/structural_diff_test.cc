@@ -42,8 +42,7 @@ std::string Apply(const std::string& base, const std::string& batch,
   StringByteSource base_source(base);
   std::string out;
   StringByteSink sink(&out);
-  Status st = ApplyBatchUpdates(&base_source, batch, env.device.get(),
-                                &env.budget, &sink, options);
+  Status st = ApplyBatchUpdates(&base_source, batch, env.get(), &sink, options);
   EXPECT_TRUE(st.ok()) << st.ToString();
   return out;
 }

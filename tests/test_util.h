@@ -9,6 +9,7 @@
 #include "core/dom_sort.h"
 #include "core/keypath_xml_sort.h"
 #include "core/nexsort.h"
+#include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 
@@ -27,13 +28,31 @@ namespace testing {
     EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
   } while (0)
 
-/// A device + budget pair with small blocks, the standard fixture.
+/// A small-block SortEnv (in-RAM device + budget), the standard fixture.
+/// Accessors mirror the old (device, budget) pair for components below the
+/// env layer; sorters take `get()`.
 struct Env {
-  std::unique_ptr<BlockDevice> device;
-  MemoryBudget budget;
+  std::unique_ptr<SortEnv> env;
 
-  explicit Env(size_t block_size = 1024, uint64_t memory_blocks = 32)
-      : device(NewMemoryBlockDevice(block_size)), budget(memory_blocks) {}
+  explicit Env(size_t block_size = 1024, uint64_t memory_blocks = 32) {
+    SortEnvOptions options;
+    options.block_size = block_size;
+    options.memory_blocks = memory_blocks;
+    Init(std::move(options));
+  }
+
+  explicit Env(SortEnvOptions options) { Init(std::move(options)); }
+
+  SortEnv* get() const { return env.get(); }
+  BlockDevice* device() const { return env->device(); }
+  MemoryBudget* budget() const { return env->budget(); }
+
+ private:
+  void Init(SortEnvOptions options) {
+    auto result = SortEnv::Create(std::move(options));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    env = std::move(result).value();
+  }
 };
 
 /// NEXSORT an XML string end to end; fails the test on error.
@@ -42,7 +61,7 @@ inline std::string NexSortString(std::string_view xml, NexSortOptions options,
                                  uint64_t memory_blocks = 32,
                                  NexSortStats* stats = nullptr) {
   Env env(block_size, memory_blocks);
-  NexSorter sorter(env.device.get(), &env.budget, std::move(options));
+  NexSorter sorter(env.get(), std::move(options));
   StringByteSource source(xml);
   std::string out;
   StringByteSink sink(&out);
@@ -58,7 +77,7 @@ inline std::string KeyPathSortString(std::string_view xml,
                                      size_t block_size = 1024,
                                      uint64_t memory_blocks = 32) {
   Env env(block_size, memory_blocks);
-  KeyPathXmlSorter sorter(env.device.get(), &env.budget, std::move(options));
+  KeyPathXmlSorter sorter(env.get(), std::move(options));
   StringByteSource source(xml);
   std::string out;
   StringByteSink sink(&out);

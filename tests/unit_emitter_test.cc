@@ -34,7 +34,7 @@ std::string Emit(const std::vector<ElementUnit>& units,
   NameDictionary dictionary;
   std::string out;
   StringByteSink sink(&out);
-  UnitXmlEmitter emitter(env.device.get(), &env.budget, &dictionary, &sink);
+  UnitXmlEmitter emitter(env.device(), env.budget(), &dictionary, &sink);
   EXPECT_TRUE(emitter.init_status().ok());
   for (const ElementUnit& unit : units) {
     Status st = emitter.Emit(unit);
@@ -91,7 +91,7 @@ TEST(UnitEmitter, RejectsPointerUnits) {
   NameDictionary dictionary;
   std::string out;
   StringByteSink sink(&out);
-  UnitXmlEmitter emitter(env.device.get(), &env.budget, &dictionary, &sink);
+  UnitXmlEmitter emitter(env.device(), env.budget(), &dictionary, &sink);
   ElementUnit pointer;
   pointer.type = UnitType::kPointer;
   pointer.level = 1;
