@@ -7,7 +7,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <initializer_list>
 #include <memory>
 #include <string>
@@ -19,6 +21,7 @@
 #include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "obs/json_writer.h"
+#include "obs/telemetry_hub.h"
 #include "obs/tracer.h"
 #include "xml/generator.h"
 
@@ -250,6 +253,65 @@ class BenchJsonLog {
   std::string bench_name_;
   std::string path_;
   std::vector<std::string> rows_;
+};
+
+/// Live-telemetry knobs for the bench binaries, parsed the same way as
+/// BenchJsonLog's `--json`: `--sample-interval-ms N` arms the SortEnv
+/// background sampler on the runs a bench designates, and `--timeline
+/// FILE` (or `--timeline=FILE`) streams that run's gauge samples as
+/// nexsort-timeline-v1 JSONL. `--timeline` without an explicit interval
+/// defaults to 5 ms. Each bench decides which configuration gets the
+/// timeline (typically its headline run); the sink attaches once.
+class BenchTimeline {
+ public:
+  BenchTimeline(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--timeline" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg.rfind("--timeline=", 0) == 0) {
+        path_ = arg.substr(std::string("--timeline=").size());
+      } else if (arg == "--sample-interval-ms" && i + 1 < argc) {
+        interval_ms_ =
+            static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (arg.rfind("--sample-interval-ms=", 0) == 0) {
+        interval_ms_ = static_cast<uint32_t>(std::strtoul(
+            arg.substr(std::string("--sample-interval-ms=").size()).c_str(),
+            nullptr, 10));
+      }
+    }
+    if (!path_.empty() && interval_ms_ == 0) interval_ms_ = 5;
+  }
+
+  bool enabled() const { return interval_ms_ > 0; }
+  uint32_t interval_ms() const { return interval_ms_; }
+
+  /// Arm the env's sampler for a run this bench wants sampled.
+  void Arm(SortEnvOptions* options) const {
+    options->sample_interval_ms = interval_ms_;
+  }
+
+  /// Attach the timeline file sink to a freshly created (armed) env.
+  /// First successful call wins; later calls are no-ops.
+  void Attach(SortEnv* env) {
+    if (path_.empty() || attached_ || env->telemetry() == nullptr) return;
+    JsonWriter env_json;
+    env->DescribeJson(&env_json);
+    auto sink = FileTimelineSink::Open(path_, std::move(env_json).Take(),
+                                       interval_ms_);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", path_.c_str(),
+                   sink.status().ToString().c_str());
+      return;
+    }
+    env->telemetry()->AddSink(std::move(sink).value());
+    attached_ = true;
+  }
+
+ private:
+  std::string path_;
+  uint32_t interval_ms_ = 0;
+  bool attached_ = false;
 };
 
 inline NexSortOptions DefaultNexOptions() {

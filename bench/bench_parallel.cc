@@ -9,7 +9,11 @@
 // alongside the pipeline's own counters (async spills, foreground stall,
 // background busy time).
 //
-//   bench_parallel [--json FILE]
+//   bench_parallel [--json FILE] [--timeline FILE] [--sample-interval-ms N]
+//
+// With --timeline, the headline "2 thr + prefetch" NEXSORT run gets the
+// live sampler and streams its gauges as nexsort-timeline-v1 JSONL.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -27,24 +31,42 @@ struct ParallelRun {
   std::string output;
 };
 
-// Stage `xml` onto the env's *base* device (unthrottled: staging is
-// setup, not workload) and return its extent. Exits on failure — this is
-// bench scaffolding.
+// Stage `xml` onto the env's storage and return its extent. The extent is
+// *allocated* through the full device stack (env->device()) so every
+// wrapper layer's block count stays in sync — allocating beside a wrapper
+// violates the layer invariant and leaves the staged blocks unaddressable
+// through the stack. The payload is then *written* straight to the base
+// device: staging is setup, not workload, so it pays no throttle latency
+// and leaves the measured (wrapper-layer) stats untouched. Exits on
+// failure — this is bench scaffolding.
 ByteRange StageInput(SortEnv* env, const std::string& xml) {
-  BlockStreamWriter writer(env->base_device(), env->budget(),
-                           IoCategory::kOther);
-  ByteRange range;
-  if (!writer.init_status().ok() || !writer.Append(xml).ok() ||
-      !writer.Finish(&range).ok()) {
-    std::fprintf(stderr, "staging the input document failed\n");
+  const uint64_t block_size = env->device()->block_size();
+  const uint64_t blocks = (xml.size() + block_size - 1) / block_size;
+  uint64_t first = 0;
+  Status st = env->device()->Allocate(blocks, &first);
+  std::string block(block_size, '\0');
+  for (uint64_t i = 0; st.ok() && i < blocks; ++i) {
+    const uint64_t offset = i * block_size;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(block_size, xml.size() - offset));
+    block.assign(xml.data() + offset, chunk);
+    block.resize(block_size, '\0');
+    st = env->base_device()->Write(first + i, block.data(),
+                                   IoCategory::kOther);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "staging the input document failed: %s\n",
+                 st.ToString().c_str());
     std::exit(1);
   }
-  return range;
+  return ByteRange{first, xml.size()};
 }
 
-// Read an extent back into a string through the base device (unthrottled).
+// Read an extent back into a string. This goes through the full stack
+// (env->device()) so a caching layer's dirty frames are visible; it runs
+// after the stats snapshot, so the extra reads are never measured.
 std::string ReadBack(SortEnv* env, ByteRange range) {
-  BlockStreamReader reader(env->base_device(), env->budget(), range,
+  BlockStreamReader reader(env->device(), env->budget(), range,
                            IoCategory::kOther);
   std::string out;
   out.reserve(range.byte_size);
@@ -138,7 +160,8 @@ struct Config {
 std::unique_ptr<SortEnv> MakeThrottledEnv(const Config& config,
                                           uint64_t memory_blocks,
                                           uint64_t sort_blocks,
-                                          const ThrottleModel& model) {
+                                          const ThrottleModel& model,
+                                          BenchTimeline* timeline = nullptr) {
   SortEnvOptions env_options;
   env_options.block_size = kBlockSize;
   env_options.memory_blocks = memory_blocks;
@@ -149,12 +172,14 @@ std::unique_ptr<SortEnv> MakeThrottledEnv(const Config& config,
   if (config.cache_frames > 0) {
     env_options.cache = {.frames = config.cache_frames, .readahead = 0};
   }
+  if (timeline != nullptr) timeline->Arm(&env_options);
   auto env = SortEnv::Create(std::move(env_options));
   if (!env.ok()) {
     std::fprintf(stderr, "SortEnv::Create failed: %s\n",
                  env.status().ToString().c_str());
     std::exit(1);
   }
+  if (timeline != nullptr) timeline->Attach(env->get());
   return std::move(env).value();
 }
 
@@ -162,6 +187,7 @@ std::unique_ptr<SortEnv> MakeThrottledEnv(const Config& config,
 
 int main(int argc, char** argv) {
   BenchJsonLog json_log(argc, argv, "parallel");
+  BenchTimeline timeline(argc, argv);
   GeneratorStats doc_stats;
   std::string xml = MakeRandomDoc(/*height=*/7, /*max_fanout=*/10,
                                   /*seed=*/42, &doc_stats);
@@ -220,10 +246,16 @@ int main(int argc, char** argv) {
   double baseline_wall = 0;
   for (const Config& config : configs) {
     NexSortOptions options = DefaultNexOptions();
-    auto env = MakeThrottledEnv(config, kMemoryBlocks, kSortBlocks, kModel);
+    // The headline overlap configuration carries the live sampler (and
+    // the --timeline stream when requested).
+    bool sampled = timeline.enabled() && config.threads == 2 &&
+                   config.prefetch_depth > 0;
+    auto env = MakeThrottledEnv(config, kMemoryBlocks, kSortBlocks, kModel,
+                                sampled ? &timeline : nullptr);
     ByteRange input_range = StageInput(env.get(), xml);
     ParallelRun run = RunThrottled(env.get(), input_range,
                                    std::move(options));
+    if (env->telemetry() != nullptr) env->telemetry()->StopSampler();
     CheckOk(run.result, config.label);
     json_log.AddRow("nexsort_parallel",
                     {{"threads", config.threads},

@@ -15,6 +15,11 @@
 //   --memory-mb M         internal memory budget in MiB (default 64)
 //   --block-kb B          block size in KiB (default 64, like the paper)
 //   --threshold-blocks T  sort threshold t in blocks (default 2)
+//   --sort-memory-blocks N pin each sort's memory allowance to N blocks
+//                         instead of granting whatever the budget has
+//                         free (0 = dynamic, the default); small values
+//                         force the external path, and concurrent jobs
+//                         get identical deterministic grants
 //   --cache-blocks N      buffer-pool cache of N block frames over the
 //                         working device (0 = off, the default); frames
 //                         come out of the --memory-mb budget, so M must
@@ -49,12 +54,23 @@
 //                         docs/OBSERVABILITY.md for the schema
 //   --trace-out FILE      write the JSONL trace stream (one span or
 //                         run-lifecycle event per line)
+//   --sample-interval-ms N poll env-wide gauges (budget, cache, workers,
+//                         runs, I/O) every N ms on a background sampler;
+//                         implied (10 ms) by --timeline-out / --progress
+//   --timeline-out FILE   stream sampler ticks as nexsort-timeline-v1
+//                         JSONL (header record, then one sample per line)
+//   --chrome-trace FILE   write a Chrome Trace Event JSON file (spans as
+//                         thread lanes, sampler gauges as counter tracks)
+//                         loadable in Perfetto / chrome://tracing
+//   --progress            live one-line status on stderr, driven by the
+//                         sampler
 //
 // Working storage (stacks + sorted runs) lives in <output.xml>.work, which
 // is removed on success.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/nexsort.h"
@@ -64,7 +80,9 @@
 #include "env/sort_env.h"
 #include "extmem/block_device.h"
 #include "extmem/stream.h"
+#include "obs/chrome_trace.h"
 #include "obs/json_writer.h"
+#include "obs/telemetry_hub.h"
 #include "obs/tracer.h"
 #include "util/string_util.h"
 
@@ -110,7 +128,9 @@ void Usage() {
                "[--depth-limit D] [--memory-mb M]\n               "
                "[--block-kb B] [--threshold-blocks T] [--cache-blocks N] "
                "[--readahead N]\n               [--threads N] "
-               "[--prefetch-depth K] [--graceful] [--stats] "
+               "[--prefetch-depth K] [--graceful] [--stats]\n               "
+               "[--sample-interval-ms N] [--timeline-out FILE] "
+               "[--chrome-trace FILE] [--progress]\n               "
                "<input.xml> <output.xml>\n");
   std::exit(2);
 }
@@ -126,6 +146,7 @@ int main(int argc, char** argv) {
   uint64_t memory_mb = 64;
   uint64_t block_kb = 64;
   uint64_t threshold_blocks = 2;
+  uint64_t sort_memory_blocks = 0;
   uint64_t cache_blocks = 0;
   uint64_t cache_readahead = 0;
   uint64_t threads = 0;
@@ -134,6 +155,10 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   std::string stats_json_path;
   std::string trace_out_path;
+  std::string timeline_out_path;
+  std::string chrome_trace_path;
+  uint64_t sample_interval_ms = 0;
+  bool progress = false;
   bool check_output = false;
   bool check_only = false;
   bool pretty = false;
@@ -174,6 +199,8 @@ int main(int argc, char** argv) {
       block_kb = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threshold-blocks") {
       threshold_blocks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sort-memory-blocks") {
+      sort_memory_blocks = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--cache-blocks") {
       cache_blocks = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--readahead") {
@@ -208,6 +235,18 @@ int main(int argc, char** argv) {
       trace_out_path = next();
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out_path = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--timeline-out") {
+      timeline_out_path = next();
+    } else if (arg.rfind("--timeline-out=", 0) == 0) {
+      timeline_out_path = arg.substr(std::strlen("--timeline-out="));
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_path = next();
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace_path = arg.substr(std::strlen("--chrome-trace="));
+    } else if (arg == "--sample-interval-ms") {
+      sample_interval_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg.rfind("--", 0) == 0) {
       Usage();
     } else if (input_path.empty()) {
@@ -333,18 +372,26 @@ int main(int argc, char** argv) {
   }
 
   std::string work_path = output_path + ".work";
-  bool want_telemetry =
-      show_stats || !stats_json_path.empty() || !trace_out_path.empty();
+  bool want_telemetry = show_stats || !stats_json_path.empty() ||
+                        !trace_out_path.empty() || !chrome_trace_path.empty();
   Tracer tracer;
+
+  // The timeline/progress surfaces are sampler-driven; give them a
+  // default cadence when the user asked for the output but not the rate.
+  if ((!timeline_out_path.empty() || progress) && sample_interval_ms == 0) {
+    sample_interval_ms = 10;
+  }
 
   SortEnvOptions env_options;
   env_options.block_size = block_size;
   env_options.memory_blocks = memory_blocks;
   env_options.file_path = work_path;
+  env_options.sort_memory_blocks = sort_memory_blocks;
   env_options.cache = {.frames = cache_blocks, .readahead = cache_readahead};
   env_options.parallel.threads = static_cast<uint32_t>(threads);
   env_options.parallel.prefetch_depth =
       static_cast<uint32_t>(prefetch_depth);
+  env_options.sample_interval_ms = static_cast<uint32_t>(sample_interval_ms);
   if (want_telemetry) env_options.tracer = &tracer;
   auto env_or = SortEnv::Create(std::move(env_options));
   if (!env_or.ok()) {
@@ -353,6 +400,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<SortEnv> env = std::move(env_or).value();
+
+  if (!timeline_out_path.empty()) {
+    JsonWriter env_json;
+    env->DescribeJson(&env_json);
+    auto sink_or = FileTimelineSink::Open(
+        timeline_out_path, std::move(env_json).Take(),
+        static_cast<uint32_t>(sample_interval_ms));
+    if (!sink_or.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", timeline_out_path.c_str(),
+                   sink_or.status().ToString().c_str());
+      return 1;
+    }
+    env->telemetry()->AddSink(std::move(sink_or).value());
+  }
+  if (progress) {
+    env->telemetry()->AddSink(std::make_unique<ProgressSink>());
+  }
 
   NexSortOptions options;
   options.order = spec;
@@ -371,6 +435,9 @@ int main(int argc, char** argv) {
   Status status = sorter.Sort(&source, &sink);
   std::fclose(input);
   std::fclose(output);
+  // Stop the sampler before reporting: the final sample lands in the
+  // timeline stream (and samples() retention) and the progress line ends.
+  if (env->telemetry() != nullptr) env->telemetry()->StopSampler();
   if (!status.ok()) {
     std::fprintf(stderr, "sort failed: %s\n", status.ToString().c_str());
     return 1;
@@ -495,6 +562,11 @@ int main(int argc, char** argv) {
     json.Key("counters");
     sorter.parallel_stats().ToJson(&json);
     json.EndObject();
+    // Per-session attribution: xmlsort runs one job, so one entry, but
+    // the array shape is shared with multi-session envs (see
+    // docs/OBSERVABILITY.md).
+    json.Key("sessions");
+    env->SessionsToJson(&json);
     json.Key("nexsort");
     sorter.stats().ToJson(&json);
     json.Key("telemetry");
@@ -518,6 +590,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::string text = tracer.ToJsonl();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  }
+
+  if (!chrome_trace_path.empty()) {
+    ChromeTraceExporter exporter;
+    exporter.AddSession("xmlsort", tracer);
+    if (env->telemetry() != nullptr) {
+      exporter.AddCounterTrack("env gauges", env->telemetry()->samples(),
+                               env->telemetry()->epoch());
+    }
+    FILE* out = std::fopen(chrome_trace_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", chrome_trace_path.c_str());
+      return 1;
+    }
+    std::string text = exporter.ToJsonString();
+    text.push_back('\n');
     std::fwrite(text.data(), 1, text.size(), out);
     std::fclose(out);
   }

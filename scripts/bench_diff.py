@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Diff two nexsort-bench-v1 files and gate on regressions.
+
+Rows are matched by (algorithm, params). For every matched row the tool
+compares the *deterministic* series — modeled_seconds and physical I/O
+(io.total, io.reads, io.writes) — and exits non-zero when the candidate
+regresses by more than --threshold-pct (default 10%) on any of them.
+Wall-clock is printed for context but never gated: it measures the
+machine, not the algorithm.
+
+Rows present in the baseline but missing from the candidate (or failed
+rows) are regressions too: a sweep that silently lost a configuration
+must not pass.
+
+Usage:
+  bench_diff.py BASELINE.json CANDIDATE.json [--threshold-pct P]
+  bench_diff.py BASELINE.json --run BENCH_BIN [--threshold-pct P]
+      (runs `BENCH_BIN --json <tmp>` first, then diffs — the ctest gate)
+  bench_diff.py BASELINE.json --self-test
+      (synthesizes a >threshold regression from the baseline and checks
+      the detector fires — guards the gate itself)
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+GATED_IO_KEYS = ("total", "reads", "writes")
+
+
+def row_key(row):
+    params = row.get("params", {})
+    return (row.get("algorithm"),
+            tuple(sorted((k, v) for k, v in params.items())))
+
+
+def load(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "nexsort-bench-v1":
+        sys.exit(f"{path}: schema is {doc.get('schema')!r}, "
+                 "expected 'nexsort-bench-v1'")
+    return doc
+
+
+def fmt_key(key):
+    algorithm, params = key
+    inner = ",".join(f"{k}={v}" for k, v in params)
+    return f"{algorithm}({inner})"
+
+
+def diff(baseline, candidate, threshold_pct):
+    """Returns the list of regression messages (empty = pass)."""
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    cand_rows = {row_key(r): r for r in candidate.get("rows", [])}
+    regressions = []
+
+    for key, base in sorted(base_rows.items()):
+        label = fmt_key(key)
+        cand = cand_rows.get(key)
+        if cand is None:
+            regressions.append(f"{label}: row missing from candidate")
+            continue
+        if not cand.get("ok", False):
+            regressions.append(f"{label}: candidate run failed")
+            continue
+
+        def gate(name, base_value, cand_value):
+            if not base_value:
+                return  # nothing to regress against
+            change_pct = 100.0 * (cand_value - base_value) / base_value
+            marker = ""
+            if change_pct > threshold_pct:
+                marker = "  << REGRESSION"
+                regressions.append(
+                    f"{label}: {name} {base_value:g} -> {cand_value:g} "
+                    f"(+{change_pct:.1f}% > {threshold_pct:g}%)")
+            print(f"  {label:<70} {name:>16} {base_value:>12g} "
+                  f"{cand_value:>12g} {change_pct:>+7.1f}%{marker}")
+
+        gate("modeled_seconds", base.get("modeled_seconds", 0.0),
+             cand.get("modeled_seconds", 0.0))
+        for io_key in GATED_IO_KEYS:
+            gate(f"io.{io_key}", base.get("io", {}).get(io_key, 0),
+                 cand.get("io", {}).get(io_key, 0))
+        base_wall = base.get("wall_seconds", 0.0)
+        cand_wall = cand.get("wall_seconds", 0.0)
+        if base_wall:
+            print(f"  {label:<70} {'wall_seconds':>16} {base_wall:>12.3f} "
+                  f"{cand_wall:>12.3f}   (not gated)")
+
+    extra = set(cand_rows) - set(base_rows)
+    for key in sorted(extra):
+        print(f"  {fmt_key(key)}: new row (not in baseline, not gated)")
+    return regressions
+
+
+def self_test(baseline, threshold_pct):
+    """The detector must fire on a synthesized super-threshold regression
+    and stay quiet on an identical copy."""
+    clean = json.loads(json.dumps(baseline))
+    if diff(baseline, clean, threshold_pct):
+        print("FAIL: self-test: identical candidate reported regressions",
+              file=sys.stderr)
+        return 1
+
+    regressed = json.loads(json.dumps(baseline))
+    factor = 1.0 + 2.0 * threshold_pct / 100.0
+    for row in regressed.get("rows", []):
+        row["modeled_seconds"] = row.get("modeled_seconds", 0.0) * factor
+        io = row.get("io", {})
+        for key in GATED_IO_KEYS:
+            io[key] = int(io.get(key, 0) * factor)
+    if not diff(baseline, regressed, threshold_pct):
+        print("FAIL: self-test: synthesized regression went undetected",
+              file=sys.stderr)
+        return 1
+    print("bench diff self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline nexsort-bench-v1 file")
+    parser.add_argument("candidate", nargs="?", default=None,
+                        help="candidate nexsort-bench-v1 file")
+    parser.add_argument("--run", default=None, metavar="BENCH_BIN",
+                        help="run this bench binary with --json into a "
+                             "temp file and diff that as the candidate")
+    parser.add_argument("--threshold-pct", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the detector on synthesized data")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    if args.self_test:
+        return self_test(baseline, args.threshold_pct)
+
+    if (args.candidate is None) == (args.run is None):
+        parser.error("need exactly one of CANDIDATE or --run")
+
+    if args.run:
+        with tempfile.TemporaryDirectory() as tmp:
+            candidate_path = Path(tmp) / "candidate.json"
+            command = [args.run, "--json", str(candidate_path)]
+            result = subprocess.run(command, capture_output=True, text=True)
+            if result.returncode != 0:
+                print(f"FAIL: {' '.join(command)} exited "
+                      f"{result.returncode}", file=sys.stderr)
+                sys.stderr.write(result.stderr)
+                return 1
+            candidate = load(candidate_path)
+    else:
+        candidate = load(args.candidate)
+
+    regressions = diff(baseline, candidate, args.threshold_pct)
+    if regressions:
+        for message in regressions:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print(f"bench diff OK ({len(baseline.get('rows', []))} rows, "
+          f"threshold {args.threshold_pct:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,15 +84,32 @@ def check_telemetry(telemetry):
           "telemetry: missing run_size_bytes histogram")
     for name, hist in histograms.items():
         for key in ("count", "sum", "min", "max", "mean", "p50", "p90",
-                    "p99", "buckets"):
+                    "p95", "p99", "buckets"):
             check(key in hist, f"histogram '{name}': missing '{key}'")
+        if all(isinstance(hist.get(k), (int, float))
+               for k in ("p50", "p90", "p95", "p99")):
+            check(hist["p50"] <= hist["p90"] <= hist["p95"] <= hist["p99"],
+                  f"histogram '{name}': percentiles not non-decreasing")
         for bucket in hist.get("buckets", []):
             check(isinstance(bucket, list) and len(bucket) == 2,
                   f"histogram '{name}': bucket is not [upper_bound, count]")
 
 
-CACHE_COUNTER_KEYS = ("hits", "misses", "hit_rate", "evictions",
-                      "writebacks", "writeback_failures", "prefetches")
+CACHE_COUNTER_KEYS = ("hits", "misses", "evictions", "writebacks",
+                      "writeback_failures", "prefetches")
+
+
+def check_hit_rate_convention(counters, where):
+    """`hit_rate` is defined only over observed accesses: present iff
+    hits + misses > 0, and never 0/NaN standing in for 'no data'."""
+    accesses = counters.get("hits", 0) + counters.get("misses", 0)
+    if accesses > 0:
+        check(isinstance(counters.get("hit_rate"), (int, float)),
+              f"{where}: hit_rate missing despite {accesses} accesses")
+    else:
+        check("hit_rate" not in counters,
+              f"{where}: hit_rate present with zero accesses "
+              "(must be absent, not 0/NaN)")
 
 
 def check_cache(cache, cache_enabled):
@@ -105,6 +122,7 @@ def check_cache(cache, cache_enabled):
     counters = cache.get("counters", {})
     for key in CACHE_COUNTER_KEYS:
         check(key in counters, f"stats.cache.counters: missing '{key}'")
+    check_hit_rate_convention(counters, "stats.cache.counters")
     if cache_enabled:
         check(cache.get("frames", 0) > 0,
               "stats.cache: enabled but frames == 0")
@@ -126,6 +144,14 @@ def check_cache_metrics(telemetry):
     gauges = metrics.get("gauges", {})
     check("cache_hit_rate_pct" in gauges,
           "telemetry: missing gauge 'cache_hit_rate_pct'")
+
+
+def check_no_hit_rate_gauge(telemetry):
+    """Zero cache accesses: the hit-rate gauge must not exist at all."""
+    gauges = telemetry.get("metrics", {}).get("gauges", {})
+    check("cache_hit_rate_pct" not in gauges,
+          "telemetry: gauge 'cache_hit_rate_pct' present with cache off "
+          "(must be absent when there were zero accesses)")
 
 
 PARALLEL_COUNTER_KEYS = ("async_spills", "sync_spills",
@@ -165,7 +191,7 @@ def check_parallel_metrics(telemetry):
 
 ENV_KEYS = ("block_size", "memory_blocks", "device", "layers",
             "cache_frames", "readahead", "threads", "prefetch_depth",
-            "sort_memory_blocks")
+            "sort_memory_blocks", "sample_interval_ms")
 
 KNOWN_LAYERS = ("throttle", "fault")
 
@@ -204,13 +230,41 @@ def check_env(env, stats):
           "stats.parallel.prefetch_depth")
 
 
+SESSION_KEYS = ("id", "active", "start_seconds", "wall_seconds", "io",
+                "runs_created", "spilled_bytes", "budget_peak_blocks")
+
+
+def check_sessions(sessions):
+    """Validate the stats.sessions array (per-session attribution)."""
+    check(isinstance(sessions, list), "stats.sessions is not a list")
+    if not isinstance(sessions, list):
+        return
+    check(len(sessions) >= 1, "stats.sessions: empty (xmlsort runs one job)")
+    ids = [s.get("id") for s in sessions]
+    check(len(ids) == len(set(ids)), "stats.sessions: duplicate session ids")
+    for session in sessions:
+        where = f"stats.sessions[id={session.get('id')!r}]"
+        for key in SESSION_KEYS:
+            check(key in session, f"{where}: missing key '{key}'")
+        check(isinstance(session.get("active"), bool),
+              f"{where}: active is not a bool")
+        for key in ("start_seconds", "wall_seconds"):
+            value = session.get(key)
+            check(isinstance(value, (int, float)) and value >= 0,
+                  f"{where}: {key} is not a non-negative number")
+        if "io" in session:
+            check_io_object(session["io"], f"{where}.io")
+            check(session["io"].get("total", 0) > 0,
+                  f"{where}: session recorded no I/O")
+
+
 def check_stats(stats, cache_enabled=False, parallel_enabled=False):
     check(stats.get("schema") == "nexsort-stats-v1",
           f"stats schema is {stats.get('schema')!r}, "
           "expected 'nexsort-stats-v1'")
     for key in ("tool", "input", "block_size", "memory_blocks",
                 "memory_peak_blocks", "run_count", "env", "io", "cache",
-                "parallel", "nexsort", "telemetry"):
+                "parallel", "sessions", "nexsort", "telemetry"):
         check(key in stats, f"stats: missing top-level key '{key}'")
     if "env" in stats:
         check_env(stats["env"], stats)
@@ -224,10 +278,14 @@ def check_stats(stats, cache_enabled=False, parallel_enabled=False):
         check_cache(stats["cache"], cache_enabled)
     if "parallel" in stats:
         check_parallel(stats["parallel"], parallel_enabled)
+    if "sessions" in stats:
+        check_sessions(stats["sessions"])
     if "telemetry" in stats:
         check_telemetry(stats["telemetry"])
         if cache_enabled:
             check_cache_metrics(stats["telemetry"])
+        else:
+            check_no_hit_rate_gauge(stats["telemetry"])
         if parallel_enabled:
             check_parallel_metrics(stats["telemetry"])
 
@@ -245,6 +303,86 @@ def check_trace(path):
               f"trace line {i}: unknown type {record.get('type')!r}")
 
 
+TIMELINE_REQUIRED_GAUGES = ("budget_used_blocks", "budget_total_blocks",
+                            "io_logical_total", "io_physical_total",
+                            "sessions_active", "runs_live")
+
+
+def check_timeline(path, expect_interval_ms):
+    """Validate a nexsort-timeline-v1 JSONL stream: one self-describing
+    header record, then samples with non-decreasing timestamps, numeric
+    gauges, monotone I/O totals, and the hit-rate absence convention."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as err:
+        check(False, f"timeline: cannot read {path}: {err}")
+        return
+    check(len(lines) >= 2, "timeline: expected a header plus >= 1 sample")
+    if not lines:
+        return
+    records = []
+    for i, line in enumerate(lines, 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            check(False, f"timeline line {i}: invalid JSON ({err})")
+            return
+
+    header = records[0]
+    check(header.get("type") == "header",
+          f"timeline: first record type is {header.get('type')!r}")
+    check(header.get("schema") == "nexsort-timeline-v1",
+          f"timeline schema is {header.get('schema')!r}, "
+          "expected 'nexsort-timeline-v1'")
+    check(header.get("sample_interval_ms") == expect_interval_ms,
+          f"timeline header: sample_interval_ms is "
+          f"{header.get('sample_interval_ms')!r}, expected "
+          f"{expect_interval_ms}")
+    env = header.get("env")
+    check(isinstance(env, dict), "timeline header: missing env description")
+    if isinstance(env, dict):
+        for key in ENV_KEYS:
+            check(key in env, f"timeline header env: missing key '{key}'")
+
+    prev_t = -1.0
+    prev_logical = -1.0
+    prev_physical = -1.0
+    for i, record in enumerate(records[1:], 2):
+        where = f"timeline line {i}"
+        check(record.get("type") == "sample",
+              f"{where}: unknown type {record.get('type')!r}")
+        t_seconds = record.get("t_seconds")
+        check(isinstance(t_seconds, (int, float)) and t_seconds >= 0,
+              f"{where}: t_seconds is not a non-negative number")
+        if isinstance(t_seconds, (int, float)):
+            check(t_seconds >= prev_t,
+                  f"{where}: t_seconds went backwards")
+            prev_t = t_seconds
+        gauges = record.get("gauges")
+        check(isinstance(gauges, dict), f"{where}: gauges is not an object")
+        if not isinstance(gauges, dict):
+            continue
+        for name, value in gauges.items():
+            check(isinstance(value, (int, float)),
+                  f"{where}: gauge '{name}' is not numeric")
+        for name in TIMELINE_REQUIRED_GAUGES:
+            check(name in gauges, f"{where}: missing gauge '{name}'")
+        # Lifetime totals only ever grow.
+        logical = gauges.get("io_logical_total", 0)
+        physical = gauges.get("io_physical_total", 0)
+        check(logical >= prev_logical, f"{where}: io_logical_total fell")
+        check(physical >= prev_physical, f"{where}: io_physical_total fell")
+        prev_logical, prev_physical = logical, physical
+        # The hit-rate gauge only exists once the pool saw an access.
+        accesses = gauges.get("cache_hits", 0) + gauges.get("cache_misses", 0)
+        if accesses == 0:
+            check("cache_hit_rate_pct" not in gauges,
+                  f"{where}: cache_hit_rate_pct present with zero accesses")
+        else:
+            check("cache_hit_rate_pct" in gauges,
+                  f"{where}: cache_hit_rate_pct missing despite accesses")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--xmlsort", required=True,
@@ -260,11 +398,14 @@ def main():
         workdir = Path(args.keep) if args.keep else Path(tmp)
         workdir.mkdir(parents=True, exist_ok=True)
 
-        # Three runs: the default (cache and pipeline off, the stats blocks
+        # Four runs: the default (cache and pipeline off, the stats blocks
         # must say so), a cached run (cache counters populated and mirrored
-        # into the telemetry), and a parallel run (worker threads + merge
+        # into the telemetry), a parallel run (worker threads + merge
         # prefetching; parallel counters populated, output byte-identical
-        # to the serial runs).
+        # to the serial runs), and a sampled run (live sampler on, timeline
+        # JSONL validated record-by-record; sampling must not change the
+        # sorted bytes either).
+        sample_interval_ms = 2
         outputs = {}
         for label, extra, cache_enabled, parallel_enabled in (
             ("default", [], False, False),
@@ -272,10 +413,14 @@ def main():
              True, False),
             ("parallel", ["--cache-blocks", "32", "--threads", "2",
                           "--prefetch-depth", "4"], True, True),
+            ("sampled", ["--cache-blocks", "32", "--threads", "2",
+                         "--sample-interval-ms", str(sample_interval_ms)],
+             True, True),
         ):
             stats_path = workdir / f"stats-{label}.json"
             trace_path = workdir / f"trace-{label}.jsonl"
             output_path = workdir / f"sorted-{label}.xml"
+            timeline_path = workdir / f"timeline-{label}.jsonl"
 
             command = [
                 args.xmlsort, "--numeric", *extra,
@@ -283,6 +428,8 @@ def main():
                 "--trace-out", str(trace_path),
                 args.fixture, str(output_path),
             ]
+            if label == "sampled":
+                command[-2:-2] = ["--timeline-out", str(timeline_path)]
             result = subprocess.run(command, capture_output=True, text=True)
             if result.returncode != 0:
                 print(f"FAIL: xmlsort ({label}) exited {result.returncode}",
@@ -301,6 +448,8 @@ def main():
             check(output_path.exists() and output_path.stat().st_size > 0,
                   f"xmlsort ({label}) produced no output document")
             check_trace(trace_path)
+            if label == "sampled":
+                check_timeline(timeline_path, sample_interval_ms)
             outputs[label] = output_path.read_bytes()
 
         for label, data in outputs.items():

@@ -414,6 +414,27 @@ def rule_no_raw_random(relpath, raw, stripped, raw_lines, ctx):
             )
 
 
+STEADY_CLOCK_PATTERN = re.compile(r"\bsystem_clock\b")
+
+
+def rule_steady_clock(relpath, raw, stripped, raw_lines, ctx):
+    # Durations and timestamps in measurement paths must come from the
+    # monotonic clock: system_clock jumps under NTP/DST and would corrupt
+    # span durations, sampler timelines, and modeled-vs-wall comparisons.
+    for m in STEADY_CLOCK_PATTERN.finditer(stripped):
+        lineno = line_of(stripped, m.start())
+        if suppressed(raw_lines, lineno, "steady-clock"):
+            continue
+        yield Finding(
+            relpath,
+            lineno,
+            "steady-clock",
+            "'system_clock' in a measurement path; use "
+            "std::chrono::steady_clock (monotonic) so durations and "
+            "timelines survive wall-clock jumps",
+        )
+
+
 def rule_include_first(relpath, raw, stripped, raw_lines, ctx):
     if not relpath.endswith((".cc", ".cpp")):
         return
@@ -564,6 +585,7 @@ RULES = {
     "io-category": (rule_io_category, _in_src),
     "no-stdio": (rule_no_stdio, _in_src),
     "no-raw-random": (rule_no_raw_random, _in_src),
+    "steady-clock": (rule_steady_clock, _in_src),
     "include-first": (rule_include_first, _in_src),
     "direct-include": (rule_direct_include, _in_src),
     "env-construction": (rule_env_construction, _in_status_scope),

@@ -27,6 +27,7 @@ CASES = [
     ("io_category.cc", "io-category", "src"),
     ("no_stdio.cc", "no-stdio", "src"),
     ("no_raw_random.cc", "no-raw-random", "src"),
+    ("steady_clock.cc", "steady-clock", "src"),
     ("memory_budget.cc", "include-first", "src/extmem"),
     ("direct_include.cc", "direct-include", "src"),
     ("env_construction.cc", "env-construction", "src"),

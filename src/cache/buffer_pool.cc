@@ -22,8 +22,13 @@ void CacheStats::ToJson(JsonWriter* writer) const {
   writer->Uint(hits);
   writer->Key("misses");
   writer->Uint(misses);
-  writer->Key("hit_rate");
-  writer->Double(hit_rate());
+  // Convention (asserted by check_telemetry_schema.py): hit_rate is
+  // *absent* when there were no accesses — 0.0 would read as "everything
+  // missed" and NaN is not JSON.
+  if (hits + misses > 0) {
+    writer->Key("hit_rate");
+    writer->Double(hit_rate());
+  }
   writer->Key("evictions");
   writer->Uint(evictions);
   writer->Key("writebacks");
@@ -79,15 +84,21 @@ void BufferPool::set_tracer(Tracer* tracer) {
     hits_counter_ = misses_counter_ = evictions_counter_ = nullptr;
     writebacks_counter_ = prefetches_counter_ = nullptr;
     hit_rate_gauge_ = nullptr;
+    metrics_ = nullptr;
     return;
   }
   MetricsRegistry* metrics = tracer->metrics();
+  metrics_ = metrics;
   hits_counter_ = metrics->GetCounter("cache_hits");
   misses_counter_ = metrics->GetCounter("cache_misses");
   evictions_counter_ = metrics->GetCounter("cache_evictions");
   writebacks_counter_ = metrics->GetCounter("cache_writebacks");
   prefetches_counter_ = metrics->GetCounter("cache_prefetches");
-  hit_rate_gauge_ = metrics->GetGauge("cache_hit_rate_pct");
+  // cache_hit_rate_pct is deliberately NOT created here: the gauge
+  // materializes on the first access (UpdateHitRateGauge), so "no gauge"
+  // means "zero accesses" — the same absence convention as the stats
+  // block's hit_rate. Registry lookup is thread-safe, so the first access
+  // may come from a background prefetch.
 }
 
 void BufferPool::CountHit() {
@@ -103,9 +114,13 @@ void BufferPool::CountMiss() {
 }
 
 void BufferPool::UpdateHitRateGauge() {
-  if (hit_rate_gauge_ == nullptr) return;
+  if (metrics_ == nullptr) return;
   uint64_t accesses = stats_.hits + stats_.misses;
-  hit_rate_gauge_->Set(accesses == 0 ? 0 : stats_.hits * 100 / accesses);
+  if (accesses == 0) return;
+  if (hit_rate_gauge_ == nullptr) {
+    hit_rate_gauge_ = metrics_->GetGauge("cache_hit_rate_pct");
+  }
+  hit_rate_gauge_->Set(stats_.hits * 100 / accesses);
 }
 
 Status BufferPool::WriteBack(Frame* frame, size_t index,
@@ -341,6 +356,15 @@ CacheStats BufferPool::stats() const {
 uint64_t BufferPool::pinned_frames() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pinned_frames_;
+}
+
+uint64_t BufferPool::dirty_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dirty = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.dirty) ++dirty;
+  }
+  return dirty;
 }
 
 CachedBlockDevice::CachedBlockDevice(BlockDevice* base, MemoryBudget* budget,

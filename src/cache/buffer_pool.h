@@ -84,7 +84,10 @@ struct CacheStats {
   uint64_t writeback_failures = 0;  // failed write-back attempts
   uint64_t prefetches = 0;   // blocks loaded ahead of consumption
 
-  /// Hits / (hits + misses); 0 when nothing was accessed.
+  /// Hits / (hits + misses); 0 when nothing was accessed — but note the
+  /// export convention: ToJson omits hit_rate entirely at zero accesses,
+  /// and the cache_hit_rate_pct gauge is likewise absent until the first
+  /// access, so consumers can tell "no traffic" from "all misses".
   double hit_rate() const {
     uint64_t accesses = hits + misses;
     return accesses == 0 ? 0.0
@@ -92,7 +95,8 @@ struct CacheStats {
                                static_cast<double>(accesses);
   }
 
-  /// One JSON object with every counter plus the derived hit_rate.
+  /// One JSON object with every counter plus the derived hit_rate (absent
+  /// when hits + misses == 0).
   void ToJson(JsonWriter* writer) const;
 };
 
@@ -117,9 +121,11 @@ class BufferPool {
   const Status& init_status() const { return init_status_; }
 
   /// Attach a tracer (may be null; not owned): the pool then mirrors its
-  /// counters into cache_* metrics and keeps a cache_hit_rate_pct gauge.
-  /// Foreground-thread only (instrument pointers are installed before any
-  /// background thread runs; the instruments themselves are atomic).
+  /// counters into cache_* metrics and keeps a cache_hit_rate_pct gauge
+  /// that materializes lazily on the first access (absent gauge == zero
+  /// accesses). Foreground-thread only (instrument pointers are installed
+  /// before any background thread runs; the instruments themselves are
+  /// atomic and registry lookup is thread-safe).
   void set_tracer(Tracer* tracer);
 
   /// Read `block_id` through the cache into `buf` (block_size bytes). The
@@ -165,6 +171,10 @@ class BufferPool {
 
   /// Number of currently pinned frames (tests and invariant checks).
   uint64_t pinned_frames() const;
+
+  /// Number of frames holding modifications not yet written back (the
+  /// telemetry sampler's dirty-frame gauge).
+  uint64_t dirty_frames() const;
 
  private:
   struct Frame {
@@ -238,6 +248,7 @@ class BufferPool {
 
   CacheStats stats_;
   // Tracer mirrors (null when no tracer attached).
+  class MetricsRegistry* metrics_ = nullptr;
   class Counter* hits_counter_ = nullptr;
   class Counter* misses_counter_ = nullptr;
   class Counter* evictions_counter_ = nullptr;

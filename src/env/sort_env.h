@@ -24,8 +24,10 @@
 // directory (and tests) is forbidden by the `env-construction` lint rule.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "extmem/device_wrappers.h"
 #include "extmem/memory_budget.h"
 #include "extmem/run_store.h"
+#include "obs/telemetry_hub.h"
 #include "parallel/parallel.h"
 #include "parallel/worker_pool.h"
 #include "util/status.h"
@@ -43,6 +46,26 @@ namespace nexsort {
 
 class JsonWriter;
 class Tracer;
+
+/// Footprint of one SortEnv::Session: the job's own logical I/O (counted
+/// by its per-session accounting device, so sums across sessions match
+/// the env device's read/write/category totals exactly), its run volume,
+/// and its wall-clock window. budget_peak_blocks is the *shared* budget's
+/// high-water observed while the session ran — the budget has no
+/// per-session ledger, so it is attribution by window, not by owner.
+struct SessionStats {
+  uint64_t id = 0;
+  bool active = false;       // still running when snapshotted
+  double start_seconds = 0;  // since the env's telemetry epoch
+  double wall_seconds = 0;
+  IoStats io;                // logical I/O through the session's device
+  uint64_t runs_created = 0;
+  uint64_t spilled_bytes = 0;  // payload bytes finished into runs
+  uint64_t budget_peak_blocks = 0;
+
+  /// One object of the `sessions` array in nexsort-stats-v1.
+  void ToJson(JsonWriter* writer) const;
+};
 
 /// One wrapper layer in the device stack, applied bottom-up over the base
 /// storage device (before the cache, which always sits on top).
@@ -99,10 +122,17 @@ struct SortEnvOptions {
   /// concurrent jobs deterministic, identical grants.
   uint64_t sort_memory_blocks = 0;
 
-  /// Optional telemetry sink (not owned; may be null; single-threaded —
-  /// concurrent sessions must not share one tracer, see Session::set_tracer
-  /// for per-job sinks).
+  /// Optional telemetry sink (not owned; may be null; span recording is
+  /// thread-safe but concurrent sessions sharing one tracer interleave
+  /// their spans — see Session::set_tracer for per-job sinks).
   Tracer* tracer = nullptr;
+
+  /// Live telemetry: > 0 gives the env a TelemetryHub and starts its
+  /// background StatsSampler at this interval (milliseconds), snapshotting
+  /// budget / cache / worker / run-store gauges and logical-vs-physical
+  /// I/O into every attached TimelineSink. 0 (default) = no sampler, no
+  /// hub, zero overhead.
+  uint32_t sample_interval_ms = 0;
 };
 
 /// The composed, owned resource stack. Create one per working-storage
@@ -121,19 +151,28 @@ class SortEnv {
   SortEnv& operator=(const SortEnv&) = delete;
 
   /// Per-job handle: cheap to create, movable, one per sort/merge job.
-  /// Owns the job's temp-run lifecycle (RunStore) and its parallel
-  /// counters (ParallelContext over the env's shared WorkerPool); shares
-  /// everything else — device stack, cache frames, budget blocks — with
-  /// every other session of the env, with exact accounting.
+  /// Owns the job's temp-run lifecycle (RunStore), its parallel counters
+  /// (ParallelContext over the env's shared WorkerPool), and its
+  /// accounting device — a thin forwarder over the env's device whose
+  /// IoStats count exactly this job's logical I/O; shares everything else
+  /// — device stack, cache frames, budget blocks — with every other
+  /// session of the env, with exact accounting. The env tracks every
+  /// session: a live one contributes to the sampler's run-store gauges,
+  /// and a destroyed one leaves its final SessionStats behind for the
+  /// `sessions` array.
   class Session {
    public:
-    Session(Session&&) noexcept = default;
-    Session& operator=(Session&&) noexcept = default;
+    Session(Session&& other) noexcept;
+    Session& operator=(Session&& other) noexcept;
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
+    ~Session();
 
     SortEnv* env() const { return env_; }
-    BlockDevice* device() const { return env_->device(); }
+
+    /// This job's accounting device: forwards to the env's device (cache
+    /// when enabled) while counting the job's own logical I/O.
+    BlockDevice* device() const { return device_.get(); }
     BlockDevice* physical_device() const { return env_->physical_device(); }
     MemoryBudget* budget() const { return env_->budget(); }
     BufferPool* buffer_pool() const { return env_->buffer_pool(); }
@@ -141,7 +180,9 @@ class SortEnv {
       return env_->options().sort_memory_blocks;
     }
 
-    /// This job's run store (over the cached device when caching is on).
+    uint64_t id() const { return id_; }
+
+    /// This job's run store (over the session's accounting device).
     RunStore* run_store() const { return run_store_.get(); }
 
     /// This job's parallel context; null when the env is fully serial.
@@ -149,9 +190,14 @@ class SortEnv {
 
     /// The job's telemetry sink: the env's tracer unless overridden.
     /// Override (or null out) per session when several jobs run
-    /// concurrently — the Tracer itself is single-threaded.
+    /// concurrently — spans would interleave in one shared tracer.
     Tracer* tracer() const { return tracer_; }
     void set_tracer(Tracer* tracer);
+
+    /// Snapshot of this job's footprint so far. Thread-safe (atomics
+    /// only); also taken automatically at destruction and retained by the
+    /// env.
+    SessionStats stats() const;
 
     /// Write back cached dirty blocks (surfacing deferred write-back
     /// failures); no-op without a cache.
@@ -161,8 +207,12 @@ class SortEnv {
     friend class SortEnv;
     explicit Session(SortEnv* env);
 
-    SortEnv* env_;
+    SortEnv* env_;  // null after being moved from
+    uint64_t id_ = 0;
     Tracer* tracer_;
+    double start_seconds_ = 0;
+    std::chrono::steady_clock::time_point start_;
+    std::unique_ptr<BlockDevice> device_;  // per-session accounting wrapper
     std::unique_ptr<RunStore> run_store_;
     std::unique_ptr<ParallelContext> parallel_;
   };
@@ -204,10 +254,21 @@ class SortEnv {
 
   Tracer* tracer() const { return options_.tracer; }
 
+  /// The live-telemetry hub; null unless options.sample_interval_ms > 0.
+  /// Attach TimelineSinks here (the sampler is already running).
+  TelemetryHub* telemetry() { return hub_.get(); }
+
   /// Counters of the block cache; all zeros when caching is disabled.
   CacheStats cache_stats() const {
     return cache_ != nullptr ? cache_->pool()->stats() : CacheStats();
   }
+
+  /// Every session's footprint: finished sessions first (in finish
+  /// order), then still-active ones. Safe to call while jobs run.
+  std::vector<SessionStats> session_stats() const;
+
+  /// The `sessions` array of nexsort-stats-v1.
+  void SessionsToJson(JsonWriter* writer) const;
 
   /// Write back every cached dirty block, surfacing any deferred
   /// write-back failure; OK when caching is off.
@@ -223,6 +284,14 @@ class SortEnv {
  private:
   explicit SortEnv(SortEnvOptions options);
 
+  void RegisterSession(Session* session);
+  void MoveSession(Session* from, Session* to);
+  void UnregisterSession(Session* session);
+
+  /// Sampler probe: fill one TelemetrySample with the env-wide gauges.
+  /// Runs on the sampler thread (atomics and locked registries only).
+  void SampleGauges(TelemetrySample* sample);
+
   SortEnvOptions options_;
   MemoryBudget budget_;
   std::unique_ptr<BlockDevice> base_;
@@ -230,6 +299,15 @@ class SortEnv {
   BlockDevice* physical_ = nullptr;  // top of layers_, or base_
   std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
   std::unique_ptr<WorkerPool> worker_pool_;   // null when serial
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<Session*> active_sessions_;
+  std::vector<SessionStats> finished_sessions_;
+  uint64_t next_session_id_ = 0;
+
+  // Declared last on purpose: destroyed first, which stops the sampler
+  // thread while every component it probes is still alive.
+  std::unique_ptr<TelemetryHub> hub_;
 };
 
 /// Fluent construction for the common cases:
@@ -284,6 +362,10 @@ class SortEnvBuilder {
   }
   SortEnvBuilder& Telemetry(Tracer* tracer) {
     options_.tracer = tracer;
+    return *this;
+  }
+  SortEnvBuilder& SampleIntervalMs(uint32_t interval_ms) {
+    options_.sample_interval_ms = interval_ms;
     return *this;
   }
 

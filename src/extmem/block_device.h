@@ -118,8 +118,11 @@ class BlockDevice {
   }
 
   /// Extend the device by `count` blocks; *first_id receives the id of the
-  /// first new block. Ids are dense and increasing.
-  [[nodiscard]] Status Allocate(uint64_t count, uint64_t* first_id);
+  /// first new block. Ids are dense and increasing. Virtual so a
+  /// forwarding wrapper shared *beside* other wrappers of one inner
+  /// device (the per-session accounting device) can delegate id
+  /// assignment to the inner device instead of its own stale counter.
+  [[nodiscard]] virtual Status Allocate(uint64_t count, uint64_t* first_id);
 
   /// Read block `block_id` into `buf` (block_size bytes), with accounting
   /// attributed to the current scope category.

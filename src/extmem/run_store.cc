@@ -66,6 +66,8 @@ Status RunStore::FreeRun(RunHandle handle) {
     free_blocks_.insert(free_blocks_.end(), blocks.begin(), blocks.end());
     blocks.clear();
     run_bytes_[handle.id] = 0;
+    runs_freed_.fetch_add(1, std::memory_order_relaxed);
+    live_bytes_.fetch_sub(handle.byte_size, std::memory_order_relaxed);
     DcheckBalancedLocked();
   }
   TraceRunEvent(tracer_, RunEventKind::kFreed, IoCategory::kOther,
@@ -118,6 +120,9 @@ Status RunWriter::Finish(RunHandle* handle) {
                                    std::memory_order_relaxed);
     store_->run_blocks_.push_back(std::move(blocks_));
     store_->run_bytes_.push_back(byte_size_);
+    store_->runs_created_.fetch_add(1, std::memory_order_relaxed);
+    store_->finished_bytes_.fetch_add(byte_size_, std::memory_order_relaxed);
+    store_->live_bytes_.fetch_add(byte_size_, std::memory_order_relaxed);
     store_->DcheckBalancedLocked();
   }
   reservation_.Reset();

@@ -76,6 +76,26 @@ class RunStore {
     return live_blocks_.load(std::memory_order_relaxed);
   }
 
+  /// Lifetime/live run accounting (atomics: safe from the telemetry
+  /// sampler and the session-stats scope while a background spiller is
+  /// still finishing runs).
+  uint64_t runs_created() const {
+    return runs_created_.load(std::memory_order_relaxed);
+  }
+  uint64_t runs_freed() const {
+    return runs_freed_.load(std::memory_order_relaxed);
+  }
+  uint64_t live_runs() const { return runs_created() - runs_freed(); }
+  /// Total payload bytes ever written into finished runs (the job's
+  /// spilled-byte volume; never decremented on free).
+  uint64_t finished_bytes() const {
+    return finished_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Payload bytes currently held by live (finished, not freed) runs.
+  uint64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+
   BlockDevice* device() const { return device_; }
   MemoryBudget* budget() const { return budget_; }
 
@@ -97,6 +117,10 @@ class RunStore {
   std::vector<uint64_t> run_bytes_;
   std::vector<uint64_t> free_blocks_;
   std::atomic<uint64_t> live_blocks_{0};
+  std::atomic<uint64_t> runs_created_{0};
+  std::atomic<uint64_t> runs_freed_{0};
+  std::atomic<uint64_t> finished_bytes_{0};
+  std::atomic<uint64_t> live_bytes_{0};
 };
 
 /// Sequential writer for one run; holds one block buffer from the budget.

@@ -1,0 +1,163 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json_writer.h"
+#include "obs/tracer.h"
+
+namespace nexsort {
+
+namespace {
+
+std::string NameArgs(const std::string& name) {
+  JsonWriter args;
+  args.BeginObject();
+  args.Key("name");
+  args.String(name);
+  args.EndObject();
+  return std::move(args).Take();
+}
+
+}  // namespace
+
+double ChromeTraceExporter::EpochOffset(
+    std::chrono::steady_clock::time_point epoch) {
+  if (!have_ref_) {
+    ref_ = epoch;
+    have_ref_ = true;
+  }
+  return std::chrono::duration<double>(epoch - ref_).count();
+}
+
+int ChromeTraceExporter::AddSession(const std::string& label,
+                                    const Tracer& tracer) {
+  const int pid = next_pid_++;
+  const double offset = EpochOffset(tracer.epoch());
+
+  meta_events_.push_back(Event{'M', 0.0, 0.0, pid, 0, "process_name",
+                               NameArgs(label)});
+  for (int tid = 0; tid < tracer.thread_count(); ++tid) {
+    meta_events_.push_back(
+        Event{'M', 0.0, 0.0, pid, tid, "thread_name",
+              NameArgs(tid == 0 ? "foreground"
+                                : "worker-" + std::to_string(tid))});
+  }
+
+  for (const SpanRecord& span : tracer.spans()) {
+    JsonWriter args;
+    args.BeginObject();
+    args.Key("reads");
+    args.Uint(span.reads);
+    args.Key("writes");
+    args.Uint(span.writes);
+    args.Key("modeled_seconds");
+    args.Double(span.modeled_seconds);
+    args.Key("budget_peak");
+    args.Uint(span.budget_peak);
+    args.EndObject();
+    events_.push_back(Event{'X', offset + span.start_seconds,
+                            span.closed ? span.duration_seconds : 0.0, pid,
+                            span.tid, span.name, std::move(args).Take()});
+  }
+
+  // Run events are recorded foreground-only, so they land on tid 0.
+  for (const RunEvent& event : tracer.run_events()) {
+    JsonWriter args;
+    args.BeginObject();
+    args.Key("run_id");
+    args.Uint(event.run_id);
+    args.Key("bytes");
+    args.Uint(event.bytes);
+    args.Key("category");
+    args.String(IoCategoryName(event.category));
+    args.EndObject();
+    events_.push_back(Event{'i', offset + event.at_seconds, 0.0, pid, 0,
+                            std::string("run:") + RunEventKindName(event.kind),
+                            std::move(args).Take()});
+  }
+  return pid;
+}
+
+int ChromeTraceExporter::AddCounterTrack(
+    const std::string& label, const std::vector<TelemetrySample>& samples,
+    std::chrono::steady_clock::time_point epoch) {
+  const int pid = next_pid_++;
+  const double offset = EpochOffset(epoch);
+
+  meta_events_.push_back(Event{'M', 0.0, 0.0, pid, 0, "process_name",
+                               NameArgs(label)});
+  for (const TelemetrySample& sample : samples) {
+    for (const auto& [name, value] : sample.gauges) {
+      JsonWriter args;
+      args.BeginObject();
+      args.Key("value");
+      args.Double(value);
+      args.EndObject();
+      events_.push_back(Event{'C', offset + sample.t_seconds, 0.0, pid, 0,
+                              name, std::move(args).Take()});
+    }
+  }
+  return pid;
+}
+
+void ChromeTraceExporter::ToJson(JsonWriter* writer) const {
+  // Re-base on the earliest event so ts is never negative (epochs added
+  // after the first may predate it), then emit metadata first and the
+  // rest in global timestamp order.
+  double min_ts = 0.0;
+  if (!events_.empty()) {
+    min_ts = std::numeric_limits<double>::infinity();
+    for (const Event& event : events_) {
+      min_ts = std::min(min_ts, event.ts_seconds);
+    }
+  }
+
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& event : events_) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->ts_seconds < b->ts_seconds;
+                   });
+
+  auto emit = [&](const Event& event, double ts_base) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String(event.name);
+    writer->Key("ph");
+    writer->String(std::string(1, event.ph));
+    writer->Key("pid");
+    writer->Int(event.pid);
+    writer->Key("tid");
+    writer->Int(event.tid);
+    writer->Key("ts");
+    writer->Double((event.ts_seconds - ts_base) * 1e6);
+    if (event.ph == 'X') {
+      writer->Key("dur");
+      writer->Double(event.dur_seconds * 1e6);
+    }
+    if (event.ph == 'i') {
+      writer->Key("s");  // instant scope: thread
+      writer->String("t");
+    }
+    if (!event.args_json.empty()) {
+      writer->Key("args");
+      writer->Raw(event.args_json);
+    }
+    writer->EndObject();
+  };
+
+  writer->BeginArray();
+  for (const Event& event : meta_events_) emit(event, 0.0);
+  for (const Event* event : ordered) emit(*event, min_ts);
+  writer->EndArray();
+}
+
+std::string ChromeTraceExporter::ToJsonString() const {
+  JsonWriter writer;
+  ToJson(&writer);
+  return std::move(writer).Take();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,67 @@
+// ChromeTraceExporter: renders Tracer spans, run-lifecycle events, and
+// TelemetryHub counter samples into the Chrome Trace Event Format (the
+// JSON array of {"ph":"X","pid":...,"tid":...} objects that Perfetto and
+// chrome://tracing load directly). Each added session becomes one trace
+// process (pid) whose thread lanes (tid) are the tracer's dense thread
+// ids — so a parallel sort shows the foreground lane and one lane per
+// worker that recorded spans — and each counter track becomes its own
+// process of ph:"C" counter series.
+//
+// All sources are normalized onto one time axis: every Tracer and the
+// TelemetryHub stamp against their own steady-clock epoch, the exporter
+// re-bases everything on the earliest epoch it was given, and emits
+// timestamps in microseconds sorted non-decreasing.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry_hub.h"
+
+namespace nexsort {
+
+class JsonWriter;
+class Tracer;
+
+class ChromeTraceExporter {
+ public:
+  /// Render `tracer`'s spans and run events as the next trace process,
+  /// labeled `label`. Call only when the tracer is quiescent (same rule
+  /// as its own exporters). Returns the assigned pid.
+  int AddSession(const std::string& label, const Tracer& tracer);
+
+  /// Render gauge samples (t_seconds relative to `epoch`) as one counter
+  /// series per gauge name, grouped under a trace process labeled
+  /// `label`. Returns the assigned pid.
+  int AddCounterTrack(const std::string& label,
+                      const std::vector<TelemetrySample>& samples,
+                      std::chrono::steady_clock::time_point epoch);
+
+  /// The complete trace: a single JSON array of trace events.
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    double ts_seconds = 0.0;  // relative to ref_
+    double dur_seconds = 0.0;
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string args_json;  // pre-rendered args object; empty = none
+  };
+
+  /// Seconds of `epoch` relative to ref_ (the first epoch this exporter
+  /// saw, which it adopts as its provisional zero).
+  double EpochOffset(std::chrono::steady_clock::time_point epoch);
+
+  bool have_ref_ = false;
+  std::chrono::steady_clock::time_point ref_;
+  int next_pid_ = 0;
+  std::vector<Event> meta_events_;  // ph:"M" process/thread names
+  std::vector<Event> events_;
+};
+
+}  // namespace nexsort

@@ -55,6 +55,7 @@ double Histogram::Percentile(double q) const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.try_emplace(std::string(name)).first;
@@ -63,6 +64,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.try_emplace(std::string(name)).first;
@@ -71,6 +73,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.try_emplace(std::string(name)).first;
@@ -78,7 +81,14 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return &it->second;
 }
 
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::ToJson(JsonWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   writer->BeginObject();
   writer->Key("counters");
   writer->BeginObject();
@@ -118,6 +128,8 @@ void MetricsRegistry::ToJson(JsonWriter* writer) const {
     writer->Double(histogram.Percentile(0.50));
     writer->Key("p90");
     writer->Double(histogram.Percentile(0.90));
+    writer->Key("p95");
+    writer->Double(histogram.Percentile(0.95));
     writer->Key("p99");
     writer->Double(histogram.Percentile(0.99));
     writer->Key("buckets");
@@ -137,6 +149,7 @@ void MetricsRegistry::ToJson(JsonWriter* writer) const {
 }
 
 std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   char line[192];
   for (const auto& [name, counter] : counters_) {

@@ -7,16 +7,20 @@
 //
 // Counters and gauges are atomic so recording is safe from the background
 // spill/prefetch threads (the buffer pool mirrors its counters from
-// whichever thread triggered the access); registry *lookup* and histogram
-// recording stay foreground-only, as do all exporters. Instruments are
-// handed out as stable pointers: a component looks its instrument up once
-// and then records through the pointer with no map lookups on the hot path.
+// whichever thread triggered the access), and registry *lookup* is
+// mutex-protected so an instrument can be created lazily from whichever
+// thread first needs it (the cache hit-rate gauge materializes on the
+// first access, which may be a background prefetch). Histogram recording
+// and all exporters stay foreground-only. Instruments are handed out as
+// stable pointers: a component looks its instrument up once and then
+// records through the pointer with no map lookups on the hot path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -100,21 +104,27 @@ class Histogram {
 };
 
 /// Owner of all named instruments for one run. Lookup creates on first
-/// use; names are stable for the registry's lifetime.
+/// use and is thread-safe; names are stable for the registry's lifetime.
 class MetricsRegistry {
  public:
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
+  /// Lookup without creation; null when `name` was never registered.
+  /// Thread-safe like the Get* variants.
+  const Gauge* FindGauge(std::string_view name) const;
+
   bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
   /// Serialize every instrument as one JSON object:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
-  /// Histograms export count/sum/min/max/mean/p50/p90/p99 plus the
-  /// non-empty buckets as [upper_bound, count] pairs.
+  /// Histograms export count/sum/min/max/mean/p50/p95/p99 (interpolated
+  /// within the power-of-two buckets) plus the non-empty buckets as
+  /// [upper_bound, count] pairs.
   void ToJson(JsonWriter* writer) const;
 
   /// Human-readable multi-line report (empty string when nothing was
@@ -123,7 +133,10 @@ class MetricsRegistry {
 
  private:
   // std::map keeps export order deterministic (sorted by name) and hands
-  // out stable element addresses.
+  // out stable element addresses, so instrument pointers survive later
+  // insertions; the mutex only guards the maps themselves, never the
+  // instruments' atomics.
+  mutable std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

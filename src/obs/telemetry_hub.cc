@@ -1,0 +1,190 @@
+#include "obs/telemetry_hub.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace nexsort {
+
+double TelemetrySample::GaugeOr(const std::string& name,
+                                double fallback) const {
+  for (const auto& [gauge_name, value] : gauges) {
+    if (gauge_name == name) return value;
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------------- sinks
+
+StatusOr<std::unique_ptr<FileTimelineSink>> FileTimelineSink::Open(
+    const std::string& path, const std::string& env_json,
+    uint32_t sample_interval_ms) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open timeline file: " + path);
+  }
+  std::unique_ptr<FileTimelineSink> sink(new FileTimelineSink(file));
+
+  JsonWriter header;
+  header.BeginObject();
+  header.Key("type");
+  header.String("header");
+  header.Key("schema");
+  header.String("nexsort-timeline-v1");
+  header.Key("sample_interval_ms");
+  header.Uint(sample_interval_ms);
+  header.Key("env");
+  if (env_json.empty()) {
+    header.Null();
+  } else {
+    header.Raw(env_json);
+  }
+  header.EndObject();
+  std::string text = std::move(header).Take();
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  return sink;
+}
+
+FileTimelineSink::~FileTimelineSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileTimelineSink::OnSample(const TelemetrySample& sample) {
+  JsonWriter line;
+  line.BeginObject();
+  line.Key("type");
+  line.String("sample");
+  line.Key("t_seconds");
+  line.Double(sample.t_seconds);
+  line.Key("gauges");
+  line.BeginObject();
+  for (const auto& [name, value] : sample.gauges) {
+    line.Key(name);
+    line.Double(value);
+  }
+  line.EndObject();
+  line.EndObject();
+  std::string text = std::move(line).Take();
+  std::fwrite(text.data(), 1, text.size(), file_);
+  std::fputc('\n', file_);
+  // Line-buffered on purpose: a live consumer (tail -f, the future
+  // daemon) should see each tick as it happens.
+  std::fflush(file_);
+}
+
+ProgressSink::~ProgressSink() {
+  if (wrote_anything_) std::fputc('\n', stderr);
+}
+
+void ProgressSink::OnSample(const TelemetrySample& sample) {
+  double io = sample.GaugeOr("io_logical_total", 0) +
+              sample.GaugeOr("io_physical_total", 0);
+  std::fprintf(stderr,
+               "\r[%7.2fs] io %.0f  budget %.0f/%.0f blk  runs %.0f live  "
+               "workers %.0f busy  ",
+               sample.t_seconds, io,
+               sample.GaugeOr("budget_used_blocks", 0),
+               sample.GaugeOr("budget_total_blocks", 0),
+               sample.GaugeOr("runs_live", 0),
+               sample.GaugeOr("workers_busy", 0));
+  std::fflush(stderr);
+  wrote_anything_ = true;
+}
+
+// ------------------------------------------------------------------ hub
+
+TelemetryHub::TelemetryHub() : epoch_(std::chrono::steady_clock::now()) {}
+
+TelemetryHub::~TelemetryHub() { StopSampler(); }
+
+void TelemetryHub::AddSink(std::unique_ptr<TimelineSink> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(std::move(sink));
+}
+
+double TelemetryHub::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void TelemetryHub::Publish(TelemetrySample sample) {
+  if (sample.t_seconds == 0.0) sample.t_seconds = ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& sink : sinks_) sink->OnSample(sample);
+  if (samples_.size() < kMaxRetainedSamples) {
+    samples_.push_back(std::move(sample));
+  } else {
+    ++dropped_;  // surfaced via dropped_samples(), never silent
+  }
+}
+
+void TelemetryHub::StartSampler(TelemetryProbe probe, uint32_t interval_ms) {
+  if (sampler_ != nullptr) return;
+  sampler_ =
+      std::make_unique<StatsSampler>(this, std::move(probe), interval_ms);
+}
+
+void TelemetryHub::StopSampler() {
+  // Destroying the sampler joins its thread (taking the final sample), so
+  // after this returns no further Publish can originate from it.
+  sampler_.reset();
+}
+
+bool TelemetryHub::sampling() const { return sampler_ != nullptr; }
+
+std::vector<TelemetrySample> TelemetryHub::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+uint64_t TelemetryHub::dropped_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+// -------------------------------------------------------------- sampler
+
+StatsSampler::StatsSampler(TelemetryHub* hub, TelemetryProbe probe,
+                           uint32_t interval_ms)
+    : hub_(hub),
+      probe_(std::move(probe)),
+      interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+      thread_([this] { Main(); }) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsSampler::TakeSample() {
+  TelemetrySample sample;
+  sample.t_seconds = hub_->ElapsedSeconds();
+  if (probe_) probe_(&sample);
+  hub_->Publish(std::move(sample));
+}
+
+void StatsSampler::Main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    lock.unlock();
+    TakeSample();
+    lock.lock();
+    wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+  }
+  lock.unlock();
+  // Final sample on the way out: even a run shorter than one interval
+  // leaves a timeline, and the last record reflects the drained state.
+  TakeSample();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,170 @@
+// Live telemetry: a background StatsSampler snapshots env-wide gauges at
+// a fixed interval and a TelemetryHub fans every sample out to pluggable
+// TimelineSinks — the time-series counterpart of the post-hoc Tracer
+// dump. The file sink writes the `nexsort-timeline-v1` JSONL stream that
+// `xmlsort --timeline-out` exposes today and that the nexsortd daemon
+// will later push over a socket (the sink interface is the seam); the
+// progress sink drives a one-line live status on stderr. The hub also
+// retains samples in memory so ChromeTraceExporter can render them as
+// counter tracks next to the span lanes.
+//
+// Timestamps are seconds since the hub's steady-clock epoch — the same
+// clock discipline as Tracer spans (the `steady-clock` lint rule keeps
+// wall clocks out of measurement paths), which is what lets the exporter
+// align the two streams on one time axis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// One sampler tick: the time it was taken and every gauge's value at
+/// that instant. Gauges are (name, value) pairs rather than a struct so
+/// sinks and exporters stay decoupled from which components the env
+/// composed (no cache => no cache gauges in the sample).
+struct TelemetrySample {
+  double t_seconds = 0.0;  // since the hub's epoch
+  std::vector<std::pair<std::string, double>> gauges;
+
+  /// Value of gauge `name`, or `fallback` when this sample lacks it.
+  double GaugeOr(const std::string& name, double fallback) const;
+};
+
+/// Fills `sample->gauges`; the sampler stamps t_seconds. Runs on the
+/// sampler thread, so it may only touch thread-safe state (atomics,
+/// IoStats snapshots).
+using TelemetryProbe = std::function<void(TelemetrySample*)>;
+
+/// Receiver of the live sample stream. OnSample is only ever called from
+/// one thread at a time (the hub serializes), but not necessarily the
+/// same thread every call.
+class TimelineSink {
+ public:
+  virtual ~TimelineSink() = default;
+  virtual void OnSample(const TelemetrySample& sample) = 0;
+};
+
+/// `nexsort-timeline-v1` JSONL file sink: one header record describing
+/// the stream, then one {"type":"sample",...} record per tick.
+class FileTimelineSink final : public TimelineSink {
+ public:
+  /// `env_json` is the env's DescribeJson object, embedded verbatim in
+  /// the header record so a timeline file is self-describing.
+  [[nodiscard]] static StatusOr<std::unique_ptr<FileTimelineSink>> Open(
+      const std::string& path, const std::string& env_json,
+      uint32_t sample_interval_ms);
+
+  ~FileTimelineSink() override;
+
+  void OnSample(const TelemetrySample& sample) override;
+
+ private:
+  explicit FileTimelineSink(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+/// Live one-line progress report on stderr, rewritten in place (\r) on
+/// every sample; prints a final newline when destroyed.
+class ProgressSink final : public TimelineSink {
+ public:
+  ~ProgressSink() override;
+
+  void OnSample(const TelemetrySample& sample) override;
+
+ private:
+  bool wrote_anything_ = false;
+};
+
+class StatsSampler;
+
+/// Fan-out point between one sample producer (the StatsSampler, or a test
+/// calling Publish directly) and any number of sinks, plus the in-memory
+/// retention the Chrome-trace counter tracks are built from.
+class TelemetryHub {
+ public:
+  TelemetryHub();
+  ~TelemetryHub();  // stops the sampler first, so no sink outlives use
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  void AddSink(std::unique_ptr<TimelineSink> sink);
+
+  /// Stamp (if unset) and deliver one sample to every sink, retaining it
+  /// for samples(). Thread-safe; delivery is serialized.
+  void Publish(TelemetrySample sample);
+
+  /// Start the background sampler: `probe` runs every `interval_ms` on a
+  /// dedicated thread and the result is Published. One sampler at most.
+  void StartSampler(TelemetryProbe probe, uint32_t interval_ms);
+
+  /// Stop and join the sampler; the sampler takes one final sample on the
+  /// way out so even sub-interval runs get a timeline. Idempotent.
+  void StopSampler();
+
+  bool sampling() const;
+
+  /// The steady-clock zero of every sample's t_seconds.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  double ElapsedSeconds() const;
+
+  /// Copy of the retained samples (the live stream keeps flowing to the
+  /// sinks even after retention stops at kMaxRetainedSamples).
+  std::vector<TelemetrySample> samples() const;
+  uint64_t dropped_samples() const;
+
+  static constexpr size_t kMaxRetainedSamples = 1 << 16;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards sinks_, samples_, dropped_
+  std::vector<std::unique_ptr<TimelineSink>> sinks_;
+  std::vector<TelemetrySample> samples_;
+  uint64_t dropped_ = 0;
+  std::unique_ptr<StatsSampler> sampler_;
+};
+
+/// The background sampling thread. Owned by a TelemetryHub; separate so
+/// the hub can exist (and receive pushed samples) without any thread.
+class StatsSampler {
+ public:
+  /// Starts sampling immediately; `hub` must outlive this object.
+  StatsSampler(TelemetryHub* hub, TelemetryProbe probe, uint32_t interval_ms);
+
+  /// Joins the thread (taking the final sample) if Stop was not called.
+  ~StatsSampler();
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  /// Request shutdown and join; the loop takes one last sample before
+  /// exiting. Idempotent.
+  void Stop();
+
+ private:
+  void Main();
+  void TakeSample();
+
+  TelemetryHub* hub_;
+  TelemetryProbe probe_;
+  const uint32_t interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace nexsort

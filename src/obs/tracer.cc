@@ -32,12 +32,27 @@ double Tracer::Now() const {
 
 double Tracer::ElapsedSeconds() const { return Now(); }
 
+int Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_tid_;
+}
+
+Tracer::ThreadState& Tracer::StateForThisThreadLocked() {
+  auto [it, inserted] = threads_.try_emplace(std::this_thread::get_id());
+  if (inserted) it->second.tid = next_tid_++;
+  return it->second;
+}
+
 int64_t Tracer::BeginSpan(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = StateForThisThreadLocked();
   SpanRecord span;
   span.name = std::string(name);
   span.id = static_cast<int64_t>(spans_.size());
-  span.parent_id = open_.empty() ? -1 : spans_[open_.back().index].id;
-  span.depth = static_cast<int>(open_.size());
+  span.parent_id =
+      state.open.empty() ? -1 : spans_[state.open.back().index].id;
+  span.depth = static_cast<int>(state.open.size());
+  span.tid = state.tid;
   span.start_seconds = Now();
   if (budget_ != nullptr) span.budget_used_open = budget_->used_blocks();
 
@@ -45,12 +60,12 @@ int64_t Tracer::BeginSpan(std::string_view name) {
   open.index = spans_.size();
   if (device_ != nullptr) open.io_at_open = device_->stats();
   spans_.push_back(std::move(span));
-  open_.push_back(std::move(open));
+  state.open.push_back(std::move(open));
   return spans_.back().id;
 }
 
-void Tracer::CloseTop() {
-  const OpenSpan& top = open_.back();
+void Tracer::CloseTop(ThreadState& state) {
+  const OpenSpan& top = state.open.back();
   SpanRecord& span = spans_[top.index];
   span.closed = true;
   span.duration_seconds = Now() - span.start_seconds;
@@ -70,23 +85,26 @@ void Tracer::CloseTop() {
     span.budget_used_close = budget_->used_blocks();
     span.budget_peak = budget_->peak_blocks();
   }
-  open_.pop_back();
+  state.open.pop_back();
 }
 
 void Tracer::EndSpan(int64_t id) {
-  // Close any dangling children first, then the span itself. An id that is
-  // no longer open (already closed via a parent) is a no-op.
-  while (!open_.empty()) {
-    bool is_target = spans_[open_.back().index].id == id;
+  // Close any dangling children first, then the span itself — all within
+  // the calling thread's stack. An id that is no longer open on this
+  // thread (already closed via a parent) is a no-op.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = StateForThisThreadLocked();
+  while (!state.open.empty()) {
+    bool is_target = spans_[state.open.back().index].id == id;
     bool contains = false;
-    for (const OpenSpan& open : open_) {
+    for (const OpenSpan& open : state.open) {
       if (spans_[open.index].id == id) {
         contains = true;
         break;
       }
     }
     if (!contains) return;
-    CloseTop();
+    CloseTop(state);
     if (is_target) return;
   }
 }
@@ -99,8 +117,11 @@ void Tracer::RecordRunEvent(RunEventKind kind, IoCategory category,
   event.category = category;
   event.bytes = bytes;
   event.at_seconds = Now();
-  run_events_.push_back(event);
-  ++run_event_counts_[static_cast<int>(kind)];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_events_.push_back(event);
+    ++run_event_counts_[static_cast<int>(kind)];
+  }
   switch (kind) {
     case RunEventKind::kCreated:
       metrics_.GetHistogram("run_size_bytes")->Record(bytes);
@@ -187,6 +208,8 @@ void SpanToJson(JsonWriter* writer, const SpanRecord& span) {
   writer->Int(span.parent_id);
   writer->Key("depth");
   writer->Int(span.depth);
+  writer->Key("tid");
+  writer->Int(span.tid);
   writer->Key("start_seconds");
   writer->Double(span.start_seconds);
   writer->Key("wall_seconds");

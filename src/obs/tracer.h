@@ -22,12 +22,23 @@
 // takes a `Tracer*` defaulting to nullptr, and the inline ScopedSpan /
 // TraceRunEvent helpers reduce to a single predictable branch when it is
 // null, keeping the zero-instrumentation hot path free.
+//
+// Thread-awareness: span recording keeps one open-span stack per thread
+// behind a mutex, and every SpanRecord carries the small dense `tid` of
+// the thread that opened it — that is what gives the Chrome-trace export
+// one lane per worker thread. Begin/EndSpan are therefore safe from
+// background spill workers; run events, histogram recording, and the
+// exporters remain foreground-only (call them after background work has
+// drained).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "extmem/block_device.h"
@@ -62,8 +73,9 @@ struct RunEvent {
 struct SpanRecord {
   std::string name;
   int64_t id = -1;
-  int64_t parent_id = -1;  // -1 = root
+  int64_t parent_id = -1;  // -1 = root (per thread)
   int depth = 0;
+  int tid = 0;  // dense id of the opening thread (0 = first/foreground)
   double start_seconds = 0.0;     // since tracer construction
   double duration_seconds = 0.0;  // 0 while still open
   bool closed = false;
@@ -83,7 +95,8 @@ struct SpanRecord {
 };
 
 /// Collects spans, metrics, and run events for one pipeline execution.
-/// Single-threaded, like the library's I/O layer.
+/// Begin/EndSpan are thread-safe (per-thread open-span stacks); run
+/// events and the exporters are foreground-only.
 class Tracer {
  public:
   /// `device` / `budget` (either may be null, not owned, must outlive the
@@ -94,12 +107,14 @@ class Tracer {
   void AttachDevice(const BlockDevice* device) { device_ = device; }
   void AttachBudget(const MemoryBudget* budget) { budget_ = budget; }
 
-  /// Open a span nested under the innermost open span. Returns its id.
-  /// Prefer ScopedSpan over calling this directly.
+  /// Open a span nested under the calling thread's innermost open span
+  /// (threads it has never seen get a fresh dense tid and an empty stack).
+  /// Returns the span id. Prefer ScopedSpan over calling this directly.
   int64_t BeginSpan(std::string_view name);
 
-  /// Close span `id`, finalizing its deltas. Any deeper spans still open
-  /// are closed first (defensive: RAII makes this the exception).
+  /// Close span `id`, finalizing its deltas. Any deeper spans the calling
+  /// thread still has open are closed first (defensive: RAII makes this
+  /// the exception). Must run on the thread that opened the span.
   void EndSpan(int64_t id);
 
   void RecordRunEvent(RunEventKind kind, IoCategory category, uint64_t bytes,
@@ -108,12 +123,22 @@ class Tracer {
   MetricsRegistry* metrics() { return &metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Accessors over the recorded data; call after background work has
+  /// drained (quiescent tracer), like the exporters.
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<RunEvent>& run_events() const { return run_events_; }
   const uint64_t* run_event_counts() const { return run_event_counts_; }
 
+  /// Number of distinct threads that have opened spans so far.
+  int thread_count() const;
+
   /// Seconds since construction (steady clock).
   double ElapsedSeconds() const;
+
+  /// The steady-clock instant all span/event timestamps are relative to —
+  /// what ChromeTraceExporter uses to align several tracers (and the
+  /// sampler's timeline) on one time axis.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
 
   /// Multi-line human-readable report: span tree with wall time and I/O,
   /// then metrics, then the run-event summary.
@@ -135,15 +160,26 @@ class Tracer {
     IoStats io_at_open;  // device snapshot
   };
 
+  /// One open-span stack per recording thread, keyed by std::thread::id
+  /// but exported under a small dense tid (assigned in first-span order,
+  /// so the foreground is tid 0 in every trace).
+  struct ThreadState {
+    int tid = 0;
+    std::vector<OpenSpan> open;
+  };
+
   double Now() const;
-  void CloseTop();
+  ThreadState& StateForThisThreadLocked();
+  void CloseTop(ThreadState& state);
 
   const BlockDevice* device_;
   const MemoryBudget* budget_;
   std::chrono::steady_clock::time_point epoch_;
 
+  mutable std::mutex mutex_;  // guards spans_, threads_, run events
   std::vector<SpanRecord> spans_;
-  std::vector<OpenSpan> open_;
+  std::unordered_map<std::thread::id, ThreadState> threads_;
+  int next_tid_ = 0;
   std::vector<RunEvent> run_events_;
   uint64_t run_event_counts_[kNumRunEventKinds] = {};
   MetricsRegistry metrics_;

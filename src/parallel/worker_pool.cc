@@ -28,7 +28,9 @@ bool WorkerPool::Submit(std::function<void()> task) {
 void WorkerPool::WorkerMain() {
   std::function<void()> task;
   while (tasks_.Pop(&task)) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
     task = nullptr;  // release captures before blocking on the next Pop
   }
 }

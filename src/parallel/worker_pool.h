@@ -5,6 +5,7 @@
 // ordered, error-sticky variant the spill path uses).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
@@ -34,11 +35,19 @@ class WorkerPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Instantaneous load gauges for the telemetry sampler: tasks waiting
+  /// in the queue, and workers currently executing one.
+  size_t queue_depth() const { return tasks_.size(); }
+  size_t busy_workers() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerMain();
 
   BoundedQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> busy_{0};
 };
 
 }  // namespace nexsort

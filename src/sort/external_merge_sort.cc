@@ -155,9 +155,11 @@ Status ExternalMergeSorter::Spill() {
 }
 
 Status ExternalMergeSorter::SpillRun(SpillBuffer* buffer, bool background) {
-  // The Tracer is single-threaded: background spills skip the span and
-  // defer their run-created event to the foreground.
-  ScopedSpan span(background ? nullptr : options_.tracer, "run_formation");
+  // Span recording is thread-safe, so a background spill gets its own
+  // worker-lane span in the trace; only its run-created *event* stays
+  // deferred to the foreground (run events feed histograms, which are
+  // foreground-only).
+  ScopedSpan span(options_.tracer, "run_formation");
   SortBuffer(buffer);
   RunWriter writer = store_->NewRun(options_.temp_category);
   RETURN_IF_ERROR(writer.init_status());
@@ -216,12 +218,17 @@ void ExternalMergeSorter::SortBuffer(SpillBuffer* buffer) {
   shared->less = less;
   shared->bounds.resize(chunks + 1);
   for (size_t i = 0; i <= chunks; ++i) shared->bounds[i] = i * n / chunks;
-  auto work = [shared, chunks] {
+  Tracer* tracer = options_.tracer;
+  auto work = [shared, chunks, tracer] {
     for (;;) {
       size_t c = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) break;
+      // Thread-safe span: each chunk shows up on the lane of whichever
+      // thread (worker or the submitting one) sorted it.
+      ScopedSpan span(tracer, "sort_partition");
       std::sort(shared->base + shared->bounds[c],
                 shared->base + shared->bounds[c + 1], shared->less);
+      span.End();
       std::lock_guard<std::mutex> lock(shared->mutex);
       if (++shared->done == chunks) shared->done_cv.notify_all();
     }

@@ -11,6 +11,7 @@
 
 #include "env/sort_env.h"
 #include "obs/json_writer.h"
+#include "obs/telemetry_hub.h"
 #include "obs/tracer.h"
 #include "tests/test_util.h"
 #include "xml/generator.h"
@@ -151,9 +152,16 @@ TEST(SortEnvSession, OwnsJobStateAndInheritsTracer) {
   SortEnv::Session b = env->NewSession();
   EXPECT_EQ(a.tracer(), &tracer);
   EXPECT_EQ(b.tracer(), &tracer);
-  // Job state is per session; the stack is shared.
+  // Job state is per session; the stack is shared. Each session fronts
+  // the shared device with its own accounting wrapper (the basis of
+  // per-session attribution), so the device pointers differ while the
+  // budget stays shared.
   EXPECT_NE(a.run_store(), b.run_store());
-  EXPECT_EQ(a.device(), b.device());
+  ASSERT_NE(a.device(), nullptr);
+  ASSERT_NE(b.device(), nullptr);
+  EXPECT_NE(a.device(), b.device());
+  EXPECT_NE(a.device(), env->device());
+  EXPECT_NE(a.id(), b.id());
   EXPECT_EQ(a.budget(), b.budget());
   // Serial env: no parallel context.
   EXPECT_EQ(a.parallel(), nullptr);
@@ -268,6 +276,185 @@ TEST(SortEnvSharedConcurrency, CachedEnvLeaksNoFrames) {
   NEX_EXPECT_OK(env->Flush());
   EXPECT_EQ(env->budget()->used_blocks(), 16u);
   EXPECT_EQ(env->budget()->release_underflows(), 0u);
+}
+
+// Per-session attribution: every session fronts the shared stack with its
+// own accounting wrapper, so summing session I/O across all sessions must
+// reconstruct the shared device's totals *exactly* — reads, writes, and
+// every category. (Sequential subsets and modeled seconds are per-device
+// properties of the shared layer and are deliberately not compared: they
+// depend on how the two sessions' accesses interleaved.)
+TEST(SortEnvSessionStats, AttributionSumsMatchEnvTotalsExactly) {
+  RandomTreeGenerator generator(/*height=*/5, /*max_fanout=*/6,
+                                {.seed = 35, .element_bytes = 80});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+
+  auto env_or = SortEnvBuilder()
+                    .BlockSize(512)
+                    .MemoryBlocks(96)
+                    .SortMemoryBlocks(8)
+                    .Build();
+  ASSERT_TRUE(env_or.ok()) << env_or.status().ToString();
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+
+  auto sort_one = [&](std::string* out) {
+    NexSortOptions options;
+    options.order = spec;
+    NexSorter sorter(env.get(), options);
+    StringByteSource source(*xml);
+    StringByteSink sink(out);
+    Status st = sorter.Sort(&source, &sink);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  };
+
+  std::string out_a, out_b;
+  {
+    std::thread job_a([&] { sort_one(&out_a); });
+    std::thread job_b([&] { sort_one(&out_b); });
+    job_a.join();
+    job_b.join();
+  }
+  EXPECT_EQ(out_a, out_b);
+  ASSERT_FALSE(out_a.empty());
+
+  std::vector<SessionStats> sessions = env->session_stats();
+  ASSERT_EQ(sessions.size(), 2u);
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t category_reads[kNumIoCategories] = {};
+  uint64_t category_writes[kNumIoCategories] = {};
+  for (const SessionStats& session : sessions) {
+    EXPECT_FALSE(session.active);
+    EXPECT_GE(session.wall_seconds, 0.0);
+    EXPECT_GE(session.start_seconds, 0.0);
+    EXPECT_GT(session.io.total(), 0u);
+    reads += session.io.reads.load(std::memory_order_relaxed);
+    writes += session.io.writes.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumIoCategories; ++i) {
+      category_reads[i] +=
+          session.io.category_reads[i].load(std::memory_order_relaxed);
+      category_writes[i] +=
+          session.io.category_writes[i].load(std::memory_order_relaxed);
+    }
+  }
+  EXPECT_NE(sessions[0].id, sessions[1].id);
+
+  const IoStats& shared = env->device()->stats();
+  EXPECT_EQ(reads, shared.reads.load(std::memory_order_relaxed));
+  EXPECT_EQ(writes, shared.writes.load(std::memory_order_relaxed));
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    EXPECT_EQ(category_reads[i],
+              shared.category_reads[i].load(std::memory_order_relaxed))
+        << IoCategoryName(static_cast<IoCategory>(i));
+    EXPECT_EQ(category_writes[i],
+              shared.category_writes[i].load(std::memory_order_relaxed))
+        << IoCategoryName(static_cast<IoCategory>(i));
+  }
+}
+
+// The sampler is pure observation: enabling it never changes sorted bytes,
+// and by the time the env stops it has published at least the final sample
+// with the headline gauges.
+TEST(SortEnvTelemetry, SamplerIsObservationOnly) {
+  RandomTreeGenerator generator(/*height=*/4, /*max_fanout=*/6,
+                                {.seed = 36, .element_bytes = 80});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+
+  auto sort_in = [&](SortEnv* env, std::string* out) {
+    NexSortOptions options;
+    options.order = spec;
+    NexSorter sorter(env, options);
+    StringByteSource source(*xml);
+    StringByteSink sink(out);
+    Status st = sorter.Sort(&source, &sink);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  };
+
+  std::string plain;
+  {
+    auto env_or = SortEnvBuilder().BlockSize(512).MemoryBlocks(96).Build();
+    ASSERT_TRUE(env_or.ok()) << env_or.status().ToString();
+    EXPECT_EQ((*env_or)->telemetry(), nullptr);
+    sort_in(env_or->get(), &plain);
+  }
+  ASSERT_FALSE(plain.empty());
+
+  std::string sampled;
+  auto env_or = SortEnvBuilder()
+                    .BlockSize(512)
+                    .MemoryBlocks(96)
+                    .SampleIntervalMs(1)
+                    .Build();
+  ASSERT_TRUE(env_or.ok()) << env_or.status().ToString();
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+  ASSERT_NE(env->telemetry(), nullptr);
+  sort_in(env.get(), &sampled);
+  EXPECT_EQ(sampled, plain);
+
+  env->telemetry()->StopSampler();
+  std::vector<TelemetrySample> samples = env->telemetry()->samples();
+  ASSERT_GE(samples.size(), 1u);
+  const TelemetrySample& last = samples.back();
+  EXPECT_EQ(last.GaugeOr("budget_total_blocks", -1.0), 96.0);
+  EXPECT_GT(last.GaugeOr("io_logical_total", 0.0), 0.0);
+  EXPECT_GT(last.GaugeOr("io_physical_total", 0.0), 0.0);
+  EXPECT_EQ(last.GaugeOr("sessions_active", -1.0), 0.0);
+  // No cache configured, zero cache accesses: the hit-rate gauge must be
+  // absent rather than a fake 0 or 100.
+  EXPECT_EQ(last.GaugeOr("cache_hit_rate_pct", -1.0), -1.0);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+}
+
+// tsan smoke: a 1 ms sampler racing live parallel sorts plus rapid env
+// teardown (which stops the sampler) must be free of data races. The
+// assertions are minimal on purpose — the value of this test is running
+// it under ThreadSanitizer.
+TEST(SortEnvTelemetry, SamplerStartStopRaceSmoke) {
+  RandomTreeGenerator generator(/*height=*/4, /*max_fanout=*/5,
+                                {.seed = 37, .element_bytes = 64});
+  auto xml = generator.GenerateString();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  OrderSpec spec = OrderSpec::ByAttribute("id", /*numeric=*/true);
+
+  for (int round = 0; round < 4; ++round) {
+    auto env_or = SortEnvBuilder()
+                      .BlockSize(512)
+                      .MemoryBlocks(96)
+                      .SortMemoryBlocks(8)
+                      .Cache(16)
+                      .Threads(2)
+                      .SampleIntervalMs(1)
+                      .Build();
+    ASSERT_TRUE(env_or.ok()) << env_or.status().ToString();
+    std::unique_ptr<SortEnv> env = std::move(env_or).value();
+
+    auto sort_one = [&](std::string* out) {
+      NexSortOptions options;
+      options.order = spec;
+      NexSorter sorter(env.get(), options);
+      StringByteSource source(*xml);
+      StringByteSink sink(out);
+      Status st = sorter.Sort(&source, &sink);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    };
+
+    std::string out_a, out_b;
+    {
+      std::thread job_a([&] { sort_one(&out_a); });
+      std::thread job_b([&] { sort_one(&out_b); });
+      job_a.join();
+      job_b.join();
+    }
+    EXPECT_EQ(out_a, out_b);
+    // env destruction joins the sampler while its last probe may still be
+    // reading gauges — exactly the shutdown race this smoke exercises.
+  }
 }
 
 }  // namespace

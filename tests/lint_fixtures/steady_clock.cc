@@ -1,0 +1,14 @@
+// Lint fixture: wall clock in a measurement path. Rule `steady-clock`
+// must fire on the system_clock use below (wall time jumps under NTP/DST
+// and corrupts span durations and sampler timelines; use
+// std::chrono::steady_clock).
+#include <chrono>
+
+namespace nexsort {
+
+double FixtureNow() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace nexsort

@@ -5,14 +5,20 @@
 // MemoryBudget release-underflow clamping).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
+#include "obs/chrome_trace.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_hub.h"
 #include "obs/tracer.h"
 #include "tests/test_util.h"
 
@@ -451,6 +457,217 @@ TEST(MemoryBudget, NormalReleaseDoesNotCountAsUnderflow) {
   budget.Release(2);
   EXPECT_EQ(budget.release_underflows(), 0u);
   EXPECT_EQ(budget.used_blocks(), 0u);
+}
+
+// ------------------------------------------------- Percentile interpolation
+
+TEST(Histogram, InterpolationIsExactWithinOneUniformBucket) {
+  // 512..1023 is exactly one power-of-two bucket; filled uniformly, the
+  // linear interpolation reproduces the true quantiles exactly.
+  Histogram h;
+  for (uint64_t v = 512; v <= 1023; ++v) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 512.0 + 511.0 * 0.50);  // = 767.5
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 512.0 + 511.0 * 0.95);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 512.0 + 511.0 * 0.99);
+  // ... and 767.5 is the true median of 512..1023.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 767.5);
+}
+
+TEST(Histogram, ObservedExtremesTightenBucketEdges) {
+  // A value sitting exactly on a bucket's lower edge (8 opens [8,15])
+  // must not be smeared across the bucket: min/max tightening collapses
+  // the interval to the single observed value.
+  Histogram lower_edge;
+  for (int i = 0; i < 10; ++i) lower_edge.Record(8);
+  EXPECT_DOUBLE_EQ(lower_edge.Percentile(0.50), 8.0);
+  EXPECT_DOUBLE_EQ(lower_edge.Percentile(0.99), 8.0);
+
+  // Same for a value on the upper edge (7 closes [4,7]).
+  Histogram upper_edge;
+  for (int i = 0; i < 10; ++i) upper_edge.Record(7);
+  EXPECT_DOUBLE_EQ(upper_edge.Percentile(0.50), 7.0);
+  EXPECT_DOUBLE_EQ(upper_edge.Percentile(0.99), 7.0);
+}
+
+TEST(Histogram, P95SitsOnTheBodyTailBoundary) {
+  // 95 body samples and 5 tail samples: p95's cumulative target lands
+  // exactly on the body bucket's edge, p99 must come from the tail.
+  Histogram h;
+  for (int i = 0; i < 95; ++i) h.Record(10);
+  for (int i = 0; i < 5; ++i) h.Record(1000);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 15.0);  // upper bound of [8,15]
+  EXPECT_GT(h.Percentile(0.99), 500.0);
+  EXPECT_LE(h.Percentile(0.99), 1000.0);
+  EXPECT_LE(h.Percentile(0.90), 15.0);
+}
+
+// --------------------------------------------------------- Tracer threading
+
+TEST(Tracer, AssignsOneDenseLanePerThread) {
+  Tracer tracer;
+  {
+    ScopedSpan fg(&tracer, "foreground");
+  }
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&tracer, i] {
+      ScopedSpan span(&tracer, i == 0 ? "worker-a" : "worker-b");
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(tracer.thread_count(), 3);
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  int foreground_tid = -1;
+  std::vector<int> tids;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "foreground") foreground_tid = span.tid;
+    tids.push_back(span.tid);
+  }
+  // The foreground thread recorded first, so it owns lane 0; the worker
+  // lanes are dense and distinct.
+  EXPECT_EQ(foreground_tid, 0);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(tids, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Tracer, NestingIsPerThreadNotGlobal) {
+  // A span opened on another thread while the foreground has one open
+  // must become a root of its own lane, not a child across threads.
+  Tracer tracer;
+  int64_t outer = tracer.BeginSpan("outer");
+  std::thread([&tracer] { ScopedSpan span(&tracer, "other-lane"); }).join();
+  tracer.EndSpan(outer);
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& span : spans) {
+    if (span.name == "other-lane") {
+      EXPECT_EQ(span.parent_id, -1);
+      EXPECT_EQ(span.depth, 0);
+      EXPECT_NE(span.tid, 0);
+    }
+  }
+}
+
+// ------------------------------------------------------------- TelemetryHub
+
+class CaptureSink final : public TimelineSink {
+ public:
+  explicit CaptureSink(std::vector<TelemetrySample>* out) : out_(out) {}
+  void OnSample(const TelemetrySample& sample) override {
+    out_->push_back(sample);
+  }
+
+ private:
+  std::vector<TelemetrySample>* out_;
+};
+
+TEST(TelemetryHub, PublishStampsFansOutAndRetains) {
+  TelemetryHub hub;
+  std::vector<TelemetrySample> seen;
+  hub.AddSink(std::make_unique<CaptureSink>(&seen));
+
+  TelemetrySample sample;
+  sample.gauges.emplace_back("runs_live", 3.0);
+  hub.Publish(sample);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_GE(seen[0].t_seconds, 0.0);  // stamped on publish
+  EXPECT_DOUBLE_EQ(seen[0].GaugeOr("runs_live", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(seen[0].GaugeOr("absent_gauge", -1.0), -1.0);
+
+  std::vector<TelemetrySample> retained = hub.samples();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_DOUBLE_EQ(retained[0].GaugeOr("runs_live", -1.0), 3.0);
+  EXPECT_EQ(hub.dropped_samples(), 0u);
+}
+
+TEST(TelemetryHub, SamplerStopIsIdempotentAndTakesFinalSample) {
+  TelemetryHub hub;
+  std::atomic<int> probe_calls{0};
+  hub.StartSampler(
+      [&probe_calls](TelemetrySample* sample) {
+        sample->gauges.emplace_back("probe_calls",
+                                    static_cast<double>(++probe_calls));
+      },
+      1);
+  EXPECT_TRUE(hub.sampling());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  hub.StopSampler();
+  EXPECT_FALSE(hub.sampling());
+  hub.StopSampler();  // idempotent
+
+  std::vector<TelemetrySample> samples = hub.samples();
+  // Even a sub-interval run gets the final on-exit sample.
+  ASSERT_GE(samples.size(), 1u);
+  EXPECT_EQ(static_cast<int>(samples.size()), probe_calls.load());
+  double last_t = -1.0;
+  for (const TelemetrySample& sample : samples) {
+    EXPECT_GE(sample.t_seconds, last_t);
+    last_t = sample.t_seconds;
+    EXPECT_GT(sample.GaugeOr("probe_calls", 0.0), 0.0);
+  }
+}
+
+TEST(TelemetryHub, RetentionCapDropsSamplesButStreamContinues) {
+  TelemetryHub hub;
+  std::vector<TelemetrySample> seen;
+  hub.AddSink(std::make_unique<CaptureSink>(&seen));
+  const size_t extra = 5;
+  for (size_t i = 0; i < TelemetryHub::kMaxRetainedSamples + extra; ++i) {
+    hub.Publish(TelemetrySample{});
+  }
+  EXPECT_EQ(hub.samples().size(), TelemetryHub::kMaxRetainedSamples);
+  EXPECT_EQ(hub.dropped_samples(), extra);
+  // The live sinks saw every sample; only retention is bounded.
+  EXPECT_EQ(seen.size(), TelemetryHub::kMaxRetainedSamples + extra);
+}
+
+// ------------------------------------------------------- ChromeTraceExporter
+
+TEST(ChromeTraceExporter, SessionsAndCounterTracksGetDistinctPids) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "sort");
+    std::thread([&tracer] { ScopedSpan w(&tracer, "spill"); }).join();
+  }
+  std::vector<TelemetrySample> samples(2);
+  samples[0].t_seconds = 0.0;
+  samples[0].gauges.emplace_back("budget_used_blocks", 4.0);
+  samples[1].t_seconds = 0.001;
+  samples[1].gauges.emplace_back("budget_used_blocks", 7.0);
+
+  ChromeTraceExporter exporter;
+  int session_pid = exporter.AddSession("job", tracer);
+  int counter_pid =
+      exporter.AddCounterTrack("env gauges", samples, tracer.epoch());
+  EXPECT_NE(session_pid, counter_pid);
+
+  std::string json = exporter.ToJsonString();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Process/thread naming metadata, spans, and counter series all present.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"env gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"sort\""), std::string::npos);
+  EXPECT_NE(json.find("\"spill\""), std::string::npos);
+  EXPECT_NE(json.find("budget_used_blocks"), std::string::npos);
+}
+
+TEST(ChromeTraceExporter, EmptyTracerStillYieldsAValidArray) {
+  Tracer tracer;
+  ChromeTraceExporter exporter;
+  exporter.AddSession("idle", tracer);
+  std::string json = exporter.ToJsonString();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"idle\""), std::string::npos);
 }
 
 }  // namespace
