@@ -1,0 +1,280 @@
+// Service isolation load test (docs/SERVICE.md): one SortService, a bulk
+// tenant that floods the queue with big sorts, and an interactive tenant
+// submitting a stream of small sorts behind them. Demonstrates and
+// *asserts* the three service guarantees:
+//
+//   1. no starvation — every interactive job completes, and the stride
+//      scheduler interleaves them with the bulk backlog instead of
+//      appending them behind it (bounded, reported p95 latency);
+//   2. exact accounting — per-session I/O attribution sums to the shared
+//      env device's totals, read for read;
+//   3. byte identity — service outputs equal solo NexSorter runs under
+//      the same pinned grant, even with every executor busy.
+//
+//   bench_service [--json FILE]
+//
+// Exits non-zero when any assertion fails, so the bench doubles as a CI
+// gate. --json writes a nexsort-bench-v1 document with the latency
+// distribution per tenant.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/order_spec_parse.h"
+#include "service/service.h"
+
+using namespace nexsort;
+using bench::kBlockSize;
+
+namespace {
+
+struct TenantOutcome {
+  std::vector<double> latencies;  // submit -> terminal, seconds
+  double last_finish = 0;
+  uint64_t done = 0;
+  uint64_t failed = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+std::string SmallDoc(int index) {
+  // ~40 KB, unsorted: several spills under the service's pinned grant.
+  std::string xml = "<batch>";
+  for (int i = 0; i < 260; ++i) {
+    int id = (i * 37 + index * 13 + 5) % 260;
+    xml += "<item id=\"" + std::to_string(id) +
+           "\"><name>interactive-" + std::to_string(id) +
+           "</name><payload>0123456789abcdefghijklmnopqrstuvwxyz"
+           "0123456789abcdefghijklmnop</payload></item>";
+  }
+  xml += "</batch>";
+  return xml;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJsonLog log(argc, argv, "service");
+
+  constexpr int kBulkJobs = 5;
+  constexpr int kSmallJobs = 16;
+
+  // Bulk documents: ~0.6 MB each, many runs under a small grant.
+  std::vector<std::string> bulk_docs;
+  for (int i = 0; i < kBulkJobs; ++i) {
+    RandomTreeGenerator generator(/*height=*/3, /*max_fanout=*/70,
+                                  {.seed = 1000 + static_cast<uint64_t>(i)});
+    auto doc = generator.GenerateString();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "generator: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    bulk_docs.push_back(std::move(doc).value());
+  }
+  std::vector<std::string> small_docs;
+  for (int i = 0; i < kSmallJobs; ++i) small_docs.push_back(SmallDoc(i));
+
+  ServiceOptions options;
+  options.env.block_size = kBlockSize;
+  options.env.memory_blocks = 96;
+  options.executors = 2;
+  options.max_queue_depth = 128;
+  // The interactive tenant gets 4x the dispatch bandwidth and the bulk
+  // tenant may hold only one executor at a time — the big backlog cannot
+  // monopolize the service.
+  TenantQuota bulk_quota;
+  bulk_quota.weight = 0.25;
+  bulk_quota.max_in_flight = 1;
+  options.tenant_quotas["bulk"] = bulk_quota;
+  TenantQuota interactive_quota;
+  interactive_quota.weight = 1.0;
+  interactive_quota.max_in_flight = 2;
+  options.tenant_quotas["interactive"] = interactive_quota;
+
+  auto service_or = SortService::Create(std::move(options));
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  SortService& service = *service_or.value();
+  std::printf("service: %u executors, %llu-block grant, %llu-block pinned "
+              "sort memory\n",
+              2u, static_cast<unsigned long long>(service.grant_blocks()),
+              static_cast<unsigned long long>(service.sort_memory_blocks()));
+
+  // Phase 1: the bulk tenant floods the queue...
+  std::vector<uint64_t> bulk_ids;
+  for (const std::string& doc : bulk_docs) {
+    JobRequest request;
+    request.tenant = "bulk";
+    request.order_text = "*:attr(id)n";
+    request.input_text = doc;
+    uint64_t id = 0;
+    Status submitted = service.Submit(std::move(request), &id);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "bulk submit: %s\n",
+                   submitted.ToString().c_str());
+      return 1;
+    }
+    bulk_ids.push_back(id);
+  }
+  // ...then the interactive stream arrives behind it.
+  std::vector<uint64_t> small_ids;
+  for (const std::string& doc : small_docs) {
+    JobRequest request;
+    request.tenant = "interactive";
+    request.order_text = "item:attr(id)n";
+    request.input_text = doc;
+    request.return_output = true;
+    uint64_t id = 0;
+    Status submitted = service.Submit(std::move(request), &id);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "interactive submit: %s\n",
+                   submitted.ToString().c_str());
+      return 1;
+    }
+    small_ids.push_back(id);
+  }
+
+  auto collect = [&](const std::vector<uint64_t>& ids) {
+    TenantOutcome outcome;
+    for (uint64_t id : ids) {
+      auto status = service.Wait(id);
+      if (!status.ok() ||
+          status.value().state != JobStatus::State::kDone) {
+        ++outcome.failed;
+        std::fprintf(stderr, "job %llu: %s\n",
+                     static_cast<unsigned long long>(id),
+                     status.ok() ? status.value().error.c_str()
+                                 : status.status().ToString().c_str());
+        continue;
+      }
+      ++outcome.done;
+      outcome.latencies.push_back(status.value().finish_seconds -
+                                  status.value().submit_seconds);
+      outcome.last_finish =
+          std::max(outcome.last_finish, status.value().finish_seconds);
+    }
+    return outcome;
+  };
+  TenantOutcome small = collect(small_ids);
+  TenantOutcome bulk = collect(bulk_ids);
+
+  bool ok = true;
+
+  // Guarantee 1: every interactive job completed, and the stream did not
+  // simply queue behind the bulk backlog — the last small job finishes
+  // before the last bulk job does.
+  double p50 = Percentile(small.latencies, 0.50);
+  double p95 = Percentile(small.latencies, 0.95);
+  std::printf("interactive: %llu/%d done, latency p50 %.3fs p95 %.3fs, "
+              "last finish %.3fs\n",
+              static_cast<unsigned long long>(small.done), kSmallJobs, p50,
+              p95, small.last_finish);
+  std::printf("bulk:        %llu/%d done, last finish %.3fs\n",
+              static_cast<unsigned long long>(bulk.done), kBulkJobs,
+              bulk.last_finish);
+  if (small.done != kSmallJobs || bulk.done != kBulkJobs) {
+    std::fprintf(stderr, "FAIL: jobs did not all complete\n");
+    ok = false;
+  }
+  if (small.last_finish >= bulk.last_finish) {
+    std::fprintf(stderr,
+                 "FAIL: interactive stream finished after the bulk "
+                 "backlog — starvation\n");
+    ok = false;
+  }
+  if (p95 >= 30.0) {
+    std::fprintf(stderr, "FAIL: interactive p95 unbounded (%.3fs)\n", p95);
+    ok = false;
+  }
+
+  // Guarantee 2: per-session attribution sums to the env totals exactly.
+  uint64_t session_reads = 0;
+  uint64_t session_writes = 0;
+  for (const SessionStats& session : service.env()->session_stats()) {
+    session_reads += session.io.reads.load();
+    session_writes += session.io.writes.load();
+  }
+  const IoStats& env_io = service.env()->device()->stats();
+  std::printf("accounting: sessions %llu+%llu r/w, env %llu+%llu r/w\n",
+              static_cast<unsigned long long>(session_reads),
+              static_cast<unsigned long long>(session_writes),
+              static_cast<unsigned long long>(env_io.reads.load()),
+              static_cast<unsigned long long>(env_io.writes.load()));
+  if (session_reads != env_io.reads.load() ||
+      session_writes != env_io.writes.load()) {
+    std::fprintf(stderr, "FAIL: session attribution does not sum to env "
+                         "totals\n");
+    ok = false;
+  }
+
+  // Guarantee 3: outputs equal solo runs under the same pinned grant.
+  auto spec = ParseOrderSpec("item:attr(id)n");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const SortEnvOptions& shared = service.env()->options();
+  for (int i = 0; i < kSmallJobs; ++i) {
+    auto produced = service.TakeOutput(small_ids[i]);
+    if (!produced.ok()) {
+      std::fprintf(stderr, "FAIL: no output for small job %d\n", i);
+      ok = false;
+      continue;
+    }
+    SortEnvOptions solo;
+    solo.block_size = shared.block_size;
+    solo.memory_blocks = shared.memory_blocks;
+    solo.sort_memory_blocks = shared.sort_memory_blocks;
+    NexSortOptions sort_options;
+    sort_options.order = *spec;
+    std::string expected;
+    bench::RunResult reference = bench::RunNexSort(
+        small_docs[i], std::move(solo), std::move(sort_options),
+        /*capture_telemetry=*/false, &expected);
+    if (!reference.ok) {
+      std::fprintf(stderr, "solo run %d: %s\n", i, reference.error.c_str());
+      return 1;
+    }
+    if (produced.value() != expected) {
+      std::fprintf(stderr,
+                   "FAIL: small job %d output diverged from its solo "
+                   "run\n", i);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("isolation: PASS\n");
+
+  if (log.enabled()) {
+    // Two synthetic rows, one per tenant: wall_seconds carries the p95.
+    bench::RunResult small_row;
+    small_row.ok = small.done == kSmallJobs;
+    small_row.wall_seconds = p95;
+    small_row.io = env_io;
+    log.AddRow("service-interactive",
+               {{"jobs", small.done},
+                {"latency_p50_us", static_cast<uint64_t>(p50 * 1e6)},
+                {"latency_p95_us", static_cast<uint64_t>(p95 * 1e6)}},
+               small_row);
+    bench::RunResult bulk_row;
+    bulk_row.ok = bulk.done == kBulkJobs;
+    bulk_row.wall_seconds = Percentile(bulk.latencies, 0.95);
+    log.AddRow("service-bulk",
+               {{"jobs", bulk.done},
+                {"latency_p95_us",
+                 static_cast<uint64_t>(bulk_row.wall_seconds * 1e6)}},
+               bulk_row);
+    log.Write(kBlockSize);
+  }
+  return ok ? 0 : 1;
+}

@@ -7,8 +7,14 @@ consumers: per-phase wall time and per-category I/O counts on every span,
 the memory peak, the run count, and the run-size histogram. Wired into
 ctest as `telemetry_schema_check` so a schema regression fails the suite.
 
+With --service-stats, validates a `nexsortd-stats-v1` document instead
+(the `stats` member of a `nexsortctl stats` response, see docs/SERVICE.md):
+the shared-env description, the per-session attribution array, and the
+queue / admission / tenant / job blocks the daemon reports.
+
 Usage:
   check_telemetry_schema.py --xmlsort BIN --fixture FILE [--keep DIR]
+  check_telemetry_schema.py --service-stats FILE
 """
 
 import argparse
@@ -234,12 +240,19 @@ SESSION_KEYS = ("id", "active", "start_seconds", "wall_seconds", "io",
                 "runs_created", "spilled_bytes", "budget_peak_blocks")
 
 
-def check_sessions(sessions):
-    """Validate the stats.sessions array (per-session attribution)."""
+def check_sessions(sessions, allow_idle=False):
+    """Validate the stats.sessions array (per-session attribution).
+
+    xmlsort runs exactly one job, so its export must carry a session that
+    did I/O; a daemon snapshot (`allow_idle`) may legitimately be empty or
+    hold sessions that have not touched the device yet.
+    """
     check(isinstance(sessions, list), "stats.sessions is not a list")
     if not isinstance(sessions, list):
         return
-    check(len(sessions) >= 1, "stats.sessions: empty (xmlsort runs one job)")
+    if not allow_idle:
+        check(len(sessions) >= 1,
+              "stats.sessions: empty (xmlsort runs one job)")
     ids = [s.get("id") for s in sessions]
     check(len(ids) == len(set(ids)), "stats.sessions: duplicate session ids")
     for session in sessions:
@@ -254,8 +267,9 @@ def check_sessions(sessions):
                   f"{where}: {key} is not a non-negative number")
         if "io" in session:
             check_io_object(session["io"], f"{where}.io")
-            check(session["io"].get("total", 0) > 0,
-                  f"{where}: session recorded no I/O")
+            if not allow_idle:
+                check(session["io"].get("total", 0) > 0,
+                      f"{where}: session recorded no I/O")
 
 
 def check_stats(stats, cache_enabled=False, parallel_enabled=False):
@@ -288,6 +302,92 @@ def check_stats(stats, cache_enabled=False, parallel_enabled=False):
             check_no_hit_rate_gauge(stats["telemetry"])
         if parallel_enabled:
             check_parallel_metrics(stats["telemetry"])
+
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+JOB_KINDS = ("sort", "merge", "batch_update")
+
+
+def check_service_stats(stats):
+    """Validate a `nexsortd-stats-v1` document (docs/SERVICE.md): the
+    daemon's live snapshot of its shared env, session attribution, queue
+    and admission counters, tenant fair-share state, and job table."""
+    check(stats.get("schema") == "nexsortd-stats-v1",
+          f"service stats schema is {stats.get('schema')!r}, "
+          "expected 'nexsortd-stats-v1'")
+    uptime = stats.get("uptime_seconds")
+    check(isinstance(uptime, (int, float)) and uptime >= 0,
+          "service stats: uptime_seconds is not a non-negative number")
+    for key in ("env", "sessions", "queue", "admission", "tenants", "jobs"):
+        check(key in stats, f"service stats: missing top-level key '{key}'")
+
+    env = stats.get("env", {})
+    check(isinstance(env, dict), "service stats: env is not an object")
+    if isinstance(env, dict):
+        for key in ENV_KEYS:
+            check(key in env, f"service stats env: missing key '{key}'")
+
+    check_sessions(stats.get("sessions", []), allow_idle=True)
+
+    queue = stats.get("queue", {})
+    for key in ("depth", "max_depth", "dispatched", "rejected"):
+        check(isinstance(queue.get(key), int),
+              f"service stats queue: '{key}' is not an integer")
+    if isinstance(queue.get("depth"), int) and \
+            isinstance(queue.get("max_depth"), int):
+        check(queue["depth"] <= queue["max_depth"],
+              "service stats queue: depth exceeds max_depth")
+
+    admission = stats.get("admission", {})
+    for key in ("grant_blocks", "admissible_blocks", "ledger_blocks",
+                "admitted_jobs", "swept_orphans"):
+        check(isinstance(admission.get(key), int),
+              f"service stats admission: '{key}' is not an integer")
+    if isinstance(admission.get("ledger_blocks"), int) and \
+            isinstance(admission.get("admissible_blocks"), int):
+        check(admission["ledger_blocks"] <= admission["admissible_blocks"],
+              "service stats admission: ledger exceeds the admissible pool")
+
+    tenants = stats.get("tenants", [])
+    check(isinstance(tenants, list), "service stats: tenants is not a list")
+    for tenant in tenants if isinstance(tenants, list) else []:
+        where = f"service stats tenant {tenant.get('tenant')!r}"
+        check(isinstance(tenant.get("tenant"), str) and tenant.get("tenant"),
+              f"{where}: missing tenant name")
+        for key in ("weight", "pass"):
+            check(isinstance(tenant.get(key), (int, float)),
+                  f"{where}: '{key}' is not numeric")
+        check(tenant.get("weight", 0) > 0, f"{where}: weight is not positive")
+        for key in ("in_flight", "bytes_in_flight", "queued", "dispatched"):
+            check(isinstance(tenant.get(key), int),
+                  f"{where}: '{key}' is not an integer")
+
+    jobs = stats.get("jobs", [])
+    check(isinstance(jobs, list), "service stats: jobs is not a list")
+    job_ids = [j.get("id") for j in jobs] if isinstance(jobs, list) else []
+    check(len(job_ids) == len(set(job_ids)),
+          "service stats: duplicate job ids")
+    for job in jobs if isinstance(jobs, list) else []:
+        where = f"service stats job {job.get('id')!r}"
+        check(isinstance(job.get("id"), int), f"{where}: id is not an integer")
+        check(job.get("kind") in JOB_KINDS,
+              f"{where}: unknown kind {job.get('kind')!r}")
+        check(job.get("state") in JOB_STATES,
+              f"{where}: unknown state {job.get('state')!r}")
+        check(isinstance(job.get("tenant"), str) and job.get("tenant"),
+              f"{where}: missing tenant")
+        check(isinstance(job.get("submit_seconds"), (int, float)),
+              f"{where}: submit_seconds is not numeric")
+        for key in ("input_bytes", "output_bytes"):
+            check(isinstance(job.get(key), int),
+                  f"{where}: '{key}' is not an integer")
+        if job.get("state") in ("done", "failed", "cancelled"):
+            check(isinstance(job.get("finish_seconds"), (int, float)),
+                  f"{where}: terminal job is missing finish_seconds")
+        if job.get("state") == "failed":
+            check(isinstance(job.get("error"), str) and job.get("error"),
+                  f"{where}: failed job carries no error text")
 
 
 def check_trace(path):
@@ -385,14 +485,38 @@ def check_timeline(path, expect_interval_ms):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--xmlsort", required=True,
-                        help="path to the xmlsort binary")
-    parser.add_argument("--fixture", required=True,
-                        help="small XML document to sort")
+    parser.add_argument("--xmlsort", help="path to the xmlsort binary")
+    parser.add_argument("--fixture", help="small XML document to sort")
     parser.add_argument("--keep", default=None,
                         help="write artifacts into this directory and keep "
                              "them (default: a temp dir)")
+    parser.add_argument("--service-stats", default=None,
+                        help="validate this nexsortd-stats-v1 document "
+                             "instead of driving xmlsort")
     args = parser.parse_args()
+
+    if args.service_stats:
+        try:
+            stats = json.loads(Path(args.service_stats).read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL: cannot parse {args.service_stats}: {err}",
+                  file=sys.stderr)
+            return 1
+        # `nexsortctl stats` wraps the document in a wire response; accept
+        # either the raw stats object or that envelope.
+        if "stats" in stats and "schema" not in stats:
+            stats = stats["stats"]
+        check_service_stats(stats)
+        if FAILURES:
+            for failure in FAILURES:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("service stats schema OK")
+        return 0
+
+    if not args.xmlsort or not args.fixture:
+        parser.error("--xmlsort and --fixture are required unless "
+                     "--service-stats is given")
 
     with tempfile.TemporaryDirectory() as tmp:
         workdir = Path(args.keep) if args.keep else Path(tmp)

@@ -94,6 +94,17 @@ CANONICAL_HEADER = {
     "SortEnvBuilder": "env/sort_env.h",
     "DeviceLayer": "env/sort_env.h",
     "ThrottleModel": "extmem/device_wrappers.h",
+    "CancellationToken": "util/cancellation.h",
+    "ScratchNamespace": "extmem/run_store.h",
+    "JsonValue": "service/wire.h",
+    "FairScheduler": "service/scheduler.h",
+    "AdmissionController": "service/scheduler.h",
+    "TenantQuota": "service/scheduler.h",
+    "SortService": "service/service.h",
+    "ServiceOptions": "service/service.h",
+    "JobRequest": "service/service.h",
+    "SocketServer": "service/server.h",
+    "ServiceClient": "service/client.h",
 }
 
 # Receiver identifiers that denote a BlockDevice for the io-category rule.

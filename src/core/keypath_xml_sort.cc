@@ -71,6 +71,7 @@ Status KeyPathXmlSorter::Sort(ByteSource* input, ByteSink* output) {
   sort_options.tracer = tracer_;
   sort_options.parallel = session_.parallel();
   sort_options.buffer_pool = session_.buffer_pool();
+  sort_options.cancel = session_.cancellation();
   ExternalMergeSorter sorter(store_, sort_options);
   RETURN_IF_ERROR(sorter.init_status());
 

@@ -7,6 +7,7 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "util/cancellation.h"
 
 namespace nexsort {
 
@@ -88,6 +89,7 @@ NexSorter::NexSorter(SortEnv::Session session, NexSortOptions options)
   sort_context_.depth_limit = options_.depth_limit;
   sort_context_.parallel = session_.parallel();
   sort_context_.buffer_pool = session_.buffer_pool();
+  sort_context_.cancel = session_.cancellation();
   sort_context_.scope_tags =
       options_.sort_scope_tags.empty() ? nullptr : &options_.sort_scope_tags;
   if (tracer_ != nullptr) {
@@ -262,6 +264,10 @@ Status NexSorter::SortingPhase(ByteSource* input, RunHandle* root_run) {
   std::string serialized;
   ScanEvent event;
   while (true) {
+    // Cancellation point once per scanned unit: the stacks and any runs
+    // already spilled unwind via their destructors, so a cancelled sort
+    // leaves the shared env exactly as a failed one would.
+    RETURN_IF_ERROR(CheckCancelled(sort_context_.cancel));
     ASSIGN_OR_RETURN(bool more, scanner.Next(&event));
     if (!more) break;
     switch (event.kind) {
@@ -370,6 +376,7 @@ Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
   RETURN_IF_ERROR(reader->init_status());
   ElementUnit unit;
   while (true) {
+    RETURN_IF_ERROR(CheckCancelled(sort_context_.cancel));
     ASSIGN_OR_RETURN(bool more, reader->Next(&unit));
     if (!more) {
       if (locations.empty()) break;

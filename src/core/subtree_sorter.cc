@@ -432,6 +432,7 @@ ExternalSubtreeSorter::ExternalSubtreeSorter(const SubtreeSortContext& ctx,
   sort_options.tracer = ctx.tracer;
   sort_options.parallel = ctx.parallel;
   sort_options.buffer_pool = ctx.buffer_pool;
+  sort_options.cancel = ctx.cancel;
   sorter_ = std::make_unique<ExternalMergeSorter>(ctx.store, sort_options);
   status_ = sorter_->init_status();
 }

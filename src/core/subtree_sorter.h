@@ -49,6 +49,11 @@ struct SubtreeSortContext {
   /// The block cache's pool (not owned; may be null), forwarded so merge
   /// passes can prefetch their input runs.
   class BufferPool* buffer_pool = nullptr;
+
+  /// Cooperative cancellation (not owned; may be null), forwarded to the
+  /// external merge sorts so an oversized-subtree sort stops at the next
+  /// spill or merged record. See util/cancellation.h.
+  const class CancellationToken* cancel = nullptr;
 };
 
 /// Statistics accumulated across the subtree sorts of one NEXSORT run.

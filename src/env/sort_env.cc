@@ -155,7 +155,8 @@ SortEnv::Session::Session(SortEnv* env)
       start_(std::chrono::steady_clock::now()),
       device_(std::make_unique<SessionAccountingDevice>(
           env->device(), env->options().disk_model)),
-      run_store_(std::make_unique<RunStore>(device_.get(), env->budget())) {
+      run_store_(std::make_unique<RunStore>(device_.get(), env->budget())),
+      cancel_(std::make_shared<CancellationToken>()) {
   run_store_->set_tracer(tracer_);
   if (env->options().parallel.enabled()) {
     parallel_ = std::make_unique<ParallelContext>(env->options().parallel,
@@ -173,7 +174,8 @@ SortEnv::Session::Session(Session&& other) noexcept
       start_(other.start_),
       device_(std::move(other.device_)),
       run_store_(std::move(other.run_store_)),
-      parallel_(std::move(other.parallel_)) {
+      parallel_(std::move(other.parallel_)),
+      cancel_(std::move(other.cancel_)) {
   other.env_ = nullptr;
   if (env_ != nullptr) env_->MoveSession(&other, this);
 }
@@ -189,6 +191,7 @@ SortEnv::Session& SortEnv::Session::operator=(Session&& other) noexcept {
   device_ = std::move(other.device_);
   run_store_ = std::move(other.run_store_);
   parallel_ = std::move(other.parallel_);
+  cancel_ = std::move(other.cancel_);
   other.env_ = nullptr;
   if (env_ != nullptr) env_->MoveSession(&other, this);
   return *this;

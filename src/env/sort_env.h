@@ -40,6 +40,7 @@
 #include "obs/telemetry_hub.h"
 #include "parallel/parallel.h"
 #include "parallel/worker_pool.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -188,6 +189,18 @@ class SortEnv {
     /// This job's parallel context; null when the env is fully serial.
     ParallelContext* parallel() const { return parallel_.get(); }
 
+    /// This job's cancellation token. Sorters running in the session poll
+    /// it at block-granular points and return Status::Cancelled; flip it
+    /// from any thread via cancellation_handle()->Cancel(). Every session
+    /// gets one (the cost is a single relaxed atomic load per poll).
+    const CancellationToken* cancellation() const { return cancel_.get(); }
+
+    /// Shared handle for the party requesting cancellation (a service's
+    /// Cancel RPC, a signal handler) — may outlive the session.
+    std::shared_ptr<CancellationToken> cancellation_handle() const {
+      return cancel_;
+    }
+
     /// The job's telemetry sink: the env's tracer unless overridden.
     /// Override (or null out) per session when several jobs run
     /// concurrently — spans would interleave in one shared tracer.
@@ -215,6 +228,7 @@ class SortEnv {
     std::unique_ptr<BlockDevice> device_;  // per-session accounting wrapper
     std::unique_ptr<RunStore> run_store_;
     std::unique_ptr<ParallelContext> parallel_;
+    std::shared_ptr<CancellationToken> cancel_;
   };
 
   Session NewSession() { return Session(this); }

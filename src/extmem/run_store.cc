@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "obs/tracer.h"
 #include "util/dcheck.h"
@@ -173,6 +175,116 @@ Status RunReader::ReadExact(char* buf, size_t n) {
   RETURN_IF_ERROR(Read(buf, n, &got));
   if (got != n) return Status::Corruption("short run read");
   return Status::OK();
+}
+
+namespace {
+
+/// "<prefix>." if `name` is a scratch file of `prefix`; extracts its
+/// instance field. Tolerates any seq/label content between the dots.
+bool ParseScratchInstance(std::string_view name, std::string_view prefix,
+                          uint64_t* instance) {
+  constexpr std::string_view kSuffix = ".scratch";
+  if (name.size() <= prefix.size() + 1 + kSuffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name[prefix.size()] != '.') return false;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return false;
+  std::string_view rest = name.substr(prefix.size() + 1);
+  size_t dot = rest.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  uint64_t value = 0;
+  for (char c : rest.substr(0, dot)) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *instance = value;
+  return true;
+}
+
+}  // namespace
+
+ScratchNamespace::ScratchNamespace(std::string directory, std::string prefix,
+                                   uint64_t instance)
+    : directory_(std::move(directory)),
+      prefix_(std::move(prefix)),
+      instance_(instance) {
+  NEXSORT_DCHECK_MSG(!prefix_.empty() &&
+                         prefix_.find('.') == std::string::npos,
+                     "scratch prefix must be non-empty and dot-free");
+}
+
+ScratchNamespace::~ScratchNamespace() { RemoveAll(); }
+
+std::string ScratchNamespace::NewPath(std::string_view label) {
+  std::string clean;
+  clean.reserve(label.size());
+  for (char c : label) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_';
+    clean.push_back(ok ? c : '_');
+  }
+  if (clean.empty()) clean = "tmp";
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string path = directory_ + "/" + prefix_ + "." +
+                     std::to_string(instance_) + "." +
+                     std::to_string(next_seq_++) + "." + clean + ".scratch";
+  issued_.push_back(path);
+  return path;
+}
+
+Status ScratchNamespace::Remove(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(issued_.begin(), issued_.end(), path);
+    if (it == issued_.end()) {
+      return Status::NotFound("not a path issued by this scratch namespace");
+    }
+    issued_.erase(it);
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // absent file: remove() is a no-op
+  if (ec) return Status::IOError("removing scratch file: " + ec.message());
+  return Status::OK();
+}
+
+void ScratchNamespace::RemoveAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& path : issued_) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best-effort; destructor path
+  }
+  issued_.clear();
+}
+
+uint64_t ScratchNamespace::live_paths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return issued_.size();
+}
+
+StatusOr<uint64_t> ScratchNamespace::SweepOrphans(const std::string& directory,
+                                                  std::string_view prefix,
+                                                  uint64_t exclude_instance) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) return uint64_t{0};
+    return Status::IOError("scanning scratch directory: " + ec.message());
+  }
+  uint64_t swept = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    uint64_t instance = 0;
+    if (!ParseScratchInstance(entry.path().filename().string(), prefix,
+                              &instance)) {
+      continue;
+    }
+    if (instance == exclude_instance) continue;  // the live process's own
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec) && !remove_ec) {
+      ++swept;
+    }
+  }
+  return swept;
 }
 
 }  // namespace nexsort

@@ -155,6 +155,68 @@ class RunWriter final : public ByteSink {
   bool suppress_trace_ = false;
 };
 
+/// Crash-safe scratch-file hygiene for long-lived processes (nexsortd,
+/// see docs/SERVICE.md). Runs themselves live on a BlockDevice and die
+/// with it, but a daemon also creates real files — the env's file-backed
+/// working storage, per-job output staging files — that a crash would
+/// orphan on disk. A ScratchNamespace scopes every such file under one
+/// recognizable name,
+///
+///   <prefix>.<instance>.<seq>.<label>.scratch
+///
+/// inside one directory ("instance" is the owning process's id, "seq" a
+/// per-namespace counter). Destruction removes everything the instance
+/// issued (best-effort; a crash skips it by definition), and the next
+/// daemon start reclaims whatever a dead instance left behind via
+/// SweepOrphans — scoped by prefix so unrelated files and the live
+/// instance's own scratch are never touched.
+class ScratchNamespace {
+ public:
+  /// `prefix` must be non-empty and dot-free (dots delimit the name's
+  /// fields); `instance` should uniquely identify this process (its pid).
+  ScratchNamespace(std::string directory, std::string prefix,
+                   uint64_t instance);
+  ~ScratchNamespace();
+
+  ScratchNamespace(const ScratchNamespace&) = delete;
+  ScratchNamespace& operator=(const ScratchNamespace&) = delete;
+
+  /// Reserve a fresh scratch path tagged `label` (sanitized into the
+  /// filename). No file is created; the path is tracked and removed by
+  /// Remove/RemoveAll/destruction whether or not it ever materializes.
+  [[nodiscard]] std::string NewPath(std::string_view label);
+
+  /// Delete one issued path now and stop tracking it. A path that never
+  /// materialized (or is already gone) is fine.
+  [[nodiscard]] Status Remove(const std::string& path);
+
+  /// Delete every issued path. Idempotent; called by the destructor.
+  void RemoveAll();
+
+  /// Paths issued and not yet removed.
+  [[nodiscard]] uint64_t live_paths() const;
+
+  const std::string& directory() const { return directory_; }
+  const std::string& prefix() const { return prefix_; }
+  uint64_t instance() const { return instance_; }
+
+  /// Delete every `<prefix>.*.scratch` file in `directory` whose instance
+  /// field differs from `exclude_instance` — the leftovers of crashed
+  /// prior processes. Returns the number of files removed. A missing
+  /// directory sweeps zero files successfully.
+  [[nodiscard]] static StatusOr<uint64_t> SweepOrphans(
+      const std::string& directory, std::string_view prefix,
+      uint64_t exclude_instance);
+
+ private:
+  std::string directory_;
+  std::string prefix_;
+  uint64_t instance_;
+  mutable std::mutex mutex_;  // jobs issue staging paths concurrently
+  uint64_t next_seq_ = 0;
+  std::vector<std::string> issued_;
+};
+
 /// Sequential, seek-once reader over one run; holds one block buffer.
 /// Re-fetching a block after reopening at an offset is counted again,
 /// matching the 1 + p(b) access accounting of Lemma 4.12.

@@ -1,5 +1,7 @@
 #include "merge/batch_update.h"
 
+#include <utility>
+
 #include "extmem/stream.h"
 #include "obs/tracer.h"
 #include "util/status.h"
@@ -9,14 +11,21 @@ namespace nexsort {
 Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
                          SortEnv* env, ByteSink* output,
                          const BatchUpdateOptions& options, MergeStats* stats) {
-  Tracer* tracer = env->tracer();
+  return ApplyBatchUpdates(base, updates, env->NewSession(), output, options,
+                           stats);
+}
+
+Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
+                         SortEnv::Session session, ByteSink* output,
+                         const BatchUpdateOptions& options, MergeStats* stats) {
+  Tracer* tracer = session.tracer();
   // Step 1: sort the update batch by the base document's criterion.
   std::string sorted_updates;
   {
     ScopedSpan span(tracer, "sort_updates");
     NexSortOptions sort_options;
     sort_options.order = options.order;
-    NexSorter sorter(env, std::move(sort_options));
+    NexSorter sorter(std::move(session), std::move(sort_options));
     StringByteSource source(updates);
     StringByteSink sink(&sorted_updates);
     RETURN_IF_ERROR(sorter.Sort(&source, &sink));

@@ -36,4 +36,13 @@ struct BatchUpdateOptions {
                          const BatchUpdateOptions& options,
                          MergeStats* stats = nullptr);
 
+/// Same, but running the update sort in a caller-provided session — so a
+/// service job keeps its own I/O attribution and its cancellation token
+/// reaches the sort (the merge pass itself is one streaming scan with no
+/// run state; cancellation applies while the updates sort runs).
+[[nodiscard]] Status ApplyBatchUpdates(ByteSource* base, std::string_view updates,
+                         SortEnv::Session session, ByteSink* output,
+                         const BatchUpdateOptions& options,
+                         MergeStats* stats = nullptr);
+
 }  // namespace nexsort

@@ -1,0 +1,78 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nexsort {
+
+StatusOr<std::unique_ptr<ServiceClient>> ServiceClient::Connect(
+    const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError("connect " + socket_path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<ServiceClient>(new ServiceClient(fd));
+}
+
+ServiceClient::ServiceClient(int fd) : fd_(fd) {}
+
+ServiceClient::~ServiceClient() { ::close(fd_); }
+
+StatusOr<JsonValue> ServiceClient::Call(std::string_view request_json) {
+  std::string line(request_json);
+  line.push_back('\n');
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("daemon connection closed while sending");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  char chunk[4096];
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return JsonValue::Parse(response);
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IOError("daemon connection closed while waiting");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status ResponseStatus(const JsonValue& response) {
+  if (response.GetBool("ok", false)) return Status::OK();
+  std::string error = response.GetString("error", "unknown server error");
+  return Status::InvalidArgument(error);
+}
+
+}  // namespace nexsort

@@ -1,0 +1,43 @@
+// ServiceClient: the nexsortctl side of `nexsortd-wire-v1` — connect to
+// the daemon's unix-domain socket, send one JSON request per line, read
+// one JSON response per line. Thin by design: requests are composed by
+// the caller (or the helpers here) and responses come back as parsed
+// JsonValue trees; all interpretation stays with the tool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+class ServiceClient {
+ public:
+  /// Connect to the daemon listening on `socket_path`.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ServiceClient>> Connect(
+      const std::string& socket_path);
+
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Send one request line (JSON text, no trailing newline) and parse the
+  /// response line. IOError when the daemon hangs up mid-call.
+  [[nodiscard]] StatusOr<JsonValue> Call(std::string_view request_json);
+
+ private:
+  explicit ServiceClient(int fd);
+
+  int fd_;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+/// Lift a wire response into a Status: {"ok":true} → OK; {"ok":false}
+/// → InvalidArgument carrying the server's "error" text.
+[[nodiscard]] Status ResponseStatus(const JsonValue& response);
+
+}  // namespace nexsort

@@ -1,0 +1,207 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/dcheck.h"
+
+namespace nexsort {
+
+FairScheduler::FairScheduler(FairSchedulerOptions options)
+    : options_(options) {
+  if (options_.default_quota.weight <= 0) options_.default_quota.weight = 1.0;
+}
+
+void FairScheduler::SetQuota(const std::string& tenant, TenantQuota quota) {
+  if (quota.weight <= 0) quota.weight = 1.0;
+  GetTenant(tenant).quota = quota;
+}
+
+FairScheduler::Tenant& FairScheduler::GetTenant(const std::string& name) {
+  auto [it, inserted] = tenants_.try_emplace(name);
+  if (inserted) it->second.quota = options_.default_quota;
+  return it->second;
+}
+
+double FairScheduler::ActivePassFloor() const {
+  double floor = std::numeric_limits<double>::max();
+  bool any = false;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant.backlog.empty() && tenant.in_flight == 0) continue;
+    floor = std::min(floor, tenant.pass);
+    any = true;
+  }
+  return any ? floor : 0;
+}
+
+Status FairScheduler::Enqueue(const QueuedJob& job,
+                              uint64_t* retry_after_ms) {
+  if (depth_ >= options_.max_queue_depth) {
+    ++rejected_;
+    if (retry_after_ms != nullptr) *retry_after_ms = options_.retry_after_ms;
+    return Status::OutOfMemory(
+        "queue full (" + std::to_string(depth_) + " jobs); retry in " +
+        std::to_string(options_.retry_after_ms) + "ms");
+  }
+  Tenant& tenant = GetTenant(job.tenant);
+  if (tenant.backlog.empty() && tenant.in_flight == 0) {
+    // (Re)activation: an idle tenant's stale pass would either starve it
+    // (too high) or let it monopolize dispatch (too low); align it with
+    // the busiest-waiting floor.
+    tenant.pass = std::max(tenant.pass, ActivePassFloor());
+  }
+  Entry entry{job, next_seq_++};
+  auto pos = std::upper_bound(
+      tenant.backlog.begin(), tenant.backlog.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        if (a.job.priority != b.job.priority) {
+          return a.job.priority > b.job.priority;
+        }
+        return a.seq < b.seq;
+      });
+  tenant.backlog.insert(pos, std::move(entry));
+  ++depth_;
+  return Status::OK();
+}
+
+bool FairScheduler::Eligible(const Tenant& tenant) const {
+  if (tenant.backlog.empty()) return false;
+  const TenantQuota& quota = tenant.quota;
+  if (tenant.in_flight >= quota.max_in_flight) return false;
+  if (quota.max_bytes_in_flight > 0) {
+    uint64_t front_bytes = tenant.backlog.front().job.bytes;
+    // A job bigger than the whole byte quota must still be dispatchable
+    // when the tenant is otherwise idle, or it could never run.
+    if (tenant.bytes_in_flight > 0 &&
+        tenant.bytes_in_flight + front_bytes > quota.max_bytes_in_flight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FairScheduler::HasEligible() const {
+  for (const auto& [name, tenant] : tenants_) {
+    if (Eligible(tenant)) return true;
+  }
+  return false;
+}
+
+bool FairScheduler::PickNext(QueuedJob* out) {
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {  // map order: ties by name
+    if (!Eligible(tenant)) continue;
+    if (best == nullptr || tenant.pass < best->pass) best = &tenant;
+  }
+  if (best == nullptr) return false;
+  Entry entry = std::move(best->backlog.front());
+  best->backlog.erase(best->backlog.begin());
+  --depth_;
+  ++dispatched_;
+  ++best->dispatched;
+  ++best->in_flight;
+  best->bytes_in_flight += entry.job.bytes;
+  // Stride charge: virtual time advances with the work dispatched, scaled
+  // down by the tenant's weight. Zero-byte jobs still pay one unit so a
+  // stream of empty jobs cannot freeze the pass.
+  best->pass += static_cast<double>(std::max<uint64_t>(entry.job.bytes, 1)) /
+                best->quota.weight;
+  *out = std::move(entry.job);
+  return true;
+}
+
+void FairScheduler::OnComplete(const std::string& tenant_name,
+                               uint64_t bytes) {
+  Tenant& tenant = GetTenant(tenant_name);
+  NEXSORT_DCHECK_MSG(tenant.in_flight > 0,
+                     "OnComplete without a dispatched job");
+  if (tenant.in_flight > 0) --tenant.in_flight;
+  tenant.bytes_in_flight -= std::min(tenant.bytes_in_flight, bytes);
+}
+
+bool FairScheduler::Remove(uint64_t job_id) {
+  for (auto& [name, tenant] : tenants_) {
+    for (auto it = tenant.backlog.begin(); it != tenant.backlog.end(); ++it) {
+      if (it->job.job_id == job_id) {
+        tenant.backlog.erase(it);
+        --depth_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t FairScheduler::depth() const { return depth_; }
+
+std::vector<FairScheduler::TenantSnapshot> FairScheduler::Snapshot() const {
+  std::vector<TenantSnapshot> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantSnapshot snapshot;
+    snapshot.tenant = name;
+    snapshot.weight = tenant.quota.weight;
+    snapshot.pass = tenant.pass;
+    snapshot.in_flight = tenant.in_flight;
+    snapshot.bytes_in_flight = tenant.bytes_in_flight;
+    snapshot.queued = tenant.backlog.size();
+    snapshot.dispatched = tenant.dispatched;
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+AdmissionController::AdmissionController(MemoryBudget* budget,
+                                         uint64_t grant_blocks,
+                                         uint64_t admissible_blocks)
+    : budget_(budget),
+      grant_blocks_(grant_blocks),
+      admissible_blocks_(admissible_blocks) {}
+
+Status AdmissionController::Admit(uint64_t job_id) {
+  if (ledger_blocks_ + grant_blocks_ > admissible_blocks_) {
+    return Status::OutOfMemory(
+        "admission: " + std::to_string(ledger_blocks_) + "/" +
+        std::to_string(admissible_blocks_) +
+        " blocks granted; no room for another " +
+        std::to_string(grant_blocks_));
+  }
+  Grant grant;
+  grant.job_id = job_id;
+  // The physical hold: these blocks are out of everyone else's reach from
+  // this moment. The ledger invariant makes the acquire infallible —
+  // everything inside the admissible pool is either granted (and by the
+  // pinned sort size, actually used only up to its grant) or free.
+  RETURN_IF_ERROR(grant.reservation.Acquire(budget_, grant_blocks_));
+  ledger_blocks_ += grant_blocks_;
+  admissions_.push_back(std::move(grant));
+  return Status::OK();
+}
+
+void AdmissionController::OnJobStart(uint64_t job_id) {
+  for (Grant& grant : admissions_) {
+    if (grant.job_id == job_id && !grant.started) {
+      grant.started = true;
+      grant.reservation.Reset();
+      return;
+    }
+  }
+  NEXSORT_DCHECK_MSG(false, "OnJobStart for a job never admitted");
+}
+
+void AdmissionController::OnJobFinish(uint64_t job_id) {
+  for (auto it = admissions_.begin(); it != admissions_.end(); ++it) {
+    if (it->job_id == job_id) {
+      ledger_blocks_ -= grant_blocks_;
+      admissions_.erase(it);  // reservation (if still held) releases here
+      return;
+    }
+  }
+  NEXSORT_DCHECK_MSG(false, "OnJobFinish for a job never admitted");
+}
+
+bool AdmissionController::HasCapacity() const {
+  return ledger_blocks_ + grant_blocks_ <= admissible_blocks_;
+}
+
+}  // namespace nexsort

@@ -1,0 +1,195 @@
+// Dispatch policy of nexsortd (docs/SERVICE.md): who runs next, and under
+// what memory entitlement.
+//
+// FairScheduler implements stride scheduling over tenants. Each tenant
+// carries a virtual-time "pass"; dispatching a job advances its tenant's
+// pass by bytes/weight, and the next dispatch goes to the eligible tenant
+// with the minimum pass. A tenant that streams one huge job therefore
+// accumulates pass quickly and yields the next slots to tenants with small
+// jobs — the no-starvation property the service load test asserts. Backlog
+// within a tenant is ordered by (priority desc, arrival). Eligibility is
+// bounded by per-tenant quotas (max in-flight jobs, max in-flight bytes),
+// and total backlog by a queue depth that rejects with a deterministic
+// retry-after — backpressure, not buffering, when overloaded.
+//
+// AdmissionController guards the shared MemoryBudget: every job runs under
+// a fixed grant of G blocks, and a job is only dispatched while the sum of
+// grants of admitted-but-unfinished jobs stays within the admissible pool
+// (budget minus env-owned cache frames). Admit() additionally takes a real
+// BudgetReservation of G — the blocks are physically held from admission
+// until the job starts consuming them itself (OnJobStart releases the
+// reservation; the ledger entitlement stays until OnJobFinish). With the
+// env's sort_memory_blocks pinned below G, no job can reach into another
+// job's entitlement, so concurrent sorts see the same memory as solo runs
+// — the root of the byte-identity guarantee.
+//
+// Both classes are externally synchronized (the service's one mutex) and
+// fully deterministic: no clocks, no threads, no randomness — unit tests
+// drive them step by step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extmem/memory_budget.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Per-tenant dispatch limits.
+struct TenantQuota {
+  /// Share of dispatch bandwidth relative to other tenants (> 0).
+  double weight = 1.0;
+
+  /// Concurrent running jobs this tenant may hold.
+  uint32_t max_in_flight = 2;
+
+  /// Input bytes this tenant may have running at once; 0 = unlimited.
+  uint64_t max_bytes_in_flight = 0;
+};
+
+/// One schedulable job, as the scheduler sees it.
+struct QueuedJob {
+  uint64_t job_id = 0;
+  std::string tenant;
+  int32_t priority = 0;  // higher dispatches earlier within its tenant
+  uint64_t bytes = 1;    // input size: the fairness currency
+};
+
+struct FairSchedulerOptions {
+  /// Total backlog across tenants; Enqueue rejects beyond this.
+  size_t max_queue_depth = 64;
+
+  /// Deterministic retry hint handed to rejected submitters.
+  uint64_t retry_after_ms = 50;
+
+  /// Quota for tenants without an explicit SetQuota.
+  TenantQuota default_quota;
+};
+
+/// Weighted-fair (stride) scheduler across tenants. Externally
+/// synchronized; deterministic.
+class FairScheduler {
+ public:
+  explicit FairScheduler(FairSchedulerOptions options);
+
+  /// Declare `tenant`'s quota (before or after its first job).
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+
+  /// Add a job to its tenant's backlog. Fails with OutOfMemory when the
+  /// global depth bound is hit; *retry_after_ms then carries the hint.
+  [[nodiscard]] Status Enqueue(const QueuedJob& job,
+                               uint64_t* retry_after_ms = nullptr);
+
+  /// Dispatch the next job: the minimum-pass tenant (ties by name) whose
+  /// quota admits its front job. Charges the tenant's pass and in-flight
+  /// accounting. False when nothing is eligible (empty, or every backlog
+  /// is quota-blocked).
+  [[nodiscard]] bool PickNext(QueuedJob* out);
+
+  /// A dispatched job finished (any terminal state): return its in-flight
+  /// allowance.
+  void OnComplete(const std::string& tenant, uint64_t bytes);
+
+  /// Remove a still-queued job (cancellation). False when not queued.
+  [[nodiscard]] bool Remove(uint64_t job_id);
+
+  /// Total queued (not yet dispatched) jobs.
+  [[nodiscard]] size_t depth() const;
+
+  /// True when some queued job is currently dispatchable.
+  [[nodiscard]] bool HasEligible() const;
+
+  uint64_t rejected() const { return rejected_; }
+  uint64_t dispatched() const { return dispatched_; }
+
+  /// Live per-tenant view for the stats endpoint.
+  struct TenantSnapshot {
+    std::string tenant;
+    double weight = 1.0;
+    double pass = 0;
+    uint32_t in_flight = 0;
+    uint64_t bytes_in_flight = 0;
+    size_t queued = 0;
+    uint64_t dispatched = 0;
+  };
+  [[nodiscard]] std::vector<TenantSnapshot> Snapshot() const;
+
+ private:
+  struct Entry {
+    QueuedJob job;
+    uint64_t seq = 0;  // arrival order within the tenant
+  };
+
+  struct Tenant {
+    TenantQuota quota;
+    double pass = 0;
+    uint32_t in_flight = 0;
+    uint64_t bytes_in_flight = 0;
+    uint64_t dispatched = 0;
+    std::vector<Entry> backlog;  // ordered (priority desc, seq asc)
+  };
+
+  Tenant& GetTenant(const std::string& name);
+  [[nodiscard]] bool Eligible(const Tenant& tenant) const;
+
+  /// Pass floor for a tenant (re)activating: the minimum pass among
+  /// tenants with work, so an idle tenant cannot bank virtual time and
+  /// then monopolize dispatch.
+  [[nodiscard]] double ActivePassFloor() const;
+
+  FairSchedulerOptions options_;
+  std::map<std::string, Tenant> tenants_;  // ordered: deterministic ties
+  size_t depth_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+/// Ledger of per-job memory grants over the shared budget. Externally
+/// synchronized.
+class AdmissionController {
+ public:
+  /// Jobs run under `grant_blocks` each; the sum of live grants is capped
+  /// at `admissible_blocks` (the budget minus env-held frames).
+  AdmissionController(MemoryBudget* budget, uint64_t grant_blocks,
+                      uint64_t admissible_blocks);
+
+  /// Reserve one grant for `job_id`: ledger entry plus a physical
+  /// BudgetReservation of grant_blocks. OutOfMemory when the admissible
+  /// pool is exhausted (every executor slot holds a grant).
+  [[nodiscard]] Status Admit(uint64_t job_id);
+
+  /// The job begins executing: release the physical reservation so the
+  /// job's own components can acquire the same blocks. Its ledger
+  /// entitlement stays.
+  void OnJobStart(uint64_t job_id);
+
+  /// Terminal state: return the grant to the admissible pool.
+  void OnJobFinish(uint64_t job_id);
+
+  /// True when one more Admit() would succeed.
+  [[nodiscard]] bool HasCapacity() const;
+
+  uint64_t grant_blocks() const { return grant_blocks_; }
+  uint64_t admissible_blocks() const { return admissible_blocks_; }
+  uint64_t ledger_blocks() const { return ledger_blocks_; }
+  uint64_t admitted_jobs() const { return admissions_.size(); }
+
+ private:
+  struct Grant {
+    uint64_t job_id = 0;
+    BudgetReservation reservation;  // held admit -> start
+    bool started = false;
+  };
+
+  MemoryBudget* budget_;
+  uint64_t grant_blocks_;
+  uint64_t admissible_blocks_;
+  uint64_t ledger_blocks_ = 0;
+  std::vector<Grant> admissions_;
+};
+
+}  // namespace nexsort

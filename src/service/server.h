@@ -1,0 +1,79 @@
+// SocketServer: the framing shim between a unix-domain stream socket and
+// SortService (docs/SERVICE.md). Protocol `nexsortd-wire-v1`: each
+// request is one JSON object on one line; each response is one JSON
+// object on one line — {"ok":true,...} or {"ok":false,"error":...} with
+// a "retry_after_ms" hint when the queue rejected the submission. All
+// policy lives in SortService; this layer only parses, dispatches, and
+// serializes, one thread per connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace nexsort {
+
+inline constexpr std::string_view kWireSchema = "nexsortd-wire-v1";
+
+class SocketServer {
+ public:
+  /// Bind `socket_path` (replacing a stale socket file left by a crashed
+  /// instance), listen, and start the accept loop. `service` must outlive
+  /// the server.
+  [[nodiscard]] static StatusOr<std::unique_ptr<SocketServer>> Start(
+      SortService* service, std::string socket_path);
+
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Stop accepting, unblock every connection, join all threads, and
+  /// remove the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// True once a client issued the shutdown op.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Block until a client issues the shutdown op or Stop() runs. Returns
+  /// true when a client asked (false = stopped locally). The daemon's
+  /// main thread waits here alongside its signal pipe.
+  [[nodiscard]] bool WaitForShutdownRequest();
+
+ private:
+  SocketServer(SortService* service, std::string socket_path, int listen_fd);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  /// Parse one request line, dispatch, serialize one response line.
+  [[nodiscard]] std::string HandleLine(std::string_view line);
+  [[nodiscard]] std::string HandleSubmit(const class JsonValue& request);
+
+  SortService* service_;
+  std::string socket_path_;
+  int listen_fd_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex lock_;
+  std::condition_variable shutdown_cv_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace nexsort

@@ -1,0 +1,351 @@
+#include "service/wire.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json_writer.h"
+
+namespace nexsort {
+
+namespace {
+
+Status ParseErrorAt(size_t offset, std::string_view what) {
+  return Status::ParseError("json: " + std::string(what) + " at byte " +
+                            std::to_string(offset));
+}
+
+}  // namespace
+
+/// Recursive-descent parser over one in-memory line. Depth is bounded to
+/// keep a hostile request from exhausting the connection thread's stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status ParseDocument(JsonValue* out) {
+    RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return ParseErrorAt(pos_, "trailing content after document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return ParseErrorAt(pos_, "nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return ParseErrorAt(pos_, "unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        RETURN_IF_ERROR(Literal("true"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        RETURN_IF_ERROR(Literal("false"));
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        RETURN_IF_ERROR(Literal("null"));
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return ParseErrorAt(pos_, "malformed literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return ParseErrorAt(pos_, "expected member name");
+      }
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return ParseErrorAt(pos_, "expected ':'");
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return ParseErrorAt(pos_, "expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return ParseErrorAt(pos_, "expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return ParseErrorAt(pos_, "unterminated string");
+      }
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        RETURN_IF_ERROR(ParseEscape(out));
+        continue;
+      }
+      if (c < 0x20) return ParseErrorAt(pos_, "raw control character");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  Status ParseEscape(std::string* out) {
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) return ParseErrorAt(pos_, "dangling escape");
+    char c = text_[pos_++];
+    switch (c) {
+      case '"': out->push_back('"'); return Status::OK();
+      case '\\': out->push_back('\\'); return Status::OK();
+      case '/': out->push_back('/'); return Status::OK();
+      case 'b': out->push_back('\b'); return Status::OK();
+      case 'f': out->push_back('\f'); return Status::OK();
+      case 'n': out->push_back('\n'); return Status::OK();
+      case 'r': out->push_back('\r'); return Status::OK();
+      case 't': out->push_back('\t'); return Status::OK();
+      case 'u': {
+        uint32_t code = 0;
+        RETURN_IF_ERROR(ParseHex4(&code));
+        // Surrogate pair: a high surrogate must be followed by \u-escaped
+        // low surrogate; combine into one scalar value.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+              text_[pos_ + 1] != 'u') {
+            return ParseErrorAt(pos_, "unpaired high surrogate");
+          }
+          pos_ += 2;
+          uint32_t low = 0;
+          RETURN_IF_ERROR(ParseHex4(&low));
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return ParseErrorAt(pos_, "invalid low surrogate");
+          }
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+          return ParseErrorAt(pos_, "unpaired low surrogate");
+        }
+        AppendUtf8(out, code);
+        return Status::OK();
+      }
+      default:
+        return ParseErrorAt(pos_ - 1, "unknown escape");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return ParseErrorAt(pos_, "truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+      else if (c >= 'A' && c <= 'F') digit = 10 + (c - 'A');
+      else return ParseErrorAt(pos_ + i, "bad hex digit");
+      value = (value << 4) | digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return ParseErrorAt(pos_, "expected value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return ParseErrorAt(start, "malformed number");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  JsonValue value;
+  JsonParser parser(text);
+  RETURN_IF_ERROR(parser.ParseDocument(&value));
+  return value;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr || !member->is_string()) return std::string(fallback);
+  return member->string_value();
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr || !member->is_number() ||
+      member->number_value() < 0) {
+    return fallback;
+  }
+  return static_cast<uint64_t>(member->number_value());
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr || !member->is_number()) return fallback;
+  return static_cast<int64_t>(member->number_value());
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr || !member->is_number()) return fallback;
+  return member->number_value();
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* member = Find(key);
+  if (member == nullptr || !member->is_bool()) return fallback;
+  return member->bool_value();
+}
+
+void JsonValue::WriteTo(JsonWriter* writer) const {
+  switch (kind_) {
+    case Kind::kNull:
+      writer->Null();
+      return;
+    case Kind::kBool:
+      writer->Bool(bool_);
+      return;
+    case Kind::kNumber:
+      // Counters parse as integral doubles; keep them integral on the way
+      // back out so a stats round-trip stays byte-comparable.
+      if (number_ == static_cast<double>(static_cast<int64_t>(number_))) {
+        writer->Int(static_cast<int64_t>(number_));
+      } else {
+        writer->Double(number_);
+      }
+      return;
+    case Kind::kString:
+      writer->String(string_);
+      return;
+    case Kind::kArray:
+      writer->BeginArray();
+      for (const JsonValue& item : items_) item.WriteTo(writer);
+      writer->EndArray();
+      return;
+    case Kind::kObject:
+      writer->BeginObject();
+      for (const auto& [name, value] : members_) {
+        writer->Key(name);
+        value.WriteTo(writer);
+      }
+      writer->EndObject();
+      return;
+  }
+}
+
+std::string JsonValue::ToJsonString() const {
+  JsonWriter writer;
+  WriteTo(&writer);
+  return std::move(writer).Take();
+}
+
+}  // namespace nexsort

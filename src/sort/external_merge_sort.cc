@@ -13,6 +13,7 @@
 #include "parallel/async_spiller.h"
 #include "parallel/run_prefetcher.h"
 #include "parallel/worker_pool.h"
+#include "util/cancellation.h"
 #include "util/varint.h"
 
 namespace nexsort {
@@ -119,6 +120,10 @@ Status ExternalMergeSorter::Add(std::string_view key, std::string_view value) {
 }
 
 Status ExternalMergeSorter::Spill() {
+  // Block-granular cancellation point: a full buffer is about to become a
+  // run. Bailing here loses no durable state — spilled runs are freed by
+  // the destructor and the buffer reservations unwind normally.
+  RETURN_IF_ERROR(CheckCancelled(options_.cancel));
   ParallelContext* ctx = options_.parallel;
   if (!double_buffer_attempted_ && ctx != nullptr && ctx->pool() != nullptr &&
       ctx->options().double_buffer) {
@@ -326,6 +331,8 @@ Status ExternalMergeSorter::MergeAll() {
         RunWriter writer = store_->NewRun(options_.temp_category);
         group_status = writer.init_status();
         while (group_status.ok()) {
+          group_status = CheckCancelled(options_.cancel);
+          if (!group_status.ok()) break;
           MergeSource* min = tree.Min();
           if (min == nullptr) break;
           auto* source = static_cast<RecordRunSource*>(min);

@@ -34,6 +34,7 @@
 #include "extmem/stream.h"
 #include "parallel/parallel.h"
 #include "sort/loser_tree.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -64,6 +65,13 @@ struct ExtSortOptions {
   /// prefetching: prefetched blocks live in its frames, and merge readers
   /// must go through the corresponding CachedBlockDevice to hit them.
   BufferPool* buffer_pool = nullptr;
+
+  /// Cooperative cancellation (not owned; may be null = never cancelled).
+  /// Polled at block-granular points — before each run spill and once per
+  /// merged record — so Spill/Finish/Next return Status::Cancelled shortly
+  /// after the token flips, with all runs and reservations released by the
+  /// normal unwind.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct ExtSortStats {

@@ -1,0 +1,57 @@
+// CancellationToken: cooperative cancellation for long-running sort jobs.
+//
+// A token is a single atomic flag shared between the party that wants a
+// job stopped (the service's Cancel RPC, a SIGTERM handler) and the code
+// doing the work. Sorters poll it at block-granular points — once per
+// scanned unit during run formation, once per merged record batch — and
+// bail out with Status::Cancelled. Cancellation is therefore *graceful*:
+// a job never stops mid-block, every RAII guard (BudgetReservation,
+// RunWriter, pinned frames) unwinds normally, and the shared SortEnv is
+// left exactly as if the job had failed with any other error.
+//
+// Tokens are shared via std::shared_ptr so a canceller can outlive the
+// job (and vice versa) without lifetime coordination. Polling is a
+// relaxed atomic load: cancellation only needs to be *eventually*
+// observed, and the block-granular check sites bound the latency.
+#pragma once
+
+#include <atomic>
+
+#include "util/status.h"
+
+namespace nexsort {
+
+/// Shared flag for cooperative, block-granular job cancellation.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Request cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() has been called.
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Status::Cancelled once Cancel() has been called, OK before.
+  /// The standard poll at a block boundary:
+  ///   RETURN_IF_ERROR(CheckCancelled(cancel));
+  [[nodiscard]] Status Check() const {
+    if (cancelled()) return Status::Cancelled("job cancelled");
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Null-tolerant poll: no token means cancellation is disabled.
+[[nodiscard]] inline Status CheckCancelled(const CancellationToken* token) {
+  if (token == nullptr) return Status::OK();
+  return token->Check();
+}
+
+}  // namespace nexsort

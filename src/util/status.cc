@@ -13,6 +13,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kOutOfMemory: return "OutOfMemory";
     case Status::Code::kNotFound: return "NotFound";
     case Status::Code::kParseError: return "ParseError";
+    case Status::Code::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

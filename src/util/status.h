@@ -23,6 +23,7 @@ class Status {
     kOutOfMemory,   // memory budget exhausted
     kNotFound,
     kParseError,    // malformed XML input
+    kCancelled,     // job cooperatively cancelled at a block boundary
   };
 
   Status() : code_(Code::kOk) {}
@@ -49,6 +50,9 @@ class Status {
   [[nodiscard]] static Status ParseError(std::string_view msg) {
     return Status(Code::kParseError, msg);
   }
+  [[nodiscard]] static Status Cancelled(std::string_view msg) {
+    return Status(Code::kCancelled, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -58,6 +62,7 @@ class Status {
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsParseError() const { return code_ == Code::kParseError; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
