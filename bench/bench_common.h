@@ -42,6 +42,9 @@ struct RunResult {
   double modeled_seconds = 0;
   double wall_seconds = 0;
   uint64_t output_bytes = 0;
+  /// Streaming runs only (RunNexSortStream): milliseconds from Sort start
+  /// to the first sorted chunk. Negative when the run was eager.
+  double time_to_first_byte_ms = -1;
   NexSortStats nexsort_stats;      // NEXSORT runs only
   KeyPathSortStats keypath_stats;  // baseline runs only
   IoStats io;  // *physical* transfers: the backing device's counters
@@ -103,6 +106,66 @@ inline RunResult RunNexSort(const std::string& xml, uint64_t memory_blocks,
   env_options.memory_blocks = memory_blocks;
   return RunNexSort(xml, std::move(env_options), std::move(options),
                     capture_telemetry, output);
+}
+
+/// Sort `xml` with NEXSORT's pull-based SortedStream, draining chunk by
+/// chunk and stamping time_to_first_byte_ms when the first sorted chunk
+/// surfaces. Output bytes are identical to RunNexSort.
+inline RunResult RunNexSortStream(const std::string& xml,
+                                  uint64_t memory_blocks,
+                                  NexSortOptions options,
+                                  size_t block_size = kBlockSize,
+                                  std::string* output = nullptr) {
+  RunResult result;
+  SortEnvOptions env_options;
+  env_options.block_size = block_size;
+  env_options.memory_blocks = memory_blocks;
+  auto env_or = SortEnv::Create(std::move(env_options));
+  if (!env_or.ok()) {
+    result.error = env_or.status().ToString();
+    return result;
+  }
+  std::unique_ptr<SortEnv> env = std::move(env_or).value();
+  NexSorter sorter(env.get(), std::move(options));
+  StringByteSource source(xml);
+  std::string out;
+  auto start = std::chrono::steady_clock::now();
+  auto stream_or = sorter.SortStream(&source);
+  Status st = stream_or.status();
+  if (st.ok()) {
+    std::string_view chunk;
+    bool first = true;
+    while (true) {
+      auto more = stream_or.value()->Next(&chunk);
+      if (!more.ok()) {
+        st = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      if (first) {
+        first = false;
+        result.time_to_first_byte_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      }
+      out.append(chunk);
+    }
+  }
+  auto stop = std::chrono::steady_clock::now();
+  result.ok = st.ok();
+  result.error = st.ToString();
+  result.io = env->physical_device()->stats();
+  result.io_total = result.io.total();
+  result.io_reads = result.io.reads;
+  result.io_writes = result.io.writes;
+  result.modeled_seconds = result.io.modeled_seconds;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.output_bytes = out.size();
+  result.nexsort_stats = sorter.stats();
+  result.cache = env->cache_stats();
+  if (output != nullptr) *output = std::move(out);
+  return result;
 }
 
 /// Sort `xml` with the key-path external merge sort baseline inside an
@@ -209,6 +272,10 @@ class BenchJsonLog {
     row.Double(result.wall_seconds);
     row.Key("output_bytes");
     row.Uint(result.output_bytes);
+    if (result.time_to_first_byte_ms >= 0) {
+      row.Key("time_to_first_byte_ms");
+      row.Double(result.time_to_first_byte_ms);
+    }
     if (result.cache.hits + result.cache.misses > 0) {
       row.Key("cache");
       result.cache.ToJson(&row);

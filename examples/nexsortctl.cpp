@@ -16,6 +16,8 @@
 //     --inputs F1,F2,...     merge inputs, read here, merge order
 //     --updates FILE         batch_update updates document
 //     --output FILE          daemon stages + atomically renames here
+//     --stream               sort jobs: daemon drains the pull-based
+//                            SortedStream and reports time_to_first_byte_ms
 //     --print                wait and print the result document to stdout
 //     --wait                 block until the job is terminal
 //   status --job ID          one job record
@@ -57,7 +59,7 @@ void Usage(FILE* out) {
       "  submit [--kind sort|merge|batch_update] [--tenant NAME]\n"
       "         [--priority P] [--order SPEC] [--input FILE]\n"
       "         [--input-path FILE] [--inputs F1,F2,...] [--updates FILE]\n"
-      "         [--output FILE] [--print] [--wait]\n"
+      "         [--output FILE] [--stream] [--print] [--wait]\n"
       "  status --job ID | wait --job ID | cancel --job ID\n");
 }
 
@@ -126,6 +128,12 @@ void PrintJob(const JsonValue& job) {
       job.GetString("state", "?").c_str(),
       job.GetString("tenant", "?").c_str(),
       static_cast<long long>(job.GetInt("priority")));
+  if (job.GetBool("streamed", false)) {
+    const JsonValue* ttfb = job.Find("time_to_first_byte_ms");
+    if (ttfb != nullptr && ttfb->is_number()) {
+      std::printf("  ttfb=%.1fms", ttfb->number_value());
+    }
+  }
   std::string error = job.GetString("error");
   if (!error.empty()) std::printf("  error=%s", error.c_str());
   std::printf("\n");
@@ -256,6 +264,7 @@ int main(int argc, char** argv) {
   std::string updates_text;
   bool have_updates = false;
   std::string output_path;
+  bool stream = false;
   bool print_result = false;
   bool wait = false;
 
@@ -293,6 +302,8 @@ int main(int argc, char** argv) {
       have_updates = true;
     } else if (arg == "--output") {
       output_path = next();
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (arg == "--print") {
       print_result = true;
       wait = true;
@@ -343,6 +354,10 @@ int main(int argc, char** argv) {
   if (!output_path.empty()) {
     writer.Key("output");
     writer.String(output_path);
+  }
+  if (stream) {
+    writer.Key("stream");
+    writer.Bool(true);
   }
   if (print_result) {
     writer.Key("return_output");

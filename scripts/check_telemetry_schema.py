@@ -272,14 +272,74 @@ def check_sessions(sessions, allow_idle=False):
                       f"{where}: session recorded no I/O")
 
 
-def check_stats(stats, cache_enabled=False, parallel_enabled=False):
+RUN_FORMATION_POLICIES = ("quicksort_chunks", "replacement_selection")
+
+
+def check_sort_block(sort, expect_policy=None, expect_streaming=None):
+    """Validate the stats.sort block: run-formation counters plus the
+    streaming output measurements (docs/RUN_FORMATION.md)."""
+    for key in ("run_formation", "runs_formed", "avg_run_blocks",
+                "max_run_blocks", "merge_passes", "streaming",
+                "time_to_first_byte_ms", "wall_ms"):
+        check(key in sort, f"stats.sort: missing key '{key}'")
+    check(sort.get("run_formation") in RUN_FORMATION_POLICIES,
+          f"stats.sort: unknown run_formation "
+          f"{sort.get('run_formation')!r}")
+    if expect_policy is not None:
+        check(sort.get("run_formation") == expect_policy,
+              f"stats.sort: run_formation is {sort.get('run_formation')!r}, "
+              f"expected {expect_policy!r}")
+    for key in ("runs_formed", "max_run_blocks", "merge_passes"):
+        check(isinstance(sort.get(key), int),
+              f"stats.sort: '{key}' is not an integer")
+    check(isinstance(sort.get("avg_run_blocks"), (int, float)),
+          "stats.sort: avg_run_blocks is not numeric")
+    if isinstance(sort.get("runs_formed"), int) and sort["runs_formed"] > 0:
+        check(sort.get("avg_run_blocks", 0) > 0,
+              "stats.sort: runs formed but avg_run_blocks == 0")
+        check(sort.get("max_run_blocks", 0) >= sort.get("avg_run_blocks", 0),
+              "stats.sort: max_run_blocks below avg_run_blocks")
+        if sort["runs_formed"] == 1:
+            check(sort.get("merge_passes") == 0,
+                  "stats.sort: single run but merge_passes != 0 "
+                  "(the merge phase must be skipped)")
+    check(isinstance(sort.get("streaming"), bool),
+          "stats.sort: streaming is not a bool")
+    if expect_streaming is not None:
+        check(sort.get("streaming") is expect_streaming,
+              f"stats.sort: streaming is {sort.get('streaming')!r}, "
+              f"expected {expect_streaming}")
+    for key in ("time_to_first_byte_ms", "wall_ms"):
+        value = sort.get(key)
+        check(isinstance(value, (int, float)) and value >= 0,
+              f"stats.sort: {key} is not a non-negative number")
+    if sort.get("streaming") is True:
+        ttfb = sort.get("time_to_first_byte_ms", -1)
+        wall = sort.get("wall_ms", 0)
+        check(isinstance(ttfb, (int, float)) and ttfb > 0,
+              "stats.sort: streaming run recorded no time_to_first_byte_ms")
+        if isinstance(ttfb, (int, float)) and isinstance(wall, (int, float)):
+            check(ttfb <= wall,
+                  "stats.sort: time_to_first_byte_ms exceeds wall_ms")
+
+
+def check_stats(stats, cache_enabled=False, parallel_enabled=False,
+                expect_policy=None, expect_streaming=None):
     check(stats.get("schema") == "nexsort-stats-v1",
           f"stats schema is {stats.get('schema')!r}, "
           "expected 'nexsort-stats-v1'")
     for key in ("tool", "input", "block_size", "memory_blocks",
                 "memory_peak_blocks", "run_count", "env", "io", "cache",
-                "parallel", "sessions", "nexsort", "telemetry"):
+                "parallel", "sessions", "sort", "nexsort", "telemetry"):
         check(key in stats, f"stats: missing top-level key '{key}'")
+    if "sort" in stats:
+        check_sort_block(stats["sort"], expect_policy=expect_policy,
+                         expect_streaming=expect_streaming)
+    nexsort = stats.get("nexsort", {})
+    sorts = nexsort.get("sorts", {}) if isinstance(nexsort, dict) else {}
+    for key in ("runs_formed", "avg_run_blocks", "max_run_blocks",
+                "merge_passes"):
+        check(key in sorts, f"stats.nexsort.sorts: missing key '{key}'")
     if "env" in stats:
         check_env(stats["env"], stats)
     check(isinstance(stats.get("memory_peak_blocks"), int),
@@ -388,6 +448,16 @@ def check_service_stats(stats):
         if job.get("state") == "failed":
             check(isinstance(job.get("error"), str) and job.get("error"),
                   f"{where}: failed job carries no error text")
+        if "streamed" in job:
+            check(job.get("streamed") is True,
+                  f"{where}: streamed must be true when present")
+            check(job.get("kind") == "sort",
+                  f"{where}: streamed on a non-sort job")
+            if job.get("state") == "done":
+                ttfb = job.get("time_to_first_byte_ms")
+                check(isinstance(ttfb, (int, float)) and ttfb >= 0,
+                      f"{where}: streamed done job is missing "
+                      "time_to_first_byte_ms")
 
 
 def check_trace(path):
@@ -522,24 +592,33 @@ def main():
         workdir = Path(args.keep) if args.keep else Path(tmp)
         workdir.mkdir(parents=True, exist_ok=True)
 
-        # Four runs: the default (cache and pipeline off, the stats blocks
+        # Six runs: the default (cache and pipeline off, the stats blocks
         # must say so), a cached run (cache counters populated and mirrored
         # into the telemetry), a parallel run (worker threads + merge
         # prefetching; parallel counters populated, output byte-identical
-        # to the serial runs), and a sampled run (live sampler on, timeline
+        # to the serial runs), a sampled run (live sampler on, timeline
         # JSONL validated record-by-record; sampling must not change the
-        # sorted bytes either).
+        # sorted bytes either), a replacement-selection run (the sort block
+        # names the policy; output still byte-identical), and a streamed
+        # run (pull-based output; time_to_first_byte_ms recorded and
+        # bounded by the wall time, bytes identical again).
         sample_interval_ms = 2
         outputs = {}
-        for label, extra, cache_enabled, parallel_enabled in (
-            ("default", [], False, False),
+        for (label, extra, cache_enabled, parallel_enabled,
+             expect_policy, expect_streaming) in (
+            ("default", [], False, False, "quicksort_chunks", False),
             ("cached", ["--cache-blocks", "32", "--readahead", "4"],
-             True, False),
+             True, False, "quicksort_chunks", False),
             ("parallel", ["--cache-blocks", "32", "--threads", "2",
-                          "--prefetch-depth", "4"], True, True),
+                          "--prefetch-depth", "4"], True, True,
+             "quicksort_chunks", False),
             ("sampled", ["--cache-blocks", "32", "--threads", "2",
                          "--sample-interval-ms", str(sample_interval_ms)],
-             True, True),
+             True, True, "quicksort_chunks", False),
+            ("replacement", ["--run-formation", "replacement"],
+             False, False, "replacement_selection", False),
+            ("streamed", ["--stream"], False, False,
+             "quicksort_chunks", True),
         ):
             stats_path = workdir / f"stats-{label}.json"
             trace_path = workdir / f"trace-{label}.jsonl"
@@ -568,7 +647,9 @@ def main():
                       file=sys.stderr)
                 return 1
             check_stats(stats, cache_enabled=cache_enabled,
-                        parallel_enabled=parallel_enabled)
+                        parallel_enabled=parallel_enabled,
+                        expect_policy=expect_policy,
+                        expect_streaming=expect_streaming)
             check(output_path.exists() and output_path.stat().st_size > 0,
                   f"xmlsort ({label}) produced no output document")
             check_trace(trace_path)

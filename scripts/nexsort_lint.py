@@ -105,6 +105,11 @@ CANONICAL_HEADER = {
     "JobRequest": "service/service.h",
     "SocketServer": "service/server.h",
     "ServiceClient": "service/client.h",
+    "RunFormationPolicy": "sort/run_formation.h",
+    "RunFormationStats": "sort/run_formation.h",
+    "ReplacementSelectionFormer": "sort/replacement_selection.h",
+    "ReplacementHeapSlot": "sort/replacement_selection.h",
+    "SortedStream": "sort/sorted_stream.h",
 }
 
 # Receiver identifiers that denote a BlockDevice for the io-category rule.

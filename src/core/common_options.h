@@ -6,12 +6,18 @@
 #pragma once
 
 #include "core/order_spec.h"
+#include "sort/run_formation.h"
 
 namespace nexsort {
 
 struct CommonSortOptions {
   /// Ordering criterion for every sibling list.
   OrderSpec order;
+
+  /// Run-formation strategy for every external sort this job performs.
+  /// Output bytes are identical under either policy; only run boundaries
+  /// (and therefore merge-pass I/O) change.
+  RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
 
   /// Depth-limited sorting (paper Section 3.2): sort children of elements
   /// at levels [1, depth_limit] only; 0 sorts head-to-toe.

@@ -19,6 +19,7 @@
 #include "extmem/stream.h"
 #include "obs/tracer.h"
 #include "sort/external_merge_sort.h"
+#include "sort/sorted_stream.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -49,7 +50,17 @@ class KeyPathXmlSorter {
   /// Run in a caller-made session (multi-job sharing of one env).
   KeyPathXmlSorter(SortEnv::Session session, KeyPathSortOptions options);
 
+  /// Sort `input` (XML text) into `output` (XML text). Single use.
+  /// Implemented as SortStream + drain, so eager and streaming output are
+  /// byte-identical by construction.
   [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
+
+  /// Streaming form: runs conversion and run formation/merge eagerly, then
+  /// returns a SortedStream whose Next() pulls the final merge one record
+  /// at a time through the XML emitter. Completion work happens inside the
+  /// Next() that returns false. Single use, mutually exclusive with Sort.
+  [[nodiscard]] StatusOr<std::unique_ptr<SortedStream>> SortStream(
+      ByteSource* input);
 
   const KeyPathSortStats& stats() const { return stats_; }
 
@@ -63,6 +74,8 @@ class KeyPathXmlSorter {
   }
 
  private:
+  class OutputStream;  // SortedStream over the final-merge pull loop
+
   SortEnv::Session session_;
   KeyPathSortOptions options_;
   Tracer* tracer_;       // session_'s sink (may be null)

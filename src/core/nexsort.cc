@@ -1,6 +1,7 @@
 #include "core/nexsort.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/unit_emitter.h"
 #include "extmem/stream.h"
@@ -38,6 +39,14 @@ void NexSortStats::ToJson(JsonWriter* writer) const {
   writer->Uint(sorts.fragment_premerge_passes);
   writer->Key("largest_subtree_bytes");
   writer->Uint(sorts.largest_subtree_bytes);
+  writer->Key("runs_formed");
+  writer->Uint(sorts.run_formation.runs_formed);
+  writer->Key("avg_run_blocks");
+  writer->Double(sorts.run_formation.avg_run_blocks());
+  writer->Key("max_run_blocks");
+  writer->Uint(sorts.run_formation.max_run_blocks);
+  writer->Key("merge_passes");
+  writer->Uint(sorts.merge_passes);
   writer->EndObject();
   writer->Key("subtree_sorts");
   writer->Uint(subtree_sorts);
@@ -87,6 +96,7 @@ NexSorter::NexSorter(SortEnv::Session session, NexSortOptions options)
   sort_context_.dictionary = &dictionary_;
   sort_context_.format = format_;
   sort_context_.depth_limit = options_.depth_limit;
+  sort_context_.run_formation = options_.run_formation;
   sort_context_.parallel = session_.parallel();
   sort_context_.buffer_pool = session_.buffer_pool();
   sort_context_.cancel = session_.cancellation();
@@ -99,74 +109,6 @@ NexSorter::NexSorter(SortEnv::Session session, NexSortOptions options)
     tracer_->AttachBudget(budget_);
     sort_context_.tracer = tracer_;
   }
-}
-
-Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
-  if (used_) return Status::InvalidArgument("NexSorter is single-use");
-  used_ = true;
-  const SortEnvOptions& env_options = session_.env()->options();
-  // Size the memory ledger from what the budget actually has left (the
-  // caller may hold input/output stream buffers; the env's cache frames
-  // are already reserved): data stack 1 block, path stack 2 blocks; the
-  // rest goes to subtree sorts (one block of which is the run writer on
-  // the internal path).
-  uint64_t blocks = budget_->available_blocks();
-  if (blocks < 8) {
-    std::string msg = "NEXSORT needs >= 8 available blocks of memory budget";
-    if (env_options.cache.frames > 0) {
-      msg += " after the " + std::to_string(env_options.cache.frames) +
-             " cache frames";
-    }
-    return Status::InvalidArgument(msg);
-  }
-  uint64_t sort_blocks = blocks - 3;
-  uint64_t pinned_sort_blocks = session_.sort_memory_blocks();
-  if (pinned_sort_blocks != 0) {
-    if (pinned_sort_blocks < 4 || pinned_sort_blocks > sort_blocks) {
-      return Status::InvalidArgument(
-          "sort_memory_blocks must be in [4, available - 3 stack blocks]");
-    }
-    sort_blocks = pinned_sort_blocks;
-  } else if (env_options.parallel.threads > 0 &&
-             env_options.parallel.double_buffer) {
-    // Auto mode with double buffering: grant roughly half the remaining
-    // budget so the second sort buffer (and its spill writer) actually fit
-    // and overlap engages instead of being declined.
-    sort_blocks = std::max<uint64_t>(4, (sort_blocks + 1) / 2);
-  }
-  sort_capacity_ = (sort_blocks - 1) * device_->block_size();
-  // Fragmentation must leave the end-tag region inside the internal sort
-  // capacity, so trigger comfortably below it.
-  frag_threshold_ = std::max(threshold_, sort_capacity_ / 2);
-  sort_context_.memory_blocks = sort_blocks;
-  if (!options_.sort_scope_tags.empty() &&
-      (options_.graceful_degeneration || options_.order.HasComplexRules())) {
-    return Status::NotSupported(
-        "scoped sorting cannot combine with graceful degeneration or "
-        "complex ordering criteria");
-  }
-  ScopedSpan sort_span(tracer_, "nexsort");
-  RunHandle root_run;
-  RETURN_IF_ERROR(SortingPhase(input, &root_run));
-  RETURN_IF_ERROR(OutputPhase(root_run, output));
-  // Push deferred writes to the physical device and surface any write-back
-  // failure an eviction deferred mid-sort.
-  RETURN_IF_ERROR(session_.Flush());
-  sort_span.End();
-  if (session_.parallel() != nullptr) {
-    session_.parallel()->PublishMetrics(tracer_);
-  }
-  if (tracer_ != nullptr) {
-    MetricsRegistry* metrics = tracer_->metrics();
-    metrics->GetGauge("data_stack_bytes")->Set(stats_.data_stack_peak);
-    metrics->GetGauge("path_stack_entries")->Set(stats_.path_stack_peak);
-    metrics->GetCounter("subtree_sorts")->Add(stats_.subtree_sorts);
-    metrics->GetCounter("fragment_runs")->Add(stats_.fragment_runs);
-    metrics->GetCounter("pointer_units")->Add(stats_.pointer_units);
-    metrics->GetCounter("input_bytes")->Add(stats_.input_bytes);
-    metrics->GetCounter("output_bytes")->Add(stats_.output_bytes);
-  }
-  return Status::OK();
 }
 
 Status NexSorter::SortRegion(ExtByteStack* data, const PathEntry& entry,
@@ -360,60 +302,219 @@ struct OutputLoc {
 
 }  // namespace
 
-Status NexSorter::OutputPhase(RunHandle root_run, ByteSink* output) {
-  ScopedSpan span(tracer_, "output_phase");
-  UnitEmitterOptions emitter_options;
-  emitter_options.pretty = options_.pretty_output;
-  UnitXmlEmitter emitter(device_, budget_, &dictionary_, output,
-                         emitter_options);
-  RETURN_IF_ERROR(emitter.init_status());
-  ExtStack<OutputLoc> locations(device_, budget_, 1,
-                                IoCategory::kOutputStack);
-  RETURN_IF_ERROR(locations.init_status());
+/// SortedStream over the output-phase DFS (paper Figure 4 lines 13-21).
+/// Owns what the eager output phase held on its stack frame — the XML
+/// emitter, the external output-location stack, the current run reader —
+/// but created only after the sorting phase, so the memory-ledger profile
+/// matches the eager path exactly. Emitter output lands in buffer_ through
+/// sink_; Next() hands the buffer out as the chunk and recycles it on the
+/// following call.
+class NexSorter::OutputStream final : public SortedStream {
+ public:
+  explicit OutputStream(NexSorter* owner)
+      : owner_(owner),
+        sort_span_(owner->tracer_, "nexsort"),
+        sink_(&buffer_) {}
 
-  auto reader = std::make_unique<RunUnitReader>(store_, root_run, 0, format_,
-                                                &dictionary_);
-  RETURN_IF_ERROR(reader->init_status());
-  ElementUnit unit;
-  while (true) {
-    RETURN_IF_ERROR(CheckCancelled(sort_context_.cancel));
-    ASSIGN_OR_RETURN(bool more, reader->Next(&unit));
+  /// Runs the sorting phase (no sorted byte exists before the run tree
+  /// does) and opens the output-phase machinery over its root run.
+  [[nodiscard]] Status Init(ByteSource* input) {
+    RunHandle root_run;
+    RETURN_IF_ERROR(owner_->SortingPhase(input, &root_run));
+    output_span_.emplace(owner_->tracer_, "output_phase");
+    UnitEmitterOptions emitter_options;
+    emitter_options.pretty = owner_->options_.pretty_output;
+    emitter_ = std::make_unique<UnitXmlEmitter>(owner_->device_,
+                                                owner_->budget_,
+                                                &owner_->dictionary_, &sink_,
+                                                emitter_options);
+    RETURN_IF_ERROR(emitter_->init_status());
+    locations_ = std::make_unique<ExtStack<OutputLoc>>(
+        owner_->device_, owner_->budget_, 1, IoCategory::kOutputStack);
+    RETURN_IF_ERROR(locations_->init_status());
+    reader_ = std::make_unique<RunUnitReader>(owner_->store_, root_run, 0,
+                                              owner_->format_,
+                                              &owner_->dictionary_);
+    return reader_->init_status();
+  }
+
+  StatusOr<bool> Next(std::string_view* chunk) override {
+    if (!status_.ok()) return status_;  // errors are sticky
+    StatusOr<bool> more = Advance(chunk);
+    if (!more.ok()) status_ = more.status();
+    return more;
+  }
+
+ private:
+  /// The emitter flushes to the sink in block-sized pieces, so chunks
+  /// naturally arrive about one block at a time; this only bounds how much
+  /// DFS work one Next() call may batch up.
+  static constexpr size_t kChunkTarget = 4096;
+
+  StatusOr<bool> Advance(std::string_view* chunk) {
+    if (done_) return false;
+    buffer_.clear();
+    while (!dfs_done_ && buffer_.size() < kChunkTarget) {
+      RETURN_IF_ERROR(Step());
+    }
+    if (dfs_done_ && !completed_) {
+      RETURN_IF_ERROR(Complete());
+      completed_ = true;
+    }
+    if (buffer_.empty()) {
+      done_ = true;
+      return false;
+    }
+    *chunk = buffer_;
+    return true;
+  }
+
+  /// One DFS step: advance the current run reader, descending into pointer
+  /// runs and resuming parents as the traversal dictates.
+  [[nodiscard]] Status Step() {
+    RETURN_IF_ERROR(CheckCancelled(owner_->sort_context_.cancel));
+    ElementUnit unit;
+    ASSIGN_OR_RETURN(bool more, reader_->Next(&unit));
     if (!more) {
-      if (locations.empty()) break;
+      if (locations_->empty()) {
+        dfs_done_ = true;
+        return Status::OK();
+      }
       // Finished a child run: resume its parent where we left off
       // (Figure 4 lines 14-15).
       OutputLoc loc;
-      RETURN_IF_ERROR(locations.Pop(&loc));
+      RETURN_IF_ERROR(locations_->Pop(&loc));
       RunHandle handle;
       handle.id = loc.run_id;
       handle.byte_size = loc.run_bytes;
-      reader.reset();  // release the block buffer before opening the next
-      reader = std::make_unique<RunUnitReader>(store_, handle, loc.offset,
-                                               format_, &dictionary_);
-      RETURN_IF_ERROR(reader->init_status());
-      continue;
+      reader_.reset();  // release the block buffer before opening the next
+      reader_ = std::make_unique<RunUnitReader>(owner_->store_, handle,
+                                                loc.offset, owner_->format_,
+                                                &owner_->dictionary_);
+      return reader_->init_status();
     }
     if (unit.type == UnitType::kPointer) {
       // Descend into the pointed-to run (Figure 4 lines 18-20).
       OutputLoc loc;
-      loc.run_id = reader->handle().id;
-      loc.run_bytes = reader->handle().byte_size;
-      loc.offset = reader->offset();
-      RETURN_IF_ERROR(locations.Push(loc));
-      reader.reset();
-      reader = std::make_unique<RunUnitReader>(store_, unit.run, 0, format_,
-                                               &dictionary_);
-      RETURN_IF_ERROR(reader->init_status());
-      continue;
+      loc.run_id = reader_->handle().id;
+      loc.run_bytes = reader_->handle().byte_size;
+      loc.offset = reader_->offset();
+      RETURN_IF_ERROR(locations_->Push(loc));
+      reader_.reset();
+      reader_ = std::make_unique<RunUnitReader>(owner_->store_, unit.run, 0,
+                                                owner_->format_,
+                                                &owner_->dictionary_);
+      return reader_->init_status();
     }
     if (unit.type == UnitType::kFragment) {
       return Status::Corruption("fragment unit in a complete sorted run");
     }
-    RETURN_IF_ERROR(emitter.Emit(unit));
+    return emitter_->Emit(unit);
   }
-  RETURN_IF_ERROR(emitter.Finish());
-  stats_.output_bytes = emitter.output_bytes();
-  return Status::OK();
+
+  /// The tail of the eager Sort(): close the emitter, record stats, push
+  /// deferred writes to the physical device, publish metrics. Runs inside
+  /// the final Next() so its errors surface to the caller.
+  [[nodiscard]] Status Complete() {
+    RETURN_IF_ERROR(emitter_->Finish());
+    NexSorter* owner = owner_;
+    owner->stats_.output_bytes = emitter_->output_bytes();
+    reader_.reset();
+    locations_.reset();
+    emitter_.reset();
+    output_span_->End();
+    RETURN_IF_ERROR(owner->session_.Flush());
+    sort_span_.End();
+    if (owner->session_.parallel() != nullptr) {
+      owner->session_.parallel()->PublishMetrics(owner->tracer_);
+    }
+    if (owner->tracer_ != nullptr) {
+      MetricsRegistry* metrics = owner->tracer_->metrics();
+      metrics->GetGauge("data_stack_bytes")->Set(owner->stats_.data_stack_peak);
+      metrics->GetGauge("path_stack_entries")
+          ->Set(owner->stats_.path_stack_peak);
+      metrics->GetCounter("subtree_sorts")->Add(owner->stats_.subtree_sorts);
+      metrics->GetCounter("fragment_runs")->Add(owner->stats_.fragment_runs);
+      metrics->GetCounter("pointer_units")->Add(owner->stats_.pointer_units);
+      metrics->GetCounter("input_bytes")->Add(owner->stats_.input_bytes);
+      metrics->GetCounter("output_bytes")->Add(owner->stats_.output_bytes);
+    }
+    return Status::OK();
+  }
+
+  NexSorter* owner_;
+  ScopedSpan sort_span_;                   // whole job, both phases
+  std::optional<ScopedSpan> output_span_;  // output phase only
+  std::string buffer_;                     // chunk handed out by Next()
+  StringByteSink sink_;
+  std::unique_ptr<UnitXmlEmitter> emitter_;
+  std::unique_ptr<ExtStack<OutputLoc>> locations_;
+  std::unique_ptr<RunUnitReader> reader_;
+  Status status_;
+  bool dfs_done_ = false;   // traversal exhausted
+  bool completed_ = false;  // completion work done
+  bool done_ = false;       // final false already returned
+};
+
+StatusOr<std::unique_ptr<SortedStream>> NexSorter::SortStream(
+    ByteSource* input) {
+  if (used_) return Status::InvalidArgument("NexSorter is single-use");
+  used_ = true;
+  const SortEnvOptions& env_options = session_.env()->options();
+  // Size the memory ledger from what the budget actually has left (the
+  // caller may hold input/output stream buffers; the env's cache frames
+  // are already reserved): data stack 1 block, path stack 2 blocks; the
+  // rest goes to subtree sorts (one block of which is the run writer on
+  // the internal path).
+  uint64_t blocks = budget_->available_blocks();
+  if (blocks < 8) {
+    std::string msg = "NEXSORT needs >= 8 available blocks of memory budget";
+    if (env_options.cache.frames > 0) {
+      msg += " after the " + std::to_string(env_options.cache.frames) +
+             " cache frames";
+    }
+    return Status::InvalidArgument(msg);
+  }
+  uint64_t sort_blocks = blocks - 3;
+  uint64_t pinned_sort_blocks = session_.sort_memory_blocks();
+  if (pinned_sort_blocks != 0) {
+    if (pinned_sort_blocks < 4 || pinned_sort_blocks > sort_blocks) {
+      return Status::InvalidArgument(
+          "sort_memory_blocks must be in [4, available - 3 stack blocks]");
+    }
+    sort_blocks = pinned_sort_blocks;
+  } else if (env_options.parallel.threads > 0 &&
+             env_options.parallel.double_buffer) {
+    // Auto mode with double buffering: grant roughly half the remaining
+    // budget so the second sort buffer (and its spill writer) actually fit
+    // and overlap engages instead of being declined.
+    sort_blocks = std::max<uint64_t>(4, (sort_blocks + 1) / 2);
+  }
+  sort_capacity_ = (sort_blocks - 1) * device_->block_size();
+  // Fragmentation must leave the end-tag region inside the internal sort
+  // capacity, so trigger comfortably below it.
+  frag_threshold_ = std::max(threshold_, sort_capacity_ / 2);
+  sort_context_.memory_blocks = sort_blocks;
+  if (!options_.sort_scope_tags.empty() &&
+      (options_.graceful_degeneration || options_.order.HasComplexRules())) {
+    return Status::NotSupported(
+        "scoped sorting cannot combine with graceful degeneration or "
+        "complex ordering criteria");
+  }
+  auto stream = std::make_unique<OutputStream>(this);
+  RETURN_IF_ERROR(stream->Init(input));
+  return std::unique_ptr<SortedStream>(std::move(stream));
+}
+
+Status NexSorter::Sort(ByteSource* input, ByteSink* output) {
+  std::unique_ptr<SortedStream> stream;
+  ASSIGN_OR_RETURN(stream, SortStream(input));
+  std::string_view chunk;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, stream->Next(&chunk));
+    if (!more) return Status::OK();
+    RETURN_IF_ERROR(output->Append(chunk));
+  }
 }
 
 }  // namespace nexsort

@@ -35,6 +35,7 @@
 #include "extmem/run_store.h"
 #include "extmem/stream.h"
 #include "parallel/parallel.h"
+#include "sort/sorted_stream.h"
 #include "util/status.h"
 #include "xml/dtd.h"
 
@@ -128,7 +129,18 @@ class NexSorter {
   NexSorter(SortEnv::Session session, NexSortOptions options);
 
   /// Sort `input` (XML text) into `output` (XML text). Single use.
+  /// Implemented as SortStream + drain, so eager and streaming output are
+  /// byte-identical by construction.
   [[nodiscard]] Status Sort(ByteSource* input, ByteSink* output);
+
+  /// Streaming form: runs the sorting phase eagerly (no sorted byte exists
+  /// before the run tree does), then returns a SortedStream whose Next()
+  /// drives the output-phase DFS (paper Figure 4 lines 13-21)
+  /// incrementally. Completion work — final flush, metrics — happens inside
+  /// the Next() that returns false; dropping the stream early unwinds every
+  /// stack and run via RAII. Single use, mutually exclusive with Sort.
+  [[nodiscard]] StatusOr<std::unique_ptr<SortedStream>> SortStream(
+      ByteSource* input);
 
   const NexSortStats& stats() const { return stats_; }
 
@@ -143,6 +155,8 @@ class NexSorter {
   }
 
  private:
+  class OutputStream;  // SortedStream over the output-phase DFS
+
   struct PathEntry {
     uint64_t start_offset = 0;    // data-stack location of the start unit
     uint64_t content_offset = 0;  // after the start unit / last fragment
@@ -155,7 +169,6 @@ class NexSorter {
                     std::string_view resolved_key, uint32_t level,
                     uint64_t seq, RunHandle* run, ElementUnit* pointer);
   [[nodiscard]] Status MaybeFragment(ExtByteStack* data, ExtStack<PathEntry>* path);
-  [[nodiscard]] Status OutputPhase(RunHandle root_run, ByteSink* output);
 
   SortEnv::Session session_;
   NexSortOptions options_;

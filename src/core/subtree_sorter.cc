@@ -433,6 +433,7 @@ ExternalSubtreeSorter::ExternalSubtreeSorter(const SubtreeSortContext& ctx,
   sort_options.parallel = ctx.parallel;
   sort_options.buffer_pool = ctx.buffer_pool;
   sort_options.cancel = ctx.cancel;
+  sort_options.run_formation = ctx.run_formation;
   sorter_ = std::make_unique<ExternalMergeSorter>(ctx.store, sort_options);
   status_ = sorter_->init_status();
 }
@@ -530,6 +531,8 @@ StatusOr<RunHandle> ExternalSubtreeSorter::Finish(ElementUnit* root_out) {
     if (!more) break;
     RETURN_IF_ERROR(writer.Append(value));
   }
+  stats_->run_formation.MergeFrom(sorter_->stats().runs);
+  stats_->merge_passes += sorter_->stats().merge_passes;
   RunHandle handle;
   RETURN_IF_ERROR(writer.Finish(&handle));
   return handle;

@@ -16,6 +16,7 @@
 #include "core/element_unit.h"
 #include "extmem/run_store.h"
 #include "extmem/stream.h"
+#include "sort/run_formation.h"
 #include "util/status.h"
 
 namespace nexsort {
@@ -54,6 +55,10 @@ struct SubtreeSortContext {
   /// external merge sorts so an oversized-subtree sort stops at the next
   /// spill or merged record. See util/cancellation.h.
   const class CancellationToken* cancel = nullptr;
+
+  /// Run-formation policy (docs/RUN_FORMATION.md), forwarded to the
+  /// external merge sorts run for oversized subtrees.
+  RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
 };
 
 /// Statistics accumulated across the subtree sorts of one NEXSORT run.
@@ -63,6 +68,10 @@ struct SubtreeSortStats {
   uint64_t fragment_merges = 0;      // incomplete-run merge steps
   uint64_t fragment_premerge_passes = 0;
   uint64_t largest_subtree_bytes = 0;
+  /// Run-length accounting aggregated over the external merge sorts (the
+  /// "sort" block of nexsort-stats-v1; see docs/OBSERVABILITY.md).
+  RunFormationStats run_formation;
+  uint64_t merge_passes = 0;  // merge passes across those external sorts
 };
 
 /// Sort a complete subtree whose serialized units are in memory. `units`

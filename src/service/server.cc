@@ -304,6 +304,7 @@ std::string SocketServer::HandleSubmit(const JsonValue& request) {
   job.order_text = request.GetString("order");
   job.output_path = request.GetString("output");
   job.return_output = request.GetBool("return_output", false);
+  job.stream = request.GetBool("stream", false);
 
   job.input_text = request.GetString("input_text");
   std::string input_path = request.GetString("input_path");

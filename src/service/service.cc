@@ -102,6 +102,14 @@ void JobStatus::ToJson(JsonWriter* writer) const {
     writer->Key("session_id");
     writer->Uint(session_id);
   }
+  if (streamed) {
+    writer->Key("streamed");
+    writer->Bool(true);
+    if (time_to_first_byte_ms >= 0) {
+      writer->Key("time_to_first_byte_ms");
+      writer->Double(time_to_first_byte_ms);
+    }
+  }
   writer->EndObject();
 }
 
@@ -216,6 +224,9 @@ Status SortService::Submit(JobRequest request, uint64_t* job_id,
   if (!request.order_text.empty()) {
     ASSIGN_OR_RETURN(record->order, ParseOrderSpec(request.order_text));
   }
+  if (request.stream && request.kind != JobRequest::Kind::kSort) {
+    return Status::InvalidArgument("stream mode applies to sort jobs only");
+  }
 
   uint64_t input_bytes = request.input_text.size() +
                          request.updates_text.size();
@@ -237,6 +248,7 @@ Status SortService::Submit(JobRequest request, uint64_t* job_id,
 
   record->request = std::move(request);
   record->status.id = id;
+  record->status.streamed = record->request.stream;
   record->status.kind = record->request.kind;
   record->status.tenant = record->request.tenant;
   record->status.priority = record->request.priority;
@@ -314,8 +326,39 @@ Status SortService::ExecuteJob(JobRecord* record) {
       sort_options.order = record->order;
       NexSorter sorter(std::move(session), std::move(sort_options));
       StringByteSource source(request.input_text);
-      StringByteSink sink(&output);
-      result = sorter.Sort(&source, &sink);
+      if (request.stream) {
+        // Pull-based output: drain the SortedStream chunk by chunk. The
+        // bytes are identical to the eager call; what the stream buys the
+        // job is the time_to_first_byte_ms measurement, stamped when the
+        // first sorted chunk surfaces.
+        auto begin = std::chrono::steady_clock::now();
+        auto stream = sorter.SortStream(&source);
+        result = stream.status();
+        if (result.ok()) {
+          std::string_view chunk;
+          bool first = true;
+          while (true) {
+            auto more = stream.value()->Next(&chunk);
+            if (!more.ok()) {
+              result = more.status();
+              break;
+            }
+            if (!more.value()) break;
+            if (first) {
+              first = false;
+              double ttfb = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - begin)
+                                .count();
+              std::lock_guard<std::mutex> guard(lock_);
+              record->status.time_to_first_byte_ms = ttfb;
+            }
+            output.append(chunk);
+          }
+        }
+      } else {
+        StringByteSink sink(&output);
+        result = sorter.Sort(&source, &sink);
+      }
       break;
     }
     case JobRequest::Kind::kMerge: {

@@ -91,6 +91,13 @@ struct JobRequest {
   /// Keep the result in memory for TakeOutput (socket clients that want
   /// the document back inline).
   bool return_output = false;
+
+  /// Sort jobs only: run the output phase through the pull-based
+  /// SortedStream instead of the eager Sort call. Output bytes are
+  /// identical; the job's status additionally reports
+  /// `time_to_first_byte_ms` — the latency until the first sorted chunk
+  /// surfaced — in `nexsortd-stats-v1`.
+  bool stream = false;
 };
 
 struct JobStatus {
@@ -112,6 +119,11 @@ struct JobStatus {
   uint64_t output_bytes = 0;
   uint64_t session_id = 0;  // SortEnv session the job ran in
   bool has_session = false;
+
+  /// Streaming sort jobs: milliseconds from job start to the first sorted
+  /// output chunk (< 0 until the first chunk lands).
+  bool streamed = false;
+  double time_to_first_byte_ms = -1;
 
   [[nodiscard]] bool terminal() const {
     return state == State::kDone || state == State::kFailed ||

@@ -13,7 +13,9 @@
 #include "parallel/async_spiller.h"
 #include "parallel/run_prefetcher.h"
 #include "parallel/worker_pool.h"
+#include "sort/replacement_selection.h"
 #include "util/cancellation.h"
+#include "util/dcheck.h"
 #include "util/varint.h"
 
 namespace nexsort {
@@ -86,6 +88,16 @@ ExternalMergeSorter::ExternalMergeSorter(RunStore* store,
   if (init_status_.ok()) {
     buffer_capacity_ =
         (options_.memory_blocks - 1) * store->device()->block_size();
+    if (options_.run_formation == RunFormationPolicy::kReplacementSelection) {
+      ReplacementSelectionFormer::Options former_options;
+      former_options.capacity_bytes = buffer_capacity_;
+      former_options.temp_category = options_.temp_category;
+      former_options.tracer = options_.tracer;
+      former_options.parallel = options_.parallel;
+      former_options.cancel = options_.cancel;
+      former_ = std::make_unique<ReplacementSelectionFormer>(
+          store_, former_options);
+    }
   }
 }
 
@@ -101,6 +113,11 @@ ExternalMergeSorter::~ExternalMergeSorter() {
 
 Status ExternalMergeSorter::Add(std::string_view key, std::string_view value) {
   if (finished_) return Status::InvalidArgument("sorter already finished");
+  if (former_ != nullptr) {
+    ++stats_.records;
+    stats_.bytes += key.size() + value.size();
+    return former_->Add(key, value);
+  }
   uint64_t record_bytes = key.size() + value.size() + sizeof(RecordRef);
   if (!current_->records.empty() &&
       current_->bytes() + record_bytes > buffer_capacity_) {
@@ -179,6 +196,7 @@ Status ExternalMergeSorter::SpillRun(SpillBuffer* buffer, bool background) {
   RETURN_IF_ERROR(writer.Finish(&handle));
   runs_.push_back(handle);
   ++stats_.initial_runs;
+  stats_.runs.RecordRun(handle.byte_size, store_->device()->block_size());
   if (background) deferred_traces_.push_back(handle);
   buffer->Clear();
   return Status::OK();
@@ -267,9 +285,18 @@ void ExternalMergeSorter::FlushDeferredTraces() {
   deferred_traces_.clear();
 }
 
+void ExternalMergeSorter::AbsorbFormerStats() {
+  if (former_ == nullptr || former_stats_absorbed_) return;
+  former_stats_absorbed_ = true;
+  stats_.runs = former_->stats();
+  stats_.initial_runs = stats_.runs.runs_formed;
+  pstats_.MergeFrom(former_->parallel_stats());
+}
+
 void ExternalMergeSorter::PublishStats() {
   if (stats_published_) return;
   stats_published_ = true;
+  AbsorbFormerStats();
   if (spiller_ != nullptr) {
     pstats_.spill_wait_seconds += spiller_->wait_seconds();
     pstats_.spill_busy_seconds += spiller_->busy_seconds();
@@ -370,9 +397,53 @@ Status ExternalMergeSorter::MergeAll() {
   return Status::OK();
 }
 
+Status ExternalMergeSorter::MergeAndOpenResult() {
+  Status merged = Status::OK();
+  if (runs_.size() == 1) {
+    // Single-run fast path: run formation already produced the answer, so
+    // the merge phase vanishes — no merge pass, no merge-pass I/O. The
+    // drain below reads the formed run directly.
+    NEXSORT_DCHECK(stats_.merge_passes == 0);
+    if (options_.tracer != nullptr) {
+      options_.tracer->metrics()
+          ->GetCounter("merge_skipped_single_run")
+          ->Add(1);
+    }
+  } else {
+    merged = MergeAll();
+  }
+  PublishStats();
+  RETURN_IF_ERROR(merged);
+  result_source_ = std::make_unique<RecordRunSource>(
+      store_, runs_.front(), options_.temp_category);
+  RETURN_IF_ERROR(result_source_->Open());
+  result_primed_ = true;
+  return Status::OK();
+}
+
 Status ExternalMergeSorter::Finish() {
   if (finished_) return Status::InvalidArgument("sorter already finished");
   finished_ = true;
+  if (former_ != nullptr) {
+    if (!former_->spilled()) {
+      // Everything fit in the tournament: drain from memory via PopMin.
+      stats_.in_memory = true;
+      PublishStats();
+      return Status::OK();
+    }
+    Status formed = former_->FinishRuns(&runs_);
+    AbsorbFormerStats();
+    if (!formed.ok()) {
+      PublishStats();
+      return formed;
+    }
+    // Release the tournament's memory before the merge claims its fan-in
+    // readers, mirroring the quicksort path's buffer release below.
+    former_.reset();
+    buffer_reservation_.Reset();
+    spare_reservation_.Reset();
+    return MergeAndOpenResult();
+  }
   if (spiller_ != nullptr) {
     // Surface any background spill failure — a lost run write must fail
     // the sort, not vanish on a worker thread.
@@ -411,19 +482,13 @@ Status ExternalMergeSorter::Finish() {
   }
   buffer_reservation_.Reset();
   spare_reservation_.Reset();
-  Status merged = MergeAll();
-  PublishStats();
-  RETURN_IF_ERROR(merged);
-  result_source_ = std::make_unique<RecordRunSource>(
-      store_, runs_.front(), options_.temp_category);
-  RETURN_IF_ERROR(result_source_->Open());
-  result_primed_ = true;
-  return Status::OK();
+  return MergeAndOpenResult();
 }
 
 StatusOr<bool> ExternalMergeSorter::Next(std::string* key, std::string* value) {
   if (!finished_) return Status::InvalidArgument("Finish() not called");
   if (stats_.in_memory) {
+    if (former_ != nullptr) return former_->PopMin(key, value);
     const SpillBuffer& buffer = *current_;
     if (mem_cursor_ >= buffer.records.size()) return false;
     const RecordRef& ref = buffer.records[mem_cursor_++];

@@ -34,6 +34,7 @@
 #include "extmem/stream.h"
 #include "parallel/parallel.h"
 #include "sort/loser_tree.h"
+#include "sort/run_formation.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
@@ -42,6 +43,7 @@ namespace nexsort {
 class BufferPool;
 class Tracer;
 class AsyncSpiller;
+class ReplacementSelectionFormer;
 
 struct ExtSortOptions {
   /// Blocks of internal memory this sort may use (the paper's M for the
@@ -72,6 +74,11 @@ struct ExtSortOptions {
   /// after the token flips, with all runs and reservations released by the
   /// normal unwind.
   const CancellationToken* cancel = nullptr;
+
+  /// How run formation cuts runs (docs/RUN_FORMATION.md). Output records
+  /// are byte-identical under either policy; replacement selection forms
+  /// fewer, longer runs and therefore fewer merge passes.
+  RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
 };
 
 struct ExtSortStats {
@@ -80,6 +87,9 @@ struct ExtSortStats {
   uint64_t initial_runs = 0;
   uint64_t merge_passes = 0;
   bool in_memory = false;  // everything fit; no run was spilled
+  /// Run-length accounting for the "sort" telemetry block (equal to
+  /// initial_runs in count; adds the per-run block sizes).
+  RunFormationStats runs;
 };
 
 /// MergeSource decoding length-prefixed (key, value) records from a run.
@@ -177,10 +187,19 @@ class ExternalMergeSorter {
   /// Callers must know the spiller is idle (after WaitIdle/Drain).
   void FlushDeferredTraces();
 
+  /// Fold the replacement-selection engine's counters into this sorter's
+  /// stats, exactly once (idempotent; safe before or after former_ goes).
+  void AbsorbFormerStats();
+
   /// Fold pstats_ into the attached ParallelContext, exactly once.
   void PublishStats();
 
   [[nodiscard]] Status MergeAll();
+
+  /// Shared Finish tail for both policies: merge the formed runs (skipped
+  /// outright when formation produced a single run — zero merge-pass I/O)
+  /// and open the survivor for draining.
+  [[nodiscard]] Status MergeAndOpenResult();
 
   RunStore* store_;
   const ExtSortOptions options_;
@@ -198,6 +217,12 @@ class ExternalMergeSorter {
   bool double_buffer_engaged_ = false;
   bool stats_published_ = false;
   std::vector<RunHandle> deferred_traces_;  // created by background spills
+
+  // Replacement-selection engine; null under kQuicksortChunks. Its slot
+  // memory is charged against buffer_reservation_, exactly like the
+  // quicksort path's arena.
+  std::unique_ptr<ReplacementSelectionFormer> former_;
+  bool former_stats_absorbed_ = false;
 
   bool finished_ = false;
   // Drain state: either an in-memory cursor or a reader on the final run.

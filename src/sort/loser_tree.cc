@@ -8,7 +8,9 @@ LoserTree::LoserTree(std::vector<MergeSource*> sources)
     : sources_(std::move(sources)), k_(static_cast<int>(sources_.size())) {}
 
 int LoserTree::Compare(int a, int b) const {
-  // Exhausted sources lose to everything; ties go to the lower index.
+  // Exhausted sources lose to everything; ties go to the lower tie_seq,
+  // then the lower index (tie_seq is a constant for classic run merging,
+  // so the historical index tie-break is unchanged there).
   if (a < 0 || static_cast<size_t>(a) >= sources_.size()) return b;
   if (b < 0 || static_cast<size_t>(b) >= sources_.size()) return a;
   bool a_done = sources_[a]->exhausted();
@@ -19,6 +21,9 @@ int LoserTree::Compare(int a, int b) const {
   std::string_view kb = sources_[b]->key();
   if (ka < kb) return a;
   if (kb < ka) return b;
+  uint64_t sa = sources_[a]->tie_seq();
+  uint64_t sb = sources_[b]->tie_seq();
+  if (sa != sb) return sa < sb ? a : b;
   return a < b ? a : b;
 }
 
@@ -33,11 +38,16 @@ bool LoserTree::HeapOrderOk() const {
     return true;
   }
   std::string_view winner_key = sources_[w]->key();
+  uint64_t winner_seq = sources_[w]->tie_seq();
   for (int i = 0; i < k_; ++i) {
     if (sources_[i]->exhausted()) continue;
     std::string_view key = sources_[i]->key();
     if (key < winner_key) return false;
-    if (key == winner_key && i < w) return false;  // stability tie-break
+    if (key == winner_key) {  // stability tie-break: (tie_seq, index)
+      uint64_t seq = sources_[i]->tie_seq();
+      if (seq < winner_seq) return false;
+      if (seq == winner_seq && i < w) return false;
+    }
   }
   return true;
 }
@@ -79,6 +89,21 @@ void LoserTree::Replay(int leaf) {
     }
   }
   tree_[0] = winner;
+}
+
+void LoserTree::ReplaySource(size_t index) {
+  NEXSORT_DCHECK(initialized_);
+  NEXSORT_DCHECK(index < sources_.size());
+  // Only the reigning champion may be re-seated: its index lives solely in
+  // tree_[0] (every internal node holds a loser), so the bottom-up replay —
+  // the same fix-up AdvanceMin runs — restores the tournament in one pass.
+  // A non-champion source may sit as a stored loser on its own path, which
+  // a single walk cannot reconcile against the champion; callers that need
+  // to re-key an arbitrary source must rebuild via Init.
+  NEXSORT_DCHECK(tree_[0] == static_cast<int>(index));
+  Replay(static_cast<int>(index));
+  NEXSORT_DCHECK_MSG(HeapOrderOk(),
+                     "loser tree heap order violated after re-seat");
 }
 
 Status LoserTree::AdvanceMin() {

@@ -3,6 +3,7 @@
 // comparisons per record, independent of which source wins.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -21,17 +22,26 @@ class MergeSource {
   /// Key of the current record. Valid only if !exhausted().
   virtual std::string_view key() const = 0;
 
+  /// Secondary ordering for equal keys, compared before the source-index
+  /// tie-break. The default (a constant) preserves the classic behaviour —
+  /// equal keys drain in source order. Replacement selection overrides it
+  /// with the record's arrival sequence so the tournament is stable in
+  /// arrival order, matching the quicksort-chunk path byte for byte.
+  virtual uint64_t tie_seq() const { return 0; }
+
   /// Move to the next record (possibly exhausting the stream).
   [[nodiscard]] virtual Status Advance() = 0;
 };
 
-/// Classic loser tree over `sources`. Ties are broken by source index, so a
-/// merge of runs created in input order is stable.
+/// Classic loser tree over `sources`. Ties are broken by (tie_seq, source
+/// index), so a merge of runs created in input order is stable.
 class LoserTree {
  public:
   explicit LoserTree(std::vector<MergeSource*> sources);
 
-  /// Build the initial tournament. Must be called once before Min().
+  /// Build the initial tournament. Must be called before Min(); calling it
+  /// again rebuilds from the sources' current records (replacement
+  /// selection re-seats slots this way after growing the slot array).
   [[nodiscard]] Status Init();
 
   /// Source holding the globally smallest current key, or nullptr when all
@@ -40,6 +50,13 @@ class LoserTree {
 
   /// Advance the winning source and replay its path in the tournament.
   [[nodiscard]] Status AdvanceMin();
+
+  /// Re-seat the *current winner* after its record changed out of band —
+  /// replacement selection refills the just-popped champion's slot with a
+  /// fresh input record and replays only that leaf's path. AdvanceMin is
+  /// exactly Advance-on-the-winner + ReplaySource(winner); re-keying any
+  /// other source requires a rebuild via Init.
+  void ReplaySource(size_t index);
 
  private:
   int Compare(int a, int b) const;  // winner of the pair (index)

@@ -1,0 +1,15 @@
+#include "sort/run_formation.h"
+
+namespace nexsort {
+
+const char* RunFormationPolicyName(RunFormationPolicy policy) {
+  switch (policy) {
+    case RunFormationPolicy::kQuicksortChunks:
+      return "quicksort_chunks";
+    case RunFormationPolicy::kReplacementSelection:
+      return "replacement_selection";
+  }
+  return "unknown";
+}
+
+}  // namespace nexsort

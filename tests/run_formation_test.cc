@@ -1,0 +1,402 @@
+// Run-formation policy tests (docs/RUN_FORMATION.md): replacement
+// selection must be byte-identical to the quicksort-chunk baseline at
+// every level of the stack while forming fewer, longer runs — a single
+// run (and a skipped merge phase) on nearly-sorted input — and it must
+// unwind its budget exactly on cancellation or an early-dropped stream.
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/keypath_xml_sort.h"
+#include "core/nexsort.h"
+#include "extmem/run_store.h"
+#include "sort/external_merge_sort.h"
+#include "sort/loser_tree.h"
+#include "sort/replacement_selection.h"
+#include "sort/sorted_stream.h"
+#include "tests/test_util.h"
+#include "util/cancellation.h"
+#include "util/random.h"
+
+namespace nexsort {
+namespace {
+
+using nexsort::testing::Env;
+
+using Record = std::pair<std::string, std::string>;
+
+/// Random records with heavy key duplication (40 distinct keys), the case
+/// where stability bugs in the two-run fencing would surface. Values sit
+/// around the paper's ~150 bytes so the per-slot tournament overhead does
+/// not dominate the budget charge.
+std::vector<Record> RandomRecords(uint64_t seed, size_t count) {
+  Random rng(seed);
+  std::vector<Record> records;
+  records.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    records.emplace_back("k" + std::to_string(rng.Uniform(40)),
+                         rng.Identifier(100 + rng.Uniform(100)));
+  }
+  return records;
+}
+
+/// Ascending fixed-width keys with every 16th adjacent pair swapped:
+/// nearly sorted, so replacement selection should never fence.
+std::vector<Record> NearlySortedRecords(size_t count) {
+  std::vector<Record> records;
+  records.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "%08zu", i);
+    records.emplace_back(key, std::string(40, 'v'));
+  }
+  for (size_t i = 15; i + 1 < count; i += 16) {
+    std::swap(records[i].first, records[i + 1].first);
+  }
+  return records;
+}
+
+/// External-sort `records` under `policy` and drain the full output.
+std::vector<Record> SortWithPolicy(const std::vector<Record>& records,
+                                   uint64_t memory_blocks,
+                                   RunFormationPolicy policy,
+                                   ExtSortStats* stats = nullptr) {
+  Env env;
+  RunStore store(env.device(), env.budget());
+  ExternalMergeSorter sorter(
+      &store, {.memory_blocks = memory_blocks, .run_formation = policy});
+  NEX_EXPECT_OK(sorter.init_status());
+  for (const Record& record : records) {
+    NEX_EXPECT_OK(sorter.Add(record.first, record.second));
+  }
+  NEX_EXPECT_OK(sorter.Finish());
+  std::vector<Record> out;
+  std::string key;
+  std::string value;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    NEX_EXPECT_OK(more.status());
+    if (!more.ok() || !more.value()) break;
+    out.emplace_back(key, value);
+  }
+  if (stats != nullptr) *stats = sorter.stats();
+  return out;
+}
+
+// Knuth's property, checked as bytes: the record sequence replacement
+// selection produces is identical to the quicksort-chunk baseline across
+// seeds and memory sizes, duplicates included — only run boundaries (and
+// the merge tree over them) may differ.
+TEST(RunFormation, ReplacementMatchesQuicksortAcrossSeedsAndMemory) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    std::vector<Record> records = RandomRecords(seed, 600);
+    for (uint64_t memory_blocks : {3u, 4u, 8u}) {
+      ExtSortStats qs_stats;
+      ExtSortStats rs_stats;
+      std::vector<Record> qs = SortWithPolicy(
+          records, memory_blocks, RunFormationPolicy::kQuicksortChunks,
+          &qs_stats);
+      std::vector<Record> rs = SortWithPolicy(
+          records, memory_blocks, RunFormationPolicy::kReplacementSelection,
+          &rs_stats);
+      ASSERT_EQ(qs.size(), records.size());
+      EXPECT_EQ(qs, rs) << "seed=" << seed << " M=" << memory_blocks;
+      EXPECT_EQ(rs_stats.records, qs_stats.records);
+      EXPECT_EQ(rs_stats.bytes, qs_stats.bytes);
+    }
+  }
+}
+
+TEST(RunFormation, ReplacementFormsFewerRunsOnRandomInput) {
+  std::vector<Record> records = RandomRecords(/*seed=*/3, 900);
+  ExtSortStats qs_stats;
+  ExtSortStats rs_stats;
+  SortWithPolicy(records, /*memory_blocks=*/4,
+                 RunFormationPolicy::kQuicksortChunks, &qs_stats);
+  SortWithPolicy(records, /*memory_blocks=*/4,
+                 RunFormationPolicy::kReplacementSelection, &rs_stats);
+  ASSERT_FALSE(qs_stats.in_memory);
+  ASSERT_FALSE(rs_stats.in_memory);
+  // Expected ~2x mean run length; require a strict improvement and runs
+  // that are on average longer than the quicksort path's.
+  EXPECT_LT(rs_stats.initial_runs, qs_stats.initial_runs);
+  EXPECT_GT(rs_stats.runs.avg_run_blocks(), qs_stats.runs.avg_run_blocks());
+  EXPECT_EQ(rs_stats.runs.runs_formed, rs_stats.initial_runs);
+}
+
+// Nearly-sorted input never fences, so the whole input becomes one run
+// and the merge phase is skipped entirely: Finish must not read a single
+// block from the device (merging is the only reader before the drain).
+TEST(RunFormation, NearlySortedFormsSingleRunAndSkipsMerge) {
+  std::vector<Record> records = NearlySortedRecords(600);
+  Env env;
+  RunStore store(env.device(), env.budget());
+  ExternalMergeSorter sorter(
+      &store, {.memory_blocks = 4,
+               .run_formation = RunFormationPolicy::kReplacementSelection});
+  NEX_ASSERT_OK(sorter.init_status());
+  for (const Record& record : records) {
+    NEX_ASSERT_OK(sorter.Add(record.first, record.second));
+  }
+  NEX_ASSERT_OK(sorter.Finish());
+  ASSERT_FALSE(sorter.stats().in_memory) << "input must actually spill";
+  EXPECT_EQ(sorter.stats().initial_runs, 1u);
+  EXPECT_EQ(sorter.stats().merge_passes, 0u);
+  // Finish primes the drain reader with the survivor's first block; a
+  // merge pass would have re-read the whole spilled input. <= 1 read at
+  // this point is exactly "zero merge-pass I/O".
+  EXPECT_LE(env.device()->stats().reads.load(std::memory_order_relaxed), 1u)
+      << "a skipped merge phase performs zero merge-pass I/O";
+
+  // The single run still drains in order.
+  std::string key;
+  std::string value;
+  std::string last;
+  size_t drained = 0;
+  while (true) {
+    auto more = sorter.Next(&key, &value);
+    NEX_ASSERT_OK(more.status());
+    if (!more.value()) break;
+    EXPECT_LE(last, key);
+    last = key;
+    ++drained;
+  }
+  EXPECT_EQ(drained, records.size());
+
+  // The same input under quicksort chunks pays a real merge.
+  ExtSortStats qs_stats;
+  SortWithPolicy(records, /*memory_blocks=*/4,
+                 RunFormationPolicy::kQuicksortChunks, &qs_stats);
+  EXPECT_GT(qs_stats.initial_runs, 1u);
+  EXPECT_GE(qs_stats.merge_passes, 1u);
+}
+
+// Mid-formation cancellation: the token is polled once per evicted
+// record, so an Add shortly after Cancel() fails, and the RAII unwind
+// returns every reserved block and frees every partial run.
+TEST(RunFormation, CancellationMidFormationUnwindsBudgetExactly) {
+  std::vector<Record> records = RandomRecords(/*seed=*/11, 800);
+  Env env;
+  const uint64_t baseline_used = env.budget()->used_blocks();
+  CancellationToken token;
+  Status failure = Status::OK();
+  {
+    RunStore store(env.device(), env.budget());
+    ExternalMergeSorter sorter(
+        &store,
+        {.memory_blocks = 4,
+         .cancel = &token,
+         .run_formation = RunFormationPolicy::kReplacementSelection});
+    NEX_ASSERT_OK(sorter.init_status());
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (i == records.size() / 2) token.Cancel();
+      failure = sorter.Add(records[i].first, records[i].second);
+      if (!failure.ok()) break;
+    }
+    if (failure.ok()) failure = sorter.Finish();
+    ASSERT_TRUE(failure.IsCancelled()) << failure.ToString();
+  }
+  EXPECT_EQ(env.budget()->used_blocks(), baseline_used);
+  EXPECT_EQ(env.budget()->release_underflows(), 0u);
+}
+
+// ------------------------------------------------ streaming output -----
+
+std::string RandomItemsDoc(int count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<int> ids(count);
+  for (int i = 0; i < count; ++i) ids[i] = i + 1;
+  for (int i = count - 1; i > 0; --i) {
+    std::swap(ids[i], ids[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+  }
+  std::string xml = "<list>";
+  for (int id : ids) {
+    xml += "<item id=\"" + std::to_string(id) +
+           "\"><payload>abcdefghijklmnopqrstuvwxyz0123456789</payload>"
+           "</item>";
+  }
+  xml += "</list>";
+  return xml;
+}
+
+NexSortOptions NexOptions(RunFormationPolicy policy) {
+  NexSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.run_formation = policy;
+  return options;
+}
+
+KeyPathSortOptions KeyPathOptions(RunFormationPolicy policy) {
+  KeyPathSortOptions options;
+  options.order = OrderSpec::ByAttribute("id", /*numeric=*/true);
+  options.run_formation = policy;
+  return options;
+}
+
+/// Drain a SortedStream fully, checking the chunk contract along the way.
+std::string DrainStream(SortedStream* stream) {
+  std::string out;
+  std::string_view chunk;
+  while (true) {
+    auto more = stream->Next(&chunk);
+    NEX_EXPECT_OK(more.status());
+    if (!more.ok() || !more.value()) break;
+    EXPECT_FALSE(chunk.empty()) << "Next(true) must carry bytes";
+    out.append(chunk);
+  }
+  return out;
+}
+
+// Streaming changes delivery, never content: the concatenated chunks of
+// NexSorter::SortStream equal the eager Sort output, under both policies
+// (and the two policies agree with each other).
+TEST(SortedStreamOutput, NexSorterStreamMatchesEagerBothPolicies) {
+  std::string xml = RandomItemsDoc(1200, /*seed=*/5);
+  std::string eager_qs = nexsort::testing::NexSortString(
+      xml, NexOptions(RunFormationPolicy::kQuicksortChunks));
+  std::string eager_rs = nexsort::testing::NexSortString(
+      xml, NexOptions(RunFormationPolicy::kReplacementSelection));
+  EXPECT_EQ(eager_qs, eager_rs) << "policies must agree byte for byte";
+  for (RunFormationPolicy policy :
+       {RunFormationPolicy::kQuicksortChunks,
+        RunFormationPolicy::kReplacementSelection}) {
+    Env env;
+    NexSorter sorter(env.get(), NexOptions(policy));
+    StringByteSource source(xml);
+    auto stream = sorter.SortStream(&source);
+    NEX_ASSERT_OK(stream.status());
+    EXPECT_EQ(DrainStream(stream.value().get()), eager_qs);
+    if (policy == RunFormationPolicy::kReplacementSelection) {
+      EXPECT_GT(sorter.stats().sorts.run_formation.runs_formed, 0u)
+          << "the flat fan-out must exercise external run formation";
+    }
+  }
+}
+
+TEST(SortedStreamOutput, KeyPathStreamMatchesEagerBothPolicies) {
+  std::string xml = RandomItemsDoc(800, /*seed=*/9);
+  std::string eager = nexsort::testing::KeyPathSortString(
+      xml, KeyPathOptions(RunFormationPolicy::kQuicksortChunks));
+  for (RunFormationPolicy policy :
+       {RunFormationPolicy::kQuicksortChunks,
+        RunFormationPolicy::kReplacementSelection}) {
+    Env env;
+    KeyPathXmlSorter sorter(env.get(), KeyPathOptions(policy));
+    StringByteSource source(xml);
+    auto stream = sorter.SortStream(&source);
+    NEX_ASSERT_OK(stream.status());
+    EXPECT_EQ(DrainStream(stream.value().get()), eager);
+  }
+}
+
+// Dropping a stream after one chunk must release everything through RAII:
+// budget back to baseline, no double releases.
+TEST(SortedStreamOutput, DroppedStreamUnwindsBudget) {
+  std::string xml = RandomItemsDoc(1200, /*seed=*/13);
+  Env env;
+  const uint64_t baseline_used = env.budget()->used_blocks();
+  {
+    NexSorter sorter(env.get(),
+                     NexOptions(RunFormationPolicy::kReplacementSelection));
+    StringByteSource source(xml);
+    auto stream = sorter.SortStream(&source);
+    NEX_ASSERT_OK(stream.status());
+    std::string_view chunk;
+    auto more = stream.value()->Next(&chunk);
+    NEX_ASSERT_OK(more.status());
+    ASSERT_TRUE(more.value());
+    ASSERT_FALSE(chunk.empty());
+  }  // stream + sorter dropped mid-output
+  EXPECT_EQ(env.budget()->used_blocks(), baseline_used);
+  EXPECT_EQ(env.budget()->release_underflows(), 0u);
+}
+
+// Cancelling between chunks: the next Next() observes the token, and the
+// unwind is exact.
+TEST(SortedStreamOutput, MidStreamCancellationUnwindsBudgetExactly) {
+  std::string xml = RandomItemsDoc(1200, /*seed=*/17);
+  Env env;
+  const uint64_t baseline_used = env.budget()->used_blocks();
+  {
+    SortEnv::Session session = env.get()->NewSession();
+    auto token = session.cancellation_handle();
+    NexSorter sorter(std::move(session),
+                     NexOptions(RunFormationPolicy::kReplacementSelection));
+    StringByteSource source(xml);
+    auto stream = sorter.SortStream(&source);
+    NEX_ASSERT_OK(stream.status());
+    std::string_view chunk;
+    auto first = stream.value()->Next(&chunk);
+    NEX_ASSERT_OK(first.status());
+    ASSERT_TRUE(first.value());
+    token->Cancel();
+    auto next = stream.value()->Next(&chunk);
+    ASSERT_FALSE(next.ok());
+    EXPECT_TRUE(next.status().IsCancelled()) << next.status().ToString();
+  }
+  EXPECT_EQ(env.budget()->used_blocks(), baseline_used);
+  EXPECT_EQ(env.budget()->release_underflows(), 0u);
+}
+
+// ------------------------------------------- tournament mechanics -----
+
+// The LoserTree invariant replacement selection leans on: only the
+// reigning champion may be re-keyed in place (Fill + ReplaySource); the
+// tournament then surfaces winners in (tag, key, seq) order.
+TEST(ReplacementHeap, ChampionReplayReseatsRefilledSlot) {
+  std::deque<ReplacementHeapSlot> slots(4);
+  const char* keys[] = {"d", "b", "c", "a"};
+  std::vector<MergeSource*> sources;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i].set_index(static_cast<uint32_t>(i));
+    slots[i].Fill(ReplacementHeapSlot::kCurrentRunTag, keys[i], "v",
+                  /*seq=*/i);
+    sources.push_back(&slots[i]);
+  }
+  LoserTree tree(std::move(sources));
+  NEX_ASSERT_OK(tree.Init());
+
+  auto* champion = static_cast<ReplacementHeapSlot*>(tree.Min());
+  ASSERT_NE(champion, nullptr);
+  EXPECT_EQ(champion->user_key(), "a");
+
+  // Refill the champion's slot with a larger key and replay only its
+  // path: the next winner must be "b", and the refilled record surfaces
+  // last.
+  champion->Fill(ReplacementHeapSlot::kCurrentRunTag, "e", "v", /*seq=*/4);
+  tree.ReplaySource(champion->index());
+
+  std::vector<std::string> order;
+  while (MergeSource* min = tree.Min()) {
+    order.push_back(
+        std::string(static_cast<ReplacementHeapSlot*>(min)->user_key()));
+    NEX_ASSERT_OK(tree.AdvanceMin());
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+// The fence tag dominates the user key: a fenced (next-run) record loses
+// to every open-run record regardless of key order.
+TEST(ReplacementHeap, FenceTagOrdersAcrossRuns) {
+  std::deque<ReplacementHeapSlot> slots(2);
+  slots[0].set_index(0);
+  slots[0].Fill(ReplacementHeapSlot::kNextRunTag, "a", "v", /*seq=*/0);
+  slots[1].set_index(1);
+  slots[1].Fill(ReplacementHeapSlot::kCurrentRunTag, "z", "v", /*seq=*/1);
+  LoserTree tree({&slots[0], &slots[1]});
+  NEX_ASSERT_OK(tree.Init());
+  auto* min = static_cast<ReplacementHeapSlot*>(tree.Min());
+  ASSERT_NE(min, nullptr);
+  EXPECT_EQ(min->user_key(), "z") << "open-run records drain first";
+  EXPECT_TRUE(slots[0].fenced());
+  slots[0].Unfence();
+  EXPECT_FALSE(slots[0].fenced());
+}
+
+}  // namespace
+}  // namespace nexsort
