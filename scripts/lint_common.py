@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Shared helpers for the static-analysis runners (docs/STATIC_ANALYSIS.md).
+
+run_clang_tidy.py, run_thread_safety.py, and nexsort_lint.py all reduce
+tool output to *normalized findings* so baselines stay stable and the
+three gates print comparable lines. The canonical normalized form is
+
+    <repo-relative-path>\t<check-id>\t<message>
+
+with the path in forward slashes, line/column numbers dropped (unrelated
+edits must not churn baselines), and unstable message fragments (pointer
+addresses) collapsed. Baseline files hold one normalized finding per line;
+'#' lines are comments.
+"""
+
+import os
+import re
+
+# The ctest convention for "tool not installed here": SKIP_RETURN_CODE 77
+# maps this to a SKIPPED (not failed) test.
+SKIP_EXIT = 77
+
+_HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def rel_to_root(root, path):
+    """Repo-relative forward-slash path for any absolute or relative
+    `path`."""
+    return os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+
+
+def collapse_unstable(message):
+    """Strip run-to-run noise from a diagnostic message: pointer addresses
+    become 0xN, surrounding whitespace goes."""
+    return _HEX_ADDR.sub("0xN", message.strip())
+
+
+def normalize_finding(root, path, check, message):
+    """The canonical normalized-finding line (see module docstring)."""
+    return f"{rel_to_root(root, path)}\t{check}\t{collapse_unstable(message)}"
+
+
+def read_baseline(path):
+    """Normalized findings from a baseline file; empty set when absent."""
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def write_baseline(path, findings, tool):
+    """Rewrite a baseline file, sorted, with the standard header."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(
+            f"# {tool} baseline: existing findings the runner tolerates.\n"
+            "# One normalized finding per line\n"
+            "# (<relpath>\\t<check>\\t<message>). Shrink it whenever a\n"
+            "# finding is fixed; never grow it without a review.\n"
+        )
+        for line in sorted(findings):
+            f.write(line + "\n")

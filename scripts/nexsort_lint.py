@@ -27,6 +27,20 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                         constructed only inside src/env/ (and their own
                         defining files); everything else obtains them from
                         a SortEnv. Tests are outside the linted tree.
+  raw-mutex             No raw std::mutex / std::lock_guard /
+                        std::unique_lock / std::condition_variable /
+                        std::shared_mutex (etc.) in src/ outside
+                        src/util/thread_annotations.{h,cc}: all locking
+                        goes through the annotated, ranked Mutex /
+                        MutexLock / CondVar / SharedMutex wrappers so the
+                        Clang capability analysis and the debug lock-order
+                        checker both see every acquisition.
+  guarded-by            Every Mutex / SharedMutex member must have at
+                        least one NEXSORT_GUARDED_BY(that mutex) field in
+                        the same file, or a `// lint-ok: guarded-by`
+                        rationale on or directly above the declaration
+                        (a mutex guarding nothing is either dead or its
+                        guarded data is unannotated).
   py-hygiene            scripts/*.py compile, start with a python3 shebang,
                         carry a module docstring, and keep lines <= 100.
 
@@ -46,6 +60,9 @@ import py_compile
 import re
 import sys
 import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402  (shared path/message normalization)
 
 CXX_EXTS = (".h", ".cc", ".cpp")
 
@@ -110,6 +127,15 @@ CANONICAL_HEADER = {
     "ReplacementSelectionFormer": "sort/replacement_selection.h",
     "ReplacementHeapSlot": "sort/replacement_selection.h",
     "SortedStream": "sort/sorted_stream.h",
+    "Mutex": "util/thread_annotations.h",
+    "MutexLock": "util/thread_annotations.h",
+    "CondVar": "util/thread_annotations.h",
+    "SharedMutex": "util/thread_annotations.h",
+    "WriterMutexLock": "util/thread_annotations.h",
+    "ReaderMutexLock": "util/thread_annotations.h",
+    "NEXSORT_GUARDED_BY": "util/thread_annotations.h",
+    "NEXSORT_REQUIRES": "util/thread_annotations.h",
+    "NEXSORT_EXCLUDES": "util/thread_annotations.h",
 }
 
 # Receiver identifiers that denote a BlockDevice for the io-category rule.
@@ -556,6 +582,72 @@ def rule_env_construction(relpath, raw, stripped, raw_lines, ctx):
         )
 
 
+# The one file allowed to touch the raw primitives: it defines the
+# wrappers everything else must use.
+RAW_MUTEX_ALLOWED = (
+    "src/util/thread_annotations.h",
+    "src/util/thread_annotations.cc",
+)
+
+RAW_MUTEX_PATTERN = re.compile(
+    r"std::(?:(?:recursive_|timed_|recursive_timed_)?mutex"
+    r"|shared_(?:timed_)?mutex"
+    r"|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+
+def rule_raw_mutex(relpath, raw, stripped, raw_lines, ctx):
+    if relpath in RAW_MUTEX_ALLOWED:
+        return
+    for m in RAW_MUTEX_PATTERN.finditer(stripped):
+        lineno = line_of(stripped, m.start())
+        if suppressed(raw_lines, lineno, "raw-mutex"):
+            continue
+        yield Finding(
+            relpath,
+            lineno,
+            "raw-mutex",
+            f"'{m.group(0)}' outside util/thread_annotations.*; use the "
+            "annotated Mutex / MutexLock / CondVar / SharedMutex wrappers "
+            "so the capability analysis and the lock-order checker see "
+            "the acquisition",
+        )
+
+
+# A Mutex/SharedMutex member: brace-initialized (the wrappers have no
+# default constructor — every instance carries a name and a rank).
+# `MutexLock lock(&mu)` uses parens and never matches.
+MUTEX_MEMBER = re.compile(r"\b(?:Mutex|SharedMutex)\s+([A-Za-z_]\w*)\s*\{")
+
+
+def rule_guarded_by(relpath, raw, stripped, raw_lines, ctx):
+    if relpath in RAW_MUTEX_ALLOWED:
+        return
+    for m in MUTEX_MEMBER.finditer(stripped):
+        name = m.group(1)
+        lineno = line_of(stripped, m.start())
+        # The rationale comment conventionally sits on the declaration
+        # line or at the end of the doc comment directly above it.
+        if suppressed(raw_lines, lineno, "guarded-by") or (
+            lineno >= 2 and suppressed(raw_lines, lineno - 1, "guarded-by")
+        ):
+            continue
+        user = re.compile(
+            r"NEXSORT_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)"
+        )
+        if user.search(stripped):
+            continue
+        yield Finding(
+            relpath,
+            lineno,
+            "guarded-by",
+            f"mutex '{name}' has no NEXSORT_GUARDED_BY({name}) field in "
+            "this file; annotate what it guards or attach a "
+            "`// lint-ok: guarded-by` rationale",
+        )
+
+
 def check_python_file(relpath, path):
     findings = []
     try:
@@ -605,6 +697,8 @@ RULES = {
     "include-first": (rule_include_first, _in_src),
     "direct-include": (rule_direct_include, _in_src),
     "env-construction": (rule_env_construction, _in_status_scope),
+    "raw-mutex": (rule_raw_mutex, _in_src),
+    "guarded-by": (rule_guarded_by, _in_src),
 }
 
 
@@ -662,7 +756,7 @@ def main():
             for f in sorted(os.listdir(scripts_dir))
             if f.endswith(".py")
         ]
-        targets += [(p, os.path.relpath(p, root).replace(os.sep, "/")) for p in py_files]
+        targets += [(p, lint_common.rel_to_root(root, p)) for p in py_files]
 
     # Status-returning names come from all src headers plus whatever is
     # being linted (so fixtures contribute their own declarations).
@@ -674,7 +768,7 @@ def main():
     findings = []
     for path, rel in targets:
         if rel is None:
-            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            rel = lint_common.rel_to_root(root, path)
             if args.treat_as and not rel.startswith(args.treat_as + "/"):
                 rel = args.treat_as + "/" + os.path.basename(path)
         if path.endswith(".py"):

@@ -31,6 +31,8 @@ CASES = [
     ("memory_budget.cc", "include-first", "src/extmem"),
     ("direct_include.cc", "direct-include", "src"),
     ("env_construction.cc", "env-construction", "src"),
+    ("raw_mutex.cc", "raw-mutex", "src"),
+    ("guarded_by.cc", "guarded-by", "src"),
     ("py_hygiene_bad.py", "py-hygiene", None),
 ]
 

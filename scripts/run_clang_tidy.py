@@ -9,8 +9,9 @@ scripts/clang_tidy_baseline.txt. Only *new* findings fail the run, so CI
 gates on regressions without requiring the whole backlog to be fixed at
 once; fixed findings are reported so the baseline can be shrunk.
 
-Findings are normalized to "<relpath> <check> <message>" — line numbers
-are deliberately dropped so unrelated edits do not churn the baseline.
+Findings are normalized to "<relpath> <check> <message>" via the shared
+helpers in scripts/lint_common.py — line numbers are deliberately dropped
+so unrelated edits do not churn the baseline.
 
 Exit codes: 0 clean, 1 new findings (or stale baseline with --strict),
 77 skipped because no clang-tidy binary or compile database was found
@@ -30,7 +31,10 @@ import shutil
 import subprocess
 import sys
 
-SKIP_EXIT = 77
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402  (shared normalization, docs/STATIC_ANALYSIS.md)
+
+SKIP_EXIT = lint_common.SKIP_EXIT
 
 CLANG_TIDY_NAMES = (
     "clang-tidy",
@@ -65,14 +69,6 @@ def load_compile_db(build_dir):
         return json.load(f)
 
 
-def normalize(root, path, check, message):
-    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
-    # Collapse pointer addresses / template instantiation noise that would
-    # make messages unstable across runs.
-    message = re.sub(r"0x[0-9a-fA-F]+", "0xN", message.strip())
-    return f"{rel}\t{check}\t{message}"
-
-
 def run_one(tidy, entry, root):
     cmd = [tidy, "-p", entry["directory"], "--quiet", entry["file"]]
     proc = subprocess.run(
@@ -91,33 +87,11 @@ def run_one(tidy, entry, root):
         if not abspath.startswith(root + os.sep):
             continue
         findings.add(
-            normalize(root, abspath, m.group("check"), m.group("message"))
+            lint_common.normalize_finding(
+                root, abspath, m.group("check"), m.group("message")
+            )
         )
     return entry["file"], findings, proc.returncode
-
-
-def read_baseline(path):
-    entries = set()
-    if not os.path.exists(path):
-        return entries
-    with open(path, "r", encoding="utf-8") as f:
-        for line in f:
-            line = line.rstrip("\n")
-            if line and not line.startswith("#"):
-                entries.add(line)
-    return entries
-
-
-def write_baseline(path, findings):
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(
-            "# clang-tidy baseline: existing findings run_clang_tidy.py\n"
-            "# tolerates. One normalized finding per line\n"
-            "# (<relpath>\\t<check>\\t<message>). Shrink it whenever a\n"
-            "# finding is fixed; never grow it without a review.\n"
-        )
-        for line in sorted(findings):
-            f.write(line + "\n")
 
 
 def main():
@@ -192,14 +166,14 @@ def main():
             findings |= file_findings
 
     if args.update_baseline:
-        write_baseline(baseline_path, findings)
+        lint_common.write_baseline(baseline_path, findings, "clang-tidy")
         print(
             f"run_clang_tidy: baseline updated with {len(findings)} "
             f"finding(s) at {baseline_path}"
         )
         return 0
 
-    baseline = read_baseline(baseline_path)
+    baseline = lint_common.read_baseline(baseline_path)
     new = sorted(findings - baseline)
     fixed = sorted(baseline - findings)
     for line in new:

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Run Clang's -Wthread-safety capability analysis over every src/ TU.
+
+The NEXSORT_* annotations in src/util/thread_annotations.h only mean
+something to Clang, and the project's default toolchain is GCC — so this
+gate re-drives each translation unit from compile_commands.json through
+`clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety` instead of
+requiring a second full build. Any thread-safety diagnostic fails the run;
+unrelated warnings do not (only the thread-safety family is promoted to
+error). Diagnostics are printed raw and, for summary purposes, normalized
+with scripts/lint_common.py like the other static-analysis gates.
+
+Exit codes: 0 clean, 1 thread-safety findings, 77 skipped because no
+clang++ binary or compile database was found (ctest maps 77 to SKIPPED
+via SKIP_RETURN_CODE, same as the clang-tidy gate).
+
+Usage:
+  run_thread_safety.py [--build-dir build] [--jobs N] [FILES...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402
+
+CLANG_NAMES = (
+    "clang++",
+    "clang++-18",
+    "clang++-17",
+    "clang++-16",
+    "clang++-15",
+    "clang++-14",
+)
+
+# "path:line:col: error: message [-Wthread-safety-...]"
+DIAGNOSTIC = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:error|warning):\s+(?P<message>.*?)\s+"
+    r"\[-W(?P<check>thread-safety[\w-]*)(?:,-Werror)?\]$"
+)
+
+# GCC-only flags clang rejects; everything else GCC emits in this tree
+# (-W*, -f*, -std=, -D, -I) clang accepts.
+DROP_FLAGS = {"-fno-semantic-interposition"}
+
+
+def find_clang(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CLANG_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_db(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def analysis_command(clang, entry):
+    """The clang syntax-only command for one compile-database entry: the
+    original compiler and any -o/-c output handling are replaced, the
+    thread-safety family is enabled as errors, and unknown-warning noise
+    from GCC-specific -W flags is silenced (those flags check nothing)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = [clang]
+    skip_next = False
+    for arg in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if arg in ("-c", "-MD", "-MMD") or arg in DROP_FLAGS:
+            continue
+        out.append(arg)
+    out += [
+        "-fsyntax-only",
+        "-Wno-unknown-warning-option",
+        "-Wthread-safety",
+        "-Werror=thread-safety",
+    ]
+    return out
+
+
+def run_one(clang, entry, root):
+    proc = subprocess.run(
+        analysis_command(clang, entry),
+        capture_output=True,
+        text=True,
+        cwd=entry["directory"],
+    )
+    findings = set()
+    raw = []
+    for line in proc.stderr.splitlines():
+        m = DIAGNOSTIC.match(line)
+        if not m:
+            continue
+        raw.append(line)
+        abspath = os.path.abspath(
+            os.path.join(entry["directory"], m.group("path"))
+        )
+        findings.add(
+            lint_common.normalize_finding(
+                root, abspath, m.group("check"), m.group("message")
+            )
+        )
+    # A non-zero exit with no parsed thread-safety diagnostic means the TU
+    # failed to compile at all under clang — that is a finding too (the
+    # preset build would be broken), attributed to the TU.
+    if proc.returncode != 0 and not findings:
+        err_lines = proc.stderr.splitlines()
+        raw.append("\n".join(err_lines[-15:]))
+        detail = err_lines[-1] if err_lines else "unknown"
+        findings.add(
+            lint_common.normalize_finding(
+                root, entry["file"], "clang-frontend",
+                "TU does not compile under clang: " + detail,
+            )
+        )
+    return entry["file"], findings, raw
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root_default = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    parser.add_argument("--root", default=root_default)
+    parser.add_argument("--build-dir", default=None)
+    parser.add_argument("--clang", default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument(
+        "files", nargs="*", help="restrict to these sources (default: src/)"
+    )
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    build_dir = args.build_dir or os.path.join(root, "build")
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print(
+            "run_thread_safety: no clang++ binary found; skipping "
+            "(install clang to enable the -Wthread-safety gate)",
+            file=sys.stderr,
+        )
+        return lint_common.SKIP_EXIT
+    db = load_compile_db(build_dir)
+    if db is None:
+        print(
+            f"run_thread_safety: no compile_commands.json in {build_dir}; "
+            "configure cmake first (exported by default)",
+            file=sys.stderr,
+        )
+        return lint_common.SKIP_EXIT
+
+    wanted = [os.path.abspath(f) for f in args.files]
+    entries = []
+    for entry in db:
+        path = os.path.abspath(entry["file"])
+        if wanted:
+            if path not in wanted:
+                continue
+        elif not path.startswith(os.path.join(root, "src") + os.sep):
+            continue
+        entries.append(entry)
+    if not entries:
+        print(
+            "run_thread_safety: no matching translation units",
+            file=sys.stderr,
+        )
+        return lint_common.SKIP_EXIT
+
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, clang, entry, root) for entry in entries
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            _file, file_findings, raw = future.result()
+            findings |= file_findings
+            for line in raw:
+                print(line)
+
+    print(
+        f"run_thread_safety: {len(entries)} TU(s), "
+        f"{len(findings)} thread-safety finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,7 @@ BufferPool::~BufferPool() {
 }
 
 bool BufferPool::AllFramesClean() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const Frame& frame : frames_) {
     if (frame.dirty) return false;
   }
@@ -123,19 +123,18 @@ void BufferPool::UpdateHitRateGauge() {
   hit_rate_gauge_->Set(stats_.hits * 100 / accesses);
 }
 
-Status BufferPool::WriteBack(Frame* frame, size_t index,
-                             std::unique_lock<std::mutex>& lock) {
+Status BufferPool::WriteBack(Frame* frame, size_t index) {
   // Busy protects the frame for the unlocked transfer: the sweep skips it,
   // Pin waits on it, so nobody recycles or rewrites the bytes mid-write.
   frame->busy = true;
   uint64_t block = frame->block_id;
   IoCategory category = frame->category;
   char* data = DataOf(index);
-  lock.unlock();
+  mutex_.Unlock();
   Status st = base_->Write(block, data, category);
-  lock.lock();
+  mutex_.Lock();
   frame->busy = false;
-  busy_done_.notify_all();
+  busy_done_.SignalAll();
   if (!st.ok()) {
     ++stats_.writeback_failures;
     return st;
@@ -146,8 +145,7 @@ Status BufferPool::WriteBack(Frame* frame, size_t index,
   return Status::OK();
 }
 
-StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id,
-                                          std::unique_lock<std::mutex>& lock) {
+StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id) {
   // CLOCK sweep. Free frames have no second chance to burn, so they fall
   // out of the first rotation; a full rotation clears every referenced
   // bit, so two rotations suffice when any frame is evictable. Dirty
@@ -165,7 +163,7 @@ StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id,
       continue;
     }
     if (frame.dirty) {
-      Status st = WriteBack(&frame, index, lock);
+      Status st = WriteBack(&frame, index);
       if (!st.ok()) {
         // Defer: keep the data, pick another victim. Flush() surfaces it.
         if (deferred_writeback_.ok()) deferred_writeback_ = st;
@@ -194,8 +192,7 @@ StatusOr<size_t> BufferPool::AcquireFrame(uint64_t block_id,
 }
 
 StatusOr<size_t> BufferPool::PinLocked(uint64_t block_id, IoCategory category,
-                                       bool load, bool as_prefetch,
-                                       std::unique_lock<std::mutex>& lock) {
+                                       bool load, bool as_prefetch) {
   for (;;) {
     auto it = resident_.find(block_id);
     if (it != resident_.end()) {
@@ -204,7 +201,7 @@ StatusOr<size_t> BufferPool::PinLocked(uint64_t block_id, IoCategory category,
       if (frame.busy) {
         // A load or write-back is in flight on this frame; the data is
         // not ours to touch until it settles.
-        busy_done_.wait(lock);
+        busy_done_.Wait(&mutex_);
         continue;
       }
       if (as_prefetch) return index;  // already resident: nothing to do
@@ -215,17 +212,17 @@ StatusOr<size_t> BufferPool::PinLocked(uint64_t block_id, IoCategory category,
       return index;
     }
     size_t index;
-    ASSIGN_OR_RETURN(index, AcquireFrame(block_id, lock));
+    ASSIGN_OR_RETURN(index, AcquireFrame(block_id));
     if (index == kRetryFrame) continue;  // racer resolved it; re-find
     Frame& frame = frames_[index];
     if (load) {
       frame.busy = true;
       char* data = DataOf(index);
-      lock.unlock();
+      mutex_.Unlock();
       Status st = base_->Read(block_id, data, category);
-      lock.lock();
+      mutex_.Lock();
       frame.busy = false;
-      busy_done_.notify_all();
+      busy_done_.SignalAll();
       if (!st.ok()) {
         // The frame holds no valid data; return it to the free state.
         resident_.erase(block_id);
@@ -266,19 +263,18 @@ void BufferPool::UnpinLocked(size_t frame, bool mark_dirty,
 
 StatusOr<size_t> BufferPool::Pin(uint64_t block_id, IoCategory category,
                                  bool load) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return PinLocked(block_id, category, load, /*as_prefetch=*/false, lock);
+  MutexLock lock(&mutex_);
+  return PinLocked(block_id, category, load, /*as_prefetch=*/false);
 }
 
 void BufferPool::Unpin(size_t frame, bool mark_dirty, IoCategory category) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   UnpinLocked(frame, mark_dirty, category);
 }
 
 char* BufferPool::FrameData(size_t frame) { return DataOf(frame); }
 
-void BufferPool::ReadAhead(uint64_t block_id, IoCategory category,
-                           std::unique_lock<std::mutex>& lock) {
+void BufferPool::ReadAhead(uint64_t block_id, IoCategory category) {
   // Cap the window at half the pool: a prefetch burst must not flush the
   // working set (and needs at least one frame left for the caller).
   uint64_t window = std::min(options_.readahead,
@@ -288,26 +284,25 @@ void BufferPool::ReadAhead(uint64_t block_id, IoCategory category,
     uint64_t next = block_id + ahead;
     if (next >= limit) return;
     auto loaded = PinLocked(next, category, /*load=*/true,
-                            /*as_prefetch=*/true, lock);
+                            /*as_prefetch=*/true);
     if (!loaded.ok()) return;  // pool too pinned/dirty; abandon quietly
   }
 }
 
 void BufferPool::Prefetch(uint64_t block_id, IoCategory category) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (block_id >= base_->num_blocks()) return;
   // Best-effort: a failed claim or load is swallowed; the consuming read
   // re-encounters the error where it can be reported.
-  (void)PinLocked(block_id, category, /*load=*/true, /*as_prefetch=*/true,
-                  lock);
+  (void)PinLocked(block_id, category, /*load=*/true, /*as_prefetch=*/true);
 }
 
 Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
                              IoCategory category) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t index;
   ASSIGN_OR_RETURN(index, PinLocked(block_id, category, /*load=*/true,
-                                    /*as_prefetch=*/false, lock));
+                                    /*as_prefetch=*/false));
   std::memcpy(buf, DataOf(index), base_->block_size());
   UnpinLocked(index, /*mark_dirty=*/false, IoCategory::kOther);
 
@@ -317,49 +312,49 @@ Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
                         : 1;
   last_read_block_ = block_id;
   if (options_.readahead > 0 && sequential_run_ >= 2) {
-    ReadAhead(block_id, category, lock);
+    ReadAhead(block_id, category);
   }
   return Status::OK();
 }
 
 Status BufferPool::WriteBlock(uint64_t block_id, const char* buf,
                               IoCategory category) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // Whole-block overwrite: no need to load the old contents on a miss.
   size_t index;
   ASSIGN_OR_RETURN(index, PinLocked(block_id, category, /*load=*/false,
-                                    /*as_prefetch=*/false, lock));
+                                    /*as_prefetch=*/false));
   std::memcpy(DataOf(index), buf, base_->block_size());
   UnpinLocked(index, /*mark_dirty=*/true, category);
   return Status::OK();
 }
 
 Status BufferPool::Flush() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Status result = deferred_writeback_;
   deferred_writeback_ = Status::OK();  // surfaced exactly once
   for (size_t i = 0; i < frames_.size(); ++i) {
-    while (frames_[i].busy) busy_done_.wait(lock);
+    while (frames_[i].busy) busy_done_.Wait(&mutex_);
     Frame& frame = frames_[i];
     if (frame.block_id == kNoBlock || !frame.dirty) continue;
-    Status st = WriteBack(&frame, i, lock);
+    Status st = WriteBack(&frame, i);
     if (!st.ok() && result.ok()) result = st;
   }
   return result;
 }
 
 CacheStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
 uint64_t BufferPool::pinned_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return pinned_frames_;
 }
 
 uint64_t BufferPool::dirty_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t dirty = 0;
   for (const Frame& frame : frames_) {
     if (frame.dirty) ++dirty;
@@ -369,7 +364,8 @@ uint64_t BufferPool::dirty_frames() const {
 
 CachedBlockDevice::CachedBlockDevice(BlockDevice* base, MemoryBudget* budget,
                                      CacheOptions options, DiskModel model)
-    : BlockDevice(base->block_size(), model), pool_(base, budget, options) {
+    : BlockDevice(base->block_size(), model, base->mutex_rank() - 1),
+      pool_(base, budget, options) {
   // Adopt the wrapped device's block count so ids allocated before the
   // wrapper existed stay addressable and future ids stay aligned.
   SyncNumBlocks(base->num_blocks());

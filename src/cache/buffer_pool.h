@@ -41,10 +41,8 @@
 // unchanged: a pinned or busy frame is never recycled.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +50,7 @@
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -193,60 +192,66 @@ class BufferPool {
   /// Write frame's block to the device under its remembered category,
   /// releasing the lock (frame marked busy) around the transfer.
   /// On return the lock is re-held.
-  [[nodiscard]] Status WriteBack(Frame* frame, size_t index,
-                   std::unique_lock<std::mutex>& lock);
+  [[nodiscard]] Status WriteBack(Frame* frame, size_t index)
+      NEXSORT_REQUIRES(mutex_);
 
   /// Claim a frame for `block_id`: a free frame if any, else a CLOCK
   /// victim (never pinned or busy; dirty victims are written back first,
   /// lock released around the write). The returned frame is mapped to
-  /// `block_id` but not loaded. Caller holds the lock.
-  [[nodiscard]] StatusOr<size_t> AcquireFrame(uint64_t block_id,
-                                std::unique_lock<std::mutex>& lock);
+  /// `block_id` but not loaded.
+  [[nodiscard]] StatusOr<size_t> AcquireFrame(uint64_t block_id)
+      NEXSORT_REQUIRES(mutex_);
 
   /// Resolve `block_id` to a pinned frame (the common Pin/ReadBlock/
   /// WriteBlock core): waits out busy frames, claims + optionally loads on
   /// a miss (lock released around the load), counts hit/miss/prefetch.
-  /// Caller holds the lock.
-  [[nodiscard]] StatusOr<size_t> PinLocked(uint64_t block_id, IoCategory category,
-                             bool load, bool as_prefetch,
-                             std::unique_lock<std::mutex>& lock);
+  [[nodiscard]] StatusOr<size_t> PinLocked(uint64_t block_id,
+                                           IoCategory category, bool load,
+                                           bool as_prefetch)
+      NEXSORT_REQUIRES(mutex_);
 
-  void UnpinLocked(size_t frame, bool mark_dirty, IoCategory category);
+  void UnpinLocked(size_t frame, bool mark_dirty, IoCategory category)
+      NEXSORT_REQUIRES(mutex_);
 
   /// Destructor invariant probe: no frame left dirty (takes the lock).
-  bool AllFramesClean() const;
+  bool AllFramesClean() const NEXSORT_EXCLUDES(mutex_);
 
   /// Load blocks [block_id+1, block_id+window] that are not yet resident.
-  /// Best-effort: a failed load abandons the rest of the window. Caller
-  /// holds the lock.
-  void ReadAhead(uint64_t block_id, IoCategory category,
-                 std::unique_lock<std::mutex>& lock);
+  /// Best-effort: a failed load abandons the rest of the window.
+  void ReadAhead(uint64_t block_id, IoCategory category)
+      NEXSORT_REQUIRES(mutex_);
 
-  void CountHit();
-  void CountMiss();
-  void UpdateHitRateGauge();
+  void CountHit() NEXSORT_REQUIRES(mutex_);
+  void CountMiss() NEXSORT_REQUIRES(mutex_);
+  void UpdateHitRateGauge() NEXSORT_REQUIRES(mutex_);
 
   BlockDevice* base_;
   const CacheOptions options_;
   BudgetReservation reservation_;
   Status init_status_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable busy_done_;  // signaled when a frame's busy clears
+  mutable Mutex mutex_{"BufferPool::mutex_", lock_rank::kBufferPool};
+  CondVar busy_done_;  // signaled when a frame's busy clears
 
-  std::vector<Frame> frames_;
-  std::string data_;  // frames * block_size bytes
-  std::unordered_map<uint64_t, size_t> resident_;  // block id -> frame
-  size_t clock_hand_ = 0;
-  uint64_t pinned_frames_ = 0;
+  std::vector<Frame> frames_ NEXSORT_GUARDED_BY(mutex_);
+  /// frames * block_size bytes. Not NEXSORT_GUARDED_BY(mutex_): frame
+  /// payloads are protected by the pin/busy protocol, not the table lock —
+  /// FrameData hands out windows of pinned frames to callers holding no
+  /// lock, and transfers run on busy frames with the lock released.
+  std::string data_;
+  std::unordered_map<uint64_t, size_t> resident_
+      NEXSORT_GUARDED_BY(mutex_);  // block id -> frame
+  size_t clock_hand_ NEXSORT_GUARDED_BY(mutex_) = 0;
+  uint64_t pinned_frames_ NEXSORT_GUARDED_BY(mutex_) = 0;
 
   // Sequential-scan detector for read-ahead.
-  uint64_t last_read_block_ = kNoBlock;
-  uint64_t sequential_run_ = 0;
+  uint64_t last_read_block_ NEXSORT_GUARDED_BY(mutex_) = kNoBlock;
+  uint64_t sequential_run_ NEXSORT_GUARDED_BY(mutex_) = 0;
 
-  Status deferred_writeback_;  // sticky failure surfaced by Flush()
+  /// Sticky failure surfaced by Flush().
+  Status deferred_writeback_ NEXSORT_GUARDED_BY(mutex_);
 
-  CacheStats stats_;
+  CacheStats stats_ NEXSORT_GUARDED_BY(mutex_);
   // Tracer mirrors (null when no tracer attached).
   class MetricsRegistry* metrics_ = nullptr;
   class Counter* hits_counter_ = nullptr;

@@ -222,20 +222,20 @@ SessionStats SortEnv::Session::stats() const {
 }
 
 void SortEnv::RegisterSession(Session* session) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   session->id_ = next_session_id_++;
   active_sessions_.push_back(session);
 }
 
 void SortEnv::MoveSession(Session* from, Session* to) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   std::replace(active_sessions_.begin(), active_sessions_.end(), from, to);
 }
 
 void SortEnv::UnregisterSession(Session* session) {
   SessionStats final_stats = session->stats();
   final_stats.active = false;
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   active_sessions_.erase(std::remove(active_sessions_.begin(),
                                      active_sessions_.end(), session),
                          active_sessions_.end());
@@ -243,7 +243,7 @@ void SortEnv::UnregisterSession(Session* session) {
 }
 
 std::vector<SessionStats> SortEnv::session_stats() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   std::vector<SessionStats> all = finished_sessions_;
   for (const Session* session : active_sessions_) {
     all.push_back(session->stats());
@@ -312,7 +312,7 @@ void SortEnv::SampleGauges(TelemetrySample* sample) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(&sessions_mutex_);
     uint64_t live_runs = 0, live_bytes = 0;
     uint64_t created = 0, spilled = 0;
     for (const Session* session : active_sessions_) {

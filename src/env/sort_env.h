@@ -27,7 +27,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +41,7 @@
 #include "parallel/worker_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -314,10 +314,12 @@ class SortEnv {
   std::unique_ptr<CachedBlockDevice> cache_;  // null when caching is off
   std::unique_ptr<WorkerPool> worker_pool_;   // null when serial
 
-  mutable std::mutex sessions_mutex_;
-  std::vector<Session*> active_sessions_;
-  std::vector<SessionStats> finished_sessions_;
-  uint64_t next_session_id_ = 0;
+  mutable Mutex sessions_mutex_{"SortEnv::sessions_mutex_",
+                                lock_rank::kSessionTable};
+  std::vector<Session*> active_sessions_ NEXSORT_GUARDED_BY(sessions_mutex_);
+  std::vector<SessionStats> finished_sessions_
+      NEXSORT_GUARDED_BY(sessions_mutex_);
+  uint64_t next_session_id_ NEXSORT_GUARDED_BY(sessions_mutex_) = 0;
 
   // Declared last on purpose: destroyed first, which stops the sampler
   // thread while every component it probes is still alive.

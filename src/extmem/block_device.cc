@@ -107,13 +107,15 @@ std::string IoStats::ToJsonString() const {
   return std::move(writer).Take();
 }
 
-BlockDevice::BlockDevice(size_t block_size, DiskModel model)
-    : block_size_(block_size), model_(model) {}
+BlockDevice::BlockDevice(size_t block_size, DiskModel model, int mutex_rank)
+    : block_size_(block_size),
+      model_(model),
+      mutex_("BlockDevice::mutex_", mutex_rank) {}
 
 BlockDevice::~BlockDevice() = default;
 
 Status BlockDevice::Allocate(uint64_t count, uint64_t* first_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   RETURN_IF_ERROR(DoAllocate(count));
   *first_id = num_blocks_.load(std::memory_order_relaxed);
   num_blocks_.fetch_add(count, std::memory_order_acq_rel);
@@ -128,7 +130,7 @@ void BlockDevice::Account(uint64_t block_id, bool is_write,
                           IoCategory category) {
   bool sequential;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     sequential = block_id == last_accessed_ + 1;
     last_accessed_ = block_id;
   }
@@ -176,7 +178,7 @@ Status BlockDevice::Read(uint64_t block_id, char* buf, IoCategory category) {
     return Status::InvalidArgument("read past end of device");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (ShouldFail(/*is_write=*/false)) {
       return Status::IOError("injected read failure");
     }
@@ -192,7 +194,7 @@ Status BlockDevice::Write(uint64_t block_id, const char* buf,
     return Status::InvalidArgument("write past end of device");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (ShouldFail(/*is_write=*/true)) {
       return Status::IOError("injected write failure");
     }

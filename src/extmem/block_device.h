@@ -9,10 +9,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -104,13 +104,23 @@ const char* IoCategoryName(IoCategory category);
 /// explicit-category Read/Write overloads so attribution cannot race.
 class BlockDevice {
  public:
-  BlockDevice(size_t block_size, DiskModel model);
+  /// `mutex_rank` places this device's bookkeeping mutex in the lock
+  /// hierarchy. Allocate holds it across the virtual DoAllocate, which
+  /// wrapping devices forward to the device they wrap — so every wrapper
+  /// passes `inner->mutex_rank() - 1` and the stack stays strictly
+  /// ordered (see lock_rank::kBlockDevice).
+  BlockDevice(size_t block_size, DiskModel model,
+              int mutex_rank = lock_rank::kBlockDevice);
   virtual ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
 
   size_t block_size() const { return block_size_; }
+
+  /// Rank of this device's bookkeeping mutex; wrapping devices construct
+  /// their own mutex at `mutex_rank() - 1` of the device they wrap.
+  [[nodiscard]] int mutex_rank() const { return mutex_.rank(); }
 
   /// Number of blocks allocated so far.
   uint64_t num_blocks() const {
@@ -158,16 +168,18 @@ class BlockDevice {
 
   /// Inject a failure: the next `count` I/O operations matching `ops`
   /// return IOError. Used by failure-injection tests.
-  void FailNextOps(int count, FailOps ops = FailOps::kAll) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void FailNextOps(int count, FailOps ops = FailOps::kAll)
+      NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     fail_skip_ = 0;
     fail_ops_ = count;
     fail_filter_ = ops;
   }
 
   /// Let `skip` more matching operations succeed, then fail `count`.
-  void FailAfterOps(uint64_t skip, int count, FailOps ops = FailOps::kAll) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void FailAfterOps(uint64_t skip, int count, FailOps ops = FailOps::kAll)
+      NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     fail_skip_ = skip;
     fail_ops_ = count;
     fail_filter_ = ops;
@@ -204,16 +216,17 @@ class BlockDevice {
   std::atomic<IoCategory> category_{IoCategory::kOther};
   /// Guards the cross-operation state below (sequentiality detector and
   /// failure injection). Never held during DoRead/DoWrite, so slow storage
-  /// (file I/O, modeled throttle sleeps) does not serialize callers.
-  std::mutex mutex_;
-  uint64_t last_accessed_ = UINT64_MAX - 1;  // for sequentiality detection
-  uint64_t fail_skip_ = 0;
-  int fail_ops_ = 0;
-  FailOps fail_filter_ = FailOps::kAll;
+  /// (file I/O, modeled throttle sleeps) does not serialize callers — but
+  /// it IS held across DoAllocate, which is why wrapper ranks descend.
+  Mutex mutex_;
+  /// For sequentiality detection.
+  uint64_t last_accessed_ NEXSORT_GUARDED_BY(mutex_) = UINT64_MAX - 1;
+  uint64_t fail_skip_ NEXSORT_GUARDED_BY(mutex_) = 0;
+  int fail_ops_ NEXSORT_GUARDED_BY(mutex_) = 0;
+  FailOps fail_filter_ NEXSORT_GUARDED_BY(mutex_) = FailOps::kAll;
 
   /// True when this operation should fail now (consumes the injection).
-  /// Caller holds mutex_.
-  bool ShouldFail(bool is_write);
+  [[nodiscard]] bool ShouldFail(bool is_write) NEXSORT_REQUIRES(mutex_);
 };
 
 /// RAII guard that attributes all I/O on `device` to `category` while alive.

@@ -22,7 +22,7 @@ namespace {
 class ThrottledBlockDevice final : public BlockDevice {
  public:
   ThrottledBlockDevice(BlockDevice* base, ThrottleModel model)
-      : BlockDevice(base->block_size(), DiskModel{}),
+      : BlockDevice(base->block_size(), DiskModel{}, base->mutex_rank() - 1),
         base_(base),
         model_(model) {
     SyncNumBlocks(base_->num_blocks());
@@ -68,7 +68,8 @@ class ThrottledBlockDevice final : public BlockDevice {
 class FaultInjectionBlockDevice final : public BlockDevice {
  public:
   explicit FaultInjectionBlockDevice(BlockDevice* base)
-      : BlockDevice(base->block_size(), DiskModel{}), base_(base) {
+      : BlockDevice(base->block_size(), DiskModel{}, base->mutex_rank() - 1),
+        base_(base) {
     SyncNumBlocks(base_->num_blocks());
   }
 

@@ -20,7 +20,7 @@ MemoryBudget::~MemoryBudget() {
 }
 
 Status MemoryBudget::Acquire(uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t used = used_blocks_.load(std::memory_order_relaxed);
   if (used + count > total_blocks_) {
     return Status::OutOfMemory(
@@ -39,7 +39,7 @@ Status MemoryBudget::Acquire(uint64_t count) {
 }
 
 void MemoryBudget::Release(uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   uint64_t used = used_blocks_.load(std::memory_order_relaxed);
   if (count > used) {
     // Caller bug (double release or mismatched count). Clamp rather than

@@ -8,9 +8,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -58,7 +58,10 @@ class MemoryBudget {
 
  private:
   const uint64_t total_blocks_;
-  std::mutex mutex_;
+  /// Serializes Acquire's check-then-add and Release's clamp; the fields
+  /// below stay atomics (not NEXSORT_GUARDED_BY) because the accessors
+  /// deliberately read them lock-free. // lint-ok: guarded-by
+  Mutex mutex_{"MemoryBudget::mutex_", lock_rank::kMemoryBudget};
   std::atomic<uint64_t> used_blocks_{0};
   std::atomic<uint64_t> peak_blocks_{0};
   std::atomic<uint64_t> release_underflows_{0};

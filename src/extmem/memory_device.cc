@@ -1,16 +1,16 @@
 #include <cstring>
-#include <shared_mutex>
 #include <vector>
 
 #include "extmem/block_device.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
 namespace {
 
 /// Block device backed by heap memory. Blocks are allocated lazily so large
-/// sparse devices are cheap in tests. A shared_mutex lets concurrent reads
+/// sparse devices are cheap in tests. A SharedMutex lets concurrent reads
 /// and writes to distinct, already-allocated blocks proceed in parallel
 /// while Allocate (which may reallocate the vector) is exclusive. Writers
 /// take the shared lock too: they touch only their own block's string, and
@@ -22,7 +22,7 @@ class MemoryBlockDevice final : public BlockDevice {
 
  protected:
   Status DoRead(uint64_t block_id, char* buf, IoCategory) override {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(&mutex_);
     const std::string& block = blocks_[block_id];
     if (block.empty()) {
       std::memset(buf, 0, block_size());
@@ -33,19 +33,23 @@ class MemoryBlockDevice final : public BlockDevice {
   }
 
   Status DoWrite(uint64_t block_id, const char* buf, IoCategory) override {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(&mutex_);
     blocks_[block_id].assign(buf, block_size());
     return Status::OK();
   }
 
   Status DoAllocate(uint64_t count) override {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(&mutex_);
     blocks_.resize(blocks_.size() + count);
     return Status::OK();
   }
 
  private:
-  std::shared_mutex mutex_;
+  /// blocks_ carries no NEXSORT_GUARDED_BY: reads AND writes hold the
+  /// capability shared (distinct threads never touch one block), only
+  /// Allocate's resize is exclusive. // lint-ok: guarded-by
+  SharedMutex mutex_{"MemoryBlockDevice::storage",
+                     lock_rank::kDeviceStorage};
   std::vector<std::string> blocks_;
 };
 

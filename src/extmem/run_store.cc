@@ -26,7 +26,7 @@ void RunStore::DcheckBalancedLocked() const {
 
 Status RunStore::AllocateBlock(uint64_t* id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (!free_blocks_.empty()) {
       *id = free_blocks_.back();
       free_blocks_.pop_back();
@@ -49,7 +49,7 @@ RunReader RunStore::OpenRun(RunHandle handle, uint64_t offset,
 
 Status RunStore::SnapshotBlocks(RunHandle handle,
                                 std::vector<uint64_t>* blocks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!handle.valid() || handle.id >= run_blocks_.size()) {
     return Status::InvalidArgument("invalid run handle");
   }
@@ -59,7 +59,7 @@ Status RunStore::SnapshotBlocks(RunHandle handle,
 
 Status RunStore::FreeRun(RunHandle handle) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (!handle.valid() || handle.id >= run_blocks_.size()) {
       return Status::InvalidArgument("invalid run handle");
     }
@@ -115,7 +115,7 @@ Status RunWriter::Finish(RunHandle* handle) {
     buffer_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(store_->mutex_);
+    MutexLock lock(&store_->mutex_);
     handle->id = static_cast<uint32_t>(store_->run_blocks_.size());
     handle->byte_size = byte_size_;
     store_->live_blocks_.fetch_add(blocks_.size(),
@@ -223,7 +223,7 @@ std::string ScratchNamespace::NewPath(std::string_view label) {
     clean.push_back(ok ? c : '_');
   }
   if (clean.empty()) clean = "tmp";
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string path = directory_ + "/" + prefix_ + "." +
                      std::to_string(instance_) + "." +
                      std::to_string(next_seq_++) + "." + clean + ".scratch";
@@ -233,7 +233,7 @@ std::string ScratchNamespace::NewPath(std::string_view label) {
 
 Status ScratchNamespace::Remove(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = std::find(issued_.begin(), issued_.end(), path);
     if (it == issued_.end()) {
       return Status::NotFound("not a path issued by this scratch namespace");
@@ -247,7 +247,7 @@ Status ScratchNamespace::Remove(const std::string& path) {
 }
 
 void ScratchNamespace::RemoveAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const std::string& path : issued_) {
     std::error_code ec;
     std::filesystem::remove(path, ec);  // best-effort; destructor path
@@ -256,7 +256,7 @@ void ScratchNamespace::RemoveAll() {
 }
 
 uint64_t ScratchNamespace::live_paths() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return issued_.size();
 }
 

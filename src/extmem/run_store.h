@@ -20,7 +20,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +28,7 @@
 #include "extmem/memory_budget.h"
 #include "extmem/stream.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -107,15 +107,16 @@ class RunStore {
 
   /// Run-table balance audit: live_blocks_ must equal the sum of the block
   /// indexes of every (non-freed) run. Caller holds mutex_.
-  void DcheckBalancedLocked() const;
+  void DcheckBalancedLocked() const NEXSORT_REQUIRES(mutex_);
 
   BlockDevice* device_;
   MemoryBudget* budget_;
   Tracer* tracer_ = nullptr;
-  std::mutex mutex_;  // guards the three tables below
-  std::vector<std::vector<uint64_t>> run_blocks_;  // index per run id
-  std::vector<uint64_t> run_bytes_;
-  std::vector<uint64_t> free_blocks_;
+  mutable Mutex mutex_{"RunStore::mutex_", lock_rank::kRunStore};
+  std::vector<std::vector<uint64_t>> run_blocks_
+      NEXSORT_GUARDED_BY(mutex_);  // index per run id
+  std::vector<uint64_t> run_bytes_ NEXSORT_GUARDED_BY(mutex_);
+  std::vector<uint64_t> free_blocks_ NEXSORT_GUARDED_BY(mutex_);
   std::atomic<uint64_t> live_blocks_{0};
   std::atomic<uint64_t> runs_created_{0};
   std::atomic<uint64_t> runs_freed_{0};
@@ -212,9 +213,11 @@ class ScratchNamespace {
   std::string directory_;
   std::string prefix_;
   uint64_t instance_;
-  mutable std::mutex mutex_;  // jobs issue staging paths concurrently
-  uint64_t next_seq_ = 0;
-  std::vector<std::string> issued_;
+  /// Jobs issue staging paths concurrently.
+  mutable Mutex mutex_{"ScratchNamespace::mutex_",
+                       lock_rank::kScratchNamespace};
+  uint64_t next_seq_ NEXSORT_GUARDED_BY(mutex_) = 0;
+  std::vector<std::string> issued_ NEXSORT_GUARDED_BY(mutex_);
 };
 
 /// Sequential, seek-once reader over one run; holds one block buffer.

@@ -55,7 +55,7 @@ double Histogram::Percentile(double q) const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.try_emplace(std::string(name)).first;
@@ -64,7 +64,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.try_emplace(std::string(name)).first;
@@ -73,7 +73,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.try_emplace(std::string(name)).first;
@@ -82,13 +82,13 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::ToJson(JsonWriter* writer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   writer->BeginObject();
   writer->Key("counters");
   writer->BeginObject();
@@ -149,7 +149,7 @@ void MetricsRegistry::ToJson(JsonWriter* writer) const {
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   char line[192];
   for (const auto& [name, counter] : counters_) {

@@ -20,10 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -115,8 +116,8 @@ class MetricsRegistry {
   /// Thread-safe like the Get* variants.
   const Gauge* FindGauge(std::string_view name) const;
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool empty() const NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
@@ -136,10 +137,14 @@ class MetricsRegistry {
   // out stable element addresses, so instrument pointers survive later
   // insertions; the mutex only guards the maps themselves, never the
   // instruments' atomics.
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable Mutex mutex_{"MetricsRegistry::mutex_",
+                       lock_rank::kMetricsRegistry};
+  std::map<std::string, Counter, std::less<>> counters_
+      NEXSORT_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge, std::less<>> gauges_
+      NEXSORT_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      NEXSORT_GUARDED_BY(mutex_);
 };
 
 }  // namespace nexsort

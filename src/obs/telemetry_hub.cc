@@ -99,7 +99,7 @@ TelemetryHub::TelemetryHub() : epoch_(std::chrono::steady_clock::now()) {}
 TelemetryHub::~TelemetryHub() { StopSampler(); }
 
 void TelemetryHub::AddSink(std::unique_ptr<TimelineSink> sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   sinks_.push_back(std::move(sink));
 }
 
@@ -111,7 +111,7 @@ double TelemetryHub::ElapsedSeconds() const {
 
 void TelemetryHub::Publish(TelemetrySample sample) {
   if (sample.t_seconds == 0.0) sample.t_seconds = ElapsedSeconds();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& sink : sinks_) sink->OnSample(sample);
   if (samples_.size() < kMaxRetainedSamples) {
     samples_.push_back(std::move(sample));
@@ -135,12 +135,12 @@ void TelemetryHub::StopSampler() {
 bool TelemetryHub::sampling() const { return sampler_ != nullptr; }
 
 std::vector<TelemetrySample> TelemetryHub::samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_;
 }
 
 uint64_t TelemetryHub::dropped_samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return dropped_;
 }
 
@@ -157,11 +157,11 @@ StatsSampler::~StatsSampler() { Stop(); }
 
 void StatsSampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (stop_ && !thread_.joinable()) return;
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.SignalAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -173,15 +173,19 @@ void StatsSampler::TakeSample() {
 }
 
 void StatsSampler::Main() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (!stop_) {
-    lock.unlock();
+    mutex_.Unlock();
     TakeSample();
-    lock.lock();
-    wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                   [this] { return stop_; });
+    mutex_.Lock();
+    const std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(interval_ms_);
+    while (!stop_) {
+      if (!wake_.WaitUntil(&mutex_, deadline)) break;  // interval elapsed
+    }
   }
-  lock.unlock();
+  mutex_.Unlock();
   // Final sample on the way out: even a run shorter than one interval
   // leaves a timeline, and the last record reflects the drained state.
   TakeSample();

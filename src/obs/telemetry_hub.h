@@ -15,18 +15,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -130,10 +129,10 @@ class TelemetryHub {
 
  private:
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  // guards sinks_, samples_, dropped_
-  std::vector<std::unique_ptr<TimelineSink>> sinks_;
-  std::vector<TelemetrySample> samples_;
-  uint64_t dropped_ = 0;
+  mutable Mutex mutex_{"TelemetryHub::mutex_", lock_rank::kTelemetryHub};
+  std::vector<std::unique_ptr<TimelineSink>> sinks_ NEXSORT_GUARDED_BY(mutex_);
+  std::vector<TelemetrySample> samples_ NEXSORT_GUARDED_BY(mutex_);
+  uint64_t dropped_ NEXSORT_GUARDED_BY(mutex_) = 0;
   std::unique_ptr<StatsSampler> sampler_;
 };
 
@@ -161,9 +160,12 @@ class StatsSampler {
   TelemetryHub* hub_;
   TelemetryProbe probe_;
   const uint32_t interval_ms_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stop_ = false;
+  /// Never held across TakeSample(): the probe and the hub's Publish run
+  /// lock-free from this thread, so the sampler and hub mutexes never
+  /// nest in either direction.
+  Mutex mutex_{"StatsSampler::mutex_", lock_rank::kStatsSampler};
+  CondVar wake_;
+  bool stop_ NEXSORT_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

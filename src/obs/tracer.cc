@@ -33,7 +33,7 @@ double Tracer::Now() const {
 double Tracer::ElapsedSeconds() const { return Now(); }
 
 int Tracer::thread_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return next_tid_;
 }
 
@@ -44,7 +44,7 @@ Tracer::ThreadState& Tracer::StateForThisThreadLocked() {
 }
 
 int64_t Tracer::BeginSpan(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ThreadState& state = StateForThisThreadLocked();
   SpanRecord span;
   span.name = std::string(name);
@@ -92,7 +92,7 @@ void Tracer::EndSpan(int64_t id) {
   // Close any dangling children first, then the span itself — all within
   // the calling thread's stack. An id that is no longer open on this
   // thread (already closed via a parent) is a no-op.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ThreadState& state = StateForThisThreadLocked();
   while (!state.open.empty()) {
     bool is_target = spans_[state.open.back().index].id == id;
@@ -118,7 +118,7 @@ void Tracer::RecordRunEvent(RunEventKind kind, IoCategory category,
   event.bytes = bytes;
   event.at_seconds = Now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     run_events_.push_back(event);
     ++run_event_counts_[static_cast<int>(kind)];
   }
@@ -135,6 +135,9 @@ void Tracer::RecordRunEvent(RunEventKind kind, IoCategory category,
 }
 
 std::string Tracer::ReportString() const {
+  // The exporters are foreground-only, but lock anyway: they read every
+  // guarded field, and a straggling background span would otherwise race.
+  MutexLock lock(&mutex_);
   std::string out;
   char line[256];
   out += "spans (wall s, I/Os r+w, modeled s, budget peak):\n";
@@ -232,6 +235,7 @@ void SpanToJson(JsonWriter* writer, const SpanRecord& span) {
 }  // namespace
 
 void Tracer::ToJson(JsonWriter* writer) const {
+  MutexLock lock(&mutex_);
   writer->BeginObject();
   writer->Key("schema");
   writer->String("nexsort-telemetry-v1");
@@ -267,6 +271,7 @@ std::string Tracer::ToJsonString() const {
 std::string Tracer::ToJsonl() const {
   // Span lines are stamped at their start, event lines at their moment;
   // merge the two streams by timestamp.
+  MutexLock lock(&mutex_);
   std::vector<std::pair<double, std::string>> lines;
   lines.reserve(spans_.size() + run_events_.size());
   for (const SpanRecord& span : spans_) {

@@ -34,7 +34,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -44,6 +43,7 @@
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -124,10 +124,21 @@ class Tracer {
   const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Accessors over the recorded data; call after background work has
-  /// drained (quiescent tracer), like the exporters.
-  const std::vector<SpanRecord>& spans() const { return spans_; }
-  const std::vector<RunEvent>& run_events() const { return run_events_; }
-  const uint64_t* run_event_counts() const { return run_event_counts_; }
+  /// drained (quiescent tracer), like the exporters. The lock is taken
+  /// only to satisfy the capability analysis — the returned references
+  /// are stable because a quiescent tracer records nothing further.
+  const std::vector<SpanRecord>& spans() const NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return spans_;
+  }
+  const std::vector<RunEvent>& run_events() const NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return run_events_;
+  }
+  const uint64_t* run_event_counts() const NEXSORT_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return run_event_counts_;
+  }
 
   /// Number of distinct threads that have opened spans so far.
   int thread_count() const;
@@ -169,19 +180,20 @@ class Tracer {
   };
 
   double Now() const;
-  ThreadState& StateForThisThreadLocked();
-  void CloseTop(ThreadState& state);
+  ThreadState& StateForThisThreadLocked() NEXSORT_REQUIRES(mutex_);
+  void CloseTop(ThreadState& state) NEXSORT_REQUIRES(mutex_);
 
   const BlockDevice* device_;
   const MemoryBudget* budget_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;  // guards spans_, threads_, run events
-  std::vector<SpanRecord> spans_;
-  std::unordered_map<std::thread::id, ThreadState> threads_;
-  int next_tid_ = 0;
-  std::vector<RunEvent> run_events_;
-  uint64_t run_event_counts_[kNumRunEventKinds] = {};
+  mutable Mutex mutex_{"Tracer::mutex_", lock_rank::kTracer};
+  std::vector<SpanRecord> spans_ NEXSORT_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, ThreadState> threads_
+      NEXSORT_GUARDED_BY(mutex_);
+  int next_tid_ NEXSORT_GUARDED_BY(mutex_) = 0;
+  std::vector<RunEvent> run_events_ NEXSORT_GUARDED_BY(mutex_);
+  uint64_t run_event_counts_[kNumRunEventKinds] NEXSORT_GUARDED_BY(mutex_) = {};
   MetricsRegistry metrics_;
 };
 

@@ -28,26 +28,26 @@ Status AsyncSpiller::Submit(std::function<Status()> job) {
   if (pool_ == nullptr || pool_->size() == 0) {
     auto start = std::chrono::steady_clock::now();
     Status st = job();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     busy_seconds_ += SecondsSince(start);
     if (status_.ok()) status_ = st;
     return st;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     in_flight_ = true;
   }
   bool submitted = pool_->Submit([this, job = std::move(job)] {
     auto start = std::chrono::steady_clock::now();
     Status st = job();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     busy_seconds_ += SecondsSince(start);
     if (status_.ok() && !st.ok()) status_ = st;
     in_flight_ = false;
-    idle_.notify_all();
+    idle_.SignalAll();
   });
   if (!submitted) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     in_flight_ = false;
     if (status_.ok()) {
       status_ = Status::InvalidArgument("worker pool shut down");
@@ -59,19 +59,19 @@ Status AsyncSpiller::Submit(std::function<Status()> job) {
 
 Status AsyncSpiller::WaitIdle() {
   auto start = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return !in_flight_; });
+  MutexLock lock(&mutex_);
+  while (in_flight_) idle_.Wait(&mutex_);
   wait_seconds_ += SecondsSince(start);
   return status_;
 }
 
 double AsyncSpiller::wait_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return wait_seconds_;
 }
 
 double AsyncSpiller::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return busy_seconds_;
 }
 

@@ -7,11 +7,10 @@
 // instead of vanishing on a worker thread.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -50,12 +49,12 @@ class AsyncSpiller {
 
  private:
   WorkerPool* pool_;
-  mutable std::mutex mutex_;
-  std::condition_variable idle_;
-  bool in_flight_ = false;
-  Status status_;  // sticky first error
-  double wait_seconds_ = 0.0;
-  double busy_seconds_ = 0.0;
+  mutable Mutex mutex_{"AsyncSpiller::mutex_", lock_rank::kAsyncSpiller};
+  CondVar idle_;
+  bool in_flight_ NEXSORT_GUARDED_BY(mutex_) = false;
+  Status status_ NEXSORT_GUARDED_BY(mutex_);  // sticky first error
+  double wait_seconds_ NEXSORT_GUARDED_BY(mutex_) = 0.0;
+  double busy_seconds_ NEXSORT_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace nexsort

@@ -45,12 +45,12 @@ ParallelContext::ParallelContext(ParallelOptions options, WorkerPool* pool)
     : options_(options), pool_(options.threads > 0 ? pool : nullptr) {}
 
 void ParallelContext::AddStats(const ParallelStats& stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   stats_.MergeFrom(stats);
 }
 
 ParallelStats ParallelContext::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 

@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "parallel/worker_pool.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -91,8 +91,8 @@ class ParallelContext {
  private:
   const ParallelOptions options_;
   WorkerPool* pool_;  // not owned; null = serial
-  mutable std::mutex mutex_;
-  ParallelStats stats_;
+  mutable Mutex mutex_{"ParallelContext::mutex_", lock_rank::kParallelStats};
+  ParallelStats stats_ NEXSORT_GUARDED_BY(mutex_);
 };
 
 }  // namespace nexsort

@@ -26,24 +26,24 @@ RunPrefetcher::~RunPrefetcher() { Stop(); }
 
 void RunPrefetcher::OnConsumed(size_t source, uint64_t block_index) {
   if (!thread_.joinable()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (source >= consumed_.size()) return;
   consumed_[source] = std::max(consumed_[source], block_index + 1);
-  wake_.notify_one();
+  wake_.Signal();
 }
 
 void RunPrefetcher::Stop() {
   if (!thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
-    wake_.notify_one();
+    wake_.Signal();
   }
   thread_.join();
 }
 
 void RunPrefetcher::Main() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (!stop_) {
     bool issued_any = false;
     for (size_t i = 0; i < sources_.size(); ++i) {
@@ -54,19 +54,20 @@ void RunPrefetcher::Main() {
       while (issued_[i] < limit && !stop_) {
         uint64_t block = sources_[i].blocks[issued_[i]];
         ++issued_[i];
-        lock.unlock();
+        mutex_.Unlock();
         // Outside the lock: the pool may do a real base-device read here,
         // and OnConsumed must never wait on it.
         pool_->Prefetch(block, category_);
         issued_total_.fetch_add(1, std::memory_order_relaxed);
-        lock.lock();
+        mutex_.Lock();
         issued_any = true;
         limit = std::min<uint64_t>(consumed_[i] + depth_,
                                    sources_[i].blocks.size());
       }
     }
-    if (!issued_any && !stop_) wake_.wait(lock);
+    if (!issued_any && !stop_) wake_.Wait(&mutex_);
   }
+  mutex_.Unlock();
 }
 
 }  // namespace nexsort

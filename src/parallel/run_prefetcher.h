@@ -13,13 +13,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "extmem/block_device.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -62,11 +61,16 @@ class RunPrefetcher {
   const uint32_t depth_;
   std::vector<Source> sources_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::vector<uint64_t> consumed_;  // highest consumed block index + 1
-  std::vector<uint64_t> issued_;    // blocks issued per source
-  bool stop_ = false;
+  /// Ranked below the BufferPool's mutex, but never actually held across
+  /// pool_->Prefetch — Main releases it around the real I/O so OnConsumed
+  /// never waits on the base device.
+  Mutex mutex_{"RunPrefetcher::mutex_", lock_rank::kRunPrefetcher};
+  CondVar wake_;
+  /// Highest consumed block index + 1, per source.
+  std::vector<uint64_t> consumed_ NEXSORT_GUARDED_BY(mutex_);
+  /// Blocks issued per source.
+  std::vector<uint64_t> issued_ NEXSORT_GUARDED_BY(mutex_);
+  bool stop_ NEXSORT_GUARDED_BY(mutex_) = false;
   std::atomic<uint64_t> issued_total_{0};
   std::thread thread_;
 };

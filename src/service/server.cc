@@ -138,14 +138,14 @@ void SocketServer::Stop() {
   // Unblock accept(); connection reads unblock via per-fd shutdown below.
   ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-    shutdown_cv_.notify_all();
+    shutdown_cv_.SignalAll();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     threads.swap(connection_threads_);
   }
   for (std::thread& thread : threads) {
@@ -156,11 +156,11 @@ void SocketServer::Stop() {
 }
 
 bool SocketServer::WaitForShutdownRequest() {
-  std::unique_lock<std::mutex> guard(lock_);
-  shutdown_cv_.wait(guard, [&] {
-    return shutdown_requested_.load(std::memory_order_acquire) ||
-           stopping_.load(std::memory_order_acquire);
-  });
+  MutexLock guard(&lock_);
+  while (!shutdown_requested_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    shutdown_cv_.Wait(&lock_);
+  }
   return shutdown_requested_.load(std::memory_order_acquire);
 }
 
@@ -171,7 +171,7 @@ void SocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener shut down
     }
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
@@ -270,8 +270,8 @@ std::string SocketServer::HandleLine(std::string_view line) {
   if (op == "shutdown") {
     shutdown_requested_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> guard(lock_);
-      shutdown_cv_.notify_all();
+      MutexLock guard(&lock_);
+      shutdown_cv_.SignalAll();
     }
     JsonWriter writer;
     writer.BeginObject();

@@ -8,10 +8,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -19,6 +17,7 @@
 
 #include "service/service.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -69,10 +68,10 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
 
-  std::mutex lock_;
-  std::condition_variable shutdown_cv_;
-  std::vector<int> connection_fds_;
-  std::vector<std::thread> connection_threads_;
+  Mutex lock_{"SocketServer::lock_", lock_rank::kSocketServer};
+  CondVar shutdown_cv_;
+  std::vector<int> connection_fds_ NEXSORT_GUARDED_BY(lock_);
+  std::vector<std::thread> connection_threads_ NEXSORT_GUARDED_BY(lock_);
   std::thread accept_thread_;
 };
 

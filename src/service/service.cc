@@ -234,7 +234,7 @@ Status SortService::Submit(JobRequest request, uint64_t* job_id,
     input_bytes += text.size();
   }
 
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   if (stopping_) {
     return Status::InvalidArgument("service is shutting down");
   }
@@ -257,8 +257,15 @@ Status SortService::Submit(JobRequest request, uint64_t* job_id,
   record->status.input_bytes = input_bytes;
   jobs_.emplace(id, std::move(record));
   *job_id = id;
-  work_cv_.notify_one();
+  work_cv_.Signal();
   return Status::OK();
+}
+
+bool SortService::ShouldStopLocked() const {
+  // A cancelling shutdown exits immediately (the backlog was cancelled
+  // out from under us); a draining shutdown exits once the backlog is
+  // empty, leaving running jobs to their executors.
+  return stopping_ && (cancel_on_stop_ || scheduler_.depth() == 0);
 }
 
 void SortService::ExecutorLoop() {
@@ -266,19 +273,12 @@ void SortService::ExecutorLoop() {
     QueuedJob queued;
     JobRecord* record = nullptr;
     {
-      std::unique_lock<std::mutex> guard(lock_);
-      // Stop conditions: a cancelling shutdown exits immediately (the
-      // backlog was cancelled out from under us); a draining shutdown
-      // exits once the backlog is empty, leaving running jobs to their
-      // executors.
-      auto should_stop = [&] {
-        return stopping_ && (cancel_on_stop_ || scheduler_.depth() == 0);
-      };
-      work_cv_.wait(guard, [&] {
-        return should_stop() ||
-               (scheduler_.HasEligible() && admission_.HasCapacity());
-      });
-      if (should_stop()) return;
+      MutexLock guard(&lock_);
+      while (!ShouldStopLocked() &&
+             !(scheduler_.HasEligible() && admission_.HasCapacity())) {
+        work_cv_.Wait(&lock_);
+      }
+      if (ShouldStopLocked()) return;
       if (!scheduler_.PickNext(&queued)) continue;
       auto it = jobs_.find(queued.job_id);
       record = it->second.get();
@@ -295,7 +295,7 @@ void SortService::ExecutorLoop() {
 
     Status result = ExecuteJob(record);
 
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     admission_.OnJobFinish(queued.job_id);
     FinishJob(record, queued, result);
   }
@@ -306,7 +306,7 @@ Status SortService::ExecuteJob(JobRecord* record) {
   {
     // Publish the session's cancellation handle, then honour any Cancel()
     // that raced with dispatch before the handle was visible.
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     record->cancel = session.cancellation_handle();
     record->status.session_id = session.id();
     record->status.has_session = true;
@@ -349,7 +349,7 @@ Status SortService::ExecuteJob(JobRecord* record) {
               double ttfb = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - begin)
                                 .count();
-              std::lock_guard<std::mutex> guard(lock_);
+              MutexLock guard(&lock_);
               record->status.time_to_first_byte_ms = ttfb;
             }
             output.append(chunk);
@@ -403,7 +403,7 @@ Status SortService::ExecuteJob(JobRecord* record) {
   }
 
   if (result.ok()) {
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     record->status.output_bytes = output.size();
     if (request.return_output) record->output = std::move(output);
   }
@@ -424,12 +424,12 @@ void SortService::FinishJob(JobRecord* record, const QueuedJob& queued,
     record->status.error = result.ToString();
   }
   record->status.finish_seconds = NowSeconds();
-  work_cv_.notify_all();
-  terminal_cv_.notify_all();
+  work_cv_.SignalAll();
+  terminal_cv_.SignalAll();
 }
 
 StatusOr<JobStatus> SortService::GetJob(uint64_t job_id) const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("job " + std::to_string(job_id));
@@ -438,7 +438,7 @@ StatusOr<JobStatus> SortService::GetJob(uint64_t job_id) const {
 }
 
 std::vector<JobStatus> SortService::ListJobs() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   std::vector<JobStatus> out;
   out.reserve(jobs_.size());
   for (const auto& [id, record] : jobs_) out.push_back(record->status);
@@ -446,7 +446,7 @@ std::vector<JobStatus> SortService::ListJobs() const {
 }
 
 Status SortService::Cancel(uint64_t job_id) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("job " + std::to_string(job_id));
@@ -459,7 +459,7 @@ Status SortService::Cancel(uint64_t job_id) {
     record->status.state = JobStatus::State::kCancelled;
     record->status.error = "Cancelled: cancelled while queued";
     record->status.finish_seconds = NowSeconds();
-    terminal_cv_.notify_all();
+    terminal_cv_.SignalAll();
     return Status::OK();
   }
   // Running (or mid-dispatch): flip the session token when it is already
@@ -469,18 +469,18 @@ Status SortService::Cancel(uint64_t job_id) {
 }
 
 StatusOr<JobStatus> SortService::Wait(uint64_t job_id) {
-  std::unique_lock<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("job " + std::to_string(job_id));
   }
   JobRecord* record = it->second.get();
-  terminal_cv_.wait(guard, [&] { return record->status.terminal(); });
+  while (!record->status.terminal()) terminal_cv_.Wait(&lock_);
   return record->status;
 }
 
 StatusOr<std::string> SortService::TakeOutput(uint64_t job_id) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return Status::NotFound("job " + std::to_string(job_id));
@@ -504,18 +504,23 @@ StatusOr<std::string> SortService::TakeOutput(uint64_t job_id) {
 }
 
 void SortService::Drain() {
-  std::unique_lock<std::mutex> guard(lock_);
-  terminal_cv_.wait(guard, [&] {
+  MutexLock guard(&lock_);
+  for (;;) {
+    bool all_terminal = true;
     for (const auto& [id, record] : jobs_) {
-      if (!record->status.terminal()) return false;
+      if (!record->status.terminal()) {
+        all_terminal = false;
+        break;
+      }
     }
-    return true;
-  });
+    if (all_terminal) return;
+    terminal_cv_.Wait(&lock_);
+  }
 }
 
 void SortService::Shutdown(bool cancel_inflight) {
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(&lock_);
     if (stopping_ && executors_.empty()) return;  // already shut down
     stopping_ = true;
     cancel_on_stop_ = cancel_inflight;
@@ -532,9 +537,9 @@ void SortService::Shutdown(bool cancel_inflight) {
           record->cancel->Cancel();
         }
       }
-      terminal_cv_.notify_all();
+      terminal_cv_.SignalAll();
     }
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
   }
   if (!cancel_inflight) Drain();
   for (std::thread& executor : executors_) {
@@ -555,7 +560,7 @@ std::string SortService::StatsJson() const {
   writer.Key("sessions");
   env_->SessionsToJson(&writer);
 
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(&lock_);
   writer.Key("queue");
   writer.BeginObject();
   writer.Key("depth");

@@ -15,11 +15,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +29,7 @@
 #include "service/scheduler.h"
 #include "util/cancellation.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nexsort {
 
@@ -212,9 +211,13 @@ class SortService {
 
   [[nodiscard]] double NowSeconds() const;
 
+  /// Executor stop test: a cancelling shutdown exits immediately, a
+  /// draining one once the backlog is empty.
+  [[nodiscard]] bool ShouldStopLocked() const NEXSORT_REQUIRES(lock_);
+
   /// Terminal bookkeeping under lock_: state, error, timestamps, wakeups.
   void FinishJob(JobRecord* record, const QueuedJob& queued,
-                 const Status& result);
+                 const Status& result) NEXSORT_REQUIRES(lock_);
 
   ServiceOptions options_;
   std::unique_ptr<SortEnv> env_;
@@ -222,15 +225,16 @@ class SortService {
   uint64_t swept_orphans_ = 0;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex lock_;
-  std::condition_variable work_cv_;      // executors: work or stop
-  std::condition_variable terminal_cv_;  // waiters: a job went terminal
-  FairScheduler scheduler_;
-  AdmissionController admission_;
-  std::map<uint64_t, std::unique_ptr<JobRecord>> jobs_;
-  uint64_t next_job_id_ = 1;
-  bool stopping_ = false;
-  bool cancel_on_stop_ = false;
+  mutable Mutex lock_{"SortService::lock_", lock_rank::kSortService};
+  CondVar work_cv_;      // executors: work or stop
+  CondVar terminal_cv_;  // waiters: a job went terminal
+  FairScheduler scheduler_ NEXSORT_GUARDED_BY(lock_);
+  AdmissionController admission_ NEXSORT_GUARDED_BY(lock_);
+  std::map<uint64_t, std::unique_ptr<JobRecord>> jobs_
+      NEXSORT_GUARDED_BY(lock_);
+  uint64_t next_job_id_ NEXSORT_GUARDED_BY(lock_) = 1;
+  bool stopping_ NEXSORT_GUARDED_BY(lock_) = false;
+  bool cancel_on_stop_ NEXSORT_GUARDED_BY(lock_) = false;
 
   std::vector<std::thread> executors_;
 };

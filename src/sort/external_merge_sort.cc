@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "cache/buffer_pool.h"
 #include "extmem/block_device.h"
@@ -16,6 +14,7 @@
 #include "sort/replacement_selection.h"
 #include "util/cancellation.h"
 #include "util/dcheck.h"
+#include "util/thread_annotations.h"
 #include "util/varint.h"
 
 namespace nexsort {
@@ -232,9 +231,9 @@ void ExternalMergeSorter::SortBuffer(SpillBuffer* buffer) {
     RecordLess less{nullptr};
     std::vector<size_t> bounds;
     std::atomic<size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    size_t done = 0;
+    Mutex mutex{"ExternalMergeSort::partition", lock_rank::kSortPartition};
+    CondVar done_cv;
+    size_t done NEXSORT_GUARDED_BY(mutex) = 0;
   };
   auto shared = std::make_shared<SortShared>();
   shared->base = buffer->records.data();
@@ -252,8 +251,8 @@ void ExternalMergeSorter::SortBuffer(SpillBuffer* buffer) {
       std::sort(shared->base + shared->bounds[c],
                 shared->base + shared->bounds[c + 1], shared->less);
       span.End();
-      std::lock_guard<std::mutex> lock(shared->mutex);
-      if (++shared->done == chunks) shared->done_cv.notify_all();
+      MutexLock lock(&shared->mutex);
+      if (++shared->done == chunks) shared->done_cv.SignalAll();
     }
   };
   // Helpers may never get a worker (this sort can itself be running on
@@ -262,8 +261,8 @@ void ExternalMergeSorter::SortBuffer(SpillBuffer* buffer) {
   for (size_t i = 0; i + 1 < chunks; ++i) (void)pool->Submit(work);
   work();
   {
-    std::unique_lock<std::mutex> lock(shared->mutex);
-    shared->done_cv.wait(lock, [&] { return shared->done == chunks; });
+    MutexLock lock(&shared->mutex);
+    while (shared->done != chunks) shared->done_cv.Wait(&shared->mutex);
   }
   for (size_t width = 1; width < chunks; width *= 2) {
     for (size_t lo = 0; lo + width < chunks; lo += 2 * width) {

@@ -1,0 +1,139 @@
+#include "util/thread_annotations.h"
+
+#include <cstdio>
+
+namespace nexsort {
+namespace internal {
+
+#if NEXSORT_DCHECK_ENABLED
+
+namespace {
+
+// Per-thread stack of held wrapper locks. The capacity bounds legitimate
+// nesting depth, which the rank hierarchy already caps at one lock per
+// rank level; hitting it is a bug in its own right.
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+constexpr int kMaxHeldLocks = 16;
+
+thread_local HeldLock tls_held[kMaxHeldLocks];
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+void LockOrderAcquired(const void* mu, int rank, const char* name) {
+  if (tls_depth > 0) {
+    const HeldLock& top = tls_held[tls_depth - 1];
+    if (rank <= top.rank) {
+      char detail[256];
+      std::snprintf(detail, sizeof(detail),
+                    "lock-rank inversion: acquiring '%s' (rank %d) while "
+                    "holding '%s' (rank %d); a mutex may only be acquired "
+                    "at a strictly greater rank than every held mutex "
+                    "(docs/STATIC_ANALYSIS.md lock hierarchy)",
+                    name, rank, top.name, top.rank);
+      DcheckFail("thread_annotations", 0, "lock rank order", detail);
+    }
+  }
+  NEXSORT_DCHECK_MSG(tls_depth < kMaxHeldLocks,
+                     "held-lock stack overflow (deeper nesting than the "
+                     "rank hierarchy allows)");
+  tls_held[tls_depth++] = HeldLock{mu, rank, name};
+}
+
+void LockOrderReleased(const void* mu) {
+  // Search from the top: unlock order is unconstrained, but in practice
+  // the match is almost always the top of the stack.
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < tls_depth; ++j) {
+      tls_held[j] = tls_held[j + 1];
+    }
+    --tls_depth;
+    return;
+  }
+  NEXSORT_DCHECK_MSG(false,
+                     "released a wrapper mutex this thread does not hold");
+}
+
+int HeldLockCount() { return tls_depth; }
+
+bool HoldsLock(const void* mu) {
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].mu == mu) return true;
+  }
+  return false;
+}
+
+#else  // !NEXSORT_DCHECK_ENABLED
+
+int HeldLockCount() { return 0; }
+
+bool HoldsLock(const void*) { return false; }
+
+#endif  // NEXSORT_DCHECK_ENABLED
+
+}  // namespace internal
+
+void CondVar::Wait(Mutex* mu) {
+#if NEXSORT_DCHECK_ENABLED
+  // The wait releases the mutex while blocked: pop the held record so the
+  // exactness invariant holds, and re-run the rank check on reacquisition
+  // (the remaining stack is identical, so a legal acquire stays legal).
+  internal::LockOrderReleased(mu);
+#endif
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderAcquired(mu, mu->rank(), mu->name());
+#endif
+}
+
+bool CondVar::WaitUntil(Mutex* mu,
+                        std::chrono::steady_clock::time_point deadline) {
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderReleased(mu);
+#endif
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderAcquired(mu, mu->rank(), mu->name());
+#endif
+  return status == std::cv_status::no_timeout;
+}
+
+void SharedMutex::Lock() {
+  mu_.lock();
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderAcquired(this, rank_, name_);
+#endif
+}
+
+void SharedMutex::Unlock() {
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderReleased(this);
+#endif
+  mu_.unlock();
+}
+
+void SharedMutex::ReaderLock() {
+  mu_.lock_shared();
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderAcquired(this, rank_, name_);
+#endif
+}
+
+void SharedMutex::ReaderUnlock() {
+#if NEXSORT_DCHECK_ENABLED
+  internal::LockOrderReleased(this);
+#endif
+  mu_.unlock_shared();
+}
+
+}  // namespace nexsort

@@ -1,0 +1,23 @@
+// Fixture: guarded-by must fire. A Mutex member with no
+// NEXSORT_GUARDED_BY user in the file is either dead weight or — worse —
+// its guarded data is unannotated and invisible to the capability
+// analysis. A `// lint-ok: guarded-by` rationale is the escape hatch for
+// the legitimate cases (e.g. a mutex serializing check-then-act over
+// fields that stay lock-free atomics).
+#include "util/thread_annotations.h"
+
+namespace nexsort {
+
+class Unannotated {
+ public:
+  void Bump() {
+    MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+ private:
+  Mutex mutex_{"Unannotated::mutex_", lock_rank::kLeaf};
+  int value_ = 0;  // should be NEXSORT_GUARDED_BY(mutex_)
+};
+
+}  // namespace nexsort

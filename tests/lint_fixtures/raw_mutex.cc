@@ -1,0 +1,24 @@
+// Fixture: raw-mutex must fire. Locking with the standard-library
+// primitives directly bypasses both the Clang capability analysis and the
+// debug lock-order checker; everything in src/ goes through the wrappers
+// in util/thread_annotations.h.
+#include <condition_variable>
+#include <mutex>
+
+namespace nexsort {
+
+class BadCounter {
+ public:
+  void Add(int delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ += delta;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int value_ = 0;
+};
+
+}  // namespace nexsort

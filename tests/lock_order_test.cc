@@ -1,0 +1,148 @@
+// Tests for the debug lock-order checker behind Mutex / MutexLock /
+// CondVar (src/util/thread_annotations.h). Three contracts:
+//
+//  1. Debug builds (NEXSORT_DCHECK_ENABLED): acquiring a mutex at a rank
+//     <= any mutex the thread already holds dies deterministically at the
+//     acquisition — a would-be deadlock cycle cannot survive to an
+//     unlucky schedule.
+//  2. Release builds: the checker compiles to nothing — an inverted
+//     acquisition order is not checked (and must not crash), and the
+//     test hooks report an empty held stack.
+//  3. The held-lock stack is exact and strictly per-thread: each thread
+//     sees precisely the wrapper locks it holds, a CondVar wait pops its
+//     mutex for the duration of the block, and unlock order is
+//     unconstrained.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/dcheck.h"
+#include "util/thread_annotations.h"
+
+namespace nexsort {
+namespace {
+
+#if NEXSORT_DCHECK_ENABLED
+
+TEST(LockOrderDeathTest, RankInversionDies) {
+  // Re-exec style: other tests in this binary spawn threads, and the
+  // default fork-style death test would be undefined with them around.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low{"LockOrderTest::low", lock_rank::kRunStore};
+  Mutex high{"LockOrderTest::high", lock_rank::kBufferPool};
+  EXPECT_DEATH(
+      {
+        MutexLock hold_high(&high);
+        MutexLock hold_low(&low);  // rank 40 while holding rank 50
+      },
+      "lock-rank inversion");
+}
+
+TEST(LockOrderDeathTest, EqualRankDies) {
+  // Equal ranks never nest (the hierarchy allocates one rank per mutex
+  // that can be held concurrently with its neighbors).
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex first{"LockOrderTest::first", lock_rank::kLeaf};
+  Mutex second{"LockOrderTest::second", lock_rank::kLeaf};
+  EXPECT_DEATH(
+      {
+        MutexLock hold_first(&first);
+        MutexLock hold_second(&second);
+      },
+      "lock-rank inversion");
+}
+
+TEST(LockOrderDeathTest, AssertHeldDiesWhenNotHeld) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu{"LockOrderTest::unheld", lock_rank::kLeaf};
+  EXPECT_DEATH(mu.AssertHeld(), "not held");
+}
+
+TEST(LockOrderTest, AscendingRanksAreLegal) {
+  Mutex service{"LockOrderTest::service", lock_rank::kSortService};
+  Mutex pool{"LockOrderTest::pool", lock_rank::kBufferPool};
+  Mutex budget{"LockOrderTest::budget", lock_rank::kMemoryBudget};
+  MutexLock a(&service);
+  MutexLock b(&pool);
+  MutexLock c(&budget);
+  EXPECT_EQ(internal::HeldLockCount(), 3);
+  EXPECT_TRUE(internal::HoldsLock(&service));
+  EXPECT_TRUE(internal::HoldsLock(&pool));
+  EXPECT_TRUE(internal::HoldsLock(&budget));
+}
+
+TEST(LockOrderTest, OutOfOrderUnlockIsLegal) {
+  // The hierarchy constrains acquisition only; releases may interleave
+  // (BufferPool's WriteBack drops the table lock mid-scope).
+  Mutex outer{"LockOrderTest::outer", lock_rank::kRunStore};
+  Mutex inner{"LockOrderTest::inner", lock_rank::kBufferPool};
+  outer.Lock();
+  inner.Lock();
+  outer.Unlock();  // released before the higher-ranked inner
+  EXPECT_EQ(internal::HeldLockCount(), 1);
+  EXPECT_TRUE(internal::HoldsLock(&inner));
+  EXPECT_FALSE(internal::HoldsLock(&outer));
+  inner.Unlock();
+  EXPECT_EQ(internal::HeldLockCount(), 0);
+}
+
+TEST(LockOrderTest, CondVarWaitPopsHeldRecord) {
+  // While blocked in Wait the mutex is physically released; the held
+  // record must drop with it or a concurrent signaller's own acquisition
+  // bookkeeping would be wrong. Observable from this thread via the
+  // timeout path: after WaitFor returns, the record is back.
+  Mutex mu{"LockOrderTest::cv_mu", lock_rank::kLeaf};
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_EQ(internal::HeldLockCount(), 1);
+  EXPECT_FALSE(cv.WaitFor(&mu, std::chrono::milliseconds(1)));
+  EXPECT_EQ(internal::HeldLockCount(), 1);
+  EXPECT_TRUE(internal::HoldsLock(&mu));
+}
+
+#else  // !NEXSORT_DCHECK_ENABLED
+
+TEST(LockOrderTest, CheckerCompilesOutInRelease) {
+  // Inverted acquisition order must not be evaluated, let alone die, and
+  // the test hooks report nothing held.
+  Mutex low{"LockOrderTest::low", lock_rank::kRunStore};
+  Mutex high{"LockOrderTest::high", lock_rank::kBufferPool};
+  high.Lock();
+  low.Lock();  // would die in Debug; a no-op check here
+  EXPECT_EQ(internal::HeldLockCount(), 0);
+  EXPECT_FALSE(internal::HoldsLock(&low));
+  EXPECT_FALSE(internal::HoldsLock(&high));
+  low.Unlock();
+  high.Unlock();
+}
+
+#endif  // NEXSORT_DCHECK_ENABLED
+
+TEST(LockOrderTest, HeldStackIsPerThread) {
+  // Each thread's stack covers exactly its own acquisitions: a lock held
+  // on the main thread is invisible to a worker and vice versa. Runs in
+  // every build mode (Release asserts the hooks' constant-zero form).
+  Mutex main_mu{"LockOrderTest::main", lock_rank::kRunStore};
+  Mutex worker_mu{"LockOrderTest::worker", lock_rank::kBufferPool};
+  MutexLock hold(&main_mu);
+  std::thread worker([&] {
+    MutexLock worker_hold(&worker_mu);
+#if NEXSORT_DCHECK_ENABLED
+    EXPECT_EQ(internal::HeldLockCount(), 1);
+    EXPECT_TRUE(internal::HoldsLock(&worker_mu));
+    EXPECT_FALSE(internal::HoldsLock(&main_mu));
+#else
+    EXPECT_EQ(internal::HeldLockCount(), 0);
+#endif
+  });
+  worker.join();
+#if NEXSORT_DCHECK_ENABLED
+  EXPECT_EQ(internal::HeldLockCount(), 1);
+  EXPECT_TRUE(internal::HoldsLock(&main_mu));
+  EXPECT_FALSE(internal::HoldsLock(&worker_mu));
+#endif
+}
+
+}  // namespace
+}  // namespace nexsort
