@@ -42,6 +42,15 @@
 //                         length on random input, a single run on
 //                         nearly-sorted input; output is byte-identical
 //                         either way). See docs/RUN_FORMATION.md
+//   --merge-policy P      merge-scheduling policy for external sorts:
+//                         planned (default; optimized merge patterns that
+//                         never run more passes or move more bytes) or
+//                         greedy (the left-to-right baseline, kept for
+//                         A/B comparisons; output is byte-identical
+//                         either way). See docs/MERGE_PLANNING.md
+//   --no-dfs-placement    keep output runs on scratch blocks instead of
+//                         laying them in ascending contiguous extents for
+//                         the output DFS (docs/MERGE_PLANNING.md)
 //   --stream              pull sorted output incrementally through the
 //                         SortedStream API instead of the eager Sort call;
 //                         output bytes are identical, and the stats gain
@@ -140,8 +149,9 @@ void Usage() {
                "[--block-kb B] [--threshold-blocks T] [--cache-blocks N] "
                "[--readahead N]\n               [--threads N] "
                "[--prefetch-depth K] [--graceful] [--stats]\n               "
-               "[--run-formation quicksort|replacement] [--stream]"
-               "\n               "
+               "[--run-formation quicksort|replacement]\n               "
+               "[--merge-policy planned|greedy] [--no-dfs-placement] "
+               "[--stream]\n               "
                "[--sample-interval-ms N] [--timeline-out FILE] "
                "[--chrome-trace FILE] [--progress]\n               "
                "<input.xml> <output.xml>\n");
@@ -167,6 +177,8 @@ int main(int argc, char** argv) {
   bool graceful = false;
   bool stream_mode = false;
   RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
+  MergePolicy merge_policy = MergePolicy::kPlanned;
+  bool dfs_placement = true;
   bool show_stats = false;
   std::string stats_json_path;
   std::string trace_out_path;
@@ -236,6 +248,18 @@ int main(int argc, char** argv) {
                      policy.c_str());
         return 2;
       }
+    } else if (arg == "--merge-policy") {
+      std::string policy = next();
+      if (policy == "planned") {
+        merge_policy = MergePolicy::kPlanned;
+      } else if (policy == "greedy") {
+        merge_policy = MergePolicy::kGreedy;
+      } else {
+        std::fprintf(stderr, "unknown --merge-policy '%s'\n", policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-dfs-placement") {
+      dfs_placement = false;
     } else if (arg == "--stream") {
       stream_mode = true;
     } else if (arg == "--graceful") {
@@ -458,6 +482,8 @@ int main(int argc, char** argv) {
   options.record_order_attribute = record_order;
   options.strip_attribute = strip_attr;
   options.run_formation = run_formation;
+  options.merge_policy = merge_policy;
+  options.dfs_placement = dfs_placement;
   NexSorter sorter(env.get(), options);
 
   FileSource source(input);
@@ -561,6 +587,19 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(
               stats.sorts.run_formation.max_run_blocks),
           static_cast<unsigned long long>(stats.sorts.merge_passes));
+    }
+    if (stats.sorts.merge_plan.plans > 0) {
+      const MergePlanStats& plan = stats.sorts.merge_plan;
+      std::fprintf(
+          stderr,
+          "merge plan (%s): %llu steps over %llu runs, fan-in %llu-%llu, "
+          "%.1f MiB merged\n",
+          MergePolicyName(plan.policy),
+          static_cast<unsigned long long>(plan.steps),
+          static_cast<unsigned long long>(plan.input_runs),
+          static_cast<unsigned long long>(plan.fanin_min),
+          static_cast<unsigned long long>(plan.fanin_max),
+          static_cast<double>(plan.actual_bytes) / (1024.0 * 1024.0));
     }
     if (stream_mode) {
       std::fprintf(stderr, "streamed: first byte at %.1f ms of %.1f ms\n",
@@ -667,6 +706,17 @@ int main(int argc, char** argv) {
       json.Uint(runs.max_run_blocks);
       json.Key("merge_passes");
       json.Uint(sorter.stats().sorts.merge_passes);
+      json.Key("merge_policy");
+      json.String(MergePolicyName(merge_policy));
+      json.Key("dfs_placement");
+      json.Bool(dfs_placement);
+      // Merge-schedule accounting (docs/MERGE_PLANNING.md): only present
+      // when at least one external sort actually ran merge steps.
+      const MergePlanStats& plan = sorter.stats().sorts.merge_plan;
+      if (plan.plans > 0) {
+        json.Key("merge_plan");
+        plan.ToJson(&json);
+      }
       json.Key("streaming");
       json.Bool(stream_mode);
       json.Key("time_to_first_byte_ms");

@@ -124,6 +124,12 @@ CANONICAL_HEADER = {
     "ServiceClient": "service/client.h",
     "RunFormationPolicy": "sort/run_formation.h",
     "RunFormationStats": "sort/run_formation.h",
+    "MergePolicy": "sort/merge_plan.h",
+    "MergePlan": "sort/merge_plan.h",
+    "MergePlanner": "sort/merge_plan.h",
+    "MergeStep": "sort/merge_plan.h",
+    "MergePlanStats": "sort/merge_plan.h",
+    "PlacementHint": "extmem/run_store.h",
     "ReplacementSelectionFormer": "sort/replacement_selection.h",
     "ReplacementHeapSlot": "sort/replacement_selection.h",
     "SortedStream": "sort/sorted_stream.h",

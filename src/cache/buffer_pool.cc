@@ -289,6 +289,39 @@ void BufferPool::ReadAhead(uint64_t block_id, IoCategory category) {
   }
 }
 
+void BufferPool::AdviseReadSequence(std::vector<uint64_t> blocks) {
+  MutexLock lock(&mutex_);
+  if (options_.readahead == 0) return;  // advice could never be acted on
+  advice_ = std::move(blocks);
+  advice_pos_.clear();
+  advice_pos_.reserve(advice_.size());
+  for (size_t i = 0; i < advice_.size(); ++i) {
+    advice_pos_.emplace(advice_[i], i);
+  }
+}
+
+void BufferPool::ClearReadAdvice() {
+  MutexLock lock(&mutex_);
+  advice_.clear();
+  advice_pos_.clear();
+}
+
+void BufferPool::ReadAheadAdvised(size_t position, IoCategory category) {
+  // Same window cap as ReadAhead: never flush the working set.
+  uint64_t window = std::min(options_.readahead,
+                             std::max<uint64_t>(frames_.size() / 2, 1));
+  uint64_t limit = base_->num_blocks();
+  for (uint64_t ahead = 1; ahead <= window; ++ahead) {
+    size_t next_pos = position + ahead;
+    if (next_pos >= advice_.size()) return;
+    uint64_t next = advice_[next_pos];
+    if (next >= limit) continue;  // stale advice; skip, keep walking
+    auto loaded = PinLocked(next, category, /*load=*/true,
+                            /*as_prefetch=*/true);
+    if (!loaded.ok()) return;  // pool too pinned/dirty; abandon quietly
+  }
+}
+
 void BufferPool::Prefetch(uint64_t block_id, IoCategory category) {
   MutexLock lock(&mutex_);
   if (block_id >= base_->num_blocks()) return;
@@ -311,8 +344,15 @@ Status BufferPool::ReadBlock(uint64_t block_id, char* buf,
                         ? sequential_run_ + 1
                         : 1;
   last_read_block_ = block_id;
-  if (options_.readahead > 0 && sequential_run_ >= 2) {
-    ReadAhead(block_id, category);
+  if (options_.readahead > 0) {
+    // Advised position wins over the id-adjacency detector: the advice
+    // knows the traversal order even where run placement left a seam.
+    auto advised = advice_pos_.find(block_id);
+    if (advised != advice_pos_.end()) {
+      ReadAheadAdvised(advised->second, category);
+    } else if (sequential_run_ >= 2) {
+      ReadAhead(block_id, category);
+    }
   }
   return Status::OK();
 }

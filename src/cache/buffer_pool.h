@@ -144,6 +144,21 @@ class BufferPool {
   /// will hit them for real.
   void Prefetch(uint64_t block_id, IoCategory category);
 
+  /// Advisory traversal order (ROADMAP item 4, docs/MERGE_PLANNING.md):
+  /// the caller announces the exact block sequence an upcoming scan will
+  /// read — e.g. the output DFS over placed runs — and ReadBlock then
+  /// prefetches *along that sequence* instead of relying on the id+1
+  /// sequential detector, which only fires once placement has already made
+  /// the ids adjacent. Purely a performance hint: stale or wrong advice
+  /// costs wasted prefetches, never correctness. A new call replaces any
+  /// previous advice (the pool keeps one sequence; concurrent scans fall
+  /// back to the sequential detector). No-op when readahead is disabled.
+  void AdviseReadSequence(std::vector<uint64_t> blocks);
+
+  /// Drop the current advice. Callers clear when their scan ends so
+  /// recycled block ids cannot trigger bogus prefetches for a later job.
+  void ClearReadAdvice();
+
   /// Pin the frame holding `block_id`, loading it from the device first
   /// when `load` is true and the block is not resident. Pinned frames are
   /// never evicted; every Pin must be matched by an Unpin. Returns the
@@ -221,6 +236,11 @@ class BufferPool {
   void ReadAhead(uint64_t block_id, IoCategory category)
       NEXSORT_REQUIRES(mutex_);
 
+  /// Advisory-order read-ahead: load the next window of blocks *after
+  /// `position` in the advised sequence*, regardless of their ids.
+  void ReadAheadAdvised(size_t position, IoCategory category)
+      NEXSORT_REQUIRES(mutex_);
+
   void CountHit() NEXSORT_REQUIRES(mutex_);
   void CountMiss() NEXSORT_REQUIRES(mutex_);
   void UpdateHitRateGauge() NEXSORT_REQUIRES(mutex_);
@@ -247,6 +267,11 @@ class BufferPool {
   // Sequential-scan detector for read-ahead.
   uint64_t last_read_block_ NEXSORT_GUARDED_BY(mutex_) = kNoBlock;
   uint64_t sequential_run_ NEXSORT_GUARDED_BY(mutex_) = 0;
+
+  // Advisory read order: the announced sequence plus each block's first
+  // position in it (a run's blocks are distinct, so first-wins is exact).
+  std::vector<uint64_t> advice_ NEXSORT_GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, size_t> advice_pos_ NEXSORT_GUARDED_BY(mutex_);
 
   /// Sticky failure surfaced by Flush().
   Status deferred_writeback_ NEXSORT_GUARDED_BY(mutex_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "cache/buffer_pool.h"
 #include "core/unit_emitter.h"
 #include "extmem/stream.h"
 #include "obs/json_writer.h"
@@ -47,6 +48,8 @@ void NexSortStats::ToJson(JsonWriter* writer) const {
   writer->Uint(sorts.run_formation.max_run_blocks);
   writer->Key("merge_passes");
   writer->Uint(sorts.merge_passes);
+  writer->Key("merge_plan");
+  sorts.merge_plan.ToJson(writer);
   writer->EndObject();
   writer->Key("subtree_sorts");
   writer->Uint(subtree_sorts);
@@ -97,6 +100,8 @@ NexSorter::NexSorter(SortEnv::Session session, NexSortOptions options)
   sort_context_.format = format_;
   sort_context_.depth_limit = options_.depth_limit;
   sort_context_.run_formation = options_.run_formation;
+  sort_context_.merge_policy = options_.merge_policy;
+  sort_context_.dfs_placement = options_.dfs_placement;
   sort_context_.parallel = session_.parallel();
   sort_context_.buffer_pool = session_.buffer_pool();
   sort_context_.cancel = session_.cancellation();
@@ -332,6 +337,7 @@ class NexSorter::OutputStream final : public SortedStream {
     locations_ = std::make_unique<ExtStack<OutputLoc>>(
         owner_->device_, owner_->budget_, 1, IoCategory::kOutputStack);
     RETURN_IF_ERROR(locations_->init_status());
+    AdviseRun(root_run);
     reader_ = std::make_unique<RunUnitReader>(owner_->store_, root_run, 0,
                                               owner_->format_,
                                               &owner_->dictionary_);
@@ -369,6 +375,20 @@ class NexSorter::OutputStream final : public SortedStream {
     return true;
   }
 
+  /// Announce the run the DFS is about to read to the buffer pool's
+  /// advisory read-ahead (docs/MERGE_PLANNING.md): each descent/resume
+  /// re-points the advice at the blocks the traversal will stream next.
+  /// Purely advisory — a null pool or disabled read-ahead is fine.
+  void AdviseRun(RunHandle handle) {
+    BufferPool* pool = owner_->session_.buffer_pool();
+    if (pool == nullptr || pool->options().readahead == 0) return;
+    std::vector<uint64_t> blocks;
+    if (owner_->store_->SnapshotBlocks(handle, &blocks).ok()) {
+      pool->AdviseReadSequence(std::move(blocks));
+      advised_ = true;
+    }
+  }
+
   /// One DFS step: advance the current run reader, descending into pointer
   /// runs and resuming parents as the traversal dictates.
   [[nodiscard]] Status Step() {
@@ -388,6 +408,7 @@ class NexSorter::OutputStream final : public SortedStream {
       handle.id = loc.run_id;
       handle.byte_size = loc.run_bytes;
       reader_.reset();  // release the block buffer before opening the next
+      AdviseRun(handle);
       reader_ = std::make_unique<RunUnitReader>(owner_->store_, handle,
                                                 loc.offset, owner_->format_,
                                                 &owner_->dictionary_);
@@ -401,6 +422,7 @@ class NexSorter::OutputStream final : public SortedStream {
       loc.offset = reader_->offset();
       RETURN_IF_ERROR(locations_->Push(loc));
       reader_.reset();
+      AdviseRun(unit.run);
       reader_ = std::make_unique<RunUnitReader>(owner_->store_, unit.run, 0,
                                                 owner_->format_,
                                                 &owner_->dictionary_);
@@ -419,6 +441,9 @@ class NexSorter::OutputStream final : public SortedStream {
     RETURN_IF_ERROR(emitter_->Finish());
     NexSorter* owner = owner_;
     owner->stats_.output_bytes = emitter_->output_bytes();
+    // Freed runs recycle their block ids; stale advice must not outlive
+    // the traversal that installed it.
+    if (advised_) owner->session_.buffer_pool()->ClearReadAdvice();
     reader_.reset();
     locations_.reset();
     emitter_.reset();
@@ -454,6 +479,7 @@ class NexSorter::OutputStream final : public SortedStream {
   bool dfs_done_ = false;   // traversal exhausted
   bool completed_ = false;  // completion work done
   bool done_ = false;       // final false already returned
+  bool advised_ = false;    // pool read-advice installed by AdviseRun
 };
 
 StatusOr<std::unique_ptr<SortedStream>> NexSorter::SortStream(

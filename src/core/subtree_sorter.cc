@@ -363,7 +363,12 @@ StatusOr<RunHandle> SortSubtreeInMemory(const SubtreeSortContext& ctx,
   *root_out = forest.nodes[forest.roots[0]];
   region_reservation.Reset();
 
-  RunWriter writer = ctx.store->NewRun();
+  // This run is re-read by the output DFS long after later subtree sorts
+  // have churned the free list: place it so that read-back is sequential.
+  RunWriter writer = ctx.store->NewRun(
+      IoCategory::kRunWrite, ctx.dfs_placement
+                                 ? PlacementHint::kSequentialOutput
+                                 : PlacementHint::kScratch);
   RETURN_IF_ERROR(writer.init_status());
   if (forest.fragments.empty()) {
     std::string buffer;
@@ -434,6 +439,8 @@ ExternalSubtreeSorter::ExternalSubtreeSorter(const SubtreeSortContext& ctx,
   sort_options.buffer_pool = ctx.buffer_pool;
   sort_options.cancel = ctx.cancel;
   sort_options.run_formation = ctx.run_formation;
+  sort_options.merge_policy = ctx.merge_policy;
+  sort_options.dfs_placement = ctx.dfs_placement;
   sorter_ = std::make_unique<ExternalMergeSorter>(ctx.store, sort_options);
   status_ = sorter_->init_status();
 }
@@ -522,7 +529,12 @@ StatusOr<RunHandle> ExternalSubtreeSorter::Finish(ElementUnit* root_out) {
   *root_out = root_;
   RETURN_IF_ERROR(sorter_->Finish());
 
-  RunWriter writer = ctx_.store->NewRun();
+  // Like the in-memory path's output run: the DFS re-reads this later, so
+  // place it sequentially when asked.
+  RunWriter writer = ctx_.store->NewRun(
+      IoCategory::kRunWrite, ctx_.dfs_placement
+                                 ? PlacementHint::kSequentialOutput
+                                 : PlacementHint::kScratch);
   RETURN_IF_ERROR(writer.init_status());
   std::string key;
   std::string value;
@@ -533,6 +545,7 @@ StatusOr<RunHandle> ExternalSubtreeSorter::Finish(ElementUnit* root_out) {
   }
   stats_->run_formation.MergeFrom(sorter_->stats().runs);
   stats_->merge_passes += sorter_->stats().merge_passes;
+  stats_->merge_plan.MergeFrom(sorter_->stats().plan);
   RunHandle handle;
   RETURN_IF_ERROR(writer.Finish(&handle));
   return handle;

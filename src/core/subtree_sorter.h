@@ -16,6 +16,7 @@
 #include "core/element_unit.h"
 #include "extmem/run_store.h"
 #include "extmem/stream.h"
+#include "sort/merge_plan.h"
 #include "sort/run_formation.h"
 #include "util/status.h"
 
@@ -59,6 +60,14 @@ struct SubtreeSortContext {
   /// Run-formation policy (docs/RUN_FORMATION.md), forwarded to the
   /// external merge sorts run for oversized subtrees.
   RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
+
+  /// Merge-scheduling policy (docs/MERGE_PLANNING.md), forwarded to the
+  /// external merge sorts run for oversized subtrees.
+  MergePolicy merge_policy = MergePolicy::kPlanned;
+
+  /// Place output runs — the sorted-subtree runs the output DFS re-reads —
+  /// in ascending contiguous extents (PlacementHint::kSequentialOutput).
+  bool dfs_placement = true;
 };
 
 /// Statistics accumulated across the subtree sorts of one NEXSORT run.
@@ -72,6 +81,9 @@ struct SubtreeSortStats {
   /// "sort" block of nexsort-stats-v1; see docs/OBSERVABILITY.md).
   RunFormationStats run_formation;
   uint64_t merge_passes = 0;  // merge passes across those external sorts
+  /// Merge-schedule accounting aggregated over those external sorts (the
+  /// "merge_plan" block of nexsort-stats-v1).
+  MergePlanStats merge_plan;
 };
 
 /// Sort a complete subtree whose serialized units are in memory. `units`

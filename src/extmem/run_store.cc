@@ -36,8 +36,55 @@ Status RunStore::AllocateBlock(uint64_t* id) {
   return device_->Allocate(1, id);
 }
 
-RunWriter RunStore::NewRun(IoCategory category) {
-  return RunWriter(this, category);
+Status RunStore::AllocateExtent(uint64_t count, std::vector<uint64_t>* out) {
+  out->clear();
+  {
+    MutexLock lock(&mutex_);
+    if (free_blocks_.size() >= count) {
+      // Prefer a consecutive chunk of freed blocks: a long-lived store
+      // (nexsortd) must not grow the device forever just because its runs
+      // are placed. The free list is unsorted (LIFO scratch reuse), so
+      // scan a sorted copy for a long-enough ascending chunk.
+      std::vector<uint64_t> sorted = free_blocks_;
+      std::sort(sorted.begin(), sorted.end());
+      size_t chunk_start = 0;
+      for (size_t i = 1; i <= sorted.size(); ++i) {
+        if (i < sorted.size() && sorted[i] == sorted[i - 1] + 1) continue;
+        if (i - chunk_start >= count) {
+          out->assign(sorted.begin() + chunk_start,
+                      sorted.begin() + chunk_start + count);
+          break;
+        }
+        chunk_start = i;
+      }
+      if (!out->empty()) {
+        const uint64_t lo = out->front();
+        const uint64_t hi = out->back();
+        free_blocks_.erase(
+            std::remove_if(free_blocks_.begin(), free_blocks_.end(),
+                           [lo, hi](uint64_t id) {
+                             return id >= lo && id <= hi;
+                           }),
+            free_blocks_.end());
+        return Status::OK();
+      }
+    }
+  }
+  uint64_t first = 0;
+  RETURN_IF_ERROR(device_->Allocate(count, &first));
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) (*out)[i] = first + i;
+  return Status::OK();
+}
+
+void RunStore::ReleaseBlocks(const uint64_t* ids, size_t count) {
+  if (count == 0) return;
+  MutexLock lock(&mutex_);
+  free_blocks_.insert(free_blocks_.end(), ids, ids + count);
+}
+
+RunWriter RunStore::NewRun(IoCategory category, PlacementHint hint) {
+  return RunWriter(this, category, hint);
 }
 
 RunReader RunStore::OpenRun(RunHandle handle, uint64_t offset,
@@ -54,6 +101,46 @@ Status RunStore::SnapshotBlocks(RunHandle handle,
     return Status::InvalidArgument("invalid run handle");
   }
   *blocks = run_blocks_[handle.id];
+  return Status::OK();
+}
+
+Status RunStore::RelocateSequential(RunHandle* handle, IoCategory category) {
+  std::vector<uint64_t> old_blocks;
+  RETURN_IF_ERROR(SnapshotBlocks(*handle, &old_blocks));
+  if (old_blocks.empty()) return Status::OK();
+  bool already_sequential = true;
+  for (size_t i = 1; i < old_blocks.size(); ++i) {
+    if (old_blocks[i] != old_blocks[i - 1] + 1) {
+      already_sequential = false;
+      break;
+    }
+  }
+  if (already_sequential) return Status::OK();
+  // One block of copy buffer, charged like any reader's.
+  BudgetReservation copy_buffer;
+  RETURN_IF_ERROR(copy_buffer.Acquire(budget_, 1));
+  // A fresh device extent is contiguous ascending by construction; the
+  // whole point here is perfect sequentiality, so do not compromise with
+  // scattered free-list blocks.
+  uint64_t first = 0;
+  RETURN_IF_ERROR(device_->Allocate(old_blocks.size(), &first));
+  std::string buffer(device_->block_size(), '\0');
+  for (size_t i = 0; i < old_blocks.size(); ++i) {
+    RETURN_IF_ERROR(device_->Read(old_blocks[i], buffer.data(), category));
+    RETURN_IF_ERROR(device_->Write(first + i, buffer.data(), category));
+  }
+  {
+    MutexLock lock(&mutex_);
+    std::vector<uint64_t>& blocks = run_blocks_[handle->id];
+    if (blocks.size() != old_blocks.size()) {
+      return Status::InvalidArgument(
+          "run changed during relocation (concurrent free?)");
+    }
+    for (size_t i = 0; i < blocks.size(); ++i) blocks[i] = first + i;
+    free_blocks_.insert(free_blocks_.end(), old_blocks.begin(),
+                        old_blocks.end());
+    DcheckBalancedLocked();
+  }
   return Status::OK();
 }
 
@@ -77,10 +164,21 @@ Status RunStore::FreeRun(RunHandle handle) {
   return Status::OK();
 }
 
-RunWriter::RunWriter(RunStore* store, IoCategory category)
-    : store_(store), category_(category) {
+RunWriter::RunWriter(RunStore* store, IoCategory category, PlacementHint hint)
+    : store_(store), category_(category), hint_(hint) {
   init_status_ = reservation_.Acquire(store->budget_, 1);
   buffer_.reserve(store->device_->block_size());
+}
+
+Status RunWriter::NextBlock(uint64_t* id) {
+  if (hint_ == PlacementHint::kScratch) return store_->AllocateBlock(id);
+  if (extent_used_ == extent_.size()) {
+    RETURN_IF_ERROR(
+        store_->AllocateExtent(RunStore::kPlacementExtentBlocks, &extent_));
+    extent_used_ = 0;
+  }
+  *id = extent_[extent_used_++];
+  return Status::OK();
 }
 
 Status RunWriter::Append(std::string_view data) {
@@ -94,7 +192,7 @@ Status RunWriter::Append(std::string_view data) {
     byte_size_ += take;
     if (buffer_.size() == block_size) {
       uint64_t id = 0;
-      RETURN_IF_ERROR(store_->AllocateBlock(&id));
+      RETURN_IF_ERROR(NextBlock(&id));
       RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data(), category_));
       blocks_.push_back(id);
       buffer_.clear();
@@ -109,11 +207,18 @@ Status RunWriter::Finish(RunHandle* handle) {
   if (!buffer_.empty()) {
     buffer_.resize(store_->device_->block_size(), '\0');
     uint64_t id = 0;
-    RETURN_IF_ERROR(store_->AllocateBlock(&id));
+    RETURN_IF_ERROR(NextBlock(&id));
     RETURN_IF_ERROR(store_->device_->Write(id, buffer_.data(), category_));
     blocks_.push_back(id);
     buffer_.clear();
   }
+  if (extent_used_ < extent_.size()) {
+    // Unused tail of the last placed extent goes back to the free list.
+    store_->ReleaseBlocks(extent_.data() + extent_used_,
+                          extent_.size() - extent_used_);
+  }
+  extent_.clear();
+  extent_used_ = 0;
   {
     MutexLock lock(&store_->mutex_);
     handle->id = static_cast<uint32_t>(store_->run_blocks_.size());

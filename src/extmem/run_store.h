@@ -45,9 +45,28 @@ class RunWriter;
 class RunReader;
 class Tracer;
 
+/// Where a new run's blocks should land (ROADMAP item 4 / Demaine–Iacono–
+/// Langerman tree layout, docs/MERGE_PLANNING.md). Placement never changes
+/// a run's contents or its logical I/O count — only which device block ids
+/// carry it, i.e. how much of the read-back is sequential.
+enum class PlacementHint {
+  /// Recycle freed blocks LIFO (the historical behaviour): hot reuse and a
+  /// minimal device footprint, but merge-temp churn scatters a run's
+  /// blocks, so reading it back seeks.
+  kScratch = 0,
+  /// The run will be read back sequentially long after it is written (a
+  /// final merged run, a collapsed subtree the output DFS re-reads): lay
+  /// it in ascending contiguous extents so the read-back streams.
+  kSequentialOutput,
+};
+
 /// Owner of all runs on one device.
 class RunStore {
  public:
+  /// Blocks per extent claimed for kSequentialOutput runs. Unused tail
+  /// blocks of the last extent return to the free list at Finish.
+  static constexpr uint64_t kPlacementExtentBlocks = 16;
+
   RunStore(BlockDevice* device, MemoryBudget* budget);
 
   /// Attach a tracer (may be null; not owned): the store then records a
@@ -57,7 +76,9 @@ class RunStore {
   Tracer* tracer() const { return tracer_; }
 
   /// Begin a new run. Only the returned writer may add blocks to it.
-  RunWriter NewRun(IoCategory category = IoCategory::kRunWrite);
+  /// `hint` selects the block-placement policy (see PlacementHint).
+  RunWriter NewRun(IoCategory category = IoCategory::kRunWrite,
+                   PlacementHint hint = PlacementHint::kScratch);
 
   /// Open `handle` for sequential reading starting at byte `offset`.
   RunReader OpenRun(RunHandle handle, uint64_t offset = 0,
@@ -70,6 +91,18 @@ class RunStore {
   /// once finished, so the copy stays valid). For merge prefetchers that
   /// need block ids without holding a reader.
   [[nodiscard]] Status SnapshotBlocks(RunHandle handle, std::vector<uint64_t>* blocks);
+
+  /// Rewrite `handle`'s payload into freshly allocated ascending contiguous
+  /// blocks and retarget its block index (the handle itself — id and byte
+  /// size — is unchanged; the old blocks join the free list). Costs one
+  /// read + one write per block plus a one-block budget reservation, so it
+  /// only pays off for runs that will be re-read several times; the merge
+  /// path instead writes final runs placed from the start
+  /// (PlacementHint::kSequentialOutput). The caller must guarantee no
+  /// concurrent reader holds a snapshot of this run — a reader opened
+  /// before relocation would read recycled blocks.
+  [[nodiscard]] Status RelocateSequential(
+      RunHandle* handle, IoCategory category = IoCategory::kRunWrite);
 
   /// Total blocks currently owned by live runs.
   uint64_t live_blocks() const {
@@ -104,6 +137,16 @@ class RunStore {
   friend class RunReader;
 
   [[nodiscard]] Status AllocateBlock(uint64_t* id);
+
+  /// Claim `count` consecutive ascending block ids for a placed writer:
+  /// first a consecutive chunk of the free list (so long-lived stores keep
+  /// a bounded footprint), else a fresh device extent.
+  [[nodiscard]] Status AllocateExtent(uint64_t count,
+                                      std::vector<uint64_t>* out);
+
+  /// Return writer-held blocks (never registered in any run) to the free
+  /// list — the unused tail of a placed writer's last extent.
+  void ReleaseBlocks(const uint64_t* ids, size_t count);
 
   /// Run-table balance audit: live_blocks_ must equal the sum of the block
   /// indexes of every (non-freed) run. Caller holds mutex_.
@@ -143,13 +186,21 @@ class RunWriter final : public ByteSink {
 
  private:
   friend class RunStore;
-  RunWriter(RunStore* store, IoCategory category);
+  RunWriter(RunStore* store, IoCategory category, PlacementHint hint);
+
+  /// Block id for the next full block: free-list/device for kScratch, the
+  /// current pre-claimed extent (refilled on exhaustion) for
+  /// kSequentialOutput.
+  [[nodiscard]] Status NextBlock(uint64_t* id);
 
   RunStore* store_;
   IoCategory category_;
+  PlacementHint hint_;
   BudgetReservation reservation_;
   Status init_status_;
   std::vector<uint64_t> blocks_;
+  std::vector<uint64_t> extent_;  // pre-claimed placed blocks
+  size_t extent_used_ = 0;
   uint64_t byte_size_ = 0;
   std::string buffer_;
   bool finished_ = false;

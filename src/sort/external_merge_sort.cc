@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "cache/buffer_pool.h"
 #include "extmem/block_device.h"
@@ -104,6 +105,9 @@ ExternalMergeSorter::~ExternalMergeSorter() {
   // An in-flight background spill references our buffers and run list;
   // wait it out before tearing anything down.
   if (spiller_ != nullptr) (void)spiller_->WaitIdle();
+  // Drop the drain's read advice: the result run's block ids recycle into
+  // later runs, and stale advice would prefetch them at the wrong time.
+  if (advised_result_) options_.buffer_pool->ClearReadAdvice();
   PublishStats();
   for (RunHandle run : runs_) {
     (void)store_->FreeRun(run);  // best-effort cleanup of leftover runs
@@ -309,90 +313,145 @@ Status ExternalMergeSorter::MergeAll() {
   const uint32_t depth = options_.parallel != nullptr
                              ? options_.parallel->options().prefetch_depth
                              : 0;
-  while (runs_.size() > 1) {
-    ++stats_.merge_passes;
-    ScopedSpan pass_span(options_.tracer, "merge_pass");
-    if (options_.tracer != nullptr) {
-      options_.tracer->metrics()->GetHistogram("merge_fan_in")
-          ->Record(std::min<uint64_t>(fan_in, runs_.size()));
-    }
-    std::vector<RunHandle> next_level;
-    for (size_t group = 0; group < runs_.size(); group += fan_in) {
-      size_t end = std::min(runs_.size(), group + fan_in);
-      std::vector<std::unique_ptr<RecordRunSource>> sources;
-      std::vector<MergeSource*> raw;
-      for (size_t i = group; i < end; ++i) {
-        sources.push_back(std::make_unique<RecordRunSource>(
-            store_, runs_[i], options_.temp_category));
-        sources.back()->set_source_index(i - group);
-        RETURN_IF_ERROR(sources.back()->Open());
-        raw.push_back(sources.back().get());
-      }
-      // Prefetch this group's input blocks into the buffer pool ahead of
-      // consumption. The merge readers go through the CachedBlockDevice
-      // over the same pool, so their logical reads are unchanged — the
-      // prefetcher only moves the physical load off the critical path.
-      std::unique_ptr<RunPrefetcher> prefetcher;
-      std::vector<uint64_t> reported;
-      if (depth > 0) {
-        if (options_.buffer_pool == nullptr) {
-          ++pstats_.prefetch_declined;
-        } else {
-          std::vector<RunPrefetcher::Source> prefetch_sources;
-          for (size_t i = group; i < end; ++i) {
-            RunPrefetcher::Source source;
-            RETURN_IF_ERROR(store_->SnapshotBlocks(runs_[i], &source.blocks));
-            prefetch_sources.push_back(std::move(source));
-          }
-          prefetcher = std::make_unique<RunPrefetcher>(
-              options_.buffer_pool, options_.temp_category, depth,
-              std::move(prefetch_sources));
-          reported.assign(end - group, 0);
-        }
-      }
-      LoserTree tree(std::move(raw));
-      RunHandle merged;
-      Status group_status = tree.Init();
-      if (group_status.ok()) {
-        RunWriter writer = store_->NewRun(options_.temp_category);
-        group_status = writer.init_status();
-        while (group_status.ok()) {
-          group_status = CheckCancelled(options_.cancel);
-          if (!group_status.ok()) break;
-          MergeSource* min = tree.Min();
-          if (min == nullptr) break;
-          auto* source = static_cast<RecordRunSource*>(min);
-          group_status = AppendRecord(&writer, source->key(), source->value());
-          if (!group_status.ok()) break;
-          group_status = tree.AdvanceMin();
-          if (!group_status.ok()) break;
-          if (prefetcher != nullptr && !source->exhausted()) {
-            uint64_t block = source->run_offset() / block_size;
-            size_t index = source->source_index();
-            if (block + 1 > reported[index]) {
-              reported[index] = block + 1;
-              prefetcher->OnConsumed(index, block);
-            }
-          }
-        }
-        if (group_status.ok()) group_status = writer.Finish(&merged);
-      }
-      if (prefetcher != nullptr) {
-        prefetcher->Stop();  // before the inputs it reads are freed
-        pstats_.prefetch_issued += prefetcher->issued();
-      }
-      RETURN_IF_ERROR(group_status);
-      sources.clear();  // release reader buffers before freeing inputs
-      for (size_t i = group; i < end; ++i) {
-        TraceRunEvent(options_.tracer, RunEventKind::kMerged,
-                      options_.temp_category, runs_[i].byte_size,
-                      runs_[i].id);
-        RETURN_IF_ERROR(store_->FreeRun(runs_[i]));
-      }
-      next_level.push_back(merged);
-    }
-    runs_ = std::move(next_level);
+  std::vector<uint64_t> run_bytes;
+  run_bytes.reserve(runs_.size());
+  for (const RunHandle& run : runs_) run_bytes.push_back(run.byte_size);
+  const MergePlan plan =
+      MergePlanner::Plan(run_bytes, fan_in, options_.merge_policy);
+  stats_.plan.policy = options_.merge_policy;
+  ++stats_.plan.plans;
+  stats_.plan.input_runs += plan.num_inputs;
+
+  // Node table over the plan's DAG: leaves are the formed runs; a step's
+  // output handle lands in its node slot when the step completes.
+  // `consumed` enforces the exactly-once discipline on inputs.
+  std::vector<RunHandle> nodes(plan.node_count());
+  std::vector<bool> ready(plan.node_count(), false);
+  std::vector<bool> consumed(plan.node_count(), false);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    nodes[i] = runs_[i];
+    ready[i] = true;
   }
+
+  uint32_t current_pass = 0;
+  std::optional<ScopedSpan> pass_span;
+  for (const MergeStep& step : plan.steps) {
+    if (!pass_span.has_value() || step.pass != current_pass) {
+      pass_span.emplace(options_.tracer, "merge_pass");
+      current_pass = step.pass;
+      ++stats_.merge_passes;
+    }
+    const size_t width = step.inputs.size();
+    if (options_.tracer != nullptr) {
+      // Every step records its true fan-in (the trailing group of a greedy
+      // pass — and every planned carry-pass window — is narrower than F).
+      options_.tracer->metrics()->GetHistogram("merge_fan_in")
+          ->Record(width);
+    }
+    std::vector<std::unique_ptr<RecordRunSource>> sources;
+    std::vector<MergeSource*> raw;
+    for (size_t i = 0; i < width; ++i) {
+      const uint32_t node = step.inputs[i];
+      NEXSORT_DCHECK_MSG(ready[node] && !consumed[node],
+                         "merge plan uses a node early or twice");
+      sources.push_back(std::make_unique<RecordRunSource>(
+          store_, nodes[node], options_.temp_category));
+      sources.back()->set_source_index(i);
+      RETURN_IF_ERROR(sources.back()->Open());
+      raw.push_back(sources.back().get());
+    }
+    // Prefetch this step's input blocks into the buffer pool ahead of
+    // consumption. The merge readers go through the CachedBlockDevice
+    // over the same pool, so their logical reads are unchanged — the
+    // prefetcher only moves the physical load off the critical path.
+    std::unique_ptr<RunPrefetcher> prefetcher;
+    std::vector<uint64_t> reported;
+    if (depth > 0) {
+      if (options_.buffer_pool == nullptr) {
+        ++pstats_.prefetch_declined;
+      } else {
+        std::vector<RunPrefetcher::Source> prefetch_sources;
+        for (size_t i = 0; i < width; ++i) {
+          RunPrefetcher::Source source;
+          RETURN_IF_ERROR(
+              store_->SnapshotBlocks(nodes[step.inputs[i]], &source.blocks));
+          prefetch_sources.push_back(std::move(source));
+        }
+        prefetcher = std::make_unique<RunPrefetcher>(
+            options_.buffer_pool, options_.temp_category, depth,
+            std::move(prefetch_sources));
+        reported.assign(width, 0);
+      }
+    }
+    LoserTree tree(std::move(raw));
+    RunHandle merged;
+    Status step_status = tree.Init();
+    if (step_status.ok()) {
+      const PlacementHint hint = step.final && options_.dfs_placement
+                                     ? PlacementHint::kSequentialOutput
+                                     : PlacementHint::kScratch;
+      RunWriter writer = store_->NewRun(options_.temp_category, hint);
+      step_status = writer.init_status();
+      while (step_status.ok()) {
+        step_status = CheckCancelled(options_.cancel);
+        if (!step_status.ok()) break;
+        MergeSource* min = tree.Min();
+        if (min == nullptr) break;
+        auto* source = static_cast<RecordRunSource*>(min);
+        step_status = AppendRecord(&writer, source->key(), source->value());
+        if (!step_status.ok()) break;
+        step_status = tree.AdvanceMin();
+        if (!step_status.ok()) break;
+        if (prefetcher != nullptr && !source->exhausted()) {
+          uint64_t block = source->run_offset() / block_size;
+          size_t index = source->source_index();
+          if (block + 1 > reported[index]) {
+            reported[index] = block + 1;
+            prefetcher->OnConsumed(index, block);
+          }
+        }
+      }
+      if (step_status.ok()) step_status = writer.Finish(&merged);
+    }
+    if (prefetcher != nullptr) {
+      prefetcher->Stop();  // before the inputs it reads are freed
+      pstats_.prefetch_issued += prefetcher->issued();
+    }
+    RETURN_IF_ERROR(step_status);
+    sources.clear();  // release reader buffers before freeing inputs
+    for (size_t i = 0; i < width; ++i) {
+      const uint32_t node = step.inputs[i];
+      TraceRunEvent(options_.tracer, RunEventKind::kMerged,
+                    options_.temp_category, nodes[node].byte_size,
+                    nodes[node].id);
+      consumed[node] = true;
+      // Keep runs_ an exact live-run list as the plan progresses so the
+      // destructor frees each leftover exactly once if a later step fails.
+      const uint32_t freed_id = nodes[node].id;
+      runs_.erase(std::find_if(runs_.begin(), runs_.end(),
+                               [freed_id](const RunHandle& run) {
+                                 return run.id == freed_id;
+                               }));
+      RETURN_IF_ERROR(store_->FreeRun(nodes[node]));
+    }
+    nodes[step.output] = merged;
+    ready[step.output] = true;
+    runs_.push_back(merged);
+    // Outputs are exact concatenations, so the planner's predicted size
+    // must match what the writer produced.
+    NEXSORT_DCHECK_EQ(merged.byte_size, plan.node_bytes[step.output]);
+    stats_.plan.RecordStep(width, plan.node_bytes[step.output],
+                           merged.byte_size);
+  }
+#if NEXSORT_DCHECK_ENABLED
+  // Exactly-once discipline over the whole plan: every input run was
+  // consumed; only the plan's root survives.
+  for (uint32_t i = 0; i < plan.num_inputs; ++i) {
+    NEXSORT_DCHECK_MSG(consumed[i], "merge plan left an input run behind");
+  }
+  NEXSORT_DCHECK(runs_.size() == 1);
+  NEXSORT_DCHECK(runs_.front().id == nodes[plan.root()].id);
+#endif
   return Status::OK();
 }
 
@@ -413,6 +472,17 @@ Status ExternalMergeSorter::MergeAndOpenResult() {
   }
   PublishStats();
   RETURN_IF_ERROR(merged);
+  // Teach the pool the drain's exact block order before the reader opens:
+  // with DFS placement most of it is id-adjacent already, but the advice
+  // also covers the extent seams the sequential detector would miss.
+  if (options_.buffer_pool != nullptr &&
+      options_.buffer_pool->options().readahead > 0) {
+    std::vector<uint64_t> blocks;
+    if (store_->SnapshotBlocks(runs_.front(), &blocks).ok()) {
+      options_.buffer_pool->AdviseReadSequence(std::move(blocks));
+      advised_result_ = true;
+    }
+  }
   result_source_ = std::make_unique<RecordRunSource>(
       store_, runs_.front(), options_.temp_category);
   RETURN_IF_ERROR(result_source_->Open());

@@ -34,6 +34,7 @@
 #include "extmem/stream.h"
 #include "parallel/parallel.h"
 #include "sort/loser_tree.h"
+#include "sort/merge_plan.h"
 #include "sort/run_formation.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -79,6 +80,17 @@ struct ExtSortOptions {
   /// are byte-identical under either policy; replacement selection forms
   /// fewer, longer runs and therefore fewer merge passes.
   RunFormationPolicy run_formation = RunFormationPolicy::kQuicksortChunks;
+
+  /// How the merge phase is scheduled (docs/MERGE_PLANNING.md). Output
+  /// records are byte-identical under either policy; kPlanned never moves
+  /// more bytes or runs more passes than kGreedy.
+  MergePolicy merge_policy = MergePolicy::kPlanned;
+
+  /// Lay the final merged run in ascending contiguous extents
+  /// (PlacementHint::kSequentialOutput) so draining it reads
+  /// sequentially. Changes which block ids carry the run, never its
+  /// contents or logical I/O count.
+  bool dfs_placement = true;
 };
 
 struct ExtSortStats {
@@ -90,6 +102,9 @@ struct ExtSortStats {
   /// Run-length accounting for the "sort" telemetry block (equal to
   /// initial_runs in count; adds the per-run block sizes).
   RunFormationStats runs;
+  /// Merge-schedule accounting (the `merge_plan` telemetry block); all
+  /// zero when no merge ran (single-run or in-memory sorts).
+  MergePlanStats plan;
 };
 
 /// MergeSource decoding length-prefixed (key, value) records from a run.
@@ -194,6 +209,11 @@ class ExternalMergeSorter {
   /// Fold pstats_ into the attached ParallelContext, exactly once.
   void PublishStats();
 
+  /// Plan the merge of the formed runs (MergePlanner, per merge_policy)
+  /// and execute the plan step by step: open the step's inputs, loser-tree
+  /// them into one output run (placed per dfs_placement on the final
+  /// step), free the inputs. runs_ tracks the live runs exactly as steps
+  /// complete, so the destructor frees each leftover once on any error.
   [[nodiscard]] Status MergeAll();
 
   /// Shared Finish tail for both policies: merge the formed runs (skipped
@@ -229,6 +249,7 @@ class ExternalMergeSorter {
   size_t mem_cursor_ = 0;
   std::unique_ptr<RecordRunSource> result_source_;
   bool result_primed_ = false;
+  bool advised_result_ = false;  // pool read-advice installed for the drain
 
   // Declared last: destroyed first, so an in-flight background spill
   // drains before the buffers and run list it references go away.
